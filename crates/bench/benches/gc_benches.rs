@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks backing the paper's performance discussion:
+//!
+//! * `decode/*` — per-lookup cost of decoding gc-point tables under the
+//!   compact δ-main+PP scheme vs uncompressed full information (§6.1's
+//!   "compactly encoded tables are likely to have higher decoding
+//!   overhead", ablation A1);
+//! * `encode/*` — table emission cost per scheme;
+//! * `trace/stack_trace` — a full stack walk with derived-value
+//!   un/re-derivation on a paused `destroy` (§6.3);
+//! * `collect/full` — a complete collection on the same state;
+//! * `end_to_end/takl` — whole-program run of the call-heavy benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use m3gc_bench::{compile_benchmark, program};
+use m3gc_core::decode::{DecoderIndex, TableDecoder};
+use m3gc_core::encode::{encode_module, Scheme};
+use m3gc_runtime::collector;
+use m3gc_vm::machine::{Machine, MachineConfig, RunOutcome, ThreadStatus};
+
+fn decode_benchmarks(c: &mut Criterion) {
+    let module = compile_benchmark(program("destroy"), true);
+    let mut group = c.benchmark_group("decode");
+    for scheme in [Scheme::DELTA_MAIN_PP, Scheme::FULL_PLAIN, Scheme::FULL_PACKED] {
+        let encoded = encode_module(&module.logical_maps, scheme);
+        let decoder = TableDecoder::new(&encoded);
+        let pcs: Vec<u32> = decoder.gc_point_pcs().collect();
+        group.bench_function(format!("lookup/{scheme}"), |b| {
+            b.iter(|| {
+                for &pc in &pcs {
+                    black_box(decoder.lookup(black_box(pc)));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn encode_benchmarks(c: &mut Criterion) {
+    let module = compile_benchmark(program("FieldList"), true);
+    let mut group = c.benchmark_group("encode");
+    for scheme in Scheme::TABLE2 {
+        group.bench_function(format!("{scheme}"), |b| {
+            b.iter(|| black_box(encode_module(black_box(&module.logical_maps), scheme)));
+        });
+    }
+    group.finish();
+}
+
+/// Runs destroy until its first genuine heap exhaustion and returns the
+/// machine with every thread blocked at a gc-point.
+fn paused_destroy() -> Machine {
+    let module = compile_benchmark(program("destroy"), true);
+    let mut machine = Machine::new(
+        module,
+        MachineConfig { semi_words: 8 * 1024, stack_words: 1 << 15, max_threads: 2 },
+    );
+    let main = machine.module.main;
+    let tid = machine.spawn(main, &[]);
+    match machine.run_thread(tid, u64::MAX) {
+        RunOutcome::NeedGc => machine,
+        other => panic!("destroy did not reach a collection: {other:?}"),
+    }
+}
+
+fn trace_benchmarks(c: &mut Criterion) {
+    let mut machine = paused_destroy();
+    let index = DecoderIndex::build(&machine.module.gc_maps).expect("valid maps");
+    c.bench_function("trace/stack_trace", |b| {
+        b.iter(|| black_box(collector::trace_only(&mut machine, &index)));
+    });
+}
+
+fn collect_benchmarks(c: &mut Criterion) {
+    let mut machine = paused_destroy();
+    let index = DecoderIndex::build(&machine.module.gc_maps).expect("valid maps");
+    c.bench_function("collect/full", |b| {
+        b.iter(|| {
+            // Each collection flips semispaces; re-block the threads (their
+            // pcs have not moved) so the next iteration can collect again.
+            let stats = collector::collect(&mut machine, &index);
+            machine.gc_pending = true;
+            for t in &mut machine.threads {
+                if t.status == ThreadStatus::Runnable {
+                    t.status = ThreadStatus::BlockedAtGcPoint;
+                }
+            }
+            black_box(stats)
+        });
+    });
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("takl", |b| {
+        b.iter(|| {
+            let module = compile_benchmark(program("takl"), true);
+            let out = m3gc_compiler::run_module(module, 1 << 16).expect("takl runs");
+            black_box(out.steps)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    decode_benchmarks,
+    encode_benchmarks,
+    trace_benchmarks,
+    collect_benchmarks,
+    end_to_end
+);
+criterion_main!(benches);

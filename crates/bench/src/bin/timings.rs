@@ -1,0 +1,89 @@
+//! Regenerates the **§6.3** measurement on `destroy`: the cost of
+//! table-driven stack tracing relative to total collection time.
+//!
+//! The paper ran destroy with "collection being a stack trace" vs
+//! "collection being a null call" and derived per-collection and
+//! per-frame stack-tracing costs, concluding tracing is a small fraction
+//! (< ~6%, best estimate 1.7%) of total gc time. We measure both sides
+//! directly on the same system:
+//!
+//! * real collections under a small heap (total gc time, trace time,
+//!   frames traced — the collector separates the phases), and
+//! * the paper's methodology: forced collection events where the
+//!   "collection" is a full collection, a stack trace only, or a null
+//!   call, on a heap large enough to never fill.
+
+use m3gc_bench::{expected_output, program};
+use m3gc_compiler::{compile, Options};
+use m3gc_runtime::scheduler::{ExecConfig, Executor, GcMode};
+use m3gc_vm::machine::{Machine, MachineConfig};
+use std::time::Duration;
+
+fn run(semi: usize, mode: GcMode, force: Option<u64>) -> m3gc_runtime::scheduler::ExecOutcome {
+    let module = compile(program("destroy"), &Options::o2()).expect("compiles");
+    let machine =
+        Machine::new(module, MachineConfig { semi_words: semi, stack_words: 1 << 15, max_threads: 2 });
+    let mut ex = Executor::new(
+        machine,
+        ExecConfig { gc_mode: mode, force_every_allocs: force, ..ExecConfig::default() },
+    );
+    let out = ex.run_main().expect("destroy runs");
+    assert_eq!(out.output, expected_output("destroy"), "wrong output under {mode:?}");
+    out
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    println!("§6.3: Stack tracing cost on destroy (branching 3, depth 6)\n");
+
+    // Real collections under a small heap.
+    let real = run(8 * 1024, GcMode::Full, None);
+    let n = real.collections.max(1);
+    let per_total = micros(real.gc_total.total_time) / n as f64;
+    let per_trace = micros(real.gc_total.trace_time) / n as f64;
+    let frames = real.gc_total.frames_traced as f64 / n as f64;
+    println!("Real collections (8K-word semispaces):");
+    println!("  collections:              {}", real.collections);
+    println!("  objects copied/collection: {:.0}", real.gc_total.objects_copied as f64 / n as f64);
+    println!("  frames traced/collection:  {frames:.1}");
+    println!("  total gc time/collection:  {per_total:.1} us");
+    println!("  stack trace/collection:    {per_trace:.1} us");
+    println!("  stack trace/frame:         {:.2} us", per_trace / frames.max(1.0));
+    println!(
+        "  trace share of gc time:    {:.1}%",
+        100.0 * real.gc_total.trace_time.as_secs_f64() / real.gc_total.total_time.as_secs_f64().max(1e-12)
+    );
+
+    // The paper's methodology: forced events every N allocations, huge heap.
+    let every = 400;
+    println!("\nForced collection events every {every} allocations (1M-word semispaces):");
+    let base = run(1 << 20, GcMode::Null, Some(every));
+    let trace = run(1 << 20, GcMode::TraceOnly, Some(every));
+    let full = run(1 << 20, GcMode::Full, Some(every));
+    let events = trace.collections.max(1);
+    println!("  events:                    {events}");
+    println!(
+        "  stack trace/event:         {:.1} us  ({:.1} frames/event)",
+        micros(trace.gc_total.trace_time) / events as f64,
+        trace.gc_total.frames_traced as f64 / events as f64
+    );
+    println!(
+        "  full collection/event:     {:.1} us",
+        micros(full.gc_total.total_time) / full.collections.max(1) as f64
+    );
+    println!(
+        "  trace-only : full ratio    {:.1}%",
+        100.0 * trace.gc_total.trace_time.as_secs_f64()
+            / full.gc_total.total_time.as_secs_f64().max(1e-12)
+    );
+    let _ = base; // the Null run validates that forced events preserve semantics
+
+    println!(
+        "\nPaper shape check: stack tracing (locating + decoding tables, walking\n\
+         frames, un/re-deriving) is a small fraction of total collection time\n\
+         (the paper's 90%-confidence bound was < 6%, best estimate 1.7%)."
+    );
+}

@@ -1,0 +1,161 @@
+//! Gc-point placement (§5.3).
+//!
+//! Calls and allocations are gc-points. To bound the time a pre-empted
+//! thread needs to reach one, every natural loop that does not execute a
+//! *guaranteed* gc-point on each iteration gets an explicit `GcPoint`
+//! instruction at its header. A loop's gc-point is guaranteed when some
+//! block that lies on every path around the loop (it dominates the latch)
+//! contains a call gc-point or an allocation.
+
+use m3gc_ir::cfg;
+use m3gc_ir::{Function, Instr, Program};
+
+use crate::{CallPolicy, GcConfig};
+
+/// Is this instruction a gc-point under `policy`?
+/// (`allocating[f]` = may procedure `f` transitively allocate.)
+#[must_use]
+pub fn is_gc_point_instr(ins: &Instr, policy: CallPolicy, allocating: &[bool]) -> bool {
+    match ins {
+        Instr::New { .. } | Instr::GcPoint => true,
+        Instr::Call { func, .. } => match policy {
+            CallPolicy::AllCalls => true,
+            CallPolicy::AllocatingOnly => allocating[func.index()],
+        },
+        // Runtime services are statically known not to allocate (§5.3).
+        _ => false,
+    }
+}
+
+/// Inserts a `GcPoint` at the header of every loop of `f` that lacks a
+/// guaranteed gc-point. Returns how many were inserted.
+pub fn insert_loop_gc_points(f: &mut Function, policy: CallPolicy, allocating: &[bool]) -> usize {
+    let loops = cfg::natural_loops(f);
+    if loops.is_empty() {
+        return 0;
+    }
+    let idom = cfg::dominators(f);
+    let mut inserted = 0;
+    // Process smaller (inner) loops first so an inserted inner gc-point can
+    // satisfy an enclosing loop.
+    let mut order: Vec<usize> = (0..loops.len()).collect();
+    order.sort_by_key(|&i| loops[i].body.len());
+    let mut headers_done: Vec<m3gc_ir::BlockId> = Vec::new();
+    for i in order {
+        let l = &loops[i];
+        if headers_done.contains(&l.header) {
+            continue;
+        }
+        let guaranteed = l.body.iter().any(|&b| {
+            cfg::dominates(&idom, b, l.latch)
+                && f.block(b)
+                    .instrs
+                    .iter()
+                    .any(|ins| is_gc_point_instr(ins, policy, allocating))
+        });
+        if !guaranteed {
+            f.block_mut(l.header).instrs.insert(0, Instr::GcPoint);
+            inserted += 1;
+        }
+        headers_done.push(l.header);
+    }
+    inserted
+}
+
+/// Applies the configured gc-point placement to a whole program; returns
+/// the number of loop gc-points inserted.
+pub fn place_gc_points(prog: &mut Program, gc: &GcConfig) -> usize {
+    if !gc.loop_gc_points {
+        return 0;
+    }
+    let allocating = prog.compute_allocating();
+    let mut inserted = 0;
+    for f in &mut prog.funcs {
+        inserted += insert_loop_gc_points(f, gc.calls, &allocating);
+    }
+    inserted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3gc_ir::builder::FuncBuilder;
+    use m3gc_ir::{BinOp, FuncId, TempKind};
+    use m3gc_core::heap::TypeId;
+
+    /// A counting loop with no calls: needs a loop gc-point.
+    #[test]
+    fn bare_loop_gets_gc_point() {
+        let mut b = FuncBuilder::new("f", &[TempKind::Int]);
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin(BinOp::Lt, b.param(0), b.param(0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        let n = insert_loop_gc_points(&mut f, CallPolicy::AllCalls, &[]);
+        assert_eq!(n, 1);
+        assert_eq!(f.block(header).instrs[0], Instr::GcPoint);
+    }
+
+    /// A loop that allocates every iteration is already guaranteed.
+    #[test]
+    fn allocating_loop_is_guaranteed() {
+        let mut b = FuncBuilder::new("f", &[TempKind::Int]);
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin(BinOp::Lt, b.param(0), b.param(0));
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let _ = b.new_object(TypeId(0), None);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        let n = insert_loop_gc_points(&mut f, CallPolicy::AllCalls, &[]);
+        assert_eq!(n, 0);
+    }
+
+    /// A loop whose only gc-point is inside a conditional is NOT
+    /// guaranteed (the other path could spin forever).
+    #[test]
+    fn conditional_gc_point_is_not_guaranteed() {
+        let mut b = FuncBuilder::new("f", &[TempKind::Int]);
+        let header = b.block();
+        let then_b = b.block();
+        let join = b.block();
+        let exit = b.block();
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin(BinOp::Lt, b.param(0), b.param(0));
+        b.br(c, then_b, join);
+        b.switch_to(then_b);
+        let _ = b.new_object(TypeId(0), None);
+        b.jump(join);
+        b.switch_to(join);
+        let c2 = b.bin(BinOp::Lt, b.param(0), b.param(0));
+        b.br(c2, header, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        let n = insert_loop_gc_points(&mut f, CallPolicy::AllCalls, &[]);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn call_policy_distinguishes_allocating() {
+        let call = Instr::Call { dst: None, func: FuncId(0), args: vec![] };
+        assert!(is_gc_point_instr(&call, CallPolicy::AllCalls, &[false]));
+        assert!(!is_gc_point_instr(&call, CallPolicy::AllocatingOnly, &[false]));
+        assert!(is_gc_point_instr(&call, CallPolicy::AllocatingOnly, &[true]));
+    }
+}

@@ -1,0 +1,64 @@
+//! `m3c` — the Mini-M3 compiler driver.
+//!
+//! ```text
+//! m3c <check|run|ir|disasm|tables|stats> <file.m3> [options]
+//!
+//! options:
+//!   --o0 | --o2          optimization level (default --o2)
+//!   --no-gc              disable gc support (§6.2 baseline)
+//!   --split-paths        resolve ambiguous derivations by code duplication
+//!   --scheme S           table scheme: full, full-packed, delta,
+//!                        delta-previous, delta-packed, pp (default pp)
+//!   --heap N             semispace size in words (run; default 65536)
+//!   --torture            collect at every allocation (run)
+//!   --stats              print gc statistics after the output (run)
+//! ```
+
+use m3gc_compiler::driver;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: m3c <check|run|ir|disasm|tables|stats> <file.m3> \
+         [--o0|--o2] [--no-gc] [--split-paths] [--scheme S] [--heap N] [--torture] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let cmd = &args[0];
+    let path = &args[1];
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("m3c: cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (options, config) = match driver::parse_options(&args[2..]) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("m3c: {e}");
+            usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "check" => driver::check(&source),
+        "run" => driver::run(&source, &options, config),
+        "ir" => driver::ir(&source, &options),
+        "disasm" => driver::disasm(&source, &options),
+        "tables" => driver::tables(&source, &options),
+        "stats" => driver::stats(&source, &options),
+        _ => usage(),
+    };
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("m3c: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The guts of the `m3c` command-line tool: each subcommand as a testable
+//! function from (source, options) to printable output.
+
+use std::fmt::Write as _;
+
+use m3gc_core::encode::Scheme;
+use m3gc_core::stats::{size_report, table_stats};
+use m3gc_runtime::scheduler::ExecConfig;
+
+use crate::{compile, compile_to_ir, run_module_with, Options};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct DriverError(pub String);
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+fn de(e: impl std::fmt::Display) -> DriverError {
+    DriverError(e.to_string())
+}
+
+/// Run configuration for [`run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Semispace size in words.
+    pub semi_words: usize,
+    /// Force a collection at every allocation.
+    pub torture: bool,
+    /// Print collection statistics after the program output.
+    pub stats: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { semi_words: 1 << 16, torture: false, stats: false }
+    }
+}
+
+/// `m3c check`: parse and type-check only.
+///
+/// # Errors
+///
+/// Returns the first diagnostic.
+pub fn check(source: &str) -> Result<String, DriverError> {
+    let tokens = m3gc_frontend::lexer::lex(source).map_err(de)?;
+    let module = m3gc_frontend::parser::parse(tokens).map_err(de)?;
+    let checked = m3gc_frontend::typecheck::check(&module).map_err(de)?;
+    Ok(format!(
+        "module `{}`: {} procedure(s), {} global(s) — ok\n",
+        module.name,
+        module.procs.len(),
+        checked.globals.len()
+    ))
+}
+
+/// `m3c run`: compile and execute, returning program output (and
+/// optionally gc statistics).
+///
+/// # Errors
+///
+/// Returns compile diagnostics or execution errors.
+pub fn run(source: &str, options: &Options, config: RunConfig) -> Result<String, DriverError> {
+    let module = compile(source, options).map_err(de)?;
+    let exec = ExecConfig {
+        force_every_allocs: config.torture.then_some(1),
+        ..ExecConfig::default()
+    };
+    let out = run_module_with(module, config.semi_words, exec).map_err(de)?;
+    let mut s = out.output.clone();
+    if config.stats {
+        let _ = writeln!(
+            s,
+            "--- {} collection(s), {} object(s) moved, {} frame(s) traced, {} step(s)",
+            out.collections, out.gc_total.objects_copied, out.gc_total.frames_traced, out.steps
+        );
+    }
+    Ok(s)
+}
+
+/// `m3c ir`: dump the (optimized) IR.
+///
+/// # Errors
+///
+/// Returns compile diagnostics.
+pub fn ir(source: &str, options: &Options) -> Result<String, DriverError> {
+    let prog = compile_to_ir(source, options).map_err(de)?;
+    Ok(m3gc_ir::pretty::program_to_string(&prog))
+}
+
+/// `m3c disasm`: dump the generated machine code with gc-points marked.
+///
+/// # Errors
+///
+/// Returns compile diagnostics.
+pub fn disasm(source: &str, options: &Options) -> Result<String, DriverError> {
+    let module = compile(source, options).map_err(de)?;
+    Ok(m3gc_vm::disasm::disassemble(&module))
+}
+
+/// `m3c tables`: dump the gc-map tables in logical form.
+///
+/// # Errors
+///
+/// Returns compile diagnostics.
+pub fn tables(source: &str, options: &Options) -> Result<String, DriverError> {
+    let module = compile(source, options).map_err(de)?;
+    let mut s = String::new();
+    for proc in &module.logical_maps.procs {
+        let _ = writeln!(s, "procedure `{}` (entry pc {}):", proc.name, proc.entry_pc);
+        let _ = writeln!(s, "  ground table: {:?}", proc.ground.iter().map(ToString::to_string).collect::<Vec<_>>());
+        for pt in &proc.points {
+            let slots: Vec<String> = pt
+                .live_stack
+                .iter()
+                .map(|&i| proc.ground[i as usize].to_string())
+                .collect();
+            let _ = writeln!(s, "  gc-point pc {:>5}: stack {:?} regs {}", pt.pc, slots, pt.regs);
+            for d in &pt.derivations {
+                let _ = writeln!(s, "     derivation {d}");
+            }
+        }
+    }
+    Ok(s)
+}
+
+/// `m3c stats`: code size, Table-1 statistics and Table-2 percentages.
+///
+/// # Errors
+///
+/// Returns compile diagnostics.
+pub fn stats(source: &str, options: &Options) -> Result<String, DriverError> {
+    let module = compile(source, options).map_err(de)?;
+    let st = table_stats(&module.logical_maps);
+    let mut s = String::new();
+    let _ = writeln!(s, "code size:        {} bytes", module.code_size());
+    let _ = writeln!(s, "gc-points:        {} ({} non-empty)", st.total_gc_points, st.ngc);
+    let _ = writeln!(
+        s,
+        "tables:           NPTRS {} NDEL {} NREG {} NDER {}",
+        st.nptrs, st.ndel, st.nreg, st.nder
+    );
+    for scheme in Scheme::TABLE2 {
+        let r = size_report(&module.logical_maps, scheme, module.code_size());
+        let _ = writeln!(s, "  {:<32} {:>6} B  {:>5.1}%", scheme.to_string(), r.total_bytes, r.percent_of_code);
+    }
+    Ok(s)
+}
+
+/// Parses CLI-style option flags shared by the subcommands.
+///
+/// # Errors
+///
+/// Returns a usage error for unknown flags or malformed values.
+pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverError> {
+    let mut options = Options::o2();
+    let mut config = RunConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--o0" => options = Options::o0().with_scheme(options.codegen.scheme),
+            "--o2" => {}
+            "--no-gc" => options.codegen.gc.emit_tables = false,
+            "--split-paths" => {
+                options = options.with_path_strategy(m3gc_opt::PathStrategy::Splitting);
+            }
+            "--torture" => config.torture = true,
+            "--stats" => config.stats = true,
+            "--heap" => {
+                let v = it.next().ok_or_else(|| DriverError("--heap needs a value".into()))?;
+                config.semi_words =
+                    v.parse().map_err(|_| DriverError(format!("bad --heap value `{v}`")))?;
+            }
+            "--scheme" => {
+                let v = it.next().ok_or_else(|| DriverError("--scheme needs a value".into()))?;
+                let scheme = match v.as_str() {
+                    "full" => Scheme::FULL_PLAIN,
+                    "full-packed" => Scheme::FULL_PACKED,
+                    "delta" => Scheme::DELTA_PLAIN,
+                    "delta-previous" => Scheme::DELTA_PREVIOUS,
+                    "delta-packed" => Scheme::DELTA_PACKED,
+                    "pp" => Scheme::DELTA_MAIN_PP,
+                    other => return Err(DriverError(format!("unknown scheme `{other}`"))),
+                };
+                options = options.with_scheme(scheme);
+            }
+            other => return Err(DriverError(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok((options, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HELLO: &str = "MODULE H; VAR x: INTEGER; BEGIN x := 41 + 1; PutInt(x); END H.";
+    const ALLOCATING: &str = "MODULE A;
+        TYPE R = REF RECORD v: INTEGER END;
+        VAR r: R; i, s: INTEGER;
+        BEGIN
+          s := 0;
+          FOR i := 1 TO 50 DO r := NEW(R); r.v := i; s := s + r.v; END;
+          PutInt(s);
+        END A.";
+
+    #[test]
+    fn check_reports_module_shape() {
+        let out = check(HELLO).unwrap();
+        assert!(out.contains("module `H`"));
+        assert!(out.contains("ok"));
+    }
+
+    #[test]
+    fn check_surfaces_diagnostics() {
+        let e = check("MODULE X; VAR b: BOOLEAN; BEGIN b := 3; END X.").unwrap_err();
+        assert!(e.to_string().contains("cannot assign"), "{e}");
+    }
+
+    #[test]
+    fn run_executes() {
+        let (o, c) = parse_options(&[]).unwrap();
+        assert_eq!(run(HELLO, &o, c).unwrap(), "42");
+    }
+
+    #[test]
+    fn run_with_stats_and_torture() {
+        let (o, mut c) = parse_options(&["--torture".into(), "--stats".into()]).unwrap();
+        c.semi_words = 4096;
+        let out = run(ALLOCATING, &o, c).unwrap();
+        assert!(out.starts_with("1275"), "{out}");
+        assert!(out.contains("collection(s)"), "{out}");
+    }
+
+    #[test]
+    fn ir_and_disasm_render() {
+        let (o, _) = parse_options(&[]).unwrap();
+        let ir_text = ir(HELLO, &o).unwrap();
+        assert!(ir_text.contains("func main"));
+        let asm = disasm(HELLO, &o).unwrap();
+        assert!(asm.contains("sys"), "{asm}");
+    }
+
+    #[test]
+    fn tables_show_gc_points() {
+        let (o, _) = parse_options(&[]).unwrap();
+        let t = tables(ALLOCATING, &o).unwrap();
+        assert!(t.contains("gc-point pc"), "{t}");
+        assert!(t.contains("ground table"), "{t}");
+    }
+
+    #[test]
+    fn stats_include_all_schemes() {
+        let (o, _) = parse_options(&[]).unwrap();
+        let s = stats(ALLOCATING, &o).unwrap();
+        assert!(s.contains("delta-main+previous+packing"), "{s}");
+        assert!(s.contains("full-info"), "{s}");
+    }
+
+    #[test]
+    fn option_parsing() {
+        let (o, c) =
+            parse_options(&["--o0".into(), "--heap".into(), "123".into(), "--scheme".into(), "pp".into()])
+                .unwrap();
+        assert_eq!(c.semi_words, 123);
+        assert_eq!(o.codegen.scheme, Scheme::DELTA_MAIN_PP);
+        assert!(parse_options(&["--bogus".into()]).is_err());
+        assert!(parse_options(&["--scheme".into(), "nope".into()]).is_err());
+        assert!(parse_options(&["--heap".into()]).is_err());
+    }
+}

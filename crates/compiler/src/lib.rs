@@ -1,0 +1,204 @@
+//! The end-to-end m3gc compiler: Mini-M3 source → checked AST → IR →
+//! optimizer → VM code with gc maps — plus convenience runners.
+//!
+//! # Example
+//!
+//! ```
+//! use m3gc_compiler::{compile, run_module, Options};
+//!
+//! let module = compile(
+//!     "MODULE Demo;
+//!      TYPE List = REF RECORD head: INTEGER; tail: List END;
+//!      VAR l: List; i, s: INTEGER;
+//!      BEGIN
+//!        l := NIL;
+//!        FOR i := 1 TO 10 DO
+//!          WITH c = NEW(List) DO c.head := i; c.tail := l; l := c; END;
+//!        END;
+//!        s := 0;
+//!        WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+//!        PutInt(s);
+//!      END Demo.",
+//!     &Options::o2(),
+//! )
+//! .expect("compiles");
+//! let outcome = run_module(module, 1 << 16).expect("runs");
+//! assert_eq!(outcome.output, "55");
+//! ```
+
+use m3gc_codegen::CodegenOptions;
+use m3gc_core::encode::Scheme;
+use m3gc_frontend::lower::LowerOptions;
+use m3gc_frontend::Diagnostic;
+use m3gc_opt::{OptLevel, OptOptions, PathStrategy};
+use m3gc_runtime::scheduler::{ExecConfig, ExecError, ExecOutcome, Executor};
+use m3gc_vm::machine::{Machine, MachineConfig};
+use m3gc_vm::VmModule;
+
+pub use m3gc_codegen::{CallPolicy, GcConfig};
+
+/// Complete compiler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Lowering options (bounds checks).
+    pub lower: LowerOptions,
+    /// Optimizer options.
+    pub opt: OptOptions,
+    /// Code generation / gc-map options.
+    pub codegen: CodegenOptions,
+}
+
+impl Options {
+    /// Unoptimized compilation with full gc support (the paper's
+    /// `typereg` etc. rows without `-opt`).
+    #[must_use]
+    pub fn o0() -> Options {
+        Options {
+            lower: LowerOptions::default(),
+            opt: OptOptions { level: OptLevel::O0, path_strategy: PathStrategy::Variables },
+            codegen: CodegenOptions::default(),
+        }
+    }
+
+    /// Optimized compilation with full gc support (the `-opt` rows).
+    #[must_use]
+    pub fn o2() -> Options {
+        Options {
+            lower: LowerOptions::default(),
+            opt: OptOptions { level: OptLevel::O2, path_strategy: PathStrategy::Variables },
+            codegen: CodegenOptions::default(),
+        }
+    }
+
+    /// Same as [`Options::o2`] but with gc support disabled — the §6.2
+    /// baseline for code-difference measurements.
+    #[must_use]
+    pub fn o2_no_gc() -> Options {
+        let mut o = Options::o2();
+        o.codegen.gc.emit_tables = false;
+        o
+    }
+
+    /// Same as [`Options::o0`] but with gc support disabled.
+    #[must_use]
+    pub fn o0_no_gc() -> Options {
+        let mut o = Options::o0();
+        o.codegen.gc.emit_tables = false;
+        o
+    }
+
+    /// Selects the table encoding scheme.
+    #[must_use]
+    pub fn with_scheme(mut self, scheme: Scheme) -> Options {
+        self.codegen.scheme = scheme;
+        self
+    }
+
+    /// Selects the ambiguity resolution strategy (§4 / Figure 2).
+    #[must_use]
+    pub fn with_path_strategy(mut self, s: PathStrategy) -> Options {
+        self.opt.path_strategy = s;
+        self
+    }
+
+    /// Selects the gc configuration.
+    #[must_use]
+    pub fn with_gc(mut self, gc: GcConfig) -> Options {
+        self.codegen.gc = gc;
+        self
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options::o2()
+    }
+}
+
+/// Compiles source text to optimized IR (before code generation).
+///
+/// # Errors
+///
+/// Returns the first front-end [`Diagnostic`].
+pub fn compile_to_ir(source: &str, options: &Options) -> Result<m3gc_ir::Program, Diagnostic> {
+    let tokens = m3gc_frontend::lexer::lex(source)?;
+    let module = m3gc_frontend::parser::parse(tokens)?;
+    let checked = m3gc_frontend::typecheck::check(&module)?;
+    let mut prog = m3gc_frontend::lower::lower_with(&module, &checked, options.lower);
+    m3gc_ir::verify::verify_program(&prog)
+        .unwrap_or_else(|e| panic!("lowering produced invalid IR: {e}"));
+    m3gc_opt::optimize_program(&mut prog, &options.opt);
+    m3gc_ir::verify::verify_program(&prog)
+        .unwrap_or_else(|e| panic!("optimizer produced invalid IR: {e}"));
+    Ok(prog)
+}
+
+/// Compiles source text to a VM module with gc maps.
+///
+/// # Errors
+///
+/// Returns the first front-end [`Diagnostic`].
+pub fn compile(source: &str, options: &Options) -> Result<VmModule, Diagnostic> {
+    let mut prog = compile_to_ir(source, options)?;
+    Ok(m3gc_codegen::compile_program(&mut prog, &options.codegen))
+}
+
+/// Runs a compiled module to completion with the given semispace size
+/// (words), returning its outcome.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] (traps, heap exhaustion, fuel).
+pub fn run_module(module: VmModule, semi_words: usize) -> Result<ExecOutcome, ExecError> {
+    run_module_with(module, semi_words, ExecConfig::default())
+}
+
+/// Runs a compiled module with an explicit executor configuration.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`].
+pub fn run_module_with(
+    module: VmModule,
+    semi_words: usize,
+    config: ExecConfig,
+) -> Result<ExecOutcome, ExecError> {
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words, stack_words: 1 << 15, max_threads: 8 },
+    );
+    let mut ex = Executor::new(machine, config);
+    ex.run_main()
+}
+
+/// Compiles and runs in one step (convenience for tests and examples).
+///
+/// # Errors
+///
+/// Returns the diagnostic as a string, or the execution error.
+pub fn compile_and_run(
+    source: &str,
+    options: &Options,
+    semi_words: usize,
+) -> Result<ExecOutcome, String> {
+    let module = compile(source, options).map_err(|d| d.to_string())?;
+    run_module(module, semi_words).map_err(|e| e.to_string())
+}
+
+/// Reference semantics: run the *unoptimized IR* under the interpreter
+/// that never collects. Differential tests compare everything against
+/// this.
+///
+/// # Errors
+///
+/// Returns the diagnostic or trap as a string.
+pub fn reference_output(source: &str) -> Result<String, String> {
+    let prog = m3gc_frontend::compile_to_ir(source).map_err(|d| d.to_string())?;
+    let out = m3gc_ir::interp::run_program(&prog).map_err(|t| t.to_string())?;
+    Ok(out.output)
+}
+
+pub mod driver;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,254 @@
+//! Differential tests across the full pipeline: for each program, the
+//! output must be identical for (a) the reference interpreter (no GC),
+//! (b) the unoptimized VM build under a tiny heap, (c) the optimized VM
+//! build under a tiny heap, (d) the optimized build with path splitting,
+//! and (e) the optimized build under gc-torture (a collection at every
+//! allocation).
+
+use crate::{compile, compile_and_run, reference_output, run_module_with, Options};
+use m3gc_opt::PathStrategy;
+use m3gc_runtime::scheduler::ExecConfig;
+
+fn check_all_configs(src: &str, semi_words: usize) {
+    let expected = reference_output(src).unwrap_or_else(|e| panic!("reference: {e}"));
+    for (name, opts) in [
+        ("O0", Options::o0()),
+        ("O2", Options::o2()),
+        ("O2+split", Options::o2().with_path_strategy(PathStrategy::Splitting)),
+    ] {
+        let got = compile_and_run(src, &opts, semi_words)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(got.output, expected, "{name} output mismatch");
+    }
+    // GC torture on the optimized build.
+    let module = compile(src, &Options::o2()).unwrap();
+    let out = run_module_with(
+        module,
+        semi_words.max(1 << 14),
+        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
+    )
+    .unwrap_or_else(|e| panic!("torture: {e}"));
+    assert_eq!(out.output, expected, "torture output mismatch");
+}
+
+#[test]
+fn sum_loop() {
+    check_all_configs(
+        "MODULE M; VAR i, s: INTEGER;
+         BEGIN s := 0; FOR i := 1 TO 100 DO s := s + i; END; PutInt(s); END M.",
+        1 << 12,
+    );
+}
+
+#[test]
+fn list_building_and_walking() {
+    check_all_configs(
+        "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         PROCEDURE Cons(h: INTEGER; t: List): List =
+         VAR c: List;
+         BEGIN c := NEW(List); c.head := h; c.tail := t; RETURN c; END Cons;
+         VAR l: List; i, s: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO 40 DO l := Cons(i, l); END;
+           s := 0;
+           WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+           PutInt(s);
+         END M.",
+        512,
+    );
+}
+
+#[test]
+fn array_sums_with_lower_bounds() {
+    // Exercises virtual array origin + strength reduction at O2.
+    check_all_configs(
+        "MODULE M;
+         TYPE A = REF ARRAY [7..13] OF INTEGER;
+         VAR a: A; i, s: INTEGER;
+         BEGIN
+           a := NEW(A);
+           FOR i := 7 TO 13 DO a[i] := i * i; END;
+           s := 0;
+           FOR i := FIRST(a) TO LAST(a) DO s := s + a[i]; END;
+           PutInt(s);
+         END M.",
+        1 << 12,
+    );
+}
+
+#[test]
+fn nested_procedures_and_var_params() {
+    check_all_configs(
+        "MODULE M;
+         TYPE R = REF RECORD v: INTEGER END;
+         PROCEDURE AddInto(VAR acc: INTEGER; x: INTEGER) =
+         BEGIN acc := acc + x; END AddInto;
+         PROCEDURE Relay(VAR acc: INTEGER; x: INTEGER) =
+         BEGIN AddInto(acc, x); END Relay;
+         VAR r: R; i: INTEGER;
+         BEGIN
+           r := NEW(R); r.v := 0;
+           FOR i := 1 TO 25 DO
+             Relay(r.v, i);
+             WITH junk = NEW(R) DO junk.v := i; END;
+           END;
+           PutInt(r.v);
+         END M.",
+        256,
+    );
+}
+
+#[test]
+fn string_scanning() {
+    check_all_configs(
+        "MODULE M;
+         TYPE S = REF ARRAY OF CHAR;
+         PROCEDURE CountSpaces(s: S): INTEGER =
+         VAR i, n: INTEGER;
+         BEGIN
+           n := 0;
+           FOR i := 0 TO LAST(s) DO
+             IF s[i] = ' ' THEN INC(n); END;
+           END;
+           RETURN n;
+         END CountSpaces;
+         BEGIN
+           PutInt(CountSpaces(\"a b c d\"));
+         END M.",
+        1 << 12,
+    );
+}
+
+#[test]
+fn recursion_with_allocation() {
+    check_all_configs(
+        "MODULE M;
+         TYPE T = REF RECORD left, right: T; v: INTEGER END;
+         PROCEDURE Build(d: INTEGER): T =
+         VAR t: T;
+         BEGIN
+           IF d = 0 THEN RETURN NIL; END;
+           t := NEW(T);
+           t.v := d;
+           t.left := Build(d - 1);
+           t.right := Build(d - 1);
+           RETURN t;
+         END Build;
+         PROCEDURE Sum(t: T): INTEGER =
+         BEGIN
+           IF t = NIL THEN RETURN 0; END;
+           RETURN t.v + Sum(t.left) + Sum(t.right);
+         END Sum;
+         BEGIN
+           PutInt(Sum(Build(6)));
+         END M.",
+        2048,
+    );
+}
+
+#[test]
+fn repeat_and_exit_and_elsif() {
+    check_all_configs(
+        "MODULE M;
+         VAR i, s: INTEGER;
+         BEGIN
+           i := 0; s := 0;
+           LOOP
+             INC(i);
+             IF i MOD 3 = 0 THEN s := s + 1;
+             ELSIF i MOD 3 = 1 THEN s := s + 10;
+             ELSE s := s + 100;
+             END;
+             IF i = 12 THEN EXIT; END;
+           END;
+           REPEAT DEC(i); UNTIL i = 0;
+           PutInt(s); PutInt(i);
+         END M.",
+        1 << 12,
+    );
+}
+
+#[test]
+fn optimizer_reduces_instruction_count() {
+    let src = "MODULE M;
+         TYPE A = REF ARRAY [1..50] OF INTEGER;
+         VAR a: A; i, s: INTEGER;
+         BEGIN
+           a := NEW(A);
+           FOR i := 1 TO 50 DO a[i] := i; END;
+           s := 0;
+           FOR i := 1 TO 50 DO s := s + a[i]; END;
+           PutInt(s);
+         END M.";
+    let ir0 = crate::compile_to_ir(src, &Options::o0()).unwrap();
+    let ir2 = crate::compile_to_ir(src, &Options::o2()).unwrap();
+    let count = |p: &m3gc_ir::Program| -> usize { p.funcs.iter().map(|f| f.instr_count()).sum() };
+    assert!(
+        count(&ir2) < count(&ir0),
+        "O2 ({}) should be smaller than O0 ({})",
+        count(&ir2),
+        count(&ir0)
+    );
+    // And faster on the interpreter.
+    let steps0 = m3gc_ir::interp::run_program(&ir0).unwrap().steps;
+    let steps2 = m3gc_ir::interp::run_program(&ir2).unwrap().steps;
+    assert!(steps2 < steps0, "O2 ({steps2} steps) vs O0 ({steps0} steps)");
+}
+
+#[test]
+fn optimized_build_executes_fewer_vm_steps() {
+    let src = "MODULE M;
+         TYPE A = REF ARRAY [1..20] OF INTEGER;
+         VAR a: A; i, s: INTEGER;
+         BEGIN
+           a := NEW(A);
+           FOR i := 1 TO 20 DO a[i] := i * 2; END;
+           s := 0;
+           FOR i := 1 TO 20 DO s := s + a[i]; END;
+           PutInt(s);
+         END M.";
+    let s0 = crate::run_module(compile(src, &Options::o0()).unwrap(), 1 << 12).unwrap().steps;
+    let s2 = crate::run_module(compile(src, &Options::o2()).unwrap(), 1 << 12).unwrap().steps;
+    assert!(s2 < s0, "O2 executed {s2} steps, O0 {s0}");
+}
+
+#[test]
+fn gc_disabled_build_has_no_tables() {
+    let src = "MODULE M; TYPE R = REF RECORD x: INTEGER END; VAR r: R;
+               BEGIN r := NEW(R); r.x := 1; PutInt(r.x); END M.";
+    let m = compile(src, &Options::o2_no_gc()).unwrap();
+    assert!(m.logical_maps.procs.is_empty());
+    // The gc-supporting build has tables and the same code size (§6.2: no
+    // effect on optimized code is the expected result on a load/store
+    // machine).
+    let mg = compile(src, &Options::o2()).unwrap();
+    assert!(!mg.logical_maps.procs.is_empty());
+}
+
+#[test]
+fn scheme_choice_does_not_change_semantics() {
+    use m3gc_core::encode::Scheme;
+    let src = "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         VAR l: List; i, s: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO 30 DO
+             WITH junk = NEW(List) DO junk.head := i; END;
+             WITH c = NEW(List) DO c.head := i; c.tail := l; l := c; END;
+             IF i MOD 10 = 0 THEN l := NIL; END;
+           END;
+           s := 0;
+           WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+           PutInt(s);
+         END M.";
+    let expected = reference_output(src).unwrap();
+    for scheme in Scheme::TABLE2 {
+        let out = compile_and_run(src, &Options::o2().with_scheme(scheme), 96)
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        assert_eq!(out.output, expected, "{scheme}");
+        assert!(out.collections > 0, "{scheme} should collect");
+    }
+}

@@ -1,0 +1,547 @@
+//! Decoding of encoded gc-map tables at collection time.
+//!
+//! At garbage collection time the first task is to locate the tables for
+//! each frame on the stack: return addresses extracted from frames are
+//! looked up in the pc map, then the gc-point's tables are decoded. Because
+//! the *Previous* compression makes a gc-point's tables depend on the
+//! preceding gc-point's, decoding is sequential within a procedure; the
+//! decoder walks from the procedure's first gc-point to the requested one.
+//! This is the decoding overhead §6.3 measures — compactly encoded tables
+//! are cheap to store but cost more to read.
+
+use crate::derive::{DerivationRecord, Sign};
+use crate::encode::{descriptor, EncodedTables, Scheme, TableLayout};
+use crate::layout::{GroundEntry, Location, RegSet};
+use crate::pack;
+
+/// The fully resolved tables for one gc-point, as the collector consumes
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecodedPoint {
+    /// Code address of the gc-point.
+    pub pc: u32,
+    /// Frame slots containing live tidy pointers.
+    pub stack_slots: Vec<GroundEntry>,
+    /// Registers containing live tidy pointers.
+    pub regs: RegSet,
+    /// Derivations of live derived values, derived-before-base order.
+    pub derivations: Vec<DerivationRecord>,
+}
+
+/// Error produced when the encoded stream is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Human-readable description.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gc-table decode error at byte {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    packing: bool,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, what: &'static str) -> DecodeError {
+        DecodeError { offset: self.pos, what }
+    }
+
+    fn word(&mut self) -> Result<i32, DecodeError> {
+        if self.packing {
+            let (v, n) = pack::unpack_word(self.bytes, self.pos)
+                .map_err(|_| self.err("truncated packed word"))?;
+            self.pos += n;
+            Ok(v)
+        } else {
+            let end = self.pos + 4;
+            let slice = self.bytes.get(self.pos..end).ok_or_else(|| self.err("truncated word"))?;
+            self.pos = end;
+            Ok(i32::from_le_bytes(slice.try_into().expect("4-byte slice")))
+        }
+    }
+
+    fn uword(&mut self) -> Result<u32, DecodeError> {
+        if self.packing {
+            let (v, n) = pack::unpack_uword(self.bytes, self.pos)
+                .map_err(|_| self.err("truncated packed uword"))?;
+            self.pos += n;
+            Ok(v)
+        } else {
+            self.word().map(|w| w as u32)
+        }
+    }
+
+    fn descriptor(&mut self) -> Result<u8, DecodeError> {
+        if self.packing {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| self.err("truncated descriptor"))?;
+            self.pos += 1;
+            Ok(b)
+        } else {
+            self.uword().map(|w| w as u8)
+        }
+    }
+
+    fn pc_distance(&mut self) -> Result<u32, DecodeError> {
+        let end = self.pos + 2;
+        let slice =
+            self.bytes.get(self.pos..end).ok_or_else(|| self.err("truncated pc distance"))?;
+        self.pos = end;
+        Ok(u32::from(u16::from_le_bytes(slice.try_into().expect("2-byte slice"))))
+    }
+
+    fn location(&mut self) -> Result<Location, DecodeError> {
+        let w = self.word()?;
+        Location::from_word(w).ok_or_else(|| self.err("bad location word"))
+    }
+
+    fn signed_location(&mut self) -> Result<(Location, Sign), DecodeError> {
+        let w = self.word()?;
+        let sign = if w & 1 == 0 { Sign::Plus } else { Sign::Minus };
+        let loc = Location::from_word(w >> 1).ok_or_else(|| self.err("bad base location"))?;
+        Ok((loc, sign))
+    }
+}
+
+fn read_derivations(r: &mut Reader<'_>) -> Result<Vec<DerivationRecord>, DecodeError> {
+    let n = r.uword()? as usize;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        let target = r.location()?;
+        let ctl = r.word()?;
+        if ctl >= 0 {
+            let mut bases = Vec::with_capacity(ctl as usize);
+            for _ in 0..ctl {
+                bases.push(r.signed_location()?);
+            }
+            records.push(DerivationRecord::Simple { target, bases });
+        } else {
+            let n_variants = (-ctl) as usize;
+            let path_var = r.location()?;
+            let mut variants = Vec::with_capacity(n_variants);
+            for _ in 0..n_variants {
+                let k = r.uword()? as usize;
+                let mut bases = Vec::with_capacity(k);
+                for _ in 0..k {
+                    bases.push(r.signed_location()?);
+                }
+                variants.push(bases);
+            }
+            records.push(DerivationRecord::Ambiguous { target, path_var, variants });
+        }
+    }
+    Ok(records)
+}
+
+/// Index entry for one procedure's region of the encoded stream.
+#[derive(Debug, Clone)]
+struct ProcIndex {
+    entry_pc: u32,
+    n_points: usize,
+    n_ground: usize,
+    /// Offset of the ground table words (δ-main) — unused for full-info.
+    ground_off: usize,
+    /// Offset of the first gc-point's data (after the pc map).
+    points_off: usize,
+    /// Decoded gc-point pcs (from the pc map), ascending.
+    pcs: Vec<u32>,
+}
+
+/// The owned, reusable part of a decoder: procedure boundaries and the
+/// decoded pc map. The paper's pc→tables map is static emitted data; a
+/// production runtime builds this index once at module load and keeps it
+/// for every collection.
+#[derive(Debug, Clone)]
+pub struct DecoderIndex {
+    scheme: Scheme,
+    procs: Vec<ProcIndex>,
+    /// (pc, proc index, point index), sorted by pc.
+    point_index: Vec<(u32, u32, u32)>,
+}
+
+/// A decoder over an encoded table stream: an index plus the bytes.
+///
+/// Construction makes a single indexing pass (finding procedure boundaries
+/// and decoding the pc maps); [`TableDecoder::lookup`] then decodes the
+/// requested gc-point's tables from the bytes, walking the owning
+/// procedure's gc-points from the start as the *Previous* compression
+/// requires.
+pub struct TableDecoder<'a> {
+    index: DecoderIndex,
+    bytes: &'a [u8],
+}
+
+impl DecoderIndex {
+    /// Builds the index with a single pass over the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the stream is truncated or contains
+    /// invalid words.
+    pub fn build(encoded: &EncodedTables) -> Result<DecoderIndex, DecodeError> {
+        let scheme = encoded.scheme;
+        let mut r = Reader { packing: scheme.packing, bytes: &encoded.bytes, pos: 0 };
+        let n_procs = r.uword()? as usize;
+        let mut procs = Vec::with_capacity(n_procs);
+        let mut point_index = Vec::new();
+        for proc_i in 0..n_procs {
+            let entry_pc = r.uword()?;
+            let n_points = r.uword()? as usize;
+            let mut n_ground = 0;
+            let mut ground_off = r.pos;
+            if scheme.layout == TableLayout::DeltaMain {
+                n_ground = r.uword()? as usize;
+                ground_off = r.pos;
+                for _ in 0..n_ground {
+                    r.word()?;
+                }
+            }
+            let mut pcs = Vec::with_capacity(n_points);
+            let mut pc = entry_pc;
+            for _ in 0..n_points {
+                pc += r.pc_distance()?;
+                pcs.push(pc);
+            }
+            let points_off = r.pos;
+            for (pt_i, &pc) in pcs.iter().enumerate() {
+                point_index.push((pc, proc_i as u32, pt_i as u32));
+            }
+            procs.push(ProcIndex { entry_pc, n_points, n_ground, ground_off, points_off, pcs });
+            // Skip over the per-point data to find the next procedure.
+            let mut prev = DecodedPoint::default();
+            let idx = procs.last().expect("just pushed");
+            let ground = Self::read_ground(scheme, &encoded.bytes, idx)?;
+            for _ in 0..n_points {
+                prev = Self::read_point(scheme, &mut r, &ground, &prev)?;
+            }
+        }
+        point_index.sort_unstable();
+        Ok(DecoderIndex { scheme, procs, point_index })
+    }
+
+    /// Number of procedures in the stream.
+    #[must_use]
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// All gc-point pcs, ascending.
+    pub fn gc_point_pcs(&self) -> impl Iterator<Item = u32> + '_ {
+        self.point_index.iter().map(|&(pc, _, _)| pc)
+    }
+
+    /// Entry pc of the procedure containing gc-point `pc`, if any.
+    #[must_use]
+    pub fn proc_entry_of(&self, pc: u32) -> Option<u32> {
+        let i = self.point_index.binary_search_by_key(&pc, |&(p, _, _)| p).ok()?;
+        let (_, proc_i, _) = self.point_index[i];
+        Some(self.procs[proc_i as usize].entry_pc)
+    }
+
+    /// Decodes the tables for the gc-point at exactly `pc` from `bytes`
+    /// (which must be the same stream the index was built from).
+    #[must_use]
+    pub fn lookup(&self, bytes: &[u8], pc: u32) -> Option<DecodedPoint> {
+        let i = self.point_index.binary_search_by_key(&pc, |&(p, _, _)| p).ok()?;
+        let (_, proc_i, pt_i) = self.point_index[i];
+        let idx = &self.procs[proc_i as usize];
+        let ground =
+            Self::read_ground(self.scheme, bytes, idx).expect("validated at construction");
+        let mut r = Reader { packing: self.scheme.packing, bytes, pos: idx.points_off };
+        let mut point = DecodedPoint::default();
+        for k in 0..=pt_i {
+            point = Self::read_point(self.scheme, &mut r, &ground, &point)
+                .expect("validated at construction");
+            point.pc = idx.pcs[k as usize];
+        }
+        debug_assert_eq!(point.pc, pc);
+        Some(point)
+    }
+
+    fn read_ground(
+        scheme: Scheme,
+        bytes: &[u8],
+        idx: &ProcIndex,
+    ) -> Result<Vec<GroundEntry>, DecodeError> {
+        if scheme.layout != TableLayout::DeltaMain {
+            return Ok(Vec::new());
+        }
+        let mut r = Reader { packing: scheme.packing, bytes, pos: idx.ground_off };
+        let mut ground = Vec::with_capacity(idx.n_ground);
+        for _ in 0..idx.n_ground {
+            let w = r.word()?;
+            ground.push(GroundEntry::from_word(w).ok_or_else(|| r.err("bad ground entry"))?);
+        }
+        Ok(ground)
+    }
+
+    /// Decodes one gc-point's tables at the reader's position, given the
+    /// previous point's decoded tables (for the *Previous* compression).
+    fn read_point(
+        scheme: Scheme,
+        r: &mut Reader<'_>,
+        ground: &[GroundEntry],
+        prev: &DecodedPoint,
+    ) -> Result<DecodedPoint, DecodeError> {
+        let desc = r.descriptor()?;
+        let stack_slots = if desc & descriptor::STACK_EMPTY != 0 {
+            Vec::new()
+        } else if desc & descriptor::STACK_SAME != 0 {
+            prev.stack_slots.clone()
+        } else {
+            match scheme.layout {
+                TableLayout::DeltaMain => {
+                    let n_words = ground.len().div_ceil(32);
+                    let mut slots = Vec::new();
+                    for w in 0..n_words {
+                        let bits = r.uword()?;
+                        for b in 0..32 {
+                            if bits & (1 << b) != 0 {
+                                let gi = w * 32 + b;
+                                let entry =
+                                    ground.get(gi).ok_or_else(|| r.err("delta bit out of range"))?;
+                                slots.push(*entry);
+                            }
+                        }
+                    }
+                    slots
+                }
+                TableLayout::FullInfo => {
+                    let n = r.uword()? as usize;
+                    let mut slots = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let w = r.word()?;
+                        slots.push(GroundEntry::from_word(w).ok_or_else(|| r.err("bad slot word"))?);
+                    }
+                    slots
+                }
+            }
+        };
+        let regs = if desc & descriptor::REGS_EMPTY != 0 {
+            RegSet::EMPTY
+        } else if desc & descriptor::REGS_SAME != 0 {
+            prev.regs
+        } else {
+            RegSet(r.uword()?)
+        };
+        let derivations = if desc & descriptor::DER_EMPTY != 0 {
+            Vec::new()
+        } else if desc & descriptor::DER_SAME != 0 {
+            prev.derivations.clone()
+        } else {
+            read_derivations(r)?
+        };
+        Ok(DecodedPoint { pc: 0, stack_slots, regs, derivations })
+    }
+
+}
+
+impl<'a> TableDecoder<'a> {
+    /// Indexes an encoded table stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is malformed (it was produced by
+    /// [`crate::encode::encode_module`], so malformation is a bug).
+    #[must_use]
+    pub fn new(encoded: &'a EncodedTables) -> TableDecoder<'a> {
+        Self::try_new(encoded).expect("malformed encoded gc tables")
+    }
+
+    /// Fallible variant of [`TableDecoder::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the stream is truncated or contains
+    /// invalid words.
+    pub fn try_new(encoded: &'a EncodedTables) -> Result<TableDecoder<'a>, DecodeError> {
+        Ok(TableDecoder { index: DecoderIndex::build(encoded)?, bytes: &encoded.bytes })
+    }
+
+    /// Wraps a prebuilt index around the stream it was built from.
+    #[must_use]
+    pub fn with_index(index: DecoderIndex, encoded: &'a EncodedTables) -> TableDecoder<'a> {
+        TableDecoder { index, bytes: &encoded.bytes }
+    }
+
+    /// Number of procedures in the stream.
+    #[must_use]
+    pub fn num_procs(&self) -> usize {
+        self.index.num_procs()
+    }
+
+    /// All gc-point pcs, ascending.
+    pub fn gc_point_pcs(&self) -> impl Iterator<Item = u32> + '_ {
+        self.index.gc_point_pcs()
+    }
+
+    /// Entry pc of the procedure containing gc-point `pc`, if any.
+    #[must_use]
+    pub fn proc_entry_of(&self, pc: u32) -> Option<u32> {
+        self.index.proc_entry_of(pc)
+    }
+
+    /// Decodes the tables for the gc-point at exactly `pc`.
+    ///
+    /// Returns `None` if `pc` is not a gc-point. This is the per-frame
+    /// operation the collector performs during a stack trace: find the
+    /// tables via the pc map, then decode them (sequentially from the
+    /// procedure's first gc-point, as *Previous* requires).
+    #[must_use]
+    pub fn lookup(&self, pc: u32) -> Option<DecodedPoint> {
+        self.index.lookup(self.bytes, pc)
+    }
+
+    /// Decodes every gc-point of every procedure, in stream order.
+    ///
+    /// Used by tests and by bulk consumers; collectors use [`lookup`].
+    ///
+    /// [`lookup`]: TableDecoder::lookup
+    #[must_use]
+    pub fn decode_all(&self) -> Vec<DecodedPoint> {
+        let mut out = Vec::new();
+        for idx in &self.index.procs {
+            let ground = DecoderIndex::read_ground(self.index.scheme, self.bytes, idx)
+                .expect("validated at construction");
+            let mut r =
+                Reader { packing: self.index.scheme.packing, bytes: self.bytes, pos: idx.points_off };
+            let mut point = DecodedPoint::default();
+            for k in 0..idx.n_points {
+                point = DecoderIndex::read_point(self.index.scheme, &mut r, &ground, &point)
+                    .expect("validated at construction");
+                point.pc = idx.pcs[k];
+                out.push(point.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_module;
+    use crate::layout::BaseReg;
+    use crate::tables::{GcPointTables, ModuleTables, ProcTables};
+
+    fn ge(off: i32) -> GroundEntry {
+        GroundEntry::new(BaseReg::Fp, off)
+    }
+
+    fn sample_module() -> ModuleTables {
+        ModuleTables {
+            procs: vec![
+                ProcTables {
+                    name: "a".into(),
+                    entry_pc: 0,
+                    ground: vec![ge(0), ge(1), ge(4)],
+                    points: vec![
+                        GcPointTables {
+                            pc: 6,
+                            live_stack: vec![0, 1],
+                            regs: RegSet::single(2),
+                            derivations: vec![DerivationRecord::Simple {
+                                target: Location::Reg(5),
+                                bases: vec![
+                                    (Location::Slot(BaseReg::Fp, 0), Sign::Plus),
+                                    (Location::Slot(BaseReg::Fp, 1), Sign::Minus),
+                                ],
+                            }],
+                        },
+                        GcPointTables {
+                            pc: 14,
+                            live_stack: vec![0, 1],
+                            regs: RegSet::single(2),
+                            derivations: vec![],
+                        },
+                        GcPointTables { pc: 30, live_stack: vec![2], ..Default::default() },
+                    ],
+                },
+                ProcTables {
+                    name: "b".into(),
+                    entry_pc: 100,
+                    ground: vec![ge(-2)],
+                    points: vec![GcPointTables {
+                        pc: 108,
+                        live_stack: vec![0],
+                        regs: RegSet::EMPTY,
+                        derivations: vec![DerivationRecord::Ambiguous {
+                            target: Location::Reg(1),
+                            path_var: Location::Slot(BaseReg::Fp, 3),
+                            variants: vec![
+                                vec![(Location::Slot(BaseReg::Fp, -2), Sign::Plus)],
+                                vec![(Location::Reg(2), Sign::Plus)],
+                            ],
+                        }],
+                    }],
+                },
+            ],
+        }
+    }
+
+    fn expect_roundtrip(scheme: Scheme) {
+        let m = sample_module();
+        let enc = encode_module(&m, scheme);
+        let dec = TableDecoder::new(&enc);
+        assert_eq!(dec.num_procs(), 2);
+        for proc in &m.procs {
+            for (i, pt) in proc.points.iter().enumerate() {
+                let d = dec.lookup(pt.pc).unwrap_or_else(|| panic!("{scheme}: pc {}", pt.pc));
+                assert_eq!(d.stack_slots, proc.live_slots(i), "{scheme} stack at pc {}", pt.pc);
+                assert_eq!(d.regs, pt.regs, "{scheme} regs at pc {}", pt.pc);
+                assert_eq!(d.derivations, pt.derivations, "{scheme} derivs at pc {}", pt.pc);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_schemes() {
+        for scheme in Scheme::TABLE2 {
+            expect_roundtrip(scheme);
+        }
+    }
+
+    #[test]
+    fn lookup_misses_non_gc_points() {
+        let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
+        let dec = TableDecoder::new(&enc);
+        assert_eq!(dec.lookup(7), None);
+        assert_eq!(dec.lookup(0), None);
+    }
+
+    #[test]
+    fn decode_all_matches_lookups() {
+        let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
+        let dec = TableDecoder::new(&enc);
+        let all = dec.decode_all();
+        assert_eq!(all.len(), 4);
+        for p in &all {
+            assert_eq!(dec.lookup(p.pc).as_ref(), Some(p));
+        }
+    }
+
+    #[test]
+    fn proc_entry_lookup() {
+        let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
+        let dec = TableDecoder::new(&enc);
+        assert_eq!(dec.proc_entry_of(108), Some(100));
+        assert_eq!(dec.proc_entry_of(6), Some(0));
+        assert_eq!(dec.proc_entry_of(7), None);
+    }
+
+    #[test]
+    fn truncated_stream_reports_error() {
+        let mut enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
+        enc.bytes.truncate(enc.bytes.len() / 2);
+        assert!(TableDecoder::try_new(&enc).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Derivation tables (paper §3, Figure 1, and §4).
+//!
+//! A *derived value* is any value created by pointer arithmetic; a *base
+//! value* is any value participating in the derivation. Our tables handle
+//! deriving expressions of the form `Σ pᵢ − Σ qⱼ + E` where the `pᵢ`/`qⱼ`
+//! are pointers (or derived values) and `E` involves neither. The collector
+//! updates a derived value in two steps: before objects move it recovers
+//! `E` by applying the inverse operation for each base (`a := a − b₁ − b₃ +
+//! b₂`), and after collection it re-derives the value from the relocated
+//! bases.
+//!
+//! When multiple derivations of a value reach a gc-point (an *ambiguous
+//! derivation*, §4), the compiler introduces a *path variable* recording
+//! which derivation actually happened, emits a table per possible
+//! derivation, and the collector selects the right one at run time from the
+//! path variable's value.
+
+use crate::layout::Location;
+
+/// The sign with which a base value participates in a derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// The base is added in the deriving expression.
+    Plus,
+    /// The base is subtracted in the deriving expression.
+    Minus,
+}
+
+impl Sign {
+    /// The opposite sign.
+    #[must_use]
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+
+    /// +1 or −1, as an `i64` multiplier.
+    #[must_use]
+    pub fn factor(self) -> i64 {
+        match self {
+            Sign::Plus => 1,
+            Sign::Minus => -1,
+        }
+    }
+}
+
+impl std::fmt::Display for Sign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sign::Plus => write!(f, "+"),
+            Sign::Minus => write!(f, "-"),
+        }
+    }
+}
+
+/// One base of a derivation: where the base value lives and its sign.
+pub type BaseRef = (Location, Sign);
+
+/// The derivation of one live derived value at one gc-point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DerivationRecord {
+    /// The common case: a single statically known derivation.
+    Simple {
+        /// Where the derived value lives.
+        target: Location,
+        /// The bases it was derived from, with their signs.
+        bases: Vec<BaseRef>,
+    },
+    /// Multiple derivations reach this gc-point; the path variable's
+    /// run-time value (an index) selects which variant applies.
+    Ambiguous {
+        /// Where the derived value lives.
+        target: Location,
+        /// Where the compiler-introduced path variable lives.
+        path_var: Location,
+        /// One base list per possible derivation, indexed by the path
+        /// variable's value.
+        variants: Vec<Vec<BaseRef>>,
+    },
+}
+
+impl DerivationRecord {
+    /// The location of the derived value itself.
+    #[must_use]
+    pub fn target(&self) -> Location {
+        match self {
+            DerivationRecord::Simple { target, .. } | DerivationRecord::Ambiguous { target, .. } => {
+                *target
+            }
+        }
+    }
+
+    /// True if this record needs a path variable at run time.
+    #[must_use]
+    pub fn is_ambiguous(&self) -> bool {
+        matches!(self, DerivationRecord::Ambiguous { .. })
+    }
+
+    /// The bases of the variant selected by `path` (0 for simple records).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range for an ambiguous record.
+    #[must_use]
+    pub fn bases_for_path(&self, path: usize) -> &[BaseRef] {
+        match self {
+            DerivationRecord::Simple { bases, .. } => bases,
+            DerivationRecord::Ambiguous { variants, .. } => &variants[path],
+        }
+    }
+
+    /// All locations this record can mention as a base, across variants.
+    pub fn all_base_locations(&self) -> impl Iterator<Item = Location> + '_ {
+        let slices: Vec<&[BaseRef]> = match self {
+            DerivationRecord::Simple { bases, .. } => vec![bases.as_slice()],
+            DerivationRecord::Ambiguous { variants, .. } => {
+                variants.iter().map(Vec::as_slice).collect()
+            }
+        };
+        slices.into_iter().flatten().map(|&(loc, _)| loc).collect::<Vec<_>>().into_iter()
+    }
+}
+
+impl std::fmt::Display for DerivationRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn write_bases(f: &mut std::fmt::Formatter<'_>, bases: &[BaseRef]) -> std::fmt::Result {
+            for (loc, sign) in bases {
+                write!(f, " {sign} {loc}")?;
+            }
+            Ok(())
+        }
+        match self {
+            DerivationRecord::Simple { target, bases } => {
+                write!(f, "{target} := E")?;
+                write_bases(f, bases)
+            }
+            DerivationRecord::Ambiguous { target, path_var, variants } => {
+                write!(f, "{target} := E (path {path_var})")?;
+                for (i, v) in variants.iter().enumerate() {
+                    write!(f, " [{i}]:")?;
+                    write_bases(f, v)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Orders derivation records so that a derived value comes **before** any of
+/// its base values (paper §3: "the derivations table of a derived value
+/// comes before the derivations tables of its base values").
+///
+/// The collector visits records in this order when recovering `E`
+/// (un-deriving) and in exactly the reverse order when re-deriving.
+/// Circular dependencies cannot occur because derivations are always made
+/// from previously computed base values, but this function is defensive: if
+/// a cycle is present (malformed input), the residue is appended in the
+/// original relative order rather than looping forever.
+#[must_use]
+pub fn order_derived_before_bases(records: Vec<DerivationRecord>) -> Vec<DerivationRecord> {
+    let mut remaining: Vec<Option<DerivationRecord>> = records.into_iter().map(Some).collect();
+    let mut out = Vec::with_capacity(remaining.len());
+    // Repeatedly emit a record whose target is not a base of any remaining
+    // record. O(n²) with tiny n: derived values are rare.
+    loop {
+        let mut emitted = false;
+        for i in 0..remaining.len() {
+            let Some(rec) = remaining[i].as_ref() else { continue };
+            let target = rec.target();
+            let is_base_of_other = remaining.iter().enumerate().any(|(j, other)| {
+                j != i
+                    && other
+                        .as_ref()
+                        .is_some_and(|o| o.all_base_locations().any(|loc| loc == target))
+            });
+            if !is_base_of_other {
+                out.push(remaining[i].take().expect("checked above"));
+                emitted = true;
+            }
+        }
+        if !emitted {
+            break;
+        }
+    }
+    // Defensive residue handling for (impossible) cycles.
+    out.extend(remaining.into_iter().flatten());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{BaseReg, Location};
+
+    fn slot(off: i32) -> Location {
+        Location::Slot(BaseReg::Fp, off)
+    }
+
+    #[test]
+    fn sign_behaviour() {
+        assert_eq!(Sign::Plus.flip(), Sign::Minus);
+        assert_eq!(Sign::Minus.factor(), -1);
+        assert_eq!(format!("{}{}", Sign::Plus, Sign::Minus), "+-");
+    }
+
+    #[test]
+    fn figure_1_derivation_table() {
+        // a := b1 + b3 - b2 + E  (paper Figure 1): bases b1 (+), b2 (−), b3 (+).
+        let rec = DerivationRecord::Simple {
+            target: slot(0),
+            bases: vec![(slot(1), Sign::Plus), (slot(2), Sign::Minus), (slot(3), Sign::Plus)],
+        };
+        assert_eq!(rec.target(), slot(0));
+        assert!(!rec.is_ambiguous());
+        assert_eq!(rec.bases_for_path(0).len(), 3);
+        assert_eq!(rec.bases_for_path(0)[1], (slot(2), Sign::Minus));
+    }
+
+    #[test]
+    fn ambiguous_record_selects_by_path() {
+        let rec = DerivationRecord::Ambiguous {
+            target: slot(0),
+            path_var: slot(9),
+            variants: vec![vec![(slot(1), Sign::Plus)], vec![(slot(2), Sign::Plus)]],
+        };
+        assert!(rec.is_ambiguous());
+        assert_eq!(rec.bases_for_path(0), &[(slot(1), Sign::Plus)]);
+        assert_eq!(rec.bases_for_path(1), &[(slot(2), Sign::Plus)]);
+        let locs: Vec<_> = rec.all_base_locations().collect();
+        assert_eq!(locs, vec![slot(1), slot(2)]);
+    }
+
+    #[test]
+    fn ordering_puts_derived_before_its_base() {
+        // d2 is derived from d1, which is derived from p.
+        let d1 = DerivationRecord::Simple { target: slot(1), bases: vec![(slot(0), Sign::Plus)] };
+        let d2 = DerivationRecord::Simple { target: slot(2), bases: vec![(slot(1), Sign::Plus)] };
+        // Feed them base-first: the orderer must flip them.
+        let ordered = order_derived_before_bases(vec![d1.clone(), d2.clone()]);
+        assert_eq!(ordered, vec![d2, d1]);
+    }
+
+    #[test]
+    fn ordering_is_stable_for_independent_records() {
+        let a = DerivationRecord::Simple { target: slot(1), bases: vec![(slot(0), Sign::Plus)] };
+        let b = DerivationRecord::Simple { target: slot(3), bases: vec![(slot(2), Sign::Plus)] };
+        let ordered = order_derived_before_bases(vec![a.clone(), b.clone()]);
+        assert_eq!(ordered, vec![a, b]);
+    }
+
+    #[test]
+    fn ordering_survives_malformed_cycle() {
+        let a = DerivationRecord::Simple { target: slot(1), bases: vec![(slot(2), Sign::Plus)] };
+        let b = DerivationRecord::Simple { target: slot(2), bases: vec![(slot(1), Sign::Plus)] };
+        let ordered = order_derived_before_bases(vec![a.clone(), b.clone()]);
+        assert_eq!(ordered.len(), 2);
+    }
+}

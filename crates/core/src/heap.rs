@@ -1,0 +1,173 @@
+//! Heap object type descriptors.
+//!
+//! Modula-3 requires type descriptors in heap objects, "which makes it
+//! straightforward to determine the size of heap allocated objects and to
+//! find pointers within them" (§2, requirements i–ii). Every heap object
+//! starts with a header word holding its [`TypeId`]; open arrays carry an
+//! additional length word. The collector consults the [`TypeTable`] to size
+//! and trace objects; because descriptors are type-specific, tracing does
+//! not need per-object pointer tags.
+
+/// Index of a type descriptor in the module's [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub u32);
+
+impl std::fmt::Display for TypeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ty{}", self.0)
+    }
+}
+
+/// Number of header words preceding a record's fields.
+pub const RECORD_HEADER_WORDS: u32 = 1;
+/// Number of header words preceding an array's elements (type + length).
+pub const ARRAY_HEADER_WORDS: u32 = 2;
+
+/// The shape of one heap-allocated type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeapType {
+    /// A record: fixed size, pointers at fixed offsets (in words, relative
+    /// to the first field, i.e. excluding the header).
+    Record {
+        /// Source-level type name, for diagnostics.
+        name: String,
+        /// Number of field words (excluding the header).
+        words: u32,
+        /// Offsets of pointer fields within the field area.
+        ptr_offsets: Vec<u32>,
+    },
+    /// An array: per-element size and pointer pattern; the length is stored
+    /// in the object (second header word).
+    Array {
+        /// Source-level type name, for diagnostics.
+        name: String,
+        /// Words per element.
+        elem_words: u32,
+        /// Offsets of pointers within one element.
+        elem_ptr_offsets: Vec<u32>,
+    },
+}
+
+impl HeapType {
+    /// The type's source-level name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            HeapType::Record { name, .. } | HeapType::Array { name, .. } => name,
+        }
+    }
+
+    /// Total object size in words (header included) for an instance with
+    /// `len` elements (`len` ignored for records).
+    #[must_use]
+    pub fn object_words(&self, len: u32) -> u32 {
+        match self {
+            HeapType::Record { words, .. } => RECORD_HEADER_WORDS + words,
+            HeapType::Array { elem_words, .. } => ARRAY_HEADER_WORDS + elem_words * len,
+        }
+    }
+
+    /// Offsets (in words, relative to the object header) of every pointer
+    /// field of an instance with `len` elements.
+    pub fn pointer_offsets(&self, len: u32) -> Vec<u32> {
+        match self {
+            HeapType::Record { ptr_offsets, .. } => {
+                ptr_offsets.iter().map(|&o| RECORD_HEADER_WORDS + o).collect()
+            }
+            HeapType::Array { elem_words, elem_ptr_offsets, .. } => {
+                let mut out = Vec::with_capacity(elem_ptr_offsets.len() * len as usize);
+                for i in 0..len {
+                    for &o in elem_ptr_offsets {
+                        out.push(ARRAY_HEADER_WORDS + i * elem_words + o);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// True if instances can contain pointers.
+    #[must_use]
+    pub fn has_pointers(&self) -> bool {
+        match self {
+            HeapType::Record { ptr_offsets, .. } => !ptr_offsets.is_empty(),
+            HeapType::Array { elem_ptr_offsets, .. } => !elem_ptr_offsets.is_empty(),
+        }
+    }
+}
+
+/// The module's table of heap type descriptors.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeTable {
+    /// Descriptors, indexed by [`TypeId`].
+    pub types: Vec<HeapType>,
+}
+
+impl TypeTable {
+    /// Adds a descriptor, returning its id.
+    pub fn add(&mut self, ty: HeapType) -> TypeId {
+        let id = TypeId(self.types.len() as u32);
+        self.types.push(ty);
+        id
+    }
+
+    /// Looks up a descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn get(&self, id: TypeId) -> &HeapType {
+        &self.types[id.0 as usize]
+    }
+
+    /// Number of descriptors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True if the table has no descriptors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_layout() {
+        let t = HeapType::Record { name: "List".into(), words: 2, ptr_offsets: vec![1] };
+        assert_eq!(t.object_words(0), 3);
+        assert_eq!(t.pointer_offsets(0), vec![2]);
+        assert!(t.has_pointers());
+        assert_eq!(t.name(), "List");
+    }
+
+    #[test]
+    fn array_layout() {
+        let t = HeapType::Array { name: "Refs".into(), elem_words: 2, elem_ptr_offsets: vec![0] };
+        assert_eq!(t.object_words(3), 2 + 6);
+        assert_eq!(t.pointer_offsets(3), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pointer_free_types() {
+        let t = HeapType::Array { name: "Ints".into(), elem_words: 1, elem_ptr_offsets: vec![] };
+        assert!(!t.has_pointers());
+        assert_eq!(t.pointer_offsets(10), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn type_table() {
+        let mut table = TypeTable::default();
+        assert!(table.is_empty());
+        let id = table.add(HeapType::Record { name: "T".into(), words: 1, ptr_offsets: vec![] });
+        assert_eq!(id, TypeId(0));
+        assert_eq!(table.get(id).name(), "T");
+        assert_eq!(table.len(), 1);
+    }
+}

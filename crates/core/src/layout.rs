@@ -1,0 +1,317 @@
+//! Encodings of stack locations, registers and value locations
+//! (paper Figure 4 and §5.1–5.2).
+
+use crate::pack;
+
+/// Number of hard (general-purpose) registers the register pointer table
+/// covers. One bit per register; the table always fits one 32-bit word.
+pub const NUM_HARD_REGS: usize = 12;
+
+/// The base register of a frame-relative address.
+///
+/// As on the VAX, frame slots are addressed relative to the frame pointer
+/// (`FP`, locals and spills), the argument pointer (`AP`, incoming
+/// arguments) or the stack pointer (`SP`, outgoing/temporary pushes). The
+/// base register occupies the low two bits of a ground-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BaseReg {
+    /// Frame pointer: locals, spill slots, register save area.
+    Fp,
+    /// Stack pointer: transient pushes (rare in generated code).
+    Sp,
+    /// Argument pointer: incoming argument slots.
+    Ap,
+}
+
+impl BaseReg {
+    /// All base registers, in encoding order.
+    pub const ALL: [BaseReg; 3] = [BaseReg::Fp, BaseReg::Sp, BaseReg::Ap];
+
+    /// Two-bit encoding used in ground-table entries.
+    #[must_use]
+    pub fn code(self) -> i32 {
+        match self {
+            BaseReg::Fp => 0,
+            BaseReg::Sp => 1,
+            BaseReg::Ap => 2,
+        }
+    }
+
+    /// Decodes a two-bit base-register code.
+    #[must_use]
+    pub fn from_code(code: i32) -> Option<BaseReg> {
+        match code {
+            0 => Some(BaseReg::Fp),
+            1 => Some(BaseReg::Sp),
+            2 => Some(BaseReg::Ap),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BaseReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaseReg::Fp => write!(f, "FP"),
+            BaseReg::Sp => write!(f, "SP"),
+            BaseReg::Ap => write!(f, "AP"),
+        }
+    }
+}
+
+/// One entry of a procedure's *ground* (main) table: a frame slot that
+/// contains a live tidy pointer at some gc-point in the procedure.
+///
+/// Encoded as a single word `offset << 2 | base`; most entries pack into a
+/// single byte (paper Figure 4) because frame offsets are small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroundEntry {
+    /// Base register the offset is relative to.
+    pub base: BaseReg,
+    /// Offset in words from the base register.
+    pub offset: i32,
+}
+
+impl GroundEntry {
+    /// Creates a ground entry for `base + offset` (offset in words).
+    #[must_use]
+    pub fn new(base: BaseReg, offset: i32) -> Self {
+        GroundEntry { base, offset }
+    }
+
+    /// The 32-bit word encoding: `offset << 2 | base`.
+    #[must_use]
+    pub fn to_word(self) -> i32 {
+        (self.offset << 2) | self.base.code()
+    }
+
+    /// Decodes a ground-entry word.
+    #[must_use]
+    pub fn from_word(word: i32) -> Option<GroundEntry> {
+        let base = BaseReg::from_code(word & 0b11)?;
+        Some(GroundEntry { base, offset: word >> 2 })
+    }
+
+    /// Number of bytes this entry takes when packed.
+    #[must_use]
+    pub fn packed_len(self) -> usize {
+        pack::packed_len(self.to_word())
+    }
+}
+
+impl std::fmt::Display for GroundEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{:+}", self.base, self.offset)
+    }
+}
+
+/// The register pointer table for one gc-point: one bit per hard register,
+/// set if the register holds a live tidy pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegSet(pub u32);
+
+impl RegSet {
+    /// The empty register set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// Returns a set containing only `reg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= NUM_HARD_REGS`.
+    #[must_use]
+    pub fn single(reg: u8) -> RegSet {
+        assert!((reg as usize) < NUM_HARD_REGS, "register {reg} out of range");
+        RegSet(1 << reg)
+    }
+
+    /// Inserts `reg` into the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= NUM_HARD_REGS`.
+    pub fn insert(&mut self, reg: u8) {
+        assert!((reg as usize) < NUM_HARD_REGS, "register {reg} out of range");
+        self.0 |= 1 << reg;
+    }
+
+    /// Tests membership.
+    #[must_use]
+    pub fn contains(self, reg: u8) -> bool {
+        (reg as usize) < NUM_HARD_REGS && self.0 & (1 << reg) != 0
+    }
+
+    /// True if no register is in the set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of registers in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates over member registers in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0..NUM_HARD_REGS as u8).filter(move |&r| self.contains(r))
+    }
+
+    /// Union of two sets.
+    #[must_use]
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+}
+
+impl FromIterator<u8> for RegSet {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        let mut s = RegSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for RegSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "r{r}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The location of a value: either a hard register or a frame slot.
+///
+/// Derivation-table entries are not restricted to `{FP, SP, AP} + offset`
+/// the way ground entries are — a derived value or base may live in a
+/// register — so locations carry one extra discriminator bit and usually
+/// pack into two bytes (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Location {
+    /// A hard register.
+    Reg(u8),
+    /// A frame slot: base register plus word offset.
+    Slot(BaseReg, i32),
+}
+
+impl Location {
+    /// The word encoding: registers are `reg << 1`, slots are
+    /// `(offset << 2 | base) << 1 | 1`.
+    #[must_use]
+    pub fn to_word(self) -> i32 {
+        match self {
+            Location::Reg(r) => i32::from(r) << 1,
+            Location::Slot(base, off) => (((off << 2) | base.code()) << 1) | 1,
+        }
+    }
+
+    /// Decodes a location word.
+    #[must_use]
+    pub fn from_word(word: i32) -> Option<Location> {
+        if word & 1 == 0 {
+            let r = word >> 1;
+            if (0..NUM_HARD_REGS as i32).contains(&r) {
+                Some(Location::Reg(r as u8))
+            } else {
+                None
+            }
+        } else {
+            let entry = GroundEntry::from_word(word >> 1)?;
+            Some(Location::Slot(entry.base, entry.offset))
+        }
+    }
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Location::Reg(r) => write!(f, "r{r}"),
+            Location::Slot(b, o) => write!(f, "{b}{o:+}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_entry_roundtrip() {
+        for base in BaseReg::ALL {
+            for off in [-1000, -3, -1, 0, 1, 7, 200, 100_000] {
+                let e = GroundEntry::new(base, off);
+                assert_eq!(GroundEntry::from_word(e.to_word()), Some(e));
+            }
+        }
+    }
+
+    #[test]
+    fn typical_ground_entry_fits_one_byte() {
+        // Paper: "Most entries in the ground table fit into one byte each."
+        for off in -8..=7 {
+            assert_eq!(GroundEntry::new(BaseReg::Fp, off).packed_len(), 1, "offset {off}");
+        }
+        assert_eq!(GroundEntry::new(BaseReg::Ap, 100).packed_len(), 2);
+    }
+
+    #[test]
+    fn base_reg_codes_are_two_bits() {
+        for base in BaseReg::ALL {
+            assert!(base.code() < 4);
+            assert_eq!(BaseReg::from_code(base.code()), Some(base));
+        }
+        assert_eq!(BaseReg::from_code(3), None);
+    }
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(11);
+        assert!(s.contains(0) && s.contains(11) && !s.contains(5));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 11]);
+        assert_eq!(s.to_string(), "{r0,r11}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn regset_rejects_out_of_range() {
+        let _ = RegSet::single(NUM_HARD_REGS as u8);
+    }
+
+    #[test]
+    fn location_roundtrip() {
+        let locs = [
+            Location::Reg(0),
+            Location::Reg(11),
+            Location::Slot(BaseReg::Fp, -4),
+            Location::Slot(BaseReg::Ap, 2),
+            Location::Slot(BaseReg::Sp, 0),
+        ];
+        for l in locs {
+            assert_eq!(Location::from_word(l.to_word()), Some(l));
+        }
+    }
+
+    #[test]
+    fn slot_location_usually_two_bytes() {
+        // Paper: "most entries in the derivations table require 2 bytes."
+        let w = Location::Slot(BaseReg::Fp, 10).to_word();
+        assert_eq!(pack::packed_len(w), 2);
+        // Registers stay one byte.
+        let w = Location::Reg(5).to_word();
+        assert_eq!(pack::packed_len(w), 1);
+    }
+}

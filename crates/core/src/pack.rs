@@ -1,0 +1,271 @@
+//! Variable-length byte packing of 32-bit words (paper Figure 3).
+//!
+//! The table generator works in two phases: phase one produces tables of
+//! 32-bit words; phase two packs each word into as few bytes as possible.
+//! The high bit of each byte says whether the *following* byte is also part
+//! of the word; bytes are stored from most- to least-significant, and the
+//! first byte is sign-extended (many frame offsets, hence many word values,
+//! are negative).
+
+/// Maximum number of bytes a packed 32-bit word can occupy (⌈32/7⌉ = 5).
+pub const MAX_PACKED_LEN: usize = 5;
+
+/// Continuation flag: set on every byte except the last byte of a word.
+const CONT: u8 = 0x80;
+
+/// Number of payload bits per byte.
+const BITS: u32 = 7;
+
+/// Returns the number of bytes needed to pack `value`.
+///
+/// The encoding is minimal: the shortest prefix whose sign-extension
+/// reproduces the value.
+#[must_use]
+pub fn packed_len(value: i32) -> usize {
+    for n in 1..MAX_PACKED_LEN {
+        let bits = BITS * n as u32;
+        // Does the value fit in `bits` bits as a signed quantity?
+        let min = -(1i64 << (bits - 1));
+        let max = (1i64 << (bits - 1)) - 1;
+        if i64::from(value) >= min && i64::from(value) <= max {
+            return n;
+        }
+    }
+    MAX_PACKED_LEN
+}
+
+/// Packs one word onto the end of `out`, returning the number of bytes
+/// written.
+pub fn pack_word(value: i32, out: &mut Vec<u8>) -> usize {
+    let n = packed_len(value);
+    for i in (0..n).rev() {
+        let payload = ((value >> (BITS as usize * i)) & 0x7f) as u8;
+        let flag = if i == 0 { 0 } else { CONT };
+        out.push(flag | payload);
+    }
+    n
+}
+
+/// Packs a slice of words.
+#[must_use]
+pub fn pack_words(values: &[i32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    for &v in values {
+        pack_word(v, &mut out);
+    }
+    out
+}
+
+/// Returns the number of bytes needed to pack `value` zero-extended.
+///
+/// Bitmaps and element counts are inherently unsigned; packing them without
+/// sign extension lets e.g. a 7-entry delta bitmap fit in one byte.
+#[must_use]
+pub fn packed_ulen(value: u32) -> usize {
+    for n in 1..MAX_PACKED_LEN {
+        if u64::from(value) < 1u64 << (BITS * n as u32) {
+            return n;
+        }
+    }
+    MAX_PACKED_LEN
+}
+
+/// Packs one zero-extended word onto `out`, returning the bytes written.
+pub fn pack_uword(value: u32, out: &mut Vec<u8>) -> usize {
+    let n = packed_ulen(value);
+    for i in (0..n).rev() {
+        let payload = ((value >> (BITS as usize * i)) & 0x7f) as u8;
+        let flag = if i == 0 { 0 } else { CONT };
+        out.push(flag | payload);
+    }
+    n
+}
+
+/// Unpacks one zero-extended word starting at `pos`.
+///
+/// # Errors
+///
+/// Returns [`UnpackError`] if the buffer ends mid-word or the word is longer
+/// than [`MAX_PACKED_LEN`] bytes.
+pub fn unpack_uword(bytes: &[u8], pos: usize) -> Result<(u32, usize), UnpackError> {
+    let err = UnpackError { offset: pos };
+    let mut value: u64 = 0;
+    let mut len = 0;
+    loop {
+        if len >= MAX_PACKED_LEN {
+            return Err(err);
+        }
+        let b = *bytes.get(pos + len).ok_or(err)?;
+        value = (value << BITS) | u64::from(b & 0x7f);
+        len += 1;
+        if b & CONT == 0 {
+            break;
+        }
+    }
+    Ok((value as u32, len))
+}
+
+/// Error returned when unpacking runs off the end of the buffer or a word
+/// exceeds [`MAX_PACKED_LEN`] bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnpackError {
+    /// Byte offset at which the malformed word started.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed packed word at byte offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+/// Unpacks one word starting at `pos`, returning the word and the number of
+/// bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`UnpackError`] if the buffer ends mid-word or the word is longer
+/// than [`MAX_PACKED_LEN`] bytes.
+pub fn unpack_word(bytes: &[u8], pos: usize) -> Result<(i32, usize), UnpackError> {
+    let err = UnpackError { offset: pos };
+    let first = *bytes.get(pos).ok_or(err)?;
+    // Sign-extend the first byte's 7 payload bits.
+    let mut value = i64::from(((first & 0x7f) as i8) << 1 >> 1);
+    let mut len = 1;
+    let mut cont = first & CONT != 0;
+    while cont {
+        if len >= MAX_PACKED_LEN {
+            return Err(err);
+        }
+        let b = *bytes.get(pos + len).ok_or(err)?;
+        value = (value << BITS) | i64::from(b & 0x7f);
+        cont = b & CONT != 0;
+        len += 1;
+    }
+    Ok((value as i32, len))
+}
+
+/// Unpacks exactly `count` words starting at `pos`, returning the words and
+/// the total number of bytes consumed.
+///
+/// # Errors
+///
+/// Propagates [`UnpackError`] from [`unpack_word`].
+pub fn unpack_words(bytes: &[u8], pos: usize, count: usize) -> Result<(Vec<i32>, usize), UnpackError> {
+    let mut words = Vec::with_capacity(count);
+    let mut offset = 0;
+    for _ in 0..count {
+        let (w, n) = unpack_word(bytes, pos + offset)?;
+        words.push(w);
+        offset += n;
+    }
+    Ok((words, offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_fit_in_one_byte() {
+        for v in -64..=63 {
+            assert_eq!(packed_len(v), 1, "value {v}");
+        }
+        assert_eq!(packed_len(64), 2);
+        assert_eq!(packed_len(-65), 2);
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        assert_eq!(packed_len(8191), 2);
+        assert_eq!(packed_len(8192), 3);
+        assert_eq!(packed_len(-8192), 2);
+        assert_eq!(packed_len(-8193), 3);
+        assert_eq!(packed_len(i32::MAX), 5);
+        assert_eq!(packed_len(i32::MIN), 5);
+    }
+
+    #[test]
+    fn roundtrip_selected() {
+        for &v in &[0, 1, -1, 63, 64, -64, -65, 127, 128, 8191, 8192, i32::MAX, i32::MIN] {
+            let mut buf = Vec::new();
+            let n = pack_word(v, &mut buf);
+            assert_eq!(n, buf.len());
+            let (back, m) = unpack_word(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(m, n);
+        }
+    }
+
+    #[test]
+    fn continuation_bit_layout() {
+        // 200 needs two bytes: payload bits 0b0000001_1001000.
+        let mut buf = Vec::new();
+        pack_word(200, &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0] & CONT, CONT, "first byte carries continuation bit");
+        assert_eq!(buf[1] & CONT, 0, "last byte has continuation bit clear");
+        assert_eq!(buf[0] & 0x7f, 0b0000001);
+        assert_eq!(buf[1] & 0x7f, 0b1001000);
+    }
+
+    #[test]
+    fn negative_offsets_stay_single_byte() {
+        // Common frame offsets are small negatives; they must pack to 1 byte.
+        let mut buf = Vec::new();
+        pack_word(-3, &mut buf);
+        assert_eq!(buf, vec![0x7d]);
+        let (v, _) = unpack_word(&buf, 0).unwrap();
+        assert_eq!(v, -3);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let mut buf = Vec::new();
+        pack_word(100_000, &mut buf);
+        buf.pop();
+        assert!(unpack_word(&buf, 0).is_err());
+    }
+
+    #[test]
+    fn overlong_word_is_an_error() {
+        let buf = [CONT; 6];
+        assert!(unpack_word(&buf, 0).is_err());
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        for &v in &[0u32, 1, 63, 64, 127, 128, 16_383, 16_384, u32::MAX] {
+            let mut buf = Vec::new();
+            let n = pack_uword(v, &mut buf);
+            let (back, m) = unpack_uword(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(m, n);
+        }
+    }
+
+    #[test]
+    fn seven_bit_bitmap_fits_one_byte() {
+        // A delta bitmap for a procedure with 7 ground entries, all live.
+        assert_eq!(packed_ulen(0b111_1111), 1);
+        assert_eq!(packed_ulen(0b1111_1111), 2);
+    }
+
+    #[test]
+    fn register_mask_fits_two_bytes() {
+        // Paper: register pointer tables compact to 1 or 2 bytes each.
+        let all_regs = (1u32 << crate::layout::NUM_HARD_REGS) - 1;
+        assert!(packed_ulen(all_regs) <= 2);
+    }
+
+    #[test]
+    fn multi_word_stream() {
+        let words = vec![-1, 0, 1000, -70_000, 5];
+        let packed = pack_words(&words);
+        let (back, len) = unpack_words(&packed, 0, words.len()).unwrap();
+        assert_eq!(back, words);
+        assert_eq!(len, packed.len());
+    }
+}

@@ -1,0 +1,101 @@
+//! The pc→gc-tables map (§5.2).
+//!
+//! Rather than storing a 32-bit program counter per gc-point, the map
+//! stores *distances* between adjacent gc-points, anchored at the enclosing
+//! procedure's start address. Distances are not known until link time, so
+//! the compiler reserves a fixed **two bytes** per distance; the paper
+//! notes that had distances been available, most would compress to one
+//! byte, "yielding an additional savings of 1 byte per gc-point". This
+//! module computes both costs so the ablation (A3 in DESIGN.md) can report
+//! the savings.
+
+use crate::pack;
+use crate::tables::ModuleTables;
+
+/// Byte cost of the pc map under the two distance encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PcMapCost {
+    /// Fixed two bytes per gc-point (what the compiler emits).
+    pub fixed_two_byte: usize,
+    /// Variable-length distances (available only at link time).
+    pub variable: usize,
+    /// Number of gc-points whose distance would fit in one byte.
+    pub one_byte_distances: usize,
+    /// Total number of gc-points.
+    pub total_points: usize,
+}
+
+impl PcMapCost {
+    /// Bytes saved by the variable encoding.
+    #[must_use]
+    pub fn savings(&self) -> usize {
+        self.fixed_two_byte.saturating_sub(self.variable)
+    }
+}
+
+/// Computes the pc-map cost for a module under both encodings.
+#[must_use]
+pub fn pcmap_cost(module: &ModuleTables) -> PcMapCost {
+    let mut cost = PcMapCost::default();
+    for proc in &module.procs {
+        let mut prev = proc.entry_pc;
+        for point in &proc.points {
+            let distance = point.pc - prev;
+            prev = point.pc;
+            cost.fixed_two_byte += 2;
+            let len = pack::packed_ulen(distance);
+            cost.variable += len;
+            if len == 1 {
+                cost.one_byte_distances += 1;
+            }
+            cost.total_points += 1;
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{BaseReg, GroundEntry};
+    use crate::tables::{GcPointTables, ProcTables};
+
+    fn module_with_pcs(pcs: &[u32]) -> ModuleTables {
+        ModuleTables {
+            procs: vec![ProcTables {
+                name: "p".into(),
+                entry_pc: 0,
+                ground: vec![GroundEntry::new(BaseReg::Fp, 0)],
+                points: pcs
+                    .iter()
+                    .map(|&pc| GcPointTables { pc, live_stack: vec![0], ..Default::default() })
+                    .collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn close_points_fit_one_byte() {
+        let m = module_with_pcs(&[10, 30, 80]);
+        let c = pcmap_cost(&m);
+        assert_eq!(c.total_points, 3);
+        assert_eq!(c.fixed_two_byte, 6);
+        assert_eq!(c.variable, 3);
+        assert_eq!(c.one_byte_distances, 3);
+        assert_eq!(c.savings(), 3);
+    }
+
+    #[test]
+    fn far_points_need_two_bytes() {
+        let m = module_with_pcs(&[10, 2000]);
+        let c = pcmap_cost(&m);
+        assert_eq!(c.one_byte_distances, 1);
+        assert_eq!(c.variable, 1 + 2);
+    }
+
+    #[test]
+    fn empty_module_costs_nothing() {
+        let c = pcmap_cost(&ModuleTables::default());
+        assert_eq!(c, PcMapCost::default());
+    }
+}

@@ -1,0 +1,134 @@
+//! Statistics over gc-map tables, matching the columns of the paper's
+//! Tables 1 and 2.
+
+use crate::encode::{encode_module, Scheme, SectionSizes};
+use crate::tables::ModuleTables;
+
+/// The per-program statistics of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableStats {
+    /// `NGC`: number of gc-points with at least one non-empty table.
+    pub ngc: usize,
+    /// Total number of gc-points (including all-empty ones).
+    pub total_gc_points: usize,
+    /// `NPTRS`: total number of pointer locations across all ground tables.
+    pub nptrs: usize,
+    /// `NDEL`: number of (non-empty) stack-pointer delta tables.
+    pub ndel: usize,
+    /// `NREG`: number of (non-empty) register pointer tables.
+    pub nreg: usize,
+    /// `NDER`: number of (non-empty) derivations tables.
+    pub nder: usize,
+}
+
+/// Computes Table 1 statistics for a module.
+#[must_use]
+pub fn table_stats(module: &ModuleTables) -> TableStats {
+    let mut s = TableStats::default();
+    for proc in &module.procs {
+        s.nptrs += proc.ground.len();
+        for point in &proc.points {
+            s.total_gc_points += 1;
+            if !point.is_empty() {
+                s.ngc += 1;
+            }
+            if !point.live_stack.is_empty() {
+                s.ndel += 1;
+            }
+            if !point.regs.is_empty() {
+                s.nreg += 1;
+            }
+            if !point.derivations.is_empty() {
+                s.nder += 1;
+            }
+        }
+    }
+    s
+}
+
+/// Table sizes under one scheme, both absolute and relative to code size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeReport {
+    /// The scheme measured.
+    pub scheme: Scheme,
+    /// Per-section byte counts.
+    pub sizes: SectionSizes,
+    /// Total table bytes.
+    pub total_bytes: usize,
+    /// Table bytes as a percentage of code size (Table 2's unit).
+    pub percent_of_code: f64,
+}
+
+/// Encodes `module` under `scheme` and reports sizes relative to
+/// `code_bytes` of generated code.
+#[must_use]
+pub fn size_report(module: &ModuleTables, scheme: Scheme, code_bytes: usize) -> SizeReport {
+    let encoded = encode_module(module, scheme);
+    let total = encoded.bytes.len();
+    let percent = if code_bytes == 0 { 0.0 } else { 100.0 * total as f64 / code_bytes as f64 };
+    SizeReport { scheme, sizes: encoded.sizes, total_bytes: total, percent_of_code: percent }
+}
+
+/// Size reports for all six Table 2 scheme columns.
+#[must_use]
+pub fn table2_row(module: &ModuleTables, code_bytes: usize) -> Vec<SizeReport> {
+    Scheme::TABLE2.iter().map(|&s| size_report(module, s, code_bytes)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{BaseReg, GroundEntry, RegSet};
+    use crate::tables::{GcPointTables, ProcTables};
+
+    fn module() -> ModuleTables {
+        ModuleTables {
+            procs: vec![ProcTables {
+                name: "p".into(),
+                entry_pc: 0,
+                ground: vec![GroundEntry::new(BaseReg::Fp, 0), GroundEntry::new(BaseReg::Fp, 1)],
+                points: vec![
+                    GcPointTables {
+                        pc: 4,
+                        live_stack: vec![0],
+                        regs: RegSet::single(1),
+                        ..Default::default()
+                    },
+                    GcPointTables { pc: 9, ..Default::default() },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn stats_count_non_empty_tables() {
+        let s = table_stats(&module());
+        assert_eq!(s.total_gc_points, 2);
+        assert_eq!(s.ngc, 1);
+        assert_eq!(s.nptrs, 2);
+        assert_eq!(s.ndel, 1);
+        assert_eq!(s.nreg, 1);
+        assert_eq!(s.nder, 0);
+    }
+
+    #[test]
+    fn size_report_percentage() {
+        let r = size_report(&module(), Scheme::DELTA_MAIN_PP, 100);
+        assert_eq!(r.total_bytes, r.sizes.total());
+        assert!((r.percent_of_code - r.total_bytes as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_code_size_does_not_divide_by_zero() {
+        let r = size_report(&module(), Scheme::DELTA_MAIN_PP, 0);
+        assert_eq!(r.percent_of_code, 0.0);
+    }
+
+    #[test]
+    fn table2_row_has_six_columns() {
+        let rows = table2_row(&module(), 100);
+        assert_eq!(rows.len(), 6);
+        // PP must not be larger than plain δ-main.
+        assert!(rows[5].total_bytes <= rows[2].total_bytes);
+    }
+}

@@ -1,0 +1,281 @@
+//! Abstract syntax for Mini-M3.
+//!
+//! Every expression node carries a unique [`ExprId`] assigned by the
+//! parser; the type checker records each expression's type in a side table
+//! indexed by id, which the lowering phase consumes.
+
+use crate::error::Pos;
+
+/// Unique id of an expression node within a module.
+pub type ExprId = u32;
+
+/// Source-level binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit conjunction.
+    And,
+    /// Short-circuit disjunction.
+    Or,
+}
+
+/// Source-level unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Unique id (index into the checker's type side table).
+    pub id: ExprId,
+    /// Source position.
+    pub pos: Pos,
+    /// Node kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Character literal (code point).
+    CharLit(i64),
+    /// `NIL`.
+    Nil,
+    /// Text literal (lowered to a fresh `REF ARRAY OF CHAR`).
+    Text(String),
+    /// Variable / constant / parameter reference.
+    Name(String),
+    /// `e.f` (with implicit dereference through REF).
+    Field(Box<Expr>, String),
+    /// `e[i]` (with implicit dereference through REF).
+    Index(Box<Expr>, Box<Expr>),
+    /// `e^`.
+    Deref(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Procedure or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// `NEW(T)` or `NEW(T, n)` for open arrays.
+    New {
+        /// The referent type being allocated (as written).
+        ty: TypeExpr,
+        /// Length for open arrays.
+        len: Option<Box<Expr>>,
+    },
+}
+
+/// A type as written in source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeExpr {
+    /// Source position.
+    pub pos: Pos,
+    /// Node kind.
+    pub kind: TypeExprKind,
+}
+
+/// Type expression kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExprKind {
+    /// `INTEGER`.
+    Int,
+    /// `BOOLEAN`.
+    Bool,
+    /// `CHAR`.
+    Char,
+    /// A named type.
+    Named(String),
+    /// `REF T`.
+    Ref(Box<TypeExpr>),
+    /// `ARRAY [lo..hi] OF T` — bounds are compile-time constants.
+    Array {
+        /// Lower bound expression.
+        lo: Box<Expr>,
+        /// Upper bound expression.
+        hi: Box<Expr>,
+        /// Element type.
+        elem: Box<TypeExpr>,
+    },
+    /// `ARRAY OF T` (open; only under REF).
+    OpenArray(Box<TypeExpr>),
+    /// `RECORD f: T; ... END`.
+    Record(Vec<(String, TypeExpr)>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Source position.
+    pub pos: Pos,
+    /// Node kind.
+    pub kind: StmtKind,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `lhs := rhs`.
+    Assign {
+        /// Target designator.
+        lhs: Expr,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// Call statement (procedure or builtin like `INC`, `ASSERT`).
+    Call(Expr),
+    /// `IF ... THEN ... ELSIF ... ELSE ... END`.
+    If {
+        /// `(condition, body)` arms in order.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// `ELSE` body (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `WHILE cond DO body END`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `REPEAT body UNTIL cond`.
+    Repeat {
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Exit condition.
+        cond: Expr,
+    },
+    /// `LOOP body END` (exited by EXIT/RETURN).
+    Loop {
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `FOR var := from TO to [BY by] DO body END`.
+    For {
+        /// Control variable (implicitly declared).
+        var: String,
+        /// Initial value.
+        from: Expr,
+        /// Final value.
+        to: Expr,
+        /// Step (constant; defaults to 1).
+        by: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `EXIT` — leave the innermost loop.
+    Exit,
+    /// `RETURN [e]`.
+    Return(Option<Expr>),
+    /// `WITH id = designator, ... DO body END`.
+    With {
+        /// Bindings in order.
+        bindings: Vec<(String, Expr)>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A variable declaration (module- or procedure-level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Declared names.
+    pub names: Vec<String>,
+    /// Their type.
+    pub ty: TypeExpr,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A named type declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDecl {
+    /// The name.
+    pub name: String,
+    /// The definition.
+    pub ty: TypeExpr,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A constant declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstDecl {
+    /// The name.
+    pub name: String,
+    /// The (constant) value expression.
+    pub value: Expr,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A formal parameter group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Formal {
+    /// True for `VAR` (by-reference) parameters.
+    pub var: bool,
+    /// Names sharing this type.
+    pub names: Vec<String>,
+    /// Parameter type.
+    pub ty: TypeExpr,
+}
+
+/// A procedure declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcDecl {
+    /// The name.
+    pub name: String,
+    /// Formal parameters.
+    pub formals: Vec<Formal>,
+    /// Return type, if any.
+    pub ret: Option<TypeExpr>,
+    /// Local variables.
+    pub locals: Vec<VarDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A whole module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Named types.
+    pub types: Vec<TypeDecl>,
+    /// Constants.
+    pub consts: Vec<ConstDecl>,
+    /// Module-level variables.
+    pub vars: Vec<VarDecl>,
+    /// Procedures.
+    pub procs: Vec<ProcDecl>,
+    /// Module body (the program entry).
+    pub body: Vec<Stmt>,
+    /// Number of expression ids handed out by the parser.
+    pub n_exprs: u32,
+}

@@ -1,0 +1,83 @@
+//! Source-located diagnostics.
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position.
+    #[must_use]
+    pub fn new(line: u32, col: u32) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Which phase reported the diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking.
+    Type,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lexical"),
+            Phase::Parse => write!(f, "syntax"),
+            Phase::Type => write!(f, "type"),
+        }
+    }
+}
+
+/// A compile-time error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Reporting phase.
+    pub phase: Phase,
+    /// Source position.
+    pub pos: Pos,
+    /// Message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    #[must_use]
+    pub fn new(phase: Phase, pos: Pos, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { phase, pos, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.pos, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let d = Diagnostic::new(Phase::Type, Pos::new(3, 7), "mismatched types");
+        assert_eq!(d.to_string(), "type error at 3:7: mismatched types");
+    }
+}

@@ -1,0 +1,490 @@
+//! Lexer for Mini-M3.
+//!
+//! Keywords are upper-case as in Modula-3; identifiers are case-sensitive.
+//! Comments are `(* ... *)` and nest.
+
+use crate::error::{Diagnostic, Phase, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and identifiers.
+    /// Integer literal.
+    Int(i64),
+    /// Character literal (code point).
+    Char(i64),
+    /// Identifier.
+    Ident(String),
+    /// Text (string) literal.
+    Text(String),
+
+    // Keywords.
+    Module,
+    Type,
+    Const,
+    Var,
+    Procedure,
+    Begin,
+    End,
+    If,
+    Then,
+    Elsif,
+    Else,
+    While,
+    Do,
+    Repeat,
+    Until,
+    For,
+    To,
+    By,
+    Loop,
+    Exit,
+    Return,
+    With,
+    Record,
+    Array,
+    Of,
+    Ref,
+    Div,
+    Mod,
+    And,
+    Or,
+    Not,
+    Nil,
+    True,
+    False,
+    Integer,
+    Boolean,
+    CharKw,
+
+    // Punctuation and operators.
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    DotDot,
+    Assign,
+    Eq,
+    Hash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Caret,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Char(c) => write!(f, "character literal {c}"),
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Text(_) => write!(f, "text literal"),
+            Tok::Eof => write!(f, "end of input"),
+            other => write!(f, "`{}`", keyword_or_symbol(other)),
+        }
+    }
+}
+
+fn keyword_or_symbol(t: &Tok) -> &'static str {
+    match t {
+        Tok::Module => "MODULE",
+        Tok::Type => "TYPE",
+        Tok::Const => "CONST",
+        Tok::Var => "VAR",
+        Tok::Procedure => "PROCEDURE",
+        Tok::Begin => "BEGIN",
+        Tok::End => "END",
+        Tok::If => "IF",
+        Tok::Then => "THEN",
+        Tok::Elsif => "ELSIF",
+        Tok::Else => "ELSE",
+        Tok::While => "WHILE",
+        Tok::Do => "DO",
+        Tok::Repeat => "REPEAT",
+        Tok::Until => "UNTIL",
+        Tok::For => "FOR",
+        Tok::To => "TO",
+        Tok::By => "BY",
+        Tok::Loop => "LOOP",
+        Tok::Exit => "EXIT",
+        Tok::Return => "RETURN",
+        Tok::With => "WITH",
+        Tok::Record => "RECORD",
+        Tok::Array => "ARRAY",
+        Tok::Of => "OF",
+        Tok::Ref => "REF",
+        Tok::Div => "DIV",
+        Tok::Mod => "MOD",
+        Tok::And => "AND",
+        Tok::Or => "OR",
+        Tok::Not => "NOT",
+        Tok::Nil => "NIL",
+        Tok::True => "TRUE",
+        Tok::False => "FALSE",
+        Tok::Integer => "INTEGER",
+        Tok::Boolean => "BOOLEAN",
+        Tok::CharKw => "CHAR",
+        Tok::Semi => ";",
+        Tok::Colon => ":",
+        Tok::Comma => ",",
+        Tok::Dot => ".",
+        Tok::DotDot => "..",
+        Tok::Assign => ":=",
+        Tok::Eq => "=",
+        Tok::Hash => "#",
+        Tok::Lt => "<",
+        Tok::Le => "<=",
+        Tok::Gt => ">",
+        Tok::Ge => ">=",
+        Tok::Plus => "+",
+        Tok::Minus => "-",
+        Tok::Star => "*",
+        Tok::LParen => "(",
+        Tok::RParen => ")",
+        Tok::LBracket => "[",
+        Tok::RBracket => "]",
+        Tok::Caret => "^",
+        _ => "?",
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "MODULE" => Tok::Module,
+        "TYPE" => Tok::Type,
+        "CONST" => Tok::Const,
+        "VAR" => Tok::Var,
+        "PROCEDURE" => Tok::Procedure,
+        "BEGIN" => Tok::Begin,
+        "END" => Tok::End,
+        "IF" => Tok::If,
+        "THEN" => Tok::Then,
+        "ELSIF" => Tok::Elsif,
+        "ELSE" => Tok::Else,
+        "WHILE" => Tok::While,
+        "DO" => Tok::Do,
+        "REPEAT" => Tok::Repeat,
+        "UNTIL" => Tok::Until,
+        "FOR" => Tok::For,
+        "TO" => Tok::To,
+        "BY" => Tok::By,
+        "LOOP" => Tok::Loop,
+        "EXIT" => Tok::Exit,
+        "RETURN" => Tok::Return,
+        "WITH" => Tok::With,
+        "RECORD" => Tok::Record,
+        "ARRAY" => Tok::Array,
+        "OF" => Tok::Of,
+        "REF" => Tok::Ref,
+        "DIV" => Tok::Div,
+        "MOD" => Tok::Mod,
+        "AND" => Tok::And,
+        "OR" => Tok::Or,
+        "NOT" => Tok::Not,
+        "NIL" => Tok::Nil,
+        "TRUE" => Tok::True,
+        "FALSE" => Tok::False,
+        "INTEGER" => Tok::Integer,
+        "BOOLEAN" => Tok::Boolean,
+        "CHAR" => Tok::CharKw,
+        _ => return None,
+    })
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Phase::Lex, self.pos(), msg)
+    }
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on malformed input (bad character, unterminated
+/// comment or literal, overflowing number).
+pub fn lex(source: &str) -> Result<Vec<Spanned>, Diagnostic> {
+    let mut lx = Lexer { chars: source.chars().peekable(), line: 1, col: 1 };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace.
+        while matches!(lx.peek(), Some(c) if c.is_whitespace()) {
+            lx.bump();
+        }
+        let pos = lx.pos();
+        let Some(c) = lx.peek() else {
+            out.push(Spanned { tok: Tok::Eof, pos });
+            return Ok(out);
+        };
+        // Comments: (* ... *) nesting.
+        if c == '(' {
+            lx.bump();
+            if lx.peek() == Some('*') {
+                lx.bump();
+                let mut depth = 1;
+                loop {
+                    match lx.bump() {
+                        None => return Err(lx.err("unterminated comment")),
+                        Some('*') if lx.peek() == Some(')') => {
+                            lx.bump();
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Some('(') if lx.peek() == Some('*') => {
+                            lx.bump();
+                            depth += 1;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                continue;
+            }
+            out.push(Spanned { tok: Tok::LParen, pos });
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while matches!(lx.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+                s.push(lx.bump().expect("peeked"));
+            }
+            let tok = keyword(&s).unwrap_or(Tok::Ident(s));
+            out.push(Spanned { tok, pos });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut v: i64 = 0;
+            while matches!(lx.peek(), Some(c) if c.is_ascii_digit()) {
+                let d = lx.bump().expect("peeked") as i64 - '0' as i64;
+                v = v.checked_mul(10).and_then(|x| x.checked_add(d)).ok_or_else(|| {
+                    Diagnostic::new(Phase::Lex, pos, "integer literal overflows")
+                })?;
+            }
+            out.push(Spanned { tok: Tok::Int(v), pos });
+            continue;
+        }
+        // Character literals.
+        if c == '\'' {
+            lx.bump();
+            let ch = match lx.bump() {
+                Some('\\') => match lx.bump() {
+                    Some('n') => '\n' as i64,
+                    Some('t') => '\t' as i64,
+                    Some('\\') => '\\' as i64,
+                    Some('\'') => '\'' as i64,
+                    Some('0') => 0,
+                    _ => return Err(lx.err("bad escape in character literal")),
+                },
+                Some(c) => c as i64,
+                None => return Err(lx.err("unterminated character literal")),
+            };
+            if lx.bump() != Some('\'') {
+                return Err(lx.err("unterminated character literal"));
+            }
+            out.push(Spanned { tok: Tok::Char(ch), pos });
+            continue;
+        }
+        // Text literals.
+        if c == '"' {
+            lx.bump();
+            let mut s = String::new();
+            loop {
+                match lx.bump() {
+                    None => return Err(lx.err("unterminated text literal")),
+                    Some('"') => break,
+                    Some('\\') => match lx.bump() {
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('\\') => s.push('\\'),
+                        Some('"') => s.push('"'),
+                        _ => return Err(lx.err("bad escape in text literal")),
+                    },
+                    Some(c) => s.push(c),
+                }
+            }
+            out.push(Spanned { tok: Tok::Text(s), pos });
+            continue;
+        }
+        // Operators and punctuation.
+        lx.bump();
+        let tok = match c {
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            ')' => Tok::RParen,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            '^' => Tok::Caret,
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '*' => Tok::Star,
+            '=' => Tok::Eq,
+            '#' => Tok::Hash,
+            '.' => {
+                if lx.peek() == Some('.') {
+                    lx.bump();
+                    Tok::DotDot
+                } else {
+                    Tok::Dot
+                }
+            }
+            ':' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Tok::Assign
+                } else {
+                    Tok::Colon
+                }
+            }
+            '<' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            other => {
+                return Err(Diagnostic::new(Phase::Lex, pos, format!("unexpected character `{other}`")))
+            }
+        };
+        out.push(Spanned { tok, pos });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("MODULE Foo;"),
+            vec![Tok::Module, Tok::Ident("Foo".into()), Tok::Semi, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        assert_eq!(
+            toks("x := 1 + 23 * 4"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Plus,
+                Tok::Int(23),
+                Tok::Star,
+                Tok::Int(4),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_vs_dots() {
+        assert_eq!(
+            toks("[1..10]"),
+            vec![Tok::LBracket, Tok::Int(1), Tok::DotDot, Tok::Int(10), Tok::RBracket, Tok::Eof]
+        );
+        assert_eq!(toks("a.b"), vec![Tok::Ident("a".into()), Tok::Dot, Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_nest() {
+        assert_eq!(toks("a (* x (* y *) z *) b"), vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("(* oops").is_err());
+    }
+
+    #[test]
+    fn char_and_text_literals() {
+        assert_eq!(toks("'a'"), vec![Tok::Char('a' as i64), Tok::Eof]);
+        assert_eq!(toks("'\\n'"), vec![Tok::Char('\n' as i64), Tok::Eof]);
+        assert_eq!(toks("\"hi\\n\""), vec![Tok::Text("hi\n".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(toks("< <= > >= = #"), vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Hash, Tok::Eof]);
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos::new(1, 1));
+        assert_eq!(ts[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn overflowing_literal_is_error() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn bad_character_is_error() {
+        let e = lex("a ? b").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Semantic types and structural equivalence.
+//!
+//! Mini-M3, like Modula-3, uses **structural** type equivalence: two types
+//! are the same if they have the same shape, even when declared under
+//! different names. Recursive types (`List = REF RECORD ... tail: List
+//! END`) make the comparison coinductive: we compare with an assumption set
+//! of pairs already assumed equal.
+
+/// Index of a type in the [`TypeArena`].
+pub type TypeRef = u32;
+
+/// A semantic type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `INTEGER`.
+    Int,
+    /// `BOOLEAN`.
+    Bool,
+    /// `CHAR`.
+    Char,
+    /// The type of `NIL`, assignable to any REF.
+    NilType,
+    /// The "no value" type of call statements.
+    Void,
+    /// `REF T`.
+    Ref(TypeRef),
+    /// `ARRAY [lo..hi] OF elem`.
+    Array {
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+        /// Element type.
+        elem: TypeRef,
+    },
+    /// `ARRAY OF elem` (open; length known at run time).
+    OpenArray {
+        /// Element type.
+        elem: TypeRef,
+    },
+    /// `RECORD fields END`.
+    Record {
+        /// Field names and types, in declaration order.
+        fields: Vec<(String, TypeRef)>,
+    },
+    /// Placeholder for a named type not yet resolved (checker internal).
+    Unresolved,
+}
+
+/// Arena of semantic types.
+#[derive(Debug, Clone, Default)]
+pub struct TypeArena {
+    types: Vec<Type>,
+}
+
+impl TypeArena {
+    /// Creates an arena pre-seeded with the primitive types.
+    #[must_use]
+    pub fn new() -> TypeArena {
+        let mut a = TypeArena { types: Vec::new() };
+        // Fixed order so the constants below hold.
+        a.add(Type::Int);
+        a.add(Type::Bool);
+        a.add(Type::Char);
+        a.add(Type::NilType);
+        a.add(Type::Void);
+        a
+    }
+
+    /// `INTEGER`.
+    pub const INT: TypeRef = 0;
+    /// `BOOLEAN`.
+    pub const BOOL: TypeRef = 1;
+    /// `CHAR`.
+    pub const CHAR: TypeRef = 2;
+    /// Type of `NIL`.
+    pub const NIL: TypeRef = 3;
+    /// No value.
+    pub const VOID: TypeRef = 4;
+
+    /// Adds a type, returning its reference.
+    pub fn add(&mut self, t: Type) -> TypeRef {
+        let r = self.types.len() as TypeRef;
+        self.types.push(t);
+        r
+    }
+
+    /// Looks up a type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn get(&self, r: TypeRef) -> &Type {
+        &self.types[r as usize]
+    }
+
+    /// Replaces a placeholder created for a recursive named type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn resolve(&mut self, r: TypeRef, t: Type) {
+        self.types[r as usize] = t;
+    }
+
+    /// Number of types.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True if the arena holds no types (never, once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Structural equivalence, coinductive over REF cycles.
+    #[must_use]
+    pub fn equal(&self, a: TypeRef, b: TypeRef) -> bool {
+        self.equal_inner(a, b, &mut Vec::new())
+    }
+
+    fn equal_inner(&self, a: TypeRef, b: TypeRef, assumed: &mut Vec<(TypeRef, TypeRef)>) -> bool {
+        if a == b || assumed.contains(&(a, b)) {
+            return true;
+        }
+        match (self.get(a), self.get(b)) {
+            (Type::Int, Type::Int)
+            | (Type::Bool, Type::Bool)
+            | (Type::Char, Type::Char)
+            | (Type::NilType, Type::NilType)
+            | (Type::Void, Type::Void) => true,
+            (Type::Ref(x), Type::Ref(y)) => {
+                assumed.push((a, b));
+                let r = self.equal_inner(*x, *y, assumed);
+                assumed.pop();
+                r
+            }
+            (Type::Array { lo: l1, hi: h1, elem: e1 }, Type::Array { lo: l2, hi: h2, elem: e2 }) => {
+                l1 == l2 && h1 == h2 && self.equal_inner(*e1, *e2, assumed)
+            }
+            (Type::OpenArray { elem: e1 }, Type::OpenArray { elem: e2 }) => {
+                self.equal_inner(*e1, *e2, assumed)
+            }
+            (Type::Record { fields: f1 }, Type::Record { fields: f2 }) => {
+                f1.len() == f2.len()
+                    && f1.iter().zip(f2).all(|((n1, t1), (n2, t2))| {
+                        n1 == n2 && self.equal_inner(*t1, *t2, assumed)
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    /// Assignability: structural equality, or NIL into any REF, or (for
+    /// open-array formals) a fixed array into an open array of the same
+    /// element type.
+    #[must_use]
+    pub fn assignable(&self, dst: TypeRef, src: TypeRef) -> bool {
+        if self.equal(dst, src) {
+            return true;
+        }
+        match (self.get(dst), self.get(src)) {
+            (Type::Ref(_), Type::NilType) => true,
+            (Type::Ref(d), Type::Ref(s)) => match (self.get(*d), self.get(*s)) {
+                // REF ARRAY [l..h] OF T is usable where REF ARRAY OF T is
+                // expected (subtype-like, as in Modula-3's allocation of
+                // fixed arrays for open-array refs).
+                (Type::OpenArray { elem: de }, Type::Array { elem: se, .. }) => {
+                    self.equal(*de, *se)
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Human-readable type name for diagnostics.
+    #[must_use]
+    pub fn display(&self, r: TypeRef) -> String {
+        self.display_depth(r, 0)
+    }
+
+    fn display_depth(&self, r: TypeRef, depth: usize) -> String {
+        if depth > 4 {
+            return "...".into();
+        }
+        match self.get(r) {
+            Type::Int => "INTEGER".into(),
+            Type::Bool => "BOOLEAN".into(),
+            Type::Char => "CHAR".into(),
+            Type::NilType => "NIL".into(),
+            Type::Void => "(no value)".into(),
+            Type::Unresolved => "(unresolved)".into(),
+            Type::Ref(t) => format!("REF {}", self.display_depth(*t, depth + 1)),
+            Type::Array { lo, hi, elem } => {
+                format!("ARRAY [{lo}..{hi}] OF {}", self.display_depth(*elem, depth + 1))
+            }
+            Type::OpenArray { elem } => format!("ARRAY OF {}", self.display_depth(*elem, depth + 1)),
+            Type::Record { fields } => format!("RECORD ({} fields)", fields.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_are_distinct() {
+        let a = TypeArena::new();
+        assert!(a.equal(TypeArena::INT, TypeArena::INT));
+        assert!(!a.equal(TypeArena::INT, TypeArena::CHAR));
+        assert!(!a.equal(TypeArena::BOOL, TypeArena::INT));
+    }
+
+    #[test]
+    fn structural_equivalence_of_separate_declarations() {
+        let mut a = TypeArena::new();
+        let r1 = a.add(Type::Record { fields: vec![("x".into(), TypeArena::INT)] });
+        let r2 = a.add(Type::Record { fields: vec![("x".into(), TypeArena::INT)] });
+        let p1 = a.add(Type::Ref(r1));
+        let p2 = a.add(Type::Ref(r2));
+        assert!(a.equal(p1, p2), "same shape, different declarations");
+    }
+
+    #[test]
+    fn field_names_matter() {
+        let mut a = TypeArena::new();
+        let r1 = a.add(Type::Record { fields: vec![("x".into(), TypeArena::INT)] });
+        let r2 = a.add(Type::Record { fields: vec![("y".into(), TypeArena::INT)] });
+        assert!(!a.equal(r1, r2));
+    }
+
+    #[test]
+    fn recursive_types_compare_coinductively() {
+        // Two separately declared list types must be equal.
+        let mut a = TypeArena::new();
+        let l1 = a.add(Type::Unresolved);
+        let rec1 = a.add(Type::Record { fields: vec![("head".into(), TypeArena::INT), ("tail".into(), l1)] });
+        a.resolve(l1, Type::Ref(rec1));
+        let l2 = a.add(Type::Unresolved);
+        let rec2 = a.add(Type::Record { fields: vec![("head".into(), TypeArena::INT), ("tail".into(), l2)] });
+        a.resolve(l2, Type::Ref(rec2));
+        assert!(a.equal(l1, l2));
+        assert!(a.equal(rec1, rec2));
+    }
+
+    #[test]
+    fn array_bounds_matter() {
+        let mut a = TypeArena::new();
+        let x = a.add(Type::Array { lo: 1, hi: 10, elem: TypeArena::INT });
+        let y = a.add(Type::Array { lo: 0, hi: 9, elem: TypeArena::INT });
+        let z = a.add(Type::Array { lo: 1, hi: 10, elem: TypeArena::INT });
+        assert!(!a.equal(x, y));
+        assert!(a.equal(x, z));
+    }
+
+    #[test]
+    fn nil_assignable_to_refs_only() {
+        let mut a = TypeArena::new();
+        let r = a.add(Type::Record { fields: vec![] });
+        let p = a.add(Type::Ref(r));
+        assert!(a.assignable(p, TypeArena::NIL));
+        assert!(!a.assignable(TypeArena::INT, TypeArena::NIL));
+    }
+
+    #[test]
+    fn fixed_array_ref_into_open_array_ref() {
+        let mut a = TypeArena::new();
+        let fixed = a.add(Type::Array { lo: 1, hi: 3, elem: TypeArena::INT });
+        let open = a.add(Type::OpenArray { elem: TypeArena::INT });
+        let pf = a.add(Type::Ref(fixed));
+        let po = a.add(Type::Ref(open));
+        assert!(a.assignable(po, pf));
+        assert!(!a.assignable(pf, po));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut a = TypeArena::new();
+        let arr = a.add(Type::Array { lo: 1, hi: 5, elem: TypeArena::INT });
+        let r = a.add(Type::Ref(arr));
+        assert_eq!(a.display(r), "REF ARRAY [1..5] OF INTEGER");
+    }
+}

@@ -1,0 +1,64 @@
+//! Typed index newtypes used throughout the IR.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The underlying index.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual register.
+    Temp,
+    "t"
+);
+id_type!(
+    /// A basic block within a function.
+    BlockId,
+    "b"
+);
+id_type!(
+    /// A function within a program.
+    FuncId,
+    "f"
+);
+id_type!(
+    /// A module-level (global) variable.
+    GlobalId,
+    "g"
+);
+id_type!(
+    /// A frame memory slot (addressable local or local array).
+    SlotId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(Temp(3).to_string(), "t3");
+        assert_eq!(BlockId(0).to_string(), "b0");
+        assert_eq!(FuncId(1).to_string(), "f1");
+        assert_eq!(GlobalId(9).to_string(), "g9");
+        assert_eq!(SlotId(2).to_string(), "s2");
+        assert_eq!(SlotId(2).index(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! Three-address intermediate representation for the m3gc compiler.
+//!
+//! The IR is a conventional CFG of basic blocks over virtual registers
+//! (*temps*), designed so that **pointerness is statically known**: every
+//! temp is declared [`TempKind::Int`] or [`TempKind::Ptr`] at creation, and
+//! values created by pointer arithmetic (*derived values*) are discovered
+//! by [`deriv::DerivAnalysis`], which implements the paper's derivation
+//! model: a derived value's bases are the pointer-like operands of its
+//! defining instruction, a use of a derived value counts as a use of its
+//! bases (the *dead base* rule, §4), and temps with conflicting derivations
+//! at different definitions get *path variables* (the *ambiguous
+//! derivation* rule, §4).
+//!
+//! Modules:
+//!
+//! * [`ids`] — typed indices,
+//! * [`instr`] — instructions and terminators,
+//! * [`func`] — functions, blocks, programs,
+//! * [`builder`] — ergonomic construction (used by lowering and tests),
+//! * [`mod@cfg`] — predecessors/successors, RPO, dominators, natural loops,
+//! * [`bitset`] — dense bit sets for dataflow,
+//! * [`liveness`] — backward liveness with the derived-uses-base rule,
+//! * [`deriv`] — derivation inference and path-variable insertion,
+//! * [`verify`] — structural validation,
+//! * [`pretty`] — human-readable dumps,
+//! * [`interp`] — a reference interpreter (no GC) for differential tests.
+
+pub mod bitset;
+pub mod builder;
+pub mod cfg;
+pub mod deriv;
+pub mod func;
+pub mod ids;
+pub mod instr;
+pub mod interp;
+pub mod liveness;
+pub mod pretty;
+pub mod verify;
+
+pub use func::{Block, Function, GlobalInfo, Program, SlotInfo, TempKind};
+pub use ids::{BlockId, FuncId, GlobalId, SlotId, Temp};
+pub use instr::{BinOp, Instr, RuntimeFn, Terminator, UnOp};

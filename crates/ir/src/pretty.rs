@@ -1,0 +1,95 @@
+//! Human-readable IR dumps, for debugging and golden tests.
+
+use std::fmt::Write as _;
+
+use crate::func::{Function, Program};
+use crate::instr::{Instr, Terminator};
+
+fn fmt_instr(ins: &Instr) -> String {
+    match ins {
+        Instr::Const { dst, value } => format!("{dst} = {value}"),
+        Instr::Copy { dst, src } => format!("{dst} = {src}"),
+        Instr::Bin { dst, op, a, b } => format!("{dst} = {a} {op} {b}"),
+        Instr::Un { dst, op, a } => format!("{dst} = {op} {a}"),
+        Instr::Load { dst, addr, offset } => format!("{dst} = [{addr}{offset:+}]"),
+        Instr::Store { addr, offset, src } => format!("[{addr}{offset:+}] = {src}"),
+        Instr::LoadSlot { dst, slot, offset } => format!("{dst} = {slot}[{offset}]"),
+        Instr::StoreSlot { slot, offset, src } => format!("{slot}[{offset}] = {src}"),
+        Instr::SlotAddr { dst, slot } => format!("{dst} = &{slot}"),
+        Instr::LoadGlobal { dst, global } => format!("{dst} = {global}"),
+        Instr::StoreGlobal { global, src } => format!("{global} = {src}"),
+        Instr::GlobalAddr { dst, global } => format!("{dst} = &{global}"),
+        Instr::Call { dst: Some(d), func, args } => format!("{d} = call {func}{args:?}"),
+        Instr::Call { dst: None, func, args } => format!("call {func}{args:?}"),
+        Instr::CallRuntime { dst: Some(d), func, args } => format!("{d} = rt {func}{args:?}"),
+        Instr::CallRuntime { dst: None, func, args } => format!("rt {func}{args:?}"),
+        Instr::New { dst, ty, len: Some(l) } => format!("{dst} = new {ty}[{l}]"),
+        Instr::New { dst, ty, len: None } => format!("{dst} = new {ty}"),
+        Instr::GcPoint => "gcpoint".to_string(),
+    }
+}
+
+fn fmt_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Br { cond, then_bb, else_bb } => format!("br {cond} ? {then_bb} : {else_bb}"),
+        Terminator::Ret(Some(t)) => format!("ret {t}"),
+        Terminator::Ret(None) => "ret".to_string(),
+    }
+}
+
+/// Formats one function.
+#[must_use]
+pub fn function_to_string(f: &Function) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "func {} ({} params, {} temps, {} slots):", f.name, f.n_params, f.temp_count(), f.slots.len());
+    for b in f.block_ids() {
+        let _ = writeln!(s, "{b}:");
+        for ins in &f.block(b).instrs {
+            let _ = writeln!(s, "  {}", fmt_instr(ins));
+        }
+        let _ = writeln!(s, "  {}", fmt_term(&f.block(b).term));
+    }
+    s
+}
+
+/// Formats a whole program.
+#[must_use]
+pub fn program_to_string(p: &Program) -> String {
+    let mut s = String::new();
+    for f in &p.funcs {
+        s.push_str(&function_to_string(f));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::func::TempKind;
+    use crate::instr::BinOp;
+
+    #[test]
+    fn renders_instructions() {
+        let mut b = FuncBuilder::with_ret("add", &[TempKind::Int, TempKind::Int], Some(TempKind::Int));
+        let t = b.bin(BinOp::Add, b.param(0), b.param(1));
+        b.ret(Some(t));
+        let s = function_to_string(&b.finish());
+        assert!(s.contains("func add"));
+        assert!(s.contains("t2 = t0 + t1"));
+        assert!(s.contains("ret t2"));
+    }
+
+    #[test]
+    fn renders_memory_ops() {
+        let mut b = FuncBuilder::new("m", &[TempKind::Ptr]);
+        let v = b.load(b.param(0), 2, TempKind::Int);
+        b.store(b.param(0), 3, v);
+        b.ret(None);
+        let s = function_to_string(&b.finish());
+        assert!(s.contains("t1 = [t0+2]"));
+        assert!(s.contains("[t0+3] = t1"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Structural validation of IR functions and programs.
+//!
+//! Beyond ordinary well-formedness (indices in range, condition temps are
+//! integers), the verifier enforces the invariants the gc-map machinery
+//! relies on:
+//!
+//! * declared-`Ptr` temps are only defined by *tidy* producers (loads,
+//!   allocations, copies of pointers, NIL constants) — never by pointer
+//!   arithmetic;
+//! * derived values never escape to memory (heap, frame slots or globals):
+//!   they live in temps only, where the tables can describe them;
+//! * pointers only ever participate in `+`/`-`/`neg` — the invertible
+//!   operations the derivation tables can undo (§3).
+
+use crate::deriv::DerivAnalysis;
+use crate::func::{Function, Program};
+use crate::ids::Temp;
+use crate::instr::{BinOp, Instr};
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function in which the failure occurred.
+    pub func: String,
+    /// Description of the failure.
+    pub what: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ir verification failed in `{}`: {}", self.func, self.what)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(f: &Function, what: impl Into<String>) -> VerifyError {
+    VerifyError { func: f.name.clone(), what: what.into() }
+}
+
+/// Verifies one function. `deriv` (if supplied) enables the derived-value
+/// escape checks.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_function(
+    f: &Function,
+    program: Option<&Program>,
+    deriv: Option<&DerivAnalysis>,
+) -> Result<(), VerifyError> {
+    let n_temps = f.temp_count();
+    let check_temp = |t: Temp| -> Result<(), VerifyError> {
+        if t.index() >= n_temps {
+            Err(err(f, format!("temp {t} out of range ({n_temps} temps)")))
+        } else {
+            Ok(())
+        }
+    };
+    let is_derived = |t: Temp| deriv.is_some_and(|d| d.is_derived(t));
+    let ptr_like = |t: Temp| f.is_ptr(t) || is_derived(t);
+
+    if f.entry.index() >= f.blocks.len() {
+        return Err(err(f, "entry block out of range"));
+    }
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for ins in &block.instrs {
+            let mut uses = Vec::new();
+            ins.uses(&mut uses);
+            for t in uses.iter().chain(ins.def().iter()) {
+                check_temp(*t)?;
+            }
+            match ins {
+                Instr::Bin { dst, op, a, b } => {
+                    if (ptr_like(*a) || ptr_like(*b)) && !matches!(op, BinOp::Add | BinOp::Sub)
+                        && !op.is_comparison()
+                    {
+                        return Err(err(
+                            f,
+                            format!("non-invertible operator {op} on pointer-like operand in b{bi}"),
+                        ));
+                    }
+                    if f.is_ptr(*dst) {
+                        return Err(err(
+                            f,
+                            format!("arithmetic defines declared pointer {dst} in b{bi}"),
+                        ));
+                    }
+                }
+                Instr::Un { dst, .. } => {
+                    if f.is_ptr(*dst) {
+                        return Err(err(f, format!("unary op defines declared pointer {dst} in b{bi}")));
+                    }
+                }
+                Instr::Const { dst, value } => {
+                    if f.is_ptr(*dst) && *value != 0 {
+                        return Err(err(
+                            f,
+                            format!("non-NIL constant into declared pointer {dst} in b{bi}"),
+                        ));
+                    }
+                }
+                Instr::Copy { dst, src } => {
+                    if f.is_ptr(*dst) && !f.is_ptr(*src) {
+                        return Err(err(
+                            f,
+                            format!("copy of non-pointer {src} into declared pointer {dst} in b{bi}"),
+                        ));
+                    }
+                }
+                Instr::Store { src, .. } => {
+                    if is_derived(*src) {
+                        return Err(err(f, format!("derived value {src} stored to heap in b{bi}")));
+                    }
+                }
+                Instr::StoreSlot { slot, offset, src } => {
+                    let info = f
+                        .slots
+                        .get(slot.index())
+                        .ok_or_else(|| err(f, format!("slot {slot} out of range in b{bi}")))?;
+                    if *offset >= info.words {
+                        return Err(err(f, format!("slot {slot} offset {offset} out of range in b{bi}")));
+                    }
+                    if is_derived(*src) {
+                        return Err(err(f, format!("derived value {src} stored to slot in b{bi}")));
+                    }
+                }
+                Instr::LoadSlot { slot, offset, .. } => {
+                    let info = f
+                        .slots
+                        .get(slot.index())
+                        .ok_or_else(|| err(f, format!("slot {slot} out of range in b{bi}")))?;
+                    if *offset >= info.words {
+                        return Err(err(f, format!("slot {slot} offset {offset} out of range in b{bi}")));
+                    }
+                }
+                Instr::SlotAddr { slot, .. } => {
+                    if slot.index() >= f.slots.len() {
+                        return Err(err(f, format!("slot {slot} out of range in b{bi}")));
+                    }
+                }
+                Instr::StoreGlobal { src, .. } => {
+                    if is_derived(*src) {
+                        return Err(err(f, format!("derived value {src} stored to global in b{bi}")));
+                    }
+                }
+                Instr::Call { func, args, .. } => {
+                    if let Some(p) = program {
+                        let callee = p
+                            .funcs
+                            .get(func.index())
+                            .ok_or_else(|| err(f, format!("call target {func} out of range in b{bi}")))?;
+                        if callee.n_params != args.len() {
+                            return Err(err(
+                                f,
+                                format!(
+                                    "call to `{}` passes {} args, expects {} in b{bi}",
+                                    callee.name,
+                                    args.len(),
+                                    callee.n_params
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Instr::CallRuntime { func, args, .. } => {
+                    if args.len() != func.arity() {
+                        return Err(err(
+                            f,
+                            format!("runtime call {func} passes {} args in b{bi}", args.len()),
+                        ));
+                    }
+                }
+                Instr::New { ty, .. } => {
+                    if let Some(p) = program {
+                        if ty.0 as usize >= p.types.len() {
+                            return Err(err(f, format!("type {ty} out of range in b{bi}")));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut term_uses = Vec::new();
+        block.term.uses(&mut term_uses);
+        for t in term_uses {
+            check_temp(t)?;
+        }
+        for s in block.term.successors() {
+            if s.index() >= f.blocks.len() {
+                return Err(err(f, format!("successor {s} of b{bi} out of range")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies every function of a program.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_program(p: &Program) -> Result<(), VerifyError> {
+    if p.main.index() >= p.funcs.len() {
+        return Err(VerifyError { func: "<program>".into(), what: "main out of range".into() });
+    }
+    for f in &p.funcs {
+        verify_function(f, Some(p), None)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::deriv::analyze_and_resolve;
+    use crate::func::TempKind;
+    use crate::ids::FuncId;
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut b = FuncBuilder::with_ret("f", &[TempKind::Int], Some(TempKind::Int));
+        let t = b.bin(BinOp::Add, b.param(0), b.param(0));
+        b.ret(Some(t));
+        let f = b.finish();
+        assert_eq!(verify_function(&f, None, None), Ok(()));
+    }
+
+    #[test]
+    fn rejects_pointer_multiplication() {
+        let mut b = FuncBuilder::new("f", &[TempKind::Ptr, TempKind::Int]);
+        let t = b.bin(BinOp::Mul, b.param(0), b.param(1));
+        b.ret(Some(t));
+        let f = b.finish();
+        let e = verify_function(&f, None, None).unwrap_err();
+        assert!(e.what.contains("non-invertible"), "{e}");
+    }
+
+    #[test]
+    fn rejects_arithmetic_into_declared_pointer() {
+        let mut b = FuncBuilder::new("f", &[TempKind::Int, TempKind::Int]);
+        let dst = b.temp(TempKind::Ptr);
+        b.push(Instr::Bin { dst, op: BinOp::Add, a: Temp(0), b: Temp(1) });
+        b.ret(None);
+        let f = b.finish();
+        let e = verify_function(&f, None, None).unwrap_err();
+        assert!(e.what.contains("defines declared pointer"), "{e}");
+    }
+
+    #[test]
+    fn rejects_derived_escape_to_heap() {
+        let mut b = FuncBuilder::new("f", &[TempKind::Ptr, TempKind::Int]);
+        let d = b.bin(BinOp::Add, b.param(0), b.param(1));
+        b.store(b.param(0), 1, d);
+        b.ret(None);
+        let mut f = b.finish();
+        let deriv = analyze_and_resolve(&mut f);
+        let e = verify_function(&f, None, Some(&deriv)).unwrap_err();
+        assert!(e.what.contains("stored to heap"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut p = Program::new();
+        let mut callee = Function::new("two_args", FuncId(0), &[TempKind::Int, TempKind::Int], None);
+        callee.blocks[0].term = crate::instr::Terminator::Ret(None);
+        let callee_id = p.add_func(callee);
+        let mut b = FuncBuilder::new("caller", &[]);
+        let t = b.constant(1);
+        b.call(callee_id, vec![t], None);
+        b.ret(None);
+        let caller = b.finish();
+        let id = p.add_func(caller);
+        p.main = id;
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.what.contains("expects 2"), "{e}");
+    }
+
+    #[test]
+    fn rejects_slot_offset_out_of_range() {
+        use crate::func::SlotInfo;
+        let mut b = FuncBuilder::new("f", &[]);
+        let s = b.slot(SlotInfo::scalar("x", TempKind::Int, false));
+        let t = b.constant(1);
+        b.push(Instr::StoreSlot { slot: s, offset: 5, src: t });
+        b.ret(None);
+        let f = b.finish();
+        assert!(verify_function(&f, None, None).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Dead code elimination.
+//!
+//! Removes pure instructions whose results are not live. Note this uses
+//! *plain* liveness — the dead-base rule (§4) is a property of gc-point
+//! emission, not of program semantics: a base's defining instruction is
+//! never "dead" while a derived value computed from it is used, because
+//! the derivation itself consumes the base.
+
+use m3gc_ir::liveness::liveness;
+use m3gc_ir::Function;
+
+/// Removes dead pure instructions; returns how many were removed.
+pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let lv = liveness(f, None);
+        let mut round = 0;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let live_after = lv.live_after_each(f, b, None);
+            let block = f.block_mut(b);
+            let mut keep = Vec::with_capacity(block.instrs.len());
+            for (i, ins) in block.instrs.drain(..).enumerate() {
+                let dead = match ins.def() {
+                    Some(d) => !live_after[i].contains(d.index()),
+                    None => false,
+                };
+                if dead && !ins.has_side_effects() {
+                    round += 1;
+                } else {
+                    keep.push(ins);
+                }
+            }
+            block.instrs = keep;
+        }
+        removed += round;
+        if round == 0 {
+            return removed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3gc_ir::builder::FuncBuilder;
+    use m3gc_ir::{BinOp, RuntimeFn, TempKind};
+
+    #[test]
+    fn removes_unused_arithmetic() {
+        let mut b = FuncBuilder::with_ret("f", &[TempKind::Int], Some(TempKind::Int));
+        let dead1 = b.constant(1);
+        let _dead2 = b.bin(BinOp::Add, dead1, dead1);
+        let live = b.bin(BinOp::Add, b.param(0), b.param(0));
+        b.ret(Some(live));
+        let mut f = b.finish();
+        let n = eliminate_dead_code(&mut f);
+        // dead2 removal makes dead1 dead too (cascade).
+        assert_eq!(n, 2);
+        assert_eq!(f.instr_count(), 1);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut b = FuncBuilder::new("f", &[]);
+        let x = b.constant(3);
+        b.call_runtime(RuntimeFn::PrintInt, vec![x]);
+        let p = b.new_object(m3gc_core::heap::TypeId(0), None); // result unused, but allocation observable
+        let _ = p;
+        b.ret(None);
+        let mut f = b.finish();
+        eliminate_dead_code(&mut f);
+        assert_eq!(f.instr_count(), 3);
+    }
+
+    #[test]
+    fn keeps_values_live_across_blocks() {
+        let mut b = FuncBuilder::with_ret("f", &[TempKind::Int], Some(TempKind::Int));
+        let x = b.constant(9);
+        let next = b.block();
+        b.jump(next);
+        b.switch_to(next);
+        let y = b.bin(BinOp::Add, x, b.param(0));
+        b.ret(Some(y));
+        let mut f = b.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+    }
+
+    #[test]
+    fn dead_store_targets_are_not_removed() {
+        // Stores are side effects even if the stored temp has other uses.
+        let mut b = FuncBuilder::new("f", &[TempKind::Ptr]);
+        let v = b.constant(1);
+        b.store(b.param(0), 1, v);
+        b.ret(None);
+        let mut f = b.finish();
+        assert_eq!(eliminate_dead_code(&mut f), 0);
+    }
+}

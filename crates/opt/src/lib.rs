@@ -1,0 +1,103 @@
+//! Optimization passes over the m3gc IR.
+//!
+//! The paper's point is that gc support must coexist with a *highly
+//! optimizing* compiler, because optimization is what manufactures untidy
+//! pointers (§2). This crate implements the optimizations named there —
+//! each one maintains (or rather, is made transparent to) the derivation
+//! model, because derived values are re-inferred syntactically from the
+//! optimized code:
+//!
+//! * [`local`] — per-block value numbering: constant folding, copy
+//!   propagation and common subexpression elimination (CSE is §2's third
+//!   example: `&A[i]` computed once and indexed twice);
+//! * [`dce`] — dead code elimination;
+//! * [`simplify`] — CFG cleanup (jump threading, block merging,
+//!   unreachable-code removal);
+//! * [`licm`] — loop-invariant code motion with reassociation, which
+//!   hoists `&A[0]`-style *virtual array origins* out of loops (§2's
+//!   second example: an untidy pointer that may point outside its
+//!   object);
+//! * [`strength`] — strength reduction of induction-variable addressing
+//!   (§2's first example: `A[i]; INC(i)` becomes `*p++`), creating
+//!   loop-carried derived values whose base the *dead base* rule must
+//!   keep alive;
+//! * [`split`] — *path splitting* (Figure 2), the code-duplication
+//!   alternative to path variables for ambiguous derivations.
+
+pub mod dce;
+pub mod licm;
+pub mod local;
+pub mod simplify;
+pub mod split;
+pub mod strength;
+
+use m3gc_ir::{Function, Program};
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// No optimization (straight lowering output).
+    O0,
+    /// Local optimizations: value numbering, DCE, CFG cleanup.
+    O1,
+    /// Plus loop optimizations: LICM/reassociation, strength reduction.
+    O2,
+}
+
+/// How ambiguous derivations are resolved (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathStrategy {
+    /// Introduce path variables (the paper's choice).
+    #[default]
+    Variables,
+    /// Duplicate code so each copy has a unique derivation (Figure 2).
+    /// Falls back to path variables where the pattern is too complex.
+    Splitting,
+}
+
+/// Optimizer options.
+#[derive(Debug, Clone, Copy)]
+pub struct OptOptions {
+    /// Level.
+    pub level: OptLevel,
+    /// Ambiguity resolution strategy.
+    pub path_strategy: PathStrategy,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions { level: OptLevel::O2, path_strategy: PathStrategy::Variables }
+    }
+}
+
+/// Optimizes one function in place.
+pub fn optimize_function(f: &mut Function, options: &OptOptions) {
+    if options.level == OptLevel::O0 {
+        return;
+    }
+    // A few rounds to let the passes feed each other; each is idempotent
+    // so over-iterating is merely wasted work.
+    for round in 0..3 {
+        let mut changed = false;
+        changed |= local::local_value_numbering(f) > 0;
+        if options.level >= OptLevel::O2 && round == 0 {
+            changed |= licm::loop_invariant_code_motion(f) > 0;
+            changed |= strength::strength_reduce(f) > 0;
+        }
+        changed |= dce::eliminate_dead_code(f) > 0;
+        changed |= simplify::simplify_cfg(f) > 0;
+        if !changed {
+            break;
+        }
+    }
+    if options.path_strategy == PathStrategy::Splitting {
+        split::split_paths(f);
+    }
+}
+
+/// Optimizes every function of a program.
+pub fn optimize_program(prog: &mut Program, options: &OptOptions) {
+    for f in &mut prog.funcs {
+        optimize_function(f, options);
+    }
+}

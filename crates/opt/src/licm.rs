@@ -1,0 +1,338 @@
+//! Loop-invariant code motion, with the reassociation that creates
+//! *virtual array origins* (§2).
+//!
+//! Lowering computes a heap element address as `addr := ptr + k` with
+//! `k := i + adj` (where `adj = header − lo` folds the array's lower
+//! bound into the index). Reassociation rewrites this to `vo := ptr +
+//! adj; addr := vo + i`, and hoisting then moves `vo` — an untidy pointer
+//! that may point *outside* its object when `lo > header` — out of the
+//! loop, exactly the paper's virtual-origin example. `vo` is a derived
+//! value live across every gc-point in the loop.
+
+use std::collections::HashSet;
+
+use m3gc_ir::cfg::{self, NaturalLoop};
+use m3gc_ir::{BinOp, BlockId, Function, Instr, Temp, TempKind, Terminator};
+
+/// Is this instruction pure (safe to speculate)? Division cannot trap in
+/// this IR (x div 0 = 0), so all ALU operations qualify.
+fn is_pure(ins: &Instr) -> bool {
+    matches!(
+        ins,
+        Instr::Const { .. }
+            | Instr::Copy { .. }
+            | Instr::Bin { .. }
+            | Instr::Un { .. }
+            | Instr::SlotAddr { .. }
+            | Instr::GlobalAddr { .. }
+    )
+}
+
+/// Count of defs per temp across the whole function.
+fn def_counts(f: &Function) -> Vec<u32> {
+    let mut counts = vec![0u32; f.temp_count()];
+    for block in &f.blocks {
+        for ins in &block.instrs {
+            if let Some(d) = ins.def() {
+                counts[d.index()] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Ensures `l.header` has a preheader: a block that is the only loop entry
+/// edge source. Returns its id.
+pub fn ensure_preheader(f: &mut Function, l: &NaturalLoop) -> BlockId {
+    let preds = cfg::predecessors(f);
+    let outside: Vec<BlockId> = preds[l.header.index()]
+        .iter()
+        .copied()
+        .filter(|p| !l.contains(*p))
+        .collect();
+    // An existing unique outside predecessor that only jumps to the header
+    // already serves as preheader.
+    if outside.len() == 1 {
+        let p = outside[0];
+        if matches!(f.block(p).term, Terminator::Jump(t) if t == l.header) {
+            return p;
+        }
+    }
+    let pre = f.new_block();
+    f.block_mut(pre).term = Terminator::Jump(l.header);
+    for p in outside {
+        let term = &mut f.block_mut(p).term;
+        match term {
+            Terminator::Jump(t) => {
+                if *t == l.header {
+                    *t = pre;
+                }
+            }
+            Terminator::Br { then_bb, else_bb, .. } => {
+                if *then_bb == l.header {
+                    *then_bb = pre;
+                }
+                if *else_bb == l.header {
+                    *else_bb = pre;
+                }
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+    pre
+}
+
+/// Temps with at least one def inside the loop.
+fn defined_in_loop(f: &Function, l: &NaturalLoop) -> HashSet<Temp> {
+    let mut set = HashSet::new();
+    for &b in &l.body {
+        for ins in &f.block(b).instrs {
+            if let Some(d) = ins.def() {
+                set.insert(d);
+            }
+        }
+    }
+    set
+}
+
+/// Reassociates `addr := p + k` / `k := i + adj` into
+/// `vo := p + adj; addr := vo + i` when `p` and `adj` are invariant and
+/// `i` varies, enabling the virtual-origin hoist. Returns rewrites done.
+fn reassociate(f: &mut Function, l: &NaturalLoop) -> usize {
+    let counts = def_counts(f);
+    let in_loop = defined_in_loop(f, l);
+    let invariant = |t: Temp| !in_loop.contains(&t);
+    // Map single-def adds inside the loop: dst -> (a, b).
+    let mut adds: Vec<Option<(Temp, Temp)>> = vec![None; f.temp_count()];
+    for &b in &l.body {
+        for ins in &f.block(b).instrs {
+            if let Instr::Bin { dst, op: BinOp::Add, a, b } = ins {
+                if counts[dst.index()] == 1 {
+                    adds[dst.index()] = Some((*a, *b));
+                }
+            }
+        }
+    }
+    let mut rewrites = Vec::new(); // (block, index, p, varying, invariant_addend)
+    for &bid in &l.body {
+        for (i, ins) in f.block(bid).instrs.iter().enumerate() {
+            let Instr::Bin { dst, op: BinOp::Add, a, b } = ins else { continue };
+            // One side an invariant pointer-ish temp `p`, the other a
+            // single-def in-loop add `k = x + y` with exactly one
+            // invariant side.
+            for (p, k) in [(*a, *b), (*b, *a)] {
+                if !invariant(p) {
+                    continue;
+                }
+                let Some((x, y)) = adds[k.index()] else { continue };
+                if !in_loop.contains(&k) {
+                    continue;
+                }
+                let (varying, inv) = if invariant(x) && !invariant(y) {
+                    (y, x)
+                } else if invariant(y) && !invariant(x) {
+                    (x, y)
+                } else {
+                    continue;
+                };
+                rewrites.push((bid, i, *dst, p, varying, inv));
+                break;
+            }
+        }
+    }
+    let n = rewrites.len();
+    // Later indices first, so insertions don't shift pending positions.
+    rewrites.sort_by_key(|&(bid, i, ..)| (bid, std::cmp::Reverse(i)));
+    for (bid, i, dst, p, varying, inv) in rewrites {
+        let vo = f.new_temp(TempKind::Int);
+        let block = f.block_mut(bid);
+        // Replace `dst = p + k` with `vo = p + inv; dst = vo + varying`.
+        block.instrs[i] = Instr::Bin { dst, op: BinOp::Add, a: vo, b: varying };
+        block.instrs.insert(i, Instr::Bin { dst: vo, op: BinOp::Add, a: p, b: inv });
+    }
+    n
+}
+
+/// Hoists invariant pure single-def instructions of loop `l` into its
+/// preheader. Returns how many were hoisted.
+fn hoist_loop(f: &mut Function, l: &NaturalLoop) -> usize {
+    reassociate(f, l);
+    let mut hoisted = 0;
+    loop {
+        let counts = def_counts(f);
+        let in_loop = defined_in_loop(f, l);
+        let mut found: Option<(BlockId, usize)> = None;
+        'search: for &bid in &l.body {
+            for (i, ins) in f.block(bid).instrs.iter().enumerate() {
+                if !is_pure(ins) {
+                    continue;
+                }
+                let Some(dst) = ins.def() else { continue };
+                if counts[dst.index()] != 1 || dst.index() < f.n_params {
+                    continue;
+                }
+                let mut uses = Vec::new();
+                ins.uses(&mut uses);
+                if uses.iter().any(|u| in_loop.contains(u)) {
+                    continue;
+                }
+                found = Some((bid, i));
+                break 'search;
+            }
+        }
+        let Some((bid, i)) = found else { break };
+        let pre = ensure_preheader(f, l);
+        let ins = f.block_mut(bid).instrs.remove(i);
+        f.block_mut(pre).instrs.push(ins);
+        hoisted += 1;
+    }
+    hoisted
+}
+
+/// Runs LICM over every natural loop (innermost first). Returns the total
+/// number of instructions hoisted.
+pub fn loop_invariant_code_motion(f: &mut Function) -> usize {
+    let mut loops = cfg::natural_loops(f);
+    loops.sort_by_key(|l| l.body.len());
+    let mut seen_headers = Vec::new();
+    let mut hoisted = 0;
+    for l in loops {
+        if seen_headers.contains(&l.header) {
+            continue;
+        }
+        seen_headers.push(l.header);
+        hoisted += hoist_loop(f, &l);
+    }
+    hoisted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3gc_ir::builder::FuncBuilder;
+    use m3gc_ir::interp;
+    use m3gc_ir::Program;
+
+    fn run(f: Function) -> Option<i64> {
+        let mut p = Program::new();
+        let id = p.add_func(f);
+        p.main = id;
+        interp::run_program(&p).unwrap().result
+    }
+
+    /// while (i < n) { s += n*3; i += 1 } — `n*3` must leave the loop.
+    fn invariant_loop() -> (Function, Temp) {
+        let mut b = FuncBuilder::with_ret("f", &[], Some(TempKind::Int));
+        let n = b.constant(10);
+        let i = b.temp(TempKind::Int);
+        let s = b.temp(TempKind::Int);
+        b.push(Instr::Const { dst: i, value: 0 });
+        b.push(Instr::Const { dst: s, value: 0 });
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin(BinOp::Lt, i, n);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let three = b.constant(3);
+        let inv = b.bin(BinOp::Mul, n, three); // invariant!
+        let ns = b.bin(BinOp::Add, s, inv);
+        b.push(Instr::Copy { dst: s, src: ns });
+        let one = b.constant(1);
+        let ni = b.bin(BinOp::Add, i, one);
+        b.push(Instr::Copy { dst: i, src: ni });
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        (b.finish(), inv)
+    }
+
+    #[test]
+    fn hoists_invariant_multiplication() {
+        let (mut f, inv) = invariant_loop();
+        let before = run(f.clone());
+        let n = loop_invariant_code_motion(&mut f);
+        assert!(n >= 2, "expected hoists, got {n}");
+        assert_eq!(run(f.clone()), before);
+        assert_eq!(before, Some(300));
+        // The invariant def must now be outside the loop body.
+        let loops = cfg::natural_loops(&f);
+        let l = &loops[0];
+        let still_inside = l.body.iter().any(|&b| {
+            f.block(b).instrs.iter().any(|ins| ins.def() == Some(inv))
+        });
+        assert!(!still_inside, "invariant def left inside the loop");
+    }
+
+    #[test]
+    fn does_not_hoist_loop_varying() {
+        let (mut f, _) = invariant_loop();
+        loop_invariant_code_motion(&mut f);
+        // `s + inv` depends on s (loop-varying): must stay inside.
+        let loops = cfg::natural_loops(&f);
+        let l = &loops[0];
+        let adds_inside = l
+            .body
+            .iter()
+            .flat_map(|&b| &f.block(b).instrs)
+            .filter(|ins| matches!(ins, Instr::Bin { op: BinOp::Add, .. }))
+            .count();
+        assert!(adds_inside >= 2, "loop-varying adds must remain");
+    }
+
+    #[test]
+    fn reassociation_creates_virtual_origin() {
+        // addr = p + (i + adj): after LICM, vo = p + adj is hoisted and
+        // addr = vo + i remains in the loop.
+        let mut b = FuncBuilder::new("f", &[TempKind::Ptr]);
+        let i = b.temp(TempKind::Int);
+        b.push(Instr::Const { dst: i, value: 0 });
+        let adj = b.constant(-5); // e.g. header - lo with lo=7
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(header);
+        let lim = {
+            b.switch_to(header);
+            let lim = b.constant(10);
+            lim
+        };
+        let c = b.bin(BinOp::Lt, i, lim);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let k = b.bin(BinOp::Add, i, adj);
+        let addr = b.bin(BinOp::Add, b.param(0), k);
+        let v = b.load(addr, 0, TempKind::Int);
+        let _ = v;
+        let one = b.constant(1);
+        let ni = b.bin(BinOp::Add, i, one);
+        b.push(Instr::Copy { dst: i, src: ni });
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        let n = loop_invariant_code_motion(&mut f);
+        assert!(n >= 1);
+        // There must now exist a hoisted `x = p + adj` outside the loop,
+        // i.e. an Add of the pointer param in a non-loop block.
+        let loops = cfg::natural_loops(&f);
+        let l = &loops[0];
+        let vo_outside = f
+            .block_ids()
+            .filter(|b| !l.contains(*b))
+            .flat_map(|b| &f.block(b).instrs)
+            .any(|ins| matches!(ins, Instr::Bin { op: BinOp::Add, a, .. } if *a == Temp(0)));
+        assert!(vo_outside, "virtual origin not hoisted: {}", m3gc_ir::pretty::function_to_string(&f));
+    }
+
+    #[test]
+    fn preheader_creation_preserves_semantics() {
+        let (mut f, _) = invariant_loop();
+        let before = run(f.clone());
+        loop_invariant_code_motion(&mut f);
+        m3gc_ir::verify::verify_function(&f, None, None).unwrap();
+        assert_eq!(run(f), before);
+    }
+}

@@ -1,0 +1,288 @@
+//! Per-block value numbering: constant folding, copy propagation and
+//! common subexpression elimination in one sweep.
+//!
+//! CSE over address arithmetic is §2's third untidy-pointer source: once
+//! `t = &A[i]` is shared by two element accesses, `t` is a derived value
+//! that must be described at any intervening gc-point. Loads are numbered
+//! too, and invalidated by stores, calls and allocations.
+
+use std::collections::HashMap;
+
+use m3gc_ir::{Function, Instr, Temp};
+
+/// Abstract value of a temp within a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Val {
+    /// Known constant.
+    Const(i64),
+    /// Value class id (from the numbering table).
+    Num(u32),
+}
+
+/// Expression key for the numbering table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(m3gc_ir::BinOp, Val, Val),
+    Un(m3gc_ir::UnOp, Val),
+    Load(Val, i32),
+    LoadSlot(u32, u32),
+    SlotAddr(u32),
+    LoadGlobal(u32),
+    GlobalAddr(u32),
+    Const(i64),
+}
+
+struct BlockState {
+    /// Current abstract value of each temp.
+    vals: HashMap<Temp, Val>,
+    /// Expression → (value, representative temp holding it).
+    table: HashMap<Key, (Val, Temp)>,
+    next_num: u32,
+}
+
+impl BlockState {
+    fn fresh(&mut self) -> Val {
+        let v = Val::Num(self.next_num);
+        self.next_num += 1;
+        v
+    }
+
+    fn val_of(&mut self, t: Temp) -> Val {
+        if let Some(v) = self.vals.get(&t) {
+            return *v;
+        }
+        let v = self.fresh();
+        self.vals.insert(t, v);
+        v
+    }
+
+    /// Invalidate all memory-derived facts (on stores, calls, allocations).
+    fn kill_memory(&mut self) {
+        self.table.retain(|k, _| {
+            !matches!(k, Key::Load(..) | Key::LoadSlot(..) | Key::LoadGlobal(..))
+        });
+    }
+
+    /// A temp was (re)defined: any table entry whose representative is the
+    /// temp is stale.
+    fn kill_temp(&mut self, t: Temp) {
+        self.table.retain(|_, (_, rep)| *rep != t);
+        self.vals.remove(&t);
+    }
+}
+
+fn f_kind_matches(kinds: &[m3gc_ir::TempKind], a: Temp, b: Temp) -> bool {
+    kinds[a.index()] == kinds[b.index()]
+}
+
+/// Runs local value numbering over every block; returns the number of
+/// instructions simplified.
+pub fn local_value_numbering(f: &mut Function) -> usize {
+    let mut simplified = 0;
+    let fkinds: Vec<m3gc_ir::TempKind> = f.temp_kinds.clone();
+    for bi in 0..f.blocks.len() {
+        let mut st = BlockState { vals: HashMap::new(), table: HashMap::new(), next_num: 0 };
+        let block = &mut f.blocks[bi];
+        for ins in &mut block.instrs {
+            // First rewrite uses: copy-propagate through representatives.
+            // (A use of t whose value class has a still-valid representative
+            // can read the representative instead; we only rewrite when the
+            // representative differs and is not the same temp.)
+            // Constant operands stay as-is (the IR has no immediates).
+            let key: Option<Key> = match ins {
+                Instr::Const { value, .. } => Some(Key::Const(*value)),
+                Instr::Copy { src, .. } => {
+                    let v = st.val_of(*src);
+                    // Copies don't get table entries; the dst just aliases.
+                    let dst = ins.def().expect("copy defines");
+                    st.kill_temp(dst);
+                    st.vals.insert(dst, v);
+                    continue;
+                }
+                Instr::Bin { op, a, b, dst } => {
+                    let (op, dst) = (*op, *dst);
+                    let va = st.val_of(*a);
+                    let vb = st.val_of(*b);
+                    // Constant folding.
+                    if let (Val::Const(x), Val::Const(y)) = (va, vb) {
+                        let folded = op.eval(x, y);
+                        *ins = Instr::Const { dst, value: folded };
+                        st.kill_temp(dst);
+                        st.vals.insert(dst, Val::Const(folded));
+                        st.table.insert(Key::Const(folded), (Val::Const(folded), dst));
+                        simplified += 1;
+                        continue;
+                    }
+                    // Canonicalize commutative operand order.
+                    let (va, vb) = if op.commutative() && va > vb { (vb, va) } else { (va, vb) };
+                    Some(Key::Bin(op, va, vb))
+                }
+                Instr::Un { op, a, dst } => {
+                    let (op, dst) = (*op, *dst);
+                    let va = st.val_of(*a);
+                    if let Val::Const(x) = va {
+                        let folded = op.eval(x);
+                        *ins = Instr::Const { dst, value: folded };
+                        st.kill_temp(dst);
+                        st.vals.insert(dst, Val::Const(folded));
+                        simplified += 1;
+                        continue;
+                    }
+                    Some(Key::Un(op, va))
+                }
+                Instr::Load { addr, offset, .. } => {
+                    let va = st.val_of(*addr);
+                    Some(Key::Load(va, *offset))
+                }
+                Instr::LoadSlot { slot, offset, .. } => Some(Key::LoadSlot(slot.0, *offset)),
+                Instr::SlotAddr { slot, .. } => Some(Key::SlotAddr(slot.0)),
+                Instr::LoadGlobal { global, .. } => Some(Key::LoadGlobal(global.0)),
+                Instr::GlobalAddr { global, .. } => Some(Key::GlobalAddr(global.0)),
+                Instr::Store { .. } | Instr::StoreSlot { .. } | Instr::StoreGlobal { .. } => {
+                    st.kill_memory();
+                    None
+                }
+                Instr::Call { .. } | Instr::CallRuntime { .. } | Instr::New { .. } => {
+                    st.kill_memory();
+                    if let Some(dst) = ins.def() {
+                        st.kill_temp(dst);
+                        let v = st.fresh();
+                        st.vals.insert(dst, v);
+                    }
+                    continue;
+                }
+                Instr::GcPoint => None,
+            };
+            let Some(key) = key else { continue };
+            let dst = match ins.def() {
+                Some(d) => d,
+                None => continue,
+            };
+            st.kill_temp(dst);
+            if let Some((v, rep)) = st.table.get(&key).copied() {
+                if rep != dst && f_kind_matches(&fkinds, rep, dst) {
+                    // Same kind of value already available: reuse it.
+                    // Replacing a load/arith with a copy of the
+                    // representative is the CSE step.
+                    *ins = Instr::Copy { dst, src: rep };
+                    st.vals.insert(dst, v);
+                    simplified += 1;
+                    continue;
+                }
+            }
+            let v = if let Key::Const(c) = key { Val::Const(c) } else { st.fresh() };
+            st.vals.insert(dst, v);
+            st.table.insert(key, (v, dst));
+        }
+    }
+    simplified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3gc_ir::builder::FuncBuilder;
+    use m3gc_ir::{BinOp, TempKind};
+
+    #[test]
+    fn folds_constants() {
+        let mut b = FuncBuilder::with_ret("f", &[], Some(TempKind::Int));
+        let x = b.constant(6);
+        let y = b.constant(7);
+        let z = b.bin(BinOp::Mul, x, y);
+        b.ret(Some(z));
+        let mut f = b.finish();
+        let n = local_value_numbering(&mut f);
+        assert!(n >= 1);
+        assert!(matches!(
+            f.blocks[0].instrs[2],
+            Instr::Const { value: 42, .. }
+        ));
+        let out = m3gc_ir::interp::run_program(&wrap(f)).unwrap();
+        assert_eq!(out.result, Some(42));
+    }
+
+    fn wrap(func: m3gc_ir::Function) -> m3gc_ir::Program {
+        let mut p = m3gc_ir::Program::new();
+        let id = p.add_func(func);
+        p.main = id;
+        p
+    }
+
+    #[test]
+    fn cse_shares_address_arithmetic() {
+        // t1 = p + i; t2 = p + i  → t2 = copy t1
+        let mut b = FuncBuilder::new("f", &[TempKind::Ptr, TempKind::Int]);
+        let t1 = b.bin(BinOp::Add, b.param(0), b.param(1));
+        let t2 = b.bin(BinOp::Add, b.param(0), b.param(1));
+        let s = b.bin(BinOp::Sub, t1, t2);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        f.ret_kind = Some(TempKind::Int);
+        let n = local_value_numbering(&mut f);
+        assert!(n >= 1);
+        assert!(matches!(f.blocks[0].instrs[1], Instr::Copy { .. }), "{:?}", f.blocks[0].instrs);
+    }
+
+    #[test]
+    fn loads_are_killed_by_stores() {
+        let mut b = FuncBuilder::new("f", &[TempKind::Ptr]);
+        let v1 = b.load(b.param(0), 1, TempKind::Int);
+        b.store(b.param(0), 1, v1);
+        let v2 = b.load(b.param(0), 1, TempKind::Int); // must NOT be CSE'd...
+        let s = b.bin(BinOp::Add, v1, v2);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        f.ret_kind = Some(TempKind::Int);
+        local_value_numbering(&mut f);
+        assert!(
+            matches!(f.blocks[0].instrs[2], Instr::Load { .. }),
+            "load after store must survive: {:?}",
+            f.blocks[0].instrs
+        );
+    }
+
+    #[test]
+    fn redundant_loads_merge_without_stores() {
+        let mut b = FuncBuilder::new("f", &[TempKind::Ptr]);
+        let v1 = b.load(b.param(0), 1, TempKind::Int);
+        let v2 = b.load(b.param(0), 1, TempKind::Int);
+        let s = b.bin(BinOp::Add, v1, v2);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        f.ret_kind = Some(TempKind::Int);
+        let n = local_value_numbering(&mut f);
+        assert!(n >= 1);
+        assert!(matches!(f.blocks[0].instrs[1], Instr::Copy { .. }));
+    }
+
+    #[test]
+    fn copies_propagate_through_value_classes() {
+        let mut b = FuncBuilder::new("f", &[TempKind::Int]);
+        let c = b.copy_of(b.param(0), TempKind::Int);
+        let d = b.bin(BinOp::Add, c, b.param(0));
+        let e = b.bin(BinOp::Add, b.param(0), c); // commutative duplicate
+        let s = b.bin(BinOp::Sub, d, e);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        f.ret_kind = Some(TempKind::Int);
+        let n = local_value_numbering(&mut f);
+        assert!(n >= 1, "commutative CSE should fire");
+    }
+
+    #[test]
+    fn semantics_preserved_on_reference_run() {
+        let mut b = FuncBuilder::with_ret("f", &[], Some(TempKind::Int));
+        let a = b.constant(10);
+        let bb = b.constant(4);
+        let s = b.bin(BinOp::Sub, a, bb);
+        let t = b.bin(BinOp::Mul, s, s);
+        b.ret(Some(t));
+        let mut f = b.finish();
+        let before = m3gc_ir::interp::run_program(&wrap(f.clone())).unwrap();
+        local_value_numbering(&mut f);
+        let after = m3gc_ir::interp::run_program(&wrap(f)).unwrap();
+        assert_eq!(before.result, after.result);
+        assert_eq!(before.result, Some(36));
+    }
+}

@@ -1,0 +1,323 @@
+//! Strength reduction of induction-variable addressing (§2's first
+//! example).
+//!
+//! For a loop with a basic induction variable `i` (updated once per
+//! iteration by a constant) and an address `addr := base + i` with `base`
+//! invariant, the pass introduces an accumulator `sr` initialized to
+//! `base + i` in the preheader and bumped by the step alongside `i`; the
+//! address computation becomes a copy of `sr`. `sr` is a *loop-carried
+//! derived value* — exactly the `*p++` pointer whose base the dead-base
+//! rule (§4) must keep alive for the collector.
+
+use m3gc_ir::cfg::{self, NaturalLoop};
+use m3gc_ir::{BinOp, BlockId, Function, Instr, Temp, TempKind};
+
+/// A detected basic induction variable.
+struct BasicIv {
+    /// The variable.
+    iv: Temp,
+    /// Constant step per iteration.
+    step: i64,
+    /// Location of the `iv := copy ni` update.
+    update: (BlockId, usize),
+}
+
+fn def_counts(f: &Function) -> Vec<u32> {
+    let mut counts = vec![0u32; f.temp_count()];
+    for block in &f.blocks {
+        for ins in &block.instrs {
+            if let Some(d) = ins.def() {
+                counts[d.index()] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Finds basic IVs of loop `l`: temps whose only in-loop def is
+/// `iv := copy(ni)` where `ni := iv + c` (single-def, `c` a constant).
+fn find_basic_ivs(f: &Function, l: &NaturalLoop) -> Vec<BasicIv> {
+    let counts = def_counts(f);
+    // Constants known in the function (single-def Const temps).
+    let mut const_of: Vec<Option<i64>> = vec![None; f.temp_count()];
+    for block in &f.blocks {
+        for ins in &block.instrs {
+            if let Instr::Const { dst, value } = ins {
+                if counts[dst.index()] == 1 {
+                    const_of[dst.index()] = Some(*value);
+                }
+            }
+        }
+    }
+    // In-loop defs per temp.
+    let mut in_loop_defs: Vec<Vec<(BlockId, usize)>> = vec![Vec::new(); f.temp_count()];
+    for &b in &l.body {
+        for (i, ins) in f.block(b).instrs.iter().enumerate() {
+            if let Some(d) = ins.def() {
+                in_loop_defs[d.index()].push((b, i));
+            }
+        }
+    }
+    let mut ivs = Vec::new();
+    for t in (0..f.temp_count() as u32).map(Temp) {
+        let defs = &in_loop_defs[t.index()];
+        if defs.len() != 1 {
+            continue;
+        }
+        let (bid, idx) = defs[0];
+        let Instr::Copy { src: ni, .. } = &f.block(bid).instrs[idx] else { continue };
+        if counts[ni.index()] != 1 || in_loop_defs[ni.index()].len() != 1 {
+            continue;
+        }
+        let (nb, nidx) = in_loop_defs[ni.index()][0];
+        let Instr::Bin { op: BinOp::Add, a, b, .. } = &f.block(nb).instrs[nidx] else { continue };
+        let step = if *a == t {
+            const_of[b.index()]
+        } else if *b == t {
+            const_of[a.index()]
+        } else {
+            None
+        };
+        if let Some(step) = step {
+            ivs.push(BasicIv { iv: t, step, update: (bid, idx) });
+        }
+    }
+    ivs
+}
+
+/// Applies strength reduction to one loop; returns rewrites performed.
+fn reduce_loop(f: &mut Function, l: &NaturalLoop) -> usize {
+    let ivs = find_basic_ivs(f, l);
+    if ivs.is_empty() {
+        return 0;
+    }
+    let counts = def_counts(f);
+    let in_loop_def: Vec<bool> = {
+        let mut v = vec![false; f.temp_count()];
+        for &b in &l.body {
+            for ins in &f.block(b).instrs {
+                if let Some(d) = ins.def() {
+                    v[d.index()] = true;
+                }
+            }
+        }
+        v
+    };
+    // Candidates: single-def `addr := base + iv` in the loop with
+    // invariant base.
+    struct Candidate {
+        at: (BlockId, usize),
+        dst: Temp,
+        base: Temp,
+        iv_index: usize,
+    }
+    let mut candidates = Vec::new();
+    for &bid in &l.body {
+        for (i, ins) in f.block(bid).instrs.iter().enumerate() {
+            let Instr::Bin { dst, op: BinOp::Add, a, b } = ins else { continue };
+            if counts[dst.index()] != 1 {
+                continue;
+            }
+            for (base, ivt) in [(*a, *b), (*b, *a)] {
+                if in_loop_def[base.index()] {
+                    continue;
+                }
+                if let Some(ix) = ivs.iter().position(|c| c.iv == ivt) {
+                    candidates.push(Candidate { at: (bid, i), dst: *dst, base, iv_index: ix });
+                    break;
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return 0;
+    }
+    // Apply, one at a time; indices shift, so re-locate by dst each round.
+    let n = candidates.len();
+    for c in candidates {
+        let iv = &ivs[c.iv_index];
+        let sr = f.new_temp(TempKind::Int);
+        // Preheader: sr := base + iv (uses iv's entry value).
+        let loops_now = cfg::natural_loops(f);
+        let Some(l_now) = loops_now.iter().find(|x| x.header == l.header) else { continue };
+        let pre = super::licm::ensure_preheader(f, l_now);
+        f.block_mut(pre)
+            .instrs
+            .push(Instr::Bin { dst: sr, op: BinOp::Add, a: c.base, b: iv.iv });
+        // Replace the address computation with a copy of sr. Re-locate the
+        // defining instruction by its dst (positions may have shifted).
+        let (bid, _) = c.at;
+        let block = f.block_mut(bid);
+        let pos = block
+            .instrs
+            .iter()
+            .position(|ins| ins.def() == Some(c.dst) && matches!(ins, Instr::Bin { .. }))
+            .expect("candidate def still present");
+        block.instrs[pos] = Instr::Copy { dst: c.dst, src: sr };
+        // Bump sr next to the IV update: sr := sr + step.
+        let step_t = f.new_temp(TempKind::Int);
+        let (ub, _) = iv.update;
+        let ublock = f.block_mut(ub);
+        let upos = ublock
+            .instrs
+            .iter()
+            .position(|ins| ins.def() == Some(iv.iv) && matches!(ins, Instr::Copy { .. }))
+            .expect("iv update still present");
+        ublock.instrs.insert(upos + 1, Instr::Bin { dst: sr, op: BinOp::Add, a: sr, b: step_t });
+        ublock.instrs.insert(upos + 1, Instr::Const { dst: step_t, value: iv.step });
+    }
+    n
+}
+
+/// Runs strength reduction over every loop; returns total rewrites.
+pub fn strength_reduce(f: &mut Function) -> usize {
+    let mut loops = cfg::natural_loops(f);
+    loops.sort_by_key(|l| l.body.len());
+    let mut seen = Vec::new();
+    let mut total = 0;
+    for l in loops {
+        if seen.contains(&l.header) {
+            continue;
+        }
+        seen.push(l.header);
+        total += reduce_loop(f, &l);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3gc_ir::builder::FuncBuilder;
+    use m3gc_ir::interp;
+    use m3gc_ir::Program;
+
+    /// s := Σ mem[p + i] for i in 0..4, with an explicit IV.
+    fn indexed_sum() -> Function {
+        let mut b = FuncBuilder::with_ret("f", &[TempKind::Ptr], Some(TempKind::Int));
+        let i = b.temp(TempKind::Int);
+        let s = b.temp(TempKind::Int);
+        b.push(Instr::Const { dst: i, value: 1 }); // skip header word
+        b.push(Instr::Const { dst: s, value: 0 });
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(header);
+        b.switch_to(header);
+        let lim = b.constant(5);
+        let c = b.bin(BinOp::Lt, i, lim);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let addr = b.bin(BinOp::Add, b.param(0), i);
+        let v = b.load(addr, 0, TempKind::Int);
+        let ns = b.bin(BinOp::Add, s, v);
+        b.push(Instr::Copy { dst: s, src: ns });
+        let one = b.constant(1);
+        let ni = b.bin(BinOp::Add, i, one);
+        b.push(Instr::Copy { dst: i, src: ni });
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        b.finish()
+    }
+
+    fn run_with_array(f: Function) -> Option<i64> {
+        // main: allocate a 4-element array [10,20,30,40], call f.
+        let mut p = Program::new();
+        let ty = p.types.add(m3gc_core::heap::HeapType::Record {
+            name: "A".into(),
+            words: 4,
+            ptr_offsets: vec![],
+        });
+        let fid = p.add_func(f);
+        let mut mb = FuncBuilder::with_ret("main", &[], Some(TempKind::Int));
+        let obj = mb.new_object(ty, None);
+        for (k, v) in [10i64, 20, 30, 40].iter().enumerate() {
+            let c = mb.constant(*v);
+            mb.store(obj, k as i32 + 1, c);
+        }
+        let r = mb.call(fid, vec![obj], Some(TempKind::Int)).unwrap();
+        mb.ret(Some(r));
+        let mid = p.add_func(mb.finish());
+        p.main = mid;
+        interp::run_program(&p).unwrap().result
+    }
+
+    #[test]
+    fn detects_basic_iv() {
+        let f = indexed_sum();
+        let loops = cfg::natural_loops(&f);
+        let ivs = find_basic_ivs(&f, &loops[0]);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].step, 1);
+    }
+
+    #[test]
+    fn reduces_and_preserves_semantics() {
+        let mut f = indexed_sum();
+        let before = run_with_array(f.clone());
+        let n = strength_reduce(&mut f);
+        assert_eq!(n, 1, "{}", m3gc_ir::pretty::function_to_string(&f));
+        m3gc_ir::verify::verify_function(&f, None, None).unwrap();
+        let after = run_with_array(f.clone());
+        assert_eq!(before, after);
+        assert_eq!(before, Some(100));
+        // The loop body's address computation became a copy.
+        let loops = cfg::natural_loops(&f);
+        let copies_in_loop = loops[0]
+            .body
+            .iter()
+            .flat_map(|&b| &f.block(b).instrs)
+            .filter(|i| matches!(i, Instr::Copy { .. }))
+            .count();
+        assert!(copies_in_loop >= 3, "{}", m3gc_ir::pretty::function_to_string(&f));
+    }
+
+    #[test]
+    fn accumulator_is_derived_and_loop_carried() {
+        let mut f = indexed_sum();
+        strength_reduce(&mut f);
+        let deriv = m3gc_ir::deriv::analyze_and_resolve(&mut f);
+        // Some new temp must be derived from the pointer param.
+        let derived_from_param = (0..f.temp_count() as u32).map(Temp).any(|t| {
+            deriv
+                .deriv(t)
+                .is_some_and(|k| k.base_temps().any(|b| b == Temp(0)))
+        });
+        assert!(derived_from_param, "strength-reduced pointer not derived from base");
+    }
+
+    #[test]
+    fn negative_steps_work() {
+        // i counts down; addr = p + i.
+        let mut b = FuncBuilder::with_ret("f", &[TempKind::Ptr], Some(TempKind::Int));
+        let i = b.temp(TempKind::Int);
+        let s = b.temp(TempKind::Int);
+        b.push(Instr::Const { dst: i, value: 4 });
+        b.push(Instr::Const { dst: s, value: 0 });
+        let header = b.block();
+        let body = b.block();
+        let exit = b.block();
+        b.jump(header);
+        b.switch_to(header);
+        let zero = b.constant(0);
+        let c = b.bin(BinOp::Gt, i, zero);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let addr = b.bin(BinOp::Add, b.param(0), i);
+        let v = b.load(addr, 0, TempKind::Int);
+        let ns = b.bin(BinOp::Add, s, v);
+        b.push(Instr::Copy { dst: s, src: ns });
+        let m1 = b.constant(-1);
+        let ni = b.bin(BinOp::Add, i, m1);
+        b.push(Instr::Copy { dst: i, src: ni });
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let before = run_with_array(f.clone());
+        let n = strength_reduce(&mut f);
+        assert_eq!(n, 1);
+        assert_eq!(run_with_array(f), before);
+    }
+}

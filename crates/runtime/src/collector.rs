@@ -1,0 +1,210 @@
+//! The compacting copying collector.
+//!
+//! A classic two-space Cheney collector, made possible by the tables: all
+//! roots (globals, stack slots, registers) are known precisely, so every
+//! object can move. Derived values are updated in the paper's two steps
+//! (§3): first `E := derived − Σ ±base` using the old base values (in
+//! un-derive order: callee frames before callers, derived values before
+//! their bases), then the graph is evacuated, then `derived := E + Σ
+//! ±base` using the relocated bases, in exactly the reverse order.
+
+use std::time::{Duration, Instant};
+
+use m3gc_core::decode::DecoderIndex;
+use m3gc_core::heap::{HeapType, TypeId, ARRAY_HEADER_WORDS};
+use m3gc_vm::machine::Machine;
+
+use crate::trace::{gather_global_roots, gather_stack_roots, read_root, write_root, RootRef};
+
+/// Statistics for one collection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Objects evacuated.
+    pub objects_copied: u64,
+    /// Words evacuated (including headers).
+    pub words_copied: u64,
+    /// Tidy root references processed.
+    pub roots: u64,
+    /// Derived values un-derived and re-derived.
+    pub derived_updated: u64,
+    /// Stack frames traced.
+    pub frames_traced: u64,
+    /// Time spent locating+decoding tables and walking stacks (the §6.3
+    /// "stack tracing" cost), including the derived-value updates.
+    pub trace_time: Duration,
+    /// Total collection time.
+    pub total_time: Duration,
+}
+
+/// Forwards one object pointer, copying the object on first visit.
+/// Returns the new address. `addr` must point at an object header in
+/// from-space.
+fn forward(
+    mem: &mut [i64],
+    types: &m3gc_core::heap::TypeTable,
+    free: &mut i64,
+    stats: &mut GcStats,
+    addr: i64,
+) -> i64 {
+    let header = mem[addr as usize];
+    if header < 0 {
+        // Already forwarded: header holds -(new+1).
+        return -(header + 1);
+    }
+    let ty = types.get(TypeId(header as u32));
+    let len = match ty {
+        HeapType::Array { .. } => mem[addr as usize + 1],
+        HeapType::Record { .. } => 0,
+    };
+    let words = i64::from(ty.object_words(len as u32));
+    let new = *free;
+    mem.copy_within(addr as usize..(addr + words) as usize, new as usize);
+    *free += words;
+    mem[addr as usize] = -(new + 1);
+    stats.objects_copied += 1;
+    stats.words_copied += words as u64;
+    new
+}
+
+/// Runs a full collection. Every non-finished thread must be stopped at a
+/// gc-point.
+///
+/// # Panics
+///
+/// Panics on corrupted heap state or missing tables (compiler/runtime
+/// bugs — the tables make precise collection possible, so imprecision is
+/// always a bug here).
+pub fn collect(m: &mut Machine, index: &DecoderIndex) -> GcStats {
+    let t0 = Instant::now();
+    let mut stats = GcStats::default();
+
+    // --- Locate tables and walk the stacks (the traced part). ---
+    let stack = gather_stack_roots(m, index);
+    let globals = gather_global_roots(m);
+    stats.frames_traced = stack.frames as u64;
+    stats.roots = (stack.tidy.len() + globals.len()) as u64;
+    stats.derived_updated = stack.derivations.len() as u64;
+
+    // Step 1 of the derived-value update: recover E from the old bases,
+    // derived-before-base order (as emitted), callee frames first.
+    for d in &stack.derivations {
+        let mut v = read_root(m, d.target);
+        for &(b, sign) in &d.bases {
+            v -= sign.factor() * read_root(m, b);
+        }
+        write_root(m, d.target, v);
+    }
+    let trace_end = t0.elapsed();
+
+    // --- Evacuate. ---
+    let (from_start, from_end) = m.from_space();
+    let (to_start, _) = m.to_space();
+    let mut free = to_start;
+    let types = m.module.types.clone();
+
+    let mut forward_root = |mem: &mut Vec<i64>, threads: &mut Vec<m3gc_vm::machine::Thread>, r: RootRef, stats: &mut GcStats| {
+        let v = match r {
+            RootRef::Mem(a) => mem[a as usize],
+            RootRef::Reg { thread, reg } => threads[thread as usize].regs[reg as usize],
+        };
+        if v == 0 {
+            return; // NIL
+        }
+        if !(from_start..from_end).contains(&v) {
+            // Already-updated duplicate root (e.g. a pointer parameter
+            // listed both in a register and its AP home after the first
+            // copy was forwarded): forwarding is idempotent.
+            debug_assert!(
+                (m3gc_vm::machine::GLOBAL_BASE as i64..from_end).contains(&v),
+                "tidy root {v} outside every space"
+            );
+            return;
+        }
+        let new = forward(mem, &types, &mut free, stats, v);
+        match r {
+            RootRef::Mem(a) => mem[a as usize] = new,
+            RootRef::Reg { thread, reg } => threads[thread as usize].regs[reg as usize] = new,
+        }
+    };
+
+    // Split-borrow the machine: the trace is done with it; mutate freely.
+    {
+        let Machine { mem, threads, .. } = m;
+        for &r in &globals {
+            forward_root(mem, threads, r, &mut stats);
+        }
+        for &r in &stack.tidy {
+            forward_root(mem, threads, r, &mut stats);
+        }
+        // Cheney scan.
+        let mut scan = to_start;
+        while scan < free {
+            let header = mem[scan as usize];
+            assert!(header >= 0, "forwarded header in to-space at {scan}");
+            let ty = types.get(TypeId(header as u32));
+            let len = match ty {
+                HeapType::Array { .. } => mem[scan as usize + 1],
+                HeapType::Record { .. } => 0,
+            };
+            let words = i64::from(ty.object_words(len as u32));
+            for off in ty.pointer_offsets(len as u32) {
+                let slot = scan + i64::from(off);
+                let v = mem[slot as usize];
+                if v == 0 {
+                    continue;
+                }
+                if (from_start..from_end).contains(&v) {
+                    mem[slot as usize] = forward(mem, &types, &mut free, &mut stats, v);
+                }
+            }
+            scan += words;
+        }
+        let _ = ARRAY_HEADER_WORDS; // (sizes come from descriptors)
+    }
+
+    // Step 2: re-derive from the relocated bases, in reverse order.
+    let t2 = Instant::now();
+    for d in stack.derivations.iter().rev() {
+        let mut v = read_root(m, d.target);
+        for &(b, sign) in &d.bases {
+            v += sign.factor() * read_root(m, b);
+        }
+        write_root(m, d.target, v);
+    }
+    let rederive_time = t2.elapsed();
+
+    m.finish_collection(free);
+    stats.trace_time = trace_end + rederive_time;
+    stats.total_time = t0.elapsed();
+    stats
+}
+
+/// Performs only the table-decoding stack walk and the un-derive/re-derive
+/// round trip, without moving any object. Used by the §6.3 measurement
+/// ("collection being a stack trace") — values are restored exactly.
+pub fn trace_only(m: &mut Machine, index: &DecoderIndex) -> GcStats {
+    let t0 = Instant::now();
+    let mut stats = GcStats::default();
+    let stack = gather_stack_roots(m, index);
+    let globals = gather_global_roots(m);
+    stats.frames_traced = stack.frames as u64;
+    stats.roots = (stack.tidy.len() + globals.len()) as u64;
+    stats.derived_updated = stack.derivations.len() as u64;
+    for d in &stack.derivations {
+        let mut v = read_root(m, d.target);
+        for &(b, sign) in &d.bases {
+            v -= sign.factor() * read_root(m, b);
+        }
+        write_root(m, d.target, v);
+    }
+    for d in stack.derivations.iter().rev() {
+        let mut v = read_root(m, d.target);
+        for &(b, sign) in &d.bases {
+            v += sign.factor() * read_root(m, b);
+        }
+        write_root(m, d.target, v);
+    }
+    stats.trace_time = t0.elapsed();
+    stats.total_time = stats.trace_time;
+    stats
+}

@@ -1,0 +1,26 @@
+//! Run-time system: fully compacting garbage collection driven by the
+//! compiler-emitted tables.
+//!
+//! * [`trace`] — the stack walk: return addresses extracted from frames
+//!   locate each frame's gc-point tables; register contents are
+//!   reconstructed from callee save areas; derivation tables are resolved
+//!   to concrete addresses (reading path variables to disambiguate).
+//! * [`collector`] — semispace Cheney copying collection with the paper's
+//!   two-phase derived-value update: un-derive (recover `E`) before
+//!   objects move, visiting callee frames before callers and derived
+//!   values before their bases; re-derive afterwards in exactly the
+//!   reverse order.
+//! * [`scheduler`] — a round-robin executor implementing §5.3's protocol:
+//!   when a collection is requested, threads that are not at gc-points
+//!   are resumed until they all reach one (loop gc-points bound the
+//!   wait), then the collector runs.
+
+pub mod collector;
+pub mod scheduler;
+pub mod trace;
+
+pub use collector::{collect, GcStats};
+pub use scheduler::{ExecConfig, ExecOutcome, Executor, GcMode};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,255 @@
+//! Round-robin execution with the §5.3 collection protocol.
+//!
+//! Threads run in fixed quanta (simulated pre-emption). When a thread's
+//! allocation fails, a collection becomes pending; all other threads are
+//! resumed and run until each blocks at a gc-point (bounded, thanks to
+//! loop gc-points), then the collector runs and everyone resumes.
+
+use m3gc_core::decode::DecoderIndex;
+use m3gc_vm::machine::{Machine, RunOutcome, ThreadStatus, VmTrap};
+
+use crate::collector::{self, GcStats};
+
+/// What happens when a collection is due.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcMode {
+    /// Real compacting collection.
+    #[default]
+    Full,
+    /// Decode tables and walk stacks but move nothing (§6.3's "collection
+    /// being a stack trace"). Only useful with forced collections and a
+    /// heap large enough to never fill.
+    TraceOnly,
+    /// Do nothing at collection events (§6.3's "null call" baseline).
+    Null,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// Instructions per scheduling quantum.
+    pub quantum: u64,
+    /// Total instruction budget.
+    pub fuel: u64,
+    /// Max instructions a thread may run while advancing to a gc-point.
+    pub max_advance: u64,
+    /// Collection behaviour.
+    pub gc_mode: GcMode,
+    /// Additionally force a collection event every N allocations
+    /// (for gc-torture tests and the §6.3 measurements).
+    pub force_every_allocs: Option<u64>,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            quantum: 10_000,
+            fuel: 2_000_000_000,
+            max_advance: 1_000_000,
+            gc_mode: GcMode::Full,
+            force_every_allocs: None,
+        }
+    }
+}
+
+/// Result of running a program to completion.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Program output.
+    pub output: String,
+    /// Collections performed.
+    pub collections: u64,
+    /// Aggregate collection statistics.
+    pub gc_total: GcStats,
+    /// Per-collection statistics.
+    pub gc_each: Vec<GcStats>,
+    /// Instructions executed.
+    pub steps: u64,
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A thread trapped.
+    Trap(VmTrap),
+    /// The instruction budget ran out.
+    OutOfFuel,
+    /// A thread failed to reach a gc-point within the advance budget
+    /// (missing loop gc-points).
+    StuckThread {
+        /// The offending thread.
+        thread: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Trap(t) => write!(f, "program trapped: {t}"),
+            ExecError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            ExecError::StuckThread { thread } => {
+                write!(f, "thread {thread} failed to reach a gc-point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The executor: a machine plus scheduling state.
+pub struct Executor {
+    /// The machine.
+    pub machine: Machine,
+    /// Configuration.
+    pub config: ExecConfig,
+    /// Per-collection statistics.
+    pub gc_each: Vec<GcStats>,
+    /// Decoder index over the module's gc maps, built once at load.
+    index: DecoderIndex,
+    next_forced: Option<u64>,
+}
+
+impl Executor {
+    /// Wraps a machine.
+    #[must_use]
+    pub fn new(mut machine: Machine, config: ExecConfig) -> Executor {
+        let next_forced = config.force_every_allocs.map(|n| n.max(1));
+        machine.force_gc_after = next_forced;
+        let index = DecoderIndex::build(&machine.module.gc_maps).expect("valid gc maps");
+        Executor { machine, config, gc_each: Vec::new(), index, next_forced }
+    }
+
+    /// Spawns the module's main procedure as thread 0 and runs to
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] on trap, fuel exhaustion, heap exhaustion
+    /// or a stuck thread.
+    pub fn run_main(&mut self) -> Result<ExecOutcome, ExecError> {
+        let main = self.machine.module.main;
+        self.machine.spawn(main, &[]);
+        self.run()
+    }
+
+    /// Brings every non-finished thread to a gc-point.
+    fn advance_all(&mut self) -> Result<(), ExecError> {
+        debug_assert!(self.machine.gc_pending);
+        for tid in 0..self.machine.threads.len() {
+            if self.machine.threads[tid].status != ThreadStatus::Runnable {
+                continue;
+            }
+            match self.machine.run_thread(tid, self.config.max_advance) {
+                RunOutcome::AtGcPoint | RunOutcome::Finished | RunOutcome::NeedGc => {}
+                RunOutcome::OutOfFuel => return Err(ExecError::StuckThread { thread: tid }),
+                RunOutcome::Trap(t) => return Err(ExecError::Trap(t)),
+            }
+        }
+        Ok(())
+    }
+
+    fn do_collection(&mut self) {
+        let stats = match self.config.gc_mode {
+            GcMode::Full => collector::collect(&mut self.machine, &self.index),
+            GcMode::TraceOnly => {
+                let s = collector::trace_only(&mut self.machine, &self.index);
+                // No flip happened; release the threads manually.
+                let alloc = self.machine.alloc_ptr;
+                let was_pending = self.machine.gc_pending;
+                if was_pending {
+                    // Pretend a collection happened at the same spot.
+                    self.machine.gc_pending = false;
+                    for t in &mut self.machine.threads {
+                        if t.status == ThreadStatus::BlockedAtGcPoint {
+                            t.status = ThreadStatus::Runnable;
+                        }
+                    }
+                    self.machine.collections += 1;
+                }
+                let _ = alloc;
+                s
+            }
+            GcMode::Null => {
+                self.machine.gc_pending = false;
+                for t in &mut self.machine.threads {
+                    if t.status == ThreadStatus::BlockedAtGcPoint {
+                        t.status = ThreadStatus::Runnable;
+                    }
+                }
+                self.machine.collections += 1;
+                GcStats::default()
+            }
+        };
+        self.gc_each.push(stats);
+    }
+
+    /// Runs until every thread finishes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Executor::run_main`].
+    pub fn run(&mut self) -> Result<ExecOutcome, ExecError> {
+        let mut fuel = self.config.fuel;
+        let mut last_gc_allocations: Option<u64> = None;
+        'sched: loop {
+            let mut any = false;
+            for tid in 0..self.machine.threads.len() {
+                if self.machine.threads[tid].status != ThreadStatus::Runnable {
+                    continue;
+                }
+                any = true;
+                let _ = any;
+                let quantum = self.config.quantum.min(fuel);
+                if quantum == 0 {
+                    return Err(ExecError::OutOfFuel);
+                }
+                let before = self.machine.steps;
+                let r = self.machine.run_thread(tid, quantum);
+                fuel = fuel.saturating_sub(self.machine.steps - before);
+                match r {
+                    RunOutcome::Finished | RunOutcome::OutOfFuel | RunOutcome::AtGcPoint => {}
+                    RunOutcome::Trap(t) => return Err(ExecError::Trap(t)),
+                    RunOutcome::NeedGc => {
+                        let forced = self
+                            .next_forced
+                            .is_some_and(|n| self.machine.allocations >= n);
+                        if forced {
+                            let every = self.config.force_every_allocs.expect("forced implies configured");
+                            self.next_forced = Some(self.machine.allocations + every.max(1));
+                            self.machine.force_gc_after = self.next_forced;
+                        } else if last_gc_allocations == Some(self.machine.allocations) {
+                            // Out-of-memory: no allocation progress since
+                            // the previous (real) collection.
+                            return Err(ExecError::Trap(VmTrap::OutOfMemory));
+                        } else {
+                            last_gc_allocations = Some(self.machine.allocations);
+                        }
+                        self.advance_all()?;
+                        self.do_collection();
+                    }
+                }
+                continue 'sched;
+            }
+            if !any {
+                break;
+            }
+        }
+        let gc_total = self.gc_each.iter().fold(GcStats::default(), |mut acc, s| {
+            acc.objects_copied += s.objects_copied;
+            acc.words_copied += s.words_copied;
+            acc.roots += s.roots;
+            acc.derived_updated += s.derived_updated;
+            acc.frames_traced += s.frames_traced;
+            acc.trace_time += s.trace_time;
+            acc.total_time += s.total_time;
+            acc
+        });
+        Ok(ExecOutcome {
+            output: self.machine.output.clone(),
+            collections: self.gc_each.len() as u64,
+            gc_total,
+            gc_each: self.gc_each.clone(),
+            steps: self.machine.steps,
+        })
+    }
+}

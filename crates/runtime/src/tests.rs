@@ -1,0 +1,383 @@
+//! End-to-end collector tests: Mini-M3 source → unoptimized IR → VM code
+//! with gc maps → execution under small heaps that force many
+//! collections. Every program's output is checked against the reference
+//! IR interpreter (which never collects).
+
+use m3gc_codegen::{compile_program, CodegenOptions};
+use m3gc_vm::machine::{Machine, MachineConfig};
+
+use crate::scheduler::{ExecConfig, Executor, GcMode};
+
+fn compile(src: &str) -> m3gc_vm::VmModule {
+    let mut prog = m3gc_frontend::compile_to_ir(src).unwrap_or_else(|e| panic!("{e}"));
+    m3gc_ir::verify::verify_program(&prog).unwrap_or_else(|e| panic!("{e}"));
+    compile_program(&mut prog, &CodegenOptions::default())
+}
+
+fn reference_output(src: &str) -> String {
+    let prog = m3gc_frontend::compile_to_ir(src).unwrap_or_else(|e| panic!("{e}"));
+    m3gc_ir::interp::run_program(&prog).unwrap_or_else(|e| panic!("reference run: {e}")).output
+}
+
+/// Runs with a given semispace size; returns (output, collections).
+fn run_with_heap(src: &str, semi_words: usize) -> (String, u64) {
+    let module = compile(src);
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words, stack_words: 1 << 14, max_threads: 4 },
+    );
+    let mut ex = Executor::new(machine, ExecConfig::default());
+    let out = ex.run_main().unwrap_or_else(|e| panic!("{e}\noutput: {}", ex.machine.output));
+    (out.output, out.collections)
+}
+
+/// Checks output equality against the reference interpreter under a small
+/// heap (forcing collections) and asserts at least `min_gcs` collections.
+fn check_gc(src: &str, semi_words: usize, min_gcs: u64) {
+    let expected = reference_output(src);
+    let (out, gcs) = run_with_heap(src, semi_words);
+    assert_eq!(out, expected);
+    assert!(gcs >= min_gcs, "expected at least {min_gcs} collections, got {gcs}");
+}
+
+#[test]
+fn list_reversal_survives_collections() {
+    // Builds a list, repeatedly copies it; garbage accumulates fast.
+    check_gc(
+        "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         PROCEDURE Build(n: INTEGER): List =
+         VAR l: List; i: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO n DO
+             WITH p = NEW(List) DO END;
+           END;
+           l := NIL;
+           FOR i := n TO 1 BY -1 DO
+             WITH q = l DO END;
+             l := Cons(i, l);
+           END;
+           RETURN l;
+         END Build;
+         PROCEDURE Cons(h: INTEGER; t: List): List =
+         VAR c: List;
+         BEGIN
+           c := NEW(List); c.head := h; c.tail := t; RETURN c;
+         END Cons;
+         PROCEDURE Sum(l: List): INTEGER =
+         VAR s: INTEGER;
+         BEGIN
+           s := 0;
+           WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+           RETURN s;
+         END Sum;
+         VAR r, i: INTEGER;
+         BEGIN
+           r := 0;
+           FOR i := 1 TO 20 DO
+             r := r + Sum(Build(30));
+           END;
+           PutInt(r);
+         END M.",
+        600,
+        3,
+    );
+}
+
+#[test]
+fn pointers_in_registers_are_updated() {
+    // A pointer held across many allocating calls must survive moves.
+    check_gc(
+        "MODULE M;
+         TYPE R = REF RECORD x: INTEGER END;
+         PROCEDURE Churn(n: INTEGER) =
+         VAR i: INTEGER; t: R;
+         BEGIN
+           FOR i := 1 TO n DO t := NEW(R); t.x := i; END;
+         END Churn;
+         VAR keep: R; i: INTEGER;
+         BEGIN
+           keep := NEW(R);
+           keep.x := 7777;
+           FOR i := 1 TO 50 DO
+             Churn(40);
+             ASSERT(keep.x = 7777);
+           END;
+           PutInt(keep.x);
+         END M.",
+        400,
+        5,
+    );
+}
+
+#[test]
+fn interior_pointers_rederive_after_moves() {
+    // WITH creates a derived (interior) pointer live across an
+    // allocation; the two-phase update must keep it valid when the array
+    // moves.
+    check_gc(
+        "MODULE M;
+         TYPE A = REF ARRAY [5..12] OF INTEGER;
+              R = REF RECORD x: INTEGER END;
+         VAR a: A; i, j, s: INTEGER; junk: R;
+         BEGIN
+           a := NEW(A);
+           FOR i := 5 TO 12 DO a[i] := i * 100; END;
+           s := 0;
+           FOR i := 5 TO 12 DO
+             WITH h = a[i] DO
+               FOR j := 1 TO 8 DO
+                 junk := NEW(R);  (* triggers collections; h must follow a *)
+                 junk.x := j;
+               END;
+               s := s + h;
+             END;
+           END;
+           PutInt(s);
+         END M.",
+        48,
+        2,
+    );
+}
+
+#[test]
+fn var_params_into_heap_survive_collection() {
+    check_gc(
+        "MODULE M;
+         TYPE R = REF RECORD val: INTEGER END;
+              J = REF RECORD x: INTEGER END;
+         PROCEDURE BumpLots(VAR v: INTEGER) =
+         VAR j: J; i: INTEGER;
+         BEGIN
+           FOR i := 1 TO 10 DO
+             j := NEW(J);    (* forces moves while v points into the heap *)
+             j.x := i;
+             v := v + 1;
+           END;
+         END BumpLots;
+         VAR r: R; i: INTEGER;
+         BEGIN
+           r := NEW(R);
+           r.val := 0;
+           FOR i := 1 TO 30 DO BumpLots(r.val); END;
+           PutInt(r.val);
+         END M.",
+        64,
+        3,
+    );
+}
+
+#[test]
+fn deep_recursion_traces_many_frames() {
+    check_gc(
+        "MODULE M;
+         TYPE L = REF RECORD v: INTEGER; next: L END;
+         PROCEDURE Deep(n: INTEGER; acc: L): INTEGER =
+         VAR c, junk: L;
+         BEGIN
+           IF n = 0 THEN RETURN Len(acc); END;
+           junk := NEW(L);
+           junk.v := n;
+           c := NEW(L);
+           c.v := n;
+           c.next := acc;
+           RETURN Deep(n - 1, c);
+         END Deep;
+         PROCEDURE Len(l: L): INTEGER =
+         VAR n: INTEGER;
+         BEGIN
+           n := 0;
+           WHILE l # NIL DO n := n + 1; l := l.next; END;
+           RETURN n;
+         END Len;
+         BEGIN
+           PutInt(Deep(120, NIL));
+         END M.",
+        450,
+        1,
+    );
+}
+
+#[test]
+fn open_arrays_of_pointers_are_traced() {
+    check_gc(
+        "MODULE M;
+         TYPE R = REF RECORD x: INTEGER END;
+              V = REF ARRAY OF R;
+         VAR v: V; i, s: INTEGER; junk: R;
+         BEGIN
+           v := NEW(V, 20);
+           FOR i := 0 TO 19 DO
+             v[i] := NEW(R);
+             v[i].x := i;
+           END;
+           FOR i := 1 TO 100 DO junk := NEW(R); junk.x := i; END;
+           s := 0;
+           FOR i := 0 TO 19 DO s := s + v[i].x; END;
+           PutInt(s);
+         END M.",
+        128,
+        2,
+    );
+}
+
+#[test]
+fn gc_torture_collects_at_every_gc_point() {
+    // Force a collection event at every single allocation: the most
+    // aggressive exercise of table decoding and derived-value updates.
+    let src = "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         PROCEDURE Cons(h: INTEGER; t: List): List =
+         VAR c: List;
+         BEGIN c := NEW(List); c.head := h; c.tail := t; RETURN c; END Cons;
+         VAR l: List; i, s: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO 25 DO l := Cons(i, l); END;
+           s := 0;
+           WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+           PutInt(s);
+         END M.";
+    let expected = reference_output(src);
+    let module = compile(src);
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words: 4096, stack_words: 4096, max_threads: 2 },
+    );
+    let mut ex = Executor::new(
+        machine,
+        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
+    );
+    let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(out.output, expected);
+    assert!(out.collections >= 20, "got {}", out.collections);
+}
+
+#[test]
+fn trace_only_mode_preserves_semantics() {
+    let src = "MODULE M;
+         TYPE R = REF RECORD x: INTEGER END;
+         VAR r: R; i, s: INTEGER;
+         BEGIN
+           s := 0;
+           FOR i := 1 TO 50 DO r := NEW(R); r.x := i; s := s + r.x; END;
+           PutInt(s);
+         END M.";
+    let expected = reference_output(src);
+    let module = compile(src);
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words: 1 << 16, stack_words: 4096, max_threads: 2 },
+    );
+    let mut ex = Executor::new(
+        machine,
+        ExecConfig {
+            gc_mode: GcMode::TraceOnly,
+            force_every_allocs: Some(5),
+            ..ExecConfig::default()
+        },
+    );
+    let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(out.output, expected);
+    assert!(out.gc_total.frames_traced > 0);
+}
+
+#[test]
+fn out_of_memory_is_detected() {
+    let src = "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         VAR l: List; i: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO 10000 DO
+             WITH c = NEW(List) DO END;
+             l := Grow(l, i);
+           END;
+         END M.
+         ".replace(
+            "l := Grow(l, i);",
+            "WITH c2 = NEW(List) DO c2.head := i; c2.tail := l; l := c2; END;",
+        );
+    let module = compile(&src);
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words: 512, stack_words: 4096, max_threads: 2 },
+    );
+    let mut ex = Executor::new(machine, ExecConfig::default());
+    let r = ex.run_main();
+    assert_eq!(
+        r.err().map(|e| matches!(e, crate::scheduler::ExecError::Trap(m3gc_vm::machine::VmTrap::OutOfMemory))),
+        Some(true)
+    );
+}
+
+#[test]
+fn two_threads_advance_to_gc_points() {
+    // Spawn two threads running the same allocating procedure; when one
+    // triggers a collection the other must advance to a gc-point.
+    let src = "MODULE M;
+         TYPE R = REF RECORD x: INTEGER END;
+         PROCEDURE Work(n: INTEGER): INTEGER =
+         VAR i, s: INTEGER; r: R;
+         BEGIN
+           s := 0;
+           FOR i := 1 TO n DO
+             r := NEW(R);
+             r.x := i;
+             s := s + r.x;
+           END;
+           RETURN s;
+         END Work;
+         BEGIN
+           PutInt(Work(100));
+         END M.";
+    let module = compile(src);
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words: 128, stack_words: 4096, max_threads: 4 },
+    );
+    let mut ex = Executor::new(machine, ExecConfig::default());
+    // Thread 0: main. Threads 1, 2: Work(50) directly.
+    ex.machine.spawn(ex.machine.module.main, &[]);
+    let work = ex
+        .machine
+        .module
+        .procs
+        .iter()
+        .position(|p| p.name == "Work")
+        .expect("Work proc") as u16;
+    ex.machine.spawn(work, &[50]);
+    ex.machine.spawn(work, &[50]);
+    let out = ex.run().unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(out.output, "5050");
+    assert!(out.collections >= 1);
+    assert!(ex.machine.threads.iter().all(|t| t.status == m3gc_vm::machine::ThreadStatus::Finished));
+}
+
+#[test]
+fn collection_stats_are_plausible() {
+    let src = "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         VAR l: List; i: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO 200 DO
+             WITH c = NEW(List) DO c.head := i; c.tail := l; l := c; END;
+             IF i MOD 10 = 0 THEN l := NIL; END;
+           END;
+           PutInt(0);
+         END M.";
+    let module = compile(src);
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words: 256, stack_words: 4096, max_threads: 2 },
+    );
+    let mut ex = Executor::new(machine, ExecConfig::default());
+    let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
+    assert!(out.collections > 0);
+    // Dropping the list every 10 elements keeps survivors tiny.
+    let per = out.gc_total.objects_copied / out.collections.max(1);
+    assert!(per < 30, "too many survivors per collection: {per}");
+    assert!(out.gc_total.frames_traced >= out.collections);
+}

@@ -1,0 +1,180 @@
+//! Stack tracing: from suspended threads to concrete root references.
+//!
+//! At garbage collection time the first task is to locate the tables for
+//! each frame on the stack; return addresses extracted from frames index
+//! the pc map (§3). Walking from the innermost frame outward, the tracer
+//! maintains, for every hard register, *where that register's value as of
+//! this frame actually lives*: in the machine register itself, or in a
+//! callee's save area further down the stack (the callee saved it before
+//! reusing the register). Ground-table entries resolve against the
+//! frame's `FP`/`AP`; derivation entries resolve the same way, and
+//! ambiguous derivations read their path variable's current value to
+//! select the variant that actually happened (§4).
+
+use m3gc_core::decode::DecoderIndex;
+use m3gc_core::derive::{DerivationRecord, Sign};
+use m3gc_core::layout::{BaseReg, Location, NUM_HARD_REGS};
+use m3gc_vm::machine::{Machine, ThreadStatus, RETURN_SENTINEL};
+
+/// A reference to a root: either a memory word or a live machine register
+/// of some thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootRef {
+    /// A memory word (stack slot, save-area slot, or global).
+    Mem(i64),
+    /// An actual machine register of a thread (innermost frames only).
+    Reg {
+        /// Thread index.
+        thread: u32,
+        /// Register number.
+        reg: u8,
+    },
+}
+
+/// A derivation with every location resolved to a [`RootRef`] and any
+/// ambiguity already settled via its path variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedDerivation {
+    /// Where the derived value lives.
+    pub target: RootRef,
+    /// The base references with their signs.
+    pub bases: Vec<(RootRef, Sign)>,
+}
+
+/// Everything the collector needs from the stacks and registers.
+#[derive(Debug, Clone, Default)]
+pub struct StackRoots {
+    /// Tidy pointer locations, callee-before-caller within each thread.
+    pub tidy: Vec<RootRef>,
+    /// Derived-value records in un-derive order (callee frames first,
+    /// derived before base within a gc-point).
+    pub derivations: Vec<ResolvedDerivation>,
+    /// Number of frames traced (for the §6.3 per-frame cost figures).
+    pub frames: usize,
+}
+
+/// Reads a [`RootRef`].
+#[must_use]
+pub fn read_root(m: &Machine, r: RootRef) -> i64 {
+    match r {
+        RootRef::Mem(a) => m.mem[a as usize],
+        RootRef::Reg { thread, reg } => m.threads[thread as usize].regs[reg as usize],
+    }
+}
+
+/// Writes a [`RootRef`].
+pub fn write_root(m: &mut Machine, r: RootRef, v: i64) {
+    match r {
+        RootRef::Mem(a) => m.mem[a as usize] = v,
+        RootRef::Reg { thread, reg } => m.threads[thread as usize].regs[reg as usize] = v,
+    }
+}
+
+/// Per-register location map while unwinding one thread's stack.
+type RegLocs = [RootRef; NUM_HARD_REGS];
+
+fn resolve_location(loc: Location, fp: i64, ap: i64, sp: i64, regs: &RegLocs) -> RootRef {
+    match loc {
+        Location::Reg(r) => regs[r as usize],
+        Location::Slot(base, off) => {
+            let b = match base {
+                BaseReg::Fp => fp,
+                BaseReg::Ap => ap,
+                BaseReg::Sp => sp,
+            };
+            RootRef::Mem(b + i64::from(off))
+        }
+    }
+}
+
+/// Walks every suspended thread's stack and gathers roots.
+///
+/// Every thread must be stopped at a gc-point (the scheduler guarantees
+/// this before invoking the collector).
+///
+/// # Panics
+///
+/// Panics if a frame's pc has no gc-point tables — that would be a
+/// compiler bug (a collection at a point the compiler did not describe).
+#[must_use]
+pub fn gather_stack_roots(m: &Machine, index: &DecoderIndex) -> StackRoots {
+    let bytes: &[u8] = &m.module.gc_maps.bytes;
+    let mut out = StackRoots::default();
+    for (tid, t) in m.threads.iter().enumerate() {
+        if t.status == ThreadStatus::Finished {
+            continue;
+        }
+        debug_assert_eq!(t.status, ThreadStatus::BlockedAtGcPoint, "thread {tid} not at a gc-point");
+        // Register contents start out in the actual machine registers.
+        let mut reg_locs: RegLocs =
+            std::array::from_fn(|r| RootRef::Reg { thread: tid as u32, reg: r as u8 });
+        let mut pc = t.pc;
+        let mut fp = t.fp;
+        let mut ap = t.ap;
+        let mut sp = t.sp;
+        loop {
+            out.frames += 1;
+            let point = index.lookup(bytes, pc).unwrap_or_else(|| {
+                panic!(
+                    "no gc tables for pc {pc} in `{}` (thread {tid})",
+                    m.module.proc_at(pc).map_or("?", |(_, p)| p.name.as_str())
+                )
+            });
+            for entry in &point.stack_slots {
+                let root = resolve_location(Location::Slot(entry.base, entry.offset), fp, ap, sp, &reg_locs);
+                out.tidy.push(root);
+            }
+            for r in point.regs.iter() {
+                out.tidy.push(reg_locs[r as usize]);
+            }
+            for rec in &point.derivations {
+                let target = resolve_location(rec.target(), fp, ap, sp, &reg_locs);
+                let bases = match rec {
+                    DerivationRecord::Simple { bases, .. } => bases.clone(),
+                    DerivationRecord::Ambiguous { path_var, variants, .. } => {
+                        let pv = resolve_location(*path_var, fp, ap, sp, &reg_locs);
+                        let which = read_root(m, pv);
+                        let idx = usize::try_from(which).ok().filter(|i| *i < variants.len())
+                            .unwrap_or_else(|| panic!("path variable out of range: {which}"));
+                        variants[idx].clone()
+                    }
+                };
+                let bases = bases
+                    .into_iter()
+                    .map(|(loc, sign)| (resolve_location(loc, fp, ap, sp, &reg_locs), sign))
+                    .collect();
+                out.derivations.push(ResolvedDerivation { target, bases });
+            }
+            // Unwind to the caller: registers saved by this procedure live
+            // in its save area, so the caller's view of those registers is
+            // those stack slots.
+            let (_, meta) = m.module.proc_at(pc).expect("pc within a procedure");
+            for &(reg, off) in &meta.save_regs {
+                reg_locs[reg as usize] = RootRef::Mem(fp + i64::from(off));
+            }
+            let retpc = m.mem[(fp - 3) as usize];
+            if retpc == RETURN_SENTINEL {
+                break;
+            }
+            // The caller's SP at the time of the call: the arg block plus
+            // linkage had been pushed, so its SP was `ap` before pushing.
+            sp = ap;
+            let old_fp = m.mem[(fp - 2) as usize];
+            let old_ap = m.mem[(fp - 1) as usize];
+            pc = retpc as u32;
+            fp = old_fp;
+            ap = old_ap;
+        }
+    }
+    out
+}
+
+/// Gathers the global-area roots.
+#[must_use]
+pub fn gather_global_roots(m: &Machine) -> Vec<RootRef> {
+    m.module
+        .global_ptr_roots
+        .iter()
+        .map(|&off| RootRef::Mem(m.globals_start() as i64 + i64::from(off)))
+        .collect()
+}

@@ -1,0 +1,220 @@
+//! Instruction decoding.
+
+use crate::encode::{alu_from_byte, breg_from_byte, op_from_byte, unvlq64, Op};
+use crate::isa::{Instr, UnAluOp};
+
+/// Decodes the instruction at byte offset `pos`, returning it and its
+/// encoded length. `None` on malformed input.
+#[must_use]
+pub fn decode_instr(code: &[u8], pos: usize) -> Option<(Instr, usize)> {
+    let op = op_from_byte(*code.get(pos)?)?;
+    let mut p = pos + 1;
+    let byte = |p: &mut usize| -> Option<u8> {
+        let b = *code.get(*p)?;
+        *p += 1;
+        Some(b)
+    };
+    let vlq = |p: &mut usize| -> Option<i64> {
+        let (v, n) = unvlq64(code, *p)?;
+        *p += n;
+        Some(v)
+    };
+    let u16le = |p: &mut usize| -> Option<u16> {
+        let v = u16::from_le_bytes([*code.get(*p)?, *code.get(*p + 1)?]);
+        *p += 2;
+        Some(v)
+    };
+    let u32le = |p: &mut usize| -> Option<u32> {
+        let v = u32::from_le_bytes([
+            *code.get(*p)?,
+            *code.get(*p + 1)?,
+            *code.get(*p + 2)?,
+            *code.get(*p + 3)?,
+        ]);
+        *p += 4;
+        Some(v)
+    };
+    let ins = match op {
+        Op::MovI => {
+            let dst = byte(&mut p)?;
+            let imm = vlq(&mut p)?;
+            Instr::MovI { dst, imm }
+        }
+        Op::Mov => Instr::Mov { dst: byte(&mut p)?, src: byte(&mut p)? },
+        Op::Alu => {
+            let op = alu_from_byte(byte(&mut p)?)?;
+            Instr::Alu { op, dst: byte(&mut p)?, a: byte(&mut p)?, b: byte(&mut p)? }
+        }
+        Op::AluI => {
+            let op = alu_from_byte(byte(&mut p)?)?;
+            let dst = byte(&mut p)?;
+            let a = byte(&mut p)?;
+            let imm = vlq(&mut p)?;
+            Instr::AluI { op, dst, a, imm }
+        }
+        Op::UnAlu => {
+            let op = match byte(&mut p)? {
+                0 => UnAluOp::Neg,
+                1 => UnAluOp::Not,
+                _ => return None,
+            };
+            Instr::UnAlu { op, dst: byte(&mut p)?, a: byte(&mut p)? }
+        }
+        Op::Ld => {
+            let dst = byte(&mut p)?;
+            let base = byte(&mut p)?;
+            let off = vlq(&mut p)? as i32;
+            Instr::Ld { dst, base, off }
+        }
+        Op::St => {
+            let base = byte(&mut p)?;
+            let src = byte(&mut p)?;
+            let off = vlq(&mut p)? as i32;
+            Instr::St { base, off, src }
+        }
+        Op::LdF => {
+            let dst = byte(&mut p)?;
+            let breg = breg_from_byte(byte(&mut p)?)?;
+            let off = vlq(&mut p)? as i32;
+            Instr::LdF { dst, breg, off }
+        }
+        Op::StF => {
+            let breg = breg_from_byte(byte(&mut p)?)?;
+            let src = byte(&mut p)?;
+            let off = vlq(&mut p)? as i32;
+            Instr::StF { breg, off, src }
+        }
+        Op::Lea => {
+            let dst = byte(&mut p)?;
+            let breg = breg_from_byte(byte(&mut p)?)?;
+            let off = vlq(&mut p)? as i32;
+            Instr::Lea { dst, breg, off }
+        }
+        Op::LdG => {
+            let dst = byte(&mut p)?;
+            let goff = vlq(&mut p)? as u32;
+            Instr::LdG { dst, goff }
+        }
+        Op::StG => {
+            let src = byte(&mut p)?;
+            let goff = vlq(&mut p)? as u32;
+            Instr::StG { goff, src }
+        }
+        Op::LeaG => {
+            let dst = byte(&mut p)?;
+            let goff = vlq(&mut p)? as u32;
+            Instr::LeaG { dst, goff }
+        }
+        Op::Push => Instr::Push { src: byte(&mut p)? },
+        Op::Call => {
+            let proc = u16le(&mut p)?;
+            let nargs = byte(&mut p)?;
+            Instr::Call { proc, nargs }
+        }
+        Op::Ret => Instr::Ret,
+        Op::Jmp => Instr::Jmp { target: u32le(&mut p)? },
+        Op::Brt => {
+            let cond = byte(&mut p)?;
+            Instr::Brt { cond, target: u32le(&mut p)? }
+        }
+        Op::Brf => {
+            let cond = byte(&mut p)?;
+            Instr::Brf { cond, target: u32le(&mut p)? }
+        }
+        Op::Alloc => {
+            let dst = byte(&mut p)?;
+            let ty = u16le(&mut p)?;
+            Instr::Alloc { dst, ty }
+        }
+        Op::AllocA => {
+            let dst = byte(&mut p)?;
+            let ty = u16le(&mut p)?;
+            let len = byte(&mut p)?;
+            Instr::AllocA { dst, ty, len }
+        }
+        Op::GcPoint => Instr::GcPoint,
+        Op::Sys => Instr::Sys { code: byte(&mut p)?, arg: byte(&mut p)? },
+        Op::Halt => Instr::Halt,
+    };
+    Some((ins, p - pos))
+}
+
+/// Pre-decoded program: instruction plus next pc, indexed by a dense map
+/// from byte pc.
+#[derive(Debug, Clone)]
+pub struct DecodedCode {
+    /// Decoded instructions, in code order.
+    pub instrs: Vec<(Instr, u32)>,
+    /// `pc_index[pc]` = index into `instrs`, or `u32::MAX` mid-instruction.
+    pub pc_index: Vec<u32>,
+}
+
+impl DecodedCode {
+    /// Decodes a whole code stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed code (the assembler produced it, so this is a
+    /// bug).
+    #[must_use]
+    pub fn new(code: &[u8]) -> DecodedCode {
+        let mut instrs = Vec::new();
+        let mut pc_index = vec![u32::MAX; code.len() + 1];
+        let mut pos = 0;
+        while pos < code.len() {
+            let (ins, n) = decode_instr(code, pos).unwrap_or_else(|| {
+                panic!("malformed instruction at pc {pos}");
+            });
+            pc_index[pos] = instrs.len() as u32;
+            instrs.push((ins, (pos + n) as u32));
+            pos += n;
+        }
+        DecodedCode { instrs, pc_index }
+    }
+
+    /// The instruction at byte pc, with its successor pc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is not an instruction boundary.
+    #[must_use]
+    pub fn at(&self, pc: u32) -> &(Instr, u32) {
+        let idx = self.pc_index[pc as usize];
+        assert_ne!(idx, u32::MAX, "pc {pc} is mid-instruction");
+        &self.instrs[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_instr;
+
+    #[test]
+    fn decoded_code_indexes_boundaries() {
+        let mut code = Vec::new();
+        encode_instr(&Instr::MovI { dst: 0, imm: 7 }, &mut code);
+        let second_pc = code.len() as u32;
+        encode_instr(&Instr::Halt, &mut code);
+        let d = DecodedCode::new(&code);
+        assert_eq!(d.instrs.len(), 2);
+        assert_eq!(d.at(0).0, Instr::MovI { dst: 0, imm: 7 });
+        assert_eq!(d.at(0).1, second_pc);
+        assert_eq!(d.at(second_pc).0, Instr::Halt);
+    }
+
+    #[test]
+    #[should_panic(expected = "mid-instruction")]
+    fn mid_instruction_pc_panics() {
+        let mut code = Vec::new();
+        encode_instr(&Instr::MovI { dst: 0, imm: 7 }, &mut code);
+        let d = DecodedCode::new(&code);
+        let _ = d.at(1);
+    }
+
+    #[test]
+    fn garbage_decodes_to_none() {
+        assert!(decode_instr(&[0xff], 0).is_none());
+        assert!(decode_instr(&[], 0).is_none());
+    }
+}

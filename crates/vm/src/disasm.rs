@@ -1,0 +1,92 @@
+//! Disassembler, for debugging and golden tests.
+
+use crate::decode::decode_instr;
+use crate::isa::Instr;
+use crate::module::VmModule;
+
+/// Formats one instruction.
+#[must_use]
+pub fn format_instr(ins: &Instr) -> String {
+    match ins {
+        Instr::MovI { dst, imm } => format!("movi  r{dst}, {imm}"),
+        Instr::Mov { dst, src } => format!("mov   r{dst}, r{src}"),
+        Instr::Alu { op, dst, a, b } => {
+            format!("{:<5} r{dst}, r{a}, r{b}", format!("{op:?}").to_lowercase())
+        }
+        Instr::AluI { op, dst, a, imm } => {
+            format!("{:<5} r{dst}, r{a}, {imm}", format!("{op:?}").to_lowercase())
+        }
+        Instr::UnAlu { op, dst, a } => {
+            format!("{:<5} r{dst}, r{a}", format!("{op:?}").to_lowercase())
+        }
+        Instr::Ld { dst, base, off } => format!("ld    r{dst}, [r{base}{off:+}]"),
+        Instr::St { base, off, src } => format!("st    [r{base}{off:+}], r{src}"),
+        Instr::LdF { dst, breg, off } => format!("ld    r{dst}, [{breg}{off:+}]"),
+        Instr::StF { breg, off, src } => format!("st    [{breg}{off:+}], r{src}"),
+        Instr::Lea { dst, breg, off } => format!("lea   r{dst}, {breg}{off:+}"),
+        Instr::LdG { dst, goff } => format!("ldg   r{dst}, g[{goff}]"),
+        Instr::StG { goff, src } => format!("stg   g[{goff}], r{src}"),
+        Instr::LeaG { dst, goff } => format!("leag  r{dst}, g[{goff}]"),
+        Instr::Push { src } => format!("push  r{src}"),
+        Instr::Call { proc, nargs } => format!("call  p{proc}, {nargs}"),
+        Instr::Ret => "ret".to_string(),
+        Instr::Jmp { target } => format!("jmp   {target}"),
+        Instr::Brt { cond, target } => format!("brt   r{cond}, {target}"),
+        Instr::Brf { cond, target } => format!("brf   r{cond}, {target}"),
+        Instr::Alloc { dst, ty } => format!("alloc r{dst}, ty{ty}"),
+        Instr::AllocA { dst, ty, len } => format!("alloc r{dst}, ty{ty}[r{len}]"),
+        Instr::GcPoint => "gcpoint".to_string(),
+        Instr::Sys { code, arg } => format!("sys   {code}, r{arg}"),
+        Instr::Halt => "halt".to_string(),
+    }
+}
+
+/// Disassembles a whole module, with procedure headers and gc-point marks.
+#[must_use]
+pub fn disassemble(module: &VmModule) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let decoder = m3gc_core::decode::TableDecoder::try_new(&module.gc_maps).ok();
+    let gc_pcs: std::collections::HashSet<u32> =
+        decoder.as_ref().map(|d| d.gc_point_pcs().collect()).unwrap_or_default();
+    let mut pos = 0usize;
+    while pos < module.code.len() {
+        if let Some((_, meta)) = module.proc_at(pos as u32) {
+            if meta.entry_pc == pos as u32 {
+                let _ = writeln!(
+                    out,
+                    "\n{}:  (frame {} words, {} args)",
+                    meta.name, meta.frame_words, meta.n_args
+                );
+            }
+        }
+        let Some((ins, n)) = decode_instr(&module.code, pos) else {
+            let _ = writeln!(out, "{pos:6}  ???");
+            break;
+        };
+        let mark = if gc_pcs.contains(&(pos as u32)) { "*" } else { " " };
+        let _ = writeln!(out, "{pos:6}{mark} {}", format_instr(&ins));
+        pos += n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::AluOp;
+
+    #[test]
+    fn formats_are_stable() {
+        assert_eq!(format_instr(&Instr::MovI { dst: 1, imm: -3 }), "movi  r1, -3");
+        assert_eq!(
+            format_instr(&Instr::Alu { op: AluOp::Add, dst: 0, a: 1, b: 2 }),
+            "add   r0, r1, r2"
+        );
+        assert_eq!(format_instr(&Instr::Ret), "ret");
+        assert_eq!(
+            format_instr(&Instr::LdF { dst: 2, breg: m3gc_core::layout::BaseReg::Ap, off: 1 }),
+            "ld    r2, [AP+1]"
+        );
+    }
+}

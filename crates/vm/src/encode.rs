@@ -1,0 +1,350 @@
+//! Binary instruction encoding.
+//!
+//! One opcode byte, then operands: registers are single bytes, offsets and
+//! immediates are variable-length (the same sign-extended MSB-first
+//! continuation-bit format the gc tables use, widened to 64 bits),
+//! procedure/type ids are 2-byte LE, branch targets are fixed 4-byte LE so
+//! the assembler can backpatch them. Instruction sizes therefore reflect a
+//! realistic CISC-ish encoding — Table 1's "program size in bytes" uses
+//! them.
+
+use m3gc_core::layout::BaseReg;
+
+use crate::isa::{AluOp, Instr, UnAluOp};
+
+/// Opcode values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Op {
+    MovI = 0,
+    Mov,
+    Alu,
+    AluI,
+    UnAlu,
+    Ld,
+    St,
+    LdF,
+    StF,
+    Lea,
+    LdG,
+    StG,
+    LeaG,
+    Push,
+    Call,
+    Ret,
+    Jmp,
+    Brt,
+    Brf,
+    Alloc,
+    AllocA,
+    GcPoint,
+    Sys,
+    Halt,
+}
+
+const OPS: [Op; 24] = [
+    Op::MovI,
+    Op::Mov,
+    Op::Alu,
+    Op::AluI,
+    Op::UnAlu,
+    Op::Ld,
+    Op::St,
+    Op::LdF,
+    Op::StF,
+    Op::Lea,
+    Op::LdG,
+    Op::StG,
+    Op::LeaG,
+    Op::Push,
+    Op::Call,
+    Op::Ret,
+    Op::Jmp,
+    Op::Brt,
+    Op::Brf,
+    Op::Alloc,
+    Op::AllocA,
+    Op::GcPoint,
+    Op::Sys,
+    Op::Halt,
+];
+
+pub(crate) fn op_from_byte(b: u8) -> Option<Op> {
+    OPS.get(b as usize).copied()
+}
+
+/// Encodes a 64-bit value with 7-bit continuation bytes, sign-extended,
+/// most significant first (the gc tables' Figure 3 format, widened).
+pub fn vlq64(value: i64, out: &mut Vec<u8>) -> usize {
+    let mut n = 1;
+    while n < 10 {
+        let bits = 7 * n as u32;
+        let min = -(1i128 << (bits - 1));
+        let max = (1i128 << (bits - 1)) - 1;
+        if i128::from(value) >= min && i128::from(value) <= max {
+            break;
+        }
+        n += 1;
+    }
+    for i in (0..n).rev() {
+        let payload = ((value >> (7 * i)) & 0x7f) as u8;
+        let flag = if i == 0 { 0 } else { 0x80 };
+        out.push(flag | payload);
+    }
+    n
+}
+
+/// Decodes a [`vlq64`] value, returning it and its byte length.
+pub fn unvlq64(bytes: &[u8], pos: usize) -> Option<(i64, usize)> {
+    let first = *bytes.get(pos)?;
+    let mut value = i64::from(((first & 0x7f) as i8) << 1 >> 1);
+    let mut len = 1;
+    let mut cont = first & 0x80 != 0;
+    while cont {
+        if len >= 10 {
+            return None;
+        }
+        let b = *bytes.get(pos + len)?;
+        value = (value << 7) | i64::from(b & 0x7f);
+        cont = b & 0x80 != 0;
+        len += 1;
+    }
+    Some((value, len))
+}
+
+fn breg_byte(b: BaseReg) -> u8 {
+    b.code() as u8
+}
+
+pub(crate) fn breg_from_byte(b: u8) -> Option<BaseReg> {
+    BaseReg::from_code(i32::from(b))
+}
+
+fn alu_byte(op: AluOp) -> u8 {
+    AluOp::ALL.iter().position(|&o| o == op).expect("listed") as u8
+}
+
+pub(crate) fn alu_from_byte(b: u8) -> Option<AluOp> {
+    AluOp::ALL.get(b as usize).copied()
+}
+
+/// Encodes one instruction onto `out`, returning its size in bytes.
+pub fn encode_instr(ins: &Instr, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    match ins {
+        Instr::MovI { dst, imm } => {
+            out.push(Op::MovI as u8);
+            out.push(*dst);
+            vlq64(*imm, out);
+        }
+        Instr::Mov { dst, src } => {
+            out.push(Op::Mov as u8);
+            out.push(*dst);
+            out.push(*src);
+        }
+        Instr::Alu { op, dst, a, b } => {
+            out.push(Op::Alu as u8);
+            out.push(alu_byte(*op));
+            out.push(*dst);
+            out.push(*a);
+            out.push(*b);
+        }
+        Instr::AluI { op, dst, a, imm } => {
+            out.push(Op::AluI as u8);
+            out.push(alu_byte(*op));
+            out.push(*dst);
+            out.push(*a);
+            vlq64(*imm, out);
+        }
+        Instr::UnAlu { op, dst, a } => {
+            out.push(Op::UnAlu as u8);
+            out.push(match op {
+                UnAluOp::Neg => 0,
+                UnAluOp::Not => 1,
+            });
+            out.push(*dst);
+            out.push(*a);
+        }
+        Instr::Ld { dst, base, off } => {
+            out.push(Op::Ld as u8);
+            out.push(*dst);
+            out.push(*base);
+            vlq64(i64::from(*off), out);
+        }
+        Instr::St { base, off, src } => {
+            out.push(Op::St as u8);
+            out.push(*base);
+            out.push(*src);
+            vlq64(i64::from(*off), out);
+        }
+        Instr::LdF { dst, breg, off } => {
+            out.push(Op::LdF as u8);
+            out.push(*dst);
+            out.push(breg_byte(*breg));
+            vlq64(i64::from(*off), out);
+        }
+        Instr::StF { breg, off, src } => {
+            out.push(Op::StF as u8);
+            out.push(breg_byte(*breg));
+            out.push(*src);
+            vlq64(i64::from(*off), out);
+        }
+        Instr::Lea { dst, breg, off } => {
+            out.push(Op::Lea as u8);
+            out.push(*dst);
+            out.push(breg_byte(*breg));
+            vlq64(i64::from(*off), out);
+        }
+        Instr::LdG { dst, goff } => {
+            out.push(Op::LdG as u8);
+            out.push(*dst);
+            vlq64(i64::from(*goff), out);
+        }
+        Instr::StG { goff, src } => {
+            out.push(Op::StG as u8);
+            out.push(*src);
+            vlq64(i64::from(*goff), out);
+        }
+        Instr::LeaG { dst, goff } => {
+            out.push(Op::LeaG as u8);
+            out.push(*dst);
+            vlq64(i64::from(*goff), out);
+        }
+        Instr::Push { src } => {
+            out.push(Op::Push as u8);
+            out.push(*src);
+        }
+        Instr::Call { proc, nargs } => {
+            out.push(Op::Call as u8);
+            out.extend_from_slice(&proc.to_le_bytes());
+            out.push(*nargs);
+        }
+        Instr::Ret => out.push(Op::Ret as u8),
+        Instr::Jmp { target } => {
+            out.push(Op::Jmp as u8);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Instr::Brt { cond, target } => {
+            out.push(Op::Brt as u8);
+            out.push(*cond);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Instr::Brf { cond, target } => {
+            out.push(Op::Brf as u8);
+            out.push(*cond);
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        Instr::Alloc { dst, ty } => {
+            out.push(Op::Alloc as u8);
+            out.push(*dst);
+            out.extend_from_slice(&ty.to_le_bytes());
+        }
+        Instr::AllocA { dst, ty, len } => {
+            out.push(Op::AllocA as u8);
+            out.push(*dst);
+            out.extend_from_slice(&ty.to_le_bytes());
+            out.push(*len);
+        }
+        Instr::GcPoint => out.push(Op::GcPoint as u8),
+        Instr::Sys { code, arg } => {
+            out.push(Op::Sys as u8);
+            out.push(*code);
+            out.push(*arg);
+        }
+        Instr::Halt => out.push(Op::Halt as u8),
+    }
+    out.len() - start
+}
+
+/// Returns the encoded size of an instruction without emitting it.
+#[must_use]
+pub fn instr_size(ins: &Instr) -> usize {
+    let mut buf = Vec::with_capacity(16);
+    encode_instr(ins, &mut buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_instr;
+
+    #[test]
+    fn vlq64_roundtrip() {
+        for &v in &[0i64, 1, -1, 63, -64, 64, 8191, -8192, i64::from(i32::MAX), i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            let n = vlq64(v, &mut buf);
+            let (back, m) = unvlq64(&buf, 0).unwrap();
+            assert_eq!(back, v, "value {v}");
+            assert_eq!(m, n);
+        }
+    }
+
+    fn sample_instrs() -> Vec<Instr> {
+        use m3gc_core::layout::BaseReg::*;
+        vec![
+            Instr::MovI { dst: 3, imm: -1234567 },
+            Instr::Mov { dst: 0, src: 11 },
+            Instr::Alu { op: AluOp::Add, dst: 1, a: 2, b: 3 },
+            Instr::AluI { op: AluOp::Mul, dst: 1, a: 2, imm: 40 },
+            Instr::UnAlu { op: UnAluOp::Not, dst: 4, a: 4 },
+            Instr::Ld { dst: 5, base: 6, off: -3 },
+            Instr::St { base: 6, off: 2, src: 7 },
+            Instr::LdF { dst: 1, breg: Fp, off: 4 },
+            Instr::StF { breg: Ap, off: 0, src: 2 },
+            Instr::Lea { dst: 9, breg: Sp, off: -1 },
+            Instr::LdG { dst: 2, goff: 7 },
+            Instr::StG { goff: 300, src: 3 },
+            Instr::LeaG { dst: 1, goff: 0 },
+            Instr::Push { src: 4 },
+            Instr::Call { proc: 513, nargs: 2 },
+            Instr::Ret,
+            Instr::Jmp { target: 0xdead },
+            Instr::Brt { cond: 1, target: 77 },
+            Instr::Brf { cond: 2, target: 0 },
+            Instr::Alloc { dst: 0, ty: 9 },
+            Instr::AllocA { dst: 1, ty: 2, len: 3 },
+            Instr::GcPoint,
+            Instr::Sys { code: 0, arg: 5 },
+            Instr::Halt,
+        ]
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        for ins in sample_instrs() {
+            let mut buf = Vec::new();
+            let n = encode_instr(&ins, &mut buf);
+            assert_eq!(n, buf.len());
+            let (back, m) = decode_instr(&buf, 0).unwrap_or_else(|| panic!("decode {ins:?}"));
+            assert_eq!(back, ins);
+            assert_eq!(m, n, "{ins:?}");
+        }
+    }
+
+    #[test]
+    fn stream_of_instructions_roundtrips() {
+        let instrs = sample_instrs();
+        let mut buf = Vec::new();
+        for i in &instrs {
+            encode_instr(i, &mut buf);
+        }
+        let mut pos = 0;
+        let mut back = Vec::new();
+        while pos < buf.len() {
+            let (i, n) = decode_instr(&buf, pos).expect("valid stream");
+            back.push(i);
+            pos += n;
+        }
+        assert_eq!(back, instrs);
+    }
+
+    #[test]
+    fn small_instructions_are_small() {
+        assert_eq!(instr_size(&Instr::Ret), 1);
+        assert_eq!(instr_size(&Instr::Mov { dst: 0, src: 1 }), 3);
+        assert_eq!(instr_size(&Instr::MovI { dst: 0, imm: 5 }), 3);
+        // Branches are fixed-size for backpatching.
+        assert_eq!(instr_size(&Instr::Jmp { target: 0 }), 5);
+        assert_eq!(instr_size(&Instr::Jmp { target: u32::MAX }), 5);
+    }
+}

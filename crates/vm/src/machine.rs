@@ -1,0 +1,841 @@
+//! The interpreter.
+//!
+//! Memory is a single word-addressed array: a small reserved prefix (so
+//! that address 0 is never valid and NIL dereferences trap), the global
+//! area, one stack region per thread, and two heap semispaces. Pointers
+//! are untagged `i64` word addresses — exactly the paper's setting: only
+//! the compiler-emitted tables distinguish pointers from integers.
+//!
+//! Garbage collection protocol: `ALLOC` returns [`StepOutcome::NeedGc`]
+//! without changing any state when the heap is full; the runtime crate's
+//! collector then stops every thread at a gc-point (threads block when
+//! their pc reaches a marked gc-point while a collection is pending,
+//! §5.3), traces and moves objects, calls
+//! [`Machine::finish_collection`], and execution resumes by re-trying the
+//! `ALLOC`.
+
+use m3gc_core::decode::TableDecoder;
+use m3gc_core::heap::{HeapType, TypeId};
+use m3gc_core::layout::BaseReg;
+
+use crate::decode::DecodedCode;
+use crate::isa::{Instr, NUM_REGS};
+use crate::module::VmModule;
+
+/// Start of the global area; addresses below this always trap.
+pub const GLOBAL_BASE: usize = 16;
+
+/// Return-pc sentinel marking the bottom frame of a thread.
+pub const RETURN_SENTINEL: i64 = -1;
+
+/// Machine sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Words per heap semispace.
+    pub semi_words: usize,
+    /// Words per thread stack.
+    pub stack_words: usize,
+    /// Maximum number of threads.
+    pub max_threads: usize,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig { semi_words: 1 << 20, stack_words: 1 << 16, max_threads: 8 }
+    }
+}
+
+/// Abnormal termination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmTrap {
+    /// Dereference of NIL (or an address in the reserved prefix).
+    NilError,
+    /// Address outside every region.
+    WildAddress,
+    /// Stack region exhausted.
+    StackOverflow,
+    /// Subscript out of range (from the range-check runtime service or a
+    /// negative array length).
+    RangeError,
+    /// Assertion failure.
+    AssertError,
+    /// Call to a nonexistent procedure (a compiler bug).
+    BadProc,
+    /// Heap exhausted even after collection.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for VmTrap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VmTrap::NilError => "attempt to dereference NIL",
+            VmTrap::WildAddress => "wild memory address",
+            VmTrap::StackOverflow => "stack overflow",
+            VmTrap::RangeError => "subscript out of range",
+            VmTrap::AssertError => "assertion failed",
+            VmTrap::BadProc => "call to unknown procedure",
+            VmTrap::OutOfMemory => "heap exhausted",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for VmTrap {}
+
+/// Thread scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// May execute.
+    Runnable,
+    /// Stopped at a gc-point while a collection is pending.
+    BlockedAtGcPoint,
+    /// Returned from its bottom frame.
+    Finished,
+}
+
+/// One thread of execution.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// General-purpose registers.
+    pub regs: [i64; NUM_REGS],
+    /// Frame pointer.
+    pub fp: i64,
+    /// Stack pointer.
+    pub sp: i64,
+    /// Argument pointer.
+    pub ap: i64,
+    /// Program counter (byte offset in module code).
+    pub pc: u32,
+    /// Scheduling state.
+    pub status: ThreadStatus,
+    /// First word of this thread's stack region.
+    pub stack_base: i64,
+    /// One past the last usable stack word.
+    pub stack_limit: i64,
+}
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Instruction completed.
+    Normal,
+    /// The heap is full: a collection is required before this `ALLOC` can
+    /// proceed. No state changed; the pc still addresses the `ALLOC`.
+    NeedGc,
+    /// The thread blocked at a gc-point (collection pending).
+    AtGcPoint,
+    /// The thread returned from its bottom frame (or executed `HALT`).
+    Finished,
+    /// Abnormal termination.
+    Trap(VmTrap),
+}
+
+/// Result of running a thread for a while.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The thread finished.
+    Finished,
+    /// Collection required (triggered by this thread's allocation).
+    NeedGc,
+    /// The thread blocked at a gc-point.
+    AtGcPoint,
+    /// The fuel budget ran out.
+    OutOfFuel,
+    /// Abnormal termination.
+    Trap(VmTrap),
+}
+
+/// The virtual machine.
+pub struct Machine {
+    /// The loaded module.
+    pub module: VmModule,
+    decoded: DecodedCode,
+    /// Flat memory: reserved | globals | stacks | semispace A | semispace B.
+    pub mem: Vec<i64>,
+    /// Threads (never removed; finished threads stay).
+    pub threads: Vec<Thread>,
+    /// Accumulated program output.
+    pub output: String,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Objects allocated.
+    pub allocations: u64,
+    /// Words allocated.
+    pub words_allocated: u64,
+    /// Collections completed (incremented by `finish_collection`).
+    pub collections: u64,
+    /// True while a collection is pending (threads advance to gc-points).
+    pub gc_pending: bool,
+    /// Testing/measurement hook: when set, allocations report "needs gc"
+    /// once `allocations` reaches this count, even with heap space left.
+    pub force_gc_after: Option<u64>,
+
+    config: MachineConfig,
+    stacks_base: usize,
+    heap_base: usize,
+    /// True when semispace A (lower) is the from-space (allocation space).
+    from_is_lower: bool,
+    /// Next free word in the allocation space.
+    pub alloc_ptr: i64,
+    /// One past the last usable allocation word.
+    pub alloc_limit: i64,
+    /// `is_gc_point[pc]` — from the module's gc maps.
+    is_gc_point: Vec<bool>,
+}
+
+impl Machine {
+    /// Loads a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module's code or gc maps are malformed (they come
+    /// from the compiler, so this is a bug).
+    #[must_use]
+    pub fn new(module: VmModule, config: MachineConfig) -> Machine {
+        let decoded = DecodedCode::new(&module.code);
+        let stacks_base = GLOBAL_BASE + module.globals_words as usize;
+        let heap_base = stacks_base + config.stack_words * config.max_threads;
+        let total = heap_base + 2 * config.semi_words;
+        let mut is_gc_point = vec![false; module.code.len() + 1];
+        let dec = TableDecoder::try_new(&module.gc_maps).expect("valid gc maps");
+        for pc in dec.gc_point_pcs() {
+            is_gc_point[pc as usize] = true;
+        }
+        let alloc_ptr = heap_base as i64;
+        let alloc_limit = (heap_base + config.semi_words) as i64;
+        Machine {
+            module,
+            decoded,
+            mem: vec![0; total],
+            threads: Vec::new(),
+            output: String::new(),
+            steps: 0,
+            allocations: 0,
+            words_allocated: 0,
+            collections: 0,
+            gc_pending: false,
+            force_gc_after: None,
+            config,
+            stacks_base,
+            heap_base,
+            from_is_lower: true,
+            alloc_ptr,
+            alloc_limit,
+            is_gc_point,
+        }
+    }
+
+    /// Start of the global area.
+    #[must_use]
+    pub fn globals_start(&self) -> usize {
+        GLOBAL_BASE
+    }
+
+    /// The from-space (currently allocated-into) bounds `[start, end)`.
+    #[must_use]
+    pub fn from_space(&self) -> (i64, i64) {
+        let start = if self.from_is_lower {
+            self.heap_base
+        } else {
+            self.heap_base + self.config.semi_words
+        };
+        (start as i64, (start + self.config.semi_words) as i64)
+    }
+
+    /// The to-space bounds `[start, end)`.
+    #[must_use]
+    pub fn to_space(&self) -> (i64, i64) {
+        let start = if self.from_is_lower {
+            self.heap_base + self.config.semi_words
+        } else {
+            self.heap_base
+        };
+        (start as i64, (start + self.config.semi_words) as i64)
+    }
+
+    /// True if `addr` points into the from-space.
+    #[must_use]
+    pub fn in_from_space(&self, addr: i64) -> bool {
+        let (s, e) = self.from_space();
+        (s..e).contains(&addr)
+    }
+
+    /// True if `pc` is a gc-point.
+    #[must_use]
+    pub fn is_gc_point_pc(&self, pc: u32) -> bool {
+        self.is_gc_point.get(pc as usize).copied().unwrap_or(false)
+    }
+
+    /// Completes a collection: the spaces flip, allocation resumes at
+    /// `new_alloc_ptr` (one past the last evacuated word in the old
+    /// to-space), the pending flag clears, and blocked threads wake.
+    pub fn finish_collection(&mut self, new_alloc_ptr: i64) {
+        let (to_start, to_end) = self.to_space();
+        assert!((to_start..=to_end).contains(&new_alloc_ptr), "alloc ptr outside new space");
+        self.from_is_lower = !self.from_is_lower;
+        self.alloc_ptr = new_alloc_ptr;
+        self.alloc_limit = to_end;
+        self.gc_pending = false;
+        self.collections += 1;
+        for t in &mut self.threads {
+            if t.status == ThreadStatus::BlockedAtGcPoint {
+                t.status = ThreadStatus::Runnable;
+            }
+        }
+    }
+
+    /// Spawns a thread running procedure `proc` with the given argument
+    /// words; returns the thread index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread limit is exceeded or `proc` is invalid.
+    pub fn spawn(&mut self, proc: u16, args: &[i64]) -> usize {
+        let tid = self.threads.len();
+        assert!(tid < self.config.max_threads, "too many threads");
+        let meta = &self.module.procs[proc as usize];
+        assert_eq!(meta.n_args as usize, args.len(), "argument count mismatch");
+        let stack_base = (self.stacks_base + tid * self.config.stack_words) as i64;
+        let stack_limit = stack_base + self.config.stack_words as i64;
+        let mut sp = stack_base;
+        for &a in args {
+            self.mem[sp as usize] = a;
+            sp += 1;
+        }
+        // Bottom-frame linkage.
+        self.mem[sp as usize] = RETURN_SENTINEL;
+        self.mem[sp as usize + 1] = 0;
+        self.mem[sp as usize + 2] = 0;
+        let fp = sp + 3;
+        let frame_words = i64::from(meta.frame_words);
+        for w in 0..frame_words {
+            self.mem[(fp + w) as usize] = 0;
+        }
+        self.threads.push(Thread {
+            regs: [0; NUM_REGS],
+            fp,
+            sp: fp + frame_words,
+            ap: stack_base,
+            pc: meta.entry_pc,
+            status: ThreadStatus::Runnable,
+            stack_base,
+            stack_limit,
+        });
+        tid
+    }
+
+    fn read(&self, addr: i64) -> Result<i64, VmTrap> {
+        if !(GLOBAL_BASE as i64..self.mem.len() as i64).contains(&addr) {
+            return Err(if addr >= 0 && addr < GLOBAL_BASE as i64 {
+                VmTrap::NilError
+            } else {
+                VmTrap::WildAddress
+            });
+        }
+        Ok(self.mem[addr as usize])
+    }
+
+    fn write(&mut self, addr: i64, value: i64) -> Result<(), VmTrap> {
+        if !(GLOBAL_BASE as i64..self.mem.len() as i64).contains(&addr) {
+            return Err(if addr >= 0 && addr < GLOBAL_BASE as i64 {
+                VmTrap::NilError
+            } else {
+                VmTrap::WildAddress
+            });
+        }
+        self.mem[addr as usize] = value;
+        Ok(())
+    }
+
+    fn base_value(t: &Thread, b: BaseReg) -> i64 {
+        match b {
+            BaseReg::Fp => t.fp,
+            BaseReg::Sp => t.sp,
+            BaseReg::Ap => t.ap,
+        }
+    }
+
+    /// Attempts a heap allocation; `Ok(None)` means "needs gc".
+    fn try_alloc(&mut self, ty: u16, len: i64) -> Result<Option<i64>, VmTrap> {
+        if len < 0 {
+            return Err(VmTrap::RangeError);
+        }
+        if self.force_gc_after.is_some_and(|n| self.allocations >= n) {
+            return Ok(None);
+        }
+        let desc = self.module.types.get(TypeId(u32::from(ty)));
+        let words = i64::from(desc.object_words(len as u32));
+        if self.alloc_ptr + words > self.alloc_limit {
+            return Ok(None);
+        }
+        if words > self.config.semi_words as i64 {
+            return Err(VmTrap::OutOfMemory);
+        }
+        let addr = self.alloc_ptr;
+        self.alloc_ptr += words;
+        // Zero the object (the space may hold stale data from before a
+        // previous flip).
+        self.mem[addr as usize..(addr + words) as usize].fill(0);
+        self.mem[addr as usize] = i64::from(ty);
+        if matches!(desc, HeapType::Array { .. }) {
+            self.mem[addr as usize + 1] = len;
+        }
+        self.allocations += 1;
+        self.words_allocated += words as u64;
+        Ok(Some(addr))
+    }
+
+    fn sys(&mut self, code: u8, arg: i64) -> Result<(), VmTrap> {
+        match code {
+            0 => {
+                self.output.push_str(&arg.to_string());
+                Ok(())
+            }
+            1 => {
+                let c = u32::try_from(arg).ok().and_then(char::from_u32).unwrap_or('?');
+                self.output.push(c);
+                Ok(())
+            }
+            2 => {
+                self.output.push('\n');
+                Ok(())
+            }
+            3 => Err(VmTrap::RangeError),
+            4 => Err(VmTrap::NilError),
+            5 => Err(VmTrap::AssertError),
+            _ => Err(VmTrap::WildAddress),
+        }
+    }
+
+    /// Executes one instruction of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range or its thread is not runnable.
+    pub fn step(&mut self, tid: usize) -> StepOutcome {
+        debug_assert_eq!(self.threads[tid].status, ThreadStatus::Runnable, "stepping a non-runnable thread");
+        let pc = self.threads[tid].pc;
+        // While a collection is pending, a thread reaching any gc-point
+        // blocks there (§5.3: resumed threads run until they all reach
+        // gc-points, without allocating).
+        if self.gc_pending && self.is_gc_point_pc(pc) {
+            self.threads[tid].status = ThreadStatus::BlockedAtGcPoint;
+            return StepOutcome::AtGcPoint;
+        }
+        self.steps += 1;
+        let (ins, next_pc) = self.decoded.at(pc).clone();
+        let t = &mut self.threads[tid];
+        let mut new_pc = next_pc;
+        macro_rules! trap {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(tr) => return StepOutcome::Trap(tr),
+                }
+            };
+        }
+        match ins {
+            Instr::MovI { dst, imm } => t.regs[dst as usize] = imm,
+            Instr::Mov { dst, src } => t.regs[dst as usize] = t.regs[src as usize],
+            Instr::Alu { op, dst, a, b } => {
+                t.regs[dst as usize] = op.eval(t.regs[a as usize], t.regs[b as usize]);
+            }
+            Instr::AluI { op, dst, a, imm } => {
+                t.regs[dst as usize] = op.eval(t.regs[a as usize], imm);
+            }
+            Instr::UnAlu { op, dst, a } => t.regs[dst as usize] = op.eval(t.regs[a as usize]),
+            Instr::Ld { dst, base, off } => {
+                let addr = t.regs[base as usize] + i64::from(off);
+                let v = trap!(self.read(addr));
+                self.threads[tid].regs[dst as usize] = v;
+            }
+            Instr::St { base, off, src } => {
+                let addr = t.regs[base as usize] + i64::from(off);
+                let v = t.regs[src as usize];
+                trap!(self.write(addr, v));
+            }
+            Instr::LdF { dst, breg, off } => {
+                let addr = Self::base_value(t, breg) + i64::from(off);
+                let v = trap!(self.read(addr));
+                self.threads[tid].regs[dst as usize] = v;
+            }
+            Instr::StF { breg, off, src } => {
+                let addr = Self::base_value(t, breg) + i64::from(off);
+                let v = t.regs[src as usize];
+                trap!(self.write(addr, v));
+            }
+            Instr::Lea { dst, breg, off } => {
+                t.regs[dst as usize] = Self::base_value(t, breg) + i64::from(off);
+            }
+            Instr::LdG { dst, goff } => {
+                t.regs[dst as usize] = self.mem[GLOBAL_BASE + goff as usize];
+            }
+            Instr::StG { goff, src } => {
+                let v = t.regs[src as usize];
+                self.mem[GLOBAL_BASE + goff as usize] = v;
+            }
+            Instr::LeaG { dst, goff } => {
+                t.regs[dst as usize] = (GLOBAL_BASE + goff as usize) as i64;
+            }
+            Instr::Push { src } => {
+                if t.sp >= t.stack_limit {
+                    return StepOutcome::Trap(VmTrap::StackOverflow);
+                }
+                let v = t.regs[src as usize];
+                let sp = t.sp;
+                t.sp += 1;
+                self.mem[sp as usize] = v;
+            }
+            Instr::Call { proc, nargs } => {
+                let Some(meta) = self.module.procs.get(proc as usize) else {
+                    return StepOutcome::Trap(VmTrap::BadProc);
+                };
+                let frame_words = i64::from(meta.frame_words);
+                let entry = meta.entry_pc;
+                if t.sp + 3 + frame_words >= t.stack_limit {
+                    return StepOutcome::Trap(VmTrap::StackOverflow);
+                }
+                let sp = t.sp;
+                self.mem[sp as usize] = i64::from(next_pc);
+                self.mem[sp as usize + 1] = t.fp;
+                self.mem[sp as usize + 2] = t.ap;
+                let t = &mut self.threads[tid];
+                t.ap = sp - i64::from(nargs);
+                t.fp = sp + 3;
+                t.sp = t.fp + frame_words;
+                let (f, s) = (t.fp, t.sp);
+                self.mem[f as usize..s as usize].fill(0);
+                new_pc = entry;
+            }
+            Instr::Ret => {
+                let retpc = self.mem[t.fp as usize - 3];
+                let old_fp = self.mem[t.fp as usize - 2];
+                let old_ap = self.mem[t.fp as usize - 1];
+                if retpc == RETURN_SENTINEL {
+                    t.status = ThreadStatus::Finished;
+                    return StepOutcome::Finished;
+                }
+                t.sp = t.ap;
+                t.fp = old_fp;
+                t.ap = old_ap;
+                new_pc = retpc as u32;
+            }
+            Instr::Jmp { target } => new_pc = target,
+            Instr::Brt { cond, target } => {
+                if t.regs[cond as usize] != 0 {
+                    new_pc = target;
+                }
+            }
+            Instr::Brf { cond, target } => {
+                if t.regs[cond as usize] == 0 {
+                    new_pc = target;
+                }
+            }
+            Instr::Alloc { dst, ty } => match trap!(self.try_alloc(ty, 0)) {
+                Some(addr) => self.threads[tid].regs[dst as usize] = addr,
+                None => {
+                    self.gc_pending = true;
+                    self.threads[tid].status = ThreadStatus::BlockedAtGcPoint;
+                    return StepOutcome::NeedGc;
+                }
+            },
+            Instr::AllocA { dst, ty, len } => {
+                let l = t.regs[len as usize];
+                match trap!(self.try_alloc(ty, l)) {
+                    Some(addr) => self.threads[tid].regs[dst as usize] = addr,
+                    None => {
+                        self.gc_pending = true;
+                        self.threads[tid].status = ThreadStatus::BlockedAtGcPoint;
+                        return StepOutcome::NeedGc;
+                    }
+                }
+            }
+            Instr::GcPoint => {}
+            Instr::Sys { code, arg } => {
+                let v = t.regs[arg as usize];
+                trap!(self.sys(code, v));
+            }
+            Instr::Halt => {
+                t.status = ThreadStatus::Finished;
+                return StepOutcome::Finished;
+            }
+        }
+        self.threads[tid].pc = new_pc;
+        StepOutcome::Normal
+    }
+
+    /// Runs thread `tid` until it finishes, needs a collection, blocks at
+    /// a gc-point, traps, or exhausts `fuel` instructions.
+    pub fn run_thread(&mut self, tid: usize, fuel: u64) -> RunOutcome {
+        let mut remaining = fuel;
+        loop {
+            if remaining == 0 {
+                return RunOutcome::OutOfFuel;
+            }
+            remaining -= 1;
+            match self.step(tid) {
+                StepOutcome::Normal => {}
+                StepOutcome::NeedGc => return RunOutcome::NeedGc,
+                StepOutcome::AtGcPoint => return RunOutcome::AtGcPoint,
+                StepOutcome::Finished => return RunOutcome::Finished,
+                StepOutcome::Trap(t) => return RunOutcome::Trap(t),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::isa::AluOp;
+    use crate::module::ProcMeta;
+    use m3gc_core::encode::{encode_module, Scheme};
+    use m3gc_core::heap::TypeTable;
+    use m3gc_core::tables::ModuleTables;
+
+    fn module_with(code: Vec<u8>, procs: Vec<ProcMeta>, types: TypeTable) -> VmModule {
+        VmModule {
+            code,
+            procs,
+            types,
+            globals_words: 4,
+            global_ptr_roots: vec![],
+            main: 0,
+            gc_maps: encode_module(&ModuleTables::default(), Scheme::DELTA_MAIN_PP),
+            logical_maps: ModuleTables::default(),
+        }
+    }
+
+    fn small_config() -> MachineConfig {
+        MachineConfig { semi_words: 256, stack_words: 256, max_threads: 2 }
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let mut a = Assembler::new();
+        a.emit(&Instr::MovI { dst: 1, imm: 6 });
+        a.emit(&Instr::MovI { dst: 2, imm: 7 });
+        a.emit(&Instr::Alu { op: AluOp::Mul, dst: 3, a: 1, b: 2 });
+        a.emit(&Instr::Sys { code: 0, arg: 3 });
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            TypeTable::default(),
+        );
+        let mut vm = Machine::new(m, small_config());
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 1000), RunOutcome::Finished);
+        assert_eq!(vm.output, "42");
+    }
+
+    #[test]
+    fn call_and_return_with_args() {
+        // proc 1: r0 := arg0 + arg1 (args at AP+0, AP+1)
+        let mut a = Assembler::new();
+        // main (proc 0): push 30, push 12, call 1, print r0, ret
+        a.emit(&Instr::MovI { dst: 1, imm: 30 });
+        a.emit(&Instr::Push { src: 1 });
+        a.emit(&Instr::MovI { dst: 1, imm: 12 });
+        a.emit(&Instr::Push { src: 1 });
+        a.emit(&Instr::Call { proc: 1, nargs: 2 });
+        a.emit(&Instr::Sys { code: 0, arg: 0 });
+        a.emit(&Instr::Ret);
+        let callee_entry = a.here();
+        a.emit(&Instr::LdF { dst: 1, breg: BaseReg::Ap, off: 0 });
+        a.emit(&Instr::LdF { dst: 2, breg: BaseReg::Ap, off: 1 });
+        a.emit(&Instr::Alu { op: AluOp::Add, dst: 0, a: 1, b: 2 });
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![
+                ProcMeta {
+                    name: "main".into(),
+                    entry_pc: 0,
+                    end_pc: callee_entry,
+                    frame_words: 0,
+                    save_regs: vec![],
+                    n_args: 0,
+                },
+                ProcMeta {
+                    name: "add".into(),
+                    entry_pc: callee_entry,
+                    end_pc: end,
+                    frame_words: 0,
+                    save_regs: vec![],
+                    n_args: 2,
+                },
+            ],
+            TypeTable::default(),
+        );
+        let mut vm = Machine::new(m, small_config());
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 1000), RunOutcome::Finished);
+        assert_eq!(vm.output, "42");
+        // Stack fully popped.
+        let t = &vm.threads[tid];
+        assert_eq!(t.sp, t.fp);
+    }
+
+    #[test]
+    fn allocation_and_field_access() {
+        let mut types = TypeTable::default();
+        types.add(HeapType::Record { name: "R".into(), words: 2, ptr_offsets: vec![] });
+        let mut a = Assembler::new();
+        a.emit(&Instr::Alloc { dst: 1, ty: 0 });
+        a.emit(&Instr::MovI { dst: 2, imm: 99 });
+        a.emit(&Instr::St { base: 1, off: 1, src: 2 });
+        a.emit(&Instr::Ld { dst: 3, base: 1, off: 1 });
+        a.emit(&Instr::Sys { code: 0, arg: 3 });
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            types,
+        );
+        let mut vm = Machine::new(m, small_config());
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 1000), RunOutcome::Finished);
+        assert_eq!(vm.output, "99");
+        assert_eq!(vm.allocations, 1);
+    }
+
+    #[test]
+    fn heap_exhaustion_reports_need_gc() {
+        let mut types = TypeTable::default();
+        types.add(HeapType::Record { name: "R".into(), words: 100, ptr_offsets: vec![] });
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.emit(&Instr::Alloc { dst: 1, ty: 0 });
+        a.jmp(top);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            types,
+        );
+        let mut vm = Machine::new(m, small_config());
+        let tid = vm.spawn(0, &[]);
+        let r = vm.run_thread(tid, 1000);
+        assert_eq!(r, RunOutcome::NeedGc);
+        assert!(vm.gc_pending);
+        // Two 101-word objects fit in a 256-word semispace; the third fails.
+        assert_eq!(vm.allocations, 2);
+        // The pc still addresses the ALLOC: finish a (no-op) collection and
+        // the thread can be resumed.
+        let (to_start, _) = vm.to_space();
+        vm.finish_collection(to_start);
+        assert_eq!(vm.threads[tid].status, ThreadStatus::Runnable);
+    }
+
+    #[test]
+    fn nil_dereference_traps() {
+        let mut a = Assembler::new();
+        a.emit(&Instr::MovI { dst: 1, imm: 0 });
+        a.emit(&Instr::Ld { dst: 2, base: 1, off: 1 });
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            TypeTable::default(),
+        );
+        let mut vm = Machine::new(m, small_config());
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 100), RunOutcome::Trap(VmTrap::NilError));
+    }
+
+    #[test]
+    fn stack_overflow_on_deep_recursion() {
+        // proc 0 calls itself forever.
+        let mut a = Assembler::new();
+        a.emit(&Instr::Call { proc: 0, nargs: 0 });
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "rec".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 4,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            TypeTable::default(),
+        );
+        let mut vm = Machine::new(m, small_config());
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 100_000), RunOutcome::Trap(VmTrap::StackOverflow));
+    }
+
+    #[test]
+    fn globals_load_store() {
+        let mut a = Assembler::new();
+        a.emit(&Instr::MovI { dst: 1, imm: 5 });
+        a.emit(&Instr::StG { goff: 2, src: 1 });
+        a.emit(&Instr::LdG { dst: 3, goff: 2 });
+        a.emit(&Instr::LeaG { dst: 4, goff: 2 });
+        a.emit(&Instr::Ld { dst: 5, base: 4, off: 0 });
+        a.emit(&Instr::Alu { op: AluOp::Add, dst: 6, a: 3, b: 5 });
+        a.emit(&Instr::Sys { code: 0, arg: 6 });
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            TypeTable::default(),
+        );
+        let mut vm = Machine::new(m, small_config());
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 100), RunOutcome::Finished);
+        assert_eq!(vm.output, "10");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the VM's binary instruction encoding: every
+//! instruction round-trips through encode/decode, instruction streams
+//! decode at exactly the boundaries the encoder produced, and the
+//! disassembler never panics.
+
+use proptest::prelude::*;
+
+use m3gc_vm::decode::{decode_instr, DecodedCode};
+use m3gc_vm::disasm::format_instr;
+use m3gc_vm::encode::{encode_instr, instr_size, unvlq64, vlq64};
+use m3gc_vm::isa::{AluOp, Instr, UnAluOp, NUM_REGS};
+
+fn arb_reg() -> impl Strategy<Value = u8> {
+    0..NUM_REGS as u8
+}
+
+fn arb_breg() -> impl Strategy<Value = m3gc_core::layout::BaseReg> {
+    prop_oneof![
+        Just(m3gc_core::layout::BaseReg::Fp),
+        Just(m3gc_core::layout::BaseReg::Sp),
+        Just(m3gc_core::layout::BaseReg::Ap),
+    ]
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    (0..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| Instr::MovI { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, dst, a, b)| Instr::Alu { op, dst, a, b }),
+        (arb_alu(), arb_reg(), arb_reg(), any::<i64>())
+            .prop_map(|(op, dst, a, imm)| Instr::AluI { op, dst, a, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, a)| Instr::UnAlu { op: UnAluOp::Neg, dst, a }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, a)| Instr::UnAlu { op: UnAluOp::Not, dst, a }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, off)| Instr::Ld { dst, base, off }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(base, src, off)| Instr::St { base, off, src }),
+        (arb_reg(), arb_breg(), any::<i32>())
+            .prop_map(|(dst, breg, off)| Instr::LdF { dst, breg, off }),
+        (arb_breg(), arb_reg(), any::<i32>())
+            .prop_map(|(breg, src, off)| Instr::StF { breg, off, src }),
+        (arb_reg(), arb_breg(), any::<i32>())
+            .prop_map(|(dst, breg, off)| Instr::Lea { dst, breg, off }),
+        (arb_reg(), 0..=u32::MAX / 2).prop_map(|(dst, goff)| Instr::LdG { dst, goff }),
+        (arb_reg(), 0..=u32::MAX / 2).prop_map(|(src, goff)| Instr::StG { goff, src }),
+        (arb_reg(), 0..=u32::MAX / 2).prop_map(|(dst, goff)| Instr::LeaG { dst, goff }),
+        arb_reg().prop_map(|src| Instr::Push { src }),
+        (any::<u16>(), any::<u8>()).prop_map(|(proc, nargs)| Instr::Call { proc, nargs }),
+        Just(Instr::Ret),
+        any::<u32>().prop_map(|target| Instr::Jmp { target }),
+        (arb_reg(), any::<u32>()).prop_map(|(cond, target)| Instr::Brt { cond, target }),
+        (arb_reg(), any::<u32>()).prop_map(|(cond, target)| Instr::Brf { cond, target }),
+        (arb_reg(), any::<u16>()).prop_map(|(dst, ty)| Instr::Alloc { dst, ty }),
+        (arb_reg(), any::<u16>(), arb_reg()).prop_map(|(dst, ty, len)| Instr::AllocA { dst, ty, len }),
+        Just(Instr::GcPoint),
+        (0..6u8, arb_reg()).prop_map(|(code, arg)| Instr::Sys { code, arg }),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn vlq64_roundtrip(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        let n = vlq64(v, &mut buf);
+        let (back, m) = unvlq64(&buf, 0).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(m, n);
+    }
+
+    #[test]
+    fn instruction_roundtrip(ins in arb_instr()) {
+        let mut buf = Vec::new();
+        let n = encode_instr(&ins, &mut buf);
+        prop_assert_eq!(n, buf.len());
+        prop_assert_eq!(n, instr_size(&ins));
+        let (back, m) = decode_instr(&buf, 0).expect("decodes");
+        prop_assert_eq!(back, ins);
+        prop_assert_eq!(m, n);
+    }
+
+    #[test]
+    fn stream_roundtrip(instrs in proptest::collection::vec(arb_instr(), 0..40)) {
+        let mut buf = Vec::new();
+        let mut boundaries = Vec::new();
+        for i in &instrs {
+            boundaries.push(buf.len() as u32);
+            encode_instr(i, &mut buf);
+        }
+        let decoded = DecodedCode::new(&buf);
+        prop_assert_eq!(decoded.instrs.len(), instrs.len());
+        for (k, (ins, _)) in decoded.instrs.iter().enumerate() {
+            prop_assert_eq!(ins, &instrs[k]);
+            prop_assert_eq!(decoded.at(boundaries[k]).0.clone(), instrs[k].clone());
+        }
+    }
+
+    #[test]
+    fn disassembly_never_panics_and_is_nonempty(ins in arb_instr()) {
+        let s = format_instr(&ins);
+        prop_assert!(!s.is_empty());
+    }
+}

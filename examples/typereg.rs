@@ -1,0 +1,42 @@
+//! Runs the paper's `typereg` benchmark (type registration with
+//! structural equivalence) and prints its Table 1/2 statistics at both
+//! optimization levels — a single-program slice of the full evaluation.
+//!
+//! ```sh
+//! cargo run --example typereg
+//! ```
+
+use m3gc::compiler::{compile, run_module, Options};
+use m3gc::core::encode::Scheme;
+use m3gc::core::stats::{size_report, table_stats};
+
+const TYPEREG: &str = include_str!("../crates/bench/programs/typereg.m3");
+
+fn main() {
+    for (label, opts) in [("typereg", Options::o0()), ("typereg-opt", Options::o2())] {
+        let module = compile(TYPEREG, &opts).expect("compiles");
+        let stats = table_stats(&module.logical_maps);
+        let pp = size_report(&module.logical_maps, Scheme::DELTA_MAIN_PP, module.code_size());
+        let plain = size_report(&module.logical_maps, Scheme::DELTA_PLAIN, module.code_size());
+
+        println!("== {label} ==");
+        println!("  code size:        {} bytes", module.code_size());
+        println!("  gc-points:        {} ({} with non-empty tables)", stats.total_gc_points, stats.ngc);
+        println!("  pointer slots:    {}", stats.nptrs);
+        println!(
+            "  tables:           {:.1}% of code plain, {:.1}% with Previous+Packing",
+            plain.percent_of_code, pp.percent_of_code
+        );
+
+        let out = run_module(module, 640).expect("runs");
+        println!("  output:           {}", out.output.trim_end());
+        println!("  collections:      {}", out.collections);
+        assert_eq!(out.output, "7 113\n");
+        println!();
+    }
+    println!(
+        "The registry holds 7 canonical types; 113 of 120 registrations were\n\
+         structural duplicates — all discovered by recursive comparison over\n\
+         heap-allocated descriptors that the collector is free to move."
+    );
+}

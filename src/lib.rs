@@ -1,0 +1,24 @@
+//! Umbrella crate for the m3gc workspace: re-exports every layer of the
+//! PLDI '92 "Compiler Support for Garbage Collection in a Statically Typed
+//! Language" reproduction so examples and integration tests can use one
+//! import.
+//!
+//! See the README for the architecture and `DESIGN.md` for the system
+//! inventory. The interesting crates:
+//!
+//! * [`core`] — gc-map tables (the paper's contribution),
+//! * [`frontend`] — the Mini-Modula-3 language,
+//! * [`opt`] — optimizations that create derived values,
+//! * [`codegen`] — gc-point placement and map emission,
+//! * [`vm`] — the VAX-flavoured virtual machine,
+//! * [`runtime`] — the compacting collector and table-driven stack tracing,
+//! * [`compiler`] — the end-to-end pipeline facade.
+
+pub use m3gc_codegen as codegen;
+pub use m3gc_compiler as compiler;
+pub use m3gc_core as core;
+pub use m3gc_frontend as frontend;
+pub use m3gc_ir as ir;
+pub use m3gc_opt as opt;
+pub use m3gc_runtime as runtime;
+pub use m3gc_vm as vm;

@@ -1,0 +1,148 @@
+//! Heap-shape stress tests: randomized object graphs built, mutated and
+//! checksummed *in-language*, run under aggressive collection schedules.
+//! The collector must preserve graph isomorphism across arbitrarily many
+//! compactions — any dropped or corrupted edge changes the checksum.
+
+use m3gc::compiler::{compile, reference_output, run_module_with, Options};
+use m3gc::runtime::ExecConfig;
+
+/// A program that builds a web of records with an LCG, mutates edges, and
+/// checksums by traversal. `seed` specializes the source text.
+fn graph_program(seed: u64, nodes: u32, rounds: u32) -> String {
+    format!(
+        "MODULE Stress;
+CONST N = {nodes}; Rounds = {rounds};
+TYPE
+  Node = REF RECORD
+    id: INTEGER;
+    a, b: Node;
+  END;
+  Arr = REF ARRAY OF Node;
+VAR
+  pool: Arr;
+  seed, i, r, x, y: INTEGER;
+
+PROCEDURE Next(bound: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  IF seed < 0 THEN seed := -seed; END;
+  RETURN seed MOD bound;
+END Next;
+
+PROCEDURE Checksum(): INTEGER =
+VAR k, s, hops: INTEGER; n: Node;
+BEGIN
+  s := 0;
+  FOR k := 0 TO N - 1 DO
+    n := pool[k];
+    hops := 0;
+    WHILE (n # NIL) AND (hops < 8) DO
+      s := (s * 31 + n.id) MOD 1000003;
+      IF hops MOD 2 = 0 THEN n := n.a; ELSE n := n.b; END;
+      INC(hops);
+    END;
+  END;
+  RETURN s;
+END Checksum;
+
+BEGIN
+  seed := {seed};
+  pool := NEW(Arr, N);
+  FOR i := 0 TO N - 1 DO
+    pool[i] := NEW(Node);
+    pool[i].id := i + 1;
+  END;
+  FOR r := 1 TO Rounds DO
+    x := Next(N);
+    y := Next(N);
+    IF r MOD 3 = 0 THEN
+      pool[x].a := pool[y];
+    ELSIF r MOD 3 = 1 THEN
+      pool[x].b := pool[y];
+    ELSE
+      (* Replace a node entirely: the old one may become garbage. *)
+      pool[x] := NEW(Node);
+      pool[x].id := r;
+      pool[x].a := pool[y];
+    END;
+    (* Churn: short-lived garbage every round. *)
+    WITH junk = NEW(Node) DO junk.id := r; END;
+  END;
+  PutInt(Checksum());
+  PutLn();
+END Stress."
+    )
+}
+
+fn stress(seed: u64, nodes: u32, rounds: u32, semi: usize) {
+    let src = graph_program(seed, nodes, rounds);
+    let expected = reference_output(&src).unwrap_or_else(|e| panic!("reference: {e}"));
+    for (name, opts) in [("O0", Options::o0()), ("O2", Options::o2())] {
+        let module = compile(&src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let out = run_module_with(module, semi, ExecConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(out.output, expected, "seed {seed} {name}");
+        assert!(out.collections > 0, "seed {seed} {name}: expected collections");
+    }
+}
+
+#[test]
+fn graph_stress_small_heap() {
+    stress(74755, 24, 300, 512);
+}
+
+#[test]
+fn graph_stress_tiny_heap() {
+    stress(12345, 12, 200, 160);
+}
+
+#[test]
+fn graph_stress_alternate_seed() {
+    stress(987654321, 30, 400, 768);
+}
+
+#[test]
+fn graph_stress_torture() {
+    // Collection at every allocation, moderately sized graph.
+    let src = graph_program(555, 10, 80);
+    let expected = reference_output(&src).unwrap();
+    let module = compile(&src, &Options::o2()).unwrap();
+    let out = run_module_with(
+        module,
+        1 << 14,
+        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
+    )
+    .unwrap();
+    assert_eq!(out.output, expected);
+    assert!(out.collections >= 80, "got {}", out.collections);
+}
+
+#[test]
+fn survivor_heavy_heap_compacts() {
+    // Everything stays live: repeated collections must copy the whole
+    // graph every time without losing an edge.
+    let src = "MODULE Live;
+        TYPE L = REF RECORD v: INTEGER; next: L END;
+             J = REF RECORD x: INTEGER END;
+        VAR head: L; i, s: INTEGER;
+        BEGIN
+          head := NIL;
+          FOR i := 1 TO 60 DO
+            WITH c = NEW(L) DO c.v := i; c.next := head; head := c; END;
+          END;
+          (* churn garbage while the list stays fully live *)
+          FOR i := 1 TO 200 DO
+            WITH junk = NEW(J) DO junk.x := i; END;
+          END;
+          s := 0;
+          WHILE head # NIL DO s := s + head.v; head := head.next; END;
+          PutInt(s);
+        END Live.";
+    let expected = reference_output(src).unwrap();
+    let module = compile(src, &Options::o2()).unwrap();
+    let out = run_module_with(module, 256, ExecConfig::default()).unwrap();
+    assert_eq!(out.output, expected);
+    assert!(out.collections >= 2);
+    // The 60-node list (3 words each) survives every collection.
+    assert!(out.gc_total.objects_copied as u64 >= 60 * out.collections);
+}

@@ -1,0 +1,164 @@
+//! Machine-level behavioral tests across the whole pipeline: register
+//! save/restore discipline, gc-point blocking, table/disassembly golden
+//! shapes, and the OOM boundary.
+
+use m3gc::compiler::{compile, run_module, Options};
+use m3gc::core::layout::BaseReg;
+use m3gc::vm::decode::DecodedCode;
+use m3gc::vm::isa::{Instr, FIRST_CALLEE_SAVE};
+use m3gc::vm::machine::{Machine, MachineConfig, RunOutcome};
+
+const CALLS: &str = "MODULE C;
+TYPE R = REF RECORD v: INTEGER END;
+PROCEDURE Id(x: INTEGER): INTEGER =
+BEGIN RETURN x; END Id;
+PROCEDURE Work(n: INTEGER): INTEGER =
+VAR r: R; i, acc: INTEGER;
+BEGIN
+  acc := 0;
+  FOR i := 1 TO n DO
+    r := NEW(R);
+    r.v := Id(i);
+    acc := acc + r.v;
+  END;
+  RETURN acc;
+END Work;
+BEGIN
+  PutInt(Work(30));
+END C.";
+
+/// Every callee-save register a procedure writes is saved in its prologue
+/// and restored before every `Ret`.
+#[test]
+fn callee_save_discipline_holds() {
+    let module = compile(CALLS, &Options::o2()).unwrap();
+    let decoded = DecodedCode::new(&module.code);
+    for meta in &module.procs {
+        // Registers this procedure writes.
+        let mut written = std::collections::HashSet::new();
+        let mut pos = meta.entry_pc;
+        while pos < meta.end_pc {
+            let (ins, next) = decoded.at(pos);
+            let dst = match ins {
+                Instr::MovI { dst, .. }
+                | Instr::Mov { dst, .. }
+                | Instr::Alu { dst, .. }
+                | Instr::AluI { dst, .. }
+                | Instr::UnAlu { dst, .. }
+                | Instr::Ld { dst, .. }
+                | Instr::LdF { dst, .. }
+                | Instr::Lea { dst, .. }
+                | Instr::LdG { dst, .. }
+                | Instr::LeaG { dst, .. }
+                | Instr::Alloc { dst, .. }
+                | Instr::AllocA { dst, .. } => Some(*dst),
+                _ => None,
+            };
+            if let Some(d) = dst {
+                if d >= FIRST_CALLEE_SAVE {
+                    written.insert(d);
+                }
+            }
+            pos = *next;
+        }
+        let saved: std::collections::HashSet<u8> =
+            meta.save_regs.iter().map(|&(r, _)| r).collect();
+        // Restores (LdF of a saved register from its save slot) count as
+        // writes; exclude them.
+        for r in &written {
+            assert!(
+                saved.contains(r),
+                "procedure `{}` writes r{} without saving it (saved: {:?})",
+                meta.name,
+                r,
+                saved
+            );
+        }
+    }
+}
+
+/// Ground tables only use FP and AP bases (SP never appears in generated
+/// code), and offsets stay within the frame.
+#[test]
+fn ground_tables_are_frame_relative() {
+    let module = compile(CALLS, &Options::o2()).unwrap();
+    for (proc, meta) in module.logical_maps.procs.iter().zip(&module.procs) {
+        for g in &proc.ground {
+            match g.base {
+                BaseReg::Fp => {
+                    assert!(g.offset >= 0, "{}: negative FP offset {g}", proc.name);
+                    // Pushed-argument derivation targets may lie just past
+                    // the frame; plain ground entries must be inside it.
+                    assert!(
+                        (g.offset as u32) < meta.frame_words.max(1),
+                        "{}: ground entry {g} outside frame of {} words",
+                        proc.name,
+                        meta.frame_words
+                    );
+                }
+                BaseReg::Ap => {
+                    assert!((g.offset as u32) < meta.n_args.max(1), "{}: {g}", proc.name);
+                }
+                BaseReg::Sp => panic!("{}: unexpected SP-based ground entry {g}", proc.name),
+            }
+        }
+    }
+}
+
+/// While a collection is pending, a runnable thread stops exactly at the
+/// next gc-point pc — not before, not after.
+#[test]
+fn threads_block_exactly_at_gc_points() {
+    let module = compile(CALLS, &Options::o2()).unwrap();
+    let mut machine = Machine::new(
+        module,
+        MachineConfig { semi_words: 1 << 14, stack_words: 4096, max_threads: 2 },
+    );
+    let main = machine.module.main;
+    let tid = machine.spawn(main, &[]);
+    // Let it run a little, then pretend a collection is pending.
+    assert_eq!(machine.run_thread(tid, 50), RunOutcome::OutOfFuel);
+    machine.gc_pending = true;
+    match machine.run_thread(tid, 1_000_000) {
+        RunOutcome::AtGcPoint => {
+            let pc = machine.threads[tid].pc;
+            assert!(machine.is_gc_point_pc(pc), "blocked at non-gc-point pc {pc}");
+        }
+        other => panic!("expected AtGcPoint, got {other:?}"),
+    }
+}
+
+/// A barely-sufficient heap completes; one word less hits OutOfMemory —
+/// the boundary is sharp because the collector is exact.
+#[test]
+fn oom_boundary_is_sharp() {
+    // Keeps `n` nodes of 3 words live.
+    let src = |n: u32| {
+        format!(
+            "MODULE B;
+             TYPE L = REF RECORD v: INTEGER; next: L END;
+             VAR head: L; i: INTEGER;
+             BEGIN
+               FOR i := 1 TO {n} DO
+                 WITH c = NEW(L) DO c.v := i; c.next := head; head := c; END;
+               END;
+               PutInt(head.v);
+             END B."
+        )
+    };
+    let need = 40 * 3; // live words
+    let ok = run_module(compile(&src(40), &Options::o2()).unwrap(), need + 8);
+    assert!(ok.is_ok(), "{:?}", ok.err().map(|e| e.to_string()));
+    let too_small = run_module(compile(&src(40), &Options::o2()).unwrap(), need - 8);
+    assert!(too_small.is_err());
+}
+
+/// The disassembler marks exactly the gc-point pcs from the tables.
+#[test]
+fn disassembly_marks_gc_points() {
+    let module = compile(CALLS, &Options::o2()).unwrap();
+    let n_points = module.logical_maps.num_points();
+    let text = m3gc::vm::disasm::disassemble(&module);
+    let marked = text.lines().filter(|l| l.len() > 6 && l.as_bytes()[6] == b'*').count();
+    assert_eq!(marked, n_points, "{text}");
+}

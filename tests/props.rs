@@ -1,0 +1,322 @@
+//! Property-based tests over the core data structures and the compiler
+//! pipeline:
+//!
+//! * byte packing (Figure 3) round-trips every 32/64-bit value;
+//! * ground entries and locations (Figure 4) round-trip;
+//! * arbitrary gc-map modules encode and decode identically under all six
+//!   schemes — the δ-main delta bitmaps and the Previous elision are pure
+//!   compression, never information loss;
+//! * random straight-line arithmetic programs compute the same results at
+//!   -O0 and -O2, on the reference interpreter and on the VM.
+
+use proptest::prelude::*;
+
+use m3gc::core::decode::TableDecoder;
+use m3gc::core::derive::{DerivationRecord, Sign};
+use m3gc::core::encode::{encode_module, Scheme};
+use m3gc::core::layout::{BaseReg, GroundEntry, Location, RegSet, NUM_HARD_REGS};
+use m3gc::core::pack;
+use m3gc::core::tables::{GcPointTables, ModuleTables, ProcTables};
+
+proptest! {
+    #[test]
+    fn pack_roundtrip_i32(v in any::<i32>()) {
+        let mut buf = Vec::new();
+        let n = pack::pack_word(v, &mut buf);
+        let (back, m) = pack::unpack_word(&buf, 0).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(m, n);
+    }
+
+    #[test]
+    fn pack_roundtrip_u32(v in any::<u32>()) {
+        let mut buf = Vec::new();
+        let n = pack::pack_uword(v, &mut buf);
+        let (back, m) = pack::unpack_uword(&buf, 0).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert_eq!(m, n);
+    }
+
+    #[test]
+    fn pack_stream_roundtrip(vs in proptest::collection::vec(any::<i32>(), 0..64)) {
+        let packed = pack::pack_words(&vs);
+        let (back, used) = pack::unpack_words(&packed, 0, vs.len()).unwrap();
+        prop_assert_eq!(back, vs);
+        prop_assert_eq!(used, packed.len());
+    }
+
+    #[test]
+    fn ground_entry_roundtrip(base in 0..3i32, off in -100_000..100_000i32) {
+        let e = GroundEntry::new(BaseReg::from_code(base).unwrap(), off);
+        prop_assert_eq!(GroundEntry::from_word(e.to_word()), Some(e));
+    }
+
+    #[test]
+    fn location_roundtrip(is_reg in any::<bool>(), reg in 0..NUM_HARD_REGS as u8,
+                          base in 0..3i32, off in -50_000..50_000i32) {
+        let loc = if is_reg {
+            Location::Reg(reg)
+        } else {
+            Location::Slot(BaseReg::from_code(base).unwrap(), off)
+        };
+        prop_assert_eq!(Location::from_word(loc.to_word()), Some(loc));
+    }
+}
+
+/// Strategy for a random location.
+fn arb_location() -> impl Strategy<Value = Location> {
+    prop_oneof![
+        (0..NUM_HARD_REGS as u8).prop_map(Location::Reg),
+        (0..3i32, -60..120i32)
+            .prop_map(|(b, o)| Location::Slot(BaseReg::from_code(b).unwrap(), o)),
+    ]
+}
+
+fn arb_sign() -> impl Strategy<Value = Sign> {
+    prop_oneof![Just(Sign::Plus), Just(Sign::Minus)]
+}
+
+fn arb_bases() -> impl Strategy<Value = Vec<(Location, Sign)>> {
+    proptest::collection::vec((arb_location(), arb_sign()), 0..4)
+}
+
+fn arb_derivation() -> impl Strategy<Value = DerivationRecord> {
+    prop_oneof![
+        (arb_location(), arb_bases())
+            .prop_map(|(target, bases)| DerivationRecord::Simple { target, bases }),
+        (arb_location(), arb_location(), proptest::collection::vec(arb_bases(), 1..3)).prop_map(
+            |(target, path_var, variants)| DerivationRecord::Ambiguous {
+                target,
+                path_var,
+                variants
+            }
+        ),
+    ]
+}
+
+/// Strategy for a random module's worth of gc tables.
+fn arb_module() -> impl Strategy<Value = ModuleTables> {
+    let ground = proptest::collection::btree_set((0..3i32, -60..120i32), 0..10);
+    let proc = (ground, 1..8usize).prop_flat_map(|(ground_set, n_points)| {
+        let ground: Vec<GroundEntry> = ground_set
+            .into_iter()
+            .map(|(b, o)| GroundEntry::new(BaseReg::from_code(b).unwrap(), o))
+            .collect();
+        let ng = ground.len() as u32;
+        let point = (
+            proptest::collection::btree_set(0..ng.max(1), 0..=ng as usize),
+            any::<u16>(),
+            proptest::collection::vec(arb_derivation(), 0..3),
+            1..200u32,
+        );
+        let points = proptest::collection::vec(point, n_points);
+        (Just(ground), points)
+    });
+    proptest::collection::vec(proc, 1..4).prop_map(|procs| {
+        let mut module = ModuleTables::default();
+        let mut pc = 0u32;
+        for (i, (ground, points)) in procs.into_iter().enumerate() {
+            let entry_pc = pc;
+            let ng = ground.len() as u32;
+            let mut tables = ProcTables {
+                name: format!("p{i}"),
+                entry_pc,
+                ground,
+                points: Vec::new(),
+            };
+            for (live, regbits, derivations, delta) in points {
+                pc += delta;
+                tables.points.push(GcPointTables {
+                    pc,
+                    live_stack: live.into_iter().filter(|&i| i < ng).collect(),
+                    regs: RegSet(u32::from(regbits) & ((1 << NUM_HARD_REGS) - 1)),
+                    derivations,
+                });
+            }
+            pc += 10;
+            module.procs.push(tables);
+        }
+        module
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every scheme is lossless: decoding reproduces exactly the logical
+    /// tables (resolved through the ground table).
+    #[test]
+    fn schemes_are_lossless(module in arb_module()) {
+        prop_assert_eq!(module.validate(), Ok(()));
+        for scheme in Scheme::TABLE2 {
+            let encoded = encode_module(&module, scheme);
+            let decoder = TableDecoder::try_new(&encoded).unwrap();
+            for proc in &module.procs {
+                for (i, pt) in proc.points.iter().enumerate() {
+                    let d = decoder.lookup(pt.pc).unwrap();
+                    prop_assert_eq!(&d.stack_slots, &proc.live_slots(i), "{} stack", scheme);
+                    prop_assert_eq!(d.regs, pt.regs, "{} regs", scheme);
+                    prop_assert_eq!(&d.derivations, &pt.derivations, "{} derivs", scheme);
+                }
+            }
+        }
+    }
+
+    /// Compression monotonicity: PP is never larger than packing alone or
+    /// previous alone, and packing never loses to plain.
+    #[test]
+    fn compression_never_grows(module in arb_module()) {
+        let size = |s: Scheme| encode_module(&module, s).bytes.len();
+        prop_assert!(size(Scheme::FULL_PACKED) <= size(Scheme::FULL_PLAIN));
+        prop_assert!(size(Scheme::DELTA_PACKED) <= size(Scheme::DELTA_PLAIN));
+        prop_assert!(size(Scheme::DELTA_PREVIOUS) <= size(Scheme::DELTA_PLAIN));
+        prop_assert!(size(Scheme::DELTA_MAIN_PP) <= size(Scheme::DELTA_PACKED));
+        prop_assert!(size(Scheme::DELTA_MAIN_PP) <= size(Scheme::DELTA_PREVIOUS));
+    }
+}
+
+/// A tiny random-expression generator for differential compiler testing.
+#[derive(Debug, Clone)]
+enum ExprTree {
+    Lit(i16),
+    Var(u8),
+    Add(Box<ExprTree>, Box<ExprTree>),
+    Sub(Box<ExprTree>, Box<ExprTree>),
+    Mul(Box<ExprTree>, Box<ExprTree>),
+}
+
+fn arb_expr() -> impl Strategy<Value = ExprTree> {
+    let leaf = prop_oneof![
+        any::<i16>().prop_map(ExprTree::Lit),
+        (0..4u8).prop_map(ExprTree::Var),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprTree::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprTree::Sub(a.into(), b.into())),
+            (inner.clone(), inner).prop_map(|(a, b)| ExprTree::Mul(a.into(), b.into())),
+        ]
+    })
+}
+
+fn expr_to_m3(e: &ExprTree) -> String {
+    match e {
+        ExprTree::Lit(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -i32::from(*v))
+            } else {
+                v.to_string()
+            }
+        }
+        ExprTree::Var(i) => format!("v{i}"),
+        ExprTree::Add(a, b) => format!("({} + {})", expr_to_m3(a), expr_to_m3(b)),
+        ExprTree::Sub(a, b) => format!("({} - {})", expr_to_m3(a), expr_to_m3(b)),
+        ExprTree::Mul(a, b) => format!("({} * {})", expr_to_m3(a), expr_to_m3(b)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random arithmetic programs agree between the reference interpreter
+    /// and the VM, at both optimization levels. (MOD keeps every
+    /// intermediate well within i64 even after a few multiplications.)
+    #[test]
+    fn random_programs_agree(exprs in proptest::collection::vec(arb_expr(), 1..4),
+                             inits in proptest::collection::vec(-100..100i32, 4)) {
+        let mut body = String::new();
+        for (i, v) in inits.iter().enumerate() {
+            if *v < 0 {
+                body.push_str(&format!("  v{i} := 0 - {};\n", -v));
+            } else {
+                body.push_str(&format!("  v{i} := {v};\n"));
+            }
+        }
+        for (k, e) in exprs.iter().enumerate() {
+            let target = k % 4;
+            body.push_str(&format!("  v{target} := ({}) MOD 100003;\n", expr_to_m3(e)));
+        }
+        body.push_str("  PutInt(v0 + v1 + v2 + v3);\n");
+        let src = format!(
+            "MODULE P;\nVAR v0, v1, v2, v3: INTEGER;\nBEGIN\n{body}END P."
+        );
+        let expected = m3gc::compiler::reference_output(&src).unwrap();
+        for opts in [m3gc::compiler::Options::o0(), m3gc::compiler::Options::o2()] {
+            let module = m3gc::compiler::compile(&src, &opts).unwrap();
+            let out = m3gc::compiler::run_module(module, 4096).unwrap();
+            prop_assert_eq!(&out.output, &expected);
+        }
+    }
+}
+
+/// Randomized heap graphs (seeded in-language LCG mutations): the VM with
+/// a small heap — many compactions — must agree with the reference
+/// interpreter for arbitrary seeds.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_graphs_survive_compaction(seed in 1u32..1_000_000, nodes in 6u32..20) {
+        let src = format!(
+            "MODULE G;
+CONST N = {nodes};
+TYPE Node = REF RECORD id: INTEGER; a, b: Node END;
+     Arr = REF ARRAY OF Node;
+VAR pool: Arr; seed, i, r, x, y: INTEGER;
+PROCEDURE Next(bound: INTEGER): INTEGER =
+BEGIN
+  seed := (seed * 1103515245 + 12345) MOD 2147483648;
+  IF seed < 0 THEN seed := -seed; END;
+  RETURN seed MOD bound;
+END Next;
+PROCEDURE Checksum(): INTEGER =
+VAR k, s, hops: INTEGER; n: Node;
+BEGIN
+  s := 0;
+  FOR k := 0 TO N - 1 DO
+    n := pool[k];
+    hops := 0;
+    WHILE (n # NIL) AND (hops < 6) DO
+      s := (s * 31 + n.id) MOD 1000003;
+      IF hops MOD 2 = 0 THEN n := n.a; ELSE n := n.b; END;
+      INC(hops);
+    END;
+  END;
+  RETURN s;
+END Checksum;
+BEGIN
+  seed := {seed};
+  pool := NEW(Arr, N);
+  FOR i := 0 TO N - 1 DO pool[i] := NEW(Node); pool[i].id := i + 1; END;
+  FOR r := 1 TO 200 DO
+    x := Next(N);
+    y := Next(N);
+    IF r MOD 3 = 0 THEN pool[x].a := pool[y];
+    ELSIF r MOD 3 = 1 THEN pool[x].b := pool[y];
+    ELSE
+      pool[x] := NEW(Node);
+      pool[x].id := r;
+      pool[x].a := pool[y];
+    END;
+    (* Periodically sever edges so replaced nodes become garbage and the
+       live set stays bounded. *)
+    IF r MOD 25 = 0 THEN
+      FOR i := 0 TO N - 1 DO
+        pool[i].a := NIL;
+        pool[i].b := NIL;
+      END;
+    END;
+  END;
+  PutInt(Checksum());
+END G."
+        );
+        let expected = m3gc::compiler::reference_output(&src).unwrap();
+        let module = m3gc::compiler::compile(&src, &m3gc::compiler::Options::o2()).unwrap();
+        // Heap sized to the worst-case live set plus a sliver, well below
+        // total allocation: constant compaction.
+        let semi = (nodes as usize + 30) * 4 + nodes as usize + 24;
+        let out = m3gc::compiler::run_module(module, semi).unwrap();
+        prop_assert_eq!(&out.output, &expected);
+        prop_assert!(out.collections > 0, "expected collections with semi={}", semi);
+    }
+}
