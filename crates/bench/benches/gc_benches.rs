@@ -1,51 +1,68 @@
-//! Criterion micro-benchmarks backing the paper's performance discussion:
+//! Micro-benchmarks backing the paper's performance discussion
+//! (dependency-free: a plain timing harness, `harness = false`):
 //!
-//! * `decode/*` — per-lookup cost of decoding gc-point tables under the
-//!   compact δ-main+PP scheme vs uncompressed full information (§6.1's
+//! * `decode/lookup/*` — per-lookup cost of decoding gc-point tables under
+//!   the compact δ-main+PP scheme vs uncompressed full information (§6.1's
 //!   "compactly encoded tables are likely to have higher decoding
 //!   overhead", ablation A1);
+//! * `decode/cached/*` — the same lookups through a warm [`DecodeCache`]:
+//!   what repeated collections actually pay;
 //! * `encode/*` — table emission cost per scheme;
 //! * `trace/stack_trace` — a full stack walk with derived-value
-//!   un/re-derivation on a paused `destroy` (§6.3);
+//!   un/re-derivation on a paused `destroy` (§6.3), cold cache vs warm;
 //! * `collect/full` — a complete collection on the same state;
 //! * `end_to_end/takl` — whole-program run of the call-heavy benchmark.
+//!
+//! [`DecodeCache`]: m3gc_core::decode::DecodeCache
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use m3gc_bench::{compile_benchmark, program};
-use m3gc_core::decode::{DecoderIndex, TableDecoder};
+use m3gc_core::decode::{DecodeCache, DecoderIndex, TableDecoder};
 use m3gc_core::encode::{encode_module, Scheme};
 use m3gc_runtime::collector;
 use m3gc_vm::machine::{Machine, MachineConfig, RunOutcome, ThreadStatus};
 
-fn decode_benchmarks(c: &mut Criterion) {
-    let module = compile_benchmark(program("destroy"), true);
-    let mut group = c.benchmark_group("decode");
-    for scheme in [Scheme::DELTA_MAIN_PP, Scheme::FULL_PLAIN, Scheme::FULL_PACKED] {
-        let encoded = encode_module(&module.logical_maps, scheme);
-        let decoder = TableDecoder::new(&encoded);
-        let pcs: Vec<u32> = decoder.gc_point_pcs().collect();
-        group.bench_function(format!("lookup/{scheme}"), |b| {
-            b.iter(|| {
-                for &pc in &pcs {
-                    black_box(decoder.lookup(black_box(pc)));
-                }
-            });
-        });
+/// Times `f` over `iters` iterations (after one warmup call) and prints a
+/// per-iteration figure.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
     }
-    group.finish();
+    let per = t0.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+    println!("{name:<44} {per:>10.2} us/iter");
 }
 
-fn encode_benchmarks(c: &mut Criterion) {
-    let module = compile_benchmark(program("FieldList"), true);
-    let mut group = c.benchmark_group("encode");
-    for scheme in Scheme::TABLE2 {
-        group.bench_function(format!("{scheme}"), |b| {
-            b.iter(|| black_box(encode_module(black_box(&module.logical_maps), scheme)));
+fn decode_benchmarks() {
+    let module = compile_benchmark(program("destroy"), true);
+    for scheme in [Scheme::DELTA_MAIN_PP, Scheme::FULL_PLAIN, Scheme::FULL_PACKED] {
+        let encoded = encode_module(&module.logical_maps, scheme);
+        let decoder = TableDecoder::build(&encoded).expect("well-formed tables");
+        let pcs: Vec<u32> = decoder.gc_point_pcs().collect();
+        bench(&format!("decode/lookup/{scheme}"), 200, || {
+            for &pc in &pcs {
+                black_box(decoder.lookup(black_box(pc)));
+            }
+        });
+        let mut cache = DecodeCache::build(&encoded).expect("well-formed tables");
+        bench(&format!("decode/cached/{scheme}"), 200, || {
+            for &pc in &pcs {
+                black_box(cache.lookup(&encoded.bytes, black_box(pc)));
+            }
         });
     }
-    group.finish();
+}
+
+fn encode_benchmarks() {
+    let module = compile_benchmark(program("FieldList"), true);
+    for scheme in Scheme::TABLE2 {
+        bench(&format!("encode/{scheme}"), 200, || {
+            black_box(encode_module(black_box(&module.logical_maps), scheme));
+        });
+    }
 }
 
 /// Runs destroy until its first genuine heap exhaustion and returns the
@@ -64,52 +81,49 @@ fn paused_destroy() -> Machine {
     }
 }
 
-fn trace_benchmarks(c: &mut Criterion) {
+fn trace_benchmarks() {
     let mut machine = paused_destroy();
-    let index = DecoderIndex::build(&machine.module.gc_maps).expect("valid maps");
-    c.bench_function("trace/stack_trace", |b| {
-        b.iter(|| black_box(collector::trace_only(&mut machine, &index)));
+    bench("trace/stack_trace (cold cache each iter)", 200, || {
+        let mut cache =
+            DecodeCache::build(&machine.module.gc_maps).expect("valid maps");
+        black_box(collector::trace_only(&mut machine, &mut cache));
+    });
+    let mut cache = DecodeCache::build(&machine.module.gc_maps).expect("valid maps");
+    bench("trace/stack_trace (warm cache)", 200, || {
+        black_box(collector::trace_only(&mut machine, &mut cache));
     });
 }
 
-fn collect_benchmarks(c: &mut Criterion) {
+fn collect_benchmarks() {
     let mut machine = paused_destroy();
-    let index = DecoderIndex::build(&machine.module.gc_maps).expect("valid maps");
-    c.bench_function("collect/full", |b| {
-        b.iter(|| {
-            // Each collection flips semispaces; re-block the threads (their
-            // pcs have not moved) so the next iteration can collect again.
-            let stats = collector::collect(&mut machine, &index);
-            machine.gc_pending = true;
-            for t in &mut machine.threads {
-                if t.status == ThreadStatus::Runnable {
-                    t.status = ThreadStatus::BlockedAtGcPoint;
-                }
+    let mut cache = DecodeCache::build(&machine.module.gc_maps).expect("valid maps");
+    bench("collect/full", 100, || {
+        // Each collection flips semispaces; re-block the threads (their
+        // pcs have not moved) so the next iteration can collect again.
+        let stats = collector::collect(&mut machine, &mut cache);
+        machine.gc_pending = true;
+        for t in &mut machine.threads {
+            if t.status == ThreadStatus::Runnable {
+                t.status = ThreadStatus::BlockedAtGcPoint;
             }
-            black_box(stats)
-        });
+        }
+        black_box(stats);
+    });
+    let _ = DecoderIndex::build(&machine.module.gc_maps).expect("valid maps");
+}
+
+fn end_to_end() {
+    bench("end_to_end/takl", 5, || {
+        let module = compile_benchmark(program("takl"), true);
+        let out = m3gc_compiler::run_module(module, 1 << 16).expect("takl runs");
+        black_box(out.steps);
     });
 }
 
-fn end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.bench_function("takl", |b| {
-        b.iter(|| {
-            let module = compile_benchmark(program("takl"), true);
-            let out = m3gc_compiler::run_module(module, 1 << 16).expect("takl runs");
-            black_box(out.steps)
-        });
-    });
-    group.finish();
+fn main() {
+    decode_benchmarks();
+    encode_benchmarks();
+    trace_benchmarks();
+    collect_benchmarks();
+    end_to_end();
 }
-
-criterion_group!(
-    benches,
-    decode_benchmarks,
-    encode_benchmarks,
-    trace_benchmarks,
-    collect_benchmarks,
-    end_to_end
-);
-criterion_main!(benches);

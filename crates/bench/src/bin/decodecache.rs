@@ -1,0 +1,131 @@
+//! Decode-cache experiment: cold vs warm collections.
+//!
+//! The paper (§6.3) prices each collection's stack trace as if every live
+//! gc-point's table entry had to be decoded from scratch — with the
+//! *Previous*-compressed schemes that means re-walking the procedure's
+//! entries from its first gc-point every time. The runtime instead keeps a
+//! [`DecodeCache`] for the module's lifetime, so only the *first*
+//! collection that visits a pc pays the sequential decode; later
+//! collections are pure memo hits.
+//!
+//! This experiment runs the loop-heavy benchmarks under gc-torture
+//! (forced collection every allocation), splits the first collection
+//! (cold) from the rest (warm), and reports the decode-operation counts
+//! plus a direct cold-vs-warm wall-clock trace comparison on a paused
+//! machine. The acceptance bar is a ≥2× reduction in decode operations on
+//! warm collections; on steady-state loops the warm count is typically
+//! zero.
+//!
+//! [`DecodeCache`]: m3gc_core::decode::DecodeCache
+
+use std::time::Instant;
+
+use m3gc_bench::{compile_benchmark, program};
+use m3gc_core::decode::DecodeCache;
+use m3gc_runtime::collector;
+use m3gc_runtime::scheduler::{ExecConfig, Executor};
+use m3gc_vm::machine::{Machine, MachineConfig, RunOutcome};
+
+/// Allocation-per-iteration loop: the motivating workload, where every
+/// collection stops in the same handful of gc-points.
+const LOOPALLOC: &str = "MODULE LoopAlloc;
+TYPE R = REF RECORD x: INTEGER END;
+VAR r: R; i, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 500 DO
+    r := NEW(R);
+    r.x := i;
+    s := (s + r.x) MOD 1000003;
+  END;
+  PutInt(s);
+END LoopAlloc.";
+
+fn torture(name: &str, module: m3gc_vm::VmModule, semi_words: usize) {
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words, stack_words: 1 << 15, max_threads: 2 },
+    );
+    let mut ex = Executor::new(
+        machine,
+        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
+    );
+    ex.machine.spawn(ex.machine.module.main, &[]);
+    let out = ex.run().expect("benchmark completes");
+    assert!(out.collections >= 2, "{name}: need repeated collections");
+
+    let cold = &out.gc_each[0];
+    let warm = &out.gc_each[1..];
+    let warm_ops: u64 = warm.iter().map(|s| s.decode_ops).sum();
+    let warm_mean = warm_ops as f64 / warm.len() as f64;
+    let warm_hits: u64 = warm.iter().map(|s| s.decode_hits).sum();
+    let warm_lookups: u64 =
+        warm.iter().map(|s| s.decode_hits + s.decode_misses).sum();
+    let total_ops = cold.decode_ops + warm_ops;
+    let ratio = if warm_mean > 0.0 {
+        format!("{:.1}x", cold.decode_ops as f64 / warm_mean)
+    } else {
+        "inf".to_string()
+    };
+
+    println!("{name}:");
+    println!("  collections           {:>8}", out.collections);
+    println!("  cold decode ops       {:>8}   (first collection)", cold.decode_ops);
+    println!("  warm decode ops/coll  {warm_mean:>8.2}   (mean of the rest)");
+    println!("  cold/warm ratio       {ratio:>8}");
+    println!(
+        "  warm hit rate         {:>7.1}%   ({warm_hits}/{warm_lookups} lookups)",
+        100.0 * warm_hits as f64 / warm_lookups as f64,
+    );
+    println!(
+        "  total ops ≤ memo size {:>8}   (each pc decoded at most once: {})",
+        total_ops,
+        ex.decode_cache().memoized_points(),
+    );
+    assert!(
+        warm_mean * 2.0 <= cold.decode_ops as f64,
+        "{name}: warm collections must decode at least 2x fewer points"
+    );
+    println!();
+}
+
+/// Runs `destroy` to its first heap exhaustion and times repeated stack
+/// traces with a fresh cache per trace (cold) vs one reused cache (warm).
+fn trace_timing() {
+    let module = compile_benchmark(program("destroy"), true);
+    let mut machine = Machine::new(
+        module,
+        MachineConfig { semi_words: 8 * 1024, stack_words: 1 << 15, max_threads: 2 },
+    );
+    let main = machine.module.main;
+    let tid = machine.spawn(main, &[]);
+    assert!(matches!(machine.run_thread(tid, u64::MAX), RunOutcome::NeedGc));
+
+    const ITERS: u32 = 500;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        let mut cache =
+            DecodeCache::build(&machine.module.gc_maps).expect("valid maps");
+        collector::trace_only(&mut machine, &mut cache);
+    }
+    let cold = t0.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS);
+
+    let mut cache = DecodeCache::build(&machine.module.gc_maps).expect("valid maps");
+    let t1 = Instant::now();
+    for _ in 0..ITERS {
+        collector::trace_only(&mut machine, &mut cache);
+    }
+    let warm = t1.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS);
+
+    println!("destroy, paused at first exhaustion ({ITERS} traces each):");
+    println!("  cold trace (fresh cache) {cold:>9.2} us");
+    println!("  warm trace (kept cache)  {warm:>9.2} us   ({:.1}x)", cold / warm);
+}
+
+fn main() {
+    println!("Decode cache: cold vs warm collections (gc-torture, 1 alloc/gc)\n");
+    torture("LoopAlloc", compile_benchmark(LOOPALLOC, true), 1 << 14);
+    torture("takl", compile_benchmark(program("takl"), true), 1 << 14);
+    torture("destroy", compile_benchmark(program("destroy"), true), 16 * 1024);
+    trace_timing();
+}

@@ -90,9 +90,7 @@ fn figure2_program(iterations: i64) -> Program {
     let r0 = mb.call(fig2, vec![arr_p, arr_q, sel0], Some(TempKind::Int)).unwrap();
     mb.call_runtime(RuntimeFn::PrintInt, vec![r0]);
     // Keep the trailing block well-formed.
-    match &mut mb {
-        b => b.ret(None),
-    }
+    mb.ret(None);
     let main = p.add_func(mb.finish());
     p.main = main;
     p

@@ -50,7 +50,7 @@ fn main() {
             c.total_points,
             c.fixed_two_byte,
             c.variable,
-            if c.total_points == 0 { 0 } else { 100 * c.one_byte_distances / c.total_points }
+            (100 * c.one_byte_distances).checked_div(c.total_points).unwrap_or(0)
         );
     }
     println!(

@@ -3,26 +3,96 @@
 
 use std::fmt::Write as _;
 
+use m3gc_core::decode::{DecodeCache, DecodeError};
 use m3gc_core::encode::Scheme;
 use m3gc_core::stats::{size_report, table_stats};
-use m3gc_runtime::scheduler::ExecConfig;
+use m3gc_frontend::error::{Diagnostic, Phase};
+use m3gc_ir::verify::VerifyError;
+use m3gc_runtime::scheduler::{ExecConfig, ExecError};
 
 use crate::{compile, compile_to_ir, run_module_with, Options};
 
-/// Errors surfaced to the CLI user.
+/// Errors surfaced to the CLI user, structured by pipeline stage.
+///
+/// Each variant wraps the underlying error type, so callers can match on
+/// the failing stage and walk [`std::error::Error::source`]; `Display`
+/// remains exactly the wrapped error's message (what the CLI prints).
 #[derive(Debug)]
-pub struct DriverError(pub String);
+#[non_exhaustive]
+pub enum DriverError {
+    /// Lexical analysis failed.
+    Lex(Diagnostic),
+    /// Parsing failed.
+    Parse(Diagnostic),
+    /// Type checking failed.
+    Type(Diagnostic),
+    /// Code generation produced invalid IR or code.
+    Codegen(VerifyError),
+    /// The compiled module's gc tables failed to decode.
+    Decode(DecodeError),
+    /// Execution failed (trap, fuel, stuck thread).
+    Runtime(ExecError),
+    /// Malformed command line.
+    Usage(String),
+}
 
-impl std::fmt::Display for DriverError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+impl DriverError {
+    fn usage(msg: impl Into<String>) -> DriverError {
+        DriverError::Usage(msg.into())
     }
 }
 
-impl std::error::Error for DriverError {}
+impl From<Diagnostic> for DriverError {
+    /// Classifies a front-end diagnostic by its reporting phase.
+    fn from(d: Diagnostic) -> DriverError {
+        match d.phase {
+            Phase::Lex => DriverError::Lex(d),
+            Phase::Parse => DriverError::Parse(d),
+            Phase::Type => DriverError::Type(d),
+        }
+    }
+}
 
-fn de(e: impl std::fmt::Display) -> DriverError {
-    DriverError(e.to_string())
+impl From<VerifyError> for DriverError {
+    fn from(e: VerifyError) -> DriverError {
+        DriverError::Codegen(e)
+    }
+}
+
+impl From<DecodeError> for DriverError {
+    fn from(e: DecodeError) -> DriverError {
+        DriverError::Decode(e)
+    }
+}
+
+impl From<ExecError> for DriverError {
+    fn from(e: ExecError) -> DriverError {
+        DriverError::Runtime(e)
+    }
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Lex(d) | DriverError::Parse(d) | DriverError::Type(d) => d.fmt(f),
+            DriverError::Codegen(e) => e.fmt(f),
+            DriverError::Decode(e) => e.fmt(f),
+            DriverError::Runtime(e) => e.fmt(f),
+            DriverError::Usage(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::Lex(d) | DriverError::Parse(d) | DriverError::Type(d) => Some(d),
+            DriverError::Codegen(e) => Some(e),
+            DriverError::Decode(e) => Some(e),
+            DriverError::Runtime(e) => Some(e),
+            DriverError::Usage(_) => None,
+        }
+    }
 }
 
 /// Run configuration for [`run`].
@@ -48,9 +118,9 @@ impl Default for RunConfig {
 ///
 /// Returns the first diagnostic.
 pub fn check(source: &str) -> Result<String, DriverError> {
-    let tokens = m3gc_frontend::lexer::lex(source).map_err(de)?;
-    let module = m3gc_frontend::parser::parse(tokens).map_err(de)?;
-    let checked = m3gc_frontend::typecheck::check(&module).map_err(de)?;
+    let tokens = m3gc_frontend::lexer::lex(source)?;
+    let module = m3gc_frontend::parser::parse(tokens)?;
+    let checked = m3gc_frontend::typecheck::check(&module)?;
     Ok(format!(
         "module `{}`: {} procedure(s), {} global(s) — ok\n",
         module.name,
@@ -66,18 +136,30 @@ pub fn check(source: &str) -> Result<String, DriverError> {
 ///
 /// Returns compile diagnostics or execution errors.
 pub fn run(source: &str, options: &Options, config: RunConfig) -> Result<String, DriverError> {
-    let module = compile(source, options).map_err(de)?;
+    let module = compile(source, options)?;
+    // Surface malformed gc tables as a Decode error up front instead of a
+    // panic inside the executor.
+    let cache = DecodeCache::build(&module.gc_maps)?;
     let exec = ExecConfig {
         force_every_allocs: config.torture.then_some(1),
         ..ExecConfig::default()
     };
-    let out = run_module_with(module, config.semi_words, exec).map_err(de)?;
+    let total_points = cache.index().gc_point_pcs().count();
+    let out = run_module_with(module, config.semi_words, exec)?;
     let mut s = out.output.clone();
     if config.stats {
         let _ = writeln!(
             s,
             "--- {} collection(s), {} object(s) moved, {} frame(s) traced, {} step(s)",
             out.collections, out.gc_total.objects_copied, out.gc_total.frames_traced, out.steps
+        );
+        let _ = writeln!(
+            s,
+            "--- decode cache: {} hit(s), {} miss(es), {} point(s) decoded of {}",
+            out.gc_total.decode_hits,
+            out.gc_total.decode_misses,
+            out.gc_total.decode_ops,
+            total_points
         );
     }
     Ok(s)
@@ -89,7 +171,7 @@ pub fn run(source: &str, options: &Options, config: RunConfig) -> Result<String,
 ///
 /// Returns compile diagnostics.
 pub fn ir(source: &str, options: &Options) -> Result<String, DriverError> {
-    let prog = compile_to_ir(source, options).map_err(de)?;
+    let prog = compile_to_ir(source, options)?;
     Ok(m3gc_ir::pretty::program_to_string(&prog))
 }
 
@@ -99,7 +181,7 @@ pub fn ir(source: &str, options: &Options) -> Result<String, DriverError> {
 ///
 /// Returns compile diagnostics.
 pub fn disasm(source: &str, options: &Options) -> Result<String, DriverError> {
-    let module = compile(source, options).map_err(de)?;
+    let module = compile(source, options)?;
     Ok(m3gc_vm::disasm::disassemble(&module))
 }
 
@@ -109,7 +191,7 @@ pub fn disasm(source: &str, options: &Options) -> Result<String, DriverError> {
 ///
 /// Returns compile diagnostics.
 pub fn tables(source: &str, options: &Options) -> Result<String, DriverError> {
-    let module = compile(source, options).map_err(de)?;
+    let module = compile(source, options)?;
     let mut s = String::new();
     for proc in &module.logical_maps.procs {
         let _ = writeln!(s, "procedure `{}` (entry pc {}):", proc.name, proc.entry_pc);
@@ -135,7 +217,7 @@ pub fn tables(source: &str, options: &Options) -> Result<String, DriverError> {
 ///
 /// Returns compile diagnostics.
 pub fn stats(source: &str, options: &Options) -> Result<String, DriverError> {
-    let module = compile(source, options).map_err(de)?;
+    let module = compile(source, options)?;
     let st = table_stats(&module.logical_maps);
     let mut s = String::new();
     let _ = writeln!(s, "code size:        {} bytes", module.code_size());
@@ -172,12 +254,12 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
             "--torture" => config.torture = true,
             "--stats" => config.stats = true,
             "--heap" => {
-                let v = it.next().ok_or_else(|| DriverError("--heap needs a value".into()))?;
+                let v = it.next().ok_or_else(|| DriverError::usage("--heap needs a value"))?;
                 config.semi_words =
-                    v.parse().map_err(|_| DriverError(format!("bad --heap value `{v}`")))?;
+                    v.parse().map_err(|_| DriverError::usage(format!("bad --heap value `{v}`")))?;
             }
             "--scheme" => {
-                let v = it.next().ok_or_else(|| DriverError("--scheme needs a value".into()))?;
+                let v = it.next().ok_or_else(|| DriverError::usage("--scheme needs a value"))?;
                 let scheme = match v.as_str() {
                     "full" => Scheme::FULL_PLAIN,
                     "full-packed" => Scheme::FULL_PACKED,
@@ -185,11 +267,11 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
                     "delta-previous" => Scheme::DELTA_PREVIOUS,
                     "delta-packed" => Scheme::DELTA_PACKED,
                     "pp" => Scheme::DELTA_MAIN_PP,
-                    other => return Err(DriverError(format!("unknown scheme `{other}`"))),
+                    other => return Err(DriverError::usage(format!("unknown scheme `{other}`"))),
                 };
                 options = options.with_scheme(scheme);
             }
-            other => return Err(DriverError(format!("unknown option `{other}`"))),
+            other => return Err(DriverError::usage(format!("unknown option `{other}`"))),
         }
     }
     Ok((options, config))
@@ -235,6 +317,66 @@ mod tests {
         let out = run(ALLOCATING, &o, c).unwrap();
         assert!(out.starts_with("1275"), "{out}");
         assert!(out.contains("collection(s)"), "{out}");
+    }
+
+    #[test]
+    fn stats_report_decode_cache_counters() {
+        let (o, mut c) = parse_options(&["--torture".into(), "--stats".into()]).unwrap();
+        c.semi_words = 4096;
+        let out = run(ALLOCATING, &o, c).unwrap();
+        assert!(out.contains("decode cache:"), "{out}");
+        assert!(out.contains("hit(s)") && out.contains("miss(es)"), "{out}");
+        // Torture mode collects at every allocation: warm lookups dominate,
+        // so the report must show real hits.
+        let hits: u64 = out
+            .lines()
+            .find(|l| l.contains("decode cache"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable stats line in {out}"));
+        assert!(hits > 0, "{out}");
+    }
+
+    #[test]
+    fn errors_are_classified_by_stage() {
+        let lex = check("MODULE X; VAR a: INTEGER; BEGIN a := 1 ? 2; END X.").unwrap_err();
+        assert!(matches!(lex, DriverError::Lex(_)), "{lex:?}");
+        let parse = check("MODULE X; BEGIN BEGIN END X.").unwrap_err();
+        assert!(matches!(parse, DriverError::Parse(_)), "{parse:?}");
+        let ty = check("MODULE X; VAR b: BOOLEAN; BEGIN b := 3; END X.").unwrap_err();
+        assert!(matches!(ty, DriverError::Type(_)), "{ty:?}");
+        let usage = parse_options(&["--bogus".into()]).unwrap_err();
+        assert!(matches!(usage, DriverError::Usage(_)), "{usage:?}");
+        let (o, mut c) = parse_options(&[]).unwrap();
+        c.semi_words = 64; // far too small for a 100-element live list
+        let rt = run(
+            "MODULE Oom;
+             TYPE L = REF RECORD v: INTEGER; next: L END;
+             VAR l: L; i: INTEGER;
+             BEGIN
+               l := NIL;
+               FOR i := 1 TO 100 DO
+                 WITH c = NEW(L) DO c.v := i; c.next := l; l := c; END;
+               END;
+               PutInt(l.v);
+             END Oom.",
+            &o,
+            c,
+        )
+        .unwrap_err();
+        assert!(matches!(rt, DriverError::Runtime(_)), "{rt:?}");
+    }
+
+    #[test]
+    fn errors_expose_their_source() {
+        use std::error::Error as _;
+        let e = check("MODULE X; VAR b: BOOLEAN; BEGIN b := 3; END X.").unwrap_err();
+        let src = e.source().expect("diagnostic source");
+        // Display stays byte-identical to the wrapped error's.
+        assert_eq!(e.to_string(), src.to_string());
+        let usage = parse_options(&["--bogus".into()]).unwrap_err();
+        assert!(usage.source().is_none());
+        assert_eq!(usage.to_string(), "unknown option `--bogus`");
     }
 
     #[test]

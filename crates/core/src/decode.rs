@@ -8,6 +8,15 @@
 //! decoder walks from the procedure's first gc-point to the requested one.
 //! This is the decoding overhead §6.3 measures — compactly encoded tables
 //! are cheap to store but cost more to read.
+//!
+//! The tables of a loaded module are immutable, so that sequential walk
+//! never has to recur: [`DecodeCache`] memoizes every [`DecodedPoint`] it
+//! resolves and keeps, per procedure, a *prefix checkpoint* (the byte
+//! position and last decoded point of the longest already-decoded prefix).
+//! A miss at gc-point *k* resumes decoding from the checkpoint instead of
+//! the procedure's first gc-point, so across the lifetime of a module each
+//! gc-point's tables are decoded at most once no matter how many
+//! collections consult them.
 
 use crate::derive::{DerivationRecord, Sign};
 use crate::encode::{descriptor, EncodedTables, Scheme, TableLayout};
@@ -346,31 +355,52 @@ impl DecoderIndex {
 }
 
 impl<'a> TableDecoder<'a> {
-    /// Indexes an encoded table stream.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stream is malformed (it was produced by
-    /// [`crate::encode::encode_module`], so malformation is a bug).
-    #[must_use]
-    pub fn new(encoded: &'a EncodedTables) -> TableDecoder<'a> {
-        Self::try_new(encoded).expect("malformed encoded gc tables")
-    }
-
-    /// Fallible variant of [`TableDecoder::new`].
+    /// Indexes an encoded table stream. This is the one constructor:
+    /// indexing reads the whole stream, so construction is inherently
+    /// fallible and every caller must face the [`DecodeError`].
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] if the stream is truncated or contains
     /// invalid words.
-    pub fn try_new(encoded: &'a EncodedTables) -> Result<TableDecoder<'a>, DecodeError> {
+    pub fn build(encoded: &'a EncodedTables) -> Result<TableDecoder<'a>, DecodeError> {
         Ok(TableDecoder { index: DecoderIndex::build(encoded)?, bytes: &encoded.bytes })
     }
 
-    /// Wraps a prebuilt index around the stream it was built from.
+    /// Wraps a prebuilt (already validated) index around the stream it was
+    /// built from.
+    #[must_use]
+    pub fn from_index(index: DecoderIndex, encoded: &'a EncodedTables) -> TableDecoder<'a> {
+        TableDecoder { index, bytes: &encoded.bytes }
+    }
+
+    /// Indexes an encoded table stream, panicking on malformed input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is malformed.
+    #[deprecated(since = "0.1.0", note = "use `TableDecoder::build` and handle the error")]
+    #[must_use]
+    pub fn new(encoded: &'a EncodedTables) -> TableDecoder<'a> {
+        Self::build(encoded).expect("malformed encoded gc tables")
+    }
+
+    /// Former name of [`TableDecoder::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the stream is truncated or contains
+    /// invalid words.
+    #[deprecated(since = "0.1.0", note = "renamed to `TableDecoder::build`")]
+    pub fn try_new(encoded: &'a EncodedTables) -> Result<TableDecoder<'a>, DecodeError> {
+        Self::build(encoded)
+    }
+
+    /// Former name of [`TableDecoder::from_index`].
+    #[deprecated(since = "0.1.0", note = "renamed to `TableDecoder::from_index`")]
     #[must_use]
     pub fn with_index(index: DecoderIndex, encoded: &'a EncodedTables) -> TableDecoder<'a> {
-        TableDecoder { index, bytes: &encoded.bytes }
+        Self::from_index(index, encoded)
     }
 
     /// Number of procedures in the stream.
@@ -403,9 +433,8 @@ impl<'a> TableDecoder<'a> {
 
     /// Decodes every gc-point of every procedure, in stream order.
     ///
-    /// Used by tests and by bulk consumers; collectors use [`lookup`].
-    ///
-    /// [`lookup`]: TableDecoder::lookup
+    /// Used by tests and by bulk consumers; collectors use a
+    /// [`DecodeCache`].
     #[must_use]
     pub fn decode_all(&self) -> Vec<DecodedPoint> {
         let mut out = Vec::new();
@@ -423,6 +452,195 @@ impl<'a> TableDecoder<'a> {
             }
         }
         out
+    }
+}
+
+/// Counters describing the decode work a [`DecodeCache`] has performed.
+///
+/// `points_decoded` counts individual gc-point decode operations (the unit
+/// §6.3's overhead discussion is about); without a cache, a lookup at the
+/// *k*-th gc-point of a procedure costs *k*+1 of them, every time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCounters {
+    /// Lookups served entirely from memoized points.
+    pub hits: u64,
+    /// Lookups that had to decode at least one gc-point.
+    pub misses: u64,
+    /// Individual gc-point decode operations performed.
+    pub points_decoded: u64,
+}
+
+impl DecodeCounters {
+    /// Component-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: DecodeCounters) -> DecodeCounters {
+        DecodeCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            points_decoded: self.points_decoded - earlier.points_decoded,
+        }
+    }
+
+    /// Total lookups (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Per-procedure memoization state: the decoded prefix and the checkpoint
+/// from which decoding resumes.
+#[derive(Debug, Clone)]
+struct ProcCacheState {
+    /// Lazily decoded ground table (δ-main layouts only).
+    ground: Option<Vec<GroundEntry>>,
+    /// Fully resolved gc-points `0..points.len()` — always a prefix, since
+    /// *Previous* makes decoding strictly sequential.
+    points: Vec<DecodedPoint>,
+    /// Byte position just past the last decoded point: the resume
+    /// checkpoint for the next miss in this procedure.
+    resume_pos: usize,
+}
+
+/// A memoizing decode front-end for the collector.
+///
+/// The encoded tables of a loaded module never change, so every
+/// [`DecodedPoint`] this cache resolves is kept for the lifetime of the
+/// module. A miss at gc-point *k* of a procedure resumes the sequential
+/// decode from the procedure's prefix checkpoint (the last point already
+/// decoded) rather than from the procedure's first gc-point, so each
+/// gc-point is decoded **at most once** ever; repeated collections of the
+/// same stacks are pure cache hits.
+///
+/// Invariants (see DESIGN.md §"Decode cache"):
+///
+/// * the cache must only be consulted with the byte stream its index was
+///   built from (same module, immutable tables);
+/// * memoized points per procedure always form a prefix — checkpoint
+///   granularity is exactly one gc-point;
+/// * memory is bounded by the fully decoded tables of the module (what
+///   [`TableDecoder::decode_all`] would return), reached only if every
+///   gc-point is eventually consulted.
+#[derive(Debug, Clone)]
+pub struct DecodeCache {
+    index: DecoderIndex,
+    procs: Vec<ProcCacheState>,
+    /// Identity of the module this cache is bound to (a VM-assigned
+    /// token); `None` until first bound.
+    module_token: Option<u64>,
+    counters: DecodeCounters,
+}
+
+impl DecodeCache {
+    /// Wraps a prebuilt index.
+    #[must_use]
+    pub fn new(index: DecoderIndex) -> DecodeCache {
+        let procs = index
+            .procs
+            .iter()
+            .map(|p| ProcCacheState {
+                ground: None,
+                points: Vec::new(),
+                resume_pos: p.points_off,
+            })
+            .collect();
+        DecodeCache { index, procs, module_token: None, counters: DecodeCounters::default() }
+    }
+
+    /// Indexes an encoded table stream and wraps it in a fresh cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the stream is truncated or contains
+    /// invalid words.
+    pub fn build(encoded: &EncodedTables) -> Result<DecodeCache, DecodeError> {
+        Ok(DecodeCache::new(DecoderIndex::build(encoded)?))
+    }
+
+    /// The underlying index.
+    #[must_use]
+    pub fn index(&self) -> &DecoderIndex {
+        &self.index
+    }
+
+    /// Binds the cache to a module identity token (e.g.
+    /// `Machine::module_token`). The first bind sticks; rebinding to a
+    /// different token panics, because memoized points from one module's
+    /// tables must never serve another's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already bound to a different token.
+    pub fn bind_module(&mut self, token: u64) {
+        match self.module_token {
+            None => self.module_token = Some(token),
+            Some(t) => assert_eq!(t, token, "DecodeCache reused across modules"),
+        }
+    }
+
+    /// The module token this cache is bound to, if any.
+    #[must_use]
+    pub fn module_token(&self) -> Option<u64> {
+        self.module_token
+    }
+
+    /// Cumulative hit/miss/decode-op counters.
+    #[must_use]
+    pub fn counters(&self) -> DecodeCounters {
+        self.counters
+    }
+
+    /// Resets the counters (the memoized points stay).
+    pub fn reset_counters(&mut self) {
+        self.counters = DecodeCounters::default();
+    }
+
+    /// Number of gc-points currently memoized (the memory bound is the
+    /// module's total gc-point count).
+    #[must_use]
+    pub fn memoized_points(&self) -> usize {
+        self.procs.iter().map(|p| p.points.len()).sum()
+    }
+
+    /// Decodes (or serves from memo) the tables for the gc-point at
+    /// exactly `pc`. `bytes` must be the stream the index was built from.
+    ///
+    /// Returns `None` if `pc` is not a gc-point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream differs from the one validated at
+    /// construction.
+    pub fn lookup(&mut self, bytes: &[u8], pc: u32) -> Option<&DecodedPoint> {
+        let i = self.index.point_index.binary_search_by_key(&pc, |&(p, _, _)| p).ok()?;
+        let (_, proc_i, pt_i) = self.index.point_index[i];
+        let pt_i = pt_i as usize;
+        let idx = &self.index.procs[proc_i as usize];
+        let scheme = self.index.scheme;
+        let ProcCacheState { ground, points, resume_pos } = &mut self.procs[proc_i as usize];
+        if pt_i < points.len() {
+            self.counters.hits += 1;
+            return Some(&points[pt_i]);
+        }
+        self.counters.misses += 1;
+        if ground.is_none() {
+            *ground = Some(
+                DecoderIndex::read_ground(scheme, bytes, idx).expect("validated at construction"),
+            );
+        }
+        let ground = ground.as_deref().expect("just populated");
+        let mut r = Reader { packing: scheme.packing, bytes, pos: *resume_pos };
+        let empty = DecodedPoint::default();
+        for k in points.len()..=pt_i {
+            let prev = points.last().unwrap_or(&empty);
+            let mut point = DecoderIndex::read_point(scheme, &mut r, ground, prev)
+                .expect("validated at construction");
+            point.pc = idx.pcs[k];
+            points.push(point);
+            self.counters.points_decoded += 1;
+        }
+        *resume_pos = r.pos;
+        Some(&points[pt_i])
     }
 }
 
@@ -491,7 +709,7 @@ mod tests {
     fn expect_roundtrip(scheme: Scheme) {
         let m = sample_module();
         let enc = encode_module(&m, scheme);
-        let dec = TableDecoder::new(&enc);
+        let dec = TableDecoder::build(&enc).unwrap();
         assert_eq!(dec.num_procs(), 2);
         for proc in &m.procs {
             for (i, pt) in proc.points.iter().enumerate() {
@@ -513,7 +731,7 @@ mod tests {
     #[test]
     fn lookup_misses_non_gc_points() {
         let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
-        let dec = TableDecoder::new(&enc);
+        let dec = TableDecoder::build(&enc).unwrap();
         assert_eq!(dec.lookup(7), None);
         assert_eq!(dec.lookup(0), None);
     }
@@ -521,7 +739,7 @@ mod tests {
     #[test]
     fn decode_all_matches_lookups() {
         let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
-        let dec = TableDecoder::new(&enc);
+        let dec = TableDecoder::build(&enc).unwrap();
         let all = dec.decode_all();
         assert_eq!(all.len(), 4);
         for p in &all {
@@ -532,16 +750,107 @@ mod tests {
     #[test]
     fn proc_entry_lookup() {
         let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
-        let dec = TableDecoder::new(&enc);
+        let dec = TableDecoder::build(&enc).unwrap();
         assert_eq!(dec.proc_entry_of(108), Some(100));
         assert_eq!(dec.proc_entry_of(6), Some(0));
         assert_eq!(dec.proc_entry_of(7), None);
     }
 
     #[test]
+    fn from_index_reuses_a_prebuilt_index() {
+        let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
+        let index = DecoderIndex::build(&enc).unwrap();
+        let dec = TableDecoder::from_index(index, &enc);
+        assert_eq!(dec.num_procs(), 2);
+        assert!(dec.lookup(14).is_some());
+    }
+
+    #[test]
     fn truncated_stream_reports_error() {
         let mut enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
         enc.bytes.truncate(enc.bytes.len() / 2);
-        assert!(TableDecoder::try_new(&enc).is_err());
+        assert!(TableDecoder::build(&enc).is_err());
+        assert!(DecodeCache::build(&enc).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
+        let dec = TableDecoder::new(&enc);
+        assert_eq!(dec.num_procs(), 2);
+        assert!(TableDecoder::try_new(&enc).is_ok());
+        let index = DecoderIndex::build(&enc).unwrap();
+        assert!(TableDecoder::with_index(index, &enc).lookup(6).is_some());
+    }
+
+    #[test]
+    fn cache_agrees_with_decoder_under_every_scheme() {
+        let m = sample_module();
+        for scheme in Scheme::TABLE2 {
+            let enc = encode_module(&m, scheme);
+            let dec = TableDecoder::build(&enc).unwrap();
+            let mut cache = DecodeCache::build(&enc).unwrap();
+            // Twice: first pass populates, second pass must serve memos.
+            for _ in 0..2 {
+                for pc in dec.gc_point_pcs().collect::<Vec<_>>() {
+                    assert_eq!(
+                        cache.lookup(&enc.bytes, pc),
+                        dec.lookup(pc).as_ref(),
+                        "{scheme}: pc {pc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_decode_ops() {
+        let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
+        let mut cache = DecodeCache::build(&enc).unwrap();
+        // Procedure `a` has points at pcs 6, 14, 30; `b` at 108.
+        // Cold lookup at the *last* point of `a` decodes the whole prefix.
+        assert!(cache.lookup(&enc.bytes, 30).is_some());
+        assert_eq!(cache.counters(), DecodeCounters { hits: 0, misses: 1, points_decoded: 3 });
+        // Earlier points of `a` are now memoized: pure hits.
+        assert!(cache.lookup(&enc.bytes, 6).is_some());
+        assert!(cache.lookup(&enc.bytes, 14).is_some());
+        assert_eq!(cache.counters(), DecodeCounters { hits: 2, misses: 1, points_decoded: 3 });
+        // A different procedure misses independently.
+        assert!(cache.lookup(&enc.bytes, 108).is_some());
+        assert_eq!(cache.counters(), DecodeCounters { hits: 2, misses: 2, points_decoded: 4 });
+        // Warm repeat of everything: hits only, no further decode ops.
+        for pc in [6, 14, 30, 108] {
+            assert!(cache.lookup(&enc.bytes, pc).is_some());
+        }
+        assert_eq!(cache.counters(), DecodeCounters { hits: 6, misses: 2, points_decoded: 4 });
+        assert_eq!(cache.memoized_points(), 4);
+        assert_eq!(cache.lookup(&enc.bytes, 7), None, "non-gc-point pc");
+    }
+
+    #[test]
+    fn cache_resumes_from_prefix_checkpoint() {
+        let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
+        let mut cache = DecodeCache::build(&enc).unwrap();
+        // Decode the prefix up to the middle point, then extend by one:
+        // the extension must cost exactly one decode op, not a rewalk.
+        assert!(cache.lookup(&enc.bytes, 14).is_some());
+        let mid = cache.counters();
+        assert_eq!(mid.points_decoded, 2);
+        assert!(cache.lookup(&enc.bytes, 30).is_some());
+        let end = cache.counters();
+        assert_eq!(end.since(mid), DecodeCounters { hits: 0, misses: 1, points_decoded: 1 });
+    }
+
+    #[test]
+    fn cache_module_binding_is_sticky() {
+        let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
+        let mut cache = DecodeCache::build(&enc).unwrap();
+        assert_eq!(cache.module_token(), None);
+        cache.bind_module(17);
+        cache.bind_module(17);
+        assert_eq!(cache.module_token(), Some(17));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cache.bind_module(18)));
+        assert!(r.is_err(), "rebinding to another module must panic");
     }
 }

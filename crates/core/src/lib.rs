@@ -23,7 +23,9 @@
 //!   each with optional *Previous* (identical-to-previous elision via a
 //!   per-gc-point descriptor byte) and *Packing* (variable-length byte
 //!   packing of 32-bit words, Figure 3) compression ([`encode`]),
-//! * a decoder used by the collector at trace time ([`decode`]),
+//! * a decoder used by the collector at trace time, plus a memoizing
+//!   [`decode::DecodeCache`] that amortizes the compression/decoding
+//!   trade-off across collections ([`decode`]),
 //! * the pc→gc-point map stored as inter-gc-point distances ([`pcmap`]),
 //! * and size/statistics accounting used to regenerate Tables 1 and 2 of
 //!   the paper ([`stats`]).
@@ -49,7 +51,7 @@
 //! };
 //! let module = ModuleTables { procs: vec![proc_tables] };
 //! let encoded = encode_module(&module, Scheme::DELTA_MAIN_PP);
-//! let decoder = TableDecoder::new(&encoded);
+//! let decoder = TableDecoder::build(&encoded).expect("well-formed tables");
 //! let point = decoder.lookup(10).expect("gc-point at pc 10");
 //! assert_eq!(point.stack_slots, vec![GroundEntry::new(BaseReg::Fp, 2)]);
 //! ```
@@ -64,7 +66,7 @@ pub mod pcmap;
 pub mod stats;
 pub mod tables;
 
-pub use decode::{DecodedPoint, TableDecoder};
+pub use decode::{DecodeCache, DecodeCounters, DecodedPoint, TableDecoder};
 pub use derive::{DerivationRecord, Sign};
 pub use encode::{encode_module, EncodedTables, Scheme, TableLayout};
 pub use layout::{BaseReg, GroundEntry, Location, RegSet, NUM_HARD_REGS};

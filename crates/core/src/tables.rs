@@ -64,7 +64,6 @@ impl ProcTables {
 
     /// Checks internal consistency: points sorted by pc, liveness indices in
     /// range and sorted.
-    #[must_use]
     pub fn validate(&self) -> Result<(), String> {
         let mut last_pc = None;
         for (i, p) in self.points.iter().enumerate() {
@@ -115,7 +114,6 @@ impl ModuleTables {
     }
 
     /// Validates every procedure.
-    #[must_use]
     pub fn validate(&self) -> Result<(), String> {
         for p in &self.procs {
             p.validate()?;

@@ -1073,7 +1073,7 @@ impl<'a> Lowerer<'a> {
                 // Find the FOR variable's id: the checker bound it for this
                 // statement; match by name and class among unassigned vars.
                 let vid = ctx.take_binding(var, VarClass::For);
-                let step = by.as_ref().map_or(1, |b| const_step(b));
+                let step = by.as_ref().map_or(1, const_step);
                 let iv = ctx.b.temp(TempKind::Int);
                 ctx.storage[vid as usize] = Some(Storage::Temp(iv));
                 let f = self.eval_expr(ctx, from);

@@ -840,11 +840,10 @@ pub fn check(module: &Module) -> Result<Checked, Diagnostic> {
                     }
                 }
             }
-            Type::Array { elem, .. } | Type::OpenArray { elem } => {
-                if !ck.word_type(elem) || matches!(ck.arena.get(elem), Type::Unresolved) {
+            Type::Array { elem, .. } | Type::OpenArray { elem }
+                if (!ck.word_type(elem) || matches!(ck.arena.get(elem), Type::Unresolved)) => {
                     return terr(module_pos, "array elements must be scalars or REF types");
                 }
-            }
             _ => {}
         }
     }
@@ -921,11 +920,10 @@ pub fn check(module: &Module) -> Result<Checked, Diagnostic> {
                 Type::Record { .. } => {
                     return terr(l.pos, "record variables must be allocated with NEW (heap-only records)")
                 }
-                Type::Array { lo, hi, .. } => {
-                    if hi - lo + 1 > 4096 {
+                Type::Array { lo, hi, .. }
+                    if hi - lo + 1 > 4096 => {
                         return terr(l.pos, "local array too large (limit 4096 elements)");
                     }
-                }
                 _ => {}
             }
             for name in &l.names {

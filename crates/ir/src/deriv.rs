@@ -196,9 +196,9 @@ pub fn find_ambiguous(f: &Function) -> Vec<Temp> {
             && !f.byref_params.get(t.index()).copied().unwrap_or(false)
     };
     let mut variants: Vec<Vec<Vec<(Temp, Sign)>>> = vec![Vec::new(); n];
-    for p in 0..f.n_params {
+    for (p, v) in variants.iter_mut().enumerate().take(f.n_params) {
         if derived(Temp(p as u32)) {
-            variants[p].push(Vec::new());
+            v.push(Vec::new());
         }
     }
     for block in &f.blocks {
@@ -263,9 +263,9 @@ pub fn analyze_and_resolve(f: &mut Function) -> DerivAnalysis {
     let mut variants: Vec<Vec<Vec<(Temp, Sign)>>> = vec![Vec::new(); n];
     // A derived temp that is also a parameter has an implicit entry def
     // with unknown (empty) bases.
-    for p in 0..f.n_params {
+    for (p, v) in variants.iter_mut().enumerate().take(f.n_params) {
         if derived(Temp(p as u32)) {
-            variants[p].push(Vec::new());
+            v.push(Vec::new());
         }
     }
     for block in &f.blocks {

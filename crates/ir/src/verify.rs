@@ -87,32 +87,28 @@ pub fn verify_function(
                         ));
                     }
                 }
-                Instr::Un { dst, .. } => {
-                    if f.is_ptr(*dst) {
+                Instr::Un { dst, .. }
+                    if f.is_ptr(*dst) => {
                         return Err(err(f, format!("unary op defines declared pointer {dst} in b{bi}")));
                     }
-                }
-                Instr::Const { dst, value } => {
-                    if f.is_ptr(*dst) && *value != 0 {
+                Instr::Const { dst, value }
+                    if f.is_ptr(*dst) && *value != 0 => {
                         return Err(err(
                             f,
                             format!("non-NIL constant into declared pointer {dst} in b{bi}"),
                         ));
                     }
-                }
-                Instr::Copy { dst, src } => {
-                    if f.is_ptr(*dst) && !f.is_ptr(*src) {
+                Instr::Copy { dst, src }
+                    if f.is_ptr(*dst) && !f.is_ptr(*src) => {
                         return Err(err(
                             f,
                             format!("copy of non-pointer {src} into declared pointer {dst} in b{bi}"),
                         ));
                     }
-                }
-                Instr::Store { src, .. } => {
-                    if is_derived(*src) {
+                Instr::Store { src, .. }
+                    if is_derived(*src) => {
                         return Err(err(f, format!("derived value {src} stored to heap in b{bi}")));
                     }
-                }
                 Instr::StoreSlot { slot, offset, src } => {
                     let info = f
                         .slots
@@ -134,16 +130,14 @@ pub fn verify_function(
                         return Err(err(f, format!("slot {slot} offset {offset} out of range in b{bi}")));
                     }
                 }
-                Instr::SlotAddr { slot, .. } => {
-                    if slot.index() >= f.slots.len() {
+                Instr::SlotAddr { slot, .. }
+                    if slot.index() >= f.slots.len() => {
                         return Err(err(f, format!("slot {slot} out of range in b{bi}")));
                     }
-                }
-                Instr::StoreGlobal { src, .. } => {
-                    if is_derived(*src) {
+                Instr::StoreGlobal { src, .. }
+                    if is_derived(*src) => {
                         return Err(err(f, format!("derived value {src} stored to global in b{bi}")));
                     }
-                }
                 Instr::Call { func, args, .. } => {
                     if let Some(p) = program {
                         let callee = p
@@ -163,14 +157,13 @@ pub fn verify_function(
                         }
                     }
                 }
-                Instr::CallRuntime { func, args, .. } => {
-                    if args.len() != func.arity() {
+                Instr::CallRuntime { func, args, .. }
+                    if args.len() != func.arity() => {
                         return Err(err(
                             f,
                             format!("runtime call {func} passes {} args in b{bi}", args.len()),
                         ));
                     }
-                }
                 Instr::New { ty, .. } => {
                     if let Some(p) = program {
                         if ty.0 as usize >= p.types.len() {

@@ -296,8 +296,8 @@ mod tests {
         b.jump(header);
         let lim = {
             b.switch_to(header);
-            let lim = b.constant(10);
-            lim
+            
+            b.constant(10)
         };
         let c = b.bin(BinOp::Lt, i, lim);
         b.br(c, body, exit);

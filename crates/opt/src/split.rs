@@ -49,11 +49,10 @@ fn try_split(f: &mut Function, t: Temp) -> bool {
     // Locate t's defining blocks.
     let mut def_blocks: Vec<BlockId> = Vec::new();
     for b in f.block_ids() {
-        if f.block(b).instrs.iter().any(|i| i.def() == Some(t)) {
-            if !def_blocks.contains(&b) {
+        if f.block(b).instrs.iter().any(|i| i.def() == Some(t))
+            && !def_blocks.contains(&b) {
                 def_blocks.push(b);
             }
-        }
     }
     if def_blocks.len() != 2 || t.index() < f.n_params {
         return false;

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use m3gc_core::decode::DecoderIndex;
+use m3gc_core::decode::{DecodeCache, DecodeCounters};
 use m3gc_core::heap::{HeapType, TypeId, ARRAY_HEADER_WORDS};
 use m3gc_vm::machine::Machine;
 
@@ -29,6 +29,14 @@ pub struct GcStats {
     pub derived_updated: u64,
     /// Stack frames traced.
     pub frames_traced: u64,
+    /// Gc-point table lookups served from the decode cache's memos.
+    pub decode_hits: u64,
+    /// Gc-point table lookups that had to decode at least one point.
+    pub decode_misses: u64,
+    /// Individual gc-point decode operations performed (the §6.3 decoding
+    /// cost; bounded by the module's gc-point count over a machine's
+    /// lifetime thanks to the cache).
+    pub decode_ops: u64,
     /// Time spent locating+decoding tables and walking stacks (the §6.3
     /// "stack tracing" cost), including the derived-value updates.
     pub trace_time: Duration,
@@ -74,13 +82,15 @@ fn forward(
 /// Panics on corrupted heap state or missing tables (compiler/runtime
 /// bugs — the tables make precise collection possible, so imprecision is
 /// always a bug here).
-pub fn collect(m: &mut Machine, index: &DecoderIndex) -> GcStats {
+pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
     let t0 = Instant::now();
     let mut stats = GcStats::default();
 
     // --- Locate tables and walk the stacks (the traced part). ---
-    let stack = gather_stack_roots(m, index);
+    let before = cache.counters();
+    let stack = gather_stack_roots(m, cache);
     let globals = gather_global_roots(m);
+    record_decode_work(&mut stats, cache.counters().since(before));
     stats.frames_traced = stack.frames as u64;
     stats.roots = (stack.tidy.len() + globals.len()) as u64;
     stats.derived_updated = stack.derivations.len() as u64;
@@ -179,14 +189,23 @@ pub fn collect(m: &mut Machine, index: &DecoderIndex) -> GcStats {
     stats
 }
 
+/// Folds one stack walk's decode-cache counter delta into the stats.
+fn record_decode_work(stats: &mut GcStats, delta: DecodeCounters) {
+    stats.decode_hits = delta.hits;
+    stats.decode_misses = delta.misses;
+    stats.decode_ops = delta.points_decoded;
+}
+
 /// Performs only the table-decoding stack walk and the un-derive/re-derive
 /// round trip, without moving any object. Used by the §6.3 measurement
 /// ("collection being a stack trace") — values are restored exactly.
-pub fn trace_only(m: &mut Machine, index: &DecoderIndex) -> GcStats {
+pub fn trace_only(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
     let t0 = Instant::now();
     let mut stats = GcStats::default();
-    let stack = gather_stack_roots(m, index);
+    let before = cache.counters();
+    let stack = gather_stack_roots(m, cache);
     let globals = gather_global_roots(m);
+    record_decode_work(&mut stats, cache.counters().since(before));
     stats.frames_traced = stack.frames as u64;
     stats.roots = (stack.tidy.len() + globals.len()) as u64;
     stats.derived_updated = stack.derivations.len() as u64;

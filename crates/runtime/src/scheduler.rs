@@ -5,7 +5,7 @@
 //! resumed and run until each blocks at a gc-point (bounded, thanks to
 //! loop gc-points), then the collector runs and everyone resumes.
 
-use m3gc_core::decode::DecoderIndex;
+use m3gc_core::decode::{DecodeCache, DecodeError};
 use m3gc_vm::machine::{Machine, RunOutcome, ThreadStatus, VmTrap};
 
 use crate::collector::{self, GcStats};
@@ -104,19 +104,44 @@ pub struct Executor {
     pub config: ExecConfig,
     /// Per-collection statistics.
     pub gc_each: Vec<GcStats>,
-    /// Decoder index over the module's gc maps, built once at load.
-    index: DecoderIndex,
+    /// Memoizing decode cache over the module's gc maps, built once at
+    /// load and bound to the machine's module token: across all the
+    /// collections of a run, each gc-point's tables decode at most once.
+    cache: DecodeCache,
     next_forced: Option<u64>,
 }
 
 impl Executor {
     /// Wraps a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module's gc maps are malformed (they come from the
+    /// compiler, so this is a bug). Use [`Executor::try_new`] to handle
+    /// the error instead.
     #[must_use]
-    pub fn new(mut machine: Machine, config: ExecConfig) -> Executor {
+    pub fn new(machine: Machine, config: ExecConfig) -> Executor {
+        Self::try_new(machine, config).expect("valid gc maps")
+    }
+
+    /// Wraps a machine, surfacing gc-map decode failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the module's encoded gc tables are
+    /// malformed.
+    pub fn try_new(mut machine: Machine, config: ExecConfig) -> Result<Executor, DecodeError> {
         let next_forced = config.force_every_allocs.map(|n| n.max(1));
         machine.force_gc_after = next_forced;
-        let index = DecoderIndex::build(&machine.module.gc_maps).expect("valid gc maps");
-        Executor { machine, config, gc_each: Vec::new(), index, next_forced }
+        let mut cache = DecodeCache::build(&machine.module.gc_maps)?;
+        cache.bind_module(machine.module_token());
+        Ok(Executor { machine, config, gc_each: Vec::new(), cache, next_forced })
+    }
+
+    /// The decode cache (for inspecting hit/miss counters and memo size).
+    #[must_use]
+    pub fn decode_cache(&self) -> &DecodeCache {
+        &self.cache
     }
 
     /// Spawns the module's main procedure as thread 0 and runs to
@@ -150,9 +175,9 @@ impl Executor {
 
     fn do_collection(&mut self) {
         let stats = match self.config.gc_mode {
-            GcMode::Full => collector::collect(&mut self.machine, &self.index),
+            GcMode::Full => collector::collect(&mut self.machine, &mut self.cache),
             GcMode::TraceOnly => {
-                let s = collector::trace_only(&mut self.machine, &self.index);
+                let s = collector::trace_only(&mut self.machine, &mut self.cache);
                 // No flip happened; release the threads manually.
                 let alloc = self.machine.alloc_ptr;
                 let was_pending = self.machine.gc_pending;
@@ -240,6 +265,9 @@ impl Executor {
             acc.roots += s.roots;
             acc.derived_updated += s.derived_updated;
             acc.frames_traced += s.frames_traced;
+            acc.decode_hits += s.decode_hits;
+            acc.decode_misses += s.decode_misses;
+            acc.decode_ops += s.decode_ops;
             acc.trace_time += s.trace_time;
             acc.total_time += s.total_time;
             acc

@@ -356,6 +356,54 @@ fn two_threads_advance_to_gc_points() {
 }
 
 #[test]
+fn decode_cache_amortizes_repeated_collections() {
+    // Collect at every allocation inside a loop: after the first (cold)
+    // collection the same gc-points are consulted over and over, so warm
+    // collections must serve mostly from the memo and perform far fewer
+    // decode operations (the paper's §6.3 decoding overhead, paid once).
+    let src = "MODULE M;
+         TYPE R = REF RECORD x: INTEGER END;
+         VAR r: R; i, s: INTEGER;
+         BEGIN
+           s := 0;
+           FOR i := 1 TO 60 DO r := NEW(R); r.x := i; s := s + r.x; END;
+           PutInt(s);
+         END M.";
+    let module = compile(src);
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words: 1 << 14, stack_words: 4096, max_threads: 2 },
+    );
+    let mut ex = Executor::new(
+        machine,
+        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
+    );
+    let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
+    assert!(out.collections >= 20, "got {}", out.collections);
+    let cold = &out.gc_each[0];
+    assert!(cold.decode_ops > 0, "first collection must decode");
+    assert_eq!(cold.decode_hits, 0, "nothing memoized before the first collection");
+    let warm = &out.gc_each[1..];
+    let warm_ops: u64 = warm.iter().map(|s| s.decode_ops).sum();
+    let warm_hits: u64 = warm.iter().map(|s| s.decode_hits).sum();
+    let warm_mean_ops = warm_ops as f64 / warm.len() as f64;
+    assert!(
+        warm_mean_ops * 2.0 <= cold.decode_ops as f64,
+        "warm collections should decode at least 2x less: cold={} warm mean={warm_mean_ops}",
+        cold.decode_ops
+    );
+    assert!(warm_hits > 0, "warm collections must hit the memo");
+    // Lifetime bound: never more decode ops than the module has gc-points.
+    let total_points = ex.decode_cache().index().gc_point_pcs().count() as u64;
+    let total_ops: u64 = out.gc_each.iter().map(|s| s.decode_ops).sum();
+    assert!(
+        total_ops <= total_points,
+        "each gc-point decodes at most once per module: {total_ops} > {total_points}"
+    );
+    assert_eq!(ex.decode_cache().memoized_points() as u64, total_ops);
+}
+
+#[test]
 fn collection_stats_are_plausible() {
     let src = "MODULE M;
          TYPE List = REF RECORD head: INTEGER; tail: List END;

@@ -11,7 +11,7 @@
 //! ambiguous derivations read their path variable's current value to
 //! select the variant that actually happened (§4).
 
-use m3gc_core::decode::DecoderIndex;
+use m3gc_core::decode::DecodeCache;
 use m3gc_core::derive::{DerivationRecord, Sign};
 use m3gc_core::layout::{BaseReg, Location, NUM_HARD_REGS};
 use m3gc_vm::machine::{Machine, ThreadStatus, RETURN_SENTINEL};
@@ -89,16 +89,23 @@ fn resolve_location(loc: Location, fp: i64, ap: i64, sp: i64, regs: &RegLocs) ->
 
 /// Walks every suspended thread's stack and gathers roots.
 ///
+/// Table lookups go through the [`DecodeCache`]: the first collection
+/// pays the sequential decode the *Previous* compression requires, and
+/// every later consultation of the same pc is a memo hit (the tables are
+/// immutable for the module's lifetime).
+///
 /// Every thread must be stopped at a gc-point (the scheduler guarantees
 /// this before invoking the collector).
 ///
 /// # Panics
 ///
 /// Panics if a frame's pc has no gc-point tables — that would be a
-/// compiler bug (a collection at a point the compiler did not describe).
+/// compiler bug (a collection at a point the compiler did not describe) —
+/// or if the cache was built for a different module.
 #[must_use]
-pub fn gather_stack_roots(m: &Machine, index: &DecoderIndex) -> StackRoots {
-    let bytes: &[u8] = &m.module.gc_maps.bytes;
+pub fn gather_stack_roots(m: &Machine, cache: &mut DecodeCache) -> StackRoots {
+    cache.bind_module(m.module_token());
+    let bytes: &[u8] = m.gc_map_bytes();
     let mut out = StackRoots::default();
     for (tid, t) in m.threads.iter().enumerate() {
         if t.status == ThreadStatus::Finished {
@@ -114,7 +121,7 @@ pub fn gather_stack_roots(m: &Machine, index: &DecoderIndex) -> StackRoots {
         let mut sp = t.sp;
         loop {
             out.frames += 1;
-            let point = index.lookup(bytes, pc).unwrap_or_else(|| {
+            let point = cache.lookup(bytes, pc).unwrap_or_else(|| {
                 panic!(
                     "no gc tables for pc {pc} in `{}` (thread {tid})",
                     m.module.proc_at(pc).map_or("?", |(_, p)| p.name.as_str())

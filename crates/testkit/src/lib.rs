@@ -1,0 +1,179 @@
+//! Dependency-free randomness for tests and benchmarks.
+//!
+//! The workspace builds with no registry access, so instead of `rand` and
+//! `proptest` the randomized tests use this crate: a deterministic
+//! xorshift64* generator plus a tiny property-test harness that reruns a
+//! property over many derived seeds and reports the failing seed.
+//!
+//! The generator is not cryptographic and does not need to be — it only
+//! has to be fast, reproducible, and well distributed enough to explore
+//! encode/decode state spaces.
+
+/// A deterministic xorshift64* pseudo-random generator.
+///
+/// Marsaglia's xorshift with the `* 0x2545F4914F6CDD1D` output scramble;
+/// passes the statistical tests that matter for fuzzing-style use.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Seed 0 is remapped (xorshift has a
+    /// fixed point at 0).
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        // SplitMix64 step to decorrelate small consecutive seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Rng { state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z } }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `i64` over the full range.
+    pub fn next_i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    /// Uniform `i32` over the full range.
+    pub fn next_i32(&mut self) -> i32 {
+        self.next_u32() as i32
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the small bounds tests use.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform value in `[lo, hi)` (half-open). `lo < hi` required.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform `i32` in `[lo, hi)`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        self.range_i64(i64::from(lo), i64::from(hi)) as i32
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(u64::from(hi - lo)) as u32
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+}
+
+/// Runs `property` once per case with a generator seeded from the case
+/// number, panicking with the failing seed so a failure can be replayed
+/// as `Rng::new(seed)`.
+pub fn run_cases(name: &str, cases: u64, mut property: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let seed = 0xA11C_E000 + case;
+        let mut rng = Rng::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng);
+        }));
+        if let Err(panic) = result {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property `{name}` failed at seed {seed} (case {case}/{cases}): {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8).map({ let mut r = Rng::new(42); move |_| r.next_u64() }).collect();
+        let b: Vec<u64> = (0..8).map({ let mut r = Rng::new(42); move |_| r.next_u64() }).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = (0..8).map({ let mut r = Rng::new(43); move |_| r.next_u64() }).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = r.below(13);
+            assert!(v < 13);
+            let w = r.range_i32(-5, 6);
+            assert!((-5..6).contains(&w));
+            let x = r.range_u32(3, 9);
+            assert!((3..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let mut r = Rng::new(1);
+        let mut buckets = [0u32; 16];
+        for _ in 0..16_000 {
+            buckets[r.index(16)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((700..1300).contains(&b), "bucket {i} has {b} hits");
+        }
+    }
+
+    #[test]
+    fn run_cases_reports_seed() {
+        let err = std::panic::catch_unwind(|| {
+            run_cases("always-fails", 1, |_| panic!("boom"));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always-fails") && msg.contains("seed"), "{msg}");
+    }
+}

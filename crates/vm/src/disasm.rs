@@ -46,7 +46,7 @@ pub fn format_instr(ins: &Instr) -> String {
 pub fn disassemble(module: &VmModule) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let decoder = m3gc_core::decode::TableDecoder::try_new(&module.gc_maps).ok();
+    let decoder = m3gc_core::decode::TableDecoder::build(&module.gc_maps).ok();
     let gc_pcs: std::collections::HashSet<u32> =
         decoder.as_ref().map(|d| d.gc_point_pcs().collect()).unwrap_or_default();
     let mut pos = 0usize;

@@ -14,7 +14,9 @@
 //! [`Machine::finish_collection`], and execution resumes by re-trying the
 //! `ALLOC`.
 
-use m3gc_core::decode::TableDecoder;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use m3gc_core::decode::DecoderIndex;
 use m3gc_core::heap::{HeapType, TypeId};
 use m3gc_core::layout::BaseReg;
 
@@ -27,6 +29,9 @@ pub const GLOBAL_BASE: usize = 16;
 
 /// Return-pc sentinel marking the bottom frame of a thread.
 pub const RETURN_SENTINEL: i64 = -1;
+
+/// Source of unique module-lifetime tokens (see [`Machine::module_token`]).
+static NEXT_MODULE_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// Machine sizing.
 #[derive(Debug, Clone, Copy)]
@@ -170,6 +175,12 @@ pub struct Machine {
     /// once `allocations` reaches this count, even with heap space left.
     pub force_gc_after: Option<u64>,
 
+    /// Unique token identifying this machine's loaded module instance.
+    /// The module (and its gc tables) is immutable for the machine's
+    /// lifetime, so anything derived from the tables — notably a
+    /// `m3gc_core::decode::DecodeCache` — can bind to this token and be
+    /// safely reused across every collection of this machine.
+    module_token: u64,
     config: MachineConfig,
     stacks_base: usize,
     heap_base: usize,
@@ -197,8 +208,8 @@ impl Machine {
         let heap_base = stacks_base + config.stack_words * config.max_threads;
         let total = heap_base + 2 * config.semi_words;
         let mut is_gc_point = vec![false; module.code.len() + 1];
-        let dec = TableDecoder::try_new(&module.gc_maps).expect("valid gc maps");
-        for pc in dec.gc_point_pcs() {
+        let index = DecoderIndex::build(&module.gc_maps).expect("valid gc maps");
+        for pc in index.gc_point_pcs() {
             is_gc_point[pc as usize] = true;
         }
         let alloc_ptr = heap_base as i64;
@@ -215,6 +226,7 @@ impl Machine {
             collections: 0,
             gc_pending: false,
             force_gc_after: None,
+            module_token: NEXT_MODULE_TOKEN.fetch_add(1, Ordering::Relaxed),
             config,
             stacks_base,
             heap_base,
@@ -229,6 +241,21 @@ impl Machine {
     #[must_use]
     pub fn globals_start(&self) -> usize {
         GLOBAL_BASE
+    }
+
+    /// The module-lifetime token: unique per loaded module instance,
+    /// stable for this machine's lifetime. Decode caches bind to it so a
+    /// cache can never be replayed against a different module's tables.
+    #[must_use]
+    pub fn module_token(&self) -> u64 {
+        self.module_token
+    }
+
+    /// The module's encoded gc-map byte stream (what a decode cache or
+    /// decoder index reads at collection time).
+    #[must_use]
+    pub fn gc_map_bytes(&self) -> &[u8] {
+        &self.module.gc_maps.bytes
     }
 
     /// The from-space (currently allocated-into) bounds `[start, end)`.

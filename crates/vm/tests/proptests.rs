@@ -2,88 +2,96 @@
 //! instruction round-trips through encode/decode, instruction streams
 //! decode at exactly the boundaries the encoder produced, and the
 //! disassembler never panics.
+//!
+//! Uses the registry-free `m3gc-testkit` generator instead of `proptest`
+//! so the workspace builds offline.
 
-use proptest::prelude::*;
-
+use m3gc_testkit::{run_cases, Rng};
 use m3gc_vm::decode::{decode_instr, DecodedCode};
 use m3gc_vm::disasm::format_instr;
 use m3gc_vm::encode::{encode_instr, instr_size, unvlq64, vlq64};
 use m3gc_vm::isa::{AluOp, Instr, UnAluOp, NUM_REGS};
 
-fn arb_reg() -> impl Strategy<Value = u8> {
-    0..NUM_REGS as u8
+fn arb_reg(rng: &mut Rng) -> u8 {
+    rng.index(NUM_REGS) as u8
 }
 
-fn arb_breg() -> impl Strategy<Value = m3gc_core::layout::BaseReg> {
-    prop_oneof![
-        Just(m3gc_core::layout::BaseReg::Fp),
-        Just(m3gc_core::layout::BaseReg::Sp),
-        Just(m3gc_core::layout::BaseReg::Ap),
-    ]
+fn arb_breg(rng: &mut Rng) -> m3gc_core::layout::BaseReg {
+    *rng.pick(&[
+        m3gc_core::layout::BaseReg::Fp,
+        m3gc_core::layout::BaseReg::Sp,
+        m3gc_core::layout::BaseReg::Ap,
+    ])
 }
 
-fn arb_alu() -> impl Strategy<Value = AluOp> {
-    (0..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+fn arb_alu(rng: &mut Rng) -> AluOp {
+    *rng.pick(&AluOp::ALL)
 }
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| Instr::MovI { dst, imm }),
-        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
-        (arb_alu(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, dst, a, b)| Instr::Alu { op, dst, a, b }),
-        (arb_alu(), arb_reg(), arb_reg(), any::<i64>())
-            .prop_map(|(op, dst, a, imm)| Instr::AluI { op, dst, a, imm }),
-        (arb_reg(), arb_reg()).prop_map(|(dst, a)| Instr::UnAlu { op: UnAluOp::Neg, dst, a }),
-        (arb_reg(), arb_reg()).prop_map(|(dst, a)| Instr::UnAlu { op: UnAluOp::Not, dst, a }),
-        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, off)| Instr::Ld { dst, base, off }),
-        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(base, src, off)| Instr::St { base, off, src }),
-        (arb_reg(), arb_breg(), any::<i32>())
-            .prop_map(|(dst, breg, off)| Instr::LdF { dst, breg, off }),
-        (arb_breg(), arb_reg(), any::<i32>())
-            .prop_map(|(breg, src, off)| Instr::StF { breg, off, src }),
-        (arb_reg(), arb_breg(), any::<i32>())
-            .prop_map(|(dst, breg, off)| Instr::Lea { dst, breg, off }),
-        (arb_reg(), 0..=u32::MAX / 2).prop_map(|(dst, goff)| Instr::LdG { dst, goff }),
-        (arb_reg(), 0..=u32::MAX / 2).prop_map(|(src, goff)| Instr::StG { goff, src }),
-        (arb_reg(), 0..=u32::MAX / 2).prop_map(|(dst, goff)| Instr::LeaG { dst, goff }),
-        arb_reg().prop_map(|src| Instr::Push { src }),
-        (any::<u16>(), any::<u8>()).prop_map(|(proc, nargs)| Instr::Call { proc, nargs }),
-        Just(Instr::Ret),
-        any::<u32>().prop_map(|target| Instr::Jmp { target }),
-        (arb_reg(), any::<u32>()).prop_map(|(cond, target)| Instr::Brt { cond, target }),
-        (arb_reg(), any::<u32>()).prop_map(|(cond, target)| Instr::Brf { cond, target }),
-        (arb_reg(), any::<u16>()).prop_map(|(dst, ty)| Instr::Alloc { dst, ty }),
-        (arb_reg(), any::<u16>(), arb_reg()).prop_map(|(dst, ty, len)| Instr::AllocA { dst, ty, len }),
-        Just(Instr::GcPoint),
-        (0..6u8, arb_reg()).prop_map(|(code, arg)| Instr::Sys { code, arg }),
-        Just(Instr::Halt),
-    ]
+fn arb_goff(rng: &mut Rng) -> u32 {
+    rng.range_u32(0, u32::MAX / 2)
 }
 
-proptest! {
-    #[test]
-    fn vlq64_roundtrip(v in any::<i64>()) {
+fn arb_instr(rng: &mut Rng) -> Instr {
+    match rng.index(25) {
+        0 => Instr::MovI { dst: arb_reg(rng), imm: rng.next_i64() },
+        1 => Instr::Mov { dst: arb_reg(rng), src: arb_reg(rng) },
+        2 => Instr::Alu { op: arb_alu(rng), dst: arb_reg(rng), a: arb_reg(rng), b: arb_reg(rng) },
+        3 => Instr::AluI { op: arb_alu(rng), dst: arb_reg(rng), a: arb_reg(rng), imm: rng.next_i64() },
+        4 => Instr::UnAlu { op: UnAluOp::Neg, dst: arb_reg(rng), a: arb_reg(rng) },
+        5 => Instr::UnAlu { op: UnAluOp::Not, dst: arb_reg(rng), a: arb_reg(rng) },
+        6 => Instr::Ld { dst: arb_reg(rng), base: arb_reg(rng), off: rng.next_i32() },
+        7 => Instr::St { base: arb_reg(rng), off: rng.next_i32(), src: arb_reg(rng) },
+        8 => Instr::LdF { dst: arb_reg(rng), breg: arb_breg(rng), off: rng.next_i32() },
+        9 => Instr::StF { breg: arb_breg(rng), off: rng.next_i32(), src: arb_reg(rng) },
+        10 => Instr::Lea { dst: arb_reg(rng), breg: arb_breg(rng), off: rng.next_i32() },
+        11 => Instr::LdG { dst: arb_reg(rng), goff: arb_goff(rng) },
+        12 => Instr::StG { goff: arb_goff(rng), src: arb_reg(rng) },
+        13 => Instr::LeaG { dst: arb_reg(rng), goff: arb_goff(rng) },
+        14 => Instr::Push { src: arb_reg(rng) },
+        15 => Instr::Call { proc: rng.next_u32() as u16, nargs: rng.next_u32() as u8 },
+        16 => Instr::Ret,
+        17 => Instr::Jmp { target: rng.next_u32() },
+        18 => Instr::Brt { cond: arb_reg(rng), target: rng.next_u32() },
+        19 => Instr::Brf { cond: arb_reg(rng), target: rng.next_u32() },
+        20 => Instr::Alloc { dst: arb_reg(rng), ty: rng.next_u32() as u16 },
+        21 => Instr::AllocA { dst: arb_reg(rng), ty: rng.next_u32() as u16, len: arb_reg(rng) },
+        22 => Instr::GcPoint,
+        23 => Instr::Sys { code: rng.index(6) as u8, arg: arb_reg(rng) },
+        _ => Instr::Halt,
+    }
+}
+
+#[test]
+fn vlq64_roundtrip() {
+    run_cases("vlq64_roundtrip", 256, |rng| {
+        let v = rng.next_i64();
         let mut buf = Vec::new();
         let n = vlq64(v, &mut buf);
         let (back, m) = unvlq64(&buf, 0).unwrap();
-        prop_assert_eq!(back, v);
-        prop_assert_eq!(m, n);
-    }
+        assert_eq!(back, v);
+        assert_eq!(m, n);
+    });
+}
 
-    #[test]
-    fn instruction_roundtrip(ins in arb_instr()) {
+#[test]
+fn instruction_roundtrip() {
+    run_cases("instruction_roundtrip", 512, |rng| {
+        let ins = arb_instr(rng);
         let mut buf = Vec::new();
         let n = encode_instr(&ins, &mut buf);
-        prop_assert_eq!(n, buf.len());
-        prop_assert_eq!(n, instr_size(&ins));
+        assert_eq!(n, buf.len());
+        assert_eq!(n, instr_size(&ins));
         let (back, m) = decode_instr(&buf, 0).expect("decodes");
-        prop_assert_eq!(back, ins);
-        prop_assert_eq!(m, n);
-    }
+        assert_eq!(back, ins);
+        assert_eq!(m, n);
+    });
+}
 
-    #[test]
-    fn stream_roundtrip(instrs in proptest::collection::vec(arb_instr(), 0..40)) {
+#[test]
+fn stream_roundtrip() {
+    run_cases("stream_roundtrip", 128, |rng| {
+        let instrs: Vec<Instr> = (0..rng.index(40)).map(|_| arb_instr(rng)).collect();
         let mut buf = Vec::new();
         let mut boundaries = Vec::new();
         for i in &instrs {
@@ -91,16 +99,18 @@ proptest! {
             encode_instr(i, &mut buf);
         }
         let decoded = DecodedCode::new(&buf);
-        prop_assert_eq!(decoded.instrs.len(), instrs.len());
+        assert_eq!(decoded.instrs.len(), instrs.len());
         for (k, (ins, _)) in decoded.instrs.iter().enumerate() {
-            prop_assert_eq!(ins, &instrs[k]);
-            prop_assert_eq!(decoded.at(boundaries[k]).0.clone(), instrs[k].clone());
+            assert_eq!(ins, &instrs[k]);
+            assert_eq!(decoded.at(boundaries[k]).0, instrs[k]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn disassembly_never_panics_and_is_nonempty(ins in arb_instr()) {
-        let s = format_instr(&ins);
-        prop_assert!(!s.is_empty());
-    }
+#[test]
+fn disassembly_never_panics_and_is_nonempty() {
+    run_cases("disassembly_never_panics_and_is_nonempty", 512, |rng| {
+        let s = format_instr(&arb_instr(rng));
+        assert!(!s.is_empty());
+    });
 }

@@ -6,173 +6,227 @@
 //! * arbitrary gc-map modules encode and decode identically under all six
 //!   schemes — the δ-main delta bitmaps and the Previous elision are pure
 //!   compression, never information loss;
+//! * the memoizing [`DecodeCache`] agrees point-for-point with a fresh
+//!   sequential [`TableDecoder::lookup`] under every scheme, in arbitrary
+//!   lookup orders;
 //! * random straight-line arithmetic programs compute the same results at
 //!   -O0 and -O2, on the reference interpreter and on the VM.
+//!
+//! The workspace builds with no registry access, so instead of `proptest`
+//! these use the deterministic generator and replay-by-seed harness from
+//! `m3gc-testkit`.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
-use m3gc::core::decode::TableDecoder;
+use m3gc::core::decode::{DecodeCache, TableDecoder};
 use m3gc::core::derive::{DerivationRecord, Sign};
 use m3gc::core::encode::{encode_module, Scheme};
 use m3gc::core::layout::{BaseReg, GroundEntry, Location, RegSet, NUM_HARD_REGS};
 use m3gc::core::pack;
 use m3gc::core::tables::{GcPointTables, ModuleTables, ProcTables};
+use m3gc_testkit::{run_cases, Rng};
 
-proptest! {
-    #[test]
-    fn pack_roundtrip_i32(v in any::<i32>()) {
+#[test]
+fn pack_roundtrip_i32() {
+    run_cases("pack_roundtrip_i32", 256, |rng| {
+        let v = rng.next_i32();
         let mut buf = Vec::new();
         let n = pack::pack_word(v, &mut buf);
         let (back, m) = pack::unpack_word(&buf, 0).unwrap();
-        prop_assert_eq!(back, v);
-        prop_assert_eq!(m, n);
-    }
+        assert_eq!(back, v);
+        assert_eq!(m, n);
+    });
+}
 
-    #[test]
-    fn pack_roundtrip_u32(v in any::<u32>()) {
+#[test]
+fn pack_roundtrip_u32() {
+    run_cases("pack_roundtrip_u32", 256, |rng| {
+        let v = rng.next_u32();
         let mut buf = Vec::new();
         let n = pack::pack_uword(v, &mut buf);
         let (back, m) = pack::unpack_uword(&buf, 0).unwrap();
-        prop_assert_eq!(back, v);
-        prop_assert_eq!(m, n);
-    }
+        assert_eq!(back, v);
+        assert_eq!(m, n);
+    });
+}
 
-    #[test]
-    fn pack_stream_roundtrip(vs in proptest::collection::vec(any::<i32>(), 0..64)) {
+#[test]
+fn pack_stream_roundtrip() {
+    run_cases("pack_stream_roundtrip", 128, |rng| {
+        let vs: Vec<i32> = (0..rng.index(64)).map(|_| rng.next_i32()).collect();
         let packed = pack::pack_words(&vs);
         let (back, used) = pack::unpack_words(&packed, 0, vs.len()).unwrap();
-        prop_assert_eq!(back, vs);
-        prop_assert_eq!(used, packed.len());
-    }
+        assert_eq!(back, vs);
+        assert_eq!(used, packed.len());
+    });
+}
 
-    #[test]
-    fn ground_entry_roundtrip(base in 0..3i32, off in -100_000..100_000i32) {
-        let e = GroundEntry::new(BaseReg::from_code(base).unwrap(), off);
-        prop_assert_eq!(GroundEntry::from_word(e.to_word()), Some(e));
-    }
+#[test]
+fn ground_entry_roundtrip() {
+    run_cases("ground_entry_roundtrip", 256, |rng| {
+        let base = BaseReg::from_code(rng.range_i32(0, 3)).unwrap();
+        let e = GroundEntry::new(base, rng.range_i32(-100_000, 100_000));
+        assert_eq!(GroundEntry::from_word(e.to_word()), Some(e));
+    });
+}
 
-    #[test]
-    fn location_roundtrip(is_reg in any::<bool>(), reg in 0..NUM_HARD_REGS as u8,
-                          base in 0..3i32, off in -50_000..50_000i32) {
-        let loc = if is_reg {
-            Location::Reg(reg)
+#[test]
+fn location_roundtrip() {
+    run_cases("location_roundtrip", 256, |rng| {
+        let loc = if rng.coin() {
+            Location::Reg(rng.index(NUM_HARD_REGS) as u8)
         } else {
-            Location::Slot(BaseReg::from_code(base).unwrap(), off)
+            let base = BaseReg::from_code(rng.range_i32(0, 3)).unwrap();
+            Location::Slot(base, rng.range_i32(-50_000, 50_000))
         };
-        prop_assert_eq!(Location::from_word(loc.to_word()), Some(loc));
+        assert_eq!(Location::from_word(loc.to_word()), Some(loc));
+    });
+}
+
+/// A random location over the register file and the three base registers.
+fn arb_location(rng: &mut Rng) -> Location {
+    if rng.coin() {
+        Location::Reg(rng.index(NUM_HARD_REGS) as u8)
+    } else {
+        let base = BaseReg::from_code(rng.range_i32(0, 3)).unwrap();
+        Location::Slot(base, rng.range_i32(-60, 120))
     }
 }
 
-/// Strategy for a random location.
-fn arb_location() -> impl Strategy<Value = Location> {
-    prop_oneof![
-        (0..NUM_HARD_REGS as u8).prop_map(Location::Reg),
-        (0..3i32, -60..120i32)
-            .prop_map(|(b, o)| Location::Slot(BaseReg::from_code(b).unwrap(), o)),
-    ]
+fn arb_sign(rng: &mut Rng) -> Sign {
+    if rng.coin() {
+        Sign::Plus
+    } else {
+        Sign::Minus
+    }
 }
 
-fn arb_sign() -> impl Strategy<Value = Sign> {
-    prop_oneof![Just(Sign::Plus), Just(Sign::Minus)]
+fn arb_bases(rng: &mut Rng) -> Vec<(Location, Sign)> {
+    (0..rng.index(4)).map(|_| (arb_location(rng), arb_sign(rng))).collect()
 }
 
-fn arb_bases() -> impl Strategy<Value = Vec<(Location, Sign)>> {
-    proptest::collection::vec((arb_location(), arb_sign()), 0..4)
+fn arb_derivation(rng: &mut Rng) -> DerivationRecord {
+    let target = arb_location(rng);
+    if rng.coin() {
+        DerivationRecord::Simple { target, bases: arb_bases(rng) }
+    } else {
+        let path_var = arb_location(rng);
+        let variants = (0..1 + rng.index(2)).map(|_| arb_bases(rng)).collect();
+        DerivationRecord::Ambiguous { target, path_var, variants }
+    }
 }
 
-fn arb_derivation() -> impl Strategy<Value = DerivationRecord> {
-    prop_oneof![
-        (arb_location(), arb_bases())
-            .prop_map(|(target, bases)| DerivationRecord::Simple { target, bases }),
-        (arb_location(), arb_location(), proptest::collection::vec(arb_bases(), 1..3)).prop_map(
-            |(target, path_var, variants)| DerivationRecord::Ambiguous {
-                target,
-                path_var,
-                variants
-            }
-        ),
-    ]
-}
-
-/// Strategy for a random module's worth of gc tables.
-fn arb_module() -> impl Strategy<Value = ModuleTables> {
-    let ground = proptest::collection::btree_set((0..3i32, -60..120i32), 0..10);
-    let proc = (ground, 1..8usize).prop_flat_map(|(ground_set, n_points)| {
+/// A random module's worth of gc tables: 1–3 procedures, each with a
+/// small ground table and 1–7 gc-points at strictly increasing pcs.
+fn arb_module(rng: &mut Rng) -> ModuleTables {
+    let mut module = ModuleTables::default();
+    let mut pc = 0u32;
+    for i in 0..1 + rng.index(3) {
+        let ground_set: BTreeSet<(i32, i32)> =
+            (0..rng.index(10)).map(|_| (rng.range_i32(0, 3), rng.range_i32(-60, 120))).collect();
         let ground: Vec<GroundEntry> = ground_set
             .into_iter()
             .map(|(b, o)| GroundEntry::new(BaseReg::from_code(b).unwrap(), o))
             .collect();
         let ng = ground.len() as u32;
-        let point = (
-            proptest::collection::btree_set(0..ng.max(1), 0..=ng as usize),
-            any::<u16>(),
-            proptest::collection::vec(arb_derivation(), 0..3),
-            1..200u32,
-        );
-        let points = proptest::collection::vec(point, n_points);
-        (Just(ground), points)
-    });
-    proptest::collection::vec(proc, 1..4).prop_map(|procs| {
-        let mut module = ModuleTables::default();
-        let mut pc = 0u32;
-        for (i, (ground, points)) in procs.into_iter().enumerate() {
-            let entry_pc = pc;
-            let ng = ground.len() as u32;
-            let mut tables = ProcTables {
-                name: format!("p{i}"),
-                entry_pc,
-                ground,
-                points: Vec::new(),
-            };
-            for (live, regbits, derivations, delta) in points {
-                pc += delta;
-                tables.points.push(GcPointTables {
-                    pc,
-                    live_stack: live.into_iter().filter(|&i| i < ng).collect(),
-                    regs: RegSet(u32::from(regbits) & ((1 << NUM_HARD_REGS) - 1)),
-                    derivations,
-                });
-            }
-            pc += 10;
-            module.procs.push(tables);
+        let mut tables =
+            ProcTables { name: format!("p{i}"), entry_pc: pc, ground, points: Vec::new() };
+        for _ in 0..1 + rng.index(7) {
+            pc += rng.range_u32(1, 200);
+            let live: BTreeSet<u32> =
+                (0..rng.index(ng as usize + 1)).map(|_| rng.range_u32(0, ng.max(1))).collect();
+            tables.points.push(GcPointTables {
+                pc,
+                live_stack: live.into_iter().filter(|&i| i < ng).collect(),
+                regs: RegSet(rng.next_u32() & ((1 << NUM_HARD_REGS) - 1)),
+                derivations: (0..rng.index(3)).map(|_| arb_derivation(rng)).collect(),
+            });
         }
-        module
-    })
+        pc += 10;
+        module.procs.push(tables);
+    }
+    module
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every scheme is lossless: decoding reproduces exactly the logical
-    /// tables (resolved through the ground table).
-    #[test]
-    fn schemes_are_lossless(module in arb_module()) {
-        prop_assert_eq!(module.validate(), Ok(()));
+/// Every scheme is lossless: decoding reproduces exactly the logical
+/// tables (resolved through the ground table).
+#[test]
+fn schemes_are_lossless() {
+    run_cases("schemes_are_lossless", 64, |rng| {
+        let module = arb_module(rng);
+        assert_eq!(module.validate(), Ok(()));
         for scheme in Scheme::TABLE2 {
             let encoded = encode_module(&module, scheme);
-            let decoder = TableDecoder::try_new(&encoded).unwrap();
+            let decoder = TableDecoder::build(&encoded).unwrap();
             for proc in &module.procs {
                 for (i, pt) in proc.points.iter().enumerate() {
                     let d = decoder.lookup(pt.pc).unwrap();
-                    prop_assert_eq!(&d.stack_slots, &proc.live_slots(i), "{} stack", scheme);
-                    prop_assert_eq!(d.regs, pt.regs, "{} regs", scheme);
-                    prop_assert_eq!(&d.derivations, &pt.derivations, "{} derivs", scheme);
+                    assert_eq!(d.stack_slots, proc.live_slots(i), "{scheme} stack");
+                    assert_eq!(d.regs, pt.regs, "{scheme} regs");
+                    assert_eq!(d.derivations, pt.derivations, "{scheme} derivs");
                 }
             }
         }
-    }
+    });
+}
 
-    /// Compression monotonicity: PP is never larger than packing alone or
-    /// previous alone, and packing never loses to plain.
-    #[test]
-    fn compression_never_grows(module in arb_module()) {
+/// The memoizing cache is semantically invisible: for every gc-point pc,
+/// in an arbitrary lookup order (so prefix checkpoints are exercised at
+/// random depths), the [`DecodeCache`]-served point equals a fresh
+/// sequential [`TableDecoder::lookup`], under all six schemes — and once
+/// every pc has been visited, repeats are pure memo hits costing zero
+/// further decode operations.
+#[test]
+fn cached_and_uncached_decoding_agree() {
+    run_cases("cached_and_uncached_decoding_agree", 64, |rng| {
+        let module = arb_module(rng);
+        for scheme in Scheme::TABLE2 {
+            let encoded = encode_module(&module, scheme);
+            let decoder = TableDecoder::build(&encoded).unwrap();
+            let mut cache = DecodeCache::build(&encoded).unwrap();
+            let mut pcs: Vec<u32> = decoder.gc_point_pcs().collect();
+            // Random visit order: misses resume from mid-procedure
+            // checkpoints, not just in-order prefix extensions.
+            for k in (1..pcs.len()).rev() {
+                pcs.swap(k, rng.index(k + 1));
+            }
+            for &pc in &pcs {
+                assert_eq!(cache.lookup(&encoded.bytes, pc), decoder.lookup(pc).as_ref(), "{scheme}: pc {pc}");
+            }
+            let full = cache.counters();
+            assert_eq!(full.points_decoded as usize, pcs.len(), "{scheme}: each point decodes once");
+            for &pc in &pcs {
+                assert_eq!(cache.lookup(&encoded.bytes, pc), decoder.lookup(pc).as_ref(), "{scheme}: warm pc {pc}");
+            }
+            let warm = cache.counters().since(full);
+            assert_eq!(warm.misses, 0, "{scheme}: warm pass must not miss");
+            assert_eq!(warm.points_decoded, 0, "{scheme}: warm pass must not decode");
+            assert_eq!(warm.hits as usize, pcs.len());
+            // And a pc that is not a gc-point misses identically.
+            assert_eq!(cache.lookup(&encoded.bytes, pc_gap(&pcs)), None);
+            assert_eq!(decoder.lookup(pc_gap(&pcs)), None);
+        }
+    });
+}
+
+/// Some pc that is guaranteed not to be a gc-point.
+fn pc_gap(pcs: &[u32]) -> u32 {
+    pcs.iter().max().map_or(1, |m| m + 1)
+}
+
+/// Compression monotonicity: PP is never larger than packing alone or
+/// previous alone, and packing never loses to plain.
+#[test]
+fn compression_never_grows() {
+    run_cases("compression_never_grows", 64, |rng| {
+        let module = arb_module(rng);
         let size = |s: Scheme| encode_module(&module, s).bytes.len();
-        prop_assert!(size(Scheme::FULL_PACKED) <= size(Scheme::FULL_PLAIN));
-        prop_assert!(size(Scheme::DELTA_PACKED) <= size(Scheme::DELTA_PLAIN));
-        prop_assert!(size(Scheme::DELTA_PREVIOUS) <= size(Scheme::DELTA_PLAIN));
-        prop_assert!(size(Scheme::DELTA_MAIN_PP) <= size(Scheme::DELTA_PACKED));
-        prop_assert!(size(Scheme::DELTA_MAIN_PP) <= size(Scheme::DELTA_PREVIOUS));
-    }
+        assert!(size(Scheme::FULL_PACKED) <= size(Scheme::FULL_PLAIN));
+        assert!(size(Scheme::DELTA_PACKED) <= size(Scheme::DELTA_PLAIN));
+        assert!(size(Scheme::DELTA_PREVIOUS) <= size(Scheme::DELTA_PLAIN));
+        assert!(size(Scheme::DELTA_MAIN_PP) <= size(Scheme::DELTA_PACKED));
+        assert!(size(Scheme::DELTA_MAIN_PP) <= size(Scheme::DELTA_PREVIOUS));
+    });
 }
 
 /// A tiny random-expression generator for differential compiler testing.
@@ -185,18 +239,22 @@ enum ExprTree {
     Mul(Box<ExprTree>, Box<ExprTree>),
 }
 
-fn arb_expr() -> impl Strategy<Value = ExprTree> {
-    let leaf = prop_oneof![
-        any::<i16>().prop_map(ExprTree::Lit),
-        (0..4u8).prop_map(ExprTree::Var),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprTree::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| ExprTree::Sub(a.into(), b.into())),
-            (inner.clone(), inner).prop_map(|(a, b)| ExprTree::Mul(a.into(), b.into())),
-        ]
-    })
+fn arb_expr(rng: &mut Rng, depth: u32) -> ExprTree {
+    if depth == 0 || rng.chance(1, 3) {
+        if rng.coin() {
+            ExprTree::Lit(rng.next_u32() as i16)
+        } else {
+            ExprTree::Var(rng.index(4) as u8)
+        }
+    } else {
+        let a = Box::new(arb_expr(rng, depth - 1));
+        let b = Box::new(arb_expr(rng, depth - 1));
+        match rng.index(3) {
+            0 => ExprTree::Add(a, b),
+            1 => ExprTree::Sub(a, b),
+            _ => ExprTree::Mul(a, b),
+        }
+    }
 }
 
 fn expr_to_m3(e: &ExprTree) -> String {
@@ -215,48 +273,45 @@ fn expr_to_m3(e: &ExprTree) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random arithmetic programs agree between the reference interpreter
-    /// and the VM, at both optimization levels. (MOD keeps every
-    /// intermediate well within i64 even after a few multiplications.)
-    #[test]
-    fn random_programs_agree(exprs in proptest::collection::vec(arb_expr(), 1..4),
-                             inits in proptest::collection::vec(-100..100i32, 4)) {
+/// Random arithmetic programs agree between the reference interpreter
+/// and the VM, at both optimization levels. (MOD keeps every
+/// intermediate well within i64 even after a few multiplications.)
+#[test]
+fn random_programs_agree() {
+    run_cases("random_programs_agree", 24, |rng| {
         let mut body = String::new();
-        for (i, v) in inits.iter().enumerate() {
-            if *v < 0 {
+        for i in 0..4 {
+            let v = rng.range_i32(-100, 100);
+            if v < 0 {
                 body.push_str(&format!("  v{i} := 0 - {};\n", -v));
             } else {
                 body.push_str(&format!("  v{i} := {v};\n"));
             }
         }
-        for (k, e) in exprs.iter().enumerate() {
+        for k in 0..1 + rng.index(3) {
+            let e = arb_expr(rng, 4);
             let target = k % 4;
-            body.push_str(&format!("  v{target} := ({}) MOD 100003;\n", expr_to_m3(e)));
+            body.push_str(&format!("  v{target} := ({}) MOD 100003;\n", expr_to_m3(&e)));
         }
         body.push_str("  PutInt(v0 + v1 + v2 + v3);\n");
-        let src = format!(
-            "MODULE P;\nVAR v0, v1, v2, v3: INTEGER;\nBEGIN\n{body}END P."
-        );
+        let src = format!("MODULE P;\nVAR v0, v1, v2, v3: INTEGER;\nBEGIN\n{body}END P.");
         let expected = m3gc::compiler::reference_output(&src).unwrap();
         for opts in [m3gc::compiler::Options::o0(), m3gc::compiler::Options::o2()] {
             let module = m3gc::compiler::compile(&src, &opts).unwrap();
             let out = m3gc::compiler::run_module(module, 4096).unwrap();
-            prop_assert_eq!(&out.output, &expected);
+            assert_eq!(out.output, expected);
         }
-    }
+    });
 }
 
 /// Randomized heap graphs (seeded in-language LCG mutations): the VM with
 /// a small heap — many compactions — must agree with the reference
 /// interpreter for arbitrary seeds.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn random_graphs_survive_compaction(seed in 1u32..1_000_000, nodes in 6u32..20) {
+#[test]
+fn random_graphs_survive_compaction() {
+    run_cases("random_graphs_survive_compaction", 12, |rng| {
+        let seed = rng.range_u32(1, 1_000_000);
+        let nodes = rng.range_u32(6, 20);
         let src = format!(
             "MODULE G;
 CONST N = {nodes};
@@ -316,7 +371,7 @@ END G."
         // total allocation: constant compaction.
         let semi = (nodes as usize + 30) * 4 + nodes as usize + 24;
         let out = m3gc::compiler::run_module(module, semi).unwrap();
-        prop_assert_eq!(&out.output, &expected);
-        prop_assert!(out.collections > 0, "expected collections with semi={}", semi);
-    }
+        assert_eq!(out.output, expected, "seed {seed} nodes {nodes}");
+        assert!(out.collections > 0, "expected collections with semi={semi}");
+    });
 }
