@@ -71,7 +71,12 @@ fn paused_destroy() -> Machine {
     let module = compile_benchmark(program("destroy"), true);
     let mut machine = Machine::new(
         module,
-        MachineConfig { semi_words: 8 * 1024, stack_words: 1 << 15, max_threads: 2 },
+        MachineConfig {
+            semi_words: 8 * 1024,
+            stack_words: 1 << 15,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
     let main = machine.module.main;
     let tid = machine.spawn(main, &[]);
@@ -84,8 +89,7 @@ fn paused_destroy() -> Machine {
 fn trace_benchmarks() {
     let mut machine = paused_destroy();
     bench("trace/stack_trace (cold cache each iter)", 200, || {
-        let mut cache =
-            DecodeCache::build(&machine.module.gc_maps).expect("valid maps");
+        let mut cache = DecodeCache::build(&machine.module.gc_maps).expect("valid maps");
         black_box(collector::trace_only(&mut machine, &mut cache));
     });
     let mut cache = DecodeCache::build(&machine.module.gc_maps).expect("valid maps");

@@ -44,12 +44,15 @@ END LoopAlloc.";
 fn torture(name: &str, module: m3gc_vm::VmModule, semi_words: usize) {
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words, stack_words: 1 << 15, max_threads: 2 },
+        MachineConfig {
+            semi_words,
+            stack_words: 1 << 15,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
-    let mut ex = Executor::new(
-        machine,
-        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
-    );
+    let mut ex =
+        Executor::new(machine, ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() });
     ex.machine.spawn(ex.machine.module.main, &[]);
     let out = ex.run().expect("benchmark completes");
     assert!(out.collections >= 2, "{name}: need repeated collections");
@@ -59,8 +62,7 @@ fn torture(name: &str, module: m3gc_vm::VmModule, semi_words: usize) {
     let warm_ops: u64 = warm.iter().map(|s| s.decode_ops).sum();
     let warm_mean = warm_ops as f64 / warm.len() as f64;
     let warm_hits: u64 = warm.iter().map(|s| s.decode_hits).sum();
-    let warm_lookups: u64 =
-        warm.iter().map(|s| s.decode_hits + s.decode_misses).sum();
+    let warm_lookups: u64 = warm.iter().map(|s| s.decode_hits + s.decode_misses).sum();
     let total_ops = cold.decode_ops + warm_ops;
     let ratio = if warm_mean > 0.0 {
         format!("{:.1}x", cold.decode_ops as f64 / warm_mean)
@@ -95,7 +97,12 @@ fn trace_timing() {
     let module = compile_benchmark(program("destroy"), true);
     let mut machine = Machine::new(
         module,
-        MachineConfig { semi_words: 8 * 1024, stack_words: 1 << 15, max_threads: 2 },
+        MachineConfig {
+            semi_words: 8 * 1024,
+            stack_words: 1 << 15,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
     let main = machine.module.main;
     let tid = machine.spawn(main, &[]);
@@ -104,8 +111,7 @@ fn trace_timing() {
     const ITERS: u32 = 500;
     let t0 = Instant::now();
     for _ in 0..ITERS {
-        let mut cache =
-            DecodeCache::build(&machine.module.gc_maps).expect("valid maps");
+        let mut cache = DecodeCache::build(&machine.module.gc_maps).expect("valid maps");
         collector::trace_only(&mut machine, &mut cache);
     }
     let cold = t0.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS);

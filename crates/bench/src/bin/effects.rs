@@ -89,10 +89,9 @@ fn main() {
         "Program", "gc(B)", "no-gc(B)", "instr-diff", "verdict"
     );
     for (name, src) in PROGRAMS {
-        for (suffix, with_gc, without_gc) in [
-            ("", Options::o0(), Options::o0_no_gc()),
-            ("-opt", Options::o2(), Options::o2_no_gc()),
-        ] {
+        for (suffix, with_gc, without_gc) in
+            [("", Options::o0(), Options::o0_no_gc()), ("-opt", Options::o2(), Options::o2_no_gc())]
+        {
             let m_gc = compile(src, &with_gc).expect("compiles");
             let m_no = compile(src, &without_gc).expect("compiles");
             let i_gc = instructions(&m_gc);

@@ -1,0 +1,204 @@
+//! Generational-collection experiment: minor vs full pause times.
+//!
+//! The workload (`GenChurn`) is the generational hypothesis on purpose: a
+//! large, stable tenured set (an array of nodes built up front) plus a
+//! loop allocating short-lived nodes, a fraction of which are stored into
+//! the old array — exactly the old→young edges only the compiler-emitted
+//! write barrier can reveal to a minor collection.
+//!
+//! The same compiled module runs under both heaps (the barrier
+//! instruction degenerates to a plain store on a semispace heap), so the
+//! comparison isolates the collector:
+//!
+//! * **semispace** — every collection evacuates the whole live set,
+//!   including the stable tenured data, every time;
+//! * **generational** — minor collections copy only nursery survivors,
+//!   consulting the remembered set instead of the tenured space.
+//!
+//! Reported: mean/max minor and major pause vs full semispace pause, the
+//! promotion rate, write-barrier counters, the wall-clock cost of barrier
+//! execution (barrier vs barrier-free code on a semispace heap, where the
+//! barrier does nothing useful), and a machine-readable JSON line. The
+//! acceptance bar is a mean minor pause at least 5× below the mean full
+//! semispace pause (2× in `--quick` mode, sized for CI smoke runs).
+
+use std::time::Instant;
+
+use m3gc_compiler::{compile, Options};
+use m3gc_runtime::scheduler::{ExecConfig, ExecOutcome, Executor};
+use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
+
+const SEMI_WORDS: usize = 1 << 15;
+const NURSERY_WORDS: usize = 512;
+const TENURED_NODES: usize = 1200;
+
+fn genchurn(iters: usize) -> String {
+    format!(
+        "MODULE GenChurn;
+TYPE Node = REF RECORD x: INTEGER; next: Node END;
+     Arr = REF ARRAY OF Node;
+VAR keep: Arr; i, s: INTEGER;
+BEGIN
+  keep := NEW(Arr, {k});
+  FOR i := 0 TO {k} - 1 DO
+    keep[i] := NEW(Node);
+    keep[i].x := i;
+  END;
+  FOR i := 1 TO {iters} DO
+    WITH t = NEW(Node) DO
+      t.x := i;
+      IF i MOD 4 = 0 THEN
+        keep[(i DIV 4) MOD {k}].next := t;
+      END;
+    END;
+  END;
+  s := 0;
+  FOR i := 0 TO {k} - 1 DO
+    s := s + keep[i].x;
+    IF keep[i].next # NIL THEN s := s + 1; END;
+  END;
+  PutInt(s);
+END GenChurn.",
+        k = TENURED_NODES,
+        iters = iters,
+    )
+}
+
+fn run_on(module: m3gc_vm::VmModule, heap: HeapStrategy) -> (ExecOutcome, f64) {
+    let machine = Machine::new(
+        module,
+        MachineConfig { semi_words: SEMI_WORDS, stack_words: 1 << 14, max_threads: 2, heap },
+    );
+    let mut ex = Executor::new(machine, ExecConfig::default());
+    let t0 = Instant::now();
+    let out = ex.run_main().unwrap_or_else(|e| panic!("benchmark run failed: {e}"));
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn mean_max_us(pauses: &[f64]) -> (f64, f64) {
+    if pauses.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = pauses.iter().sum::<f64>() / pauses.len() as f64;
+    let max = pauses.iter().cloned().fold(0.0, f64::max);
+    (mean, max)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 12_000 } else { 120_000 };
+    let min_ratio = if quick { 2.0 } else { 5.0 };
+    let src = genchurn(iters);
+
+    let module = compile(&src, &Options::o2()).expect("benchmark compiles");
+    let mut no_barrier_opts = Options::o2();
+    no_barrier_opts.codegen.gc.write_barriers = false;
+    let module_nb = compile(&src, &no_barrier_opts).expect("benchmark compiles");
+
+    // The comparison: one module, two heaps.
+    let gen_heap = HeapStrategy::Generational { nursery_words: NURSERY_WORDS, promote_age: 2 };
+    let (gen_out, _) = run_on(module.clone(), gen_heap);
+    let (semi_out, semi_wall) = run_on(module.clone(), HeapStrategy::Semispace);
+    assert_eq!(gen_out.output, semi_out.output, "collectors must agree on program results");
+
+    // Barrier overhead: same program, barriers vs no barriers, both on a
+    // semispace heap where the barrier is pure overhead. Best-of-N tames
+    // scheduling noise on runs this short.
+    let reps = if quick { 2 } else { 5 };
+    let mut wall_barrier = f64::INFINITY;
+    let mut wall_plain = f64::INFINITY;
+    for _ in 0..reps {
+        let (wb_out, wb) = run_on(module.clone(), HeapStrategy::Semispace);
+        assert_eq!(wb_out.output, semi_out.output);
+        wall_barrier = wall_barrier.min(wb);
+        let (nb_out, wp) = run_on(module_nb.clone(), HeapStrategy::Semispace);
+        assert_eq!(nb_out.output, semi_out.output);
+        wall_plain = wall_plain.min(wp);
+    }
+    let overhead_pct = (wall_barrier / wall_plain - 1.0) * 100.0;
+    let _ = semi_wall;
+
+    let to_us = |s: &m3gc_runtime::GcStats| s.total_time.as_secs_f64() * 1e6;
+    let minor_pauses: Vec<f64> = gen_out
+        .gc_each
+        .iter()
+        .filter(|s| s.kind == m3gc_core::stats::GcKind::Minor)
+        .map(to_us)
+        .collect();
+    let major_pauses: Vec<f64> = gen_out
+        .gc_each
+        .iter()
+        .filter(|s| s.kind == m3gc_core::stats::GcKind::Major)
+        .map(to_us)
+        .collect();
+    let full_pauses: Vec<f64> = semi_out.gc_each.iter().map(to_us).collect();
+
+    let (minor_mean, minor_max) = mean_max_us(&minor_pauses);
+    let (major_mean, major_max) = mean_max_us(&major_pauses);
+    let (full_mean, full_max) = mean_max_us(&full_pauses);
+    let ratio = full_mean / minor_mean.max(f64::MIN_POSITIVE);
+
+    let promotion_rate = gen_out.gc_total.promoted_objects as f64
+        / (gen_out.gc_total.objects_copied as f64).max(1.0);
+    let b = gen_out.barrier;
+
+    println!("GenChurn: {TENURED_NODES} tenured nodes, {iters} mutator iterations");
+    println!("  semispace: {} collection(s)", semi_out.collections);
+    println!("    full pause    mean {full_mean:>9.2} us   max {full_max:>9.2} us");
+    println!(
+        "  generational: {} minor, {} major (nursery {NURSERY_WORDS} words)",
+        gen_out.minor_collections, gen_out.major_collections
+    );
+    println!("    minor pause   mean {minor_mean:>9.2} us   max {minor_max:>9.2} us");
+    println!("    major pause   mean {major_mean:>9.2} us   max {major_max:>9.2} us");
+    println!("    full/minor mean pause ratio {ratio:>6.1}x");
+    println!(
+        "    promoted {} of {} copied object(s) ({:.1}%)",
+        gen_out.gc_total.promoted_objects,
+        gen_out.gc_total.objects_copied,
+        promotion_rate * 100.0
+    );
+    println!(
+        "    barriers: {} executed, {} recorded, {} deduped, {} filtered",
+        b.executed,
+        b.recorded,
+        b.deduped,
+        b.filtered()
+    );
+    println!(
+        "    remembered slots drained {} / re-recorded {}",
+        gen_out.gc_total.remembered_processed, gen_out.gc_total.remembered_added
+    );
+    println!(
+        "    barrier wall-clock overhead on a semispace heap: {overhead_pct:+.1}% \
+         ({wall_barrier:.3}s vs {wall_plain:.3}s)"
+    );
+
+    println!(
+        "{{\"bench\":\"gengc\",\"quick\":{quick},\"iters\":{iters},\
+         \"minor_mean_us\":{minor_mean:.3},\"minor_max_us\":{minor_max:.3},\
+         \"major_mean_us\":{major_mean:.3},\"major_max_us\":{major_max:.3},\
+         \"full_mean_us\":{full_mean:.3},\"full_max_us\":{full_max:.3},\
+         \"pause_ratio\":{ratio:.3},\
+         \"minors\":{},\"majors\":{},\"full_collections\":{},\
+         \"promoted_objects\":{},\"promotion_rate\":{promotion_rate:.4},\
+         \"barrier_executed\":{},\"barrier_recorded\":{},\
+         \"barrier_deduped\":{},\"barrier_filtered\":{},\
+         \"barrier_overhead_pct\":{overhead_pct:.2},\"outputs_match\":true}}",
+        gen_out.minor_collections,
+        gen_out.major_collections,
+        semi_out.collections,
+        gen_out.gc_total.promoted_objects,
+        b.executed,
+        b.recorded,
+        b.deduped,
+        b.filtered(),
+    );
+
+    assert!(gen_out.minor_collections >= 10, "workload must exercise minor collections");
+    assert!(b.recorded + b.deduped > 0, "old→young stores must reach the remembered set");
+    assert!(
+        ratio >= min_ratio,
+        "minor pauses must be at least {min_ratio}x cheaper than full collections, got {ratio:.1}x"
+    );
+}

@@ -37,7 +37,12 @@ BEGIN
 END Spin.";
 
 fn build(loop_gc_points: bool) -> m3gc_vm::VmModule {
-    let gc = GcConfig { emit_tables: true, calls: CallPolicy::AllCalls, loop_gc_points };
+    let gc = GcConfig {
+        emit_tables: true,
+        calls: CallPolicy::AllCalls,
+        loop_gc_points,
+        ..GcConfig::default()
+    };
     compile(SRC, &Options::o2().with_gc(gc)).expect("compiles")
 }
 
@@ -45,20 +50,18 @@ fn run_two_threads(loop_gc_points: bool) -> Result<(u64, u64), ExecError> {
     let module = build(loop_gc_points);
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 256, stack_words: 4096, max_threads: 3 },
+        MachineConfig {
+            semi_words: 256,
+            stack_words: 4096,
+            max_threads: 3,
+            ..MachineConfig::default()
+        },
     );
-    let mut ex = Executor::new(
-        machine,
-        ExecConfig { max_advance: 200_000, ..ExecConfig::default() },
-    );
+    let mut ex =
+        Executor::new(machine, ExecConfig { max_advance: 200_000, ..ExecConfig::default() });
     ex.machine.spawn(ex.machine.module.main, &[]);
-    let spin = ex
-        .machine
-        .module
-        .procs
-        .iter()
-        .position(|p| p.name == "Spin")
-        .expect("spin proc") as u16;
+    let spin =
+        ex.machine.module.procs.iter().position(|p| p.name == "Spin").expect("spin proc") as u16;
     // A long spin: far more iterations than the advance budget allows
     // without a gc-point.
     ex.machine.spawn(spin, &[2_000_000]);

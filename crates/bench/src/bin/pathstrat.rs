@@ -107,18 +107,20 @@ struct Measured {
 }
 
 fn measure(mut prog: Program) -> Measured {
-    let ambiguous_before = prog
-        .funcs
-        .iter()
-        .map(|f| m3gc_ir::deriv::find_ambiguous(f).len())
-        .sum::<usize>();
+    let ambiguous_before =
+        prog.funcs.iter().map(|f| m3gc_ir::deriv::find_ambiguous(f).len()).sum::<usize>();
     let module = compile_program(&mut prog, &CodegenOptions::default());
     let stats = m3gc_core::stats::table_stats(&module.logical_maps);
     let table_bytes = module.gc_maps.bytes.len();
     let code_bytes = module.code_size();
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 512, stack_words: 4096, max_threads: 2 },
+        MachineConfig {
+            semi_words: 512,
+            stack_words: 4096,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
     let mut ex = m3gc_runtime::Executor::new(machine, m3gc_runtime::ExecConfig::default());
     let out = match ex.run_main() {
@@ -151,18 +153,16 @@ fn main() {
     };
     assert_eq!(with_vars.output, with_split.output, "strategies must agree");
 
+    println!("{:<22} {:>12} {:>12}", "", "path vars", "path split");
+    println!("{:<22} {:>12} {:>12}", "code bytes", with_vars.code_bytes, with_split.code_bytes);
     println!(
         "{:<22} {:>12} {:>12}",
-        "", "path vars", "path split"
+        "gc table bytes", with_vars.table_bytes, with_split.table_bytes
     );
-    println!("{:<22} {:>12} {:>12}", "code bytes", with_vars.code_bytes, with_split.code_bytes);
-    println!("{:<22} {:>12} {:>12}", "gc table bytes", with_vars.table_bytes, with_split.table_bytes);
     println!("{:<22} {:>12} {:>12}", "derivation tables", with_vars.nder, with_split.nder);
     println!(
         "{:<22} {:>12} {:>12}",
-        "ambiguity remains",
-        with_vars.path_vars_needed,
-        with_split.path_vars_needed
+        "ambiguity remains", with_vars.path_vars_needed, with_split.path_vars_needed
     );
     println!("{:<22} {:>12} {:>12}", "dynamic steps", with_vars.steps, with_split.steps);
     println!("{:<22} {:>12} {:>12}", "collections", with_vars.collections, with_split.collections);

@@ -21,8 +21,15 @@ use std::time::Duration;
 
 fn run(semi: usize, mode: GcMode, force: Option<u64>) -> m3gc_runtime::scheduler::ExecOutcome {
     let module = compile(program("destroy"), &Options::o2()).expect("compiles");
-    let machine =
-        Machine::new(module, MachineConfig { semi_words: semi, stack_words: 1 << 15, max_threads: 2 });
+    let machine = Machine::new(
+        module,
+        MachineConfig {
+            semi_words: semi,
+            stack_words: 1 << 15,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
+    );
     let mut ex = Executor::new(
         machine,
         ExecConfig { gc_mode: mode, force_every_allocs: force, ..ExecConfig::default() },
@@ -54,7 +61,8 @@ fn main() {
     println!("  stack trace/frame:         {:.2} us", per_trace / frames.max(1.0));
     println!(
         "  trace share of gc time:    {:.1}%",
-        100.0 * real.gc_total.trace_time.as_secs_f64() / real.gc_total.total_time.as_secs_f64().max(1e-12)
+        100.0 * real.gc_total.trace_time.as_secs_f64()
+            / real.gc_total.total_time.as_secs_f64().max(1e-12)
     );
 
     // The paper's methodology: forced events every N allocations, huge heap.

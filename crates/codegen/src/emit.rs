@@ -113,7 +113,8 @@ impl<'a> FnEmit<'a> {
         // (slots are NIL-initialized at frame setup).
         for (sid, s) in f.slots.iter().enumerate() {
             for &w in &s.ptr_words {
-                let idx = e.add_ground(GroundEntry::new(BaseReg::Fp, frame.slot_offsets[sid] + w as i32));
+                let idx =
+                    e.add_ground(GroundEntry::new(BaseReg::Fp, frame.slot_offsets[sid] + w as i32));
                 e.always_live.push(idx);
             }
         }
@@ -182,7 +183,9 @@ impl<'a> FnEmit<'a> {
             bases.iter().map(|&(b, s)| (self.base_location(b), s)).collect()
         };
         match kind {
-            DerivKind::Simple(bases) => DerivationRecord::Simple { target, bases: map_bases(bases) },
+            DerivKind::Simple(bases) => {
+                DerivationRecord::Simple { target, bases: map_bases(bases) }
+            }
             DerivKind::Ambiguous { path_var, variants } => DerivationRecord::Ambiguous {
                 target,
                 path_var: self.location_of(*path_var),
@@ -251,10 +254,12 @@ impl<'a> FnEmit<'a> {
                     }
                 }
                 TempLoc::Spill(_) => {
-                    live_stack.push(self.temp_ground[t.index()].expect("spilled ptr has ground entry"));
+                    live_stack
+                        .push(self.temp_ground[t.index()].expect("spilled ptr has ground entry"));
                 }
                 TempLoc::ApSlot(_) => {
-                    live_stack.push(self.param_ground[t.index()].expect("ptr param has ground entry"));
+                    live_stack
+                        .push(self.param_ground[t.index()].expect("ptr param has ground entry"));
                 }
                 TempLoc::Unused => unreachable!("filtered above"),
             }
@@ -310,11 +315,23 @@ fn emit_function(
     }
 
     let order = alloc.order.clone();
+    // Write-barrier elision state, reset at every block boundary:
+    // `fresh` holds temps bound to an object allocated in this block with
+    // no gc-point since (still in the nursery, so stores into it can never
+    // create an old→young edge); `nonheap` holds temps bound to frame-slot
+    // or global addresses (never inside a heap object). Both survive only
+    // through `Copy`; any other redefinition clears the temp, and every
+    // potential collection point (calls, allocations, explicit gc-points)
+    // clears `fresh` entirely — a collection may promote the object.
+    let mut fresh = BitSet::new(f.temp_count());
+    let mut nonheap = BitSet::new(f.temp_count());
     for (oi, &bid) in order.iter().enumerate() {
         asm.bind(labels[bid.index()]);
         let block = f.block(bid);
         let next_in_layout = order.get(oi + 1).copied();
         let after = alloc.liveness.live_after_each(f, bid, deriv);
+        fresh.clear();
+        nonheap.clear();
 
         // read: materialize a temp into a register (scratch if spilled).
         macro_rules! read {
@@ -406,7 +423,21 @@ fn emit_function(
                 Ir::Store { addr, offset, src } => {
                     let ra = read!(*addr, 0);
                     let rs = read!(*src, 1);
-                    asm.emit(&Vm::St { base: ra, off: *offset, src: rs });
+                    // Write barrier at pointer stores into heap objects,
+                    // elided when the type checker proves the value is a
+                    // non-pointer (`TempKind::Int` covers integers,
+                    // booleans, stack addresses, path variables and
+                    // derived values) or the target is nursery-fresh or
+                    // outside the heap.
+                    let needs_barrier = options.gc.write_barriers
+                        && f.kind(*src) == TempKind::Ptr
+                        && !fresh.contains(addr.index())
+                        && !nonheap.contains(addr.index());
+                    if needs_barrier {
+                        asm.emit(&Vm::StB { base: ra, off: *offset, src: rs });
+                    } else {
+                        asm.emit(&Vm::St { base: ra, off: *offset, src: rs });
+                    }
                 }
                 Ir::LoadSlot { dst, slot, offset } => {
                     let rd = def_reg!(*dst);
@@ -421,7 +452,11 @@ fn emit_function(
                 }
                 Ir::SlotAddr { dst, slot } => {
                     let rd = def_reg!(*dst);
-                    asm.emit(&Vm::Lea { dst: rd, breg: BaseReg::Fp, off: frame.slot_offsets[slot.index()] });
+                    asm.emit(&Vm::Lea {
+                        dst: rd,
+                        breg: BaseReg::Fp,
+                        off: frame.slot_offsets[slot.index()],
+                    });
                     finish_def!(*dst, rd);
                 }
                 Ir::LoadGlobal { dst, global } => {
@@ -538,6 +573,47 @@ fn emit_function(
                     asm.emit(&Vm::GcPoint);
                 }
             }
+
+            // Update the barrier-elision state for the instruction just
+            // emitted. A redefinition always clears the temp first; `Copy`
+            // propagates both properties; a collection opportunity (call,
+            // allocation, explicit gc-point) drops every freshness fact
+            // because the collector may promote the objects.
+            match ins {
+                Ir::Copy { dst, src } => {
+                    let src_fresh = fresh.contains(src.index());
+                    let src_nonheap = nonheap.contains(src.index());
+                    fresh.remove(dst.index());
+                    nonheap.remove(dst.index());
+                    if src_fresh {
+                        fresh.insert(dst.index());
+                    }
+                    if src_nonheap {
+                        nonheap.insert(dst.index());
+                    }
+                }
+                Ir::New { dst, .. } => {
+                    fresh.clear();
+                    nonheap.remove(dst.index());
+                    fresh.insert(dst.index());
+                }
+                Ir::Call { .. } | Ir::GcPoint => {
+                    fresh.clear();
+                    if let Some(d) = ins.def() {
+                        nonheap.remove(d.index());
+                    }
+                }
+                Ir::SlotAddr { dst, .. } | Ir::GlobalAddr { dst, .. } => {
+                    fresh.remove(dst.index());
+                    nonheap.insert(dst.index());
+                }
+                _ => {
+                    if let Some(d) = ins.def() {
+                        fresh.remove(d.index());
+                        nonheap.remove(d.index());
+                    }
+                }
+            }
         }
 
         // Terminator.
@@ -585,7 +661,8 @@ fn emit_function(
         save_regs: frame.save_offsets.clone(),
         n_args: f.n_params as u32,
     };
-    let tables = ProcTables { name: f.name.clone(), entry_pc, ground: em.ground, points: em.points };
+    let tables =
+        ProcTables { name: f.name.clone(), entry_pc, ground: em.ground, points: em.points };
     (meta, tables)
 }
 
@@ -609,8 +686,14 @@ pub(crate) fn compile(prog: &mut Program, options: &CodegenOptions) -> VmModule 
     let mut procs = Vec::new();
     let mut tables = ModuleTables::default();
     for (i, f) in prog.funcs.iter().enumerate() {
-        let (meta, pt) =
-            emit_function(&mut asm, f, derivs[i].as_deref_ref(), &global_offsets, &allocating, options);
+        let (meta, pt) = emit_function(
+            &mut asm,
+            f,
+            derivs[i].as_deref_ref(),
+            &global_offsets,
+            &allocating,
+            options,
+        );
         procs.push(meta);
         if options.gc.emit_tables {
             tables.procs.push(pt);
@@ -654,7 +737,12 @@ mod tests {
         let module = compile(&mut prog, &opts);
         let mut vm = Machine::new(
             module,
-            MachineConfig { semi_words: 1 << 16, stack_words: 4096, max_threads: 2 },
+            MachineConfig {
+                semi_words: 1 << 16,
+                stack_words: 4096,
+                max_threads: 2,
+                ..MachineConfig::default()
+            },
         );
         let main = vm.module.main;
         let tid = vm.spawn(main, &[]);
@@ -684,7 +772,8 @@ mod tests {
     #[test]
     fn calls_with_args_and_results() {
         let mut p = Program::new();
-        let mut add = FuncBuilder::with_ret("add", &[TempKind::Int, TempKind::Int], Some(TempKind::Int));
+        let mut add =
+            FuncBuilder::with_ret("add", &[TempKind::Int, TempKind::Int], Some(TempKind::Int));
         let s = add.bin(BinOp::Add, add.param(0), add.param(1));
         add.ret(Some(s));
         let add_id = p.add_func(add.finish());
@@ -846,5 +935,136 @@ mod tests {
         // The loop had no gc-point, so one must have been inserted and
         // appear in the tables.
         assert_eq!(module.logical_maps.procs[0].points.len(), 1);
+    }
+
+    // --- Write-barrier emission and elision ---
+
+    fn ptr_record(p: &mut Program) -> m3gc_core::heap::TypeId {
+        p.types.add(m3gc_core::heap::HeapType::Record {
+            name: "Node".into(),
+            words: 2,
+            ptr_offsets: vec![0],
+        })
+    }
+
+    fn stb_count(p: &mut Program, opts: &CodegenOptions) -> usize {
+        let module = compile(p, opts);
+        m3gc_vm::disasm::disassemble(&module).matches("stb").count()
+    }
+
+    #[test]
+    fn barrier_emitted_for_unproven_pointer_store() {
+        // The second allocation is a gc-point, so `a` is no longer
+        // provably in the nursery when the store happens.
+        let mut p = Program::new();
+        let ty = ptr_record(&mut p);
+        let mut b = FuncBuilder::new("main", &[]);
+        let a = b.new_object(ty, None);
+        let c = b.new_object(ty, None);
+        b.store(a, 0, c);
+        b.ret(None);
+        let id = b.finish();
+        p.main = p.add_func(id);
+        assert_eq!(stb_count(&mut p, &CodegenOptions::default()), 1);
+    }
+
+    #[test]
+    fn barrier_elided_for_non_pointer_store() {
+        let mut p = Program::new();
+        let ty = ptr_record(&mut p);
+        let mut b = FuncBuilder::new("main", &[]);
+        let a = b.new_object(ty, None);
+        let v = b.constant(7);
+        b.store(a, 1, v); // Int-kind source: never a pointer store.
+        b.ret(None);
+        let id = b.finish();
+        p.main = p.add_func(id);
+        assert_eq!(stb_count(&mut p, &CodegenOptions::default()), 0);
+    }
+
+    #[test]
+    fn barrier_elided_for_fresh_target() {
+        // `c` is allocated *after* `a`, so at the store `c` is provably
+        // nursery-fresh (no gc-point separates its allocation from the
+        // store) — no old→young edge is possible.
+        let mut p = Program::new();
+        let ty = ptr_record(&mut p);
+        let mut b = FuncBuilder::new("main", &[]);
+        let a = b.new_object(ty, None);
+        let c = b.new_object(ty, None);
+        b.store(c, 0, a);
+        b.ret(None);
+        let id = b.finish();
+        p.main = p.add_func(id);
+        assert_eq!(stb_count(&mut p, &CodegenOptions::default()), 0);
+    }
+
+    #[test]
+    fn freshness_propagates_through_copy_and_dies_at_gc_points() {
+        let mut p = Program::new();
+        let ty = ptr_record(&mut p);
+
+        // Copy of a fresh object is still fresh: elided.
+        let mut b = FuncBuilder::new("main", &[]);
+        let a = b.new_object(ty, None);
+        let c = b.new_object(ty, None);
+        let c2 = b.copy_of(c, TempKind::Ptr);
+        b.store(c2, 0, a);
+        b.ret(None);
+        let id = b.finish();
+        p.main = p.add_func(id);
+        assert_eq!(stb_count(&mut p, &CodegenOptions::default()), 0);
+
+        // An explicit gc-point between allocation and store kills the
+        // freshness fact (a collection could promote the object).
+        let mut p = Program::new();
+        let ty = ptr_record(&mut p);
+        let mut b = FuncBuilder::new("main", &[]);
+        let a = b.new_object(ty, None);
+        let c = b.new_object(ty, None);
+        b.push(m3gc_ir::Instr::GcPoint);
+        b.store(c, 0, a);
+        b.ret(None);
+        let id = b.finish();
+        p.main = p.add_func(id);
+        assert_eq!(stb_count(&mut p, &CodegenOptions::default()), 1);
+    }
+
+    #[test]
+    fn barrier_elided_for_slot_address_target() {
+        // A store through a frame-slot address (VAR-style) targets the
+        // stack, which minor collections scan as roots: elided.
+        let mut p = Program::new();
+        let ty = ptr_record(&mut p);
+        let mut b = FuncBuilder::new("main", &[]);
+        let slot = b.slot(m3gc_ir::SlotInfo {
+            name: "v".into(),
+            words: 1,
+            ptr_words: vec![0],
+            addressable: true,
+        });
+        let a = b.new_object(ty, None);
+        let sa = b.slot_addr(slot);
+        b.store(sa, 0, a);
+        b.ret(None);
+        let id = b.finish();
+        p.main = p.add_func(id);
+        assert_eq!(stb_count(&mut p, &CodegenOptions::default()), 0);
+    }
+
+    #[test]
+    fn barriers_can_be_disabled() {
+        let mut p = Program::new();
+        let ty = ptr_record(&mut p);
+        let mut b = FuncBuilder::new("main", &[]);
+        let a = b.new_object(ty, None);
+        let c = b.new_object(ty, None);
+        b.store(a, 0, c);
+        b.ret(None);
+        let id = b.finish();
+        p.main = p.add_func(id);
+        let mut opts = CodegenOptions::default();
+        opts.gc.write_barriers = false;
+        assert_eq!(stb_count(&mut p, &opts), 0);
     }
 }

@@ -48,10 +48,7 @@ pub fn insert_loop_gc_points(f: &mut Function, policy: CallPolicy, allocating: &
         }
         let guaranteed = l.body.iter().any(|&b| {
             cfg::dominates(&idom, b, l.latch)
-                && f.block(b)
-                    .instrs
-                    .iter()
-                    .any(|ins| is_gc_point_instr(ins, policy, allocating))
+                && f.block(b).instrs.iter().any(|ins| is_gc_point_instr(ins, policy, allocating))
         });
         if !guaranteed {
             f.block_mut(l.header).instrs.insert(0, Instr::GcPoint);
@@ -79,9 +76,9 @@ pub fn place_gc_points(prog: &mut Program, gc: &GcConfig) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use m3gc_core::heap::TypeId;
     use m3gc_ir::builder::FuncBuilder;
     use m3gc_ir::{BinOp, FuncId, TempKind};
-    use m3gc_core::heap::TypeId;
 
     /// A counting loop with no calls: needs a loop gc-point.
     #[test]

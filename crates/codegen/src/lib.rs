@@ -52,11 +52,25 @@ pub struct GcConfig {
     pub calls: CallPolicy,
     /// Insert gc-points in loops without a guaranteed one.
     pub loop_gc_points: bool,
+    /// Emit write barriers ([`m3gc_vm::isa::Instr::StB`]) at pointer
+    /// stores into heap objects, for generational collection. Barriers
+    /// are elided when the stored value is statically a non-pointer or
+    /// the target object is provably nursery-fresh (allocated in this
+    /// block with no gc-point since) or provably outside the heap (a
+    /// frame-slot or global address). On a non-generational heap the
+    /// barrier instruction degenerates to a plain store, so barrier-
+    /// compiled code runs unchanged under either collector.
+    pub write_barriers: bool,
 }
 
 impl Default for GcConfig {
     fn default() -> Self {
-        GcConfig { emit_tables: true, calls: CallPolicy::AllCalls, loop_gc_points: true }
+        GcConfig {
+            emit_tables: true,
+            calls: CallPolicy::AllCalls,
+            loop_gc_points: true,
+            write_barriers: true,
+        }
     }
 }
 

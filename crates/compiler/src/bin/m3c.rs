@@ -10,6 +10,9 @@
 //!   --scheme S           table scheme: full, full-packed, delta,
 //!                        delta-previous, delta-packed, pp (default pp)
 //!   --heap N             semispace size in words (run; default 65536)
+//!   --gc C               collector: semispace (default) or gen (run)
+//!   --nursery N          nursery size in words with --gc gen (run;
+//!                        default: a quarter semispace)
 //!   --torture            collect at every allocation (run)
 //!   --stats              print gc statistics after the output (run)
 //! ```
@@ -19,7 +22,8 @@ use m3gc_compiler::driver;
 fn usage() -> ! {
     eprintln!(
         "usage: m3c <check|run|ir|disasm|tables|stats> <file.m3> \
-         [--o0|--o2] [--no-gc] [--split-paths] [--scheme S] [--heap N] [--torture] [--stats]"
+         [--o0|--o2] [--no-gc] [--split-paths] [--scheme S] [--heap N] \
+         [--gc semispace|gen] [--nursery N] [--torture] [--stats]"
     );
     std::process::exit(2);
 }

@@ -10,7 +10,9 @@ use m3gc_frontend::error::{Diagnostic, Phase};
 use m3gc_ir::verify::VerifyError;
 use m3gc_runtime::scheduler::{ExecConfig, ExecError};
 
-use crate::{compile, compile_to_ir, run_module_with, Options};
+use m3gc_vm::machine::HeapStrategy;
+
+use crate::{compile, compile_to_ir, run_module_on, Options};
 
 /// Errors surfaced to the CLI user, structured by pipeline stage.
 ///
@@ -104,11 +106,23 @@ pub struct RunConfig {
     pub torture: bool,
     /// Print collection statistics after the program output.
     pub stats: bool,
+    /// Run under the generational collector (`--gc=gen`) instead of the
+    /// plain semispace collector.
+    pub generational: bool,
+    /// Nursery size in words (`--nursery N`); defaults to a quarter
+    /// semispace when generational.
+    pub nursery_words: Option<usize>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { semi_words: 1 << 16, torture: false, stats: false }
+        RunConfig {
+            semi_words: 1 << 16,
+            torture: false,
+            stats: false,
+            generational: false,
+            nursery_words: None,
+        }
     }
 }
 
@@ -140,12 +154,23 @@ pub fn run(source: &str, options: &Options, config: RunConfig) -> Result<String,
     // Surface malformed gc tables as a Decode error up front instead of a
     // panic inside the executor.
     let cache = DecodeCache::build(&module.gc_maps)?;
-    let exec = ExecConfig {
-        force_every_allocs: config.torture.then_some(1),
-        ..ExecConfig::default()
-    };
+    let exec =
+        ExecConfig { force_every_allocs: config.torture.then_some(1), ..ExecConfig::default() };
     let total_points = cache.index().gc_point_pcs().count();
-    let out = run_module_with(module, config.semi_words, exec)?;
+    let heap = if config.generational {
+        match HeapStrategy::generational_for(config.semi_words) {
+            HeapStrategy::Generational { nursery_words, promote_age } => {
+                HeapStrategy::Generational {
+                    nursery_words: config.nursery_words.unwrap_or(nursery_words),
+                    promote_age,
+                }
+            }
+            HeapStrategy::Semispace => unreachable!("generational_for is generational"),
+        }
+    } else {
+        HeapStrategy::Semispace
+    };
+    let out = run_module_on(module, config.semi_words, heap, exec)?;
     let mut s = out.output.clone();
     if config.stats {
         let _ = writeln!(
@@ -161,6 +186,24 @@ pub fn run(source: &str, options: &Options, config: RunConfig) -> Result<String,
             out.gc_total.decode_ops,
             total_points
         );
+        if config.generational {
+            let _ = writeln!(
+                s,
+                "--- generational: {} minor, {} major, {} object(s) promoted, {} remembered slot(s) live",
+                out.minor_collections,
+                out.major_collections,
+                out.gc_total.promoted_objects,
+                out.remembered_len
+            );
+            let _ = writeln!(
+                s,
+                "--- barriers: {} executed, {} recorded, {} deduped, {} filtered",
+                out.barrier.executed,
+                out.barrier.recorded,
+                out.barrier.deduped,
+                out.barrier.filtered()
+            );
+        }
     }
     Ok(s)
 }
@@ -195,13 +238,14 @@ pub fn tables(source: &str, options: &Options) -> Result<String, DriverError> {
     let mut s = String::new();
     for proc in &module.logical_maps.procs {
         let _ = writeln!(s, "procedure `{}` (entry pc {}):", proc.name, proc.entry_pc);
-        let _ = writeln!(s, "  ground table: {:?}", proc.ground.iter().map(ToString::to_string).collect::<Vec<_>>());
+        let _ = writeln!(
+            s,
+            "  ground table: {:?}",
+            proc.ground.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
         for pt in &proc.points {
-            let slots: Vec<String> = pt
-                .live_stack
-                .iter()
-                .map(|&i| proc.ground[i as usize].to_string())
-                .collect();
+            let slots: Vec<String> =
+                pt.live_stack.iter().map(|&i| proc.ground[i as usize].to_string()).collect();
             let _ = writeln!(s, "  gc-point pc {:>5}: stack {:?} regs {}", pt.pc, slots, pt.regs);
             for d in &pt.derivations {
                 let _ = writeln!(s, "     derivation {d}");
@@ -229,7 +273,13 @@ pub fn stats(source: &str, options: &Options) -> Result<String, DriverError> {
     );
     for scheme in Scheme::TABLE2 {
         let r = size_report(&module.logical_maps, scheme, module.code_size());
-        let _ = writeln!(s, "  {:<32} {:>6} B  {:>5.1}%", scheme.to_string(), r.total_bytes, r.percent_of_code);
+        let _ = writeln!(
+            s,
+            "  {:<32} {:>6} B  {:>5.1}%",
+            scheme.to_string(),
+            r.total_bytes,
+            r.percent_of_code
+        );
     }
     Ok(s)
 }
@@ -257,6 +307,31 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
                 let v = it.next().ok_or_else(|| DriverError::usage("--heap needs a value"))?;
                 config.semi_words =
                     v.parse().map_err(|_| DriverError::usage(format!("bad --heap value `{v}`")))?;
+            }
+            "--gc" | "--gc=semispace" | "--gc=gen" => {
+                let owned;
+                let v = if let Some(eq) = a.strip_prefix("--gc=") {
+                    owned = eq.to_string();
+                    &owned
+                } else {
+                    it.next().ok_or_else(|| DriverError::usage("--gc needs a value"))?
+                };
+                config.generational = match v.as_str() {
+                    "gen" => true,
+                    "semispace" => false,
+                    other => {
+                        return Err(DriverError::usage(format!(
+                            "unknown collector `{other}` (expected `semispace` or `gen`)"
+                        )))
+                    }
+                };
+            }
+            "--nursery" => {
+                let v = it.next().ok_or_else(|| DriverError::usage("--nursery needs a value"))?;
+                config.nursery_words = Some(
+                    v.parse()
+                        .map_err(|_| DriverError::usage(format!("bad --nursery value `{v}`")))?,
+                );
             }
             "--scheme" => {
                 let v = it.next().ok_or_else(|| DriverError::usage("--scheme needs a value"))?;
@@ -405,14 +480,75 @@ mod tests {
     }
 
     #[test]
-    fn option_parsing() {
-        let (o, c) =
-            parse_options(&["--o0".into(), "--heap".into(), "123".into(), "--scheme".into(), "pp".into()])
+    fn run_generational_matches_semispace_output() {
+        let (o, mut c) = parse_options(&["--gc".into(), "gen".into()]).unwrap();
+        assert!(c.generational);
+        c.semi_words = 4096;
+        c.nursery_words = Some(128);
+        let gen_out = run(ALLOCATING, &o, c).unwrap();
+        let (o2, mut c2) = parse_options(&[]).unwrap();
+        c2.semi_words = 4096;
+        let semi_out = run(ALLOCATING, &o2, c2).unwrap();
+        assert_eq!(gen_out, semi_out);
+        assert_eq!(gen_out, "1275");
+    }
+
+    #[test]
+    fn gen_stats_report_minor_major_split_and_barriers() {
+        let (o, mut c) =
+            parse_options(&["--gc=gen".into(), "--nursery".into(), "64".into(), "--stats".into()])
                 .unwrap();
+        assert!(c.generational);
+        assert_eq!(c.nursery_words, Some(64));
+        c.semi_words = 4096;
+        let out = run(ALLOCATING, &o, c).unwrap();
+        assert!(out.starts_with("1275"), "{out}");
+        // Existing stats lines stay intact...
+        assert!(out.contains("collection(s)"), "{out}");
+        assert!(out.contains("decode cache:"), "{out}");
+        // ...and the generational lines join them.
+        let gen_line = out
+            .lines()
+            .find(|l| l.contains("generational:"))
+            .unwrap_or_else(|| panic!("no generational line in {out}"));
+        assert!(gen_line.contains("minor") && gen_line.contains("major"), "{gen_line}");
+        assert!(gen_line.contains("remembered slot(s)"), "{gen_line}");
+        let minors: u64 = gen_line
+            .split_whitespace()
+            .nth(2)
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable generational line: {gen_line}"));
+        assert!(minors > 0, "{out}");
+        assert!(out.contains("barriers:"), "{out}");
+        // Semispace runs must not print the generational lines.
+        let (o2, mut c2) = parse_options(&["--stats".into()]).unwrap();
+        c2.semi_words = 4096;
+        let semi = run(ALLOCATING, &o2, c2).unwrap();
+        assert!(!semi.contains("generational:"), "{semi}");
+        assert!(!semi.contains("barriers:"), "{semi}");
+    }
+
+    #[test]
+    fn option_parsing() {
+        let (o, c) = parse_options(&[
+            "--o0".into(),
+            "--heap".into(),
+            "123".into(),
+            "--scheme".into(),
+            "pp".into(),
+        ])
+        .unwrap();
         assert_eq!(c.semi_words, 123);
         assert_eq!(o.codegen.scheme, Scheme::DELTA_MAIN_PP);
         assert!(parse_options(&["--bogus".into()]).is_err());
         assert!(parse_options(&["--scheme".into(), "nope".into()]).is_err());
         assert!(parse_options(&["--heap".into()]).is_err());
+        let (_, c) = parse_options(&["--gc".into(), "semispace".into()]).unwrap();
+        assert!(!c.generational);
+        let (_, c) = parse_options(&["--gc=gen".into()]).unwrap();
+        assert!(c.generational);
+        assert!(parse_options(&["--gc".into(), "mark-sweep".into()]).is_err());
+        assert!(parse_options(&["--gc".into()]).is_err());
+        assert!(parse_options(&["--nursery".into(), "x".into()]).is_err());
     }
 }

@@ -32,7 +32,7 @@ use m3gc_frontend::lower::LowerOptions;
 use m3gc_frontend::Diagnostic;
 use m3gc_opt::{OptLevel, OptOptions, PathStrategy};
 use m3gc_runtime::scheduler::{ExecConfig, ExecError, ExecOutcome, Executor};
-use m3gc_vm::machine::{Machine, MachineConfig};
+use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
 use m3gc_vm::VmModule;
 
 pub use m3gc_codegen::{CallPolicy, GcConfig};
@@ -163,9 +163,24 @@ pub fn run_module_with(
     semi_words: usize,
     config: ExecConfig,
 ) -> Result<ExecOutcome, ExecError> {
+    run_module_on(module, semi_words, HeapStrategy::default(), config)
+}
+
+/// Runs a compiled module with an explicit heap strategy (semispace or
+/// generational) and executor configuration.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`].
+pub fn run_module_on(
+    module: VmModule,
+    semi_words: usize,
+    heap: HeapStrategy,
+    config: ExecConfig,
+) -> Result<ExecOutcome, ExecError> {
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words, stack_words: 1 << 15, max_threads: 8 },
+        MachineConfig { semi_words, stack_words: 1 << 15, max_threads: 8, heap },
     );
     let mut ex = Executor::new(machine, config);
     ex.run_main()

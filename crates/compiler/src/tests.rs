@@ -16,8 +16,7 @@ fn check_all_configs(src: &str, semi_words: usize) {
         ("O2", Options::o2()),
         ("O2+split", Options::o2().with_path_strategy(PathStrategy::Splitting)),
     ] {
-        let got = compile_and_run(src, &opts, semi_words)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let got = compile_and_run(src, &opts, semi_words).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(got.output, expected, "{name} output mismatch");
     }
     // GC torture on the optimized build.

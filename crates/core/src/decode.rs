@@ -263,8 +263,7 @@ impl DecoderIndex {
         let i = self.point_index.binary_search_by_key(&pc, |&(p, _, _)| p).ok()?;
         let (_, proc_i, pt_i) = self.point_index[i];
         let idx = &self.procs[proc_i as usize];
-        let ground =
-            Self::read_ground(self.scheme, bytes, idx).expect("validated at construction");
+        let ground = Self::read_ground(self.scheme, bytes, idx).expect("validated at construction");
         let mut r = Reader { packing: self.scheme.packing, bytes, pos: idx.points_off };
         let mut point = DecodedPoint::default();
         for k in 0..=pt_i {
@@ -316,8 +315,9 @@ impl DecoderIndex {
                         for b in 0..32 {
                             if bits & (1 << b) != 0 {
                                 let gi = w * 32 + b;
-                                let entry =
-                                    ground.get(gi).ok_or_else(|| r.err("delta bit out of range"))?;
+                                let entry = ground
+                                    .get(gi)
+                                    .ok_or_else(|| r.err("delta bit out of range"))?;
                                 slots.push(*entry);
                             }
                         }
@@ -329,7 +329,8 @@ impl DecoderIndex {
                     let mut slots = Vec::with_capacity(n);
                     for _ in 0..n {
                         let w = r.word()?;
-                        slots.push(GroundEntry::from_word(w).ok_or_else(|| r.err("bad slot word"))?);
+                        slots
+                            .push(GroundEntry::from_word(w).ok_or_else(|| r.err("bad slot word"))?);
                     }
                     slots
                 }
@@ -351,7 +352,6 @@ impl DecoderIndex {
         };
         Ok(DecodedPoint { pc: 0, stack_slots, regs, derivations })
     }
-
 }
 
 impl<'a> TableDecoder<'a> {
@@ -441,8 +441,11 @@ impl<'a> TableDecoder<'a> {
         for idx in &self.index.procs {
             let ground = DecoderIndex::read_ground(self.index.scheme, self.bytes, idx)
                 .expect("validated at construction");
-            let mut r =
-                Reader { packing: self.index.scheme.packing, bytes: self.bytes, pos: idx.points_off };
+            let mut r = Reader {
+                packing: self.index.scheme.packing,
+                bytes: self.bytes,
+                pos: idx.points_off,
+            };
             let mut point = DecodedPoint::default();
             for k in 0..idx.n_points {
                 point = DecoderIndex::read_point(self.index.scheme, &mut r, &ground, &point)
@@ -538,11 +541,7 @@ impl DecodeCache {
         let procs = index
             .procs
             .iter()
-            .map(|p| ProcCacheState {
-                ground: None,
-                points: Vec::new(),
-                resume_pos: p.points_off,
-            })
+            .map(|p| ProcCacheState { ground: None, points: Vec::new(), resume_pos: p.points_off })
             .collect();
         DecodeCache { index, procs, module_token: None, counters: DecodeCounters::default() }
     }

@@ -86,9 +86,8 @@ impl DerivationRecord {
     #[must_use]
     pub fn target(&self) -> Location {
         match self {
-            DerivationRecord::Simple { target, .. } | DerivationRecord::Ambiguous { target, .. } => {
-                *target
-            }
+            DerivationRecord::Simple { target, .. }
+            | DerivationRecord::Ambiguous { target, .. } => *target,
         }
     }
 

@@ -289,11 +289,9 @@ fn encode_proc(sink: &mut Sink, proc: &ProcTables, scheme: Scheme) {
     let mut prev: Option<&GcPointTables> = None;
     for point in &proc.points {
         let mut desc = 0u8;
-        let stack_same = scheme.previous
-            && prev.is_some_and(|p| p.live_stack == point.live_stack);
+        let stack_same = scheme.previous && prev.is_some_and(|p| p.live_stack == point.live_stack);
         let regs_same = scheme.previous && prev.is_some_and(|p| p.regs == point.regs);
-        let der_same =
-            scheme.previous && prev.is_some_and(|p| p.derivations == point.derivations);
+        let der_same = scheme.previous && prev.is_some_and(|p| p.derivations == point.derivations);
         if point.live_stack.is_empty() {
             desc |= descriptor::STACK_EMPTY;
         } else if stack_same {

@@ -23,6 +23,38 @@ pub const RECORD_HEADER_WORDS: u32 = 1;
 /// Number of header words preceding an array's elements (type + length).
 pub const ARRAY_HEADER_WORDS: u32 = 2;
 
+/// Bit position of the object age field within a (non-negative) header word.
+///
+/// The low 32 bits of a live header hold the [`TypeId`]; the generational
+/// collector packs a small survival count above them. Forwarded objects
+/// store `-(new_addr + 1)` instead, so the age bits only ever matter while
+/// the object is live — they are dropped when the copy's header is written.
+pub const HEADER_AGE_SHIFT: u32 = 32;
+/// Maximum representable object age (saturating).
+pub const HEADER_AGE_MAX: u32 = 0xff;
+
+/// Extracts the type id from a live (non-negative) header word.
+#[must_use]
+pub fn header_type_id(header: i64) -> TypeId {
+    debug_assert!(header >= 0, "forwarded header has no type id");
+    TypeId(header as u32)
+}
+
+/// Extracts the survival count from a live (non-negative) header word.
+#[must_use]
+pub fn header_age(header: i64) -> u32 {
+    debug_assert!(header >= 0, "forwarded header has no age");
+    ((header >> HEADER_AGE_SHIFT) as u32) & HEADER_AGE_MAX
+}
+
+/// Returns `header` with its age field replaced by `age` (saturated).
+#[must_use]
+pub fn header_with_age(header: i64, age: u32) -> i64 {
+    debug_assert!(header >= 0, "forwarded header has no age");
+    let age = i64::from(age.min(HEADER_AGE_MAX));
+    (header & !((i64::from(HEADER_AGE_MAX)) << HEADER_AGE_SHIFT)) | (age << HEADER_AGE_SHIFT)
+}
+
 /// The shape of one heap-allocated type.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HeapType {
@@ -69,20 +101,35 @@ impl HeapType {
 
     /// Offsets (in words, relative to the object header) of every pointer
     /// field of an instance with `len` elements.
+    ///
+    /// Thin wrapper over [`HeapType::pointer_offset_iter`] kept for tests
+    /// and callers that want a materialised list; the collectors use the
+    /// iterator directly so the evacuation scan loop never allocates.
     pub fn pointer_offsets(&self, len: u32) -> Vec<u32> {
+        self.pointer_offset_iter(len).collect()
+    }
+
+    /// Allocation-free iterator over the offsets (in words, relative to the
+    /// object header) of every pointer field of an instance with `len`
+    /// elements (`len` ignored for records).
+    pub fn pointer_offset_iter(&self, len: u32) -> PointerOffsets<'_> {
         match self {
-            HeapType::Record { ptr_offsets, .. } => {
-                ptr_offsets.iter().map(|&o| RECORD_HEADER_WORDS + o).collect()
-            }
-            HeapType::Array { elem_words, elem_ptr_offsets, .. } => {
-                let mut out = Vec::with_capacity(elem_ptr_offsets.len() * len as usize);
-                for i in 0..len {
-                    for &o in elem_ptr_offsets {
-                        out.push(ARRAY_HEADER_WORDS + i * elem_words + o);
-                    }
-                }
-                out
-            }
+            HeapType::Record { ptr_offsets, .. } => PointerOffsets {
+                offsets: ptr_offsets,
+                next: 0,
+                elem: 0,
+                elems: 1,
+                base: RECORD_HEADER_WORDS,
+                stride: 0,
+            },
+            HeapType::Array { elem_words, elem_ptr_offsets, .. } => PointerOffsets {
+                offsets: elem_ptr_offsets,
+                next: 0,
+                elem: 0,
+                elems: len,
+                base: ARRAY_HEADER_WORDS,
+                stride: *elem_words,
+            },
         }
     }
 
@@ -95,6 +142,52 @@ impl HeapType {
         }
     }
 }
+
+/// Allocation-free iterator over an object's pointer-field offsets.
+///
+/// Borrowed from a [`HeapType`]; produced by
+/// [`HeapType::pointer_offset_iter`]. For records it walks the descriptor's
+/// offset list once; for arrays it replays the per-element pattern `elems`
+/// times, adding the element stride each pass.
+#[derive(Debug, Clone)]
+pub struct PointerOffsets<'a> {
+    offsets: &'a [u32],
+    next: usize,
+    elem: u32,
+    elems: u32,
+    base: u32,
+    stride: u32,
+}
+
+impl Iterator for PointerOffsets<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.offsets.is_empty() {
+            return None;
+        }
+        while self.elem < self.elems {
+            if let Some(&o) = self.offsets.get(self.next) {
+                self.next += 1;
+                return Some(self.base + self.elem * self.stride + o);
+            }
+            self.elem += 1;
+            self.next = 0;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.elem >= self.elems || self.offsets.is_empty() {
+            return (0, Some(0));
+        }
+        let remaining_elems = (self.elems - self.elem - 1) as usize;
+        let n = remaining_elems * self.offsets.len() + (self.offsets.len() - self.next);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PointerOffsets<'_> {}
 
 /// The module's table of heap type descriptors.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -159,6 +252,32 @@ mod tests {
         let t = HeapType::Array { name: "Ints".into(), elem_words: 1, elem_ptr_offsets: vec![] };
         assert!(!t.has_pointers());
         assert_eq!(t.pointer_offsets(10), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn offset_iterator_matches_vec_api() {
+        let rec = HeapType::Record { name: "R".into(), words: 5, ptr_offsets: vec![0, 2, 4] };
+        let arr = HeapType::Array { name: "A".into(), elem_words: 3, elem_ptr_offsets: vec![1, 2] };
+        for len in [0u32, 1, 2, 7] {
+            assert_eq!(rec.pointer_offset_iter(len).collect::<Vec<_>>(), rec.pointer_offsets(len));
+            assert_eq!(arr.pointer_offset_iter(len).collect::<Vec<_>>(), arr.pointer_offsets(len));
+            assert_eq!(arr.pointer_offset_iter(len).len(), arr.pointer_offsets(len).len());
+        }
+        assert_eq!(arr.pointer_offset_iter(2).collect::<Vec<_>>(), vec![3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn header_age_packing() {
+        let header = i64::from(TypeId(7).0);
+        assert_eq!(header_type_id(header), TypeId(7));
+        assert_eq!(header_age(header), 0);
+        let aged = header_with_age(header, 3);
+        assert_eq!(header_type_id(aged), TypeId(7));
+        assert_eq!(header_age(aged), 3);
+        assert!(aged >= 0, "aged headers must stay non-negative (forwarding uses sign)");
+        let sat = header_with_age(aged, HEADER_AGE_MAX + 10);
+        assert_eq!(header_age(sat), HEADER_AGE_MAX);
+        assert_eq!(header_with_age(sat, 0), header);
     }
 
     #[test]

@@ -153,7 +153,11 @@ pub fn unpack_word(bytes: &[u8], pos: usize) -> Result<(i32, usize), UnpackError
 /// # Errors
 ///
 /// Propagates [`UnpackError`] from [`unpack_word`].
-pub fn unpack_words(bytes: &[u8], pos: usize, count: usize) -> Result<(Vec<i32>, usize), UnpackError> {
+pub fn unpack_words(
+    bytes: &[u8],
+    pos: usize,
+    count: usize,
+) -> Result<(Vec<i32>, usize), UnpackError> {
     let mut words = Vec::with_capacity(count);
     let mut offset = 0;
     for _ in 0..count {

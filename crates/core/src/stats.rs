@@ -4,6 +4,59 @@
 use crate::encode::{encode_module, Scheme, SectionSizes};
 use crate::tables::ModuleTables;
 
+/// What kind of collection a `GcStats` record describes.
+///
+/// The seed system only had full-heap semispace collections; the
+/// generational extension splits the count into minor (nursery-only) and
+/// major (nursery + tenured) passes so `--stats` and the benches can price
+/// them separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GcKind {
+    /// Full-heap semispace collection (the seed collector).
+    #[default]
+    Full,
+    /// Generational minor collection: nursery + remembered set only.
+    Minor,
+    /// Generational major collection: nursery and tenured space together.
+    Major,
+}
+
+impl std::fmt::Display for GcKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GcKind::Full => write!(f, "full"),
+            GcKind::Minor => write!(f, "minor"),
+            GcKind::Major => write!(f, "major"),
+        }
+    }
+}
+
+/// Write-barrier event counters, sequential-store-buffer style.
+///
+/// `executed` counts dynamic barrier-store executions; `recorded` the
+/// subset that pushed a slot into the remembered set; `deduped` the subset
+/// filtered by the card-granularity duplicate cache. Executions that store
+/// NIL, a non-nursery value, or target a non-tenured slot are
+/// value-filtered and appear in none of the latter two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BarrierCounters {
+    /// Barrier store instructions executed.
+    pub executed: u64,
+    /// Slots recorded into the remembered set.
+    pub recorded: u64,
+    /// Slots skipped by the card-granularity dedup cache.
+    pub deduped: u64,
+}
+
+impl BarrierCounters {
+    /// Executions filtered before reaching the remembered set (NIL or
+    /// non-nursery value, non-tenured target, or dedup hit).
+    #[must_use]
+    pub fn filtered(&self) -> u64 {
+        self.executed.saturating_sub(self.recorded + self.deduped)
+    }
+}
+
 /// The per-program statistics of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TableStats {

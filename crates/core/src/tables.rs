@@ -69,7 +69,10 @@ impl ProcTables {
         for (i, p) in self.points.iter().enumerate() {
             if let Some(prev) = last_pc {
                 if p.pc <= prev {
-                    return Err(format!("{}: gc-point {i} pc {} not after {prev}", self.name, p.pc));
+                    return Err(format!(
+                        "{}: gc-point {i} pc {} not after {prev}",
+                        self.name, p.pc
+                    ));
                 }
             }
             last_pc = Some(p.pc);
@@ -84,7 +87,10 @@ impl ProcTables {
                 }
                 if let Some(prev) = last_idx {
                     if idx <= prev {
-                        return Err(format!("{}: gc-point {i} liveness indices not sorted", self.name));
+                        return Err(format!(
+                            "{}: gc-point {i} liveness indices not sorted",
+                            self.name
+                        ));
                     }
                 }
                 last_idx = Some(idx);

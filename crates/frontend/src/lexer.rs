@@ -303,9 +303,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, Diagnostic> {
             let mut v: i64 = 0;
             while matches!(lx.peek(), Some(c) if c.is_ascii_digit()) {
                 let d = lx.bump().expect("peeked") as i64 - '0' as i64;
-                v = v.checked_mul(10).and_then(|x| x.checked_add(d)).ok_or_else(|| {
-                    Diagnostic::new(Phase::Lex, pos, "integer literal overflows")
-                })?;
+                v = v
+                    .checked_mul(10)
+                    .and_then(|x| x.checked_add(d))
+                    .ok_or_else(|| Diagnostic::new(Phase::Lex, pos, "integer literal overflows"))?;
             }
             out.push(Spanned { tok: Tok::Int(v), pos });
             continue;
@@ -399,7 +400,11 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, Diagnostic> {
                 }
             }
             other => {
-                return Err(Diagnostic::new(Phase::Lex, pos, format!("unexpected character `{other}`")))
+                return Err(Diagnostic::new(
+                    Phase::Lex,
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ))
             }
         };
         out.push(Spanned { tok, pos });
@@ -445,12 +450,18 @@ mod tests {
             toks("[1..10]"),
             vec![Tok::LBracket, Tok::Int(1), Tok::DotDot, Tok::Int(10), Tok::RBracket, Tok::Eof]
         );
-        assert_eq!(toks("a.b"), vec![Tok::Ident("a".into()), Tok::Dot, Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            toks("a.b"),
+            vec![Tok::Ident("a".into()), Tok::Dot, Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn comments_nest() {
-        assert_eq!(toks("a (* x (* y *) z *) b"), vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            toks("a (* x (* y *) z *) b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -467,7 +478,10 @@ mod tests {
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(toks("< <= > >= = #"), vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Hash, Tok::Eof]);
+        assert_eq!(
+            toks("< <= > >= = #"),
+            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eq, Tok::Hash, Tok::Eof]
+        );
     }
 
     #[test]

@@ -83,11 +83,7 @@ enum Storage {
     /// Addressable scalar in a frame slot.
     Slot(SlotId),
     /// Local fixed array in a frame slot.
-    ArraySlot {
-        slot: SlotId,
-        lo: i64,
-        len: u32,
-    },
+    ArraySlot { slot: SlotId, lo: i64, len: u32 },
     /// VAR parameter: the temp holds the referent's address.
     RefParam(Temp),
     /// WITH alias of a designator.
@@ -186,11 +182,8 @@ impl<'a> Lowerer<'a> {
             }
             // REF of a scalar: a one-word record.
             _ => {
-                let ptr_offsets = if self.temp_kind_of(referent) == TempKind::Ptr {
-                    vec![0]
-                } else {
-                    vec![]
-                };
+                let ptr_offsets =
+                    if self.temp_kind_of(referent) == TempKind::Ptr { vec![0] } else { vec![] };
                 HeapType::Record { name: self.arena().display(referent), words: 1, ptr_offsets }
             }
         };
@@ -562,11 +555,9 @@ impl<'a> Lowerer<'a> {
                                 other => panic!("array variable with storage {other:?}"),
                             }
                         }
-                        NameRes::Global(g) => ArrLoc::GlobalArr {
-                            id: GlobalId(g),
-                            lo,
-                            len: (hi - lo + 1) as u32,
-                        },
+                        NameRes::Global(g) => {
+                            ArrLoc::GlobalArr { id: GlobalId(g), lo, len: (hi - lo + 1) as u32 }
+                        }
                         NameRes::Const(_) => panic!("constant as array"),
                     },
                     ExprKind::Deref(inner) => {
@@ -802,7 +793,13 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_short_circuit(&mut self, ctx: &mut ProcCtx<'_>, a: &Expr, b: &Expr, is_and: bool) -> Temp {
+    fn lower_short_circuit(
+        &mut self,
+        ctx: &mut ProcCtx<'_>,
+        a: &Expr,
+        b: &Expr,
+        is_and: bool,
+    ) -> Temp {
         let result = ctx.b.temp(TempKind::Int);
         let ta = self.eval_expr(ctx, a);
         ctx.b.push(Instr::Copy { dst: result, src: ta });
@@ -874,7 +871,8 @@ impl<'a> Lowerer<'a> {
         match b {
             Builtin::PutInt | Builtin::PutChar => {
                 let t = self.eval_expr(ctx, &args[0]);
-                let f = if b == Builtin::PutInt { RuntimeFn::PrintInt } else { RuntimeFn::PrintChar };
+                let f =
+                    if b == Builtin::PutInt { RuntimeFn::PrintInt } else { RuntimeFn::PrintChar };
                 ctx.b.call_runtime(f, vec![t]);
                 None
             }
@@ -907,8 +905,11 @@ impl<'a> Lowerer<'a> {
                 let y = self.eval_expr(ctx, &args[1]);
                 let result = ctx.b.temp(TempKind::Int);
                 ctx.b.push(Instr::Copy { dst: result, src: x });
-                let cmp =
-                    if b == Builtin::Min { ctx.b.bin(IrBin::Lt, y, x) } else { ctx.b.bin(IrBin::Gt, y, x) };
+                let cmp = if b == Builtin::Min {
+                    ctx.b.bin(IrBin::Lt, y, x)
+                } else {
+                    ctx.b.bin(IrBin::Gt, y, x)
+                };
                 let take_y = ctx.b.block();
                 let done = ctx.b.block();
                 ctx.b.br(cmp, take_y, done);
@@ -952,11 +953,8 @@ impl<'a> Lowerer<'a> {
             Builtin::Inc | Builtin::Dec => {
                 let lv = self.eval_designator(ctx, &args[0]);
                 let cur = self.load_lvalue(ctx, &lv, TempKind::Int);
-                let step = if args.len() == 2 {
-                    self.eval_expr(ctx, &args[1])
-                } else {
-                    ctx.b.constant(1)
-                };
+                let step =
+                    if args.len() == 2 { self.eval_expr(ctx, &args[1]) } else { ctx.b.constant(1) };
                 let next = if b == Builtin::Inc {
                     ctx.b.bin(IrBin::Add, cur, step)
                 } else {
@@ -1165,26 +1163,21 @@ mod tests {
 
     #[test]
     fn for_loop_sums() {
-        let out = run(
-            "MODULE M; VAR s, i: INTEGER;
-             BEGIN s := 0; FOR i := 1 TO 10 DO s := s + i; END; PutInt(s); END M.",
-        );
+        let out = run("MODULE M; VAR s, i: INTEGER;
+             BEGIN s := 0; FOR i := 1 TO 10 DO s := s + i; END; PutInt(s); END M.");
         assert_eq!(out, "55");
     }
 
     #[test]
     fn for_downto() {
-        let out = run(
-            "MODULE M; VAR i: INTEGER;
-             BEGIN FOR i := 3 TO 1 BY -1 DO PutInt(i); END; END M.",
-        );
+        let out = run("MODULE M; VAR i: INTEGER;
+             BEGIN FOR i := 3 TO 1 BY -1 DO PutInt(i); END; END M.");
         assert_eq!(out, "321");
     }
 
     #[test]
     fn heap_records_and_lists() {
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              TYPE List = REF RECORD head: INTEGER; tail: List END;
              VAR l, p: List; s: INTEGER;
              BEGIN
@@ -1195,15 +1188,13 @@ mod tests {
                s := 0;
                WHILE l # NIL DO s := s * 10 + l.head; l := l.tail; END;
                PutInt(s);
-             END M.",
-        );
+             END M.");
         assert_eq!(out, "321");
     }
 
     #[test]
     fn heap_fixed_arrays_with_lower_bound() {
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              TYPE A = REF ARRAY [7..13] OF INTEGER;
              VAR a: A; i, s: INTEGER;
              BEGIN
@@ -1212,15 +1203,13 @@ mod tests {
                s := 0;
                FOR i := FIRST(a) TO LAST(a) DO s := s + a[i]; END;
                PutInt(s);
-             END M.",
-        );
+             END M.");
         assert_eq!(out, "70");
     }
 
     #[test]
     fn open_arrays() {
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              TYPE V = REF ARRAY OF INTEGER;
              VAR v: V; i, s: INTEGER;
              BEGIN
@@ -1229,15 +1218,13 @@ mod tests {
                s := 0;
                FOR i := 0 TO LAST(v) DO s := s + v[i]; END;
                PutInt(s);
-             END M.",
-        );
+             END M.");
         assert_eq!(out, "30");
     }
 
     #[test]
     fn local_arrays_in_frame() {
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              PROCEDURE F(): INTEGER =
              VAR a: ARRAY [1..4] OF INTEGER; i, s: INTEGER;
              BEGIN
@@ -1246,30 +1233,26 @@ mod tests {
                FOR i := 1 TO 4 DO s := s + a[i]; END;
                RETURN s;
              END F;
-             BEGIN PutInt(F()); END M.",
-        );
+             BEGIN PutInt(F()); END M.");
         assert_eq!(out, "100");
     }
 
     #[test]
     fn var_params_on_locals_and_heap() {
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              TYPE R = REF RECORD x: INTEGER END;
              PROCEDURE Bump(VAR v: INTEGER) = BEGIN v := v + 1; END Bump;
              VAR r: R; n: INTEGER;
              BEGIN
                n := 5; Bump(n); PutInt(n);
                r := NEW(R); r.x := 10; Bump(r.x); PutInt(r.x);
-             END M.",
-        );
+             END M.");
         assert_eq!(out, "611");
     }
 
     #[test]
     fn with_aliases() {
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              TYPE A = REF ARRAY [1..3] OF INTEGER;
              VAR a: A; i: INTEGER;
              BEGIN
@@ -1278,23 +1261,20 @@ mod tests {
                  WITH h = a[i] DO h := i * 7; END;
                END;
                PutInt(a[1] + a[2] + a[3]);
-             END M.",
-        );
+             END M.");
         assert_eq!(out, "42");
     }
 
     #[test]
     fn short_circuit_evaluation() {
         // The second conjunct would trap on NIL if evaluated.
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              TYPE R = REF RECORD x: INTEGER END;
              VAR r: R;
              BEGIN
                r := NIL;
                IF (r # NIL) AND (r.x > 0) THEN PutInt(1); ELSE PutInt(0); END;
-             END M.",
-        );
+             END M.");
         assert_eq!(out, "0");
     }
 
@@ -1318,22 +1298,19 @@ mod tests {
 
     #[test]
     fn text_literals_allocate_char_arrays() {
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              TYPE S = REF ARRAY OF CHAR;
              VAR s: S; i: INTEGER;
              BEGIN
                s := \"hi!\";
                FOR i := 0 TO LAST(s) DO PutChar(ORD(s[i])); END;
-             END M.",
-        );
+             END M.");
         assert_eq!(out, "hi!");
     }
 
     #[test]
     fn exit_leaves_loop() {
-        let out = run(
-            "MODULE M; VAR i: INTEGER;
+        let out = run("MODULE M; VAR i: INTEGER;
              BEGIN
                i := 0;
                LOOP
@@ -1341,17 +1318,14 @@ mod tests {
                  IF i = 4 THEN EXIT; END;
                END;
                PutInt(i);
-             END M.",
-        );
+             END M.");
         assert_eq!(out, "4");
     }
 
     #[test]
     fn repeat_until() {
-        let out = run(
-            "MODULE M; VAR i: INTEGER;
-             BEGIN i := 0; REPEAT i := i + 2; UNTIL i >= 5; PutInt(i); END M.",
-        );
+        let out = run("MODULE M; VAR i: INTEGER;
+             BEGIN i := 0; REPEAT i := i + 2; UNTIL i >= 5; PutInt(i); END M.");
         assert_eq!(out, "6");
     }
 
@@ -1363,52 +1337,44 @@ mod tests {
 
     #[test]
     fn global_arrays() {
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              VAR g: ARRAY [2..4] OF INTEGER; i, s: INTEGER;
              BEGIN
                FOR i := 2 TO 4 DO g[i] := i; END;
                s := 0;
                FOR i := 2 TO 4 DO s := s + g[i]; END;
                PutInt(s);
-             END M.",
-        );
+             END M.");
         assert_eq!(out, "9");
     }
 
     #[test]
     fn recursion_fib() {
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              PROCEDURE Fib(n: INTEGER): INTEGER =
              BEGIN
                IF n < 2 THEN RETURN n; END;
                RETURN Fib(n - 1) + Fib(n - 2);
              END Fib;
-             BEGIN PutInt(Fib(12)); END M.",
-        );
+             BEGIN PutInt(Fib(12)); END M.");
         assert_eq!(out, "144");
     }
 
     #[test]
     fn min_max_abs() {
-        let out = run(
-            "MODULE M;
-             BEGIN PutInt(MIN(3, 5)); PutInt(MAX(3, 5)); PutInt(ABS(-7)); END M.",
-        );
+        let out = run("MODULE M;
+             BEGIN PutInt(MIN(3, 5)); PutInt(MAX(3, 5)); PutInt(ABS(-7)); END M.");
         assert_eq!(out, "357");
     }
 
     #[test]
     fn value_param_passed_by_var_elsewhere() {
         // A value parameter whose address is taken must be slot-allocated.
-        let out = run(
-            "MODULE M;
+        let out = run("MODULE M;
              PROCEDURE Bump(VAR v: INTEGER) = BEGIN v := v + 1; END Bump;
              PROCEDURE F(x: INTEGER): INTEGER =
              BEGIN Bump(x); RETURN x; END F;
-             BEGIN PutInt(F(41)); END M.",
-        );
+             BEGIN PutInt(F(41)); END M.");
         assert_eq!(out, "42");
     }
 
@@ -1426,7 +1392,8 @@ mod tests {
         );
         for f in &mut p.funcs {
             let deriv = m3gc_ir::deriv::analyze_and_resolve(f);
-            m3gc_ir::verify::verify_function(f, None, Some(&deriv)).unwrap_or_else(|e| panic!("{e}"));
+            m3gc_ir::verify::verify_function(f, None, Some(&deriv))
+                .unwrap_or_else(|e| panic!("{e}"));
         }
     }
 }

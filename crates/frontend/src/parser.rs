@@ -554,7 +554,9 @@ impl Parser {
                     module.procs.push(self.proc_decl()?);
                 }
                 Tok::Begin => break,
-                other => return self.err(format!("expected a declaration or BEGIN, found {other}")),
+                other => {
+                    return self.err(format!("expected a declaration or BEGIN, found {other}"))
+                }
             }
         }
         self.expect(&Tok::Begin)?;
@@ -659,7 +661,9 @@ mod tests {
         );
         assert_eq!(m.body.len(), 2);
         match &m.body[1].kind {
-            StmtKind::Call(e) => assert!(matches!(&e.kind, ExprKind::Call { name, .. } if name == "PutInt")),
+            StmtKind::Call(e) => {
+                assert!(matches!(&e.kind, ExprKind::Call { name, .. } if name == "PutInt"))
+            }
             other => panic!("expected call, got {other:?}"),
         }
     }
@@ -691,7 +695,9 @@ mod tests {
 
     #[test]
     fn operator_precedence() {
-        let m = parse_src("MODULE M; VAR x: BOOLEAN; a: INTEGER; BEGIN x := a + 1 * 2 < 3 AND NOT x; END M.");
+        let m = parse_src(
+            "MODULE M; VAR x: BOOLEAN; a: INTEGER; BEGIN x := a + 1 * 2 < 3 AND NOT x; END M.",
+        );
         // Shape: (a + (1*2)) < 3 AND (NOT x) → And(Lt(...), Not(x))
         let StmtKind::Assign { rhs, .. } = &m.body[0].kind else { panic!() };
         let ExprKind::Bin(BinOp::And, l, r) = &rhs.kind else { panic!("{rhs:?}") };

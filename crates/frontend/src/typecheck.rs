@@ -181,11 +181,9 @@ impl Checker {
             ExprKind::Int(v) => Ok(*v),
             ExprKind::CharLit(c) => Ok(*c),
             ExprKind::Bool(b) => Ok(i64::from(*b)),
-            ExprKind::Name(n) => self
-                .consts
-                .get(n)
-                .copied()
-                .ok_or_else(|| Diagnostic::new(Phase::Type, e.pos, format!("`{n}` is not a constant"))),
+            ExprKind::Name(n) => self.consts.get(n).copied().ok_or_else(|| {
+                Diagnostic::new(Phase::Type, e.pos, format!("`{n}` is not a constant"))
+            }),
             ExprKind::Un(UnOp::Neg, x) => Ok(self.const_eval(x)?.wrapping_neg()),
             ExprKind::Bin(op, a, b) => {
                 let (x, y) = (self.const_eval(a)?, self.const_eval(b)?);
@@ -216,9 +214,11 @@ impl Checker {
             TypeExprKind::Int => Ok(TypeArena::INT),
             TypeExprKind::Bool => Ok(TypeArena::BOOL),
             TypeExprKind::Char => Ok(TypeArena::CHAR),
-            TypeExprKind::Named(n) => self.named_types.get(n).copied().ok_or_else(|| {
-                Diagnostic::new(Phase::Type, te.pos, format!("unknown type `{n}`"))
-            }),
+            TypeExprKind::Named(n) => {
+                self.named_types.get(n).copied().ok_or_else(|| {
+                    Diagnostic::new(Phase::Type, te.pos, format!("unknown type `{n}`"))
+                })
+            }
             TypeExprKind::Ref(inner) => {
                 let t = self.convert_type(inner)?;
                 Ok(self.arena.add(Type::Ref(t)))
@@ -247,7 +247,10 @@ impl Checker {
                 for (name, fty) in fields {
                     let t = self.convert_type(fty)?;
                     if !self.word_type(t) {
-                        return terr(te.pos, format!("record field `{name}` must be a scalar or REF type"));
+                        return terr(
+                            te.pos,
+                            format!("record field `{name}` must be a scalar or REF type"),
+                        );
                     }
                     if fs.iter().any(|(n, _)| n == name) {
                         return terr(te.pos, format!("duplicate field `{name}`"));
@@ -320,9 +323,9 @@ impl Checker {
                 self.arena.add(Type::Ref(oa))
             }
             ExprKind::Name(n) => {
-                let res = self
-                    .lookup(n)
-                    .ok_or_else(|| Diagnostic::new(Phase::Type, e.pos, format!("unknown name `{n}`")))?;
+                let res = self.lookup(n).ok_or_else(|| {
+                    Diagnostic::new(Phase::Type, e.pos, format!("unknown name `{n}`"))
+                })?;
                 self.name_res.insert(e.id, res);
                 match res {
                     NameRes::Var(id) => self.vars[id as usize].ty,
@@ -338,13 +341,11 @@ impl Checker {
                     _ => bt,
                 };
                 match self.arena.get(rec_t).clone() {
-                    Type::Record { fields } => fields
-                        .iter()
-                        .find(|(n, _)| n == fname)
-                        .map(|(_, t)| *t)
-                        .ok_or_else(|| {
-                            Diagnostic::new(Phase::Type, e.pos, format!("no field `{fname}`"))
-                        })?,
+                    Type::Record { fields } => {
+                        fields.iter().find(|(n, _)| n == fname).map(|(_, t)| *t).ok_or_else(
+                            || Diagnostic::new(Phase::Type, e.pos, format!("no field `{fname}`")),
+                        )?
+                    }
                     other => {
                         return terr(
                             e.pos,
@@ -374,7 +375,9 @@ impl Checker {
                 let bt = self.check_expr(base)?;
                 match self.arena.get(bt) {
                     Type::Ref(inner) => *inner,
-                    other => return terr(e.pos, format!("`^` applied to non-REF {}", type_name(other))),
+                    other => {
+                        return terr(e.pos, format!("`^` applied to non-REF {}", type_name(other)))
+                    }
                 }
             }
             ExprKind::Un(UnOp::Neg, x) => {
@@ -396,13 +399,17 @@ impl Checker {
                 let tb = self.check_expr(b)?;
                 match op {
                     BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-                        if !self.arena.equal(ta, TypeArena::INT) || !self.arena.equal(tb, TypeArena::INT) {
+                        if !self.arena.equal(ta, TypeArena::INT)
+                            || !self.arena.equal(tb, TypeArena::INT)
+                        {
                             return terr(e.pos, "arithmetic needs INTEGER operands");
                         }
                         TypeArena::INT
                     }
                     BinOp::And | BinOp::Or => {
-                        if !self.arena.equal(ta, TypeArena::BOOL) || !self.arena.equal(tb, TypeArena::BOOL) {
+                        if !self.arena.equal(ta, TypeArena::BOOL)
+                            || !self.arena.equal(tb, TypeArena::BOOL)
+                        {
                             return terr(e.pos, "AND/OR need BOOLEAN operands");
                         }
                         TypeArena::BOOL
@@ -422,10 +429,15 @@ impl Checker {
                         TypeArena::BOOL
                     }
                     BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                        let both_int = self.arena.equal(ta, TypeArena::INT) && self.arena.equal(tb, TypeArena::INT);
-                        let both_char = self.arena.equal(ta, TypeArena::CHAR) && self.arena.equal(tb, TypeArena::CHAR);
+                        let both_int = self.arena.equal(ta, TypeArena::INT)
+                            && self.arena.equal(tb, TypeArena::INT);
+                        let both_char = self.arena.equal(ta, TypeArena::CHAR)
+                            && self.arena.equal(tb, TypeArena::CHAR);
                         if !(both_int || both_char) {
-                            return terr(e.pos, "ordering comparisons need INTEGER or CHAR operands");
+                            return terr(
+                                e.pos,
+                                "ordering comparisons need INTEGER or CHAR operands",
+                            );
                         }
                         TypeArena::BOOL
                     }
@@ -449,7 +461,9 @@ impl Checker {
                     (Type::OpenArray { .. }, None) => {
                         return terr(e.pos, "NEW of an open array needs a length")
                     }
-                    (_, Some(l)) => return terr(l.pos, "length argument only allowed for open arrays"),
+                    (_, Some(l)) => {
+                        return terr(l.pos, "length argument only allowed for open arrays")
+                    }
                     (_, None) => {}
                 }
                 self.new_types.insert(e.id, referent);
@@ -472,7 +486,11 @@ impl Checker {
             if sig.params.len() != args.len() {
                 return terr(
                     e.pos,
-                    format!("`{name}` expects {} argument(s), got {}", sig.params.len(), args.len()),
+                    format!(
+                        "`{name}` expects {} argument(s), got {}",
+                        sig.params.len(),
+                        args.len()
+                    ),
                 );
             }
             for (arg, (by_ref, pt)) in args.iter().zip(&sig.params) {
@@ -841,9 +859,10 @@ pub fn check(module: &Module) -> Result<Checked, Diagnostic> {
                 }
             }
             Type::Array { elem, .. } | Type::OpenArray { elem }
-                if (!ck.word_type(elem) || matches!(ck.arena.get(elem), Type::Unresolved)) => {
-                    return terr(module_pos, "array elements must be scalars or REF types");
-                }
+                if (!ck.word_type(elem) || matches!(ck.arena.get(elem), Type::Unresolved)) =>
+            {
+                return terr(module_pos, "array elements must be scalars or REF types");
+            }
             _ => {}
         }
     }
@@ -856,7 +875,10 @@ pub fn check(module: &Module) -> Result<Checked, Diagnostic> {
                 return terr(v.pos, "open arrays may only appear under REF");
             }
             Type::Record { .. } => {
-                return terr(v.pos, "record variables must be allocated with NEW (heap-only records)");
+                return terr(
+                    v.pos,
+                    "record variables must be allocated with NEW (heap-only records)",
+                );
             }
             _ => {}
         }
@@ -877,7 +899,10 @@ pub fn check(module: &Module) -> Result<Checked, Diagnostic> {
         let mut params = Vec::new();
         for formal in &p.formals {
             let t = ck.convert_type(&formal.ty)?;
-            if matches!(ck.arena.get(t), Type::OpenArray { .. } | Type::Record { .. } | Type::Array { .. }) {
+            if matches!(
+                ck.arena.get(t),
+                Type::OpenArray { .. } | Type::Record { .. } | Type::Array { .. }
+            ) {
                 return terr(p.pos, "parameters must be scalars or REF types");
             }
             for _ in &formal.names {
@@ -916,14 +941,18 @@ pub fn check(module: &Module) -> Result<Checked, Diagnostic> {
         for l in &p.locals {
             let t = ck.convert_type(&l.ty)?;
             match ck.arena.get(t) {
-                Type::OpenArray { .. } => return terr(l.pos, "open arrays may only appear under REF"),
-                Type::Record { .. } => {
-                    return terr(l.pos, "record variables must be allocated with NEW (heap-only records)")
+                Type::OpenArray { .. } => {
+                    return terr(l.pos, "open arrays may only appear under REF")
                 }
-                Type::Array { lo, hi, .. }
-                    if hi - lo + 1 > 4096 => {
-                        return terr(l.pos, "local array too large (limit 4096 elements)");
-                    }
+                Type::Record { .. } => {
+                    return terr(
+                        l.pos,
+                        "record variables must be allocated with NEW (heap-only records)",
+                    )
+                }
+                Type::Array { lo, hi, .. } if hi - lo + 1 > 4096 => {
+                    return terr(l.pos, "local array too large (limit 4096 elements)");
+                }
                 _ => {}
             }
             for name in &l.names {
@@ -1064,7 +1093,8 @@ mod tests {
 
     #[test]
     fn new_open_array_needs_length() {
-        let e = fails("MODULE M; TYPE A = REF ARRAY OF INTEGER; VAR a: A; BEGIN a := NEW(A); END M.");
+        let e =
+            fails("MODULE M; TYPE A = REF ARRAY OF INTEGER; VAR a: A; BEGIN a := NEW(A); END M.");
         assert!(e.message.contains("length"), "{e}");
     }
 

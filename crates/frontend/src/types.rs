@@ -138,17 +138,19 @@ impl TypeArena {
                 assumed.pop();
                 r
             }
-            (Type::Array { lo: l1, hi: h1, elem: e1 }, Type::Array { lo: l2, hi: h2, elem: e2 }) => {
-                l1 == l2 && h1 == h2 && self.equal_inner(*e1, *e2, assumed)
-            }
+            (
+                Type::Array { lo: l1, hi: h1, elem: e1 },
+                Type::Array { lo: l2, hi: h2, elem: e2 },
+            ) => l1 == l2 && h1 == h2 && self.equal_inner(*e1, *e2, assumed),
             (Type::OpenArray { elem: e1 }, Type::OpenArray { elem: e2 }) => {
                 self.equal_inner(*e1, *e2, assumed)
             }
             (Type::Record { fields: f1 }, Type::Record { fields: f2 }) => {
                 f1.len() == f2.len()
-                    && f1.iter().zip(f2).all(|((n1, t1), (n2, t2))| {
-                        n1 == n2 && self.equal_inner(*t1, *t2, assumed)
-                    })
+                    && f1
+                        .iter()
+                        .zip(f2)
+                        .all(|((n1, t1), (n2, t2))| n1 == n2 && self.equal_inner(*t1, *t2, assumed))
             }
             _ => false,
         }
@@ -198,7 +200,9 @@ impl TypeArena {
             Type::Array { lo, hi, elem } => {
                 format!("ARRAY [{lo}..{hi}] OF {}", self.display_depth(*elem, depth + 1))
             }
-            Type::OpenArray { elem } => format!("ARRAY OF {}", self.display_depth(*elem, depth + 1)),
+            Type::OpenArray { elem } => {
+                format!("ARRAY OF {}", self.display_depth(*elem, depth + 1))
+            }
             Type::Record { fields } => format!("RECORD ({} fields)", fields.len()),
         }
     }
@@ -239,10 +243,14 @@ mod tests {
         // Two separately declared list types must be equal.
         let mut a = TypeArena::new();
         let l1 = a.add(Type::Unresolved);
-        let rec1 = a.add(Type::Record { fields: vec![("head".into(), TypeArena::INT), ("tail".into(), l1)] });
+        let rec1 = a.add(Type::Record {
+            fields: vec![("head".into(), TypeArena::INT), ("tail".into(), l1)],
+        });
         a.resolve(l1, Type::Ref(rec1));
         let l2 = a.add(Type::Unresolved);
-        let rec2 = a.add(Type::Record { fields: vec![("head".into(), TypeArena::INT), ("tail".into(), l2)] });
+        let rec2 = a.add(Type::Record {
+            fields: vec![("head".into(), TypeArena::INT), ("tail".into(), l2)],
+        });
         a.resolve(l2, Type::Ref(rec2));
         assert!(a.equal(l1, l2));
         assert!(a.equal(rec1, rec2));

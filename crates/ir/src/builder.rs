@@ -208,7 +208,8 @@ mod tests {
 
     #[test]
     fn builds_a_diamond() {
-        let mut b = FuncBuilder::with_ret("max", &[TempKind::Int, TempKind::Int], Some(TempKind::Int));
+        let mut b =
+            FuncBuilder::with_ret("max", &[TempKind::Int, TempKind::Int], Some(TempKind::Int));
         let (x, y) = (b.param(0), b.param(1));
         let c = b.bin(BinOp::Lt, x, y);
         let bt = b.block();

@@ -158,7 +158,9 @@ fn def_bases(ins: &Instr, ptr_like: &[bool]) -> Option<Vec<(Temp, Sign)>> {
 fn ptr_like_fixpoint(f: &Function) -> Vec<bool> {
     let n = f.temp_count();
     let mut ptr_like: Vec<bool> = (0..n)
-        .map(|i| f.temp_kinds[i] == TempKind::Ptr || f.byref_params.get(i).copied().unwrap_or(false))
+        .map(|i| {
+            f.temp_kinds[i] == TempKind::Ptr || f.byref_params.get(i).copied().unwrap_or(false)
+        })
         .collect();
     loop {
         let mut changed = false;
@@ -225,7 +227,9 @@ pub fn analyze_and_resolve(f: &mut Function) -> DerivAnalysis {
     // Fixpoint on the pointer-like set: derivedness feeds back into base
     // extraction (a base may be a derived temp).
     let mut ptr_like: Vec<bool> = (0..n)
-        .map(|i| f.temp_kinds[i] == TempKind::Ptr || f.byref_params.get(i).copied().unwrap_or(false))
+        .map(|i| {
+            f.temp_kinds[i] == TempKind::Ptr || f.byref_params.get(i).copied().unwrap_or(false)
+        })
         .collect();
     loop {
         let mut changed = false;
@@ -284,10 +288,8 @@ pub fn analyze_and_resolve(f: &mut Function) -> DerivAnalysis {
     // Assign path variables to ambiguous temps and record the variant index
     // chosen at each def.
     let mut path_vars: Vec<Option<Temp>> = vec![None; n];
-    let ambiguous: Vec<Temp> = (0..n as u32)
-        .map(Temp)
-        .filter(|&t| derived(t) && variants[t.index()].len() > 1)
-        .collect();
+    let ambiguous: Vec<Temp> =
+        (0..n as u32).map(Temp).filter(|&t| derived(t) && variants[t.index()].len() > 1).collect();
     for &t in &ambiguous {
         path_vars[t.index()] = Some(f.new_temp(TempKind::Int));
     }
@@ -391,13 +393,13 @@ mod tests {
     /// in the other; a path variable must be introduced.
     #[test]
     fn ambiguous_derivation_gets_path_variable() {
-        let mut f = Function::new("t", FuncId(0), &[TempKind::Ptr, TempKind::Ptr, TempKind::Int], None);
+        let mut f =
+            Function::new("t", FuncId(0), &[TempKind::Ptr, TempKind::Ptr, TempKind::Int], None);
         let t = f.new_temp(TempKind::Int);
         let bt = f.new_block();
         let bf = f.new_block();
         let join = f.new_block();
-        f.block_mut(f.entry).term =
-            Terminator::Br { cond: Temp(2), then_bb: bt, else_bb: bf };
+        f.block_mut(f.entry).term = Terminator::Br { cond: Temp(2), then_bb: bt, else_bb: bf };
         f.block_mut(bt).instrs.push(Instr::Bin { dst: t, op: BinOp::Add, a: Temp(0), b: Temp(2) });
         f.block_mut(bt).term = Terminator::Jump(join);
         f.block_mut(bf).instrs.push(Instr::Bin { dst: t, op: BinOp::Add, a: Temp(1), b: Temp(2) });

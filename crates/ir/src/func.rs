@@ -113,7 +113,12 @@ pub struct Function {
 impl Function {
     /// Creates an empty function with the given parameter kinds.
     #[must_use]
-    pub fn new(name: impl Into<String>, id: FuncId, params: &[TempKind], ret_kind: Option<TempKind>) -> Function {
+    pub fn new(
+        name: impl Into<String>,
+        id: FuncId,
+        params: &[TempKind],
+        ret_kind: Option<TempKind>,
+    ) -> Function {
         Function {
             name: name.into(),
             id,
@@ -235,7 +240,12 @@ impl Program {
     /// added before use).
     #[must_use]
     pub fn new() -> Program {
-        Program { funcs: Vec::new(), globals: Vec::new(), types: TypeTable::default(), main: FuncId(0) }
+        Program {
+            funcs: Vec::new(),
+            globals: Vec::new(),
+            types: TypeTable::default(),
+            main: FuncId(0),
+        }
     }
 
     /// Adds a function, returning its id. The function's `id` field is
@@ -276,7 +286,8 @@ impl Program {
         let n = self.funcs.len();
         let mut allocating = vec![false; n];
         for (i, f) in self.funcs.iter().enumerate() {
-            if f.blocks.iter().any(|b| b.instrs.iter().any(|ins| matches!(ins, Instr::New { .. }))) {
+            if f.blocks.iter().any(|b| b.instrs.iter().any(|ins| matches!(ins, Instr::New { .. })))
+            {
                 allocating[i] = true;
             }
         }
@@ -347,7 +358,8 @@ mod tests {
 
     #[test]
     fn function_construction() {
-        let mut f = Function::new("f", FuncId(0), &[TempKind::Ptr, TempKind::Int], Some(TempKind::Int));
+        let mut f =
+            Function::new("f", FuncId(0), &[TempKind::Ptr, TempKind::Int], Some(TempKind::Int));
         assert_eq!(f.n_params, 2);
         assert!(f.is_ptr(Temp(0)));
         assert!(!f.is_ptr(Temp(1)));

@@ -81,7 +81,10 @@ impl BinOp {
     /// True if the operator is commutative.
     #[must_use]
     pub fn commutative(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+        )
     }
 }
 
@@ -296,7 +299,9 @@ impl Instr {
                 out.push(*src);
             }
             Instr::StoreSlot { src, .. } | Instr::StoreGlobal { src, .. } => out.push(*src),
-            Instr::Call { args, .. } | Instr::CallRuntime { args, .. } => out.extend(args.iter().copied()),
+            Instr::Call { args, .. } | Instr::CallRuntime { args, .. } => {
+                out.extend(args.iter().copied())
+            }
             Instr::New { len, .. } => out.extend(len.iter().copied()),
         }
     }

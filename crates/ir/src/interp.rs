@@ -123,7 +123,12 @@ impl<'a> Interp<'a> {
     /// Returns a [`Trap`] on abnormal termination.
     pub fn run(mut self) -> Result<Outcome, Trap> {
         let result = self.exec(self.program.main, &[])?;
-        Ok(Outcome { result, output: self.output, steps: self.steps, allocations: self.allocations })
+        Ok(Outcome {
+            result,
+            output: self.output,
+            steps: self.steps,
+            allocations: self.allocations,
+        })
     }
 
     fn read(&self, addr: i64) -> Result<i64, Trap> {
@@ -342,7 +347,8 @@ mod tests {
     #[test]
     fn heap_allocation_and_fields() {
         let mut p = Program::new();
-        let ty = p.types.add(HeapType::Record { name: "Pair".into(), words: 2, ptr_offsets: vec![] });
+        let ty =
+            p.types.add(HeapType::Record { name: "Pair".into(), words: 2, ptr_offsets: vec![] });
         let mut b = FuncBuilder::with_ret("main", &[], Some(TempKind::Int));
         let obj = b.new_object(ty, None);
         let v = b.constant(99);

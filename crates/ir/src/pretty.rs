@@ -42,7 +42,14 @@ fn fmt_term(t: &Terminator) -> String {
 #[must_use]
 pub fn function_to_string(f: &Function) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "func {} ({} params, {} temps, {} slots):", f.name, f.n_params, f.temp_count(), f.slots.len());
+    let _ = writeln!(
+        s,
+        "func {} ({} params, {} temps, {} slots):",
+        f.name,
+        f.n_params,
+        f.temp_count(),
+        f.slots.len()
+    );
     for b in f.block_ids() {
         let _ = writeln!(s, "{b}:");
         for ins in &f.block(b).instrs {
@@ -73,7 +80,8 @@ mod tests {
 
     #[test]
     fn renders_instructions() {
-        let mut b = FuncBuilder::with_ret("add", &[TempKind::Int, TempKind::Int], Some(TempKind::Int));
+        let mut b =
+            FuncBuilder::with_ret("add", &[TempKind::Int, TempKind::Int], Some(TempKind::Int));
         let t = b.bin(BinOp::Add, b.param(0), b.param(1));
         b.ret(Some(t));
         let s = function_to_string(&b.finish());

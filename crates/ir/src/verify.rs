@@ -72,12 +72,15 @@ pub fn verify_function(
             }
             match ins {
                 Instr::Bin { dst, op, a, b } => {
-                    if (ptr_like(*a) || ptr_like(*b)) && !matches!(op, BinOp::Add | BinOp::Sub)
+                    if (ptr_like(*a) || ptr_like(*b))
+                        && !matches!(op, BinOp::Add | BinOp::Sub)
                         && !op.is_comparison()
                     {
                         return Err(err(
                             f,
-                            format!("non-invertible operator {op} on pointer-like operand in b{bi}"),
+                            format!(
+                                "non-invertible operator {op} on pointer-like operand in b{bi}"
+                            ),
                         ));
                     }
                     if f.is_ptr(*dst) {
@@ -87,35 +90,37 @@ pub fn verify_function(
                         ));
                     }
                 }
-                Instr::Un { dst, .. }
-                    if f.is_ptr(*dst) => {
-                        return Err(err(f, format!("unary op defines declared pointer {dst} in b{bi}")));
-                    }
-                Instr::Const { dst, value }
-                    if f.is_ptr(*dst) && *value != 0 => {
-                        return Err(err(
-                            f,
-                            format!("non-NIL constant into declared pointer {dst} in b{bi}"),
-                        ));
-                    }
-                Instr::Copy { dst, src }
-                    if f.is_ptr(*dst) && !f.is_ptr(*src) => {
-                        return Err(err(
-                            f,
-                            format!("copy of non-pointer {src} into declared pointer {dst} in b{bi}"),
-                        ));
-                    }
-                Instr::Store { src, .. }
-                    if is_derived(*src) => {
-                        return Err(err(f, format!("derived value {src} stored to heap in b{bi}")));
-                    }
+                Instr::Un { dst, .. } if f.is_ptr(*dst) => {
+                    return Err(err(
+                        f,
+                        format!("unary op defines declared pointer {dst} in b{bi}"),
+                    ));
+                }
+                Instr::Const { dst, value } if f.is_ptr(*dst) && *value != 0 => {
+                    return Err(err(
+                        f,
+                        format!("non-NIL constant into declared pointer {dst} in b{bi}"),
+                    ));
+                }
+                Instr::Copy { dst, src } if f.is_ptr(*dst) && !f.is_ptr(*src) => {
+                    return Err(err(
+                        f,
+                        format!("copy of non-pointer {src} into declared pointer {dst} in b{bi}"),
+                    ));
+                }
+                Instr::Store { src, .. } if is_derived(*src) => {
+                    return Err(err(f, format!("derived value {src} stored to heap in b{bi}")));
+                }
                 Instr::StoreSlot { slot, offset, src } => {
                     let info = f
                         .slots
                         .get(slot.index())
                         .ok_or_else(|| err(f, format!("slot {slot} out of range in b{bi}")))?;
                     if *offset >= info.words {
-                        return Err(err(f, format!("slot {slot} offset {offset} out of range in b{bi}")));
+                        return Err(err(
+                            f,
+                            format!("slot {slot} offset {offset} out of range in b{bi}"),
+                        ));
                     }
                     if is_derived(*src) {
                         return Err(err(f, format!("derived value {src} stored to slot in b{bi}")));
@@ -127,23 +132,23 @@ pub fn verify_function(
                         .get(slot.index())
                         .ok_or_else(|| err(f, format!("slot {slot} out of range in b{bi}")))?;
                     if *offset >= info.words {
-                        return Err(err(f, format!("slot {slot} offset {offset} out of range in b{bi}")));
+                        return Err(err(
+                            f,
+                            format!("slot {slot} offset {offset} out of range in b{bi}"),
+                        ));
                     }
                 }
-                Instr::SlotAddr { slot, .. }
-                    if slot.index() >= f.slots.len() => {
-                        return Err(err(f, format!("slot {slot} out of range in b{bi}")));
-                    }
-                Instr::StoreGlobal { src, .. }
-                    if is_derived(*src) => {
-                        return Err(err(f, format!("derived value {src} stored to global in b{bi}")));
-                    }
+                Instr::SlotAddr { slot, .. } if slot.index() >= f.slots.len() => {
+                    return Err(err(f, format!("slot {slot} out of range in b{bi}")));
+                }
+                Instr::StoreGlobal { src, .. } if is_derived(*src) => {
+                    return Err(err(f, format!("derived value {src} stored to global in b{bi}")));
+                }
                 Instr::Call { func, args, .. } => {
                     if let Some(p) = program {
-                        let callee = p
-                            .funcs
-                            .get(func.index())
-                            .ok_or_else(|| err(f, format!("call target {func} out of range in b{bi}")))?;
+                        let callee = p.funcs.get(func.index()).ok_or_else(|| {
+                            err(f, format!("call target {func} out of range in b{bi}"))
+                        })?;
                         if callee.n_params != args.len() {
                             return Err(err(
                                 f,
@@ -157,13 +162,12 @@ pub fn verify_function(
                         }
                     }
                 }
-                Instr::CallRuntime { func, args, .. }
-                    if args.len() != func.arity() => {
-                        return Err(err(
-                            f,
-                            format!("runtime call {func} passes {} args in b{bi}", args.len()),
-                        ));
-                    }
+                Instr::CallRuntime { func, args, .. } if args.len() != func.arity() => {
+                    return Err(err(
+                        f,
+                        format!("runtime call {func} passes {} args in b{bi}", args.len()),
+                    ));
+                }
                 Instr::New { ty, .. } => {
                     if let Some(p) = program {
                         if ty.0 as usize >= p.types.len() {
@@ -256,7 +260,8 @@ mod tests {
     #[test]
     fn rejects_bad_arity() {
         let mut p = Program::new();
-        let mut callee = Function::new("two_args", FuncId(0), &[TempKind::Int, TempKind::Int], None);
+        let mut callee =
+            Function::new("two_args", FuncId(0), &[TempKind::Int, TempKind::Int], None);
         callee.blocks[0].term = crate::instr::Terminator::Ret(None);
         let callee_id = p.add_func(callee);
         let mut b = FuncBuilder::new("caller", &[]);

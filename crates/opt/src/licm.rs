@@ -45,11 +45,8 @@ fn def_counts(f: &Function) -> Vec<u32> {
 /// edge source. Returns its id.
 pub fn ensure_preheader(f: &mut Function, l: &NaturalLoop) -> BlockId {
     let preds = cfg::predecessors(f);
-    let outside: Vec<BlockId> = preds[l.header.index()]
-        .iter()
-        .copied()
-        .filter(|p| !l.contains(*p))
-        .collect();
+    let outside: Vec<BlockId> =
+        preds[l.header.index()].iter().copied().filter(|p| !l.contains(*p)).collect();
     // An existing unique outside predecessor that only jumps to the header
     // already serves as preheader.
     if outside.len() == 1 {
@@ -260,9 +257,8 @@ mod tests {
         // The invariant def must now be outside the loop body.
         let loops = cfg::natural_loops(&f);
         let l = &loops[0];
-        let still_inside = l.body.iter().any(|&b| {
-            f.block(b).instrs.iter().any(|ins| ins.def() == Some(inv))
-        });
+        let still_inside =
+            l.body.iter().any(|&b| f.block(b).instrs.iter().any(|ins| ins.def() == Some(inv)));
         assert!(!still_inside, "invariant def left inside the loop");
     }
 
@@ -296,7 +292,7 @@ mod tests {
         b.jump(header);
         let lim = {
             b.switch_to(header);
-            
+
             b.constant(10)
         };
         let c = b.bin(BinOp::Lt, i, lim);
@@ -324,7 +320,11 @@ mod tests {
             .filter(|b| !l.contains(*b))
             .flat_map(|b| &f.block(b).instrs)
             .any(|ins| matches!(ins, Instr::Bin { op: BinOp::Add, a, .. } if *a == Temp(0)));
-        assert!(vo_outside, "virtual origin not hoisted: {}", m3gc_ir::pretty::function_to_string(&f));
+        assert!(
+            vo_outside,
+            "virtual origin not hoisted: {}",
+            m3gc_ir::pretty::function_to_string(&f)
+        );
     }
 
     #[test]

@@ -58,9 +58,8 @@ impl BlockState {
 
     /// Invalidate all memory-derived facts (on stores, calls, allocations).
     fn kill_memory(&mut self) {
-        self.table.retain(|k, _| {
-            !matches!(k, Key::Load(..) | Key::LoadSlot(..) | Key::LoadGlobal(..))
-        });
+        self.table
+            .retain(|k, _| !matches!(k, Key::Load(..) | Key::LoadSlot(..) | Key::LoadGlobal(..)));
     }
 
     /// A temp was (re)defined: any table entry whose representative is the
@@ -194,10 +193,7 @@ mod tests {
         let mut f = b.finish();
         let n = local_value_numbering(&mut f);
         assert!(n >= 1);
-        assert!(matches!(
-            f.blocks[0].instrs[2],
-            Instr::Const { value: 42, .. }
-        ));
+        assert!(matches!(f.blocks[0].instrs[2], Instr::Const { value: 42, .. }));
         let out = m3gc_ir::interp::run_program(&wrap(f)).unwrap();
         assert_eq!(out.result, Some(42));
     }

@@ -66,11 +66,9 @@ fn thread_jumps(f: &mut Function) -> usize {
         let term = f.block(b).term.clone();
         let new_term = match term {
             Terminator::Jump(t) => Terminator::Jump(resolve(t)),
-            Terminator::Br { cond, then_bb, else_bb } => Terminator::Br {
-                cond,
-                then_bb: resolve(then_bb),
-                else_bb: resolve(else_bb),
-            },
+            Terminator::Br { cond, then_bb, else_bb } => {
+                Terminator::Br { cond, then_bb: resolve(then_bb), else_bb: resolve(else_bb) }
+            }
             r @ Terminator::Ret(_) => r,
         };
         if new_term != f.block(b).term {
@@ -122,7 +120,8 @@ fn remove_unreachable(f: &mut Function) -> usize {
     let removed = f.blocks.len() - reachable.len();
     let mut new_blocks = Vec::with_capacity(reachable.len());
     for &b in &reachable {
-        let mut block = std::mem::replace(f.block_mut(b), m3gc_ir::Block::new(Terminator::Ret(None)));
+        let mut block =
+            std::mem::replace(f.block_mut(b), m3gc_ir::Block::new(Terminator::Ret(None)));
         match &mut block.term {
             Terminator::Jump(t) => *t = remap[t.index()].expect("reachable successor"),
             Terminator::Br { then_bb, else_bb, .. } => {

@@ -49,10 +49,9 @@ fn try_split(f: &mut Function, t: Temp) -> bool {
     // Locate t's defining blocks.
     let mut def_blocks: Vec<BlockId> = Vec::new();
     for b in f.block_ids() {
-        if f.block(b).instrs.iter().any(|i| i.def() == Some(t))
-            && !def_blocks.contains(&b) {
-                def_blocks.push(b);
-            }
+        if f.block(b).instrs.iter().any(|i| i.def() == Some(t)) && !def_blocks.contains(&b) {
+            def_blocks.push(b);
+        }
     }
     if def_blocks.len() != 2 || t.index() < f.n_params {
         return false;
@@ -74,10 +73,8 @@ fn try_split(f: &mut Function, t: Temp) -> bool {
 
     // The region: blocks where t is live-in, plus the entry.
     let lv = liveness(f, None);
-    let mut region: Vec<BlockId> = f
-        .block_ids()
-        .filter(|b| lv.live_in[b.index()].contains(t.index()))
-        .collect();
+    let mut region: Vec<BlockId> =
+        f.block_ids().filter(|b| lv.live_in[b.index()].contains(t.index())).collect();
     if !region.contains(&entry) {
         region.push(entry);
     }

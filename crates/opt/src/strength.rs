@@ -141,9 +141,7 @@ fn reduce_loop(f: &mut Function, l: &NaturalLoop) -> usize {
         let loops_now = cfg::natural_loops(f);
         let Some(l_now) = loops_now.iter().find(|x| x.header == l.header) else { continue };
         let pre = super::licm::ensure_preheader(f, l_now);
-        f.block_mut(pre)
-            .instrs
-            .push(Instr::Bin { dst: sr, op: BinOp::Add, a: c.base, b: iv.iv });
+        f.block_mut(pre).instrs.push(Instr::Bin { dst: sr, op: BinOp::Add, a: c.base, b: iv.iv });
         // Replace the address computation with a copy of sr. Re-locate the
         // defining instruction by its dst (positions may have shifted).
         let (bid, _) = c.at;
@@ -279,11 +277,9 @@ mod tests {
         strength_reduce(&mut f);
         let deriv = m3gc_ir::deriv::analyze_and_resolve(&mut f);
         // Some new temp must be derived from the pointer param.
-        let derived_from_param = (0..f.temp_count() as u32).map(Temp).any(|t| {
-            deriv
-                .deriv(t)
-                .is_some_and(|k| k.base_temps().any(|b| b == Temp(0)))
-        });
+        let derived_from_param = (0..f.temp_count() as u32)
+            .map(Temp)
+            .any(|t| deriv.deriv(t).is_some_and(|k| k.base_temps().any(|b| b == Temp(0))));
         assert!(derived_from_param, "strength-reduced pointer not derived from base");
     }
 

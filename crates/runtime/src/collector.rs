@@ -12,17 +12,32 @@ use std::time::{Duration, Instant};
 
 use m3gc_core::decode::{DecodeCache, DecodeCounters};
 use m3gc_core::heap::{HeapType, TypeId, ARRAY_HEADER_WORDS};
+use m3gc_core::stats::GcKind;
 use m3gc_vm::machine::Machine;
 
-use crate::trace::{gather_global_roots, gather_stack_roots, read_root, write_root, RootRef};
+use crate::trace::{
+    gather_global_roots, gather_stack_roots, read_root, write_root, RootRef, StackRoots,
+};
 
 /// Statistics for one collection.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcStats {
+    /// What kind of collection this was (full / minor / major).
+    pub kind: GcKind,
     /// Objects evacuated.
     pub objects_copied: u64,
     /// Words evacuated (including headers).
     pub words_copied: u64,
+    /// Objects promoted from the nursery to tenured space (generational
+    /// collections only; a subset of `objects_copied`).
+    pub promoted_objects: u64,
+    /// Words promoted to tenured space.
+    pub promoted_words: u64,
+    /// Remembered-set slots drained and processed (minor collections).
+    pub remembered_processed: u64,
+    /// Remembered-set slots re-recorded for surviving old→young edges
+    /// (minor collections).
+    pub remembered_added: u64,
     /// Tidy root references processed.
     pub roots: u64,
     /// Derived values un-derived and re-derived.
@@ -42,6 +57,31 @@ pub struct GcStats {
     pub trace_time: Duration,
     /// Total collection time.
     pub total_time: Duration,
+}
+
+/// Step 1 of the derived-value update (§3): recover `E := derived − Σ
+/// ±base` using the old base values, in un-derive order (callee frames
+/// before callers, derived values before their bases, as gathered).
+pub(crate) fn un_derive(m: &mut Machine, stack: &StackRoots) {
+    for d in &stack.derivations {
+        let mut v = read_root(m, d.target);
+        for &(b, sign) in &d.bases {
+            v -= sign.factor() * read_root(m, b);
+        }
+        write_root(m, d.target, v);
+    }
+}
+
+/// Step 2 of the derived-value update (§3): `derived := E + Σ ±base` from
+/// the relocated bases, in exactly the reverse of the un-derive order.
+pub(crate) fn re_derive(m: &mut Machine, stack: &StackRoots) {
+    for d in stack.derivations.iter().rev() {
+        let mut v = read_root(m, d.target);
+        for &(b, sign) in &d.bases {
+            v += sign.factor() * read_root(m, b);
+        }
+        write_root(m, d.target, v);
+    }
 }
 
 /// Forwards one object pointer, copying the object on first visit.
@@ -97,13 +137,7 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
 
     // Step 1 of the derived-value update: recover E from the old bases,
     // derived-before-base order (as emitted), callee frames first.
-    for d in &stack.derivations {
-        let mut v = read_root(m, d.target);
-        for &(b, sign) in &d.bases {
-            v -= sign.factor() * read_root(m, b);
-        }
-        write_root(m, d.target, v);
-    }
+    un_derive(m, &stack);
     let trace_end = t0.elapsed();
 
     // --- Evacuate. ---
@@ -112,7 +146,10 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
     let mut free = to_start;
     let types = m.module.types.clone();
 
-    let mut forward_root = |mem: &mut Vec<i64>, threads: &mut Vec<m3gc_vm::machine::Thread>, r: RootRef, stats: &mut GcStats| {
+    let mut forward_root = |mem: &mut Vec<i64>,
+                            threads: &mut Vec<m3gc_vm::machine::Thread>,
+                            r: RootRef,
+                            stats: &mut GcStats| {
         let v = match r {
             RootRef::Mem(a) => mem[a as usize],
             RootRef::Reg { thread, reg } => threads[thread as usize].regs[reg as usize],
@@ -157,7 +194,7 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
                 HeapType::Record { .. } => 0,
             };
             let words = i64::from(ty.object_words(len as u32));
-            for off in ty.pointer_offsets(len as u32) {
+            for off in ty.pointer_offset_iter(len as u32) {
                 let slot = scan + i64::from(off);
                 let v = mem[slot as usize];
                 if v == 0 {
@@ -174,13 +211,7 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
 
     // Step 2: re-derive from the relocated bases, in reverse order.
     let t2 = Instant::now();
-    for d in stack.derivations.iter().rev() {
-        let mut v = read_root(m, d.target);
-        for &(b, sign) in &d.bases {
-            v += sign.factor() * read_root(m, b);
-        }
-        write_root(m, d.target, v);
-    }
+    re_derive(m, &stack);
     let rederive_time = t2.elapsed();
 
     m.finish_collection(free);
@@ -190,7 +221,7 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
 }
 
 /// Folds one stack walk's decode-cache counter delta into the stats.
-fn record_decode_work(stats: &mut GcStats, delta: DecodeCounters) {
+pub(crate) fn record_decode_work(stats: &mut GcStats, delta: DecodeCounters) {
     stats.decode_hits = delta.hits;
     stats.decode_misses = delta.misses;
     stats.decode_ops = delta.points_decoded;
@@ -209,20 +240,8 @@ pub fn trace_only(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
     stats.frames_traced = stack.frames as u64;
     stats.roots = (stack.tidy.len() + globals.len()) as u64;
     stats.derived_updated = stack.derivations.len() as u64;
-    for d in &stack.derivations {
-        let mut v = read_root(m, d.target);
-        for &(b, sign) in &d.bases {
-            v -= sign.factor() * read_root(m, b);
-        }
-        write_root(m, d.target, v);
-    }
-    for d in stack.derivations.iter().rev() {
-        let mut v = read_root(m, d.target);
-        for &(b, sign) in &d.bases {
-            v += sign.factor() * read_root(m, b);
-        }
-        write_root(m, d.target, v);
-    }
+    un_derive(m, &stack);
+    re_derive(m, &stack);
     stats.trace_time = t0.elapsed();
     stats.total_time = stats.trace_time;
     stats

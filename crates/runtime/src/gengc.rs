@@ -1,0 +1,426 @@
+//! The generational copying collector.
+//!
+//! Builds on the same precise-root machinery as the full semispace
+//! collector (`crate::collector`): compiler-emitted tables locate every
+//! pointer in stacks, registers and globals, and derived values are
+//! updated with the paper's two-step §3 protocol. What changes is the
+//! heap: ordinary allocation bumps through a small nursery, and a **minor
+//! collection** evacuates only the live nursery objects — the roots are
+//! the usual precise set *plus* the remembered set of tenured slots the
+//! compiler-emitted write barrier recorded (tenured→nursery stores).
+//! Survivors age through the two nursery halves; at `promote_age`
+//! survivals they are promoted into the tenured from-space. A **major
+//! collection** evacuates nursery and tenured space together into the
+//! tenured to-space, emptying the nursery and the remembered set.
+//!
+//! Ordering with the derived-value update is unchanged from the full
+//! collector: un-derive (callee-before-caller, derived-before-base) →
+//! evacuate → re-derive in exact reverse order. A derived value whose base
+//! is tenured simply re-derives from an unmoved base during minor
+//! collections; one whose base is a nursery object follows it to the
+//! to-half or tenured space.
+//!
+//! Soundness of the remembered set rests on two invariants:
+//!
+//! 1. Slots enter the buffer only when the compiler proved the store was a
+//!    pointer store ([`m3gc_vm::isa::Instr::StB`]) or when the type
+//!    descriptor lists the slot as a pointer field (eager remembering of
+//!    oversized, directly tenured allocations). Every entry is therefore a
+//!    tidy pointer slot, and processing is idempotent.
+//! 2. The barrier may be *elided* only for stores whose target is provably
+//!    nursery-fresh (no gc-point between allocation and store — no
+//!    collection can intervene) or provably outside the heap; neither can
+//!    create an unrecorded tenured→nursery edge.
+
+use std::time::Instant;
+
+use m3gc_core::decode::DecodeCache;
+use m3gc_core::heap::{header_age, header_type_id, header_with_age, HeapType, TypeTable};
+use m3gc_core::stats::GcKind;
+use m3gc_vm::machine::{Machine, Thread, VmTrap};
+
+use crate::collector::{re_derive, record_decode_work, un_derive, GcStats};
+use crate::trace::{gather_global_roots, gather_stack_roots, RootRef};
+
+fn read_ref(mem: &[i64], threads: &[Thread], r: RootRef) -> i64 {
+    match r {
+        RootRef::Mem(a) => mem[a as usize],
+        RootRef::Reg { thread, reg } => threads[thread as usize].regs[reg as usize],
+    }
+}
+
+fn write_ref(mem: &mut [i64], threads: &mut [Thread], r: RootRef, v: i64) {
+    match r {
+        RootRef::Mem(a) => mem[a as usize] = v,
+        RootRef::Reg { thread, reg } => threads[thread as usize].regs[reg as usize] = v,
+    }
+}
+
+/// Picks and runs the appropriate generational collection: minor by
+/// default, escalating to major when the machine requested one (oversized
+/// allocation failure, or no allocation progress after a minor) or when
+/// the tenured free space can no longer absorb a worst-case promotion of
+/// the whole live nursery.
+///
+/// # Errors
+///
+/// Returns [`VmTrap::OutOfMemory`] if a major collection's survivors
+/// exceed the tenured semispace. The machine state is not usable
+/// afterwards; the program is dead.
+pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> Result<GcStats, VmTrap> {
+    if m.wants_major_gc || m.tenured_free() < m.nursery_used() {
+        major_collect(m, cache)
+    } else {
+        Ok(minor_collect(m, cache))
+    }
+}
+
+/// Evacuation state of a minor collection: two copy destinations (the
+/// nursery to-half for young survivors, the tenured frontier for promoted
+/// ones) and the aging threshold.
+struct MinorSpaces {
+    young_from_start: i64,
+    young_from_end: i64,
+    young_to_start: i64,
+    young_to_end: i64,
+    young_free: i64,
+    tenured_free: i64,
+    tenured_limit: i64,
+    promote_age: u32,
+}
+
+impl MinorSpaces {
+    fn in_young_from(&self, v: i64) -> bool {
+        (self.young_from_start..self.young_from_end).contains(&v)
+    }
+
+    fn in_young_to(&self, v: i64) -> bool {
+        (self.young_to_start..self.young_to_end).contains(&v)
+    }
+
+    /// Forwards one nursery object, copying on first visit: to the tenured
+    /// frontier once its survival count reaches the promotion age, into
+    /// the nursery to-half otherwise. Returns the new address.
+    fn forward(
+        &mut self,
+        mem: &mut [i64],
+        types: &TypeTable,
+        stats: &mut GcStats,
+        addr: i64,
+    ) -> i64 {
+        let header = mem[addr as usize];
+        if header < 0 {
+            // Already forwarded: header holds -(new+1).
+            return -(header + 1);
+        }
+        let ty = types.get(header_type_id(header));
+        let len = match ty {
+            HeapType::Array { .. } => mem[addr as usize + 1],
+            HeapType::Record { .. } => 0,
+        };
+        let words = i64::from(ty.object_words(len as u32));
+        let age = header_age(header) + 1;
+        let promote = age >= self.promote_age;
+        let new = if promote {
+            assert!(
+                self.tenured_free + words <= self.tenured_limit,
+                "promotion overflow despite the headroom precondition"
+            );
+            let a = self.tenured_free;
+            self.tenured_free += words;
+            a
+        } else {
+            let a = self.young_free;
+            self.young_free += words;
+            a
+        };
+        mem.copy_within(addr as usize..(addr + words) as usize, new as usize);
+        mem[new as usize] = header_with_age(header, age);
+        mem[addr as usize] = -(new + 1);
+        stats.objects_copied += 1;
+        stats.words_copied += words as u64;
+        if promote {
+            stats.promoted_objects += 1;
+            stats.promoted_words += words as u64;
+        }
+        new
+    }
+}
+
+/// Runs a minor collection. Every non-finished thread must be stopped at
+/// a gc-point, and the tenured from-space must have at least
+/// `nursery_used()` free words (the scheduler's escalation policy
+/// guarantees this worst-case promotion headroom by going major instead).
+///
+/// # Panics
+///
+/// Panics if the headroom precondition is violated, or on corrupted heap
+/// state / missing tables (compiler/runtime bugs).
+pub fn minor_collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
+    let t0 = Instant::now();
+    let mut stats = GcStats { kind: GcKind::Minor, ..GcStats::default() };
+    assert!(m.is_generational(), "minor collection on a semispace heap");
+    assert!(m.tenured_free() >= m.nursery_used(), "minor collection without promotion headroom");
+
+    // --- Locate tables and walk the stacks (the traced part). ---
+    let before = cache.counters();
+    let stack = gather_stack_roots(m, cache);
+    let globals = gather_global_roots(m);
+    record_decode_work(&mut stats, cache.counters().since(before));
+    stats.frames_traced = stack.frames as u64;
+    stats.roots = (stack.tidy.len() + globals.len()) as u64;
+    stats.derived_updated = stack.derivations.len() as u64;
+    un_derive(m, &stack);
+    let trace_end = t0.elapsed();
+
+    // --- Evacuate the live nursery. ---
+    let (young_from_start, _) = m.nursery_from_space();
+    let (young_to_start, young_to_end) = m.nursery_to_space();
+    let mut spaces = MinorSpaces {
+        young_from_start,
+        // Only the allocated prefix of the active half can hold objects.
+        young_from_end: m.alloc_ptr,
+        young_to_start,
+        young_to_end,
+        young_free: young_to_start,
+        tenured_free: m.tenured_alloc_ptr,
+        tenured_limit: m.tenured_space().1,
+        promote_age: m.promote_age(),
+    };
+    let tenured_scan_start = spaces.tenured_free;
+    let remembered = m.take_remembered_slots();
+    stats.remembered_processed = remembered.len() as u64;
+    // Old→young edges that survive the collection, re-recorded after the
+    // flip: remembered slots still pointing at young survivors, plus any
+    // young field of a freshly promoted object.
+    let mut still_remembered: Vec<i64> = Vec::new();
+    let types = m.module.types.clone();
+
+    {
+        let Machine { mem, threads, .. } = m;
+        // Precise roots: globals, then stack slots and registers.
+        for &r in globals.iter().chain(&stack.tidy) {
+            let v = read_ref(mem, threads, r);
+            if v == 0 || !spaces.in_young_from(v) {
+                // NIL, tenured, or an already-updated duplicate root:
+                // nothing to move in a minor collection.
+                continue;
+            }
+            let new = spaces.forward(mem, &types, &mut stats, v);
+            write_ref(mem, threads, r, new);
+        }
+        // Remembered tenured slots. Values that are no longer nursery
+        // pointers (overwritten since the barrier fired) are stale entries
+        // and are dropped.
+        for &slot in &remembered {
+            let v = mem[slot as usize];
+            if !spaces.in_young_from(v) {
+                continue;
+            }
+            let new = spaces.forward(mem, &types, &mut stats, v);
+            mem[slot as usize] = new;
+            if spaces.in_young_to(new) {
+                still_remembered.push(slot);
+            }
+        }
+        // Cheney scan over both destination regions. Young survivors and
+        // promoted objects each append to their own frontier, and scanning
+        // one region can grow the other, so loop until both catch up.
+        let mut young_scan = young_to_start;
+        let mut tenured_scan = tenured_scan_start;
+        loop {
+            let before_y = spaces.young_free;
+            let before_t = spaces.tenured_free;
+            while young_scan < spaces.young_free {
+                young_scan += scan_object(
+                    mem,
+                    &types,
+                    &mut spaces,
+                    &mut stats,
+                    young_scan,
+                    false,
+                    &mut still_remembered,
+                );
+            }
+            while tenured_scan < spaces.tenured_free {
+                tenured_scan += scan_object(
+                    mem,
+                    &types,
+                    &mut spaces,
+                    &mut stats,
+                    tenured_scan,
+                    true,
+                    &mut still_remembered,
+                );
+            }
+            if spaces.young_free == before_y && spaces.tenured_free == before_t {
+                break;
+            }
+        }
+    }
+
+    // Step 2: re-derive from the relocated bases, in reverse order.
+    let t2 = Instant::now();
+    re_derive(m, &stack);
+    let rederive_time = t2.elapsed();
+
+    m.finish_minor_collection(spaces.young_free, spaces.tenured_free);
+    stats.remembered_added = still_remembered.len() as u64;
+    for slot in still_remembered {
+        m.remember_slot(slot);
+    }
+    stats.trace_time = trace_end + rederive_time;
+    stats.total_time = t0.elapsed();
+    stats
+}
+
+/// Scans one evacuated object, forwarding its nursery fields; returns the
+/// object's size in words. When the object lives in tenured space
+/// (`resident_tenured`), fields left pointing at young survivors are
+/// recorded as surviving old→young edges.
+fn scan_object(
+    mem: &mut [i64],
+    types: &TypeTable,
+    spaces: &mut MinorSpaces,
+    stats: &mut GcStats,
+    addr: i64,
+    resident_tenured: bool,
+    still_remembered: &mut Vec<i64>,
+) -> i64 {
+    let header = mem[addr as usize];
+    assert!(header >= 0, "forwarded header in a destination region at {addr}");
+    let ty = types.get(header_type_id(header));
+    let len = match ty {
+        HeapType::Array { .. } => mem[addr as usize + 1],
+        HeapType::Record { .. } => 0,
+    };
+    for off in ty.pointer_offset_iter(len as u32) {
+        let slot = addr + i64::from(off);
+        let v = mem[slot as usize];
+        if !spaces.in_young_from(v) || v == 0 {
+            continue;
+        }
+        let new = spaces.forward(mem, types, stats, v);
+        mem[slot as usize] = new;
+        if resident_tenured && spaces.in_young_to(new) {
+            still_remembered.push(slot);
+        }
+    }
+    i64::from(ty.object_words(len as u32))
+}
+
+/// Forwards one object into the tenured to-space during a major
+/// collection, copying on first visit. Unlike the semispace collector's
+/// version, evacuation can overflow (nursery + tenured survivors may
+/// exceed one semispace), so this reports [`VmTrap::OutOfMemory`] instead
+/// of trusting the space bound.
+fn forward_major(
+    mem: &mut [i64],
+    types: &TypeTable,
+    free: &mut i64,
+    to_end: i64,
+    stats: &mut GcStats,
+    addr: i64,
+) -> Result<i64, VmTrap> {
+    let header = mem[addr as usize];
+    if header < 0 {
+        return Ok(-(header + 1));
+    }
+    let ty = types.get(header_type_id(header));
+    let len = match ty {
+        HeapType::Array { .. } => mem[addr as usize + 1],
+        HeapType::Record { .. } => 0,
+    };
+    let words = i64::from(ty.object_words(len as u32));
+    if *free + words > to_end {
+        return Err(VmTrap::OutOfMemory);
+    }
+    let new = *free;
+    *free += words;
+    mem.copy_within(addr as usize..(addr + words) as usize, new as usize);
+    // Ages only matter inside the nursery; tenured headers stay clean.
+    mem[new as usize] = header_with_age(header, 0);
+    mem[addr as usize] = -(new + 1);
+    stats.objects_copied += 1;
+    stats.words_copied += words as u64;
+    Ok(new)
+}
+
+/// Runs a major collection: evacuates the live nursery *and* the tenured
+/// from-space into the tenured to-space (everything is promoted), leaving
+/// the nursery empty and the remembered set clear. Every non-finished
+/// thread must be stopped at a gc-point.
+///
+/// # Errors
+///
+/// Returns [`VmTrap::OutOfMemory`] if the survivors exceed the tenured
+/// to-space; the machine state is not usable afterwards.
+///
+/// # Panics
+///
+/// Panics on corrupted heap state or missing tables.
+pub fn major_collect(m: &mut Machine, cache: &mut DecodeCache) -> Result<GcStats, VmTrap> {
+    let t0 = Instant::now();
+    let mut stats = GcStats { kind: GcKind::Major, ..GcStats::default() };
+    assert!(m.is_generational(), "major collection on a semispace heap");
+
+    let before = cache.counters();
+    let stack = gather_stack_roots(m, cache);
+    let globals = gather_global_roots(m);
+    record_decode_work(&mut stats, cache.counters().since(before));
+    stats.frames_traced = stack.frames as u64;
+    stats.roots = (stack.tidy.len() + globals.len()) as u64;
+    stats.derived_updated = stack.derivations.len() as u64;
+    un_derive(m, &stack);
+    let trace_end = t0.elapsed();
+
+    let (young_start, _) = m.nursery_from_space();
+    let young_end = m.alloc_ptr;
+    let (old_start, _) = m.tenured_space();
+    let old_end = m.tenured_alloc_ptr;
+    let (to_start, to_end) = m.tenured_to_space();
+    let mut free = to_start;
+    let types = m.module.types.clone();
+    let in_from =
+        |v: i64| (young_start..young_end).contains(&v) || (old_start..old_end).contains(&v);
+
+    {
+        let Machine { mem, threads, .. } = m;
+        for &r in globals.iter().chain(&stack.tidy) {
+            let v = read_ref(mem, threads, r);
+            if v == 0 || !in_from(v) {
+                continue;
+            }
+            let new = forward_major(mem, &types, &mut free, to_end, &mut stats, v)?;
+            write_ref(mem, threads, r, new);
+        }
+        let mut scan = to_start;
+        while scan < free {
+            let header = mem[scan as usize];
+            assert!(header >= 0, "forwarded header in to-space at {scan}");
+            let ty = types.get(header_type_id(header));
+            let len = match ty {
+                HeapType::Array { .. } => mem[scan as usize + 1],
+                HeapType::Record { .. } => 0,
+            };
+            for off in ty.pointer_offset_iter(len as u32) {
+                let slot = scan + i64::from(off);
+                let v = mem[slot as usize];
+                if v == 0 || !in_from(v) {
+                    continue;
+                }
+                mem[slot as usize] = forward_major(mem, &types, &mut free, to_end, &mut stats, v)?;
+            }
+            scan += i64::from(ty.object_words(len as u32));
+        }
+    }
+
+    let t2 = Instant::now();
+    re_derive(m, &stack);
+    let rederive_time = t2.elapsed();
+
+    m.finish_major_collection(free);
+    stats.trace_time = trace_end + rederive_time;
+    stats.total_time = t0.elapsed();
+    Ok(stats)
+}

@@ -16,6 +16,7 @@
 //!   wait), then the collector runs.
 
 pub mod collector;
+pub mod gengc;
 pub mod scheduler;
 pub mod trace;
 

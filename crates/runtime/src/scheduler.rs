@@ -6,9 +6,11 @@
 //! loop gc-points), then the collector runs and everyone resumes.
 
 use m3gc_core::decode::{DecodeCache, DecodeError};
+use m3gc_core::stats::{BarrierCounters, GcKind};
 use m3gc_vm::machine::{Machine, RunOutcome, ThreadStatus, VmTrap};
 
 use crate::collector::{self, GcStats};
+use crate::gengc;
 
 /// What happens when a collection is due.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,10 +61,18 @@ pub struct ExecOutcome {
     pub output: String,
     /// Collections performed.
     pub collections: u64,
+    /// Minor collections performed (generational heaps only).
+    pub minor_collections: u64,
+    /// Major collections performed (generational heaps only).
+    pub major_collections: u64,
     /// Aggregate collection statistics.
     pub gc_total: GcStats,
     /// Per-collection statistics.
     pub gc_each: Vec<GcStats>,
+    /// Write-barrier counters accumulated over the run.
+    pub barrier: BarrierCounters,
+    /// Remembered-set size at the end of the run.
+    pub remembered_len: usize,
     /// Instructions executed.
     pub steps: u64,
 }
@@ -173,8 +183,11 @@ impl Executor {
         Ok(())
     }
 
-    fn do_collection(&mut self) {
+    fn do_collection(&mut self) -> Result<(), ExecError> {
         let stats = match self.config.gc_mode {
+            GcMode::Full if self.machine.is_generational() => {
+                gengc::collect(&mut self.machine, &mut self.cache).map_err(ExecError::Trap)?
+            }
             GcMode::Full => collector::collect(&mut self.machine, &mut self.cache),
             GcMode::TraceOnly => {
                 let s = collector::trace_only(&mut self.machine, &mut self.cache);
@@ -206,6 +219,7 @@ impl Executor {
             }
         };
         self.gc_each.push(stats);
+        Ok(())
     }
 
     /// Runs until every thread finishes.
@@ -235,22 +249,30 @@ impl Executor {
                     RunOutcome::Finished | RunOutcome::OutOfFuel | RunOutcome::AtGcPoint => {}
                     RunOutcome::Trap(t) => return Err(ExecError::Trap(t)),
                     RunOutcome::NeedGc => {
-                        let forced = self
-                            .next_forced
-                            .is_some_and(|n| self.machine.allocations >= n);
+                        let forced =
+                            self.next_forced.is_some_and(|n| self.machine.allocations >= n);
                         if forced {
-                            let every = self.config.force_every_allocs.expect("forced implies configured");
+                            let every =
+                                self.config.force_every_allocs.expect("forced implies configured");
                             self.next_forced = Some(self.machine.allocations + every.max(1));
                             self.machine.force_gc_after = self.next_forced;
                         } else if last_gc_allocations == Some(self.machine.allocations) {
-                            // Out-of-memory: no allocation progress since
-                            // the previous (real) collection.
-                            return Err(ExecError::Trap(VmTrap::OutOfMemory));
+                            // No allocation progress since the previous
+                            // (real) collection. On a generational heap a
+                            // fruitless minor escalates to a major before
+                            // giving up; a fruitless major is the end.
+                            let last_major =
+                                self.gc_each.last().is_some_and(|s| s.kind == GcKind::Major);
+                            if self.machine.is_generational() && !last_major {
+                                self.machine.wants_major_gc = true;
+                            } else {
+                                return Err(ExecError::Trap(VmTrap::OutOfMemory));
+                            }
                         } else {
                             last_gc_allocations = Some(self.machine.allocations);
                         }
                         self.advance_all()?;
-                        self.do_collection();
+                        self.do_collection()?;
                     }
                 }
                 continue 'sched;
@@ -262,6 +284,10 @@ impl Executor {
         let gc_total = self.gc_each.iter().fold(GcStats::default(), |mut acc, s| {
             acc.objects_copied += s.objects_copied;
             acc.words_copied += s.words_copied;
+            acc.promoted_objects += s.promoted_objects;
+            acc.promoted_words += s.promoted_words;
+            acc.remembered_processed += s.remembered_processed;
+            acc.remembered_added += s.remembered_added;
             acc.roots += s.roots;
             acc.derived_updated += s.derived_updated;
             acc.frames_traced += s.frames_traced;
@@ -275,8 +301,14 @@ impl Executor {
         Ok(ExecOutcome {
             output: self.machine.output.clone(),
             collections: self.gc_each.len() as u64,
+            minor_collections: self.gc_each.iter().filter(|s| s.kind == GcKind::Minor).count()
+                as u64,
+            major_collections: self.gc_each.iter().filter(|s| s.kind == GcKind::Major).count()
+                as u64,
             gc_total,
             gc_each: self.gc_each.clone(),
+            barrier: self.machine.barrier,
+            remembered_len: self.machine.remembered_len(),
             steps: self.machine.steps,
         })
     }

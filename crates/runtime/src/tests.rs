@@ -4,9 +4,9 @@
 //! IR interpreter (which never collects).
 
 use m3gc_codegen::{compile_program, CodegenOptions};
-use m3gc_vm::machine::{Machine, MachineConfig};
+use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
 
-use crate::scheduler::{ExecConfig, Executor, GcMode};
+use crate::scheduler::{ExecConfig, ExecOutcome, Executor, GcMode};
 
 fn compile(src: &str) -> m3gc_vm::VmModule {
     let mut prog = m3gc_frontend::compile_to_ir(src).unwrap_or_else(|e| panic!("{e}"));
@@ -24,7 +24,12 @@ fn run_with_heap(src: &str, semi_words: usize) -> (String, u64) {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words, stack_words: 1 << 14, max_threads: 4 },
+        MachineConfig {
+            semi_words,
+            stack_words: 1 << 14,
+            max_threads: 4,
+            ..MachineConfig::default()
+        },
     );
     let mut ex = Executor::new(machine, ExecConfig::default());
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}\noutput: {}", ex.machine.output));
@@ -243,12 +248,15 @@ fn gc_torture_collects_at_every_gc_point() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 4096, stack_words: 4096, max_threads: 2 },
+        MachineConfig {
+            semi_words: 4096,
+            stack_words: 4096,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
-    let mut ex = Executor::new(
-        machine,
-        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
-    );
+    let mut ex =
+        Executor::new(machine, ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() });
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(out.output, expected);
     assert!(out.collections >= 20, "got {}", out.collections);
@@ -268,7 +276,12 @@ fn trace_only_mode_preserves_semantics() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 1 << 16, stack_words: 4096, max_threads: 2 },
+        MachineConfig {
+            semi_words: 1 << 16,
+            stack_words: 4096,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
     let mut ex = Executor::new(
         machine,
@@ -295,19 +308,28 @@ fn out_of_memory_is_detected() {
              l := Grow(l, i);
            END;
          END M.
-         ".replace(
-            "l := Grow(l, i);",
-            "WITH c2 = NEW(List) DO c2.head := i; c2.tail := l; l := c2; END;",
-        );
+         "
+    .replace(
+        "l := Grow(l, i);",
+        "WITH c2 = NEW(List) DO c2.head := i; c2.tail := l; l := c2; END;",
+    );
     let module = compile(&src);
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 512, stack_words: 4096, max_threads: 2 },
+        MachineConfig {
+            semi_words: 512,
+            stack_words: 4096,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
     let mut ex = Executor::new(machine, ExecConfig::default());
     let r = ex.run_main();
     assert_eq!(
-        r.err().map(|e| matches!(e, crate::scheduler::ExecError::Trap(m3gc_vm::machine::VmTrap::OutOfMemory))),
+        r.err().map(|e| matches!(
+            e,
+            crate::scheduler::ExecError::Trap(m3gc_vm::machine::VmTrap::OutOfMemory)
+        )),
         Some(true)
     );
 }
@@ -335,24 +357,28 @@ fn two_threads_advance_to_gc_points() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 128, stack_words: 4096, max_threads: 4 },
+        MachineConfig {
+            semi_words: 128,
+            stack_words: 4096,
+            max_threads: 4,
+            ..MachineConfig::default()
+        },
     );
     let mut ex = Executor::new(machine, ExecConfig::default());
     // Thread 0: main. Threads 1, 2: Work(50) directly.
     ex.machine.spawn(ex.machine.module.main, &[]);
-    let work = ex
-        .machine
-        .module
-        .procs
-        .iter()
-        .position(|p| p.name == "Work")
-        .expect("Work proc") as u16;
+    let work =
+        ex.machine.module.procs.iter().position(|p| p.name == "Work").expect("Work proc") as u16;
     ex.machine.spawn(work, &[50]);
     ex.machine.spawn(work, &[50]);
     let out = ex.run().unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(out.output, "5050");
     assert!(out.collections >= 1);
-    assert!(ex.machine.threads.iter().all(|t| t.status == m3gc_vm::machine::ThreadStatus::Finished));
+    assert!(ex
+        .machine
+        .threads
+        .iter()
+        .all(|t| t.status == m3gc_vm::machine::ThreadStatus::Finished));
 }
 
 #[test]
@@ -372,12 +398,15 @@ fn decode_cache_amortizes_repeated_collections() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 1 << 14, stack_words: 4096, max_threads: 2 },
+        MachineConfig {
+            semi_words: 1 << 14,
+            stack_words: 4096,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
-    let mut ex = Executor::new(
-        machine,
-        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
-    );
+    let mut ex =
+        Executor::new(machine, ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() });
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
     assert!(out.collections >= 20, "got {}", out.collections);
     let cold = &out.gc_each[0];
@@ -419,7 +448,12 @@ fn collection_stats_are_plausible() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 256, stack_words: 4096, max_threads: 2 },
+        MachineConfig {
+            semi_words: 256,
+            stack_words: 4096,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
     let mut ex = Executor::new(machine, ExecConfig::default());
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
@@ -428,4 +462,309 @@ fn collection_stats_are_plausible() {
     let per = out.gc_total.objects_copied / out.collections.max(1);
     assert!(per < 30, "too many survivors per collection: {per}");
     assert!(out.gc_total.frames_traced >= out.collections);
+}
+
+// --- Generational collection ---
+
+/// Runs under a generational heap; returns the outcome.
+fn run_gen(src: &str, semi_words: usize, nursery_words: usize) -> ExecOutcome {
+    let module = compile(src);
+    let machine = Machine::new(
+        module,
+        MachineConfig {
+            semi_words,
+            stack_words: 1 << 14,
+            max_threads: 4,
+            heap: HeapStrategy::Generational { nursery_words, promote_age: 2 },
+        },
+    );
+    let mut ex = Executor::new(machine, ExecConfig::default());
+    ex.run_main().unwrap_or_else(|e| panic!("{e}\noutput: {}", ex.machine.output))
+}
+
+/// Checks output equality against the reference interpreter under a
+/// generational heap and asserts at least `min_minor` minor collections.
+fn check_gen(src: &str, semi_words: usize, nursery_words: usize, min_minor: u64) -> ExecOutcome {
+    let expected = reference_output(src);
+    let out = run_gen(src, semi_words, nursery_words);
+    assert_eq!(out.output, expected);
+    assert!(
+        out.minor_collections >= min_minor,
+        "expected at least {min_minor} minor collections, got {} ({} major)",
+        out.minor_collections,
+        out.major_collections
+    );
+    out
+}
+
+#[test]
+fn minor_collections_reclaim_short_lived_garbage() {
+    // Heavy churn with a tiny live set: minors alone must carry the run
+    // (the tenured set stays small, so no major is ever forced).
+    let out = check_gen(
+        "MODULE M;
+         TYPE R = REF RECORD x: INTEGER END;
+         VAR keep: R; i: INTEGER;
+         BEGIN
+           keep := NEW(R);
+           keep.x := 7777;
+           FOR i := 1 TO 2000 DO
+             WITH t = NEW(R) DO t.x := i; END;
+           END;
+           PutInt(keep.x);
+         END M.",
+        4096,
+        64,
+        5,
+    );
+    assert_eq!(out.major_collections, 0, "churn must not force major collections");
+    // Dead-on-arrival objects are never copied: survivors per minor stay
+    // far below the nursery's object capacity.
+    let per = out.gc_total.objects_copied / out.minor_collections.max(1);
+    assert!(per < 20, "too many survivors per minor collection: {per}");
+}
+
+#[test]
+fn survivors_are_promoted_by_age() {
+    // `keep` survives every minor collection, so once its age reaches the
+    // promotion threshold it must move to tenured space and stop being
+    // copied at every minor.
+    let out = check_gen(
+        "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         VAR l: List; i, s: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO 40 DO
+             WITH c = NEW(List) DO c.head := i; c.tail := l; l := c; END;
+             WITH junk = NEW(List) DO junk.head := 0; END;
+           END;
+           s := 0;
+           WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+           PutInt(s);
+         END M.",
+        4096,
+        64,
+        2,
+    );
+    assert!(out.gc_total.promoted_objects > 0, "long-lived list must be promoted");
+    assert!(
+        out.gc_total.promoted_objects <= out.gc_total.objects_copied,
+        "promotions are a subset of copies"
+    );
+}
+
+#[test]
+fn write_barrier_feeds_the_remembered_set() {
+    // A long-lived record is promoted, then repeatedly has freshly
+    // allocated nodes stored into its pointer field: each such store is an
+    // old→young edge that only the write barrier can make the minor
+    // collections see.
+    let out = check_gen(
+        "MODULE M;
+         TYPE Node = REF RECORD x: INTEGER; next: Node END;
+         VAR keep: Node; i: INTEGER;
+         BEGIN
+           keep := NEW(Node);
+           keep.x := 1000;
+           FOR i := 1 TO 400 DO
+             WITH t = NEW(Node) DO
+               t.x := i;
+               keep.next := t;
+             END;
+           END;
+           PutInt(keep.x + keep.next.x);
+         END M.",
+        4096,
+        64,
+        3,
+    );
+    assert!(out.barrier.executed > 0, "barriers must execute");
+    // The store always targets the same slot, which the collector itself
+    // re-remembers after each minor (the edge stays old→young), so the
+    // barrier's own pushes mostly dedup against that card entry — either
+    // way the barrier must be seeing the edge.
+    assert!(
+        out.barrier.recorded + out.barrier.deduped > 0,
+        "old→young stores must be recorded or deduped: {:?}",
+        out.barrier
+    );
+    assert!(
+        out.gc_total.remembered_processed > 0,
+        "minor collections must drain the remembered set"
+    );
+}
+
+#[test]
+fn fruitless_minor_escalates_to_major_collection() {
+    // The live list grows until it no longer fits the nursery's worth of
+    // reclaim; promotion fills tenured space with data that later dies
+    // (the list is dropped and rebuilt), so majors must both happen and
+    // succeed.
+    let out = check_gen(
+        "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         PROCEDURE Build(n: INTEGER): List =
+         VAR l: List; i: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO n DO
+             WITH c = NEW(List) DO c.head := i; c.tail := l; l := c; END;
+           END;
+           RETURN l;
+         END Build;
+         PROCEDURE Sum(l: List): INTEGER =
+         VAR s: INTEGER;
+         BEGIN
+           s := 0;
+           WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+           RETURN s;
+         END Sum;
+         VAR r, i: INTEGER;
+         BEGIN
+           r := 0;
+           FOR i := 1 TO 30 DO
+             r := r + Sum(Build(120));
+           END;
+           PutInt(r);
+         END M.",
+        1024,
+        64,
+        2,
+    );
+    assert!(out.major_collections >= 1, "tenured garbage must force majors");
+}
+
+#[test]
+fn generational_out_of_memory_is_detected() {
+    // Unbounded live growth: minors promote, majors cannot reclaim, and
+    // the run must end in OutOfMemory rather than loop forever.
+    let src = "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         VAR l: List; i: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO 10000 DO
+             WITH c = NEW(List) DO c.head := i; c.tail := l; l := c; END;
+           END;
+         END M.";
+    let module = compile(src);
+    let machine = Machine::new(
+        module,
+        MachineConfig {
+            semi_words: 512,
+            stack_words: 4096,
+            max_threads: 2,
+            heap: HeapStrategy::Generational { nursery_words: 64, promote_age: 2 },
+        },
+    );
+    let mut ex = Executor::new(machine, ExecConfig::default());
+    let r = ex.run_main();
+    assert_eq!(
+        r.err().map(|e| matches!(
+            e,
+            crate::scheduler::ExecError::Trap(m3gc_vm::machine::VmTrap::OutOfMemory)
+        )),
+        Some(true)
+    );
+}
+
+#[test]
+fn oversized_allocations_bypass_the_nursery() {
+    // An array bigger than the nursery goes straight to tenured space;
+    // its pointer slots are eagerly remembered so young objects stored
+    // into it before the next gc-point survive minor collections.
+    let out = check_gen(
+        "MODULE M;
+         TYPE R = REF RECORD x: INTEGER END;
+              V = REF ARRAY OF R;
+         VAR v: V; i, s: INTEGER;
+         BEGIN
+           v := NEW(V, 100);
+           FOR i := 0 TO 99 DO
+             v[i] := NEW(R);
+             v[i].x := i;
+             WITH junk = NEW(R) DO junk.x := 0; END;
+           END;
+           s := 0;
+           FOR i := 0 TO 99 DO s := s + v[i].x; END;
+           PutInt(s);
+         END M.",
+        4096,
+        64,
+        2,
+    );
+    assert!(out.gc_total.remembered_processed > 0);
+}
+
+#[test]
+fn derived_values_follow_minor_collections() {
+    // The dedicated §3 ordering test under generational collection: `h`
+    // is an interior (derived) pointer into the array, held live across
+    // allocations that trigger *minor* collections. The un-derive /
+    // re-derive round trip must recover it from the relocated base both
+    // when the array is copied within the nursery and when it is
+    // promoted to tenured space mid-loop.
+    let out = check_gen(
+        "MODULE M;
+         TYPE A = REF ARRAY [5..12] OF INTEGER;
+              R = REF RECORD x: INTEGER END;
+         VAR a: A; i, j, s: INTEGER;
+         BEGIN
+           a := NEW(A);
+           FOR i := 5 TO 12 DO a[i] := i * 100; END;
+           s := 0;
+           FOR i := 5 TO 12 DO
+             WITH h = a[i] DO
+               FOR j := 1 TO 40 DO
+                 WITH junk = NEW(R) DO junk.x := j; END;
+               END;
+               s := s + h;
+             END;
+           END;
+           PutInt(s);
+         END M.",
+        2048,
+        32,
+        3,
+    );
+    assert!(out.gc_total.derived_updated > 0, "derived values must be traced");
+    assert!(out.gc_total.promoted_objects > 0, "the array must survive long enough to promote");
+}
+
+#[test]
+fn generational_gc_torture_matches_reference() {
+    // Force a collection event at every allocation under the generational
+    // heap: every freshness-elided barrier window closes immediately, so
+    // this exercises the eager-remembering path and promotion aging hard.
+    let src = "MODULE M;
+         TYPE List = REF RECORD head: INTEGER; tail: List END;
+         PROCEDURE Cons(h: INTEGER; t: List): List =
+         VAR c: List;
+         BEGIN c := NEW(List); c.head := h; c.tail := t; RETURN c; END Cons;
+         VAR l: List; i, s: INTEGER;
+         BEGIN
+           l := NIL;
+           FOR i := 1 TO 25 DO l := Cons(i, l); END;
+           s := 0;
+           WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+           PutInt(s);
+         END M.";
+    let expected = reference_output(src);
+    let module = compile(src);
+    let machine = Machine::new(
+        module,
+        MachineConfig {
+            semi_words: 4096,
+            stack_words: 4096,
+            max_threads: 2,
+            heap: HeapStrategy::Generational { nursery_words: 128, promote_age: 2 },
+        },
+    );
+    let mut ex =
+        Executor::new(machine, ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() });
+    let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(out.output, expected);
+    assert!(out.collections >= 20, "got {}", out.collections);
+    assert!(out.gc_total.promoted_objects > 0);
 }

@@ -111,7 +111,11 @@ pub fn gather_stack_roots(m: &Machine, cache: &mut DecodeCache) -> StackRoots {
         if t.status == ThreadStatus::Finished {
             continue;
         }
-        debug_assert_eq!(t.status, ThreadStatus::BlockedAtGcPoint, "thread {tid} not at a gc-point");
+        debug_assert_eq!(
+            t.status,
+            ThreadStatus::BlockedAtGcPoint,
+            "thread {tid} not at a gc-point"
+        );
         // Register contents start out in the actual machine registers.
         let mut reg_locs: RegLocs =
             std::array::from_fn(|r| RootRef::Reg { thread: tid as u32, reg: r as u8 });
@@ -128,7 +132,13 @@ pub fn gather_stack_roots(m: &Machine, cache: &mut DecodeCache) -> StackRoots {
                 )
             });
             for entry in &point.stack_slots {
-                let root = resolve_location(Location::Slot(entry.base, entry.offset), fp, ap, sp, &reg_locs);
+                let root = resolve_location(
+                    Location::Slot(entry.base, entry.offset),
+                    fp,
+                    ap,
+                    sp,
+                    &reg_locs,
+                );
                 out.tidy.push(root);
             }
             for r in point.regs.iter() {
@@ -141,7 +151,9 @@ pub fn gather_stack_roots(m: &Machine, cache: &mut DecodeCache) -> StackRoots {
                     DerivationRecord::Ambiguous { path_var, variants, .. } => {
                         let pv = resolve_location(*path_var, fp, ap, sp, &reg_locs);
                         let which = read_root(m, pv);
-                        let idx = usize::try_from(which).ok().filter(|i| *i < variants.len())
+                        let idx = usize::try_from(which)
+                            .ok()
+                            .filter(|i| *i < variants.len())
                             .unwrap_or_else(|| panic!("path variable out of range: {which}"));
                         variants[idx].clone()
                     }

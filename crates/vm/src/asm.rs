@@ -85,8 +85,8 @@ impl Assembler {
     #[must_use]
     pub fn finish(mut self) -> Vec<u8> {
         for (off, label) in self.fixups {
-            let target = self.labels[label.0 as usize]
-                .unwrap_or_else(|| panic!("unbound label {label:?}"));
+            let target =
+                self.labels[label.0 as usize].unwrap_or_else(|| panic!("unbound label {label:?}"));
             self.code[off..off + 4].copy_from_slice(&target.to_le_bytes());
         }
         self.code

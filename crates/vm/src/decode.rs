@@ -72,6 +72,12 @@ pub fn decode_instr(code: &[u8], pos: usize) -> Option<(Instr, usize)> {
             let off = vlq(&mut p)? as i32;
             Instr::St { base, off, src }
         }
+        Op::StB => {
+            let base = byte(&mut p)?;
+            let src = byte(&mut p)?;
+            let off = vlq(&mut p)? as i32;
+            Instr::StB { base, off, src }
+        }
         Op::LdF => {
             let dst = byte(&mut p)?;
             let breg = breg_from_byte(byte(&mut p)?)?;

@@ -21,6 +21,7 @@ pub fn format_instr(ins: &Instr) -> String {
         }
         Instr::Ld { dst, base, off } => format!("ld    r{dst}, [r{base}{off:+}]"),
         Instr::St { base, off, src } => format!("st    [r{base}{off:+}], r{src}"),
+        Instr::StB { base, off, src } => format!("stb   [r{base}{off:+}], r{src}"),
         Instr::LdF { dst, breg, off } => format!("ld    r{dst}, [{breg}{off:+}]"),
         Instr::StF { breg, off, src } => format!("st    [{breg}{off:+}], r{src}"),
         Instr::Lea { dst, breg, off } => format!("lea   r{dst}, {breg}{off:+}"),

@@ -40,9 +40,11 @@ pub(crate) enum Op {
     GcPoint,
     Sys,
     Halt,
+    // Appended after Halt so every pre-barrier opcode value is unchanged.
+    StB,
 }
 
-const OPS: [Op; 24] = [
+const OPS: [Op; 25] = [
     Op::MovI,
     Op::Mov,
     Op::Alu,
@@ -67,6 +69,7 @@ const OPS: [Op; 24] = [
     Op::GcPoint,
     Op::Sys,
     Op::Halt,
+    Op::StB,
 ];
 
 pub(crate) fn op_from_byte(b: u8) -> Option<Op> {
@@ -177,6 +180,12 @@ pub fn encode_instr(ins: &Instr, out: &mut Vec<u8>) -> usize {
             out.push(*src);
             vlq64(i64::from(*off), out);
         }
+        Instr::StB { base, off, src } => {
+            out.push(Op::StB as u8);
+            out.push(*base);
+            out.push(*src);
+            vlq64(i64::from(*off), out);
+        }
         Instr::LdF { dst, breg, off } => {
             out.push(Op::LdF as u8);
             out.push(*dst);
@@ -270,7 +279,8 @@ mod tests {
 
     #[test]
     fn vlq64_roundtrip() {
-        for &v in &[0i64, 1, -1, 63, -64, 64, 8191, -8192, i64::from(i32::MAX), i64::MAX, i64::MIN] {
+        for &v in &[0i64, 1, -1, 63, -64, 64, 8191, -8192, i64::from(i32::MAX), i64::MAX, i64::MIN]
+        {
             let mut buf = Vec::new();
             let n = vlq64(v, &mut buf);
             let (back, m) = unvlq64(&buf, 0).unwrap();

@@ -128,6 +128,12 @@ pub enum Instr {
     Ld { dst: u8, base: u8, off: i32 },
     /// `mem[rbase + off] := src`.
     St { base: u8, off: i32, src: u8 },
+    /// `mem[rbase + off] := src` with a generational write barrier: if the
+    /// target slot is tenured and the stored value points into the
+    /// nursery, the slot address is recorded in the remembered set.
+    /// Codegen emits this for pointer stores into heap objects; on a
+    /// semispace heap it behaves exactly like `St`.
+    StB { base: u8, off: i32, src: u8 },
     /// `dst := mem[breg + off]` — frame-relative load.
     LdF { dst: u8, breg: BaseReg, off: i32 },
     /// `mem[breg + off] := src` — frame-relative store.

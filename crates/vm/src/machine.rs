@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use m3gc_core::decode::DecoderIndex;
 use m3gc_core::heap::{HeapType, TypeId};
 use m3gc_core::layout::BaseReg;
+use m3gc_core::stats::BarrierCounters;
 
 use crate::decode::DecodedCode;
 use crate::isa::{Instr, NUM_REGS};
@@ -33,22 +34,65 @@ pub const RETURN_SENTINEL: i64 = -1;
 /// Source of unique module-lifetime tokens (see [`Machine::module_token`]).
 static NEXT_MODULE_TOKEN: AtomicU64 = AtomicU64::new(1);
 
+/// Heap organisation.
+///
+/// The seed machine had a single pair of semispaces. The generational
+/// strategy prepends a small two-half nursery: all ordinary allocation
+/// bumps through the active nursery half, minor collections evacuate
+/// survivors into the other half (or into tenured space once old enough),
+/// and the semispace pair becomes the tenured generation, still collected
+/// by the full Cheney pass when it fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeapStrategy {
+    /// Two semispaces, full-heap collections (the seed behaviour).
+    #[default]
+    Semispace,
+    /// Nursery + tenured generations with an SSB remembered set.
+    Generational {
+        /// Words per nursery half (survivors age through the other half).
+        nursery_words: usize,
+        /// Survival count at which a minor collection promotes an object
+        /// to tenured space (1 = promote on first survival).
+        promote_age: u32,
+    },
+}
+
+impl HeapStrategy {
+    /// A generational strategy with the default nursery-to-semispace ratio
+    /// (one quarter) and promotion age 2.
+    #[must_use]
+    pub fn generational_for(semi_words: usize) -> HeapStrategy {
+        HeapStrategy::Generational { nursery_words: (semi_words / 4).max(64), promote_age: 2 }
+    }
+}
+
 /// Machine sizing.
 #[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
-    /// Words per heap semispace.
+    /// Words per heap semispace (the tenured generation under
+    /// [`HeapStrategy::Generational`]).
     pub semi_words: usize,
     /// Words per thread stack.
     pub stack_words: usize,
     /// Maximum number of threads.
     pub max_threads: usize,
+    /// Heap organisation.
+    pub heap: HeapStrategy,
 }
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig { semi_words: 1 << 20, stack_words: 1 << 16, max_threads: 8 }
+        MachineConfig {
+            semi_words: 1 << 20,
+            stack_words: 1 << 16,
+            max_threads: 8,
+            heap: HeapStrategy::Semispace,
+        }
     }
 }
+
+/// Words per remembered-set card (dedup granularity of the SSB cache).
+pub const CARD_WORDS_SHIFT: u32 = 5;
 
 /// Abnormal termination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,12 +230,45 @@ pub struct Machine {
     heap_base: usize,
     /// True when semispace A (lower) is the from-space (allocation space).
     from_is_lower: bool,
-    /// Next free word in the allocation space.
+    /// Next free word in the allocation space (the active nursery half
+    /// under the generational strategy).
     pub alloc_ptr: i64,
     /// One past the last usable allocation word.
     pub alloc_limit: i64,
     /// `is_gc_point[pc]` — from the module's gc maps.
     is_gc_point: Vec<bool>,
+
+    // Generational state; only meaningful under
+    // `HeapStrategy::Generational` (zero-sized / unused otherwise).
+    /// First word of the tenured semispace pair.
+    tenured_base: usize,
+    /// True when the lower nursery half is the allocation half.
+    nursery_from_lower: bool,
+    /// True when the lower tenured semispace holds the old generation.
+    tenured_from_lower: bool,
+    /// Next free word in the tenured from-space (promotion / oversized
+    /// allocation frontier).
+    pub tenured_alloc_ptr: i64,
+    /// Remembered set: a sequential store buffer of precise tenured slot
+    /// addresses holding (potential) tenured→nursery pointers. Only ever
+    /// fed slots the compiler's barrier proved are pointer fields, so
+    /// minor collections may treat every entry as a tidy root.
+    rs_buf: Vec<i64>,
+    /// Card-granularity dedup cache over the tenured area: per card, the
+    /// last slot recorded (+1; 0 = empty). A barrier hit on the same slot
+    /// as its card's last entry is dropped; a different slot in the same
+    /// card replaces the cache entry and is still pushed, so the buffer
+    /// stays precise while tight update loops dedup to one entry per card.
+    rs_card: Vec<i64>,
+    /// Write-barrier event counters.
+    pub barrier: BarrierCounters,
+    /// Minor collections completed.
+    pub minor_collections: u64,
+    /// Major collections completed.
+    pub major_collections: u64,
+    /// Set when an oversized allocation could not fit the tenured
+    /// from-space: the next collection should be a major one.
+    pub wants_major_gc: bool,
 }
 
 impl Machine {
@@ -206,14 +283,39 @@ impl Machine {
         let decoded = DecodedCode::new(&module.code);
         let stacks_base = GLOBAL_BASE + module.globals_words as usize;
         let heap_base = stacks_base + config.stack_words * config.max_threads;
-        let total = heap_base + 2 * config.semi_words;
+        // Memory layout:
+        //   semispace:    reserved | globals | stacks | semi A | semi B
+        //   generational: reserved | globals | stacks | nursery A | nursery B
+        //                 | tenured A | tenured B
+        let nursery_words = match config.heap {
+            HeapStrategy::Semispace => 0,
+            HeapStrategy::Generational { nursery_words, .. } => {
+                assert!(nursery_words >= 8, "nursery too small to hold any object");
+                assert!(
+                    nursery_words <= config.semi_words,
+                    "nursery larger than a tenured semispace breaks the \
+                     promotion headroom bound"
+                );
+                nursery_words
+            }
+        };
+        let tenured_base = heap_base + 2 * nursery_words;
+        let total = tenured_base + 2 * config.semi_words;
         let mut is_gc_point = vec![false; module.code.len() + 1];
         let index = DecoderIndex::build(&module.gc_maps).expect("valid gc maps");
         for pc in index.gc_point_pcs() {
             is_gc_point[pc as usize] = true;
         }
-        let alloc_ptr = heap_base as i64;
-        let alloc_limit = (heap_base + config.semi_words) as i64;
+        let (alloc_ptr, alloc_limit) = match config.heap {
+            HeapStrategy::Semispace => (heap_base as i64, (heap_base + config.semi_words) as i64),
+            HeapStrategy::Generational { .. } => {
+                (heap_base as i64, (heap_base + nursery_words) as i64)
+            }
+        };
+        let cards = match config.heap {
+            HeapStrategy::Semispace => 0,
+            HeapStrategy::Generational { .. } => ((2 * config.semi_words) >> CARD_WORDS_SHIFT) + 1,
+        };
         Machine {
             module,
             decoded,
@@ -234,6 +336,16 @@ impl Machine {
             alloc_ptr,
             alloc_limit,
             is_gc_point,
+            tenured_base,
+            nursery_from_lower: true,
+            tenured_from_lower: true,
+            tenured_alloc_ptr: tenured_base as i64,
+            rs_buf: Vec::new(),
+            rs_card: vec![0; cards],
+            barrier: BarrierCounters::default(),
+            minor_collections: 0,
+            major_collections: 0,
+            wants_major_gc: false,
         }
     }
 
@@ -287,6 +399,155 @@ impl Machine {
         (s..e).contains(&addr)
     }
 
+    /// True under [`HeapStrategy::Generational`].
+    #[must_use]
+    pub fn is_generational(&self) -> bool {
+        matches!(self.config.heap, HeapStrategy::Generational { .. })
+    }
+
+    /// Words per nursery half (0 under the semispace strategy).
+    #[must_use]
+    pub fn nursery_words(&self) -> usize {
+        match self.config.heap {
+            HeapStrategy::Semispace => 0,
+            HeapStrategy::Generational { nursery_words, .. } => nursery_words,
+        }
+    }
+
+    /// Survival count at which minor collections promote (0 if semispace).
+    #[must_use]
+    pub fn promote_age(&self) -> u32 {
+        match self.config.heap {
+            HeapStrategy::Semispace => 0,
+            HeapStrategy::Generational { promote_age, .. } => promote_age.max(1),
+        }
+    }
+
+    /// The active (allocation) nursery half `[start, end)`.
+    #[must_use]
+    pub fn nursery_from_space(&self) -> (i64, i64) {
+        let n = self.nursery_words();
+        let start = if self.nursery_from_lower { self.heap_base } else { self.heap_base + n };
+        (start as i64, (start + n) as i64)
+    }
+
+    /// The inactive nursery half `[start, end)` (minor-GC survivor space).
+    #[must_use]
+    pub fn nursery_to_space(&self) -> (i64, i64) {
+        let n = self.nursery_words();
+        let start = if self.nursery_from_lower { self.heap_base + n } else { self.heap_base };
+        (start as i64, (start + n) as i64)
+    }
+
+    /// True if `addr` points into the active nursery half.
+    #[must_use]
+    pub fn in_active_nursery(&self, addr: i64) -> bool {
+        let (s, e) = self.nursery_from_space();
+        (s..e).contains(&addr)
+    }
+
+    /// The tenured from-space `[start, end)` (the live old generation).
+    #[must_use]
+    pub fn tenured_space(&self) -> (i64, i64) {
+        let start = if self.tenured_from_lower {
+            self.tenured_base
+        } else {
+            self.tenured_base + self.config.semi_words
+        };
+        (start as i64, (start + self.config.semi_words) as i64)
+    }
+
+    /// The tenured to-space `[start, end)` (major-GC target).
+    #[must_use]
+    pub fn tenured_to_space(&self) -> (i64, i64) {
+        let start = if self.tenured_from_lower {
+            self.tenured_base + self.config.semi_words
+        } else {
+            self.tenured_base
+        };
+        (start as i64, (start + self.config.semi_words) as i64)
+    }
+
+    /// True if `addr` points into the tenured from-space.
+    #[must_use]
+    pub fn in_tenured(&self, addr: i64) -> bool {
+        let (s, e) = self.tenured_space();
+        (s..e).contains(&addr)
+    }
+
+    /// Words currently allocated in the active nursery half.
+    #[must_use]
+    pub fn nursery_used(&self) -> i64 {
+        self.alloc_ptr - self.nursery_from_space().0
+    }
+
+    /// Free words left in the tenured from-space.
+    #[must_use]
+    pub fn tenured_free(&self) -> i64 {
+        self.tenured_space().1 - self.tenured_alloc_ptr
+    }
+
+    /// Number of slots currently in the remembered set.
+    #[must_use]
+    pub fn remembered_len(&self) -> usize {
+        self.rs_buf.len()
+    }
+
+    /// Records a tenured slot address into the remembered set with
+    /// card-granularity dedup. The caller is responsible for the value
+    /// filter (the write barrier checks the stored value points into the
+    /// active nursery; eager remembering of freshly tenured objects skips
+    /// the check, which is sound because minor collections ignore
+    /// remembered slots whose value is not a nursery pointer).
+    pub fn remember_slot(&mut self, slot: i64) {
+        Self::remember_slot_in(&mut self.rs_buf, &mut self.rs_card, self.tenured_base, slot);
+    }
+
+    /// Returns true if the slot was pushed (false: card-deduped). Does not
+    /// touch the barrier counters — those count *barrier* activity only,
+    /// not the collector's re-recording or the allocator's eager
+    /// remembering.
+    fn remember_slot_in(
+        rs_buf: &mut Vec<i64>,
+        rs_card: &mut [i64],
+        tenured_base: usize,
+        slot: i64,
+    ) -> bool {
+        debug_assert!(slot >= tenured_base as i64, "remembered slot below tenured area");
+        let card = ((slot - tenured_base as i64) >> CARD_WORDS_SHIFT) as usize;
+        if rs_card[card] == slot + 1 {
+            return false;
+        }
+        rs_card[card] = slot + 1;
+        rs_buf.push(slot);
+        true
+    }
+
+    /// Drains the remembered set for a minor collection, resetting the
+    /// card cache. The collector re-records surviving tenured→nursery
+    /// edges (via [`Machine::remember_slot`]) after the flip.
+    pub fn take_remembered_slots(&mut self) -> Vec<i64> {
+        self.rs_card.fill(0);
+        std::mem::take(&mut self.rs_buf)
+    }
+
+    /// The write-barrier slow path for [`Instr::StB`]: records `addr` if
+    /// it is a tenured slot now holding a pointer into the active nursery.
+    fn note_barrier(&mut self, addr: i64, value: i64) {
+        self.barrier.executed += 1;
+        if !self.is_generational() || value == 0 {
+            return;
+        }
+        if !self.in_active_nursery(value) || !self.in_tenured(addr) {
+            return;
+        }
+        if Self::remember_slot_in(&mut self.rs_buf, &mut self.rs_card, self.tenured_base, addr) {
+            self.barrier.recorded += 1;
+        } else {
+            self.barrier.deduped += 1;
+        }
+    }
+
     /// True if `pc` is a gc-point.
     #[must_use]
     pub fn is_gc_point_pc(&self, pc: u32) -> bool {
@@ -304,6 +565,66 @@ impl Machine {
         self.alloc_limit = to_end;
         self.gc_pending = false;
         self.collections += 1;
+        self.wake_blocked_threads();
+    }
+
+    /// Completes a minor collection: the nursery halves flip, nursery
+    /// allocation resumes at `new_young_alloc` (one past the survivors in
+    /// the old to-half), promotion advanced the tenured frontier to
+    /// `new_tenured_alloc`, and blocked threads wake. The remembered set
+    /// must already have been drained by [`Machine::take_remembered_slots`];
+    /// the collector re-records surviving old→young edges afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frontier lies outside its space (a collector bug).
+    pub fn finish_minor_collection(&mut self, new_young_alloc: i64, new_tenured_alloc: i64) {
+        assert!(self.is_generational(), "minor collection on a semispace heap");
+        let (to_start, to_end) = self.nursery_to_space();
+        assert!((to_start..=to_end).contains(&new_young_alloc), "young alloc outside to-half");
+        let (t_start, t_end) = self.tenured_space();
+        assert!((t_start..=t_end).contains(&new_tenured_alloc), "tenured frontier outside space");
+        assert!(new_tenured_alloc >= self.tenured_alloc_ptr, "promotion moved frontier backwards");
+        debug_assert!(self.rs_buf.is_empty(), "remembered set not drained before finish");
+        self.nursery_from_lower = !self.nursery_from_lower;
+        self.alloc_ptr = new_young_alloc;
+        self.alloc_limit = to_end;
+        self.tenured_alloc_ptr = new_tenured_alloc;
+        self.wants_major_gc = false;
+        self.gc_pending = false;
+        self.collections += 1;
+        self.minor_collections += 1;
+        self.wake_blocked_threads();
+    }
+
+    /// Completes a major collection: the tenured semispaces flip with the
+    /// survivor frontier at `new_tenured_alloc`, the nursery empties (every
+    /// live object was promoted), the remembered set clears (no
+    /// tenured→nursery edges can exist into an empty nursery), and blocked
+    /// threads wake.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_tenured_alloc` lies outside the tenured to-space.
+    pub fn finish_major_collection(&mut self, new_tenured_alloc: i64) {
+        assert!(self.is_generational(), "major collection on a semispace heap");
+        let (to_start, to_end) = self.tenured_to_space();
+        assert!((to_start..=to_end).contains(&new_tenured_alloc), "tenured alloc outside space");
+        self.tenured_from_lower = !self.tenured_from_lower;
+        self.tenured_alloc_ptr = new_tenured_alloc;
+        let (n_start, n_end) = self.nursery_from_space();
+        self.alloc_ptr = n_start;
+        self.alloc_limit = n_end;
+        self.rs_buf.clear();
+        self.rs_card.fill(0);
+        self.wants_major_gc = false;
+        self.gc_pending = false;
+        self.collections += 1;
+        self.major_collections += 1;
+        self.wake_blocked_threads();
+    }
+
+    fn wake_blocked_threads(&mut self) {
         for t in &mut self.threads {
             if t.status == ThreadStatus::BlockedAtGcPoint {
                 t.status = ThreadStatus::Runnable;
@@ -383,6 +704,14 @@ impl Machine {
     }
 
     /// Attempts a heap allocation; `Ok(None)` means "needs gc".
+    ///
+    /// The fast path bumps through the allocation space (the active
+    /// nursery half when generational). Objects too large for the nursery
+    /// go straight to the tenured frontier, with every pointer slot
+    /// eagerly remembered: the compiler elides write barriers on stores
+    /// into provably fresh objects, and those stores all execute before
+    /// the next gc-point, so the eager entries stand in for the elided
+    /// records until the next collection rebuilds the set.
     fn try_alloc(&mut self, ty: u16, len: i64) -> Result<Option<i64>, VmTrap> {
         if len < 0 {
             return Err(VmTrap::RangeError);
@@ -392,20 +721,46 @@ impl Machine {
         }
         let desc = self.module.types.get(TypeId(u32::from(ty)));
         let words = i64::from(desc.object_words(len as u32));
-        if self.alloc_ptr + words > self.alloc_limit {
-            return Ok(None);
-        }
-        if words > self.config.semi_words as i64 {
+        let mut tenured_direct = false;
+        let addr = if self.alloc_ptr + words <= self.alloc_limit {
+            let a = self.alloc_ptr;
+            self.alloc_ptr += words;
+            a
+        } else if words > self.config.semi_words as i64 {
             return Err(VmTrap::OutOfMemory);
-        }
-        let addr = self.alloc_ptr;
-        self.alloc_ptr += words;
+        } else if let HeapStrategy::Generational { nursery_words, .. } = self.config.heap {
+            if words <= nursery_words as i64 {
+                // Fits an empty nursery half: a minor collection makes room.
+                return Ok(None);
+            }
+            if self.tenured_alloc_ptr + words > self.tenured_space().1 {
+                self.wants_major_gc = true;
+                return Ok(None);
+            }
+            tenured_direct = true;
+            let a = self.tenured_alloc_ptr;
+            self.tenured_alloc_ptr += words;
+            a
+        } else {
+            return Ok(None);
+        };
         // Zero the object (the space may hold stale data from before a
         // previous flip).
         self.mem[addr as usize..(addr + words) as usize].fill(0);
         self.mem[addr as usize] = i64::from(ty);
         if matches!(desc, HeapType::Array { .. }) {
             self.mem[addr as usize + 1] = len;
+        }
+        if tenured_direct && desc.has_pointers() {
+            let desc = self.module.types.get(TypeId(u32::from(ty)));
+            for off in desc.pointer_offset_iter(len as u32) {
+                Self::remember_slot_in(
+                    &mut self.rs_buf,
+                    &mut self.rs_card,
+                    self.tenured_base,
+                    addr + i64::from(off),
+                );
+            }
         }
         self.allocations += 1;
         self.words_allocated += words as u64;
@@ -440,7 +795,11 @@ impl Machine {
     ///
     /// Panics if `tid` is out of range or its thread is not runnable.
     pub fn step(&mut self, tid: usize) -> StepOutcome {
-        debug_assert_eq!(self.threads[tid].status, ThreadStatus::Runnable, "stepping a non-runnable thread");
+        debug_assert_eq!(
+            self.threads[tid].status,
+            ThreadStatus::Runnable,
+            "stepping a non-runnable thread"
+        );
         let pc = self.threads[tid].pc;
         // While a collection is pending, a thread reaching any gc-point
         // blocks there (§5.3: resumed threads run until they all reach
@@ -480,6 +839,15 @@ impl Machine {
                 let addr = t.regs[base as usize] + i64::from(off);
                 let v = t.regs[src as usize];
                 trap!(self.write(addr, v));
+            }
+            Instr::StB { base, off, src } => {
+                let addr = t.regs[base as usize] + i64::from(off);
+                let v = t.regs[src as usize];
+                trap!(self.write(addr, v));
+                // On a semispace heap the barrier store degenerates to a
+                // plain store, so one compiled module runs under either
+                // `--gc` mode.
+                self.note_barrier(addr, v);
             }
             Instr::LdF { dst, breg, off } => {
                 let addr = Self::base_value(t, breg) + i64::from(off);
@@ -635,7 +1003,19 @@ mod tests {
     }
 
     fn small_config() -> MachineConfig {
-        MachineConfig { semi_words: 256, stack_words: 256, max_threads: 2 }
+        MachineConfig {
+            semi_words: 256,
+            stack_words: 256,
+            max_threads: 2,
+            ..MachineConfig::default()
+        }
+    }
+
+    fn small_gen_config() -> MachineConfig {
+        MachineConfig {
+            heap: HeapStrategy::Generational { nursery_words: 64, promote_age: 2 },
+            ..small_config()
+        }
     }
 
     #[test]
@@ -783,6 +1163,152 @@ mod tests {
         let (to_start, _) = vm.to_space();
         vm.finish_collection(to_start);
         assert_eq!(vm.threads[tid].status, ThreadStatus::Runnable);
+    }
+
+    #[test]
+    fn generational_layout_and_nursery_allocation() {
+        let mut types = TypeTable::default();
+        types.add(HeapType::Record { name: "R".into(), words: 2, ptr_offsets: vec![] });
+        let mut a = Assembler::new();
+        a.emit(&Instr::Alloc { dst: 1, ty: 0 });
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            types,
+        );
+        let mut vm = Machine::new(m, small_gen_config());
+        assert!(vm.is_generational());
+        let (nf, nfe) = vm.nursery_from_space();
+        let (nt, nte) = vm.nursery_to_space();
+        let (tf, tfe) = vm.tenured_space();
+        let (tt, tte) = vm.tenured_to_space();
+        assert_eq!(nfe - nf, 64);
+        assert_eq!(nte - nt, 64);
+        assert_eq!(tfe - tf, 256);
+        assert_eq!(tte - tt, 256);
+        assert_eq!(nfe, nt, "nursery halves adjacent");
+        assert_eq!(nte, tf, "tenured follows nursery");
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 100), RunOutcome::Finished);
+        let addr = vm.threads[tid].regs[1];
+        assert!(vm.in_active_nursery(addr), "small object allocates in nursery");
+        assert_eq!(vm.nursery_used(), 3);
+        assert_eq!(vm.tenured_free(), 256);
+    }
+
+    #[test]
+    fn oversized_allocation_goes_to_tenured_with_eager_remembering() {
+        let mut types = TypeTable::default();
+        // 100 field words > 64-word nursery half; two pointer fields.
+        types.add(HeapType::Record { name: "Big".into(), words: 100, ptr_offsets: vec![0, 99] });
+        let mut a = Assembler::new();
+        a.emit(&Instr::Alloc { dst: 1, ty: 0 });
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            types,
+        );
+        let mut vm = Machine::new(m, small_gen_config());
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 100), RunOutcome::Finished);
+        let addr = vm.threads[tid].regs[1];
+        assert!(vm.in_tenured(addr), "oversized object bypasses the nursery");
+        assert_eq!(vm.nursery_used(), 0);
+        // Both pointer slots eagerly remembered (barrier elision on fresh
+        // objects would otherwise lose tenured→nursery edges).
+        assert_eq!(vm.remembered_len(), 2);
+    }
+
+    #[test]
+    fn write_barrier_records_tenured_to_nursery_edges_once_per_card_entry() {
+        let mut types = TypeTable::default();
+        types.add(HeapType::Record { name: "Big".into(), words: 100, ptr_offsets: vec![0] });
+        types.add(HeapType::Record { name: "Small".into(), words: 1, ptr_offsets: vec![] });
+        let mut a = Assembler::new();
+        a.emit(&Instr::Alloc { dst: 1, ty: 0 }); // tenured (oversized)
+        a.emit(&Instr::Alloc { dst: 2, ty: 1 }); // nursery
+        a.emit(&Instr::StB { base: 1, off: 1, src: 2 }); // old → young
+        a.emit(&Instr::StB { base: 1, off: 1, src: 2 }); // same slot again
+        a.emit(&Instr::StB { base: 2, off: 1, src: 1 }); // young → old: filtered
+        a.emit(&Instr::MovI { dst: 3, imm: 0 });
+        a.emit(&Instr::StB { base: 1, off: 1, src: 3 }); // NIL store: filtered
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            types,
+        );
+        let mut vm = Machine::new(m, small_gen_config());
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 100), RunOutcome::Finished);
+        assert_eq!(vm.barrier.executed, 4);
+        // Eager remembering already holds the slot (same card entry), so
+        // both explicit barrier hits on it dedup.
+        assert_eq!(vm.remembered_len(), 1);
+        assert_eq!(vm.barrier.deduped, 2);
+    }
+
+    #[test]
+    fn stb_behaves_like_plain_store_on_semispace_heap() {
+        let mut types = TypeTable::default();
+        types.add(HeapType::Record { name: "R".into(), words: 2, ptr_offsets: vec![0, 1] });
+        let mut a = Assembler::new();
+        a.emit(&Instr::Alloc { dst: 1, ty: 0 });
+        a.emit(&Instr::StB { base: 1, off: 1, src: 1 });
+        a.emit(&Instr::Ld { dst: 2, base: 1, off: 1 });
+        a.emit(&Instr::Alu { op: AluOp::Eq, dst: 3, a: 1, b: 2 });
+        a.emit(&Instr::Sys { code: 0, arg: 3 });
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            types,
+        );
+        let mut vm = Machine::new(m, small_config());
+        let tid = vm.spawn(0, &[]);
+        assert_eq!(vm.run_thread(tid, 100), RunOutcome::Finished);
+        assert_eq!(vm.output, "1");
+        assert_eq!(vm.remembered_len(), 0);
+        assert_eq!(vm.barrier.executed, 1);
+        assert_eq!(vm.barrier.recorded, 0);
     }
 
     #[test]

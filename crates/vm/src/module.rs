@@ -57,11 +57,7 @@ impl VmModule {
     /// The procedure containing `pc`, if any.
     #[must_use]
     pub fn proc_at(&self, pc: u32) -> Option<(u16, &ProcMeta)> {
-        self.procs
-            .iter()
-            .enumerate()
-            .find(|(_, p)| p.contains(pc))
-            .map(|(i, p)| (i as u16, p))
+        self.procs.iter().enumerate().find(|(_, p)| p.contains(pc)).map(|(i, p)| (i as u16, p))
     }
 
     /// Code size in bytes (Table 1's `Size` column).

@@ -33,11 +33,16 @@ fn arb_goff(rng: &mut Rng) -> u32 {
 }
 
 fn arb_instr(rng: &mut Rng) -> Instr {
-    match rng.index(25) {
+    match rng.index(26) {
         0 => Instr::MovI { dst: arb_reg(rng), imm: rng.next_i64() },
         1 => Instr::Mov { dst: arb_reg(rng), src: arb_reg(rng) },
         2 => Instr::Alu { op: arb_alu(rng), dst: arb_reg(rng), a: arb_reg(rng), b: arb_reg(rng) },
-        3 => Instr::AluI { op: arb_alu(rng), dst: arb_reg(rng), a: arb_reg(rng), imm: rng.next_i64() },
+        3 => Instr::AluI {
+            op: arb_alu(rng),
+            dst: arb_reg(rng),
+            a: arb_reg(rng),
+            imm: rng.next_i64(),
+        },
         4 => Instr::UnAlu { op: UnAluOp::Neg, dst: arb_reg(rng), a: arb_reg(rng) },
         5 => Instr::UnAlu { op: UnAluOp::Not, dst: arb_reg(rng), a: arb_reg(rng) },
         6 => Instr::Ld { dst: arb_reg(rng), base: arb_reg(rng), off: rng.next_i32() },
@@ -58,6 +63,7 @@ fn arb_instr(rng: &mut Rng) -> Instr {
         21 => Instr::AllocA { dst: arb_reg(rng), ty: rng.next_u32() as u16, len: arb_reg(rng) },
         22 => Instr::GcPoint,
         23 => Instr::Sys { code: rng.index(6) as u8, arg: arb_reg(rng) },
+        24 => Instr::StB { base: arb_reg(rng), off: rng.next_i32(), src: arb_reg(rng) },
         _ => Instr::Halt,
     }
 }

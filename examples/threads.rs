@@ -53,7 +53,12 @@ fn main() {
     let module = compile(PROGRAM, &Options::o2()).expect("compiles");
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 512, stack_words: 1 << 14, max_threads: 4 },
+        MachineConfig {
+            semi_words: 512,
+            stack_words: 1 << 14,
+            max_threads: 4,
+            ..MachineConfig::default()
+        },
     );
     let mut ex = Executor::new(machine, ExecConfig::default());
 
@@ -69,7 +74,10 @@ fn main() {
     println!("program output: {}", out.output.trim_end());
     println!("collections:    {}", out.collections);
     println!("frames traced:  {}", out.gc_total.frames_traced);
-    println!("threads:        {:?}", ex.machine.threads.iter().map(|t| t.status).collect::<Vec<_>>());
+    println!(
+        "threads:        {:?}",
+        ex.machine.threads.iter().map(|t| t.status).collect::<Vec<_>>()
+    );
     assert!(out.collections > 0);
     assert!(ex.machine.threads.iter().all(|t| t.status == ThreadStatus::Finished));
     println!(
@@ -79,7 +87,10 @@ fn main() {
 }
 
 fn proc_id(machine: &Machine, name: &str) -> u16 {
-    machine.module.procs.iter().position(|p| p.name == name).unwrap_or_else(|| {
-        panic!("no procedure named `{name}`")
-    }) as u16
+    machine
+        .module
+        .procs
+        .iter()
+        .position(|p| p.name == name)
+        .unwrap_or_else(|| panic!("no procedure named `{name}`")) as u16
 }

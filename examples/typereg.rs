@@ -21,7 +21,10 @@ fn main() {
 
         println!("== {label} ==");
         println!("  code size:        {} bytes", module.code_size());
-        println!("  gc-points:        {} ({} with non-empty tables)", stats.total_gc_points, stats.ngc);
+        println!(
+            "  gc-points:        {} ({} with non-empty tables)",
+            stats.total_gc_points, stats.ngc
+        );
         println!("  pointer slots:    {}", stats.nptrs);
         println!(
             "  tables:           {:.1}% of code plain, {:.1}% with Previous+Packing",

@@ -61,8 +61,7 @@ fn callee_save_discipline_holds() {
             }
             pos = *next;
         }
-        let saved: std::collections::HashSet<u8> =
-            meta.save_regs.iter().map(|&(r, _)| r).collect();
+        let saved: std::collections::HashSet<u8> = meta.save_regs.iter().map(|&(r, _)| r).collect();
         // Restores (LdF of a saved register from its save slot) count as
         // writes; exclude them.
         for r in &written {
@@ -112,7 +111,12 @@ fn threads_block_exactly_at_gc_points() {
     let module = compile(CALLS, &Options::o2()).unwrap();
     let mut machine = Machine::new(
         module,
-        MachineConfig { semi_words: 1 << 14, stack_words: 4096, max_threads: 2 },
+        MachineConfig {
+            semi_words: 1 << 14,
+            stack_words: 4096,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
     );
     let main = machine.module.main;
     let tid = machine.spawn(main, &[]);

@@ -31,7 +31,12 @@ BEGIN
 END P.";
 
 fn with_policy(calls: CallPolicy, loop_gc_points: bool) -> Options {
-    Options::o2().with_gc(GcConfig { emit_tables: true, calls, loop_gc_points })
+    Options::o2().with_gc(GcConfig {
+        emit_tables: true,
+        calls,
+        loop_gc_points,
+        ..GcConfig::default()
+    })
 }
 
 #[test]
@@ -57,8 +62,8 @@ fn every_policy_preserves_semantics() {
     for calls in [CallPolicy::AllCalls, CallPolicy::AllocatingOnly] {
         for loops in [true, false] {
             let module = compile(SRC, &with_policy(calls, loops)).unwrap();
-            let out = run_module(module, 128)
-                .unwrap_or_else(|e| panic!("{calls:?}/loops={loops}: {e}"));
+            let out =
+                run_module(module, 128).unwrap_or_else(|e| panic!("{calls:?}/loops={loops}: {e}"));
             assert_eq!(out.output, expected, "{calls:?}/loops={loops}");
             assert!(out.collections > 0, "{calls:?}/loops={loops}");
         }

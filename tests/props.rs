@@ -191,12 +191,24 @@ fn cached_and_uncached_decoding_agree() {
                 pcs.swap(k, rng.index(k + 1));
             }
             for &pc in &pcs {
-                assert_eq!(cache.lookup(&encoded.bytes, pc), decoder.lookup(pc).as_ref(), "{scheme}: pc {pc}");
+                assert_eq!(
+                    cache.lookup(&encoded.bytes, pc),
+                    decoder.lookup(pc).as_ref(),
+                    "{scheme}: pc {pc}"
+                );
             }
             let full = cache.counters();
-            assert_eq!(full.points_decoded as usize, pcs.len(), "{scheme}: each point decodes once");
+            assert_eq!(
+                full.points_decoded as usize,
+                pcs.len(),
+                "{scheme}: each point decodes once"
+            );
             for &pc in &pcs {
-                assert_eq!(cache.lookup(&encoded.bytes, pc), decoder.lookup(pc).as_ref(), "{scheme}: warm pc {pc}");
+                assert_eq!(
+                    cache.lookup(&encoded.bytes, pc),
+                    decoder.lookup(pc).as_ref(),
+                    "{scheme}: warm pc {pc}"
+                );
             }
             let warm = cache.counters().since(full);
             assert_eq!(warm.misses, 0, "{scheme}: warm pass must not miss");
