@@ -1053,6 +1053,48 @@ mod tests {
     }
 
     #[test]
+    fn call_invalidates_freshness() {
+        // A call between the allocation and the store is a gc-point: the
+        // callee may allocate and force a collection that promotes `c`,
+        // so the store needs its barrier back.
+        let mut p = Program::new();
+        let ty = ptr_record(&mut p);
+        let mut leaf = FuncBuilder::new("leaf", &[]);
+        leaf.ret(None);
+        let leaf_fn = leaf.finish();
+        let leaf_id = p.add_func(leaf_fn);
+        let mut b = FuncBuilder::new("main", &[]);
+        let a = b.new_object(ty, None);
+        let c = b.new_object(ty, None);
+        b.call(leaf_id, vec![], None);
+        b.store(c, 0, a);
+        b.ret(None);
+        let id = b.finish();
+        p.main = p.add_func(id);
+        assert_eq!(stb_count(&mut p, &CodegenOptions::default()), 1);
+    }
+
+    #[test]
+    fn barrier_elided_for_global_address_target() {
+        // A store through a global's address targets the global area,
+        // which every minor collection scans as roots — never an
+        // old→young edge, so never a barrier (even after a gc-point).
+        let mut p = Program::new();
+        let ty = ptr_record(&mut p);
+        let g = p.add_global(m3gc_ir::GlobalInfo::scalar("gp", TempKind::Ptr));
+        let mut b = FuncBuilder::new("main", &[]);
+        let a = b.new_object(ty, None);
+        b.push(m3gc_ir::Instr::GcPoint);
+        let ga = b.temp(TempKind::Int);
+        b.push(m3gc_ir::Instr::GlobalAddr { dst: ga, global: g });
+        b.store(ga, 0, a);
+        b.ret(None);
+        let id = b.finish();
+        p.main = p.add_func(id);
+        assert_eq!(stb_count(&mut p, &CodegenOptions::default()), 0);
+    }
+
+    #[test]
     fn barriers_can_be_disabled() {
         let mut p = Program::new();
         let ty = ptr_record(&mut p);

@@ -374,35 +374,6 @@ impl<'a> TableDecoder<'a> {
         TableDecoder { index, bytes: &encoded.bytes }
     }
 
-    /// Indexes an encoded table stream, panicking on malformed input.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stream is malformed.
-    #[deprecated(since = "0.1.0", note = "use `TableDecoder::build` and handle the error")]
-    #[must_use]
-    pub fn new(encoded: &'a EncodedTables) -> TableDecoder<'a> {
-        Self::build(encoded).expect("malformed encoded gc tables")
-    }
-
-    /// Former name of [`TableDecoder::build`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DecodeError`] if the stream is truncated or contains
-    /// invalid words.
-    #[deprecated(since = "0.1.0", note = "renamed to `TableDecoder::build`")]
-    pub fn try_new(encoded: &'a EncodedTables) -> Result<TableDecoder<'a>, DecodeError> {
-        Self::build(encoded)
-    }
-
-    /// Former name of [`TableDecoder::from_index`].
-    #[deprecated(since = "0.1.0", note = "renamed to `TableDecoder::from_index`")]
-    #[must_use]
-    pub fn with_index(index: DecoderIndex, encoded: &'a EncodedTables) -> TableDecoder<'a> {
-        Self::from_index(index, encoded)
-    }
-
     /// Number of procedures in the stream.
     #[must_use]
     pub fn num_procs(&self) -> usize {
@@ -773,14 +744,45 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
+    fn fresh_cache_for_second_module_does_not_serve_stale_points() {
+        // Two modules whose procedures collide on index *and* pc layout
+        // but carry different tables: the second module's cache must
+        // decode its own stream cold (miss, not hit) and must not leak
+        // the first module's memoized entries.
+        let first = sample_module();
+        let mut second = sample_module();
+        second.procs[0].points[0].live_stack = vec![2]; // FP+4, not {FP+0, FP+1}
+        let enc_a = encode_module(&first, Scheme::DELTA_MAIN_PP);
+        let enc_b = encode_module(&second, Scheme::DELTA_MAIN_PP);
+
+        let mut cache_a = DecodeCache::build(&enc_a).unwrap();
+        cache_a.bind_module(1);
+        let slots_a = cache_a.lookup(&enc_a.bytes, 6).unwrap().stack_slots.clone();
+        assert_eq!(cache_a.counters(), DecodeCounters { hits: 0, misses: 1, points_decoded: 1 });
+
+        let mut cache_b = DecodeCache::build(&enc_b).unwrap();
+        cache_b.bind_module(2);
+        let slots_b = cache_b.lookup(&enc_b.bytes, 6).unwrap().stack_slots.clone();
+        assert_eq!(
+            cache_b.counters(),
+            DecodeCounters { hits: 0, misses: 1, points_decoded: 1 },
+            "second cache must start cold, not inherit memos"
+        );
+        assert_ne!(slots_a, slots_b, "colliding pc must decode per-module tables");
+        assert_eq!(slots_b, vec![ge(4)]);
+
+        // The first cache is untouched and still serves its own entry.
+        assert_eq!(cache_a.lookup(&enc_a.bytes, 6).unwrap().stack_slots, slots_a);
+        assert_eq!(cache_a.counters(), DecodeCounters { hits: 1, misses: 1, points_decoded: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "DecodeCache reused across modules")]
+    fn rebinding_cache_to_another_module_panics() {
         let enc = encode_module(&sample_module(), Scheme::DELTA_MAIN_PP);
-        let dec = TableDecoder::new(&enc);
-        assert_eq!(dec.num_procs(), 2);
-        assert!(TableDecoder::try_new(&enc).is_ok());
-        let index = DecoderIndex::build(&enc).unwrap();
-        assert!(TableDecoder::with_index(index, &enc).lookup(6).is_some());
+        let mut cache = DecodeCache::build(&enc).unwrap();
+        cache.bind_module(1);
+        cache.bind_module(2);
     }
 
     #[test]

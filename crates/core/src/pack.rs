@@ -265,6 +265,63 @@ mod tests {
     }
 
     #[test]
+    fn sign_extension_edges_roundtrip() {
+        // The signed capacity of an n-byte word is [-2^(7n-1), 2^(7n-1)).
+        // Walk every 7-bit boundary: the last value that fits n bytes and
+        // the first that needs n+1, on both sides of zero.
+        for n in 1..MAX_PACKED_LEN {
+            let half = 1i64 << (BITS as usize * n - 1);
+            for v in [
+                (half - 1) as i32,  // largest n-byte positive
+                half as i32,        // first (n+1)-byte positive
+                (-half) as i32,     // most negative n-byte value
+                (-half - 1) as i32, // first (n+1)-byte negative
+            ] {
+                let expected = if i64::from(v) >= -half && i64::from(v) < half { n } else { n + 1 };
+                assert_eq!(packed_len(v), expected, "packed_len({v})");
+                let mut buf = Vec::new();
+                let wrote = pack_word(v, &mut buf);
+                assert_eq!(wrote, expected, "pack_word({v}) length");
+                let (back, read) = unpack_word(&buf, 0).unwrap();
+                assert_eq!(back, v, "roundtrip at edge {v}");
+                assert_eq!(read, wrote);
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_are_most_significant_first() {
+        // 21-bit value 0b0000100_0000010_0000001: three payload septets
+        // must appear high-to-low, continuation set on all but the last.
+        let v = (4 << 14) | (2 << 7) | 1;
+        let mut buf = Vec::new();
+        pack_word(v, &mut buf);
+        assert_eq!(buf, vec![CONT | 4, CONT | 2, 1]);
+        // Unsigned packing uses the same ordering.
+        let mut ubuf = Vec::new();
+        pack_uword(v as u32, &mut ubuf);
+        assert_eq!(ubuf, buf);
+    }
+
+    #[test]
+    fn extreme_values_roundtrip_at_full_width() {
+        for v in [i32::MIN, i32::MIN + 1, i32::MAX - 1, i32::MAX] {
+            let mut buf = Vec::new();
+            let n = pack_word(v, &mut buf);
+            assert_eq!(n, MAX_PACKED_LEN, "extremes need all {MAX_PACKED_LEN} bytes");
+            let (back, m) = unpack_word(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(m, n);
+        }
+        // And mixed into a stream with small neighbours.
+        let words = vec![i32::MIN, -1, 0, 1, i32::MAX];
+        let packed = pack_words(&words);
+        let (back, len) = unpack_words(&packed, 0, words.len()).unwrap();
+        assert_eq!(back, words);
+        assert_eq!(len, packed.len());
+    }
+
+    #[test]
     fn multi_word_stream() {
         let words = vec![-1, 0, 1000, -70_000, 5];
         let packed = pack_words(&words);

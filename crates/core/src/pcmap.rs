@@ -98,4 +98,42 @@ mod tests {
         let c = pcmap_cost(&ModuleTables::default());
         assert_eq!(c, PcMapCost::default());
     }
+
+    #[test]
+    fn procedure_without_gc_points_costs_nothing() {
+        // A leaf procedure that neither calls nor allocates has an empty
+        // pc map; it must contribute zero bytes, not a header's worth.
+        let m = module_with_pcs(&[]);
+        let c = pcmap_cost(&m);
+        assert_eq!(c, PcMapCost::default());
+        assert!(m.point_at(0).is_none());
+    }
+
+    #[test]
+    fn adjacent_gc_points_have_distinct_tables() {
+        // Two gc-points one instruction apart (e.g. a call immediately
+        // followed by an allocation in the caller): distance 1 packs to
+        // one byte, and lookup resolves each pc to its own table.
+        let m = module_with_pcs(&[10, 11]);
+        let c = pcmap_cost(&m);
+        assert_eq!(c.total_points, 2);
+        assert_eq!(c.variable, 2);
+        assert_eq!(c.one_byte_distances, 2);
+        let (_, first) = m.point_at(10).expect("first point");
+        let (_, second) = m.point_at(11).expect("second point");
+        assert_eq!(first.pc, 10);
+        assert_eq!(second.pc, 11);
+    }
+
+    #[test]
+    fn lookup_past_the_last_gc_point_misses() {
+        // pcs around the table: before the first, between points (not a
+        // gc-point), and one past the last must all miss — the map is
+        // exact, not a covering interval.
+        let m = module_with_pcs(&[10, 30]);
+        assert!(m.point_at(9).is_none(), "before the first gc-point");
+        assert!(m.point_at(20).is_none(), "between gc-points");
+        assert!(m.point_at(31).is_none(), "one past the last gc-point");
+        assert!(m.point_at(u32::MAX).is_none(), "far past the procedure");
+    }
 }

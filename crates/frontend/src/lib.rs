@@ -36,6 +36,7 @@ pub mod error;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod render;
 pub mod typecheck;
 pub mod types;
 

@@ -1,0 +1,298 @@
+//! AST → Mini-M3 source renderer.
+//!
+//! The inverse of the parser, used by the fuzzing subsystem: generated
+//! and shrunk ASTs are rendered back to concrete syntax so every fuzz
+//! case exercises the whole pipeline (lexer onward) and every failure
+//! reproduces from a plain source file. Expressions are fully
+//! parenthesized, so rendering is precedence-safe by construction and
+//! `render → parse → render` is a fixpoint after one round.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a module as parseable Mini-M3 source.
+#[must_use]
+pub fn render_module(m: &Module) -> String {
+    let mut r = Renderer { out: String::new(), indent: 0 };
+    r.module(m);
+    r.out
+}
+
+struct Renderer {
+    out: String,
+    indent: usize,
+}
+
+impl Renderer {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn module(&mut self, m: &Module) {
+        self.line(&format!("MODULE {};", m.name));
+        if !m.types.is_empty() {
+            self.line("TYPE");
+            for t in &m.types {
+                self.line(&format!("  {} = {};", t.name, type_expr(&t.ty)));
+            }
+        }
+        if !m.consts.is_empty() {
+            self.line("CONST");
+            for c in &m.consts {
+                self.line(&format!("  {} = {};", c.name, expr(&c.value)));
+            }
+        }
+        if !m.vars.is_empty() {
+            self.line("VAR");
+            for v in &m.vars {
+                self.line(&format!("  {}", var_decl(v)));
+            }
+        }
+        for p in &m.procs {
+            self.proc(p);
+        }
+        self.line("BEGIN");
+        self.indent += 1;
+        for s in &m.body {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line(&format!("END {}.", m.name));
+    }
+
+    fn proc(&mut self, p: &ProcDecl) {
+        let formals = p
+            .formals
+            .iter()
+            .map(|f| {
+                let prefix = if f.var { "VAR " } else { "" };
+                format!("{prefix}{}: {}", f.names.join(", "), type_expr(&f.ty))
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        let ret = match &p.ret {
+            Some(t) => format!(": {}", type_expr(t)),
+            None => String::new(),
+        };
+        self.line(&format!("PROCEDURE {}({formals}){ret} =", p.name));
+        if !p.locals.is_empty() {
+            self.line("VAR");
+            for v in &p.locals {
+                self.line(&format!("  {}", var_decl(v)));
+            }
+        }
+        self.line("BEGIN");
+        self.indent += 1;
+        for s in &p.body {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line(&format!("END {};", p.name));
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                self.line(&format!("{} := {};", expr(lhs), expr(rhs)));
+            }
+            StmtKind::Call(e) => self.line(&format!("{};", expr(e))),
+            StmtKind::If { arms, else_body } => {
+                for (i, (cond, body)) in arms.iter().enumerate() {
+                    let kw = if i == 0 { "IF" } else { "ELSIF" };
+                    self.line(&format!("{kw} {} THEN", expr(cond)));
+                    self.block(body);
+                }
+                if !else_body.is_empty() {
+                    self.line("ELSE");
+                    self.block(else_body);
+                }
+                self.line("END;");
+            }
+            StmtKind::While { cond, body } => {
+                self.line(&format!("WHILE {} DO", expr(cond)));
+                self.block(body);
+                self.line("END;");
+            }
+            StmtKind::Repeat { body, cond } => {
+                self.line("REPEAT");
+                self.block(body);
+                self.line(&format!("UNTIL {};", expr(cond)));
+            }
+            StmtKind::Loop { body } => {
+                self.line("LOOP");
+                self.block(body);
+                self.line("END;");
+            }
+            StmtKind::For { var, from, to, by, body } => {
+                let by = match by {
+                    Some(b) => format!(" BY {}", expr(b)),
+                    None => String::new(),
+                };
+                self.line(&format!("FOR {var} := {} TO {}{by} DO", expr(from), expr(to)));
+                self.block(body);
+                self.line("END;");
+            }
+            StmtKind::Exit => self.line("EXIT;"),
+            StmtKind::Return(None) => self.line("RETURN;"),
+            StmtKind::Return(Some(e)) => self.line(&format!("RETURN {};", expr(e))),
+            StmtKind::With { bindings, body } => {
+                let binds = bindings
+                    .iter()
+                    .map(|(n, e)| format!("{n} = {}", expr(e)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                self.line(&format!("WITH {binds} DO"));
+                self.block(body);
+                self.line("END;");
+            }
+        }
+    }
+
+    fn block(&mut self, body: &[Stmt]) {
+        self.indent += 1;
+        for s in body {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+    }
+}
+
+fn var_decl(v: &VarDecl) -> String {
+    let init = match &v.init {
+        Some(e) => format!(" := {}", expr(e)),
+        None => String::new(),
+    };
+    format!("{}: {}{init};", v.names.join(", "), type_expr(&v.ty))
+}
+
+/// Renders a type expression.
+#[must_use]
+pub fn type_expr(t: &TypeExpr) -> String {
+    match &t.kind {
+        TypeExprKind::Int => "INTEGER".into(),
+        TypeExprKind::Bool => "BOOLEAN".into(),
+        TypeExprKind::Char => "CHAR".into(),
+        TypeExprKind::Named(n) => n.clone(),
+        TypeExprKind::Ref(inner) => format!("REF {}", type_expr(inner)),
+        TypeExprKind::Array { lo, hi, elem } => {
+            format!("ARRAY [{}..{}] OF {}", expr(lo), expr(hi), type_expr(elem))
+        }
+        TypeExprKind::OpenArray(elem) => format!("ARRAY OF {}", type_expr(elem)),
+        TypeExprKind::Record(fields) => {
+            let mut s = String::from("RECORD ");
+            for (name, ty) in fields {
+                let _ = write!(s, "{name}: {}; ", type_expr(ty));
+            }
+            s.push_str("END");
+            s
+        }
+    }
+}
+
+/// Renders an expression, fully parenthesizing every operator.
+#[must_use]
+pub fn expr(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Int(v) => v.to_string(),
+        ExprKind::Bool(true) => "TRUE".into(),
+        ExprKind::Bool(false) => "FALSE".into(),
+        ExprKind::CharLit(c) => match u32::try_from(*c).ok().and_then(char::from_u32) {
+            Some('\n') => "'\\n'".into(),
+            Some('\t') => "'\\t'".into(),
+            Some('\\') => "'\\\\'".into(),
+            Some('\'') => "'\\''".into(),
+            Some('\0') | None => "'\\0'".into(),
+            Some(ch) => format!("'{ch}'"),
+        },
+        ExprKind::Nil => "NIL".into(),
+        ExprKind::Text(s) => format!("{s:?}"),
+        ExprKind::Name(n) => n.clone(),
+        ExprKind::Field(base, f) => format!("{}.{f}", expr(base)),
+        ExprKind::Index(base, idx) => format!("{}[{}]", expr(base), expr(idx)),
+        ExprKind::Deref(base) => format!("{}^", expr(base)),
+        ExprKind::Bin(op, l, r) => format!("({} {} {})", expr(l), bin_op(*op), expr(r)),
+        ExprKind::Un(UnOp::Neg, inner) => format!("(-{})", expr(inner)),
+        ExprKind::Un(UnOp::Not, inner) => format!("(NOT {})", expr(inner)),
+        ExprKind::Call { name, args } => {
+            let args = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+            format!("{name}({args})")
+        }
+        ExprKind::New { ty, len } => match len {
+            Some(l) => format!("NEW({}, {})", type_expr(ty), expr(l)),
+            None => format!("NEW({})", type_expr(ty)),
+        },
+    }
+}
+
+fn bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "DIV",
+        BinOp::Mod => "MOD",
+        BinOp::Eq => "=",
+        BinOp::Ne => "#",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "AND",
+        BinOp::Or => "OR",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn reparse(src: &str) -> Module {
+        parse(lex(src).expect("lex")).expect("parse")
+    }
+
+    #[test]
+    fn render_is_stable_under_reparse() {
+        let src = "MODULE M;
+             TYPE List = REF RECORD head: INTEGER; tail: List END;
+                  A = REF ARRAY OF INTEGER;
+                  B = ARRAY [1..4] OF BOOLEAN;
+             CONST N = 10;
+             VAR a, b: INTEGER := 3; p: List; q: A;
+             PROCEDURE F(x: INTEGER; VAR y: INTEGER): INTEGER =
+             VAR t: INTEGER;
+             BEGIN
+               t := x + y * 2;
+               IF t > 0 THEN y := t; ELSIF t = 0 THEN y := 1; ELSE y := -t; END;
+               WHILE t > 0 DO t := t - 1; END;
+               REPEAT t := t + 1; UNTIL t >= 3;
+               LOOP EXIT; END;
+               FOR i := 1 TO 5 BY 2 DO t := t + i; END;
+               WITH h = q^[1], g = t DO h := g; END;
+               RETURN t;
+             END F;
+             BEGIN
+               p := NEW(List);
+               q := NEW(A, N);
+               p.head := F(a, b);
+               IF (p # NIL) AND (p.head >= 0) THEN PutInt(p.head); END;
+               PutLn();
+             END M.";
+        let once = render_module(&reparse(src));
+        let twice = render_module(&reparse(&once));
+        assert_eq!(once, twice, "rendering must be a reparse fixpoint");
+    }
+
+    #[test]
+    fn renders_full_parentheses() {
+        let m = reparse("MODULE M; VAR x: INTEGER; BEGIN x := 1 + 2 * 3; END M.");
+        let out = render_module(&m);
+        assert!(out.contains("x := (1 + (2 * 3));"), "got: {out}");
+    }
+}

@@ -1,0 +1,162 @@
+//! The differential executor.
+//!
+//! Each fuzz case runs once through the reference (the unoptimized IR
+//! under the never-collecting interpreter) and then through the full VM
+//! matrix: {o0, o2} × all six table encodings × {semispace,
+//! generational}, every VM run under gc torture (`force_every_allocs=1`)
+//! with shadow mode and the precision oracle armed. All conclusive runs
+//! must agree on output and trap kind; a stale-pointer trap, an oracle
+//! violation or a scheduler failure is a bug regardless of what the
+//! reference did.
+//!
+//! Resource exhaustion (interpreter fuel, VM fuel, VM heap) is
+//! *inconclusive*, not a failure: the reference heap never fills while
+//! the VM's does, so those runs are simply skipped.
+
+use m3gc_compiler::{compile, Options};
+use m3gc_core::encode::Scheme;
+use m3gc_runtime::scheduler::{ExecConfig, ExecError, Executor};
+use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig, VmTrap};
+
+/// Trap kinds shared by the reference interpreter and the VM, for
+/// cross-implementation comparison (the Display strings differ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapKind {
+    /// NIL dereference.
+    Nil,
+    /// Subscript out of range.
+    Range,
+    /// Assertion failure.
+    Assert,
+    /// Call-depth / stack-region exhaustion.
+    StackOverflow,
+    /// Address outside every region (always a compiler bug).
+    Wild,
+}
+
+/// Outcome of one run, normalized for comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Ran to completion with this output.
+    Ok(String),
+    /// Deterministic language-level trap.
+    Trap(TrapKind),
+    /// Resource exhaustion — not comparable, skip.
+    Inconclusive(String),
+    /// Unconditional failure: missed-pointer trap, oracle violation,
+    /// stuck thread, decode error, or a frontend rejection of a
+    /// generated program.
+    Hard(String),
+}
+
+/// Heap words per semispace for fuzz runs — small enough that torture
+/// collections exercise real evacuation, large enough that the generated
+/// programs' live sets fit.
+pub const FUZZ_SEMI_WORDS: usize = 1 << 12;
+
+/// Runs the reference semantics: unoptimized IR, never collects.
+#[must_use]
+pub fn run_reference(source: &str) -> RunStatus {
+    let prog = match m3gc_frontend::compile_to_ir(source) {
+        Ok(p) => p,
+        Err(d) => return RunStatus::Hard(format!("frontend rejected generated program: {d}")),
+    };
+    match m3gc_ir::interp::run_program(&prog) {
+        Ok(out) => RunStatus::Ok(out.output),
+        Err(t) => match t {
+            m3gc_ir::interp::Trap::NilError => RunStatus::Trap(TrapKind::Nil),
+            m3gc_ir::interp::Trap::RangeError => RunStatus::Trap(TrapKind::Range),
+            m3gc_ir::interp::Trap::AssertError => RunStatus::Trap(TrapKind::Assert),
+            m3gc_ir::interp::Trap::StackOverflow => RunStatus::Trap(TrapKind::StackOverflow),
+            m3gc_ir::interp::Trap::WildAddress => RunStatus::Trap(TrapKind::Wild),
+            m3gc_ir::interp::Trap::OutOfFuel => {
+                RunStatus::Inconclusive("reference fuel".to_string())
+            }
+        },
+    }
+}
+
+/// Runs one VM configuration under torture with shadow mode and the
+/// precision oracle.
+#[must_use]
+pub fn run_vm(source: &str, options: &Options, heap: HeapStrategy) -> RunStatus {
+    let module = match compile(source, options) {
+        Ok(m) => m,
+        Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
+    };
+    let mut machine = Machine::new(
+        module,
+        MachineConfig { semi_words: FUZZ_SEMI_WORDS, stack_words: 1 << 14, max_threads: 4, heap },
+    );
+    machine.enable_shadow();
+    let config = ExecConfig { force_every_allocs: Some(1), oracle: true, ..ExecConfig::default() };
+    let mut ex = match Executor::try_new(machine, config) {
+        Ok(ex) => ex,
+        Err(e) => return RunStatus::Hard(format!("gc-map decode failed: {e}")),
+    };
+    match ex.run_main() {
+        Ok(out) => RunStatus::Ok(out.output),
+        Err(ExecError::Trap(t)) => match t {
+            VmTrap::NilError => RunStatus::Trap(TrapKind::Nil),
+            VmTrap::RangeError => RunStatus::Trap(TrapKind::Range),
+            VmTrap::AssertError => RunStatus::Trap(TrapKind::Assert),
+            VmTrap::StackOverflow => RunStatus::Trap(TrapKind::StackOverflow),
+            VmTrap::WildAddress => RunStatus::Trap(TrapKind::Wild),
+            VmTrap::OutOfMemory => RunStatus::Inconclusive("vm heap".to_string()),
+            VmTrap::StalePointer => RunStatus::Hard(format!("missed pointer: {t}")),
+            VmTrap::BadProc => RunStatus::Hard(format!("vm trap: {t}")),
+        },
+        Err(ExecError::OutOfFuel) => RunStatus::Inconclusive("vm fuel".to_string()),
+        Err(e @ (ExecError::StuckThread { .. } | ExecError::Oracle(_))) => {
+            RunStatus::Hard(e.to_string())
+        }
+    }
+}
+
+/// The full VM configuration matrix: {o0, o2} × all six encodings ×
+/// {semispace, generational}, with human-readable labels.
+#[must_use]
+pub fn config_matrix() -> Vec<(String, Options, HeapStrategy)> {
+    let mut out = Vec::new();
+    for (olabel, opts) in [("o0", Options::o0()), ("o2", Options::o2())] {
+        for scheme in Scheme::TABLE2 {
+            for (hlabel, heap) in [
+                ("semi", HeapStrategy::Semispace),
+                ("gen", HeapStrategy::generational_for(FUZZ_SEMI_WORDS)),
+            ] {
+                out.push((format!("{olabel}/{scheme}/{hlabel}"), opts.with_scheme(scheme), heap));
+            }
+        }
+    }
+    out
+}
+
+/// Checks one program across the whole matrix. Returns `true` if the
+/// case was conclusive, `false` if the reference run was inconclusive
+/// and nothing could be compared.
+///
+/// # Errors
+///
+/// Returns a description of the first discrepancy or hard failure.
+pub fn check_program(source: &str) -> Result<bool, String> {
+    let reference = run_reference(source);
+    match &reference {
+        RunStatus::Hard(msg) => return Err(format!("[reference] {msg}")),
+        RunStatus::Inconclusive(_) => return Ok(false), // nothing to compare against
+        _ => {}
+    }
+    for (label, opts, heap) in config_matrix() {
+        match run_vm(source, &opts, heap) {
+            RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
+            RunStatus::Inconclusive(_) => continue,
+            got => {
+                if got != reference {
+                    return Err(format!(
+                        "[{label}] diverged from reference: got {got:?}, expected {reference:?}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(true)
+}

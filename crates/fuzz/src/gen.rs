@@ -1,0 +1,535 @@
+//! Seeded random program generator.
+//!
+//! Produces well-typed Mini-M3 modules over a fixed declaration skeleton
+//! (a linked record type, open and non-zero-lower-bound arrays, an
+//! array-of-arrays for double indexing, helper procedures with value and
+//! `VAR` parameters) with a randomized body exercising the idioms the
+//! paper's tables must describe: records, arrays, conditionals, loops,
+//! calls, `WITH` aliases into object interiors, and induction-variable
+//! patterns that strength reduction, CSE and double indexing turn into
+//! derived pointers.
+//!
+//! Programs are total by construction up to deterministic traps:
+//!
+//! * every `WHILE`/`REPEAT` counts a dedicated counter variable `w` down
+//!   from a small constant and nothing else assigns it, so loops
+//!   terminate;
+//! * index variables stay in `[0, 8)` via `(v + c) MOD 8` updates and
+//!   `FOR` ranges, and every array is allocated with length 8 (the fixed
+//!   array spans `[2..9]`);
+//! * `DIV`/`MOD` divisors are non-zero constants.
+//!
+//! NIL dereferences *can* occur (e.g. after walking `r := r.nxt` past the
+//! allocated spine) — deliberately: traps are deterministic and must
+//! agree between the reference interpreter and every VM configuration.
+
+use m3gc_frontend::ast::*;
+use m3gc_frontend::error::Pos;
+use m3gc_testkit::Rng;
+
+const IDX_LEN: i64 = 8;
+
+fn ex(kind: ExprKind) -> Expr {
+    Expr { id: 0, pos: Pos::default(), kind }
+}
+
+fn int(v: i64) -> Expr {
+    ex(ExprKind::Int(v))
+}
+
+fn name(n: &str) -> Expr {
+    ex(ExprKind::Name(n.to_string()))
+}
+
+fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+    ex(ExprKind::Bin(op, Box::new(l), Box::new(r)))
+}
+
+fn field(base: Expr, f: &str) -> Expr {
+    ex(ExprKind::Field(Box::new(base), f.to_string()))
+}
+
+fn index(base: Expr, i: Expr) -> Expr {
+    ex(ExprKind::Index(Box::new(base), Box::new(i)))
+}
+
+fn call(n: &str, args: Vec<Expr>) -> Expr {
+    ex(ExprKind::Call { name: n.to_string(), args })
+}
+
+fn ty_named(n: &str) -> TypeExpr {
+    TypeExpr { pos: Pos::default(), kind: TypeExprKind::Named(n.to_string()) }
+}
+
+fn ty_int() -> TypeExpr {
+    TypeExpr { pos: Pos::default(), kind: TypeExprKind::Int }
+}
+
+fn new_of(tyname: &str, len: Option<i64>) -> Expr {
+    ex(ExprKind::New { ty: ty_named(tyname), len: len.map(|l| Box::new(int(l))) })
+}
+
+fn stmt(kind: StmtKind) -> Stmt {
+    Stmt { pos: Pos::default(), kind }
+}
+
+fn assign(lhs: Expr, rhs: Expr) -> Stmt {
+    stmt(StmtKind::Assign { lhs, rhs })
+}
+
+/// `(v + c) MOD 8` — keeps an index variable in range.
+fn idx_step(var: &str, c: i64) -> Stmt {
+    assign(name(var), bin(BinOp::Mod, bin(BinOp::Add, name(var), int(c)), int(IDX_LEN)))
+}
+
+/// `(e MOD 8)` over an arbitrary non-negative index expression.
+fn idx_expr(e: Expr) -> Expr {
+    bin(BinOp::Mod, e, int(IDX_LEN))
+}
+
+/// An in-range index for the `[2..9]` fixed array.
+fn fixed_idx(e: Expr) -> Expr {
+    bin(BinOp::Add, idx_expr(e), int(2))
+}
+
+struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// Integer variables readable/writable in the main body.
+    const INT_VARS: &'static [&'static str] = &["i", "j", "s", "t", "k"];
+
+    fn int_expr(&mut self, depth: u32, heap: bool) -> Expr {
+        if depth == 0 || self.rng.chance(2, 5) {
+            return match self.rng.below(if heap { 10 } else { 4 }) {
+                0 => int(self.rng.range_i64(0, 10)),
+                1 | 2 => name(self.rng.pick_copy(Self::INT_VARS)),
+                3 => name(self.rng.pick_copy(&["s", "t"])),
+                4 => field(name("r"), "a"),
+                5 => index(name("a"), name(self.rng.pick_copy(&["i", "j", "k"]))),
+                6 => index(name("b"), fixed_idx(name("j"))),
+                7 => index(index(name("m"), name("i")), name("j")),
+                8 => index(field(name("r"), "arr"), name(self.rng.pick_copy(&["i", "k"]))),
+                _ => field(field(name("r"), "nxt"), "a"),
+            };
+        }
+        match self.rng.below(7) {
+            0 => bin(BinOp::Add, self.int_expr(depth - 1, heap), self.int_expr(depth - 1, heap)),
+            1 => bin(BinOp::Sub, self.int_expr(depth - 1, heap), self.int_expr(depth - 1, heap)),
+            2 => bin(BinOp::Mul, self.int_expr(depth - 1, heap), int(self.rng.range_i64(0, 5))),
+            3 => bin(BinOp::Div, self.int_expr(depth - 1, heap), int(self.rng.range_i64(2, 8))),
+            4 => bin(BinOp::Mod, self.int_expr(depth - 1, heap), int(self.rng.range_i64(2, 8))),
+            5 if heap => call(
+                "Sum",
+                vec![match self.rng.below(3) {
+                    0 => name("a"),
+                    1 => field(name("r"), "arr"),
+                    _ => index(name("m"), name("j")),
+                }],
+            ),
+            6 if heap => {
+                call("F", vec![self.int_expr(depth - 1, false), self.int_expr(depth - 1, false)])
+            }
+            _ => ex(ExprKind::Un(UnOp::Neg, Box::new(self.int_expr(depth - 1, heap)))),
+        }
+    }
+
+    fn bool_expr(&mut self, depth: u32, heap: bool) -> Expr {
+        if depth == 0 || self.rng.chance(1, 2) {
+            let op = self.rng.pick_copy(&[
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+            ]);
+            return bin(op, self.int_expr(1, heap), self.int_expr(1, heap));
+        }
+        match self.rng.below(4) {
+            0 if heap => bin(BinOp::Ne, field(name("r"), "nxt"), ex(ExprKind::Nil)),
+            1 => bin(BinOp::And, self.bool_expr(depth - 1, heap), self.bool_expr(depth - 1, heap)),
+            2 => bin(BinOp::Or, self.bool_expr(depth - 1, heap), self.bool_expr(depth - 1, heap)),
+            _ => ex(ExprKind::Un(UnOp::Not, Box::new(self.bool_expr(depth - 1, heap)))),
+        }
+    }
+
+    /// One random main-body statement (possibly a compound one).
+    fn main_stmt(&mut self, depth: u32, out: &mut Vec<Stmt>) {
+        match self.rng.below(if depth == 0 { 12 } else { 17 }) {
+            0 => out.push(assign(name(self.rng.pick_copy(&["s", "t"])), self.int_expr(2, true))),
+            1 => out.push(idx_step(self.rng.pick_copy(&["i", "j"]), self.rng.range_i64(1, 6))),
+            2 => out.push(match self.rng.below(6) {
+                0 => assign(name("r"), new_of("R", None)),
+                1 => assign(field(name("r"), "nxt"), new_of("R", None)),
+                2 => assign(field(name("r"), "arr"), new_of("A", Some(IDX_LEN))),
+                3 => assign(name("a"), new_of("A", Some(IDX_LEN))),
+                4 => assign(name("b"), new_of("B", None)),
+                _ => assign(index(name("m"), name("i")), new_of("A", Some(IDX_LEN))),
+            }),
+            3 => out.push(match self.rng.below(5) {
+                0 => assign(field(name("r"), "a"), self.int_expr(2, true)),
+                1 => assign(index(name("a"), name("i")), self.int_expr(2, true)),
+                2 => assign(index(name("b"), fixed_idx(name("i"))), self.int_expr(1, true)),
+                3 => assign(index(index(name("m"), name("i")), name("j")), self.int_expr(1, true)),
+                _ => assign(index(field(name("r"), "arr"), name("j")), self.int_expr(1, true)),
+            }),
+            4 => out.push(match self.rng.below(3) {
+                0 => assign(field(name("r"), "nxt"), name("r")),
+                1 => assign(name("r"), field(name("r"), "nxt")),
+                _ => assign(field(field(name("r"), "nxt"), "a"), self.int_expr(1, true)),
+            }),
+            5 => out.push(stmt(StmtKind::Call(call(
+                "Bump",
+                vec![match self.rng.below(4) {
+                    0 => name(self.rng.pick_copy(&["s", "t"])),
+                    1 => field(name("r"), "a"),
+                    2 => index(name("a"), name("j")),
+                    _ => index(index(name("m"), name("j")), name("i")),
+                }],
+            )))),
+            6 => out.push(assign(
+                name("s"),
+                call("F", vec![self.int_expr(1, true), self.int_expr(1, true)]),
+            )),
+            7 => out.push(stmt(StmtKind::Call(call("PutInt", vec![self.int_expr(2, true)])))),
+            8..=11 => out.push(assign(name(self.rng.pick_copy(&["s", "t", "i", "j"])), {
+                let e = self.int_expr(2, true);
+                match self.rng.below(2) {
+                    0 => idx_expr(e), // writes to i/j must stay in range
+                    _ => idx_expr(bin(BinOp::Add, e, int(1))),
+                }
+            })),
+            12 => {
+                // IF / ELSIF / ELSE
+                let mut arms = vec![(self.bool_expr(2, true), self.block(depth - 1, 1, 3))];
+                if self.rng.chance(1, 3) {
+                    arms.push((self.bool_expr(1, true), self.block(depth - 1, 1, 2)));
+                }
+                let else_body =
+                    if self.rng.coin() { self.block(depth - 1, 1, 3) } else { Vec::new() };
+                out.push(stmt(StmtKind::If { arms, else_body }));
+            }
+            13 => {
+                // Terminating WHILE over the dedicated counter.
+                out.push(assign(name("w"), int(self.rng.range_i64(1, 6))));
+                let mut body = self.block(depth - 1, 1, 3);
+                body.push(assign(name("w"), bin(BinOp::Sub, name("w"), int(1))));
+                out.push(stmt(StmtKind::While { cond: bin(BinOp::Gt, name("w"), int(0)), body }));
+            }
+            14 => {
+                // Terminating REPEAT over the dedicated counter.
+                out.push(assign(name("w"), int(self.rng.range_i64(1, 5))));
+                let mut body = self.block(depth - 1, 1, 2);
+                body.push(assign(name("w"), bin(BinOp::Sub, name("w"), int(1))));
+                out.push(stmt(StmtKind::Repeat { body, cond: bin(BinOp::Le, name("w"), int(0)) }));
+            }
+            15 => {
+                // FOR over the dedicated induction variable (in-range index).
+                out.push(stmt(StmtKind::For {
+                    var: "k".to_string(),
+                    from: int(0),
+                    to: int(IDX_LEN - 1),
+                    by: if self.rng.coin() { None } else { Some(int(2)) },
+                    body: self.block(depth - 1, 1, 3),
+                }));
+            }
+            _ => {
+                // WITH aliases: an array slot, a record field, or a ref.
+                let (n, e, body) = match self.rng.below(3) {
+                    0 => {
+                        let mut b = vec![assign(
+                            name("h"),
+                            bin(BinOp::Add, name("h"), self.int_expr(1, true)),
+                        )];
+                        if self.rng.coin() {
+                            b.push(assign(name("s"), name("h")));
+                        }
+                        ("h", index(name("a"), name("i")), b)
+                    }
+                    1 => {
+                        let b = vec![assign(name("h"), self.int_expr(2, true))];
+                        ("h", field(name("r"), "a"), b)
+                    }
+                    _ => {
+                        let b = vec![
+                            assign(index(name("h"), name("j")), self.int_expr(1, true)),
+                            assign(name("t"), index(name("h"), name("i"))),
+                        ];
+                        ("h", index(name("m"), name("i")), b)
+                    }
+                };
+                out.push(stmt(StmtKind::With { bindings: vec![(n.to_string(), e)], body }));
+            }
+        }
+    }
+
+    fn block(&mut self, depth: u32, min: u64, max: u64) -> Vec<Stmt> {
+        let n = self.rng.range_i64(min as i64, max as i64 + 1);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            self.main_stmt(depth, &mut out);
+        }
+        out
+    }
+
+    /// A random pure-integer procedure `F(x, y): INTEGER`.
+    fn proc_f(&mut self) -> ProcDecl {
+        let mut body =
+            vec![assign(name("u"), bin(BinOp::Add, name("x"), bin(BinOp::Mul, name("y"), int(2))))];
+        for _ in 0..self.rng.below(4) {
+            match self.rng.below(3) {
+                0 => body.push(assign(name("u"), self.int_expr_local(2))),
+                1 => body.push(stmt(StmtKind::If {
+                    arms: vec![(
+                        bin(
+                            self.rng.pick_copy(&[BinOp::Lt, BinOp::Gt, BinOp::Eq]),
+                            name("u"),
+                            self.int_expr_local(1),
+                        ),
+                        vec![assign(name("u"), self.int_expr_local(1))],
+                    )],
+                    else_body: Vec::new(),
+                })),
+                _ => body.push(assign(
+                    name("u"),
+                    bin(BinOp::Mod, name("u"), int(self.rng.range_i64(2, 100))),
+                )),
+            }
+        }
+        body.push(stmt(StmtKind::Return(Some(name("u")))));
+        ProcDecl {
+            name: "F".to_string(),
+            formals: vec![Formal {
+                var: false,
+                names: vec!["x".to_string(), "y".to_string()],
+                ty: ty_int(),
+            }],
+            ret: Some(ty_int()),
+            locals: vec![VarDecl {
+                names: vec!["u".to_string()],
+                ty: ty_int(),
+                init: None,
+                pos: Pos::default(),
+            }],
+            body,
+            pos: Pos::default(),
+        }
+    }
+
+    /// Integer expressions over `F`'s locals only.
+    fn int_expr_local(&mut self, depth: u32) -> Expr {
+        if depth == 0 || self.rng.coin() {
+            return match self.rng.below(4) {
+                0 => int(self.rng.range_i64(0, 10)),
+                1 => name("x"),
+                2 => name("y"),
+                _ => name("u"),
+            };
+        }
+        bin(
+            self.rng.pick_copy(&[BinOp::Add, BinOp::Sub, BinOp::Mul]),
+            self.int_expr_local(depth - 1),
+            self.int_expr_local(depth - 1),
+        )
+    }
+}
+
+/// Fixed helper: `Bump(VAR v) = v := v + 1` — a `VAR` parameter is an
+/// interior pointer across a call boundary when the argument is a heap
+/// location (§2).
+fn proc_bump() -> ProcDecl {
+    ProcDecl {
+        name: "Bump".to_string(),
+        formals: vec![Formal { var: true, names: vec!["v".to_string()], ty: ty_int() }],
+        ret: None,
+        locals: Vec::new(),
+        body: vec![assign(name("v"), bin(BinOp::Add, name("v"), int(1)))],
+        pos: Pos::default(),
+    }
+}
+
+/// Fixed helper: sums an open array — a loop over a ref parameter, prime
+/// strength-reduction fodder.
+fn proc_sum() -> ProcDecl {
+    ProcDecl {
+        name: "Sum".to_string(),
+        formals: vec![Formal { var: false, names: vec!["p".to_string()], ty: ty_named("A") }],
+        ret: Some(ty_int()),
+        locals: vec![VarDecl {
+            names: vec!["q".to_string(), "u".to_string()],
+            ty: ty_int(),
+            init: None,
+            pos: Pos::default(),
+        }],
+        body: vec![
+            assign(name("u"), int(0)),
+            stmt(StmtKind::For {
+                var: "q".to_string(),
+                from: int(0),
+                to: int(IDX_LEN - 1),
+                by: None,
+                body: vec![assign(
+                    name("u"),
+                    bin(BinOp::Add, name("u"), index(name("p"), name("q"))),
+                )],
+            }),
+            stmt(StmtKind::Return(Some(name("u")))),
+        ],
+        pos: Pos::default(),
+    }
+}
+
+/// Allocates every global ref so the random body starts from a non-NIL
+/// world, and zeroes the scalar state.
+fn prologue() -> Vec<Stmt> {
+    let mut out = vec![
+        assign(name("r"), new_of("R", None)),
+        assign(field(name("r"), "nxt"), new_of("R", None)),
+        assign(field(name("r"), "arr"), new_of("A", Some(IDX_LEN))),
+        assign(name("a"), new_of("A", Some(IDX_LEN))),
+        assign(name("b"), new_of("B", None)),
+        assign(name("m"), new_of("M", Some(IDX_LEN))),
+        stmt(StmtKind::For {
+            var: "k".to_string(),
+            from: int(0),
+            to: int(IDX_LEN - 1),
+            by: None,
+            body: vec![assign(index(name("m"), name("k")), new_of("A", Some(IDX_LEN)))],
+        }),
+    ];
+    for v in ["i", "j", "s", "t", "w"] {
+        out.push(assign(name(v), int(0)));
+    }
+    out
+}
+
+/// The epilogue prints the scalar state and a heap digest so silent value
+/// corruption shows up as an output difference.
+fn epilogue() -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for v in ["i", "j", "s", "t"] {
+        out.push(stmt(StmtKind::Call(call("PutInt", vec![name(v)]))));
+        out.push(stmt(StmtKind::Call(call("PutChar", vec![ex(ExprKind::CharLit(' ' as i64))]))));
+    }
+    out.push(stmt(StmtKind::Call(call("PutInt", vec![call("Sum", vec![name("a")])]))));
+    out.push(stmt(StmtKind::Call(call("PutInt", vec![field(name("r"), "a")]))));
+    out.push(stmt(StmtKind::Call(call("PutLn", vec![]))));
+    out
+}
+
+/// Generates one well-typed random module for `seed`.
+#[must_use]
+pub fn generate(seed: u64) -> Module {
+    let mut g = Gen { rng: Rng::new(seed) };
+    let n = g.rng.range_i64(8, 24);
+    let mut body = prologue();
+    for _ in 0..n {
+        g.main_stmt(2, &mut body);
+    }
+    body.extend(epilogue());
+
+    let types = vec![
+        TypeDecl {
+            name: "A".to_string(),
+            ty: TypeExpr {
+                pos: Pos::default(),
+                kind: TypeExprKind::Ref(Box::new(TypeExpr {
+                    pos: Pos::default(),
+                    kind: TypeExprKind::OpenArray(Box::new(ty_int())),
+                })),
+            },
+            pos: Pos::default(),
+        },
+        TypeDecl {
+            name: "B".to_string(),
+            ty: TypeExpr {
+                pos: Pos::default(),
+                kind: TypeExprKind::Ref(Box::new(TypeExpr {
+                    pos: Pos::default(),
+                    kind: TypeExprKind::Array {
+                        lo: Box::new(int(2)),
+                        hi: Box::new(int(9)),
+                        elem: Box::new(ty_int()),
+                    },
+                })),
+            },
+            pos: Pos::default(),
+        },
+        TypeDecl {
+            name: "R".to_string(),
+            ty: TypeExpr {
+                pos: Pos::default(),
+                kind: TypeExprKind::Ref(Box::new(TypeExpr {
+                    pos: Pos::default(),
+                    kind: TypeExprKind::Record(vec![
+                        ("a".to_string(), ty_int()),
+                        ("nxt".to_string(), ty_named("R")),
+                        ("arr".to_string(), ty_named("A")),
+                    ]),
+                })),
+            },
+            pos: Pos::default(),
+        },
+        TypeDecl {
+            name: "M".to_string(),
+            ty: TypeExpr {
+                pos: Pos::default(),
+                kind: TypeExprKind::Ref(Box::new(TypeExpr {
+                    pos: Pos::default(),
+                    kind: TypeExprKind::OpenArray(Box::new(ty_named("A"))),
+                })),
+            },
+            pos: Pos::default(),
+        },
+    ];
+
+    let mut vars = Vec::new();
+    for (names, ty) in [
+        (vec!["r"], ty_named("R")),
+        (vec!["a"], ty_named("A")),
+        (vec!["b"], ty_named("B")),
+        (vec!["m"], ty_named("M")),
+        (vec!["i", "j", "s", "t", "w", "k"], ty_int()),
+    ] {
+        vars.push(VarDecl {
+            names: names.into_iter().map(String::from).collect(),
+            ty,
+            init: None,
+            pos: Pos::default(),
+        });
+    }
+
+    Module {
+        name: "Fuzz".to_string(),
+        types,
+        consts: Vec::new(),
+        vars,
+        procs: vec![proc_bump(), proc_sum(), g.proc_f()],
+        body,
+        n_exprs: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3gc_frontend::render::render_module;
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..40 {
+            let src = render_module(&generate(seed));
+            m3gc_frontend::compile_to_ir(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} does not compile: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = render_module(&generate(7));
+        let b = render_module(&generate(7));
+        assert_eq!(a, b);
+    }
+}

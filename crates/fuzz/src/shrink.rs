@@ -1,0 +1,160 @@
+//! Whole-statement shrinking.
+//!
+//! Minimizes a failing program by deleting one statement at a time (a
+//! statement deletion removes its entire nested body, so compound
+//! statements shrink fast) and re-checking the failure. Deletion
+//! preserves well-typedness — statements never introduce declarations
+//! that later code depends on — so every candidate is a valid program.
+
+use m3gc_frontend::ast::{Module, Stmt, StmtKind};
+use m3gc_frontend::render::render_module;
+
+/// Counts the deletable statements in a module (procedure bodies first,
+/// then the main body; nested statements counted recursively).
+#[must_use]
+pub fn count_stmts(m: &Module) -> usize {
+    let mut n = 0;
+    for p in &m.procs {
+        n += count_list(&p.body);
+    }
+    n + count_list(&m.body)
+}
+
+fn count_list(body: &[Stmt]) -> usize {
+    body.iter().map(count_one).sum()
+}
+
+fn count_one(s: &Stmt) -> usize {
+    1 + match &s.kind {
+        StmtKind::If { arms, else_body } => {
+            arms.iter().map(|(_, b)| count_list(b)).sum::<usize>() + count_list(else_body)
+        }
+        StmtKind::While { body, .. }
+        | StmtKind::Repeat { body, .. }
+        | StmtKind::Loop { body }
+        | StmtKind::For { body, .. }
+        | StmtKind::With { body, .. } => count_list(body),
+        _ => 0,
+    }
+}
+
+/// Returns a copy of the module with the `n`-th statement (in
+/// [`count_stmts`] order) deleted, nested body and all.
+#[must_use]
+pub fn delete_stmt(m: &Module, n: usize) -> Module {
+    let mut out = m.clone();
+    let mut counter = n;
+    for p in &mut out.procs {
+        if delete_in_list(&mut p.body, &mut counter) {
+            return out;
+        }
+    }
+    delete_in_list(&mut out.body, &mut counter);
+    out
+}
+
+fn delete_in_list(body: &mut Vec<Stmt>, counter: &mut usize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *counter == 0 {
+            body.remove(i);
+            return true;
+        }
+        *counter -= 1;
+        let done = match &mut body[i].kind {
+            StmtKind::If { arms, else_body } => {
+                arms.iter_mut().any(|(_, b)| delete_in_list(b, counter))
+                    || delete_in_list(else_body, counter)
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::Repeat { body, .. }
+            | StmtKind::Loop { body }
+            | StmtKind::For { body, .. }
+            | StmtKind::With { body, .. } => delete_in_list(body, counter),
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Greedily minimizes a failing module: repeatedly deletes the first
+/// statement whose removal keeps `still_fails` true, to a fixpoint.
+/// Returns the minimized source.
+pub fn shrink(module: &Module, mut still_fails: impl FnMut(&str) -> bool) -> String {
+    let min = m3gc_testkit::minimize(module.clone(), count_stmts, delete_stmt, |m| {
+        still_fails(&render_module(m))
+    });
+    render_module(&min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3gc_frontend::{lexer::lex, parser::parse};
+
+    fn parse_src(src: &str) -> Module {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn counts_nested_statements() {
+        let m = parse_src(
+            "MODULE M; VAR x: INTEGER;
+             BEGIN
+               x := 1;
+               IF x > 0 THEN x := 2; x := 3; ELSE x := 4; END;
+               WHILE x > 0 DO x := x - 1; END;
+             END M.",
+        );
+        // x:=1 | IF (+3 inner) | WHILE (+1 inner) = 3 + 4 = 7
+        assert_eq!(count_stmts(&m), 7);
+    }
+
+    #[test]
+    fn delete_reaches_every_statement() {
+        let m = parse_src(
+            "MODULE M; VAR x: INTEGER;
+             BEGIN
+               x := 1;
+               IF x > 0 THEN x := 2; END;
+               x := 3;
+             END M.",
+        );
+        let total = count_stmts(&m);
+        assert_eq!(total, 4);
+        for n in 0..total {
+            let d = delete_stmt(&m, n);
+            assert_eq!(count_stmts(&d), total - count_stmts_of_deleted(&m, n), "n = {n}");
+        }
+        // Deleting the IF removes its nested statement too.
+        let d = delete_stmt(&m, 1);
+        assert_eq!(count_stmts(&d), 2);
+    }
+
+    fn count_stmts_of_deleted(m: &Module, n: usize) -> usize {
+        // The n-th statement's own size = total - size of module with it deleted.
+        count_stmts(m) - count_stmts(&delete_stmt(m, n))
+    }
+
+    #[test]
+    fn shrink_converges_to_failing_core() {
+        let m = parse_src(
+            "MODULE M; VAR x, y: INTEGER;
+             BEGIN
+               x := 1;
+               y := 2;
+               x := 3;
+               y := 40;
+               x := 5;
+             END M.",
+        );
+        // "Failure" = the source still assigns 40 to y.
+        let min = shrink(&m, |src| src.contains(":= 40"));
+        let reparsed = parse_src(&min);
+        assert_eq!(count_stmts(&reparsed), 1, "minimized to one statement: {min}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Mutation testing of the precision oracle.
+//!
+//! The differential harness is only as good as its ability to notice a
+//! lying table. These tests corrupt the compiler-emitted gc-maps on
+//! purpose — dropping derivation records, flipping derivation signs,
+//! dropping live register roots — re-encode them, and assert the run is
+//! caught: either by the shadow oracle / stale-pointer check, or by the
+//! output diverging from the reference interpreter. If a mutation ever
+//! slips through silently, the oracle has a blind spot.
+
+use m3gc_compiler::{compile, reference_output, Options};
+use m3gc_core::derive::DerivationRecord;
+use m3gc_core::encode::encode_module;
+use m3gc_core::layout::RegSet;
+use m3gc_core::tables::ModuleTables;
+use m3gc_runtime::scheduler::{ExecConfig, Executor};
+use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
+
+/// §4 "Indirect References": `Bump(o.inner.v)` pushes an interior
+/// pointer into the `Inner` record, derived from a register base, and
+/// the callee allocates — so the derivation is live at a gc-point where
+/// every torture run collects, and the collector must un-derive and
+/// re-derive the pushed address through the moved record.
+const SRC: &str = "MODULE M;
+     TYPE Inner = REF RECORD v: INTEGER END;
+          Outer = REF RECORD inner: Inner END;
+          R = REF RECORD x: INTEGER END;
+     PROCEDURE Bump(VAR v: INTEGER) =
+     VAR junk: R;
+     BEGIN
+       junk := NEW(R);
+       junk.x := 1;
+       v := v + 1;
+     END Bump;
+     VAR o: Outer; i: INTEGER;
+     BEGIN
+       o := NEW(Outer);
+       o.inner := NEW(Inner);
+       o.inner.v := 0;
+       FOR i := 1 TO 20 DO
+         Bump(o.inner.v);
+       END;
+       PutInt(o.inner.v);
+     END M.";
+
+/// Compiles `SRC` at -O2, corrupts the logical tables with `mutate`
+/// (which must report how many sites it hit), re-encodes them, and runs
+/// under torture with shadow mode and the oracle armed.
+fn run_mutated(mutate: impl Fn(&mut ModuleTables) -> usize) -> Result<String, String> {
+    let opts = Options::o2();
+    let mut module = compile(SRC, &opts).expect("compile");
+    let hits = mutate(&mut module.logical_maps);
+    assert!(hits > 0, "mutation found no site to corrupt — not a real test");
+    module.gc_maps = encode_module(&module.logical_maps, opts.codegen.scheme);
+    let mut machine = Machine::new(
+        module,
+        MachineConfig {
+            semi_words: 1 << 12,
+            stack_words: 1 << 14,
+            max_threads: 4,
+            heap: HeapStrategy::Semispace,
+        },
+    );
+    machine.enable_shadow();
+    let config = ExecConfig { force_every_allocs: Some(1), oracle: true, ..ExecConfig::default() };
+    let mut ex = Executor::try_new(machine, config).map_err(|e| e.to_string())?;
+    ex.run_main().map(|out| out.output).map_err(|e| e.to_string())
+}
+
+fn assert_caught(kind: &str, result: Result<String, String>) {
+    let expected = reference_output(SRC).expect("reference");
+    match result {
+        Err(e) => {
+            eprintln!("{kind}: caught with error: {e}");
+        }
+        Ok(out) => {
+            assert_ne!(
+                out, expected,
+                "{kind}: corrupted tables produced the correct output — mutation not caught"
+            );
+            eprintln!("{kind}: caught as output divergence");
+        }
+    }
+}
+
+#[test]
+fn untouched_tables_pass() {
+    let out = run_mutated(|_| usize::MAX).expect("clean run");
+    assert_eq!(out, reference_output(SRC).expect("reference"));
+}
+
+#[test]
+fn dropped_derivation_records_are_caught() {
+    assert_caught(
+        "drop-derivations",
+        run_mutated(|tables| {
+            let mut hits = 0;
+            for proc in &mut tables.procs {
+                for point in &mut proc.points {
+                    hits += point.derivations.len();
+                    point.derivations.clear();
+                }
+            }
+            hits
+        }),
+    );
+}
+
+#[test]
+fn flipped_derivation_signs_are_caught() {
+    assert_caught(
+        "flip-signs",
+        run_mutated(|tables| {
+            let mut hits = 0;
+            for proc in &mut tables.procs {
+                for point in &mut proc.points {
+                    for rec in &mut point.derivations {
+                        match rec {
+                            DerivationRecord::Simple { bases, .. } => {
+                                for (_, sign) in bases {
+                                    *sign = sign.flip();
+                                    hits += 1;
+                                }
+                            }
+                            DerivationRecord::Ambiguous { variants, .. } => {
+                                for bases in variants {
+                                    for (_, sign) in bases {
+                                        *sign = sign.flip();
+                                        hits += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            hits
+        }),
+    );
+}
+
+#[test]
+fn dropped_register_roots_are_caught() {
+    assert_caught(
+        "drop-reg-roots",
+        run_mutated(|tables| {
+            let mut hits = 0;
+            for proc in &mut tables.procs {
+                for point in &mut proc.points {
+                    hits += point.regs.len();
+                    point.regs = RegSet::EMPTY;
+                }
+            }
+            hits
+        }),
+    );
+}

@@ -132,9 +132,6 @@ impl<'a> Interp<'a> {
     }
 
     fn read(&self, addr: i64) -> Result<i64, Trap> {
-        if addr == 0 {
-            return Err(Trap::NilError);
-        }
         if addr >= HEAP_BASE {
             let i = (addr - HEAP_BASE) as usize;
             self.heap.get(i).copied().ok_or(Trap::WildAddress)
@@ -144,15 +141,16 @@ impl<'a> Interp<'a> {
         } else if addr >= GLOBAL_BASE {
             let i = (addr - GLOBAL_BASE) as usize;
             self.globals.get(i).copied().ok_or(Trap::WildAddress)
+        } else if addr >= 0 {
+            // NIL plus a field or element offset: a nil dereference,
+            // matching the VM's classification of the sub-global window.
+            Err(Trap::NilError)
         } else {
             Err(Trap::WildAddress)
         }
     }
 
     fn write(&mut self, addr: i64, value: i64) -> Result<(), Trap> {
-        if addr == 0 {
-            return Err(Trap::NilError);
-        }
         if addr >= HEAP_BASE {
             let i = (addr - HEAP_BASE) as usize;
             *self.heap.get_mut(i).ok_or(Trap::WildAddress)? = value;
@@ -162,6 +160,8 @@ impl<'a> Interp<'a> {
         } else if addr >= GLOBAL_BASE {
             let i = (addr - GLOBAL_BASE) as usize;
             *self.globals.get_mut(i).ok_or(Trap::WildAddress)? = value;
+        } else if addr >= 0 {
+            return Err(Trap::NilError);
         } else {
             return Err(Trap::WildAddress);
         }

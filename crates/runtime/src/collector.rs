@@ -86,9 +86,12 @@ pub(crate) fn re_derive(m: &mut Machine, stack: &StackRoots) {
 
 /// Forwards one object pointer, copying the object on first visit.
 /// Returns the new address. `addr` must point at an object header in
-/// from-space.
+/// from-space. Shadow tags (when the oracle's shadow mode is on) travel
+/// with the object so instrumented execution stays truthful after the
+/// flip.
 fn forward(
     mem: &mut [i64],
+    shadow: &mut Option<Box<m3gc_vm::shadow::Shadow>>,
     types: &m3gc_core::heap::TypeTable,
     free: &mut i64,
     stats: &mut GcStats,
@@ -107,6 +110,9 @@ fn forward(
     let words = i64::from(ty.object_words(len as u32));
     let new = *free;
     mem.copy_within(addr as usize..(addr + words) as usize, new as usize);
+    if let Some(sh) = shadow.as_deref_mut() {
+        sh.copy_words(addr, new, words);
+    }
     *free += words;
     mem[addr as usize] = -(new + 1);
     stats.objects_copied += 1;
@@ -148,6 +154,7 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
 
     let mut forward_root = |mem: &mut Vec<i64>,
                             threads: &mut Vec<m3gc_vm::machine::Thread>,
+                            shadow: &mut Option<Box<m3gc_vm::shadow::Shadow>>,
                             r: RootRef,
                             stats: &mut GcStats| {
         let v = match r {
@@ -167,7 +174,7 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
             );
             return;
         }
-        let new = forward(mem, &types, &mut free, stats, v);
+        let new = forward(mem, shadow, &types, &mut free, stats, v);
         match r {
             RootRef::Mem(a) => mem[a as usize] = new,
             RootRef::Reg { thread, reg } => threads[thread as usize].regs[reg as usize] = new,
@@ -176,12 +183,12 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
 
     // Split-borrow the machine: the trace is done with it; mutate freely.
     {
-        let Machine { mem, threads, .. } = m;
+        let Machine { mem, threads, shadow, .. } = m;
         for &r in &globals {
-            forward_root(mem, threads, r, &mut stats);
+            forward_root(mem, threads, shadow, r, &mut stats);
         }
         for &r in &stack.tidy {
-            forward_root(mem, threads, r, &mut stats);
+            forward_root(mem, threads, shadow, r, &mut stats);
         }
         // Cheney scan.
         let mut scan = to_start;
@@ -201,7 +208,7 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
                     continue;
                 }
                 if (from_start..from_end).contains(&v) {
-                    mem[slot as usize] = forward(mem, &types, &mut free, &mut stats, v);
+                    mem[slot as usize] = forward(mem, shadow, &types, &mut free, &mut stats, v);
                 }
             }
             scan += words;

@@ -104,6 +104,7 @@ impl MinorSpaces {
     fn forward(
         &mut self,
         mem: &mut [i64],
+        shadow: &mut Option<Box<m3gc_vm::shadow::Shadow>>,
         types: &TypeTable,
         stats: &mut GcStats,
         addr: i64,
@@ -135,6 +136,9 @@ impl MinorSpaces {
             a
         };
         mem.copy_within(addr as usize..(addr + words) as usize, new as usize);
+        if let Some(sh) = shadow.as_deref_mut() {
+            sh.copy_words(addr, new, words);
+        }
         mem[new as usize] = header_with_age(header, age);
         mem[addr as usize] = -(new + 1);
         stats.objects_copied += 1;
@@ -197,7 +201,7 @@ pub fn minor_collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
     let types = m.module.types.clone();
 
     {
-        let Machine { mem, threads, .. } = m;
+        let Machine { mem, threads, shadow, .. } = m;
         // Precise roots: globals, then stack slots and registers.
         for &r in globals.iter().chain(&stack.tidy) {
             let v = read_ref(mem, threads, r);
@@ -206,7 +210,7 @@ pub fn minor_collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
                 // nothing to move in a minor collection.
                 continue;
             }
-            let new = spaces.forward(mem, &types, &mut stats, v);
+            let new = spaces.forward(mem, shadow, &types, &mut stats, v);
             write_ref(mem, threads, r, new);
         }
         // Remembered tenured slots. Values that are no longer nursery
@@ -217,7 +221,7 @@ pub fn minor_collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
             if !spaces.in_young_from(v) {
                 continue;
             }
-            let new = spaces.forward(mem, &types, &mut stats, v);
+            let new = spaces.forward(mem, shadow, &types, &mut stats, v);
             mem[slot as usize] = new;
             if spaces.in_young_to(new) {
                 still_remembered.push(slot);
@@ -234,6 +238,7 @@ pub fn minor_collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
             while young_scan < spaces.young_free {
                 young_scan += scan_object(
                     mem,
+                    shadow,
                     &types,
                     &mut spaces,
                     &mut stats,
@@ -245,6 +250,7 @@ pub fn minor_collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
             while tenured_scan < spaces.tenured_free {
                 tenured_scan += scan_object(
                     mem,
+                    shadow,
                     &types,
                     &mut spaces,
                     &mut stats,
@@ -278,8 +284,10 @@ pub fn minor_collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
 /// object's size in words. When the object lives in tenured space
 /// (`resident_tenured`), fields left pointing at young survivors are
 /// recorded as surviving old→young edges.
+#[allow(clippy::too_many_arguments)]
 fn scan_object(
     mem: &mut [i64],
+    shadow: &mut Option<Box<m3gc_vm::shadow::Shadow>>,
     types: &TypeTable,
     spaces: &mut MinorSpaces,
     stats: &mut GcStats,
@@ -300,7 +308,7 @@ fn scan_object(
         if !spaces.in_young_from(v) || v == 0 {
             continue;
         }
-        let new = spaces.forward(mem, types, stats, v);
+        let new = spaces.forward(mem, shadow, types, stats, v);
         mem[slot as usize] = new;
         if resident_tenured && spaces.in_young_to(new) {
             still_remembered.push(slot);
@@ -316,6 +324,7 @@ fn scan_object(
 /// of trusting the space bound.
 fn forward_major(
     mem: &mut [i64],
+    shadow: &mut Option<Box<m3gc_vm::shadow::Shadow>>,
     types: &TypeTable,
     free: &mut i64,
     to_end: i64,
@@ -338,6 +347,9 @@ fn forward_major(
     let new = *free;
     *free += words;
     mem.copy_within(addr as usize..(addr + words) as usize, new as usize);
+    if let Some(sh) = shadow.as_deref_mut() {
+        sh.copy_words(addr, new, words);
+    }
     // Ages only matter inside the nursery; tenured headers stay clean.
     mem[new as usize] = header_with_age(header, 0);
     mem[addr as usize] = -(new + 1);
@@ -385,13 +397,13 @@ pub fn major_collect(m: &mut Machine, cache: &mut DecodeCache) -> Result<GcStats
         |v: i64| (young_start..young_end).contains(&v) || (old_start..old_end).contains(&v);
 
     {
-        let Machine { mem, threads, .. } = m;
+        let Machine { mem, threads, shadow, .. } = m;
         for &r in globals.iter().chain(&stack.tidy) {
             let v = read_ref(mem, threads, r);
             if v == 0 || !in_from(v) {
                 continue;
             }
-            let new = forward_major(mem, &types, &mut free, to_end, &mut stats, v)?;
+            let new = forward_major(mem, shadow, &types, &mut free, to_end, &mut stats, v)?;
             write_ref(mem, threads, r, new);
         }
         let mut scan = to_start;
@@ -409,7 +421,8 @@ pub fn major_collect(m: &mut Machine, cache: &mut DecodeCache) -> Result<GcStats
                 if v == 0 || !in_from(v) {
                     continue;
                 }
-                mem[slot as usize] = forward_major(mem, &types, &mut free, to_end, &mut stats, v)?;
+                mem[slot as usize] =
+                    forward_major(mem, shadow, &types, &mut free, to_end, &mut stats, v)?;
             }
             scan += i64::from(ty.object_words(len as u32));
         }

@@ -17,6 +17,7 @@
 
 pub mod collector;
 pub mod gengc;
+pub mod oracle;
 pub mod scheduler;
 pub mod trace;
 

@@ -40,6 +40,10 @@ pub struct ExecConfig {
     /// Additionally force a collection event every N allocations
     /// (for gc-torture tests and the §6.3 measurements).
     pub force_every_allocs: Option<u64>,
+    /// Run the gc-map precision oracle before every collection. Requires
+    /// shadow mode on the machine ([`Machine::enable_shadow`]); violations
+    /// surface as [`ExecError::Oracle`].
+    pub oracle: bool,
 }
 
 impl Default for ExecConfig {
@@ -50,6 +54,7 @@ impl Default for ExecConfig {
             max_advance: 1_000_000,
             gc_mode: GcMode::Full,
             force_every_allocs: None,
+            oracle: false,
         }
     }
 }
@@ -90,6 +95,9 @@ pub enum ExecError {
         /// The offending thread.
         thread: usize,
     },
+    /// The gc-map precision oracle found a table entry contradicting the
+    /// shadow ground truth (see `crate::oracle`).
+    Oracle(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -100,6 +108,7 @@ impl std::fmt::Display for ExecError {
             ExecError::StuckThread { thread } => {
                 write!(f, "thread {thread} failed to reach a gc-point")
             }
+            ExecError::Oracle(msg) => write!(f, "gc-map oracle violation: {msg}"),
         }
     }
 }
@@ -184,6 +193,9 @@ impl Executor {
     }
 
     fn do_collection(&mut self) -> Result<(), ExecError> {
+        if self.config.oracle && self.machine.shadow.is_some() {
+            crate::oracle::check(&self.machine, &mut self.cache).map_err(ExecError::Oracle)?;
+        }
         let stats = match self.config.gc_mode {
             GcMode::Full if self.machine.is_generational() => {
                 gengc::collect(&mut self.machine, &mut self.cache).map_err(ExecError::Trap)?

@@ -100,6 +100,12 @@ impl Rng {
     pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
         &xs[self.index(xs.len())]
     }
+
+    /// Picks a uniformly random element of a non-empty slice of `Copy`
+    /// values, returning it by value (avoids `&&str` at call sites).
+    pub fn pick_copy<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.index(xs.len())]
+    }
 }
 
 /// Runs `property` once per case with a generator seeded from the case
@@ -119,6 +125,38 @@ pub fn run_cases(name: &str, cases: u64, mut property: impl FnMut(&mut Rng)) {
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("<non-string panic>");
             panic!("property `{name}` failed at seed {seed} (case {case}/{cases}): {msg}");
+        }
+    }
+}
+
+/// Greedily minimizes a failing case by deleting one element at a time.
+///
+/// `count` reports how many deletable elements the case currently has,
+/// `delete` produces a copy with the `n`-th element removed, and
+/// `still_fails` re-checks the property. Deletion restarts from the front
+/// after every successful removal and stops at a fixpoint, so the result
+/// is 1-minimal with respect to single deletions. Generic so the fuzzer
+/// can shrink whole-statement lists while unit tests shrink plain
+/// vectors.
+pub fn minimize<T: Clone>(
+    mut case: T,
+    count: impl Fn(&T) -> usize,
+    delete: impl Fn(&T, usize) -> T,
+    mut still_fails: impl FnMut(&T) -> bool,
+) -> T {
+    loop {
+        let n = count(&case);
+        let mut shrunk = false;
+        for i in 0..n {
+            let candidate = delete(&case, i);
+            if still_fails(&candidate) {
+                case = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return case;
         }
     }
 }
@@ -180,6 +218,24 @@ mod tests {
         for (i, &b) in buckets.iter().enumerate() {
             assert!((700..1300).contains(&b), "bucket {i} has {b} hits");
         }
+    }
+
+    #[test]
+    fn minimize_reaches_one_minimal_subset() {
+        // Failing iff the vector contains both 3 and 7: minimization must
+        // strip everything else and keep exactly those two.
+        let case: Vec<i32> = (0..10).collect();
+        let min = minimize(
+            case,
+            Vec::len,
+            |v, i| {
+                let mut w = v.clone();
+                w.remove(i);
+                w
+            },
+            |v| v.contains(&3) && v.contains(&7),
+        );
+        assert_eq!(min, vec![3, 7]);
     }
 
     #[test]

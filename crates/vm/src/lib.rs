@@ -26,6 +26,7 @@ pub mod encode;
 pub mod isa;
 pub mod machine;
 pub mod module;
+pub mod shadow;
 
 pub use isa::{AluOp, Instr, UnAluOp};
 pub use machine::{Machine, StepOutcome, Thread, ThreadStatus, VmTrap};

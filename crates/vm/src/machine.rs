@@ -24,6 +24,7 @@ use m3gc_core::stats::BarrierCounters;
 use crate::decode::DecodedCode;
 use crate::isa::{Instr, NUM_REGS};
 use crate::module::VmModule;
+use crate::shadow::{Shadow, Tag};
 
 /// Start of the global area; addresses below this always trap.
 pub const GLOBAL_BASE: usize = 16;
@@ -112,6 +113,11 @@ pub enum VmTrap {
     BadProc,
     /// Heap exhausted even after collection.
     OutOfMemory,
+    /// Shadow-mode only: a memory access through a pointer into a
+    /// collected (dead) semispace — the compiler-emitted tables missed a
+    /// live pointer or derived value, so it was not updated when its
+    /// object moved.
+    StalePointer,
 }
 
 impl std::fmt::Display for VmTrap {
@@ -124,6 +130,7 @@ impl std::fmt::Display for VmTrap {
             VmTrap::AssertError => "assertion failed",
             VmTrap::BadProc => "call to unknown procedure",
             VmTrap::OutOfMemory => "heap exhausted",
+            VmTrap::StalePointer => "access through a stale pointer into a collected space",
         };
         write!(f, "{s}")
     }
@@ -269,6 +276,10 @@ pub struct Machine {
     /// Set when an oversized allocation could not fit the tenured
     /// from-space: the next collection should be a major one.
     pub wants_major_gc: bool,
+    /// Shadow root tracking for the gc-map precision oracle (see
+    /// [`crate::shadow`]); `None` unless [`Machine::enable_shadow`] was
+    /// called.
+    pub shadow: Option<Box<Shadow>>,
 }
 
 impl Machine {
@@ -346,6 +357,32 @@ impl Machine {
             minor_collections: 0,
             major_collections: 0,
             wants_major_gc: false,
+            shadow: None,
+        }
+    }
+
+    /// Turns on shadow root tracking (instrumented execution for the
+    /// gc-map precision oracle). Must be called before any thread runs;
+    /// tags for already-spawned threads start as all-`NonPtr`.
+    pub fn enable_shadow(&mut self) {
+        let mut sh = Shadow::new(self.mem.len());
+        sh.regs = vec![[Tag::NonPtr; NUM_REGS]; self.threads.len()];
+        self.shadow = Some(Box::new(sh));
+    }
+
+    /// True if `addr` lies in a dead (just-collected) heap region: the
+    /// inactive semispace, or either inactive half of a generational
+    /// heap. Any program access landing there went through a pointer the
+    /// collector did not update — a gc-map hole.
+    #[must_use]
+    pub fn in_dead_space(&self, addr: i64) -> bool {
+        if self.is_generational() {
+            let (ns, ne) = self.nursery_to_space();
+            let (ts, te) = self.tenured_to_space();
+            (ns..ne).contains(&addr) || (ts..te).contains(&addr)
+        } else {
+            let (s, e) = self.to_space();
+            (s..e).contains(&addr)
         }
     }
 
@@ -659,6 +696,10 @@ impl Machine {
         for w in 0..frame_words {
             self.mem[(fp + w) as usize] = 0;
         }
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            sh.regs.push([Tag::NonPtr; NUM_REGS]);
+            sh.clear_range(stack_base, fp + frame_words - stack_base);
+        }
         self.threads.push(Thread {
             regs: [0; NUM_REGS],
             fp,
@@ -701,6 +742,101 @@ impl Machine {
             BaseReg::Sp => t.sp,
             BaseReg::Ap => t.ap,
         }
+    }
+
+    /// Shadow-mode instrumentation, run before the instruction executes:
+    /// checks register-based accesses against the dead heap regions and
+    /// propagates [`Tag`]s through the instruction's data flow. Allocation
+    /// tags are handled in the `Alloc` arms of [`Machine::step`] (the
+    /// result address is not known here).
+    fn shadow_step(&mut self, tid: usize, ins: &Instr) -> Option<VmTrap> {
+        use crate::isa::AluOp;
+        // A register-based access whose effective address lands in a
+        // just-collected space went through a pointer the tables missed.
+        if let Instr::Ld { base, off, .. }
+        | Instr::St { base, off, .. }
+        | Instr::StB { base, off, .. } = *ins
+        {
+            let addr = self.threads[tid].regs[base as usize] + i64::from(off);
+            if self.in_dead_space(addr) {
+                return Some(VmTrap::StalePointer);
+            }
+        }
+        let Machine { threads, shadow, module, .. } = self;
+        let sh = shadow.as_deref_mut().expect("shadow_step without shadow");
+        let t = &threads[tid];
+        match *ins {
+            Instr::MovI { dst, .. } | Instr::UnAlu { dst, .. } => {
+                sh.regs[tid][dst as usize] = Tag::NonPtr;
+            }
+            Instr::Mov { dst, src } => sh.regs[tid][dst as usize] = sh.regs[tid][src as usize],
+            Instr::Alu { op, dst, a, b } => {
+                let (ta, tb) = (sh.regs[tid][a as usize], sh.regs[tid][b as usize]);
+                sh.regs[tid][dst as usize] = match op {
+                    AluOp::Add | AluOp::Sub => Shadow::combine_additive(ta, tb),
+                    _ => Tag::NonPtr,
+                };
+            }
+            Instr::AluI { op, dst, a, .. } => {
+                let ta = sh.regs[tid][a as usize];
+                sh.regs[tid][dst as usize] = match op {
+                    AluOp::Add | AluOp::Sub => Shadow::combine_additive(ta, Tag::NonPtr),
+                    _ => Tag::NonPtr,
+                };
+            }
+            Instr::Ld { dst, base, off } => {
+                let addr = t.regs[base as usize] + i64::from(off);
+                sh.regs[tid][dst as usize] = sh.mem_tag(addr);
+            }
+            Instr::St { base, off, src } | Instr::StB { base, off, src } => {
+                let addr = t.regs[base as usize] + i64::from(off);
+                let tag = sh.regs[tid][src as usize];
+                sh.set_mem(addr, tag);
+            }
+            Instr::LdF { dst, breg, off } => {
+                let addr = Self::base_value(t, breg) + i64::from(off);
+                sh.regs[tid][dst as usize] = sh.mem_tag(addr);
+            }
+            Instr::StF { breg, off, src } => {
+                let addr = Self::base_value(t, breg) + i64::from(off);
+                let tag = sh.regs[tid][src as usize];
+                sh.set_mem(addr, tag);
+            }
+            Instr::Lea { dst, .. } | Instr::LeaG { dst, .. } => {
+                // Stack and global addresses are not heap pointers; the
+                // tables must never list them as tidy roots.
+                sh.regs[tid][dst as usize] = Tag::NonPtr;
+            }
+            Instr::LdG { dst, goff } => {
+                sh.regs[tid][dst as usize] = sh.mem_tag((GLOBAL_BASE + goff as usize) as i64);
+            }
+            Instr::StG { goff, src } => {
+                let tag = sh.regs[tid][src as usize];
+                sh.set_mem((GLOBAL_BASE + goff as usize) as i64, tag);
+            }
+            Instr::Push { src } => {
+                let tag = sh.regs[tid][src as usize];
+                sh.set_mem(t.sp, tag);
+            }
+            Instr::Call { proc, .. } => {
+                // Linkage words and the zeroed frame hold no pointers yet.
+                if let Some(meta) = module.procs.get(proc as usize) {
+                    sh.clear_range(t.sp, 3 + i64::from(meta.frame_words));
+                }
+            }
+            // Allocation is tagged after the fact; everything else moves
+            // no data.
+            Instr::Alloc { .. }
+            | Instr::AllocA { .. }
+            | Instr::Ret
+            | Instr::Jmp { .. }
+            | Instr::Brt { .. }
+            | Instr::Brf { .. }
+            | Instr::GcPoint
+            | Instr::Sys { .. }
+            | Instr::Halt => {}
+        }
+        None
     }
 
     /// Attempts a heap allocation; `Ok(None)` means "needs gc".
@@ -747,6 +883,9 @@ impl Machine {
         // Zero the object (the space may hold stale data from before a
         // previous flip).
         self.mem[addr as usize..(addr + words) as usize].fill(0);
+        if let Some(sh) = self.shadow.as_deref_mut() {
+            sh.clear_range(addr, words);
+        }
         self.mem[addr as usize] = i64::from(ty);
         if matches!(desc, HeapType::Array { .. }) {
             self.mem[addr as usize + 1] = len;
@@ -810,6 +949,11 @@ impl Machine {
         }
         self.steps += 1;
         let (ins, next_pc) = self.decoded.at(pc).clone();
+        if self.shadow.is_some() {
+            if let Some(trap) = self.shadow_step(tid, &ins) {
+                return StepOutcome::Trap(trap);
+            }
+        }
         let t = &mut self.threads[tid];
         let mut new_pc = next_pc;
         macro_rules! trap {
@@ -927,7 +1071,12 @@ impl Machine {
                 }
             }
             Instr::Alloc { dst, ty } => match trap!(self.try_alloc(ty, 0)) {
-                Some(addr) => self.threads[tid].regs[dst as usize] = addr,
+                Some(addr) => {
+                    self.threads[tid].regs[dst as usize] = addr;
+                    if let Some(sh) = self.shadow.as_deref_mut() {
+                        sh.regs[tid][dst as usize] = Tag::Ptr;
+                    }
+                }
                 None => {
                     self.gc_pending = true;
                     self.threads[tid].status = ThreadStatus::BlockedAtGcPoint;
@@ -937,7 +1086,12 @@ impl Machine {
             Instr::AllocA { dst, ty, len } => {
                 let l = t.regs[len as usize];
                 match trap!(self.try_alloc(ty, l)) {
-                    Some(addr) => self.threads[tid].regs[dst as usize] = addr,
+                    Some(addr) => {
+                        self.threads[tid].regs[dst as usize] = addr;
+                        if let Some(sh) = self.shadow.as_deref_mut() {
+                            sh.regs[tid][dst as usize] = Tag::Ptr;
+                        }
+                    }
                     None => {
                         self.gc_pending = true;
                         self.threads[tid].status = ThreadStatus::BlockedAtGcPoint;

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! m3c <check|run|ir|disasm|tables|stats> <file.m3> [options]
+//! m3c fuzz [--seed N] [--iters N] [--no-shrink]
 //!
-//! options:
+//! compile options:
 //!   --o0 | --o2          optimization level (default --o2)
 //!   --no-gc              disable gc support (§6.2 baseline)
 //!   --split-paths        resolve ambiguous derivations by code duplication
@@ -15,21 +16,84 @@
 //!                        default: a quarter semispace)
 //!   --torture            collect at every allocation (run)
 //!   --stats              print gc statistics after the output (run)
+//!
+//! fuzz options:
+//!   --seed N             base seed (default 1); iteration i uses seed+i
+//!   --iters N            programs to generate and check (default 100)
+//!   --no-shrink          report the raw failing program unminimized
 //! ```
 
 use m3gc_compiler::driver;
+use m3gc_fuzz::FuzzOptions;
 
 fn usage() -> ! {
     eprintln!(
         "usage: m3c <check|run|ir|disasm|tables|stats> <file.m3> \
          [--o0|--o2] [--no-gc] [--split-paths] [--scheme S] [--heap N] \
-         [--gc semispace|gen] [--nursery N] [--torture] [--stats]"
+         [--gc semispace|gen] [--nursery N] [--torture] [--stats]\n\
+         \x20      m3c fuzz [--seed N] [--iters N] [--no-shrink]"
     );
     std::process::exit(2);
 }
 
+fn parse_fuzz_options(args: &[String]) -> Result<FuzzOptions, String> {
+    let mut opts = FuzzOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" | "--iters" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a value"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("{arg}: {e}"))?;
+                if arg == "--seed" {
+                    opts.seed = v;
+                } else {
+                    opts.iters = v;
+                }
+            }
+            "--no-shrink" => opts.shrink = false,
+            other => return Err(format!("unknown fuzz option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn fuzz(args: &[String]) -> ! {
+    let opts = match parse_fuzz_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("m3c: {e}");
+            usage();
+        }
+    };
+    let report_every = (opts.iters / 10).max(1);
+    let result = m3gc_fuzz::run_campaign(&opts, |iteration, _| {
+        if (iteration + 1) % report_every == 0 {
+            eprintln!("m3c fuzz: {}/{} cases done", iteration + 1, opts.iters);
+        }
+    });
+    match result {
+        Ok(summary) => {
+            println!(
+                "m3c fuzz: ok — {} conclusive, {} skipped (seed {}, {} iters)",
+                summary.checked, summary.skipped, opts.seed, opts.iters
+            );
+            std::process::exit(0);
+        }
+        Err(failure) => {
+            eprintln!("{failure}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        fuzz(&args[1..]);
+    }
     if args.len() < 2 {
         usage();
     }
