@@ -41,7 +41,16 @@ BEGIN
   PutInt(s);
 END LoopAlloc.";
 
-fn torture(name: &str, module: m3gc_vm::VmModule, semi_words: usize) {
+/// One torture run's summary, for the machine-readable report.
+struct TortureResult {
+    name: &'static str,
+    collections: u64,
+    cold_ops: u64,
+    warm_mean_ops: f64,
+    warm_hit_rate: f64,
+}
+
+fn torture(name: &'static str, module: m3gc_vm::VmModule, semi_words: usize) -> TortureResult {
     let machine = Machine::new(
         module,
         MachineConfig {
@@ -89,11 +98,19 @@ fn torture(name: &str, module: m3gc_vm::VmModule, semi_words: usize) {
         "{name}: warm collections must decode at least 2x fewer points"
     );
     println!();
+    TortureResult {
+        name,
+        collections: out.collections,
+        cold_ops: cold.decode_ops,
+        warm_mean_ops: warm_mean,
+        warm_hit_rate: warm_hits as f64 / (warm_lookups as f64).max(1.0),
+    }
 }
 
 /// Runs `destroy` to its first heap exhaustion and times repeated stack
-/// traces with a fresh cache per trace (cold) vs one reused cache (warm).
-fn trace_timing() {
+/// traces with a fresh cache per trace (cold) vs one reused cache
+/// (warm). Returns `(cold_us, warm_us)` per trace.
+fn trace_timing() -> (f64, f64) {
     let module = compile_benchmark(program("destroy"), true);
     let mut machine = Machine::new(
         module,
@@ -126,12 +143,35 @@ fn trace_timing() {
     println!("destroy, paused at first exhaustion ({ITERS} traces each):");
     println!("  cold trace (fresh cache) {cold:>9.2} us");
     println!("  warm trace (kept cache)  {warm:>9.2} us   ({:.1}x)", cold / warm);
+    (cold, warm)
 }
 
 fn main() {
     println!("Decode cache: cold vs warm collections (gc-torture, 1 alloc/gc)\n");
-    torture("LoopAlloc", compile_benchmark(LOOPALLOC, true), 1 << 14);
-    torture("takl", compile_benchmark(program("takl"), true), 1 << 14);
-    torture("destroy", compile_benchmark(program("destroy"), true), 16 * 1024);
-    trace_timing();
+    let results = [
+        torture("LoopAlloc", compile_benchmark(LOOPALLOC, true), 1 << 14),
+        torture("takl", compile_benchmark(program("takl"), true), 1 << 14),
+        torture("destroy", compile_benchmark(program("destroy"), true), 16 * 1024),
+    ];
+    let (trace_cold_us, trace_warm_us) = trace_timing();
+
+    let programs: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"collections\":{},\"cold_ops\":{},\
+                 \"warm_mean_ops\":{:.3},\"warm_hit_rate\":{:.4}}}",
+                r.name, r.collections, r.cold_ops, r.warm_mean_ops, r.warm_hit_rate
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"decodecache\",\"programs\":[{}],\
+         \"trace_cold_us\":{trace_cold_us:.3},\"trace_warm_us\":{trace_warm_us:.3},\
+         \"trace_speedup\":{:.3}}}",
+        programs.join(","),
+        trace_cold_us / trace_warm_us.max(f64::MIN_POSITIVE),
+    );
+    println!("{json}");
+    m3gc_bench::write_bench_json("decodecache", &json);
 }

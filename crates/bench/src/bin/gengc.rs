@@ -174,7 +174,7 @@ fn main() {
          ({wall_barrier:.3}s vs {wall_plain:.3}s)"
     );
 
-    println!(
+    let json = format!(
         "{{\"bench\":\"gengc\",\"quick\":{quick},\"iters\":{iters},\
          \"minor_mean_us\":{minor_mean:.3},\"minor_max_us\":{minor_max:.3},\
          \"major_mean_us\":{major_mean:.3},\"major_max_us\":{major_max:.3},\
@@ -194,6 +194,8 @@ fn main() {
         b.deduped,
         b.filtered(),
     );
+    println!("{json}");
+    m3gc_bench::write_bench_json("gengc", &json);
 
     assert!(gen_out.minor_collections >= 10, "workload must exercise minor collections");
     assert!(b.recorded + b.deduped > 0, "old→young stores must reach the remembered set");

@@ -1,0 +1,157 @@
+//! Parallel-copy experiment: work-stealing evacuation scalability.
+//!
+//! The workload builds a large live ternary tree (the worst case for a
+//! copying collector: every collection must evacuate the whole live
+//! set) and then churns garbage while periodic forced collections fire.
+//! The same compiled module runs under the parallel runtime twice —
+//! with 1 gc worker and with N (default 4) — and the mean copy-phase
+//! time over the full-live-set collections is compared.
+//!
+//! The speedup assertion (≥1.5× with 4 workers) only arms when the host
+//! actually has ≥4 hardware threads and the run is not `--quick`: on a
+//! smaller machine the workers time-slice one core and the bench
+//! degenerates to a report-only smoke test of the parallel collector.
+//! Either way the run validates output correctness against the
+//! single-threaded semispace collector and writes `BENCH_parcopy.json`.
+
+use std::time::Duration;
+
+use m3gc_compiler::{compile, run_module, run_module_par, Options};
+use m3gc_runtime::parallel::{ParConfig, ParGcStats, ParOutcome};
+
+/// Live ternary tree of `depth` levels plus a garbage churn loop. All
+/// mutable state is procedure-local except the tree root, which must
+/// stay live across collections (single mutator, so the shared global
+/// is safe).
+fn parcopy_src(depth: usize, churn: usize) -> String {
+    format!(
+        "MODULE ParCopy;
+TYPE Node = REF RECORD a, b, c: Node; x: INTEGER END;
+VAR root: Node;
+
+PROCEDURE Build(d: INTEGER): Node =
+VAR n: Node;
+BEGIN
+  n := NEW(Node);
+  n.x := d;
+  IF d > 0 THEN
+    n.a := Build(d - 1);
+    n.b := Build(d - 1);
+    n.c := Build(d - 1);
+  END;
+  RETURN n;
+END Build;
+
+PROCEDURE Sum(n: Node): INTEGER =
+BEGIN
+  IF n = NIL THEN RETURN 0; END;
+  RETURN (n.x + Sum(n.a) + Sum(n.b) + Sum(n.c)) MOD 1000003;
+END Sum;
+
+PROCEDURE Churn(rounds: INTEGER): INTEGER =
+VAR t: Node; i, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO rounds DO
+    t := NEW(Node);
+    t.x := i;
+    s := (s + t.x) MOD 1000003;
+  END;
+  RETURN s;
+END Churn;
+
+BEGIN
+  root := Build({depth});
+  PutInt(Churn({churn}));
+  PutInt(Sum(root));
+END ParCopy.",
+    )
+}
+
+/// Mean copy-phase time over the collections that evacuated the bulk
+/// of the live set (at least half the maximum observed), skipping the
+/// partial collections during tree construction.
+fn copy_mean_us(gc_each: &[ParGcStats]) -> (f64, u64, u64) {
+    let max_words = gc_each.iter().map(|s| s.words_copied).max().unwrap_or(0);
+    let full: Vec<&ParGcStats> =
+        gc_each.iter().filter(|s| s.words_copied * 2 >= max_words).collect();
+    assert!(!full.is_empty(), "no full-live-set collections observed");
+    let mean =
+        full.iter().map(|s| s.copy_time).sum::<Duration>().as_secs_f64() * 1e6 / full.len() as f64;
+    let steals: u64 = full.iter().map(|s| s.steals.iter().sum::<u64>()).sum();
+    (mean, full.len() as u64, steals)
+}
+
+fn run_with_workers(
+    module: m3gc_vm::VmModule,
+    semi_words: usize,
+    workers: usize,
+    force_every: u64,
+) -> ParOutcome {
+    let config = ParConfig {
+        gc_workers: workers,
+        force_every_allocs: Some(force_every),
+        ..ParConfig::default()
+    };
+    run_module_par(module, semi_words, 1, false, config)
+        .unwrap_or_else(|e| panic!("parcopy run ({workers} workers) failed: {e}"))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Depth 10 → (3^11-1)/2 = 88573 live nodes; depth 7 → 3280.
+    let (depth, churn, semi_words, force_every) =
+        if quick { (7, 30_000, 1 << 16, 10_000) } else { (10, 200_000, 1 << 20, 50_000) };
+    let workers = 4;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let src = parcopy_src(depth, churn);
+    let module = compile(&src, &Options::o2()).expect("benchmark compiles");
+
+    // Correctness baseline: the single-threaded semispace collector.
+    let baseline = run_module(module.clone(), semi_words).expect("baseline run");
+
+    let one = run_with_workers(module.clone(), semi_words, 1, force_every);
+    let many = run_with_workers(module.clone(), semi_words, workers, force_every);
+    assert_eq!(one.output, baseline.output, "1-worker parallel run must match semispace");
+    assert_eq!(many.output, baseline.output, "{workers}-worker parallel run must match semispace");
+    assert!(one.collections >= 3, "workload must force repeated collections");
+
+    let live_objects = many.gc_each.iter().map(|s| s.objects_copied).max().unwrap_or(0);
+    let (mean_1, full_1, _) = copy_mean_us(&one.gc_each);
+    let (mean_n, full_n, steals_n) = copy_mean_us(&many.gc_each);
+    let speedup = mean_1 / mean_n.max(f64::MIN_POSITIVE);
+    let handshake_max_us =
+        many.gc_each.iter().map(|s| s.handshake_time.as_secs_f64() * 1e6).fold(0.0, f64::max);
+
+    // Only assert scalability where the hardware can deliver it.
+    let asserted = !quick && cores >= workers;
+
+    println!("ParCopy: ternary tree depth {depth} (~{live_objects} live objects), {churn} churn allocations");
+    println!(
+        "  host: {cores} hardware thread(s); speedup assertion {}",
+        if asserted { "armed" } else { "off (report only)" }
+    );
+    println!("  1 worker:  copy phase mean {mean_1:>10.2} us over {full_1} full collection(s)");
+    println!("  {workers} workers: copy phase mean {mean_n:>10.2} us over {full_n} full collection(s), {steals_n} steal(s)");
+    println!("  speedup {speedup:.2}x; handshake max {handshake_max_us:.2} us");
+
+    let json = format!(
+        "{{\"bench\":\"parcopy\",\"quick\":{quick},\"cores\":{cores},\
+         \"depth\":{depth},\"live_objects\":{live_objects},\
+         \"workers\":{workers},\
+         \"copy_mean_us_1\":{mean_1:.3},\"copy_mean_us_n\":{mean_n:.3},\
+         \"speedup\":{speedup:.3},\"steals\":{steals_n},\
+         \"handshake_max_us\":{handshake_max_us:.3},\
+         \"asserted\":{asserted},\"outputs_match\":true}}",
+    );
+    println!("{json}");
+    m3gc_bench::write_bench_json("parcopy", &json);
+
+    if asserted {
+        assert!(
+            speedup >= 1.5,
+            "{workers} gc workers must beat 1 worker by >=1.5x on a large live heap, got {speedup:.2}x"
+        );
+    }
+}

@@ -295,6 +295,7 @@ fn emit_function(
     global_offsets: &[u32],
     allocating: &[bool],
     options: &CodegenOptions,
+    poll_pcs: &mut Vec<u32>,
 ) -> (ProcMeta, ProcTables) {
     let alloc = regalloc::allocate(f, deriv);
     let frame = Frame::layout(f, &alloc);
@@ -569,6 +570,11 @@ fn emit_function(
                             before.remove(d.index());
                         }
                         em.record_gc_point(pc, &before, &[], &[]);
+                        // Flag the explicit poll site: the parallel
+                        // runtime's safepoint handshake relies on these
+                        // (loop back-edges) to bound how far a mutator
+                        // can run before noticing a collection request.
+                        poll_pcs.push(pc);
                     }
                     asm.emit(&Vm::GcPoint);
                 }
@@ -685,6 +691,7 @@ pub(crate) fn compile(prog: &mut Program, options: &CodegenOptions) -> VmModule 
     let mut asm = Assembler::new();
     let mut procs = Vec::new();
     let mut tables = ModuleTables::default();
+    let mut poll_pcs = Vec::new();
     for (i, f) in prog.funcs.iter().enumerate() {
         let (meta, pt) = emit_function(
             &mut asm,
@@ -693,6 +700,7 @@ pub(crate) fn compile(prog: &mut Program, options: &CodegenOptions) -> VmModule 
             &global_offsets,
             &allocating,
             options,
+            &mut poll_pcs,
         );
         procs.push(meta);
         if options.gc.emit_tables {
@@ -709,6 +717,7 @@ pub(crate) fn compile(prog: &mut Program, options: &CodegenOptions) -> VmModule 
         globals_words: prog.globals_words(),
         global_ptr_roots: prog.global_ptr_roots(),
         main: prog.main.0 as u16,
+        poll_pcs,
         gc_maps,
         logical_maps: tables,
     }

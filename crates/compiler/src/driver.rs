@@ -8,11 +8,12 @@ use m3gc_core::encode::Scheme;
 use m3gc_core::stats::{size_report, table_stats};
 use m3gc_frontend::error::{Diagnostic, Phase};
 use m3gc_ir::verify::VerifyError;
+use m3gc_runtime::parallel::ParConfig;
 use m3gc_runtime::scheduler::{ExecConfig, ExecError};
 
 use m3gc_vm::machine::HeapStrategy;
 
-use crate::{compile, compile_to_ir, run_module_on, Options};
+use crate::{compile, compile_to_ir, run_module_on, run_module_par, Options};
 
 /// Errors surfaced to the CLI user, structured by pipeline stage.
 ///
@@ -112,6 +113,14 @@ pub struct RunConfig {
     /// Nursery size in words (`--nursery N`); defaults to a quarter
     /// semispace when generational.
     pub nursery_words: Option<usize>,
+    /// Run under the parallel runtime (`--gc=par`): OS-thread mutators
+    /// with stop-the-world parallel collection.
+    pub parallel: bool,
+    /// Mutator threads for the parallel runtime (`--threads N`); each
+    /// runs its own copy of the module body.
+    pub threads: usize,
+    /// Gc worker threads per parallel collection (`--gc-workers M`).
+    pub gc_workers: usize,
 }
 
 impl Default for RunConfig {
@@ -122,6 +131,9 @@ impl Default for RunConfig {
             stats: false,
             generational: false,
             nursery_words: None,
+            parallel: false,
+            threads: 1,
+            gc_workers: 4,
         }
     }
 }
@@ -154,6 +166,9 @@ pub fn run(source: &str, options: &Options, config: RunConfig) -> Result<String,
     // Surface malformed gc tables as a Decode error up front instead of a
     // panic inside the executor.
     let cache = DecodeCache::build(&module.gc_maps)?;
+    if config.parallel {
+        return run_parallel(module, config);
+    }
     let exec =
         ExecConfig { force_every_allocs: config.torture.then_some(1), ..ExecConfig::default() };
     let total_points = cache.index().gc_point_pcs().count();
@@ -204,6 +219,68 @@ pub fn run(source: &str, options: &Options, config: RunConfig) -> Result<String,
                 out.barrier.filtered()
             );
         }
+    }
+    Ok(s)
+}
+
+/// The `--gc=par` path of [`run`]: `threads` OS-thread mutators, each
+/// running the module body, with stop-the-world parallel collection.
+fn run_parallel(module: m3gc_vm::VmModule, config: RunConfig) -> Result<String, DriverError> {
+    let par = ParConfig {
+        gc_workers: config.gc_workers.max(1),
+        force_every_allocs: config.torture.then_some(1),
+        ..ParConfig::default()
+    };
+    let out = run_module_par(module, config.semi_words, config.threads.max(1), false, par)?;
+    let mut s = out.output.clone();
+    if config.stats {
+        let _ = writeln!(
+            s,
+            "--- parallel: {} mutator(s), {} gc worker(s), {} collection(s), {} object(s) moved, {} step(s)",
+            config.threads.max(1),
+            config.gc_workers.max(1),
+            out.collections,
+            out.gc_each.iter().map(|g| g.objects_copied).sum::<u64>(),
+            out.steps
+        );
+        let n = out.gc_each.len().max(1) as u32;
+        let mean_us = |total: std::time::Duration| (total / n).as_micros();
+        let handshake_total: std::time::Duration =
+            out.gc_each.iter().map(|g| g.handshake_time).sum();
+        let handshake_max = out.gc_each.iter().map(|g| g.handshake_time).max().unwrap_or_default();
+        let copy_total: std::time::Duration = out.gc_each.iter().map(|g| g.copy_time).sum();
+        let _ = writeln!(
+            s,
+            "--- handshake: mean {} µs, max {} µs; copy phase mean {} µs",
+            mean_us(handshake_total),
+            handshake_max.as_micros(),
+            mean_us(copy_total)
+        );
+        let workers = config.gc_workers.max(1);
+        let mut per_words = vec![0u64; workers];
+        let mut per_steals = vec![0u64; workers];
+        for g in &out.gc_each {
+            for (w, v) in g.per_worker_words.iter().enumerate() {
+                per_words[w] += v;
+            }
+            for (w, v) in g.steals.iter().enumerate() {
+                per_steals[w] += v;
+            }
+        }
+        let _ = writeln!(s, "--- workers: copied words {per_words:?}, steals {per_steals:?}");
+        let _ = writeln!(
+            s,
+            "--- parks: {} at loop poll(s), {} at allocation(s)",
+            out.gc_each.iter().map(|g| g.parked_at_polls).sum::<u64>(),
+            out.gc_each.iter().map(|g| g.parked_at_allocs).sum::<u64>()
+        );
+        let _ = writeln!(
+            s,
+            "--- decode cache: {} hit(s), {} miss(es), {} point(s) decoded",
+            out.gc_each.iter().map(|g| g.decode_hits).sum::<u64>(),
+            out.gc_each.iter().map(|g| g.decode_misses).sum::<u64>(),
+            out.gc_each.iter().map(|g| g.decode_ops).sum::<u64>()
+        );
     }
     Ok(s)
 }
@@ -308,7 +385,7 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
                 config.semi_words =
                     v.parse().map_err(|_| DriverError::usage(format!("bad --heap value `{v}`")))?;
             }
-            "--gc" | "--gc=semispace" | "--gc=gen" => {
+            "--gc" | "--gc=semispace" | "--gc=gen" | "--gc=par" => {
                 let owned;
                 let v = if let Some(eq) = a.strip_prefix("--gc=") {
                     owned = eq.to_string();
@@ -316,15 +393,32 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
                 } else {
                     it.next().ok_or_else(|| DriverError::usage("--gc needs a value"))?
                 };
-                config.generational = match v.as_str() {
-                    "gen" => true,
-                    "semispace" => false,
+                (config.generational, config.parallel) = match v.as_str() {
+                    "gen" => (true, false),
+                    "semispace" => (false, false),
+                    "par" => (false, true),
                     other => {
                         return Err(DriverError::usage(format!(
-                            "unknown collector `{other}` (expected `semispace` or `gen`)"
+                            "unknown collector `{other}` (expected `semispace`, `gen` or `par`)"
                         )))
                     }
                 };
+            }
+            "--threads" => {
+                let v = it.next().ok_or_else(|| DriverError::usage("--threads needs a value"))?;
+                config.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| DriverError::usage(format!("bad --threads value `{v}`")))?;
+            }
+            "--gc-workers" => {
+                let v =
+                    it.next().ok_or_else(|| DriverError::usage("--gc-workers needs a value"))?;
+                config.gc_workers =
+                    v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        DriverError::usage(format!("bad --gc-workers value `{v}`"))
+                    })?;
             }
             "--nursery" => {
                 let v = it.next().ok_or_else(|| DriverError::usage("--nursery needs a value"))?;
@@ -348,6 +442,9 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
             }
             other => return Err(DriverError::usage(format!("unknown option `{other}`"))),
         }
+    }
+    if config.threads > 1 && !config.parallel {
+        return Err(DriverError::usage("--threads requires --gc par"));
     }
     Ok((options, config))
 }
@@ -529,6 +626,54 @@ mod tests {
     }
 
     #[test]
+    fn run_parallel_matches_sequential_output() {
+        let (o, mut c) =
+            parse_options(&["--gc=par".into(), "--gc-workers".into(), "2".into()]).unwrap();
+        assert!(c.parallel);
+        assert_eq!(c.gc_workers, 2);
+        c.semi_words = 4096;
+        let par_out = run(ALLOCATING, &o, c).unwrap();
+        assert_eq!(par_out, "1275");
+    }
+
+    // All state procedure-local: module globals are *shared* between
+    // parallel mutators, so a deterministic multi-thread program must
+    // not touch them.
+    const LOCAL_ALLOCATING: &str = "MODULE P;
+        TYPE L = REF RECORD v: INTEGER; next: L END;
+        PROCEDURE Work(): INTEGER =
+        VAR l: L; i, s: INTEGER;
+        BEGIN
+          l := NIL;
+          FOR i := 1 TO 50 DO
+            WITH c = NEW(L) DO c.v := i; c.next := l; l := c; END;
+          END;
+          s := 0;
+          WHILE l # NIL DO s := s + l.v; l := l.next; END;
+          RETURN s;
+        END Work;
+        BEGIN PutInt(Work()); END P.";
+
+    #[test]
+    fn run_parallel_multi_thread_concatenates_outputs() {
+        let (o, mut c) = parse_options(&[
+            "--threads".into(),
+            "3".into(),
+            "--gc=par".into(),
+            "--torture".into(),
+            "--stats".into(),
+        ])
+        .unwrap();
+        c.semi_words = 4096;
+        let out = run(LOCAL_ALLOCATING, &o, c).unwrap();
+        // Three mutators each print 1275, in tid order.
+        assert!(out.starts_with("127512751275"), "{out}");
+        assert!(out.contains("parallel: 3 mutator(s)"), "{out}");
+        assert!(out.contains("handshake:"), "{out}");
+        assert!(out.contains("workers: copied words"), "{out}");
+    }
+
+    #[test]
     fn option_parsing() {
         let (o, c) = parse_options(&[
             "--o0".into(),
@@ -550,5 +695,13 @@ mod tests {
         assert!(parse_options(&["--gc".into(), "mark-sweep".into()]).is_err());
         assert!(parse_options(&["--gc".into()]).is_err());
         assert!(parse_options(&["--nursery".into(), "x".into()]).is_err());
+        let (_, c) = parse_options(&["--gc".into(), "par".into()]).unwrap();
+        assert!(c.parallel && !c.generational);
+        assert_eq!((c.threads, c.gc_workers), (1, 4));
+        let (_, c) = parse_options(&["--gc=par".into(), "--threads".into(), "4".into()]).unwrap();
+        assert_eq!(c.threads, 4);
+        assert!(parse_options(&["--threads".into(), "2".into()]).is_err());
+        assert!(parse_options(&["--threads".into(), "0".into(), "--gc=par".into()]).is_err());
+        assert!(parse_options(&["--gc-workers".into(), "zero".into()]).is_err());
     }
 }

@@ -31,11 +31,13 @@ use m3gc_core::encode::Scheme;
 use m3gc_frontend::lower::LowerOptions;
 use m3gc_frontend::Diagnostic;
 use m3gc_opt::{OptLevel, OptOptions, PathStrategy};
+use m3gc_runtime::parallel::{ParConfig, ParExecutor, ParOutcome};
 use m3gc_runtime::scheduler::{ExecConfig, ExecError, ExecOutcome, Executor};
 use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
-use m3gc_vm::VmModule;
+use m3gc_vm::{ParMachine, ParMachineConfig, VmModule};
 
 pub use m3gc_codegen::{CallPolicy, GcConfig};
+pub use m3gc_runtime::parallel::{ParGcStats, ParOutcome as ParExecOutcome};
 
 /// Complete compiler configuration.
 #[derive(Debug, Clone, Copy)]
@@ -183,6 +185,31 @@ pub fn run_module_on(
         MachineConfig { semi_words, stack_words: 1 << 15, max_threads: 8, heap },
     );
     let mut ex = Executor::new(machine, config);
+    ex.run_main()
+}
+
+/// Runs a compiled module under the parallel runtime: `mutators` copies
+/// of the entry procedure on real OS threads, stop-the-world parallel
+/// collection with `config.gc_workers` workers. Pass `shadow = true` to
+/// instrument for the gc-map precision oracle (`config.oracle` then
+/// validates every thread before each collection).
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from the first failing thread.
+pub fn run_module_par(
+    module: VmModule,
+    semi_words: usize,
+    mutators: usize,
+    shadow: bool,
+    config: ParConfig,
+) -> Result<ParOutcome, ExecError> {
+    let mut vm =
+        ParMachine::new(module, ParMachineConfig { semi_words, stack_words: 1 << 15, mutators });
+    if shadow {
+        vm.enable_shadow();
+    }
+    let mut ex = ParExecutor::new(vm, config);
     ex.run_main()
 }
 

@@ -18,6 +18,8 @@
 //! gc-point's tables are decoded at most once no matter how many
 //! collections consult them.
 
+use std::sync::Arc;
+
 use crate::derive::{DerivationRecord, Sign};
 use crate::encode::{descriptor, EncodedTables, Scheme, TableLayout};
 use crate::layout::{GroundEntry, Location, RegSet};
@@ -497,7 +499,10 @@ struct ProcCacheState {
 ///   gc-point is eventually consulted.
 #[derive(Debug, Clone)]
 pub struct DecodeCache {
-    index: DecoderIndex,
+    /// The validated index, shareable across caches: parallel gc workers
+    /// each keep a private memoizing cache over one `Arc`'d index built
+    /// at module load (the encoded bytes themselves live in the module).
+    index: Arc<DecoderIndex>,
     procs: Vec<ProcCacheState>,
     /// Identity of the module this cache is bound to (a VM-assigned
     /// token); `None` until first bound.
@@ -509,6 +514,14 @@ impl DecodeCache {
     /// Wraps a prebuilt index.
     #[must_use]
     pub fn new(index: DecoderIndex) -> DecodeCache {
+        DecodeCache::with_shared_index(Arc::new(index))
+    }
+
+    /// Wraps an index that is already shared. Several caches built over
+    /// the same `Arc` (one per gc worker) memoize independently but pay
+    /// the indexing pass only once.
+    #[must_use]
+    pub fn with_shared_index(index: Arc<DecoderIndex>) -> DecodeCache {
         let procs = index
             .procs
             .iter()
@@ -531,6 +544,13 @@ impl DecodeCache {
     #[must_use]
     pub fn index(&self) -> &DecoderIndex {
         &self.index
+    }
+
+    /// A clonable handle to the underlying index, for building sibling
+    /// caches without re-indexing.
+    #[must_use]
+    pub fn shared_index(&self) -> Arc<DecoderIndex> {
+        Arc::clone(&self.index)
     }
 
     /// Binds the cache to a module identity token (e.g.

@@ -13,8 +13,9 @@
 //! *inconclusive*, not a failure: the reference heap never fills while
 //! the VM's does, so those runs are simply skipped.
 
-use m3gc_compiler::{compile, Options};
+use m3gc_compiler::{compile, run_module_par, Options};
 use m3gc_core::encode::Scheme;
+use m3gc_runtime::parallel::ParConfig;
 use m3gc_runtime::scheduler::{ExecConfig, ExecError, Executor};
 use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig, VmTrap};
 
@@ -96,7 +97,15 @@ pub fn run_vm(source: &str, options: &Options, heap: HeapStrategy) -> RunStatus 
     };
     match ex.run_main() {
         Ok(out) => RunStatus::Ok(out.output),
-        Err(ExecError::Trap(t)) => match t {
+        Err(e) => status_of_error(e),
+    }
+}
+
+/// Maps an execution error to a [`RunStatus`], shared by the
+/// single-threaded and parallel runners.
+fn status_of_error(e: ExecError) -> RunStatus {
+    match e {
+        ExecError::Trap(t) => match t {
             VmTrap::NilError => RunStatus::Trap(TrapKind::Nil),
             VmTrap::RangeError => RunStatus::Trap(TrapKind::Range),
             VmTrap::AssertError => RunStatus::Trap(TrapKind::Assert),
@@ -106,11 +115,42 @@ pub fn run_vm(source: &str, options: &Options, heap: HeapStrategy) -> RunStatus 
             VmTrap::StalePointer => RunStatus::Hard(format!("missed pointer: {t}")),
             VmTrap::BadProc => RunStatus::Hard(format!("vm trap: {t}")),
         },
-        Err(ExecError::OutOfFuel) => RunStatus::Inconclusive("vm fuel".to_string()),
-        Err(e @ (ExecError::StuckThread { .. } | ExecError::Oracle(_))) => {
+        ExecError::OutOfFuel => RunStatus::Inconclusive("vm fuel".to_string()),
+        e @ (ExecError::StuckThread { .. } | ExecError::Oracle(_)) => {
             RunStatus::Hard(e.to_string())
         }
     }
+}
+
+/// Runs one configuration under the *parallel* runtime: a single
+/// mutator (generated programs mutate module globals, which parallel
+/// mutators share, so only one keeps output deterministic) with
+/// `workers` gc workers, under torture with shadow mode and the
+/// precision oracle — the parallel handshake, snapshot stack walk and
+/// work-stealing copy all differentially checked against the reference.
+#[must_use]
+pub fn run_par_vm(source: &str, options: &Options, workers: usize) -> RunStatus {
+    let module = match compile(source, options) {
+        Ok(m) => m,
+        Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
+    };
+    let config = ParConfig {
+        gc_workers: workers,
+        force_every_allocs: Some(1),
+        oracle: true,
+        ..ParConfig::default()
+    };
+    match run_module_par(module, FUZZ_SEMI_WORDS, 1, true, config) {
+        Ok(out) => RunStatus::Ok(out.output),
+        Err(e) => status_of_error(e),
+    }
+}
+
+/// The parallel side of the matrix: {o0, o2} at the default encoding
+/// with 2 and 4 gc workers.
+#[must_use]
+pub fn par_config_matrix() -> Vec<(String, Options, usize)> {
+    vec![("o2/par-w2".to_string(), Options::o2(), 2), ("o0/par-w4".to_string(), Options::o0(), 4)]
 }
 
 /// The full VM configuration matrix: {o0, o2} × all six encodings ×
@@ -147,6 +187,19 @@ pub fn check_program(source: &str) -> Result<bool, String> {
     }
     for (label, opts, heap) in config_matrix() {
         match run_vm(source, &opts, heap) {
+            RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
+            RunStatus::Inconclusive(_) => continue,
+            got => {
+                if got != reference {
+                    return Err(format!(
+                        "[{label}] diverged from reference: got {got:?}, expected {reference:?}"
+                    ));
+                }
+            }
+        }
+    }
+    for (label, opts, workers) in par_config_matrix() {
+        match run_par_vm(source, &opts, workers) {
             RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
             RunStatus::Inconclusive(_) => continue,
             got => {

@@ -14,14 +14,20 @@
 //!   when a collection is requested, threads that are not at gc-points
 //!   are resumed until they all reach one (loop gc-points bound the
 //!   wait), then the collector runs.
+//! * [`parallel`] — the same protocol over real OS threads: mutators
+//!   poll the request flag at gc-points, park in a stop-the-world
+//!   handshake, and `gc_workers` workers evacuate concurrently with a
+//!   work-stealing Cheney copy (CAS-claimed forwarding pointers).
 
 pub mod collector;
 pub mod gengc;
 pub mod oracle;
+pub mod parallel;
 pub mod scheduler;
 pub mod trace;
 
 pub use collector::{collect, GcStats};
+pub use parallel::{ParConfig, ParExecutor, ParGcStats, ParOutcome};
 pub use scheduler::{ExecConfig, ExecOutcome, Executor, GcMode};
 
 #[cfg(test)]

@@ -32,7 +32,9 @@ use m3gc_core::heap::header_type_id;
 use m3gc_vm::machine::Machine;
 use m3gc_vm::shadow::Tag;
 
-use crate::trace::{gather_global_roots, gather_stack_roots, read_root, RootRef};
+use crate::trace::{
+    gather_global_roots, gather_stack_roots, read_root_in, RootRef, RootSource, StackRoots,
+};
 
 /// The live (allocated) heap ranges: the from-space prefix for a
 /// semispace heap; the nursery prefix plus the tenured prefix for a
@@ -58,17 +60,65 @@ fn root_tag(m: &Machine, r: RootRef) -> Tag {
 }
 
 /// Checks that `v` is the address of a live, plausible object.
-fn check_object(m: &Machine, ranges: &[(i64, i64); 2], v: i64) -> Result<(), String> {
+fn check_object(src: &impl RootSource, ranges: &[(i64, i64); 2], v: i64) -> Result<(), String> {
     if !ranges.iter().any(|&(s, e)| (s..e).contains(&v)) {
         return Err(format!("value {v} is outside the live heap"));
     }
-    let header = m.mem[v as usize];
+    let header = src.mem_word(v);
     if header < 0 {
         return Err(format!("value {v} points at a forwarded header"));
     }
     let tid = header_type_id(header);
-    if tid.0 as usize >= m.module.types.len() {
+    if tid.0 as usize >= src.module().types.len() {
         return Err(format!("value {v} has implausible type id {tid}"));
+    }
+    Ok(())
+}
+
+/// The validation core, shared by the single-threaded [`check`] and the
+/// parallel runtime's pre-collection check: confronts already-gathered
+/// roots with the shadow tags `tag_of` reports.
+pub(crate) fn check_entries(
+    src: &impl RootSource,
+    tag_of: impl Fn(RootRef) -> Tag,
+    ranges: &[(i64, i64); 2],
+    stack: &StackRoots,
+    globals: &[RootRef],
+) -> Result<(), String> {
+    for &r in globals.iter().chain(&stack.tidy) {
+        let v = read_root_in(src, r);
+        if v == 0 {
+            continue; // NIL
+        }
+        check_object(src, ranges, v).map_err(|e| format!("tidy root {r:?}: {e}"))?;
+        let tag = tag_of(r);
+        if tag != Tag::Ptr {
+            return Err(format!("tidy root {r:?} = {v} carries shadow tag {tag:?}, expected Ptr"));
+        }
+    }
+
+    for d in &stack.derivations {
+        for &(b, _sign) in &d.bases {
+            let v = read_root_in(src, b);
+            if v == 0 {
+                continue;
+            }
+            check_object(src, ranges, v)
+                .map_err(|e| format!("derivation base {b:?} (target {:?}): {e}", d.target))?;
+            let tag = tag_of(b);
+            if tag != Tag::Ptr {
+                return Err(format!(
+                    "derivation base {b:?} = {v} carries shadow tag {tag:?}, expected Ptr"
+                ));
+            }
+        }
+        let tag = tag_of(d.target);
+        if !tag.pointerish() {
+            return Err(format!(
+                "derivation target {:?} carries shadow tag {tag:?}, expected Ptr/Derived",
+                d.target
+            ));
+        }
     }
     Ok(())
 }
@@ -88,41 +138,5 @@ pub fn check(m: &Machine, cache: &mut DecodeCache) -> Result<(), String> {
     let stack = gather_stack_roots(m, cache);
     let globals = gather_global_roots(m);
     let ranges = live_ranges(m);
-
-    for &r in globals.iter().chain(&stack.tidy) {
-        let v = read_root(m, r);
-        if v == 0 {
-            continue; // NIL
-        }
-        check_object(m, &ranges, v).map_err(|e| format!("tidy root {r:?}: {e}"))?;
-        let tag = root_tag(m, r);
-        if tag != Tag::Ptr {
-            return Err(format!("tidy root {r:?} = {v} carries shadow tag {tag:?}, expected Ptr"));
-        }
-    }
-
-    for d in &stack.derivations {
-        for &(b, _sign) in &d.bases {
-            let v = read_root(m, b);
-            if v == 0 {
-                continue;
-            }
-            check_object(m, &ranges, v)
-                .map_err(|e| format!("derivation base {b:?} (target {:?}): {e}", d.target))?;
-            let tag = root_tag(m, b);
-            if tag != Tag::Ptr {
-                return Err(format!(
-                    "derivation base {b:?} = {v} carries shadow tag {tag:?}, expected Ptr"
-                ));
-            }
-        }
-        let tag = root_tag(m, d.target);
-        if !tag.pointerish() {
-            return Err(format!(
-                "derivation target {:?} carries shadow tag {tag:?}, expected Ptr/Derived",
-                d.target
-            ));
-        }
-    }
-    Ok(())
+    check_entries(m, |r| root_tag(m, r), &ranges, &stack, &globals)
 }

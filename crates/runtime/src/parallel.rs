@@ -1,0 +1,931 @@
+//! Parallel stop-the-world collection over OS-thread mutators.
+//!
+//! Mutators run on real `std::thread`s against a shared
+//! [`ParMachine`]. A collection proceeds in three acts:
+//!
+//! 1. **Safepoint handshake.** The thread whose allocation fails CASes
+//!    the machine's `gc_request` flag; winning the CAS makes it the
+//!    *leader*. Every other mutator notices the flag at its next
+//!    gc-point — an allocation site or one of the loop back-edge polls
+//!    `codegen::gcpoints` inserts (§5.3: the explicit loop gc-points
+//!    bound how far a thread can run before reaching a describable
+//!    state, so handshake latency is bounded by the longest
+//!    gc-point-free path, not by loop trip counts). A parking thread
+//!    deposits a [`Snapshot`] of its registers and frame cursor, then
+//!    blocks on a condvar. The leader waits until every live mutator
+//!    has parked.
+//! 2. **Parallel copy.** The leader becomes gc worker 0 and spawns
+//!    `gc_workers - 1` helpers. Parked threads are dealt to workers
+//!    round-robin; each worker walks its threads' stacks (through the
+//!    shared [`RootSource`] trace code, against the deposited
+//!    snapshots) and un-derives their derived values. After a barrier,
+//!    workers forward their threads' roots (worker 0 also takes the
+//!    globals) and trace the object graph with work stealing: each
+//!    worker owns a deque of to-space objects still holding from-space
+//!    pointers, pops its own work LIFO, and steals FIFO from others
+//!    when empty. Forwarding claims an object by CASing its header to
+//!    a BUSY sentinel; the winner bumps the shared to-space frontier
+//!    with a fetch-add, copies the words, and publishes `-(new+1)`
+//!    with release ordering. Losers spin (yielding) until the
+//!    forwarding pointer appears. A shared pending-object counter
+//!    detects termination.
+//! 3. **Release.** After a final barrier each worker re-derives its
+//!    threads' derived values in exactly the reverse order, the leader
+//!    flips the semispaces, clears the request flag and bumps the
+//!    handshake generation; parked threads wake, reload their (now
+//!    updated) snapshots and resume — the failed allocation simply
+//!    retries.
+//!
+//! Decode caches are per-worker and persistent across collections; all
+//! of them share one `Arc`'d [`DecoderIndex`] of the module's encoded
+//! tables, so the memoization cost is paid per worker but the parsed
+//! index is built once.
+//!
+//! The gc-map precision oracle (when enabled) runs on the leader,
+//! single-threaded, after the handshake completes and before any
+//! object moves — every thread's deposited snapshot is validated
+//! against the shadow ground truth exactly as in the single-threaded
+//! scheduler.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use m3gc_core::decode::{DecodeCache, DecodeCounters, DecoderIndex};
+use m3gc_core::heap::{header_type_id, HeapType};
+use m3gc_vm::isa::NUM_REGS;
+use m3gc_vm::machine::{VmTrap, GLOBAL_BASE};
+use m3gc_vm::module::VmModule;
+use m3gc_vm::shadow::Tag;
+use m3gc_vm::{Mutator, ParMachine, ParStep};
+
+use crate::oracle::check_entries;
+use crate::scheduler::ExecError;
+use crate::trace::{gather_global_roots_in, gather_thread_roots, RootRef, RootSource, StackRoots};
+
+/// Relaxed shorthand for counters; cross-thread ordering comes from the
+/// handshake mutex/condvar and the forwarding CAS protocol.
+const R: Ordering = Ordering::Relaxed;
+
+/// Header claim sentinel: a worker that wins the forwarding CAS holds
+/// the object under this value until the forwarding pointer is
+/// published. Distinguishable from both real headers (`>= 0`) and
+/// forwarding pointers (`-(new+1)`, which is negative but far from
+/// `i64::MIN` for any real address).
+const BUSY: i64 = i64::MIN;
+
+/// Configuration for a [`ParExecutor`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParConfig {
+    /// Gc worker threads per collection (the leader counts as one).
+    pub gc_workers: usize,
+    /// Per-mutator instruction budget.
+    pub fuel: u64,
+    /// Max instructions a mutator may run after observing a collection
+    /// request without reaching a gc-point (the §5.3 bound).
+    pub max_advance: u64,
+    /// Torture: force a collection every N allocations.
+    pub force_every_allocs: Option<u64>,
+    /// Run the gc-map precision oracle before every collection
+    /// (requires shadow mode on the machine).
+    pub oracle: bool,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            gc_workers: 4,
+            fuel: 2_000_000_000,
+            max_advance: 1_000_000,
+            force_every_allocs: None,
+            oracle: false,
+        }
+    }
+}
+
+/// A mutator's machine state as deposited at a safepoint, and as
+/// reloaded (post-collection) when it resumes.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// General-purpose registers.
+    pub regs: [i64; NUM_REGS],
+    /// Shadow tags for the registers (oracle input).
+    pub reg_tags: [Tag; NUM_REGS],
+    /// Frame pointer.
+    pub fp: i64,
+    /// Stack pointer.
+    pub sp: i64,
+    /// Argument pointer.
+    pub ap: i64,
+    /// The gc-point pc the thread parked at.
+    pub pc: u32,
+}
+
+impl Snapshot {
+    fn of(mu: &Mutator) -> Snapshot {
+        Snapshot {
+            regs: mu.regs,
+            reg_tags: mu.reg_tags,
+            fp: mu.fp,
+            sp: mu.sp,
+            ap: mu.ap,
+            pc: mu.pc,
+        }
+    }
+
+    fn restore(&self, mu: &mut Mutator) {
+        mu.regs = self.regs;
+        mu.reg_tags = self.reg_tags;
+        mu.fp = self.fp;
+        mu.sp = self.sp;
+        mu.ap = self.ap;
+        mu.pc = self.pc;
+    }
+}
+
+/// Statistics for one parallel collection.
+#[derive(Debug, Clone, Default)]
+pub struct ParGcStats {
+    /// From the winning collection request to every mutator parked.
+    pub handshake_time: Duration,
+    /// The parallel evacuation (root forwarding + work-stealing trace).
+    pub copy_time: Duration,
+    /// Whole collection (handshake through release).
+    pub total_time: Duration,
+    /// Objects evacuated (all workers).
+    pub objects_copied: u64,
+    /// Words evacuated (all workers).
+    pub words_copied: u64,
+    /// Objects evacuated per worker.
+    pub per_worker_objects: Vec<u64>,
+    /// Words evacuated per worker.
+    pub per_worker_words: Vec<u64>,
+    /// Successful steals per worker.
+    pub steals: Vec<u64>,
+    /// Tidy root references processed.
+    pub roots: u64,
+    /// Derived values un-derived and re-derived.
+    pub derived_updated: u64,
+    /// Stack frames traced.
+    pub frames_traced: u64,
+    /// Decode-cache memo hits during the stack walks.
+    pub decode_hits: u64,
+    /// Decode-cache misses.
+    pub decode_misses: u64,
+    /// Individual gc-point decode operations.
+    pub decode_ops: u64,
+    /// Mutators that parked at an explicit loop poll for this cycle.
+    pub parked_at_polls: u64,
+    /// Mutators that parked at an allocation gc-point for this cycle.
+    pub parked_at_allocs: u64,
+}
+
+/// Result of a completed parallel run.
+#[derive(Debug, Clone, Default)]
+pub struct ParOutcome {
+    /// All mutator outputs concatenated in tid order.
+    pub output: String,
+    /// Per-mutator outputs.
+    pub outputs: Vec<String>,
+    /// Collections performed.
+    pub collections: u64,
+    /// Objects allocated.
+    pub allocations: u64,
+    /// Words allocated.
+    pub words_allocated: u64,
+    /// Instructions executed (all mutators).
+    pub steps: u64,
+    /// Per-collection statistics.
+    pub gc_each: Vec<ParGcStats>,
+}
+
+/// A stack-walk view of one parked mutator: shared memory plus its
+/// deposited register snapshot.
+struct ThreadWorld<'a> {
+    vm: &'a ParMachine,
+    tid: u32,
+    snap: &'a Snapshot,
+}
+
+impl RootSource for ThreadWorld<'_> {
+    fn mem_word(&self, addr: i64) -> i64 {
+        self.vm.word(addr)
+    }
+
+    fn reg_word(&self, thread: u32, reg: u8) -> i64 {
+        debug_assert_eq!(thread, self.tid, "stack walk crossed threads");
+        self.snap.regs[reg as usize]
+    }
+
+    fn module(&self) -> &VmModule {
+        &self.vm.module
+    }
+}
+
+fn read_root_snap(vm: &ParMachine, snap: &Snapshot, r: RootRef) -> i64 {
+    match r {
+        RootRef::Mem(a) => vm.word(a),
+        RootRef::Reg { reg, .. } => snap.regs[reg as usize],
+    }
+}
+
+fn write_root_snap(vm: &ParMachine, snap: &mut Snapshot, r: RootRef, v: i64) {
+    match r {
+        RootRef::Mem(a) => vm.set_word(a, v),
+        RootRef::Reg { reg, .. } => snap.regs[reg as usize] = v,
+    }
+}
+
+/// Step 1 of the derived-value update (§3) against a snapshot, in
+/// un-derive order (callee frames first, derived before base).
+fn un_derive_snap(vm: &ParMachine, snap: &mut Snapshot, roots: &StackRoots) {
+    for d in &roots.derivations {
+        let mut v = read_root_snap(vm, snap, d.target);
+        for &(b, sign) in &d.bases {
+            v -= sign.factor() * read_root_snap(vm, snap, b);
+        }
+        write_root_snap(vm, snap, d.target, v);
+    }
+}
+
+/// Step 2: `derived := E + Σ ±base` from the relocated bases, in
+/// exactly the reverse of the un-derive order.
+fn re_derive_snap(vm: &ParMachine, snap: &mut Snapshot, roots: &StackRoots) {
+    for d in roots.derivations.iter().rev() {
+        let mut v = read_root_snap(vm, snap, d.target);
+        for &(b, sign) in &d.bases {
+            v += sign.factor() * read_root_snap(vm, snap, b);
+        }
+        write_root_snap(vm, snap, d.target, v);
+    }
+}
+
+/// Handshake coordination state, guarded by [`Coord::state`].
+struct CoordState {
+    /// Mutators still running (decremented on finish/death).
+    active: usize,
+    /// Mutators currently parked for the pending request.
+    parked: usize,
+    /// Bumped by the leader to release parked threads.
+    generation: u64,
+    /// Mirrors [`Coord::halt`] for checks already under the lock.
+    halt: bool,
+}
+
+struct Coord {
+    state: Mutex<CoordState>,
+    cv: Condvar,
+    /// Cheap fast-path halt check for mutator loops.
+    halt: AtomicBool,
+    /// First error wins; everyone else shuts down quietly.
+    error: Mutex<Option<ExecError>>,
+}
+
+/// Everything the mutator threads and gc workers share for one run.
+struct RunCtx<'vm> {
+    vm: &'vm ParMachine,
+    config: ParConfig,
+    coord: Coord,
+    /// One snapshot slot per mutator, filled while parked.
+    slots: Vec<Mutex<Option<Snapshot>>>,
+    /// Persistent per-worker decode caches (shared `DecoderIndex`).
+    caches: Vec<Mutex<DecodeCache>>,
+    /// Allocation count at the previous (unforced) collection — the
+    /// no-progress out-of-memory detector, shared by whichever thread
+    /// happens to lead.
+    last_gc_allocations: Mutex<Option<u64>>,
+    gc_log: Mutex<Vec<ParGcStats>>,
+    /// Per-cycle park-site counters, read+reset by the leader.
+    poll_parks: AtomicU64,
+    alloc_parks: AtomicU64,
+}
+
+/// Shared state of one collection's copy phase.
+struct GcCtx<'vm> {
+    vm: &'vm ParMachine,
+    /// To-space copy frontier (fetch-add bump).
+    free: AtomicI64,
+    to_end: i64,
+    from_start: i64,
+    from_end: i64,
+    /// Per-worker deques of to-space objects still to scan.
+    queues: Vec<Mutex<VecDeque<i64>>>,
+    /// Objects pushed but not yet fully scanned (termination detector).
+    pending: AtomicUsize,
+    steals: Vec<AtomicU64>,
+    barrier: Barrier,
+}
+
+/// A worker's thread partition: (tid, snapshot, gathered roots).
+type Part = Vec<(usize, Snapshot, StackRoots)>;
+
+#[derive(Default)]
+struct WorkerLocal {
+    objects: u64,
+    words: u64,
+}
+
+struct WorkerReport {
+    threads: Vec<(usize, Snapshot)>,
+    objects: u64,
+    words: u64,
+    roots: u64,
+    derived: u64,
+    frames: u64,
+    decode: DecodeCounters,
+    copy_time: Duration,
+}
+
+/// Forwards one object pointer, copying the object on first claim.
+/// `addr` must point at an object header in from-space. Loser workers
+/// spin (yielding) on the BUSY sentinel until the winner publishes the
+/// forwarding pointer with release ordering.
+fn forward_par(gc: &GcCtx<'_>, w: usize, local: &mut WorkerLocal, addr: i64) -> i64 {
+    let vm = gc.vm;
+    loop {
+        let header = vm.mem[addr as usize].load(Ordering::Acquire);
+        if header == BUSY {
+            std::thread::yield_now();
+            continue;
+        }
+        if header < 0 {
+            // Already forwarded: header holds -(new+1).
+            return -(header + 1);
+        }
+        if vm.mem[addr as usize]
+            .compare_exchange(header, BUSY, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        // Claimed: the words are exclusively ours until we publish.
+        let ty = vm.module.types.get(header_type_id(header));
+        let len = match ty {
+            HeapType::Array { .. } => vm.word(addr + 1),
+            HeapType::Record { .. } => 0,
+        };
+        let words = i64::from(ty.object_words(len as u32));
+        let new = gc.free.fetch_add(words, R);
+        assert!(new + words <= gc.to_end, "to-space overflow during parallel copy");
+        vm.set_word(new, header);
+        for off in 1..words {
+            vm.set_word(new + off, vm.word(addr + off));
+        }
+        if let Some(sh) = &vm.shadow {
+            sh.copy_words(addr, new, words);
+        }
+        local.objects += 1;
+        local.words += words as u64;
+        if ty.pointer_offset_iter(len as u32).next().is_some() {
+            gc.pending.fetch_add(1, Ordering::SeqCst);
+            gc.queues[w].lock().unwrap().push_back(new);
+        }
+        vm.mem[addr as usize].store(-(new + 1), Ordering::Release);
+        return new;
+    }
+}
+
+/// Forwards a root slot if it still holds a from-space pointer.
+/// Duplicate roots (a pointer listed both in a register and its save
+/// slot) make forwarding idempotent, exactly as in the single-threaded
+/// collector.
+fn forward_root_par(gc: &GcCtx<'_>, w: usize, local: &mut WorkerLocal, v: i64) -> Option<i64> {
+    if v == 0 {
+        return None; // NIL
+    }
+    if !(gc.from_start..gc.from_end).contains(&v) {
+        debug_assert!(
+            (GLOBAL_BASE as i64..gc.from_end).contains(&v),
+            "tidy root {v} outside every space"
+        );
+        return None;
+    }
+    Some(forward_par(gc, w, local, v))
+}
+
+/// Scans one to-space object, forwarding its from-space pointer slots.
+fn scan_object(gc: &GcCtx<'_>, w: usize, local: &mut WorkerLocal, addr: i64) {
+    let vm = gc.vm;
+    let header = vm.word(addr);
+    debug_assert!(header >= 0, "forwarded header in to-space at {addr}");
+    let ty = vm.module.types.get(header_type_id(header));
+    let len = match ty {
+        HeapType::Array { .. } => vm.word(addr + 1),
+        HeapType::Record { .. } => 0,
+    };
+    for off in ty.pointer_offset_iter(len as u32) {
+        let slot = addr + i64::from(off);
+        let v = vm.word(slot);
+        if v != 0 && (gc.from_start..gc.from_end).contains(&v) {
+            vm.set_word(slot, forward_par(gc, w, local, v));
+        }
+    }
+}
+
+/// Pops local work LIFO, steals FIFO when dry.
+fn next_work(gc: &GcCtx<'_>, w: usize) -> Option<i64> {
+    if let Some(a) = gc.queues[w].lock().unwrap().pop_back() {
+        return Some(a);
+    }
+    let n = gc.queues.len();
+    for i in 1..n {
+        let q = (w + i) % n;
+        if let Some(a) = gc.queues[q].lock().unwrap().pop_front() {
+            gc.steals[w].fetch_add(1, R);
+            return Some(a);
+        }
+    }
+    None
+}
+
+/// One gc worker's whole collection: scan+un-derive its threads,
+/// forward roots, trace with stealing, re-derive. Barriers separate
+/// the phases — no object may move before every un-derive is done, and
+/// no re-derive may run before every move is done.
+fn gc_worker(
+    gc: &GcCtx<'_>,
+    cache_mx: &Mutex<DecodeCache>,
+    w: usize,
+    mut my: Part,
+) -> WorkerReport {
+    let vm = gc.vm;
+    let mut cache = cache_mx.lock().unwrap();
+    let decode_before = cache.counters();
+    let mut local = WorkerLocal::default();
+    let (mut roots_n, mut derived_n, mut frames_n) = (0u64, 0u64, 0u64);
+
+    // Phase 1: walk my threads' stacks and un-derive.
+    for (tid, snap, roots) in &mut my {
+        {
+            let world = ThreadWorld { vm, tid: *tid as u32, snap };
+            gather_thread_roots(
+                &world,
+                &mut cache,
+                *tid as u32,
+                (snap.pc, snap.fp, snap.ap, snap.sp),
+                roots,
+            );
+        }
+        un_derive_snap(vm, snap, roots);
+        roots_n += roots.tidy.len() as u64;
+        derived_n += roots.derivations.len() as u64;
+        frames_n += roots.frames as u64;
+    }
+    gc.barrier.wait();
+    let t_copy = Instant::now();
+
+    // Phase 2: forward roots. Worker 0 owns the globals.
+    if w == 0 {
+        for g in gather_global_roots_in(&vm.module, vm.globals_start() as i64) {
+            let RootRef::Mem(a) = g else { unreachable!("global root in a register") };
+            if let Some(new) = forward_root_par(gc, w, &mut local, vm.word(a)) {
+                vm.set_word(a, new);
+            }
+        }
+        roots_n += vm.module.global_ptr_roots.len() as u64;
+    }
+    for (_, snap, roots) in &mut my {
+        for i in 0..roots.tidy.len() {
+            let r = roots.tidy[i];
+            let v = read_root_snap(vm, snap, r);
+            if let Some(new) = forward_root_par(gc, w, &mut local, v) {
+                write_root_snap(vm, snap, r, new);
+            }
+        }
+    }
+    gc.barrier.wait();
+
+    // Phase 3: work-stealing trace to transitive closure.
+    loop {
+        match next_work(gc, w) {
+            Some(addr) => {
+                scan_object(gc, w, &mut local, addr);
+                gc.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if gc.pending.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+    gc.barrier.wait();
+    let copy_time = t_copy.elapsed();
+
+    // Phase 4: re-derive, reverse of the un-derive order.
+    for (_, snap, roots) in my.iter_mut().rev() {
+        re_derive_snap(vm, snap, roots);
+    }
+
+    WorkerReport {
+        threads: my.into_iter().map(|(tid, snap, _)| (tid, snap)).collect(),
+        objects: local.objects,
+        words: local.words,
+        roots: roots_n,
+        derived: derived_n,
+        frames: frames_n,
+        decode: cache.counters().since(decode_before),
+        copy_time,
+    }
+}
+
+/// The leader's collection proper: deal parked threads to workers, run
+/// the copy in a scoped thread pool (leader = worker 0), write the
+/// updated snapshots back and flip the spaces.
+fn collect_parallel(ctx: &RunCtx<'_>, handshake_time: Duration, t0: Instant) -> ParGcStats {
+    let vm = ctx.vm;
+    let workers = ctx.caches.len();
+    let mut parts: Vec<Part> = (0..workers).map(|_| Vec::new()).collect();
+    let mut n_threads = 0usize;
+    for (tid, slot) in ctx.slots.iter().enumerate() {
+        if let Some(snap) = slot.lock().unwrap().take() {
+            parts[n_threads % workers].push((tid, snap, StackRoots::default()));
+            n_threads += 1;
+        }
+    }
+
+    let (from_start, from_end) = vm.from_space();
+    let (to_start, to_end) = vm.to_space();
+    let gc = GcCtx {
+        vm,
+        free: AtomicI64::new(to_start),
+        to_end,
+        from_start,
+        from_end,
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(0),
+        steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        barrier: Barrier::new(workers),
+    };
+
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(workers);
+    {
+        let mut parts = parts.into_iter();
+        let part0 = parts.next().expect("worker 0 partition");
+        std::thread::scope(|s| {
+            let gc = &gc;
+            let handles: Vec<_> = parts
+                .enumerate()
+                .map(|(i, part)| {
+                    let cache = &ctx.caches[i + 1];
+                    s.spawn(move || gc_worker(gc, cache, i + 1, part))
+                })
+                .collect();
+            reports.push(gc_worker(gc, &ctx.caches[0], 0, part0));
+            for h in handles {
+                reports.push(h.join().expect("gc worker panicked"));
+            }
+        });
+    }
+
+    // Publish updated snapshots back to the park slots.
+    for report in &reports {
+        for (tid, snap) in &report.threads {
+            *ctx.slots[*tid].lock().unwrap() = Some(snap.clone());
+        }
+    }
+    vm.finish_collection(gc.free.load(R));
+
+    let mut stats = ParGcStats {
+        handshake_time,
+        per_worker_objects: reports.iter().map(|r| r.objects).collect(),
+        per_worker_words: reports.iter().map(|r| r.words).collect(),
+        steals: gc.steals.iter().map(|s| s.load(R)).collect(),
+        parked_at_polls: ctx.poll_parks.swap(0, R),
+        parked_at_allocs: ctx.alloc_parks.swap(0, R),
+        ..ParGcStats::default()
+    };
+    for r in &reports {
+        stats.objects_copied += r.objects;
+        stats.words_copied += r.words;
+        stats.roots += r.roots;
+        stats.derived_updated += r.derived;
+        stats.frames_traced += r.frames;
+        stats.decode_hits += r.decode.hits;
+        stats.decode_misses += r.decode.misses;
+        stats.decode_ops += r.decode.points_decoded;
+    }
+    stats.copy_time = reports[0].copy_time;
+    stats.total_time = t0.elapsed();
+    stats
+}
+
+/// The leader's oracle pass: validate every parked thread's decoded
+/// tables against the shadow ground truth, before anything moves.
+fn par_oracle_check(ctx: &RunCtx<'_>) -> Result<(), String> {
+    let vm = ctx.vm;
+    let sh = vm.shadow.as_ref().expect("oracle requires shadow mode");
+    let (from_start, _) = vm.from_space();
+    let ranges = [(from_start, vm.free.load(R)), (0, 0)];
+    let globals = gather_global_roots_in(&vm.module, vm.globals_start() as i64);
+    let mut cache = ctx.caches[0].lock().unwrap();
+    let mut first = true;
+    for (tid, slot) in ctx.slots.iter().enumerate() {
+        let slot = slot.lock().unwrap();
+        let Some(snap) = slot.as_ref() else { continue };
+        let world = ThreadWorld { vm, tid: tid as u32, snap };
+        let mut roots = StackRoots::default();
+        gather_thread_roots(
+            &world,
+            &mut cache,
+            tid as u32,
+            (snap.pc, snap.fp, snap.ap, snap.sp),
+            &mut roots,
+        );
+        let tag_of = |r: RootRef| match r {
+            RootRef::Mem(a) => sh.mem_tag(a),
+            RootRef::Reg { reg, .. } => snap.reg_tags[reg as usize],
+        };
+        let g: &[RootRef] = if first { &globals } else { &[] };
+        first = false;
+        check_entries(&world, tag_of, &ranges, &roots, g)?;
+    }
+    Ok(())
+}
+
+/// Parks the calling mutator for a pending collection request. Returns
+/// `true` if execution should resume, `false` on halt. A request that
+/// was already serviced (or abandoned) by the time the lock is taken
+/// resumes immediately without parking.
+fn park(ctx: &RunCtx<'_>, mu: &mut Mutator) -> bool {
+    let mut st = ctx.coord.state.lock().unwrap();
+    if st.halt {
+        return false;
+    }
+    if !ctx.vm.gc_request.load(R) {
+        return true;
+    }
+    if ctx.vm.is_poll_pc(mu.pc) {
+        ctx.poll_parks.fetch_add(1, R);
+    } else {
+        ctx.alloc_parks.fetch_add(1, R);
+    }
+    *ctx.slots[mu.tid].lock().unwrap() = Some(Snapshot::of(mu));
+    st.parked += 1;
+    ctx.coord.cv.notify_all();
+    let gen = st.generation;
+    while st.generation == gen {
+        st = ctx.coord.cv.wait(st).unwrap();
+    }
+    let halted = st.halt;
+    drop(st);
+    if let Some(snap) = ctx.slots[mu.tid].lock().unwrap().take() {
+        snap.restore(mu);
+    }
+    !halted
+}
+
+/// The winning requester's path: park self, wait for the handshake to
+/// complete, run the oracle and the parallel collection, release
+/// everyone. Returns `Ok(true)` to resume, `Ok(false)` on halt.
+fn lead_collection(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError> {
+    let t0 = Instant::now();
+    let mut st = ctx.coord.state.lock().unwrap();
+    if st.halt {
+        // Don't collect during shutdown; withdraw the request.
+        ctx.vm.gc_request.store(false, Ordering::Release);
+        return Ok(false);
+    }
+    if ctx.vm.is_poll_pc(mu.pc) {
+        ctx.poll_parks.fetch_add(1, R);
+    } else {
+        ctx.alloc_parks.fetch_add(1, R);
+    }
+    *ctx.slots[mu.tid].lock().unwrap() = Some(Snapshot::of(mu));
+    st.parked += 1;
+    ctx.coord.cv.notify_all();
+    while st.parked < st.active && !st.halt {
+        st = ctx.coord.cv.wait(st).unwrap();
+    }
+    let halted = st.halt;
+    let handshake_time = t0.elapsed();
+    // Everyone is parked (or dead): the world is stopped. The lock can
+    // be dropped — nothing changes until we bump the generation.
+    drop(st);
+
+    let mut result: Result<(), ExecError> = Ok(());
+    if !halted {
+        let vm = ctx.vm;
+        let allocs_now = vm.allocations.load(R);
+        let forced = allocs_now >= vm.force_gc_at.load(R);
+        if forced {
+            if let Some(every) = ctx.config.force_every_allocs {
+                vm.force_gc_at.store(allocs_now + every.max(1), R);
+            }
+        } else {
+            let mut last = ctx.last_gc_allocations.lock().unwrap();
+            if *last == Some(allocs_now) {
+                // No allocation progress since the previous collection:
+                // the heap is genuinely full.
+                result = Err(ExecError::Trap(VmTrap::OutOfMemory));
+            } else {
+                *last = Some(allocs_now);
+            }
+        }
+        if result.is_ok() && ctx.config.oracle && vm.shadow.is_some() {
+            if let Err(msg) = par_oracle_check(ctx) {
+                result = Err(ExecError::Oracle(msg));
+            }
+        }
+        if result.is_ok() {
+            let stats = collect_parallel(ctx, handshake_time, t0);
+            ctx.gc_log.lock().unwrap().push(stats);
+        }
+    }
+
+    // Release: clear the request *before* bumping the generation, both
+    // under the lock — a woken thread sitting at a gc-point pc must not
+    // observe a stale request and re-park.
+    let mut st = ctx.coord.state.lock().unwrap();
+    if result.is_err() {
+        st.halt = true;
+        ctx.coord.halt.store(true, Ordering::Release);
+    }
+    ctx.vm.gc_request.store(false, Ordering::Release);
+    st.parked = 0;
+    st.generation += 1;
+    ctx.coord.cv.notify_all();
+    drop(st);
+
+    if let Some(snap) = ctx.slots[mu.tid].lock().unwrap().take() {
+        snap.restore(mu);
+    }
+    result.map(|()| !halted)
+}
+
+/// A failed allocation: win the request CAS and lead, or join the
+/// handshake another thread is already running.
+fn request_gc(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError> {
+    if ctx.vm.gc_request.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    {
+        lead_collection(ctx, mu)
+    } else {
+        Ok(park(ctx, mu))
+    }
+}
+
+/// How often a mutator checks the halt flag (in instructions).
+const HALT_CHECK_MASK: u64 = 0xff;
+
+fn mutator_loop(ctx: &RunCtx<'_>, mut mu: Mutator) -> (Mutator, Result<(), ExecError>) {
+    let mut fuel = ctx.config.fuel;
+    // Instructions executed since first observing the current request
+    // without reaching a gc-point (§5.3: bounded by construction).
+    let mut advance: u64 = 0;
+    loop {
+        match ctx.vm.step(&mut mu) {
+            ParStep::Normal => {
+                if fuel == 0 {
+                    return (mu, Err(ExecError::OutOfFuel));
+                }
+                fuel -= 1;
+                if mu.steps & HALT_CHECK_MASK == 0 && ctx.coord.halt.load(Ordering::Acquire) {
+                    return (mu, Ok(()));
+                }
+                if ctx.vm.gc_request.load(R) {
+                    advance += 1;
+                    if advance > ctx.config.max_advance {
+                        let thread = mu.tid;
+                        return (mu, Err(ExecError::StuckThread { thread }));
+                    }
+                } else {
+                    advance = 0;
+                }
+            }
+            ParStep::AtSafepoint => {
+                advance = 0;
+                if !park(ctx, &mut mu) {
+                    return (mu, Ok(()));
+                }
+            }
+            ParStep::NeedGc => {
+                advance = 0;
+                match request_gc(ctx, &mut mu) {
+                    Ok(true) => {} // retry the allocation
+                    Ok(false) => return (mu, Ok(())),
+                    Err(e) => return (mu, Err(e)),
+                }
+            }
+            ParStep::Finished => return (mu, Ok(())),
+            ParStep::Trap(t) => return (mu, Err(ExecError::Trap(t))),
+        }
+    }
+}
+
+/// Thread wrapper: runs the loop, records the first error, always
+/// deregisters from the handshake so no leader waits on a dead thread.
+fn mutator_thread(ctx: &RunCtx<'_>, mu: Mutator) -> Mutator {
+    let (mu, res) = mutator_loop(ctx, mu);
+    let mut st = ctx.coord.state.lock().unwrap();
+    if let Err(e) = res {
+        let mut err = ctx.coord.error.lock().unwrap();
+        if err.is_none() {
+            *err = Some(e);
+        }
+        st.halt = true;
+        ctx.coord.halt.store(true, Ordering::Release);
+    }
+    st.active -= 1;
+    ctx.coord.cv.notify_all();
+    drop(st);
+    mu
+}
+
+/// The parallel executor: a shared machine plus run configuration.
+///
+/// Unlike [`crate::scheduler::Executor`], which time-slices simulated
+/// threads on one OS thread, this spawns one OS thread per mutator and
+/// `gc_workers` workers per collection.
+pub struct ParExecutor {
+    /// The shared machine.
+    pub vm: ParMachine,
+    /// Configuration.
+    pub config: ParConfig,
+}
+
+impl ParExecutor {
+    /// Wraps a machine.
+    #[must_use]
+    pub fn new(vm: ParMachine, config: ParConfig) -> ParExecutor {
+        ParExecutor { vm, config }
+    }
+
+    /// Runs the module's entry procedure on every mutator stack region
+    /// concurrently and drives collections until all threads finish.
+    ///
+    /// # Errors
+    ///
+    /// The first trap, fuel/advance exhaustion or oracle violation of
+    /// any thread (other threads are halted at their next check).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed gc maps or poisoned internal locks (either
+    /// is a bug, not a program error).
+    pub fn run_main(&mut self) -> Result<ParOutcome, ExecError> {
+        if let Some(n) = self.config.force_every_allocs {
+            self.vm.force_gc_at.store(n.max(1), R);
+        }
+        let vm = &self.vm;
+        let n = vm.mutators();
+        let workers = self.config.gc_workers.max(1);
+        let index = Arc::new(DecoderIndex::build(&vm.module.gc_maps).expect("valid gc maps"));
+        let caches = (0..workers)
+            .map(|_| {
+                let mut c = DecodeCache::with_shared_index(Arc::clone(&index));
+                c.bind_module(vm.module_token());
+                Mutex::new(c)
+            })
+            .collect();
+        let ctx = RunCtx {
+            vm,
+            config: self.config,
+            coord: Coord {
+                state: Mutex::new(CoordState { active: n, parked: 0, generation: 0, halt: false }),
+                cv: Condvar::new(),
+                halt: AtomicBool::new(false),
+                error: Mutex::new(None),
+            },
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            caches,
+            last_gc_allocations: Mutex::new(None),
+            gc_log: Mutex::new(Vec::new()),
+            poll_parks: AtomicU64::new(0),
+            alloc_parks: AtomicU64::new(0),
+        };
+
+        let main = vm.module.main;
+        let mut done: Vec<Mutator> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let ctx = &ctx;
+            let handles: Vec<_> = (0..n)
+                .map(|tid| {
+                    s.spawn(move || {
+                        let mu = ctx.vm.spawn_mutator(tid, main, &[]);
+                        mutator_thread(ctx, mu)
+                    })
+                })
+                .collect();
+            for h in handles {
+                done.push(h.join().expect("mutator thread panicked"));
+            }
+        });
+
+        if let Some(e) = ctx.coord.error.lock().unwrap().take() {
+            return Err(e);
+        }
+        done.sort_by_key(|mu| mu.tid);
+        let outputs: Vec<String> = done.iter().map(|mu| mu.output.clone()).collect();
+        Ok(ParOutcome {
+            output: outputs.concat(),
+            outputs,
+            collections: vm.collections.load(R),
+            allocations: vm.allocations.load(R),
+            words_allocated: vm.words_allocated.load(R),
+            steps: done.iter().map(|mu| mu.steps).sum(),
+            gc_each: ctx.gc_log.into_inner().unwrap(),
+        })
+    }
+}

@@ -10,11 +10,18 @@
 //! frame's `FP`/`AP`; derivation entries resolve the same way, and
 //! ambiguous derivations read their path variable's current value to
 //! select the variant that actually happened (§4).
+//!
+//! The walk itself is expressed over a [`RootSource`] view so that the
+//! same code traces both worlds: the single-threaded [`Machine`] (whose
+//! threads are suspended in place) and the parallel machine of
+//! `crate::parallel` (whose mutators deposit register snapshots when
+//! they park at a safepoint).
 
 use m3gc_core::decode::DecodeCache;
 use m3gc_core::derive::{DerivationRecord, Sign};
 use m3gc_core::layout::{BaseReg, Location, NUM_HARD_REGS};
 use m3gc_vm::machine::{Machine, ThreadStatus, RETURN_SENTINEL};
+use m3gc_vm::module::VmModule;
 
 /// A reference to a root: either a memory word or a live machine register
 /// of some thread.
@@ -53,13 +60,45 @@ pub struct StackRoots {
     pub frames: usize,
 }
 
+/// A read-only view of one machine world, sufficient for a stack walk:
+/// memory words, register contents, and the loaded module. The stack
+/// walk only ever reads registers of the thread it is walking.
+pub trait RootSource {
+    /// Reads memory word `addr` (must be in range).
+    fn mem_word(&self, addr: i64) -> i64;
+    /// Reads register `reg` of thread `thread`.
+    fn reg_word(&self, thread: u32, reg: u8) -> i64;
+    /// The loaded module.
+    fn module(&self) -> &VmModule;
+}
+
+impl RootSource for Machine {
+    fn mem_word(&self, addr: i64) -> i64 {
+        self.mem[addr as usize]
+    }
+
+    fn reg_word(&self, thread: u32, reg: u8) -> i64 {
+        self.threads[thread as usize].regs[reg as usize]
+    }
+
+    fn module(&self) -> &VmModule {
+        &self.module
+    }
+}
+
+/// Reads a [`RootRef`] through a [`RootSource`].
+#[must_use]
+pub fn read_root_in(src: &impl RootSource, r: RootRef) -> i64 {
+    match r {
+        RootRef::Mem(a) => src.mem_word(a),
+        RootRef::Reg { thread, reg } => src.reg_word(thread, reg),
+    }
+}
+
 /// Reads a [`RootRef`].
 #[must_use]
 pub fn read_root(m: &Machine, r: RootRef) -> i64 {
-    match r {
-        RootRef::Mem(a) => m.mem[a as usize],
-        RootRef::Reg { thread, reg } => m.threads[thread as usize].regs[reg as usize],
-    }
+    read_root_in(m, r)
 }
 
 /// Writes a [`RootRef`].
@@ -87,6 +126,82 @@ fn resolve_location(loc: Location, fp: i64, ap: i64, sp: i64, regs: &RegLocs) ->
     }
 }
 
+/// Walks one thread's stack from its suspension point `(pc, fp, ap, sp)`
+/// outward, appending roots to `out`. `bytes` must be the module's
+/// encoded gc-map stream and `cache` must be bound to the same module.
+///
+/// # Panics
+///
+/// Panics if a frame's pc has no gc-point tables — that would be a
+/// compiler bug (a collection at a point the compiler did not describe).
+pub fn gather_thread_roots(
+    src: &impl RootSource,
+    cache: &mut DecodeCache,
+    tid: u32,
+    (mut pc, mut fp, mut ap, mut sp): (u32, i64, i64, i64),
+    out: &mut StackRoots,
+) {
+    let bytes: &[u8] = &src.module().gc_maps.bytes;
+    // Register contents start out in the actual machine registers.
+    let mut reg_locs: RegLocs = std::array::from_fn(|r| RootRef::Reg { thread: tid, reg: r as u8 });
+    loop {
+        out.frames += 1;
+        let point = cache.lookup(bytes, pc).unwrap_or_else(|| {
+            panic!(
+                "no gc tables for pc {pc} in `{}` (thread {tid})",
+                src.module().proc_at(pc).map_or("?", |(_, p)| p.name.as_str())
+            )
+        });
+        for entry in &point.stack_slots {
+            let root =
+                resolve_location(Location::Slot(entry.base, entry.offset), fp, ap, sp, &reg_locs);
+            out.tidy.push(root);
+        }
+        for r in point.regs.iter() {
+            out.tidy.push(reg_locs[r as usize]);
+        }
+        for rec in &point.derivations {
+            let target = resolve_location(rec.target(), fp, ap, sp, &reg_locs);
+            let bases = match rec {
+                DerivationRecord::Simple { bases, .. } => bases.clone(),
+                DerivationRecord::Ambiguous { path_var, variants, .. } => {
+                    let pv = resolve_location(*path_var, fp, ap, sp, &reg_locs);
+                    let which = read_root_in(src, pv);
+                    let idx = usize::try_from(which)
+                        .ok()
+                        .filter(|i| *i < variants.len())
+                        .unwrap_or_else(|| panic!("path variable out of range: {which}"));
+                    variants[idx].clone()
+                }
+            };
+            let bases = bases
+                .into_iter()
+                .map(|(loc, sign)| (resolve_location(loc, fp, ap, sp, &reg_locs), sign))
+                .collect();
+            out.derivations.push(ResolvedDerivation { target, bases });
+        }
+        // Unwind to the caller: registers saved by this procedure live
+        // in its save area, so the caller's view of those registers is
+        // those stack slots.
+        let (_, meta) = src.module().proc_at(pc).expect("pc within a procedure");
+        for &(reg, off) in &meta.save_regs {
+            reg_locs[reg as usize] = RootRef::Mem(fp + i64::from(off));
+        }
+        let retpc = src.mem_word(fp - 3);
+        if retpc == RETURN_SENTINEL {
+            break;
+        }
+        // The caller's SP at the time of the call: the arg block plus
+        // linkage had been pushed, so its SP was `ap` before pushing.
+        sp = ap;
+        let old_fp = src.mem_word(fp - 2);
+        let old_ap = src.mem_word(fp - 1);
+        pc = retpc as u32;
+        fp = old_fp;
+        ap = old_ap;
+    }
+}
+
 /// Walks every suspended thread's stack and gathers roots.
 ///
 /// Table lookups go through the [`DecodeCache`]: the first collection
@@ -105,7 +220,6 @@ fn resolve_location(loc: Location, fp: i64, ap: i64, sp: i64, regs: &RegLocs) ->
 #[must_use]
 pub fn gather_stack_roots(m: &Machine, cache: &mut DecodeCache) -> StackRoots {
     cache.bind_module(m.module_token());
-    let bytes: &[u8] = m.gc_map_bytes();
     let mut out = StackRoots::default();
     for (tid, t) in m.threads.iter().enumerate() {
         if t.status == ThreadStatus::Finished {
@@ -116,74 +230,7 @@ pub fn gather_stack_roots(m: &Machine, cache: &mut DecodeCache) -> StackRoots {
             ThreadStatus::BlockedAtGcPoint,
             "thread {tid} not at a gc-point"
         );
-        // Register contents start out in the actual machine registers.
-        let mut reg_locs: RegLocs =
-            std::array::from_fn(|r| RootRef::Reg { thread: tid as u32, reg: r as u8 });
-        let mut pc = t.pc;
-        let mut fp = t.fp;
-        let mut ap = t.ap;
-        let mut sp = t.sp;
-        loop {
-            out.frames += 1;
-            let point = cache.lookup(bytes, pc).unwrap_or_else(|| {
-                panic!(
-                    "no gc tables for pc {pc} in `{}` (thread {tid})",
-                    m.module.proc_at(pc).map_or("?", |(_, p)| p.name.as_str())
-                )
-            });
-            for entry in &point.stack_slots {
-                let root = resolve_location(
-                    Location::Slot(entry.base, entry.offset),
-                    fp,
-                    ap,
-                    sp,
-                    &reg_locs,
-                );
-                out.tidy.push(root);
-            }
-            for r in point.regs.iter() {
-                out.tidy.push(reg_locs[r as usize]);
-            }
-            for rec in &point.derivations {
-                let target = resolve_location(rec.target(), fp, ap, sp, &reg_locs);
-                let bases = match rec {
-                    DerivationRecord::Simple { bases, .. } => bases.clone(),
-                    DerivationRecord::Ambiguous { path_var, variants, .. } => {
-                        let pv = resolve_location(*path_var, fp, ap, sp, &reg_locs);
-                        let which = read_root(m, pv);
-                        let idx = usize::try_from(which)
-                            .ok()
-                            .filter(|i| *i < variants.len())
-                            .unwrap_or_else(|| panic!("path variable out of range: {which}"));
-                        variants[idx].clone()
-                    }
-                };
-                let bases = bases
-                    .into_iter()
-                    .map(|(loc, sign)| (resolve_location(loc, fp, ap, sp, &reg_locs), sign))
-                    .collect();
-                out.derivations.push(ResolvedDerivation { target, bases });
-            }
-            // Unwind to the caller: registers saved by this procedure live
-            // in its save area, so the caller's view of those registers is
-            // those stack slots.
-            let (_, meta) = m.module.proc_at(pc).expect("pc within a procedure");
-            for &(reg, off) in &meta.save_regs {
-                reg_locs[reg as usize] = RootRef::Mem(fp + i64::from(off));
-            }
-            let retpc = m.mem[(fp - 3) as usize];
-            if retpc == RETURN_SENTINEL {
-                break;
-            }
-            // The caller's SP at the time of the call: the arg block plus
-            // linkage had been pushed, so its SP was `ap` before pushing.
-            sp = ap;
-            let old_fp = m.mem[(fp - 2) as usize];
-            let old_ap = m.mem[(fp - 1) as usize];
-            pc = retpc as u32;
-            fp = old_fp;
-            ap = old_ap;
-        }
+        gather_thread_roots(m, cache, tid as u32, (t.pc, t.fp, t.ap, t.sp), &mut out);
     }
     out
 }
@@ -195,5 +242,16 @@ pub fn gather_global_roots(m: &Machine) -> Vec<RootRef> {
         .global_ptr_roots
         .iter()
         .map(|&off| RootRef::Mem(m.globals_start() as i64 + i64::from(off)))
+        .collect()
+}
+
+/// Gathers the global-area roots of any [`RootSource`] whose globals
+/// start at `globals_start`.
+#[must_use]
+pub fn gather_global_roots_in(module: &VmModule, globals_start: i64) -> Vec<RootRef> {
+    module
+        .global_ptr_roots
+        .iter()
+        .map(|&off| RootRef::Mem(globals_start + i64::from(off)))
         .collect()
 }

@@ -26,8 +26,10 @@ pub mod encode;
 pub mod isa;
 pub mod machine;
 pub mod module;
+pub mod par;
 pub mod shadow;
 
 pub use isa::{AluOp, Instr, UnAluOp};
 pub use machine::{Machine, StepOutcome, Thread, ThreadStatus, VmTrap};
 pub use module::{ProcMeta, VmModule};
+pub use par::{Mutator, ParMachine, ParMachineConfig, ParStep};

@@ -35,6 +35,11 @@ pub const RETURN_SENTINEL: i64 = -1;
 /// Source of unique module-lifetime tokens (see [`Machine::module_token`]).
 static NEXT_MODULE_TOKEN: AtomicU64 = AtomicU64::new(1);
 
+/// Allocates a fresh module-lifetime token (shared with [`crate::par`]).
+pub(crate) fn next_module_token() -> u64 {
+    NEXT_MODULE_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Heap organisation.
 ///
 /// The seed machine had a single pair of semispaces. The generational
@@ -339,7 +344,7 @@ impl Machine {
             collections: 0,
             gc_pending: false,
             force_gc_after: None,
-            module_token: NEXT_MODULE_TOKEN.fetch_add(1, Ordering::Relaxed),
+            module_token: next_module_token(),
             config,
             stacks_base,
             heap_base,
@@ -1151,6 +1156,7 @@ mod tests {
             globals_words: 4,
             global_ptr_roots: vec![],
             main: 0,
+            poll_pcs: vec![],
             gc_maps: encode_module(&ModuleTables::default(), Scheme::DELTA_MAIN_PP),
             logical_maps: ModuleTables::default(),
         }

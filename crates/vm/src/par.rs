@@ -1,0 +1,750 @@
+//! The thread-safe interpreter core for parallel execution.
+//!
+//! [`crate::machine::Machine`] owns its memory and threads outright and
+//! is driven by one OS thread; this module splits the machine state so
+//! that each mutator runs on a real `std::thread`:
+//!
+//! * [`ParMachine`] is the *shared* world — module, decoded code, one
+//!   flat array of `AtomicI64` memory words, the allocation frontier,
+//!   and the collection-request flag. It is `Sync`; every mutator and
+//!   every gc worker holds an `&ParMachine`.
+//! * [`Mutator`] is the *private* per-thread state — registers, frame
+//!   cursor, pc and output buffer — owned by the OS thread driving it.
+//!
+//! Ordinary interpreter loads and stores use `Relaxed` atomics: the
+//! language has no cross-thread synchronisation primitives, so programs
+//! cannot observe ordering between mutators, and the runtime's
+//! stop-the-world handshake (mutex + condvar in `m3gc-runtime`)
+//! provides the synchronises-with edges between mutation and
+//! collection. Allocation is a CAS bump loop; collection forwarding
+//! CASes a claim into object headers (see `m3gc_runtime::parallel`).
+//!
+//! Safepoints: the machine checks the shared request flag only at
+//! gc-point pcs (allocation sites and the explicit loop back-edge polls
+//! `codegen::gcpoints` inserts — §5.3's guarantee that a thread reaches
+//! a describable state in bounded time). [`ParStep::AtSafepoint`] hands
+//! control to the runtime, which parks the thread and deposits its
+//! state for the gc workers.
+//!
+//! Only the semispace heap is supported: `StB` degenerates to a plain
+//! store exactly as it does on a semispace [`Machine`].
+//!
+//! [`Machine`]: crate::machine::Machine
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
+
+use m3gc_core::decode::DecoderIndex;
+use m3gc_core::heap::{HeapType, TypeId};
+use m3gc_core::layout::BaseReg;
+
+use crate::decode::DecodedCode;
+use crate::isa::{Instr, NUM_REGS};
+use crate::machine::{GLOBAL_BASE, RETURN_SENTINEL};
+use crate::module::VmModule;
+use crate::shadow::{Shadow, Tag};
+
+/// Relaxed load/store shorthand — see the module docs for why relaxed
+/// ordering is sufficient for interpreter data.
+const R: Ordering = Ordering::Relaxed;
+
+/// Sizing for a [`ParMachine`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParMachineConfig {
+    /// Words per heap semispace.
+    pub semi_words: usize,
+    /// Words per mutator stack.
+    pub stack_words: usize,
+    /// Number of mutator threads (stack regions are pre-carved).
+    pub mutators: usize,
+}
+
+impl Default for ParMachineConfig {
+    fn default() -> Self {
+        ParMachineConfig { semi_words: 1 << 20, stack_words: 1 << 16, mutators: 1 }
+    }
+}
+
+/// Atomic shadow tags, parallel to [`ParMachine::mem`] (the per-register
+/// tags live in each [`Mutator`]). See [`crate::shadow`] for the tag
+/// semantics; this is the same ground truth, stored so that mutators and
+/// gc workers can update it concurrently.
+#[derive(Debug)]
+pub struct ParShadow {
+    /// One tag byte per memory word.
+    pub mem: Vec<AtomicU8>,
+}
+
+impl ParShadow {
+    fn new(words: usize) -> ParShadow {
+        ParShadow { mem: (0..words).map(|_| AtomicU8::new(0)).collect() }
+    }
+
+    /// Reads a memory word's tag.
+    #[must_use]
+    pub fn mem_tag(&self, addr: i64) -> Tag {
+        self.mem.get(addr as usize).map_or(Tag::NonPtr, |t| Tag::from_byte(t.load(R)))
+    }
+
+    /// Writes a memory word's tag (out-of-range addresses are ignored —
+    /// the real access traps first).
+    pub fn set_mem(&self, addr: i64, tag: Tag) {
+        if let Some(t) = self.mem.get(addr as usize) {
+            t.store(tag.to_byte(), R);
+        }
+    }
+
+    /// Clears `words` tags starting at `addr`.
+    pub fn clear_range(&self, addr: i64, words: i64) {
+        for a in addr..addr + words {
+            self.set_mem(a, Tag::NonPtr);
+        }
+    }
+
+    /// Moves an object's tags along with its words (called by the
+    /// parallel collector's forwarding routine; the object is claimed,
+    /// so no other worker touches these words).
+    pub fn copy_words(&self, from: i64, to: i64, words: i64) {
+        for w in 0..words {
+            let tag = self.mem[(from + w) as usize].load(R);
+            self.mem[(to + w) as usize].store(tag, R);
+        }
+    }
+}
+
+/// Result of executing one instruction of a mutator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParStep {
+    /// Instruction completed.
+    Normal,
+    /// The heap is full: a collection is required before this `ALLOC`
+    /// can proceed. No state changed; the pc still addresses the
+    /// `ALLOC`.
+    NeedGc,
+    /// A collection request is pending and the pc is at a gc-point: the
+    /// thread must park. No state changed.
+    AtSafepoint,
+    /// The thread returned from its bottom frame (or executed `HALT`).
+    Finished,
+    /// Abnormal termination.
+    Trap(crate::machine::VmTrap),
+}
+
+use crate::machine::VmTrap;
+
+/// Per-OS-thread mutator state. Everything a gc worker needs to scan
+/// this thread's frame is either here (registers, cursor) or in the
+/// shared memory (the stack region).
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    /// Thread id (stack-region index; also the output-ordering key).
+    pub tid: usize,
+    /// General-purpose registers.
+    pub regs: [i64; NUM_REGS],
+    /// Frame pointer.
+    pub fp: i64,
+    /// Stack pointer.
+    pub sp: i64,
+    /// Argument pointer.
+    pub ap: i64,
+    /// Program counter (byte offset in module code).
+    pub pc: u32,
+    /// First word of this thread's stack region.
+    pub stack_base: i64,
+    /// One past the last usable stack word.
+    pub stack_limit: i64,
+    /// This thread's program output (concatenated in tid order at exit).
+    pub output: String,
+    /// Instructions executed by this thread.
+    pub steps: u64,
+    /// Shadow tags for the registers (mirrors `Shadow::regs[tid]`).
+    pub reg_tags: [Tag; NUM_REGS],
+}
+
+/// The shared half of a parallel machine. See the module docs.
+pub struct ParMachine {
+    /// The loaded module.
+    pub module: VmModule,
+    decoded: DecodedCode,
+    /// Flat memory: reserved | globals | stacks | semi A | semi B.
+    pub mem: Vec<AtomicI64>,
+    config: ParMachineConfig,
+    stacks_base: usize,
+    heap_base: usize,
+    module_token: u64,
+    is_gc_point: Vec<bool>,
+    is_poll: Vec<bool>,
+
+    /// True when semispace A (lower) is the from-space. Written only by
+    /// the collection leader while every mutator is parked.
+    from_is_lower: AtomicBool,
+    /// Next free word in the from-space (CAS bump frontier).
+    pub free: AtomicI64,
+    /// One past the last usable allocation word.
+    pub alloc_limit: AtomicI64,
+    /// Set by the thread that wins the collection request; polled by
+    /// every mutator at gc-points.
+    pub gc_request: AtomicBool,
+
+    /// Objects allocated (all mutators).
+    pub allocations: AtomicU64,
+    /// Words allocated (all mutators).
+    pub words_allocated: AtomicU64,
+    /// Collections completed.
+    pub collections: AtomicU64,
+    /// Torture hook: allocations report "needs gc" once `allocations`
+    /// reaches this count (`u64::MAX` = disabled, the default).
+    pub force_gc_at: AtomicU64,
+
+    /// Shadow tags, when instrumented ([`ParMachine::enable_shadow`]).
+    pub shadow: Option<ParShadow>,
+}
+
+impl ParMachine {
+    /// Loads a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module's code or gc maps are malformed (they come
+    /// from the compiler, so this is a bug).
+    #[must_use]
+    pub fn new(module: VmModule, config: ParMachineConfig) -> ParMachine {
+        assert!(config.mutators >= 1, "at least one mutator");
+        let decoded = DecodedCode::new(&module.code);
+        let stacks_base = GLOBAL_BASE + module.globals_words as usize;
+        let heap_base = stacks_base + config.stack_words * config.mutators;
+        let total = heap_base + 2 * config.semi_words;
+        let mut is_gc_point = vec![false; module.code.len() + 1];
+        let index = DecoderIndex::build(&module.gc_maps).expect("valid gc maps");
+        for pc in index.gc_point_pcs() {
+            is_gc_point[pc as usize] = true;
+        }
+        let mut is_poll = vec![false; module.code.len() + 1];
+        for &pc in &module.poll_pcs {
+            is_poll[pc as usize] = true;
+        }
+        let module_token = crate::machine::next_module_token();
+        ParMachine {
+            module,
+            decoded,
+            mem: (0..total).map(|_| AtomicI64::new(0)).collect(),
+            config,
+            stacks_base,
+            heap_base,
+            module_token,
+            is_gc_point,
+            is_poll,
+            from_is_lower: AtomicBool::new(true),
+            free: AtomicI64::new(heap_base as i64),
+            alloc_limit: AtomicI64::new((heap_base + config.semi_words) as i64),
+            gc_request: AtomicBool::new(false),
+            allocations: AtomicU64::new(0),
+            words_allocated: AtomicU64::new(0),
+            collections: AtomicU64::new(0),
+            force_gc_at: AtomicU64::new(u64::MAX),
+            shadow: None,
+        }
+    }
+
+    /// Turns on shadow root tracking. Must be called before the machine
+    /// is shared (hence `&mut`).
+    pub fn enable_shadow(&mut self) {
+        self.shadow = Some(ParShadow::new(self.mem.len()));
+    }
+
+    /// The number of mutator stack regions.
+    #[must_use]
+    pub fn mutators(&self) -> usize {
+        self.config.mutators
+    }
+
+    /// Words per semispace.
+    #[must_use]
+    pub fn semi_words(&self) -> usize {
+        self.config.semi_words
+    }
+
+    /// Total memory words.
+    #[must_use]
+    pub fn mem_words(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Start of the global area.
+    #[must_use]
+    pub fn globals_start(&self) -> usize {
+        GLOBAL_BASE
+    }
+
+    /// The module-lifetime token (see `Machine::module_token`).
+    #[must_use]
+    pub fn module_token(&self) -> u64 {
+        self.module_token
+    }
+
+    /// The module's encoded gc-map byte stream.
+    #[must_use]
+    pub fn gc_map_bytes(&self) -> &[u8] {
+        &self.module.gc_maps.bytes
+    }
+
+    /// True if `pc` is a gc-point.
+    #[must_use]
+    pub fn is_gc_point_pc(&self, pc: u32) -> bool {
+        self.is_gc_point.get(pc as usize).copied().unwrap_or(false)
+    }
+
+    /// True if `pc` is an explicit poll site (a `GcPoint` instruction,
+    /// as opposed to an allocation gc-point).
+    #[must_use]
+    pub fn is_poll_pc(&self, pc: u32) -> bool {
+        self.is_poll.get(pc as usize).copied().unwrap_or(false)
+    }
+
+    /// The from-space (currently allocated-into) bounds `[start, end)`.
+    #[must_use]
+    pub fn from_space(&self) -> (i64, i64) {
+        let start = if self.from_is_lower.load(R) {
+            self.heap_base
+        } else {
+            self.heap_base + self.config.semi_words
+        };
+        (start as i64, (start + self.config.semi_words) as i64)
+    }
+
+    /// The to-space bounds `[start, end)`.
+    #[must_use]
+    pub fn to_space(&self) -> (i64, i64) {
+        let start = if self.from_is_lower.load(R) {
+            self.heap_base + self.config.semi_words
+        } else {
+            self.heap_base
+        };
+        (start as i64, (start + self.config.semi_words) as i64)
+    }
+
+    /// True if `addr` lies in the dead (just-collected) semispace.
+    #[must_use]
+    pub fn in_dead_space(&self, addr: i64) -> bool {
+        let (s, e) = self.to_space();
+        (s..e).contains(&addr)
+    }
+
+    /// Unchecked word read (collector use; `addr` must be in range).
+    #[must_use]
+    pub fn word(&self, addr: i64) -> i64 {
+        self.mem[addr as usize].load(R)
+    }
+
+    /// Unchecked word write (collector use; `addr` must be in range).
+    pub fn set_word(&self, addr: i64, v: i64) {
+        self.mem[addr as usize].store(v, R);
+    }
+
+    /// Completes a collection: the spaces flip and allocation resumes at
+    /// `new_free`. Must only be called by the collection leader while
+    /// every mutator is parked (the runtime's handshake provides the
+    /// ordering; these stores are not a synchronisation point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_free` lies outside the (new) from-space.
+    pub fn finish_collection(&self, new_free: i64) {
+        let (to_start, to_end) = self.to_space();
+        assert!((to_start..=to_end).contains(&new_free), "alloc ptr outside new space");
+        self.from_is_lower.store(!self.from_is_lower.load(R), R);
+        self.free.store(new_free, R);
+        self.alloc_limit.store(to_end, R);
+        self.collections.fetch_add(1, R);
+    }
+
+    /// Spawns a mutator running procedure `proc` with the given argument
+    /// words in stack region `tid`. The caller moves the returned
+    /// [`Mutator`] onto its OS thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range or `proc` is invalid.
+    #[must_use]
+    pub fn spawn_mutator(&self, tid: usize, proc: u16, args: &[i64]) -> Mutator {
+        assert!(tid < self.config.mutators, "mutator id out of range");
+        let meta = &self.module.procs[proc as usize];
+        assert_eq!(meta.n_args as usize, args.len(), "argument count mismatch");
+        let stack_base = (self.stacks_base + tid * self.config.stack_words) as i64;
+        let stack_limit = stack_base + self.config.stack_words as i64;
+        let mut sp = stack_base;
+        for &a in args {
+            self.mem[sp as usize].store(a, R);
+            sp += 1;
+        }
+        self.mem[sp as usize].store(RETURN_SENTINEL, R);
+        self.mem[sp as usize + 1].store(0, R);
+        self.mem[sp as usize + 2].store(0, R);
+        let fp = sp + 3;
+        let frame_words = i64::from(meta.frame_words);
+        for w in 0..frame_words {
+            self.mem[(fp + w) as usize].store(0, R);
+        }
+        if let Some(sh) = &self.shadow {
+            sh.clear_range(stack_base, fp + frame_words - stack_base);
+        }
+        Mutator {
+            tid,
+            regs: [0; NUM_REGS],
+            fp,
+            sp: fp + frame_words,
+            ap: stack_base,
+            pc: meta.entry_pc,
+            stack_base,
+            stack_limit,
+            output: String::new(),
+            steps: 0,
+            reg_tags: [Tag::NonPtr; NUM_REGS],
+        }
+    }
+
+    fn load(&self, addr: i64) -> Result<i64, VmTrap> {
+        if !(GLOBAL_BASE as i64..self.mem.len() as i64).contains(&addr) {
+            return Err(if addr >= 0 && addr < GLOBAL_BASE as i64 {
+                VmTrap::NilError
+            } else {
+                VmTrap::WildAddress
+            });
+        }
+        Ok(self.mem[addr as usize].load(R))
+    }
+
+    fn store(&self, addr: i64, value: i64) -> Result<(), VmTrap> {
+        if !(GLOBAL_BASE as i64..self.mem.len() as i64).contains(&addr) {
+            return Err(if addr >= 0 && addr < GLOBAL_BASE as i64 {
+                VmTrap::NilError
+            } else {
+                VmTrap::WildAddress
+            });
+        }
+        self.mem[addr as usize].store(value, R);
+        Ok(())
+    }
+
+    fn base_value(mu: &Mutator, b: BaseReg) -> i64 {
+        match b {
+            BaseReg::Fp => mu.fp,
+            BaseReg::Sp => mu.sp,
+            BaseReg::Ap => mu.ap,
+        }
+    }
+
+    /// CAS-bump allocation; `Ok(None)` means "needs gc". Mirrors
+    /// `Machine::try_alloc` minus the generational paths.
+    fn try_alloc(&self, ty: u16, len: i64) -> Result<Option<i64>, VmTrap> {
+        if len < 0 {
+            return Err(VmTrap::RangeError);
+        }
+        if self.allocations.load(R) >= self.force_gc_at.load(R) {
+            return Ok(None);
+        }
+        let desc = self.module.types.get(TypeId(u32::from(ty)));
+        let words = i64::from(desc.object_words(len as u32));
+        if words > self.config.semi_words as i64 {
+            return Err(VmTrap::OutOfMemory);
+        }
+        let mut addr = self.free.load(R);
+        loop {
+            if addr + words > self.alloc_limit.load(R) {
+                return Ok(None);
+            }
+            match self.free.compare_exchange_weak(addr, addr + words, R, R) {
+                Ok(_) => break,
+                Err(cur) => addr = cur,
+            }
+        }
+        // Zero the object (the space may hold stale data from before a
+        // previous flip). The words are exclusively ours: the bump CAS
+        // reserved them.
+        for w in addr..addr + words {
+            self.mem[w as usize].store(0, R);
+        }
+        if let Some(sh) = &self.shadow {
+            sh.clear_range(addr, words);
+        }
+        self.mem[addr as usize].store(i64::from(ty), R);
+        if matches!(desc, HeapType::Array { .. }) {
+            self.mem[addr as usize + 1].store(len, R);
+        }
+        self.allocations.fetch_add(1, R);
+        self.words_allocated.fetch_add(words as u64, R);
+        Ok(Some(addr))
+    }
+
+    fn sys(&self, mu: &mut Mutator, code: u8, arg: i64) -> Result<(), VmTrap> {
+        match code {
+            0 => {
+                mu.output.push_str(&arg.to_string());
+                Ok(())
+            }
+            1 => {
+                let c = u32::try_from(arg).ok().and_then(char::from_u32).unwrap_or('?');
+                mu.output.push(c);
+                Ok(())
+            }
+            2 => {
+                mu.output.push('\n');
+                Ok(())
+            }
+            3 => Err(VmTrap::RangeError),
+            4 => Err(VmTrap::NilError),
+            5 => Err(VmTrap::AssertError),
+            _ => Err(VmTrap::WildAddress),
+        }
+    }
+
+    /// Shadow-mode instrumentation, mirroring `Machine::shadow_step`:
+    /// stale-pointer detection against the dead semispace plus tag
+    /// propagation through the instruction's data flow.
+    fn shadow_step(&self, mu: &mut Mutator, ins: &Instr) -> Option<VmTrap> {
+        use crate::isa::AluOp;
+        if let Instr::Ld { base, off, .. }
+        | Instr::St { base, off, .. }
+        | Instr::StB { base, off, .. } = *ins
+        {
+            let addr = mu.regs[base as usize] + i64::from(off);
+            if self.in_dead_space(addr) {
+                return Some(VmTrap::StalePointer);
+            }
+        }
+        let sh = self.shadow.as_ref().expect("shadow_step without shadow");
+        match *ins {
+            Instr::MovI { dst, .. } | Instr::UnAlu { dst, .. } => {
+                mu.reg_tags[dst as usize] = Tag::NonPtr;
+            }
+            Instr::Mov { dst, src } => mu.reg_tags[dst as usize] = mu.reg_tags[src as usize],
+            Instr::Alu { op, dst, a, b } => {
+                let (ta, tb) = (mu.reg_tags[a as usize], mu.reg_tags[b as usize]);
+                mu.reg_tags[dst as usize] = match op {
+                    AluOp::Add | AluOp::Sub => Shadow::combine_additive(ta, tb),
+                    _ => Tag::NonPtr,
+                };
+            }
+            Instr::AluI { op, dst, a, .. } => {
+                let ta = mu.reg_tags[a as usize];
+                mu.reg_tags[dst as usize] = match op {
+                    AluOp::Add | AluOp::Sub => Shadow::combine_additive(ta, Tag::NonPtr),
+                    _ => Tag::NonPtr,
+                };
+            }
+            Instr::Ld { dst, base, off } => {
+                let addr = mu.regs[base as usize] + i64::from(off);
+                mu.reg_tags[dst as usize] = sh.mem_tag(addr);
+            }
+            Instr::St { base, off, src } | Instr::StB { base, off, src } => {
+                let addr = mu.regs[base as usize] + i64::from(off);
+                sh.set_mem(addr, mu.reg_tags[src as usize]);
+            }
+            Instr::LdF { dst, breg, off } => {
+                let addr = Self::base_value(mu, breg) + i64::from(off);
+                mu.reg_tags[dst as usize] = sh.mem_tag(addr);
+            }
+            Instr::StF { breg, off, src } => {
+                let addr = Self::base_value(mu, breg) + i64::from(off);
+                sh.set_mem(addr, mu.reg_tags[src as usize]);
+            }
+            Instr::Lea { dst, .. } | Instr::LeaG { dst, .. } => {
+                mu.reg_tags[dst as usize] = Tag::NonPtr;
+            }
+            Instr::LdG { dst, goff } => {
+                mu.reg_tags[dst as usize] = sh.mem_tag((GLOBAL_BASE + goff as usize) as i64);
+            }
+            Instr::StG { goff, src } => {
+                sh.set_mem((GLOBAL_BASE + goff as usize) as i64, mu.reg_tags[src as usize]);
+            }
+            Instr::Push { src } => {
+                sh.set_mem(mu.sp, mu.reg_tags[src as usize]);
+            }
+            Instr::Call { proc, .. } => {
+                if let Some(meta) = self.module.procs.get(proc as usize) {
+                    sh.clear_range(mu.sp, 3 + i64::from(meta.frame_words));
+                }
+            }
+            Instr::Alloc { .. }
+            | Instr::AllocA { .. }
+            | Instr::Ret
+            | Instr::Jmp { .. }
+            | Instr::Brt { .. }
+            | Instr::Brf { .. }
+            | Instr::GcPoint
+            | Instr::Sys { .. }
+            | Instr::Halt => {}
+        }
+        None
+    }
+
+    /// Executes one instruction of `mu`. Mirrors `Machine::step`; the
+    /// differences are the shared atomic memory, the safepoint poll
+    /// (request flag instead of `gc_pending` status bookkeeping) and
+    /// per-mutator output.
+    pub fn step(&self, mu: &mut Mutator) -> ParStep {
+        let pc = mu.pc;
+        // Poll: at any gc-point, a pending collection request parks the
+        // thread before the instruction executes — an allocation must
+        // not race the collection, and §5.3's tables describe exactly
+        // this pc.
+        if self.is_gc_point_pc(pc) && self.gc_request.load(R) {
+            return ParStep::AtSafepoint;
+        }
+        mu.steps += 1;
+        let (ins, next_pc) = self.decoded.at(pc).clone();
+        if self.shadow.is_some() {
+            if let Some(trap) = self.shadow_step(mu, &ins) {
+                return ParStep::Trap(trap);
+            }
+        }
+        let mut new_pc = next_pc;
+        macro_rules! trap {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(tr) => return ParStep::Trap(tr),
+                }
+            };
+        }
+        match ins {
+            Instr::MovI { dst, imm } => mu.regs[dst as usize] = imm,
+            Instr::Mov { dst, src } => mu.regs[dst as usize] = mu.regs[src as usize],
+            Instr::Alu { op, dst, a, b } => {
+                mu.regs[dst as usize] = op.eval(mu.regs[a as usize], mu.regs[b as usize]);
+            }
+            Instr::AluI { op, dst, a, imm } => {
+                mu.regs[dst as usize] = op.eval(mu.regs[a as usize], imm);
+            }
+            Instr::UnAlu { op, dst, a } => mu.regs[dst as usize] = op.eval(mu.regs[a as usize]),
+            Instr::Ld { dst, base, off } => {
+                let addr = mu.regs[base as usize] + i64::from(off);
+                mu.regs[dst as usize] = trap!(self.load(addr));
+            }
+            Instr::St { base, off, src } | Instr::StB { base, off, src } => {
+                // Semispace heap: the barrier store is a plain store.
+                let addr = mu.regs[base as usize] + i64::from(off);
+                trap!(self.store(addr, mu.regs[src as usize]));
+            }
+            Instr::LdF { dst, breg, off } => {
+                let addr = Self::base_value(mu, breg) + i64::from(off);
+                mu.regs[dst as usize] = trap!(self.load(addr));
+            }
+            Instr::StF { breg, off, src } => {
+                let addr = Self::base_value(mu, breg) + i64::from(off);
+                trap!(self.store(addr, mu.regs[src as usize]));
+            }
+            Instr::Lea { dst, breg, off } => {
+                mu.regs[dst as usize] = Self::base_value(mu, breg) + i64::from(off);
+            }
+            Instr::LdG { dst, goff } => {
+                mu.regs[dst as usize] = self.mem[GLOBAL_BASE + goff as usize].load(R);
+            }
+            Instr::StG { goff, src } => {
+                self.mem[GLOBAL_BASE + goff as usize].store(mu.regs[src as usize], R);
+            }
+            Instr::LeaG { dst, goff } => {
+                mu.regs[dst as usize] = (GLOBAL_BASE + goff as usize) as i64;
+            }
+            Instr::Push { src } => {
+                if mu.sp >= mu.stack_limit {
+                    return ParStep::Trap(VmTrap::StackOverflow);
+                }
+                let sp = mu.sp;
+                mu.sp += 1;
+                self.mem[sp as usize].store(mu.regs[src as usize], R);
+            }
+            Instr::Call { proc, nargs } => {
+                let Some(meta) = self.module.procs.get(proc as usize) else {
+                    return ParStep::Trap(VmTrap::BadProc);
+                };
+                let frame_words = i64::from(meta.frame_words);
+                let entry = meta.entry_pc;
+                if mu.sp + 3 + frame_words >= mu.stack_limit {
+                    return ParStep::Trap(VmTrap::StackOverflow);
+                }
+                let sp = mu.sp;
+                self.mem[sp as usize].store(i64::from(next_pc), R);
+                self.mem[sp as usize + 1].store(mu.fp, R);
+                self.mem[sp as usize + 2].store(mu.ap, R);
+                mu.ap = sp - i64::from(nargs);
+                mu.fp = sp + 3;
+                mu.sp = mu.fp + frame_words;
+                for w in mu.fp..mu.sp {
+                    self.mem[w as usize].store(0, R);
+                }
+                new_pc = entry;
+            }
+            Instr::Ret => {
+                let retpc = self.mem[mu.fp as usize - 3].load(R);
+                let old_fp = self.mem[mu.fp as usize - 2].load(R);
+                let old_ap = self.mem[mu.fp as usize - 1].load(R);
+                if retpc == RETURN_SENTINEL {
+                    return ParStep::Finished;
+                }
+                mu.sp = mu.ap;
+                mu.fp = old_fp;
+                mu.ap = old_ap;
+                new_pc = retpc as u32;
+            }
+            Instr::Jmp { target } => new_pc = target,
+            Instr::Brt { cond, target } => {
+                if mu.regs[cond as usize] != 0 {
+                    new_pc = target;
+                }
+            }
+            Instr::Brf { cond, target } => {
+                if mu.regs[cond as usize] == 0 {
+                    new_pc = target;
+                }
+            }
+            Instr::Alloc { dst, ty } => match trap!(self.try_alloc(ty, 0)) {
+                Some(addr) => {
+                    mu.regs[dst as usize] = addr;
+                    if self.shadow.is_some() {
+                        mu.reg_tags[dst as usize] = Tag::Ptr;
+                    }
+                }
+                None => return ParStep::NeedGc,
+            },
+            Instr::AllocA { dst, ty, len } => {
+                let l = mu.regs[len as usize];
+                match trap!(self.try_alloc(ty, l)) {
+                    Some(addr) => {
+                        mu.regs[dst as usize] = addr;
+                        if self.shadow.is_some() {
+                            mu.reg_tags[dst as usize] = Tag::Ptr;
+                        }
+                    }
+                    None => return ParStep::NeedGc,
+                }
+            }
+            Instr::GcPoint => {}
+            Instr::Sys { code, arg } => {
+                let v = mu.regs[arg as usize];
+                trap!(self.sys(mu, code, v));
+            }
+            Instr::Halt => return ParStep::Finished,
+        }
+        mu.pc = new_pc;
+        ParStep::Normal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_bytes_roundtrip() {
+        for tag in [Tag::NonPtr, Tag::Ptr, Tag::Derived] {
+            assert_eq!(Tag::from_byte(tag.to_byte()), tag);
+        }
+        assert_eq!(Tag::from_byte(99), Tag::NonPtr);
+    }
+
+    #[test]
+    fn par_machine_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<ParMachine>();
+    }
+}

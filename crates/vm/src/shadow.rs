@@ -59,6 +59,26 @@ impl Tag {
     pub fn pointerish(self) -> bool {
         self != Tag::NonPtr
     }
+
+    /// Byte encoding, for atomic shadow storage (`crate::par`).
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Tag::NonPtr => 0,
+            Tag::Ptr => 1,
+            Tag::Derived => 2,
+        }
+    }
+
+    /// Inverse of [`Tag::to_byte`]; unknown bytes decode as `NonPtr`.
+    #[must_use]
+    pub fn from_byte(b: u8) -> Tag {
+        match b {
+            1 => Tag::Ptr,
+            2 => Tag::Derived,
+            _ => Tag::NonPtr,
+        }
+    }
 }
 
 /// The shadow state: one tag per memory word, one tag per register per

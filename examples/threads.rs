@@ -1,16 +1,21 @@
-//! Pre-emptive threads and the §5.3 collection protocol: when one
-//! thread's allocation fails, the others are resumed until each blocks at
-//! a gc-point (calls, allocations, or the gc-points the compiler inserted
-//! in allocation-free loops), and only then does the collector run.
+//! Real OS-thread mutators and the §5.3 collection protocol: when one
+//! thread's allocation fails, a stop-the-world handshake is requested and
+//! every other mutator parks at its next gc-point (calls, allocations, or
+//! the explicit poll the compiler inserted in allocation-free loops).
+//! Only then do the parallel gc workers scan the parked stacks and run
+//! the work-stealing copy.
 //!
 //! ```sh
 //! cargo run --example threads
 //! ```
 
 use m3gc::compiler::{compile, Options};
-use m3gc::runtime::{ExecConfig, Executor};
-use m3gc::vm::machine::{Machine, MachineConfig, ThreadStatus};
+use m3gc::runtime::{ParConfig, ParExecutor};
+use m3gc::vm::{ParMachine, ParMachineConfig};
 
+/// Every mutator runs the module body. All mutable state is
+/// procedure-local: module globals are *shared* between OS-thread
+/// mutators, so a deterministic program keeps its hands off them.
 const PROGRAM: &str = r#"
 MODULE Workers;
 
@@ -32,7 +37,7 @@ BEGIN
 END Churn;
 
 (* Pure computation: never allocates. Without the compiler-inserted loop
-   gc-point, this thread could never be stopped for a collection. *)
+   gc-point this thread could outrun every handshake. *)
 PROCEDURE Crunch(n: INTEGER): INTEGER =
 VAR i, h: INTEGER;
 BEGIN
@@ -45,52 +50,35 @@ END Crunch;
 
 BEGIN
   PutInt(Churn(40));
+  PutInt(Crunch(300000));
   PutLn();
 END Workers.
 "#;
 
 fn main() {
     let module = compile(PROGRAM, &Options::o2()).expect("compiles");
-    let machine = Machine::new(
+    let vm = ParMachine::new(
         module,
-        MachineConfig {
-            semi_words: 512,
-            stack_words: 1 << 14,
-            max_threads: 4,
-            ..MachineConfig::default()
-        },
+        ParMachineConfig { semi_words: 2048, stack_words: 1 << 14, mutators: 3 },
     );
-    let mut ex = Executor::new(machine, ExecConfig::default());
+    let mut ex = ParExecutor::new(vm, ParConfig { gc_workers: 2, ..ParConfig::default() });
 
-    // Thread 0: the module body (allocating). Threads 1 and 2: one more
-    // allocator and one pure cruncher.
-    ex.machine.spawn(ex.machine.module.main, &[]);
-    let churn = proc_id(&ex.machine, "Churn");
-    let crunch = proc_id(&ex.machine, "Crunch");
-    ex.machine.spawn(churn, &[25]);
-    ex.machine.spawn(crunch, &[3_000_000]);
-
-    let out = ex.run().expect("all threads finish");
-    println!("program output: {}", out.output.trim_end());
+    let out = ex.run_main().expect("all mutators finish");
+    println!("program output (3 mutators, tid order):");
+    for (tid, o) in out.outputs.iter().enumerate() {
+        println!("  mutator {tid}: {}", o.trim_end());
+    }
     println!("collections:    {}", out.collections);
-    println!("frames traced:  {}", out.gc_total.frames_traced);
-    println!(
-        "threads:        {:?}",
-        ex.machine.threads.iter().map(|t| t.status).collect::<Vec<_>>()
-    );
+    let polls: u64 = out.gc_each.iter().map(|s| s.parked_at_polls).sum();
+    let allocs: u64 = out.gc_each.iter().map(|s| s.parked_at_allocs).sum();
+    println!("parked at loop polls: {polls}, at allocations: {allocs}");
+    let max_handshake =
+        out.gc_each.iter().map(|s| s.handshake_time.as_secs_f64() * 1e6).fold(0.0, f64::max);
+    println!("worst handshake: {max_handshake:.1} us");
     assert!(out.collections > 0);
-    assert!(ex.machine.threads.iter().all(|t| t.status == ThreadStatus::Finished));
+    assert_eq!(out.outputs.iter().filter(|o| *o == &out.outputs[0]).count(), 3);
     println!(
-        "\nEvery collection required all three threads to stand at gc-points —\n\
-         the cruncher only has them because the compiler put one in its loop."
+        "\nEvery collection stopped all three OS threads at gc-points —\n\
+         the cruncher phase only parks because the compiler put a poll in its loop."
     );
-}
-
-fn proc_id(machine: &Machine, name: &str) -> u16 {
-    machine
-        .module
-        .procs
-        .iter()
-        .position(|p| p.name == name)
-        .unwrap_or_else(|| panic!("no procedure named `{name}`")) as u16
 }

@@ -11,9 +11,12 @@
 //!   --scheme S           table scheme: full, full-packed, delta,
 //!                        delta-previous, delta-packed, pp (default pp)
 //!   --heap N             semispace size in words (run; default 65536)
-//!   --gc C               collector: semispace (default) or gen (run)
+//!   --gc C               collector: semispace (default), gen, or par
+//!                        (OS-thread mutators + parallel collection) (run)
 //!   --nursery N          nursery size in words with --gc gen (run;
 //!                        default: a quarter semispace)
+//!   --threads N          mutator threads with --gc par (run; default 1)
+//!   --gc-workers M       gc worker threads with --gc par (run; default 4)
 //!   --torture            collect at every allocation (run)
 //!   --stats              print gc statistics after the output (run)
 //!
@@ -30,7 +33,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: m3c <check|run|ir|disasm|tables|stats> <file.m3> \
          [--o0|--o2] [--no-gc] [--split-paths] [--scheme S] [--heap N] \
-         [--gc semispace|gen] [--nursery N] [--torture] [--stats]\n\
+         [--gc semispace|gen|par] [--nursery N] [--threads N] \
+         [--gc-workers M] [--torture] [--stats]\n\
          \x20      m3c fuzz [--seed N] [--iters N] [--no-shrink]"
     );
     std::process::exit(2);

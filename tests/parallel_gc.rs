@@ -1,0 +1,204 @@
+//! Parallel stop-the-world collection: end-to-end acceptance tests.
+//!
+//! * A 4-mutator gc-torture run (collection at every allocation, shadow
+//!   mode + precision oracle armed) must produce per-thread output
+//!   identical to the single-threaded semispace baseline — the parallel
+//!   handshake, snapshot stack walks, work-stealing copy and two-phase
+//!   derived-value update may not perturb program semantics.
+//! * Loop back-edge gc-points are what bound the safepoint handshake
+//!   (§5.3): every explicit poll site must also be a gc-point with a
+//!   table entry.
+//! * A mutator that *cannot* reach a gc-point within the advance budget
+//!   (loop gc-points compiled out) must surface a structured
+//!   [`ExecError::StuckThread`], never hang — on both the cooperative
+//!   scheduler and the OS-thread parallel runtime.
+
+use m3gc::compiler::{compile, run_module_par, run_module_with, Options};
+use m3gc::runtime::parallel::ParConfig;
+use m3gc::runtime::scheduler::{ExecConfig, ExecError, Executor};
+use m3gc::vm::machine::{Machine, MachineConfig};
+use m3gc::vm::{ParMachine, ParMachineConfig};
+
+/// Allocation-heavy program whose mutable state is all procedure-local:
+/// module globals are shared between parallel mutators, so a
+/// deterministic multi-mutator program must not touch them.
+const LOCAL_CHURN: &str = "MODULE Churn;
+TYPE Node = REF RECORD v: INTEGER; next: Node END;
+
+PROCEDURE Work(): INTEGER =
+VAR head: Node; i, j, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 40 DO
+    head := NIL;
+    FOR j := 1 TO 12 DO
+      WITH c = NEW(Node) DO c.v := j; c.next := head; head := c; END;
+    END;
+    WHILE head # NIL DO
+      s := (s * 31 + head.v) MOD 1000003;
+      head := head.next;
+    END;
+  END;
+  RETURN s;
+END Work;
+
+BEGIN
+  PutInt(Work());
+END Churn.";
+
+#[test]
+fn four_mutator_torture_matches_single_thread_baseline() {
+    let opts = Options::o2();
+    let module = compile(LOCAL_CHURN, &opts).expect("compiles");
+
+    // Single-threaded semispace baseline, also under torture.
+    let baseline = run_module_with(
+        module.clone(),
+        1 << 14,
+        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
+    )
+    .expect("baseline run");
+    assert!(baseline.collections >= 100, "torture must collect constantly");
+
+    // 4 OS-thread mutators, 4 gc workers, shadow mode + oracle: every
+    // collection validates each thread's gc-map roots first.
+    let config = ParConfig {
+        gc_workers: 4,
+        force_every_allocs: Some(1),
+        oracle: true,
+        ..ParConfig::default()
+    };
+    let out = run_module_par(module, 1 << 15, 4, true, config).expect("parallel run");
+    assert_eq!(out.outputs.len(), 4);
+    for (tid, thread_out) in out.outputs.iter().enumerate() {
+        assert_eq!(thread_out, &baseline.output, "mutator {tid} diverged from baseline");
+    }
+    assert_eq!(out.output, baseline.output.repeat(4));
+    assert!(out.collections >= baseline.collections, "4 mutators allocate at least as much");
+    assert_eq!(out.gc_each.len() as u64, out.collections);
+    for (i, gc) in out.gc_each.iter().enumerate() {
+        assert_eq!(gc.per_worker_words.len(), 4, "collection {i} ran 4 workers");
+        assert_eq!(
+            gc.per_worker_words.iter().sum::<u64>(),
+            gc.words_copied,
+            "collection {i}: per-worker words must account for the total"
+        );
+    }
+}
+
+#[test]
+fn poll_sites_are_gc_points_with_table_entries() {
+    // An allocation-free loop only stops for the handshake because the
+    // compiler put a gc-point on its back edge.
+    let src = "MODULE Poll;
+    PROCEDURE Crunch(n: INTEGER): INTEGER =
+    VAR i, h: INTEGER;
+    BEGIN
+      h := 7;
+      FOR i := 1 TO n DO h := (h * 31 + i) MOD 1000003; END;
+      RETURN h;
+    END Crunch;
+    BEGIN
+      PutInt(Crunch(1000));
+    END Poll.";
+    let module = compile(src, &Options::o2()).expect("compiles");
+    let code_len = module.code.len() as u32;
+    let vm = ParMachine::new(
+        module,
+        ParMachineConfig { semi_words: 1 << 12, stack_words: 1 << 12, mutators: 1 },
+    );
+    let polls: Vec<u32> = (0..code_len).filter(|&pc| vm.is_poll_pc(pc)).collect();
+    assert!(!polls.is_empty(), "loopy program must have explicit poll sites");
+    for pc in polls {
+        assert!(vm.is_gc_point_pc(pc), "poll site at pc {pc} must be a gc-point");
+    }
+}
+
+/// Alternating allocation and a long allocation-free spin, compiled
+/// *without* loop gc-points: once two mutators desynchronize, a torture
+/// collection request lands while the other thread is mid-spin with no
+/// gc-point in reach.
+const SPIN_SRC: &str = "MODULE Spin;
+TYPE R = REF RECORD x: INTEGER END;
+
+PROCEDURE Crunch(n: INTEGER): INTEGER =
+VAR i, h: INTEGER;
+BEGIN
+  h := 7;
+  FOR i := 1 TO n DO h := (h * 31 + i) MOD 1000003; END;
+  RETURN h;
+END Crunch;
+
+PROCEDURE Work(): INTEGER =
+VAR r: R; round, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR round := 1 TO 4 DO
+    r := NEW(R);
+    r.x := round;
+    s := (s + r.x + Crunch(2000000)) MOD 1000003;
+  END;
+  RETURN s;
+END Work;
+
+BEGIN
+  PutInt(Work());
+END Spin.";
+
+fn no_loop_points() -> Options {
+    let mut opts = Options::o2();
+    opts.codegen.gc.loop_gc_points = false;
+    opts
+}
+
+#[test]
+fn scheduler_max_advance_exhaustion_is_a_structured_error() {
+    // Deterministic single-threaded scheduler variant: thread 0
+    // allocates under torture while thread 1 crunches an allocation-free
+    // loop with no gc-points; thread 1 can never stand at a gc-point,
+    // so the collection protocol must give up with a structured error
+    // instead of spinning the scheduler forever.
+    let module = compile(SPIN_SRC, &no_loop_points()).expect("compiles");
+    let machine = Machine::new(
+        module,
+        MachineConfig {
+            semi_words: 1 << 12,
+            stack_words: 1 << 13,
+            max_threads: 2,
+            ..MachineConfig::default()
+        },
+    );
+    let mut ex = Executor::new(
+        machine,
+        ExecConfig { force_every_allocs: Some(1), max_advance: 10_000, ..ExecConfig::default() },
+    );
+    ex.machine.spawn(ex.machine.module.main, &[]);
+    let crunch =
+        ex.machine.module.procs.iter().position(|p| p.name == "Crunch").expect("Crunch exists")
+            as u16;
+    ex.machine.spawn(crunch, &[2_000_000_000]);
+    match ex.run() {
+        Err(ExecError::StuckThread { thread }) => assert_eq!(thread, 1),
+        other => panic!("expected StuckThread, got {other:?}"),
+    }
+}
+
+#[test]
+fn parallel_max_advance_exhaustion_is_a_structured_error() {
+    // Two OS-thread mutators under torture. After the first round they
+    // drift apart, so some collection request finds the other mutator
+    // deep inside Crunch with no gc-point within the advance budget;
+    // the leader must observe the structured failure and release
+    // everyone rather than waiting forever.
+    let module = compile(SPIN_SRC, &no_loop_points()).expect("compiles");
+    let config = ParConfig {
+        gc_workers: 2,
+        force_every_allocs: Some(1),
+        max_advance: 10_000,
+        ..ParConfig::default()
+    };
+    match run_module_par(module, 1 << 14, 2, false, config) {
+        Err(ExecError::StuckThread { .. }) => {}
+        other => panic!("expected StuckThread, got {other:?}"),
+    }
+}
