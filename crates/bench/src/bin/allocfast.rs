@@ -1,0 +1,229 @@
+//! Allocation and root-scan fast-path experiment.
+//!
+//! Part A — TLAB throughput: four OS-thread mutators run an
+//! allocation-dominated workload twice on the same compiled module, once
+//! with TLABs disabled (`tlab_words = 0`: every `NEW` is a CAS on the
+//! shared frontier) and once with the default TLAB size (one CAS per
+//! ~1 KiW refill). The comparison is end-to-end allocation throughput.
+//! The ≥2× speedup assertion only arms when the host has ≥4 hardware
+//! threads and the run is not `--quick`; `--quick` still asserts TLABs
+//! are at least break-even on such hosts.
+//!
+//! Part B — stack watermarks: a single-threaded generational run recurses
+//! ~200 frames deep (each frame pinning a live cell) and then churns
+//! garbage at the bottom through dozens of minor collections. The cold
+//! recursion frames never change, so warm minors must splice them from
+//! the watermark cache instead of re-decoding: the bench asserts ≥50% of
+//! all traced frames were spliced. Shadow mode and the oracle are armed,
+//! so every splice is also verified bit-identical to a full rescan.
+//!
+//! Writes `BENCH_allocfast.json` either way.
+
+use std::time::Instant;
+
+use m3gc_compiler::{compile, run_module, run_module_par_with, Options};
+use m3gc_runtime::parallel::{ParConfig, ParOutcome};
+use m3gc_runtime::scheduler::{ExecConfig, Executor};
+use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
+use m3gc_vm::{ParMachineConfig, DEFAULT_TLAB_WORDS};
+
+/// Procedure-local allocation churn: every `NEW` is garbage by the next
+/// iteration, so collections stay cheap and the run time is dominated by
+/// the allocation path itself.
+fn alloc_src(iters: usize) -> String {
+    format!(
+        "MODULE AllocFast;
+TYPE R = REF RECORD a, b: INTEGER END;
+
+PROCEDURE Work(): INTEGER =
+VAR r: R; i, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO {iters} DO
+    r := NEW(R);
+    r.a := i;
+    s := (s + r.a) MOD 1000003;
+  END;
+  RETURN s;
+END Work;
+
+BEGIN
+  PutInt(Work());
+END AllocFast.",
+    )
+}
+
+/// Deep recursion with a live cell per frame, then garbage churn at the
+/// bottom: the cold frames are identical across the bottom's minor
+/// collections, so the watermark cache must carry them.
+fn deepscan_src(depth: usize, churn: usize) -> String {
+    format!(
+        "MODULE DeepScan;
+TYPE Cell = REF RECORD v: INTEGER END;
+
+PROCEDURE Churn(rounds: INTEGER): INTEGER =
+VAR t: Cell; i, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO rounds DO
+    t := NEW(Cell);
+    t.v := i;
+    s := (s + t.v) MOD 1000003;
+  END;
+  RETURN s;
+END Churn;
+
+PROCEDURE Deep(d: INTEGER): INTEGER =
+VAR c: Cell;
+BEGIN
+  c := NEW(Cell);
+  c.v := d;
+  IF d > 0 THEN
+    RETURN (c.v + Deep(d - 1)) MOD 1000003;
+  END;
+  RETURN (c.v + Churn({churn})) MOD 1000003;
+END Deep;
+
+BEGIN
+  PutInt(Deep({depth}));
+END DeepScan.",
+    )
+}
+
+fn run_par(
+    module: m3gc_vm::VmModule,
+    semi_words: usize,
+    mutators: usize,
+    tlab_words: usize,
+) -> (ParOutcome, f64) {
+    let machine_config =
+        ParMachineConfig { semi_words, stack_words: 1 << 15, mutators, tlab_words };
+    let config = ParConfig { gc_workers: 2, ..ParConfig::default() };
+    let t0 = Instant::now();
+    let out = run_module_par_with(module, machine_config, false, config)
+        .unwrap_or_else(|e| panic!("allocfast run (tlab_words={tlab_words}) failed: {e}"));
+    let secs = t0.elapsed().as_secs_f64();
+    (out, secs)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = 4;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // --- Part A: TLAB vs shared-CAS allocation throughput. ---
+    let iters = if quick { 300_000 } else { 2_000_000 };
+    let semi_words = 1 << 20;
+    let module = compile(&alloc_src(iters), &Options::o2()).expect("benchmark compiles");
+
+    let (base, base_secs) = run_par(module.clone(), semi_words, threads, 0);
+    let (tlab, tlab_secs) = run_par(module.clone(), semi_words, threads, DEFAULT_TLAB_WORDS);
+    assert_eq!(base.outputs.len(), threads);
+    assert_eq!(base.output, tlab.output, "TLABs must not perturb program semantics");
+    assert_eq!(base.tlab_allocs, 0, "disabled TLABs must not serve fast-path allocations");
+    assert!(tlab.tlab_refills > 0, "default TLABs must refill on this workload");
+    assert!(
+        tlab.tlab_allocs * 10 >= tlab.allocations * 9,
+        "TLAB fast path must serve the vast majority of allocations, got {}/{}",
+        tlab.tlab_allocs,
+        tlab.allocations
+    );
+
+    let base_tp = base.allocations as f64 / base_secs.max(f64::MIN_POSITIVE);
+    let tlab_tp = tlab.allocations as f64 / tlab_secs.max(f64::MIN_POSITIVE);
+    let speedup = tlab_tp / base_tp.max(f64::MIN_POSITIVE);
+
+    // Contention only exists when the mutators truly run in parallel.
+    let asserted = !quick && cores >= threads;
+    let skip_reason = if asserted {
+        String::new()
+    } else if cores < threads {
+        format!("host has {cores} hardware thread(s), the assertion needs >= {threads}")
+    } else {
+        "quick mode asserts break-even only".to_string()
+    };
+
+    println!("AllocFast: {threads} mutators x {iters} allocations");
+    println!(
+        "  host: {cores} hardware thread(s); 2x speedup assertion {}",
+        if asserted { "armed" } else { "off" }
+    );
+    if !asserted {
+        eprintln!("allocfast: warning: speedup assertion not armed: {skip_reason}");
+    }
+    println!("  shared CAS: {base_tp:>12.0} allocs/s ({base_secs:.3} s)");
+    println!(
+        "  tlab {DEFAULT_TLAB_WORDS}w: {tlab_tp:>12.0} allocs/s ({tlab_secs:.3} s), \
+         {} refill(s), {} waste word(s)",
+        tlab.tlab_refills, tlab.tlab_waste_words
+    );
+    println!("  speedup {speedup:.2}x");
+
+    // --- Part B: watermark splice rate on warm minors. ---
+    let (depth, churn) = if quick { (200, 5_000) } else { (200, 20_000) };
+    let deep_module = compile(&deepscan_src(depth, churn), &Options::o2()).expect("compiles");
+    let deep_semi = 1 << 16;
+    let reference = run_module(deep_module.clone(), deep_semi).expect("semispace reference");
+
+    let heap = match HeapStrategy::generational_for(deep_semi) {
+        HeapStrategy::Generational { promote_age, .. } => {
+            HeapStrategy::Generational { nursery_words: 512, promote_age }
+        }
+        HeapStrategy::Semispace => unreachable!("generational_for is generational"),
+    };
+    let mut machine = Machine::new(
+        deep_module,
+        MachineConfig { semi_words: deep_semi, stack_words: 1 << 15, max_threads: 4, heap },
+    );
+    machine.enable_shadow();
+    let mut ex = Executor::new(machine, ExecConfig { oracle: true, ..ExecConfig::default() });
+    let deep = ex.run_main().expect("generational deep-recursion run");
+    assert_eq!(deep.output, reference.output, "watermarks must not perturb program semantics");
+    assert!(deep.minor_collections >= 5, "workload must drive repeated minors");
+
+    let traced = deep.gc_total.frames_traced;
+    let spliced = deep.gc_total.frames_spliced;
+    let splice_ratio = spliced as f64 / (traced as f64).max(f64::MIN_POSITIVE);
+    println!(
+        "  watermark: depth {depth}, {} minor(s), {spliced} of {traced} frame(s) spliced \
+         ({:.1}%)",
+        deep.minor_collections,
+        100.0 * splice_ratio
+    );
+
+    let json = format!(
+        "{{\"bench\":\"allocfast\",\"quick\":{quick},\"cores\":{cores},\
+         \"threads\":{threads},\"iters\":{iters},\
+         \"tlab_words\":{DEFAULT_TLAB_WORDS},\
+         \"base_allocs_per_s\":{base_tp:.0},\"tlab_allocs_per_s\":{tlab_tp:.0},\
+         \"speedup\":{speedup:.3},\
+         \"tlab_refills\":{},\"tlab_fast_allocs\":{},\"tlab_waste_words\":{},\
+         \"wm_depth\":{depth},\"wm_minors\":{},\
+         \"frames_traced\":{traced},\"frames_spliced\":{spliced},\
+         \"splice_ratio\":{splice_ratio:.3},\
+         \"asserted\":{asserted},\"skip_reason\":\"{skip_reason}\",\
+         \"outputs_match\":true}}",
+        tlab.tlab_refills, tlab.tlab_allocs, tlab.tlab_waste_words, deep.minor_collections,
+    );
+    println!("{json}");
+    m3gc_bench::write_bench_json("allocfast", &json);
+
+    // Deterministic regardless of host: warm minors at the bottom of the
+    // recursion must carry the cold frames via the watermark cache.
+    assert!(
+        splice_ratio >= 0.5,
+        "deep-recursion minors must splice >=50% of traced frames, got {spliced}/{traced}"
+    );
+    if asserted {
+        assert!(
+            speedup >= 2.0,
+            "TLAB allocation must beat the shared frontier by >=2x at {threads} threads, \
+             got {speedup:.2}x"
+        );
+    } else if cores >= threads {
+        assert!(
+            speedup >= 1.0,
+            "TLAB allocation must at least break even at {threads} threads, got {speedup:.2}x"
+        );
+    }
+}

@@ -12,8 +12,9 @@ use m3gc_runtime::parallel::ParConfig;
 use m3gc_runtime::scheduler::{ExecConfig, ExecError};
 
 use m3gc_vm::machine::HeapStrategy;
+use m3gc_vm::{ParMachineConfig, DEFAULT_TLAB_WORDS};
 
-use crate::{compile, compile_to_ir, run_module_on, run_module_par, Options};
+use crate::{compile, compile_to_ir, run_module_on, run_module_par_with, Options};
 
 /// Errors surfaced to the CLI user, structured by pipeline stage.
 ///
@@ -121,6 +122,10 @@ pub struct RunConfig {
     pub threads: usize,
     /// Gc worker threads per parallel collection (`--gc-workers M`).
     pub gc_workers: usize,
+    /// Thread-local allocation buffer size in words for the parallel
+    /// runtime (`--tlab-words N`); `0` disables TLABs so every allocation
+    /// claims from the shared frontier directly.
+    pub tlab_words: usize,
 }
 
 impl Default for RunConfig {
@@ -134,6 +139,7 @@ impl Default for RunConfig {
             parallel: false,
             threads: 1,
             gc_workers: 4,
+            tlab_words: DEFAULT_TLAB_WORDS,
         }
     }
 }
@@ -218,9 +224,24 @@ pub fn run(source: &str, options: &Options, config: RunConfig) -> Result<String,
                 out.barrier.deduped,
                 out.barrier.filtered()
             );
+            let _ = writeln!(s, "--- watermark: {}", watermark_summary(&out.gc_total));
         }
     }
     Ok(s)
+}
+
+/// Renders the stack-watermark splice counters: `S frame(s) spliced of T
+/// traced (P% hit rate)`.
+fn watermark_summary(total: &m3gc_runtime::collector::GcStats) -> String {
+    let pct = if total.frames_traced == 0 {
+        0.0
+    } else {
+        100.0 * total.frames_spliced as f64 / total.frames_traced as f64
+    };
+    format!(
+        "{} frame(s) spliced of {} traced ({pct:.1}% hit rate)",
+        total.frames_spliced, total.frames_traced
+    )
 }
 
 /// The `--gc=par` path of [`run`]: `threads` OS-thread mutators, each
@@ -231,7 +252,13 @@ fn run_parallel(module: m3gc_vm::VmModule, config: RunConfig) -> Result<String, 
         force_every_allocs: config.torture.then_some(1),
         ..ParConfig::default()
     };
-    let out = run_module_par(module, config.semi_words, config.threads.max(1), false, par)?;
+    let machine_config = ParMachineConfig {
+        semi_words: config.semi_words,
+        stack_words: 1 << 15,
+        mutators: config.threads.max(1),
+        tlab_words: config.tlab_words,
+    };
+    let out = run_module_par_with(module, machine_config, false, par)?;
     let mut s = out.output.clone();
     if config.stats {
         let _ = writeln!(
@@ -281,6 +308,17 @@ fn run_parallel(module: m3gc_vm::VmModule, config: RunConfig) -> Result<String, 
             out.gc_each.iter().map(|g| g.decode_misses).sum::<u64>(),
             out.gc_each.iter().map(|g| g.decode_ops).sum::<u64>()
         );
+        let _ = writeln!(
+            s,
+            "--- tlab: {} word(s) per buffer, {} refill(s), {} fast alloc(s), {} waste word(s)",
+            config.tlab_words, out.tlab_refills, out.tlab_allocs, out.tlab_waste_words
+        );
+        let mut wm = m3gc_runtime::collector::GcStats::default();
+        for g in &out.gc_each {
+            wm.frames_traced += g.frames_traced;
+            wm.frames_spliced += g.frames_spliced;
+        }
+        let _ = writeln!(s, "--- watermark: {}", watermark_summary(&wm));
     }
     Ok(s)
 }
@@ -419,6 +457,13 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
                     v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
                         DriverError::usage(format!("bad --gc-workers value `{v}`"))
                     })?;
+            }
+            "--tlab-words" => {
+                let v =
+                    it.next().ok_or_else(|| DriverError::usage("--tlab-words needs a value"))?;
+                config.tlab_words = v
+                    .parse()
+                    .map_err(|_| DriverError::usage(format!("bad --tlab-words value `{v}`")))?;
             }
             "--nursery" => {
                 let v = it.next().ok_or_else(|| DriverError::usage("--nursery needs a value"))?;
@@ -703,5 +748,56 @@ mod tests {
         assert!(parse_options(&["--threads".into(), "2".into()]).is_err());
         assert!(parse_options(&["--threads".into(), "0".into(), "--gc=par".into()]).is_err());
         assert!(parse_options(&["--gc-workers".into(), "zero".into()]).is_err());
+        let (_, c) = parse_options(&[]).unwrap();
+        assert_eq!(c.tlab_words, DEFAULT_TLAB_WORDS);
+        let (_, c) = parse_options(&["--tlab-words".into(), "8".into()]).unwrap();
+        assert_eq!(c.tlab_words, 8);
+        // 0 disables TLABs (shared-frontier CAS per allocation).
+        let (_, c) = parse_options(&["--tlab-words".into(), "0".into()]).unwrap();
+        assert_eq!(c.tlab_words, 0);
+        assert!(parse_options(&["--tlab-words".into(), "lots".into()]).is_err());
+        assert!(parse_options(&["--tlab-words".into()]).is_err());
+    }
+
+    #[test]
+    fn par_stats_report_tlab_and_watermark_counters() {
+        let (o, mut c) = parse_options(&[
+            "--gc=par".into(),
+            "--threads".into(),
+            "2".into(),
+            "--torture".into(),
+            "--stats".into(),
+            "--tlab-words".into(),
+            "16".into(),
+        ])
+        .unwrap();
+        c.semi_words = 4096;
+        let out = run(LOCAL_ALLOCATING, &o, c).unwrap();
+        assert!(out.starts_with("12751275"), "{out}");
+        let tlab_line = out
+            .lines()
+            .find(|l| l.contains("tlab:"))
+            .unwrap_or_else(|| panic!("no tlab line in {out}"));
+        assert!(tlab_line.contains("16 word(s) per buffer"), "{tlab_line}");
+        assert!(tlab_line.contains("refill(s)"), "{tlab_line}");
+        assert!(out.contains("watermark:"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+    }
+
+    #[test]
+    fn gen_stats_report_watermark_hit_rate() {
+        let (o, mut c) =
+            parse_options(&["--gc=gen".into(), "--nursery".into(), "64".into(), "--stats".into()])
+                .unwrap();
+        c.semi_words = 4096;
+        let out = run(ALLOCATING, &o, c).unwrap();
+        assert!(out.starts_with("1275"), "{out}");
+        assert!(out.contains("watermark:"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        // Semispace full collections always rescan: no watermark line.
+        let (o2, mut c2) = parse_options(&["--stats".into()]).unwrap();
+        c2.semi_words = 4096;
+        let semi = run(ALLOCATING, &o2, c2).unwrap();
+        assert!(!semi.contains("watermark:"), "{semi}");
     }
 }

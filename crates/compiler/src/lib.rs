@@ -204,8 +204,28 @@ pub fn run_module_par(
     shadow: bool,
     config: ParConfig,
 ) -> Result<ParOutcome, ExecError> {
-    let mut vm =
-        ParMachine::new(module, ParMachineConfig { semi_words, stack_words: 1 << 15, mutators });
+    let machine_config = ParMachineConfig {
+        semi_words,
+        stack_words: 1 << 15,
+        mutators,
+        ..ParMachineConfig::default()
+    };
+    run_module_par_with(module, machine_config, shadow, config)
+}
+
+/// Like [`run_module_par`], but with full control over the parallel
+/// machine configuration (TLAB size, stack words, ...).
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from the first failing thread.
+pub fn run_module_par_with(
+    module: VmModule,
+    machine_config: ParMachineConfig,
+    shadow: bool,
+    config: ParConfig,
+) -> Result<ParOutcome, ExecError> {
+    let mut vm = ParMachine::new(module, machine_config);
     if shadow {
         vm.enable_shadow();
     }

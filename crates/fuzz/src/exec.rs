@@ -13,11 +13,12 @@
 //! *inconclusive*, not a failure: the reference heap never fills while
 //! the VM's does, so those runs are simply skipped.
 
-use m3gc_compiler::{compile, run_module_par, Options};
+use m3gc_compiler::{compile, run_module_par_with, Options};
 use m3gc_core::encode::Scheme;
 use m3gc_runtime::parallel::ParConfig;
 use m3gc_runtime::scheduler::{ExecConfig, ExecError, Executor};
 use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig, VmTrap};
+use m3gc_vm::{ParMachineConfig, DEFAULT_TLAB_WORDS};
 
 /// Trap kinds shared by the reference interpreter and the VM, for
 /// cross-implementation comparison (the Display strings differ).
@@ -129,7 +130,7 @@ fn status_of_error(e: ExecError) -> RunStatus {
 /// precision oracle — the parallel handshake, snapshot stack walk and
 /// work-stealing copy all differentially checked against the reference.
 #[must_use]
-pub fn run_par_vm(source: &str, options: &Options, workers: usize) -> RunStatus {
+pub fn run_par_vm(source: &str, options: &Options, workers: usize, tlab_words: usize) -> RunStatus {
     let module = match compile(source, options) {
         Ok(m) => m,
         Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
@@ -140,17 +141,29 @@ pub fn run_par_vm(source: &str, options: &Options, workers: usize) -> RunStatus 
         oracle: true,
         ..ParConfig::default()
     };
-    match run_module_par(module, FUZZ_SEMI_WORDS, 1, true, config) {
+    let machine_config = ParMachineConfig {
+        semi_words: FUZZ_SEMI_WORDS,
+        stack_words: 1 << 15,
+        mutators: 1,
+        tlab_words,
+    };
+    match run_module_par_with(module, machine_config, true, config) {
         Ok(out) => RunStatus::Ok(out.output),
         Err(e) => status_of_error(e),
     }
 }
 
 /// The parallel side of the matrix: {o0, o2} at the default encoding
-/// with 2 and 4 gc workers.
+/// with 2 and 4 gc workers, plus a tiny-TLAB configuration (refill and
+/// retire on nearly every allocation) to stress buffer boundaries under
+/// torture.
 #[must_use]
-pub fn par_config_matrix() -> Vec<(String, Options, usize)> {
-    vec![("o2/par-w2".to_string(), Options::o2(), 2), ("o0/par-w4".to_string(), Options::o0(), 4)]
+pub fn par_config_matrix() -> Vec<(String, Options, usize, usize)> {
+    vec![
+        ("o2/par-w2".to_string(), Options::o2(), 2, DEFAULT_TLAB_WORDS),
+        ("o0/par-w4".to_string(), Options::o0(), 4, DEFAULT_TLAB_WORDS),
+        ("o2/par-w2/tlab8".to_string(), Options::o2(), 2, 8),
+    ]
 }
 
 /// The full VM configuration matrix: {o0, o2} × all six encodings ×
@@ -198,8 +211,8 @@ pub fn check_program(source: &str) -> Result<bool, String> {
             }
         }
     }
-    for (label, opts, workers) in par_config_matrix() {
-        match run_par_vm(source, &opts, workers) {
+    for (label, opts, workers, tlab_words) in par_config_matrix() {
+        match run_par_vm(source, &opts, workers, tlab_words) {
             RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
             RunStatus::Inconclusive(_) => continue,
             got => {

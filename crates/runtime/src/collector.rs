@@ -42,8 +42,12 @@ pub struct GcStats {
     pub roots: u64,
     /// Derived values un-derived and re-derived.
     pub derived_updated: u64,
-    /// Stack frames traced.
+    /// Stack frames traced (spliced frames included).
     pub frames_traced: u64,
+    /// Of `frames_traced`, frames satisfied from the watermark cache
+    /// without decoding or re-resolving (minor collections only; a full
+    /// or major collection always rescans and invalidates).
+    pub frames_spliced: u64,
     /// Gc-point table lookups served from the decode cache's memos.
     pub decode_hits: u64,
     /// Gc-point table lookups that had to decode at least one point.

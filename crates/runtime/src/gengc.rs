@@ -40,7 +40,9 @@ use m3gc_core::stats::GcKind;
 use m3gc_vm::machine::{Machine, Thread, VmTrap};
 
 use crate::collector::{re_derive, record_decode_work, un_derive, GcStats};
-use crate::trace::{gather_global_roots, gather_stack_roots, RootRef};
+use crate::trace::{
+    gather_global_roots, gather_stack_roots, gather_stack_roots_cached, RootRef, StackWatermarks,
+};
 
 fn read_ref(mem: &[i64], threads: &[Thread], r: RootRef) -> i64 {
     match r {
@@ -68,10 +70,31 @@ fn write_ref(mem: &mut [i64], threads: &mut [Thread], r: RootRef, v: i64) {
 /// exceed the tenured semispace. The machine state is not usable
 /// afterwards; the program is dead.
 pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> Result<GcStats, VmTrap> {
+    collect_with(m, cache, None)
+}
+
+/// [`collect`] with a watermark cache: minor collections splice
+/// unchanged cold frames from `wm` instead of rescanning them; a major
+/// collection rescans everything and invalidates the cache (its copies
+/// move tenured referents, and the conservative rule is that only
+/// minor/parallel collections trust the watermark).
+///
+/// # Errors
+///
+/// As [`collect`].
+pub fn collect_with(
+    m: &mut Machine,
+    cache: &mut DecodeCache,
+    wm: Option<&mut StackWatermarks>,
+) -> Result<GcStats, VmTrap> {
     if m.wants_major_gc || m.tenured_free() < m.nursery_used() {
-        major_collect(m, cache)
+        let stats = major_collect(m, cache);
+        if let Some(wm) = wm {
+            wm.invalidate_all();
+        }
+        stats
     } else {
-        Ok(minor_collect(m, cache))
+        Ok(minor_collect_with(m, cache, wm))
     }
 }
 
@@ -161,6 +184,20 @@ impl MinorSpaces {
 /// Panics if the headroom precondition is violated, or on corrupted heap
 /// state / missing tables (compiler/runtime bugs).
 pub fn minor_collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
+    minor_collect_with(m, cache, None)
+}
+
+/// [`minor_collect`] with an optional watermark cache (see
+/// [`collect_with`]).
+///
+/// # Panics
+///
+/// As [`minor_collect`].
+pub fn minor_collect_with(
+    m: &mut Machine,
+    cache: &mut DecodeCache,
+    wm: Option<&mut StackWatermarks>,
+) -> GcStats {
     let t0 = Instant::now();
     let mut stats = GcStats { kind: GcKind::Minor, ..GcStats::default() };
     assert!(m.is_generational(), "minor collection on a semispace heap");
@@ -168,10 +205,14 @@ pub fn minor_collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
 
     // --- Locate tables and walk the stacks (the traced part). ---
     let before = cache.counters();
-    let stack = gather_stack_roots(m, cache);
+    let stack = match wm {
+        Some(wm) => gather_stack_roots_cached(m, cache, wm),
+        None => gather_stack_roots(m, cache),
+    };
     let globals = gather_global_roots(m);
     record_decode_work(&mut stats, cache.counters().since(before));
     stats.frames_traced = stack.frames as u64;
+    stats.frames_spliced = stack.frames_spliced as u64;
     stats.roots = (stack.tidy.len() + globals.len()) as u64;
     stats.derived_updated = stack.derivations.len() as u64;
     un_derive(m, &stack);

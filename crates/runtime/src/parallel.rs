@@ -62,7 +62,10 @@ use m3gc_vm::{Mutator, ParMachine, ParStep};
 
 use crate::oracle::check_entries;
 use crate::scheduler::ExecError;
-use crate::trace::{gather_global_roots_in, gather_thread_roots, RootRef, RootSource, StackRoots};
+use crate::trace::{
+    gather_global_roots_in, gather_thread_roots, gather_thread_roots_cached, verify_spliced_roots,
+    RootRef, RootSource, StackCache, StackRoots,
+};
 
 /// Relaxed shorthand for counters; cross-thread ordering comes from the
 /// handshake mutex/condvar and the forwarding CAS protocol.
@@ -167,8 +170,11 @@ pub struct ParGcStats {
     pub roots: u64,
     /// Derived values un-derived and re-derived.
     pub derived_updated: u64,
-    /// Stack frames traced.
+    /// Stack frames traced (spliced frames included).
     pub frames_traced: u64,
+    /// Of `frames_traced`, frames spliced from the per-thread watermark
+    /// caches without decoding or re-resolving.
+    pub frames_spliced: u64,
     /// Decode-cache memo hits during the stack walks.
     pub decode_hits: u64,
     /// Decode-cache misses.
@@ -194,6 +200,12 @@ pub struct ParOutcome {
     pub allocations: u64,
     /// Words allocated.
     pub words_allocated: u64,
+    /// TLAB refills (one shared-frontier CAS each).
+    pub tlab_refills: u64,
+    /// Allocations served by the TLAB fast path (no shared CAS).
+    pub tlab_allocs: u64,
+    /// Words discarded from partial TLABs at retirement.
+    pub tlab_waste_words: u64,
     /// Instructions executed (all mutators).
     pub steps: u64,
     /// Per-collection statistics.
@@ -289,6 +301,10 @@ struct RunCtx<'vm> {
     coord: Coord,
     /// One snapshot slot per mutator, filled while parked.
     slots: Vec<Mutex<Option<Snapshot>>>,
+    /// One watermark cache per mutator, persistent across collections.
+    /// Keyed by tid (not worker) because the round-robin deal can hand a
+    /// thread to a different worker each cycle.
+    watermarks: Vec<Mutex<StackCache>>,
     /// Persistent per-worker decode caches (shared `DecoderIndex`).
     caches: Vec<Mutex<DecodeCache>>,
     /// Allocation count at the previous (unforced) collection — the
@@ -333,6 +349,7 @@ struct WorkerReport {
     roots: u64,
     derived: u64,
     frames: u64,
+    spliced: u64,
     decode: DecodeCounters,
     copy_time: Duration,
 }
@@ -446,6 +463,8 @@ fn next_work(gc: &GcCtx<'_>, w: usize) -> Option<i64> {
 fn gc_worker(
     gc: &GcCtx<'_>,
     cache_mx: &Mutex<DecodeCache>,
+    watermarks: &[Mutex<StackCache>],
+    verify: bool,
     w: usize,
     mut my: Part,
 ) -> WorkerReport {
@@ -453,24 +472,25 @@ fn gc_worker(
     let mut cache = cache_mx.lock().unwrap();
     let decode_before = cache.counters();
     let mut local = WorkerLocal::default();
-    let (mut roots_n, mut derived_n, mut frames_n) = (0u64, 0u64, 0u64);
+    let (mut roots_n, mut derived_n, mut frames_n, mut spliced_n) = (0u64, 0u64, 0u64, 0u64);
 
-    // Phase 1: walk my threads' stacks and un-derive.
+    // Phase 1: walk my threads' stacks (splicing unchanged cold frames
+    // from the per-thread watermark caches) and un-derive.
     for (tid, snap, roots) in &mut my {
         {
             let world = ThreadWorld { vm, tid: *tid as u32, snap };
-            gather_thread_roots(
-                &world,
-                &mut cache,
-                *tid as u32,
-                (snap.pc, snap.fp, snap.ap, snap.sp),
-                roots,
-            );
+            let regs = (snap.pc, snap.fp, snap.ap, snap.sp);
+            let mut wm = watermarks[*tid].lock().unwrap();
+            gather_thread_roots_cached(&world, &mut cache, *tid as u32, regs, &mut wm, roots);
+            if verify {
+                verify_spliced_roots(&world, &mut cache, *tid as u32, regs, roots);
+            }
         }
         un_derive_snap(vm, snap, roots);
         roots_n += roots.tidy.len() as u64;
         derived_n += roots.derivations.len() as u64;
         frames_n += roots.frames as u64;
+        spliced_n += roots.frames_spliced as u64;
     }
     gc.barrier.wait();
     let t_copy = Instant::now();
@@ -526,6 +546,7 @@ fn gc_worker(
         roots: roots_n,
         derived: derived_n,
         frames: frames_n,
+        spliced: spliced_n,
         decode: cache.counters().since(decode_before),
         copy_time,
     }
@@ -564,16 +585,18 @@ fn collect_parallel(ctx: &RunCtx<'_>, handshake_time: Duration, t0: Instant) -> 
     {
         let mut parts = parts.into_iter();
         let part0 = parts.next().expect("worker 0 partition");
+        let verify = ctx.config.oracle;
         std::thread::scope(|s| {
             let gc = &gc;
             let handles: Vec<_> = parts
                 .enumerate()
                 .map(|(i, part)| {
                     let cache = &ctx.caches[i + 1];
-                    s.spawn(move || gc_worker(gc, cache, i + 1, part))
+                    let wms = &ctx.watermarks;
+                    s.spawn(move || gc_worker(gc, cache, wms, verify, i + 1, part))
                 })
                 .collect();
-            reports.push(gc_worker(gc, &ctx.caches[0], 0, part0));
+            reports.push(gc_worker(gc, &ctx.caches[0], &ctx.watermarks, verify, 0, part0));
             for h in handles {
                 reports.push(h.join().expect("gc worker panicked"));
             }
@@ -603,6 +626,7 @@ fn collect_parallel(ctx: &RunCtx<'_>, handshake_time: Duration, t0: Instant) -> 
         stats.roots += r.roots;
         stats.derived_updated += r.derived;
         stats.frames_traced += r.frames;
+        stats.frames_spliced += r.spliced;
         stats.decode_hits += r.decode.hits;
         stats.decode_misses += r.decode.misses;
         stats.decode_ops += r.decode.points_decoded;
@@ -662,6 +686,9 @@ fn park(ctx: &RunCtx<'_>, mu: &mut Mutator) -> bool {
     } else {
         ctx.alloc_parks.fetch_add(1, R);
     }
+    // Retire the TLAB before depositing: gc workers must see an exact
+    // frontier, and after the flip the buffer would lie in dead space.
+    ctx.vm.retire_tlab(mu);
     *ctx.slots[mu.tid].lock().unwrap() = Some(Snapshot::of(mu));
     st.parked += 1;
     ctx.coord.cv.notify_all();
@@ -693,6 +720,8 @@ fn lead_collection(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError
     } else {
         ctx.alloc_parks.fetch_add(1, R);
     }
+    // As in `park`: exact frontier and flushed counters before leading.
+    ctx.vm.retire_tlab(mu);
     *ctx.slots[mu.tid].lock().unwrap() = Some(Snapshot::of(mu));
     st.parked += 1;
     ctx.coord.cv.notify_all();
@@ -817,7 +846,11 @@ fn mutator_loop(ctx: &RunCtx<'_>, mut mu: Mutator) -> (Mutator, Result<(), ExecE
 /// Thread wrapper: runs the loop, records the first error, always
 /// deregisters from the handshake so no leader waits on a dead thread.
 fn mutator_thread(ctx: &RunCtx<'_>, mu: Mutator) -> Mutator {
-    let (mu, res) = mutator_loop(ctx, mu);
+    let (mut mu, res) = mutator_loop(ctx, mu);
+    // Retire before deregistering: the run's final counters (and any
+    // collection led after this thread leaves) must include this
+    // thread's buffered allocations.
+    ctx.vm.retire_tlab(&mut mu);
     let mut st = ctx.coord.state.lock().unwrap();
     if let Err(e) = res {
         let mut err = ctx.coord.error.lock().unwrap();
@@ -889,6 +922,7 @@ impl ParExecutor {
                 error: Mutex::new(None),
             },
             slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            watermarks: (0..n).map(|_| Mutex::new(StackCache::default())).collect(),
             caches,
             last_gc_allocations: Mutex::new(None),
             gc_log: Mutex::new(Vec::new()),
@@ -924,6 +958,9 @@ impl ParExecutor {
             collections: vm.collections.load(R),
             allocations: vm.allocations.load(R),
             words_allocated: vm.words_allocated.load(R),
+            tlab_refills: vm.tlab_refills.load(R),
+            tlab_allocs: vm.tlab_allocs.load(R),
+            tlab_waste_words: vm.tlab_waste_words.load(R),
             steps: done.iter().map(|mu| mu.steps).sum(),
             gc_each: ctx.gc_log.into_inner().unwrap(),
         })

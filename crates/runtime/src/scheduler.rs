@@ -11,6 +11,7 @@ use m3gc_vm::machine::{Machine, RunOutcome, ThreadStatus, VmTrap};
 
 use crate::collector::{self, GcStats};
 use crate::gengc;
+use crate::trace::StackWatermarks;
 
 /// What happens when a collection is due.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -127,6 +128,11 @@ pub struct Executor {
     /// load and bound to the machine's module token: across all the
     /// collections of a run, each gc-point's tables decode at most once.
     cache: DecodeCache,
+    /// Per-thread stack watermark caches: minor collections splice the
+    /// unchanged cold suffix of each stack instead of rescanning it.
+    /// Verification (splice vs. full rescan) is armed whenever the
+    /// oracle is.
+    watermarks: StackWatermarks,
     next_forced: Option<u64>,
 }
 
@@ -151,10 +157,11 @@ impl Executor {
     /// malformed.
     pub fn try_new(mut machine: Machine, config: ExecConfig) -> Result<Executor, DecodeError> {
         let next_forced = config.force_every_allocs.map(|n| n.max(1));
-        machine.force_gc_after = next_forced;
+        machine.set_force_gc_after(next_forced);
         let mut cache = DecodeCache::build(&machine.module.gc_maps)?;
         cache.bind_module(machine.module_token());
-        Ok(Executor { machine, config, gc_each: Vec::new(), cache, next_forced })
+        let watermarks = StackWatermarks::new(config.oracle);
+        Ok(Executor { machine, config, gc_each: Vec::new(), cache, watermarks, next_forced })
     }
 
     /// The decode cache (for inspecting hit/miss counters and memo size).
@@ -198,9 +205,16 @@ impl Executor {
         }
         let stats = match self.config.gc_mode {
             GcMode::Full if self.machine.is_generational() => {
-                gengc::collect(&mut self.machine, &mut self.cache).map_err(ExecError::Trap)?
+                gengc::collect_with(&mut self.machine, &mut self.cache, Some(&mut self.watermarks))
+                    .map_err(ExecError::Trap)?
             }
-            GcMode::Full => collector::collect(&mut self.machine, &mut self.cache),
+            GcMode::Full => {
+                // Full semispace collections always rescan; keep the
+                // watermark state cold so a later mode switch cannot
+                // splice stale frames.
+                self.watermarks.invalidate_all();
+                collector::collect(&mut self.machine, &mut self.cache)
+            }
             GcMode::TraceOnly => {
                 let s = collector::trace_only(&mut self.machine, &mut self.cache);
                 // No flip happened; release the threads manually.
@@ -267,7 +281,7 @@ impl Executor {
                             let every =
                                 self.config.force_every_allocs.expect("forced implies configured");
                             self.next_forced = Some(self.machine.allocations + every.max(1));
-                            self.machine.force_gc_after = self.next_forced;
+                            self.machine.set_force_gc_after(self.next_forced);
                         } else if last_gc_allocations == Some(self.machine.allocations) {
                             // No allocation progress since the previous
                             // (real) collection. On a generational heap a
@@ -303,6 +317,7 @@ impl Executor {
             acc.roots += s.roots;
             acc.derived_updated += s.derived_updated;
             acc.frames_traced += s.frames_traced;
+            acc.frames_spliced += s.frames_spliced;
             acc.decode_hits += s.decode_hits;
             acc.decode_misses += s.decode_misses;
             acc.decode_ops += s.decode_ops;

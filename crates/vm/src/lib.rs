@@ -32,4 +32,4 @@ pub mod shadow;
 pub use isa::{AluOp, Instr, UnAluOp};
 pub use machine::{Machine, StepOutcome, Thread, ThreadStatus, VmTrap};
 pub use module::{ProcMeta, VmModule};
-pub use par::{Mutator, ParMachine, ParMachineConfig, ParStep};
+pub use par::{Mutator, ParMachine, ParMachineConfig, ParStep, DEFAULT_TLAB_WORDS};

@@ -229,7 +229,15 @@ pub struct Machine {
     pub gc_pending: bool,
     /// Testing/measurement hook: when set, allocations report "needs gc"
     /// once `allocations` reaches this count, even with heap space left.
-    pub force_gc_after: Option<u64>,
+    /// Private so every write goes through
+    /// [`Machine::set_force_gc_after`], which keeps the cached fast-path
+    /// limit coherent.
+    force_gc_after: Option<u64>,
+    /// Cached allocation limit for the branch-light fast path: equal to
+    /// `alloc_limit` when ordinary bump allocation may proceed, pinned
+    /// to `i64::MIN` while forced-gc counting is armed so a single
+    /// compare rules out both the full and the forced case.
+    alloc_fast_limit: i64,
 
     /// Unique token identifying this machine's loaded module instance.
     /// The module (and its gc tables) is immutable for the machine's
@@ -344,6 +352,7 @@ impl Machine {
             collections: 0,
             gc_pending: false,
             force_gc_after: None,
+            alloc_fast_limit: alloc_limit,
             module_token: next_module_token(),
             config,
             stacks_base,
@@ -596,6 +605,27 @@ impl Machine {
         self.is_gc_point.get(pc as usize).copied().unwrap_or(false)
     }
 
+    /// Re-derives the cached fast-path limit from `alloc_limit` and the
+    /// forced-gc hook. Must run after every write to either.
+    fn refresh_alloc_fast_limit(&mut self) {
+        self.alloc_fast_limit =
+            if self.force_gc_after.is_some() { i64::MIN } else { self.alloc_limit };
+    }
+
+    /// Arms (or disarms) the forced-collection hook. While armed, every
+    /// allocation takes the slow path so the allocation count is checked
+    /// exactly.
+    pub fn set_force_gc_after(&mut self, n: Option<u64>) {
+        self.force_gc_after = n;
+        self.refresh_alloc_fast_limit();
+    }
+
+    /// The forced-collection threshold, if armed.
+    #[must_use]
+    pub fn force_gc_after(&self) -> Option<u64> {
+        self.force_gc_after
+    }
+
     /// Completes a collection: the spaces flip, allocation resumes at
     /// `new_alloc_ptr` (one past the last evacuated word in the old
     /// to-space), the pending flag clears, and blocked threads wake.
@@ -605,6 +635,7 @@ impl Machine {
         self.from_is_lower = !self.from_is_lower;
         self.alloc_ptr = new_alloc_ptr;
         self.alloc_limit = to_end;
+        self.refresh_alloc_fast_limit();
         self.gc_pending = false;
         self.collections += 1;
         self.wake_blocked_threads();
@@ -631,6 +662,7 @@ impl Machine {
         self.nursery_from_lower = !self.nursery_from_lower;
         self.alloc_ptr = new_young_alloc;
         self.alloc_limit = to_end;
+        self.refresh_alloc_fast_limit();
         self.tenured_alloc_ptr = new_tenured_alloc;
         self.wants_major_gc = false;
         self.gc_pending = false;
@@ -657,6 +689,7 @@ impl Machine {
         let (n_start, n_end) = self.nursery_from_space();
         self.alloc_ptr = n_start;
         self.alloc_limit = n_end;
+        self.refresh_alloc_fast_limit();
         self.rs_buf.clear();
         self.rs_card.fill(0);
         self.wants_major_gc = false;
@@ -857,11 +890,38 @@ impl Machine {
         if len < 0 {
             return Err(VmTrap::RangeError);
         }
+        let desc = self.module.types.get(TypeId(u32::from(ty)));
+        let words = i64::from(desc.object_words(len as u32));
+        // Branch-light fast path: one compare against the cached limit.
+        // `alloc_fast_limit` equals `alloc_limit` only when no forced-gc
+        // counting is armed (it is pinned to `i64::MIN` otherwise), so
+        // this single test also rules out the torture case.
+        let addr = self.alloc_ptr;
+        if addr + words <= self.alloc_fast_limit {
+            self.alloc_ptr = addr + words;
+            let is_array = matches!(desc, HeapType::Array { .. });
+            self.mem[addr as usize..(addr + words) as usize].fill(0);
+            if let Some(sh) = self.shadow.as_deref_mut() {
+                sh.clear_range(addr, words);
+            }
+            self.mem[addr as usize] = i64::from(ty);
+            if is_array {
+                self.mem[addr as usize + 1] = len;
+            }
+            self.allocations += 1;
+            self.words_allocated += words as u64;
+            return Ok(Some(addr));
+        }
+        self.try_alloc_slow(ty, len, words)
+    }
+
+    /// Slow allocation path: forced-gc accounting, space exhaustion, and
+    /// the generational large-object cases.
+    fn try_alloc_slow(&mut self, ty: u16, len: i64, words: i64) -> Result<Option<i64>, VmTrap> {
         if self.force_gc_after.is_some_and(|n| self.allocations >= n) {
             return Ok(None);
         }
         let desc = self.module.types.get(TypeId(u32::from(ty)));
-        let words = i64::from(desc.object_words(len as u32));
         let mut tenured_direct = false;
         let addr = if self.alloc_ptr + words <= self.alloc_limit {
             let a = self.alloc_ptr;

@@ -56,11 +56,25 @@ pub struct ParMachineConfig {
     pub stack_words: usize,
     /// Number of mutator threads (stack regions are pre-carved).
     pub mutators: usize,
+    /// Words per thread-local allocation buffer. Each mutator claims a
+    /// buffer of this size from the shared frontier with one CAS, then
+    /// bump-allocates privately inside it. `0` disables TLABs: every
+    /// allocation CASes the shared frontier directly (the contended
+    /// baseline the `allocfast` bench measures against).
+    pub tlab_words: usize,
 }
+
+/// Default TLAB size (~1 KiW, per the sizing discussion in DESIGN.md).
+pub const DEFAULT_TLAB_WORDS: usize = 1024;
 
 impl Default for ParMachineConfig {
     fn default() -> Self {
-        ParMachineConfig { semi_words: 1 << 20, stack_words: 1 << 16, mutators: 1 }
+        ParMachineConfig {
+            semi_words: 1 << 20,
+            stack_words: 1 << 16,
+            mutators: 1,
+            tlab_words: DEFAULT_TLAB_WORDS,
+        }
     }
 }
 
@@ -158,6 +172,19 @@ pub struct Mutator {
     pub steps: u64,
     /// Shadow tags for the registers (mirrors `Shadow::regs[tid]`).
     pub reg_tags: [Tag; NUM_REGS],
+    /// Next free word of this thread's TLAB (`tlab_ptr == tlab_limit`
+    /// means no buffer is held and the next allocation refills).
+    pub tlab_ptr: i64,
+    /// One past the last usable word of this thread's TLAB.
+    pub tlab_limit: i64,
+    /// Objects allocated since the last stat flush (see
+    /// [`ParMachine::retire_tlab`]; global counters are only exact while
+    /// this thread is parked or finished).
+    pub pending_allocations: u64,
+    /// Words allocated since the last stat flush.
+    pub pending_alloc_words: u64,
+    /// TLAB fast-path (no CAS) allocations since the last stat flush.
+    pub pending_tlab_allocs: u64,
 }
 
 /// The shared half of a parallel machine. See the module docs.
@@ -189,6 +216,15 @@ pub struct ParMachine {
     pub allocations: AtomicU64,
     /// Words allocated (all mutators).
     pub words_allocated: AtomicU64,
+    /// TLAB refills (one shared-frontier CAS each).
+    pub tlab_refills: AtomicU64,
+    /// Allocations served by the TLAB fast path (no shared CAS).
+    pub tlab_allocs: AtomicU64,
+    /// Words discarded from partial TLABs at retirement. Together with
+    /// `words_allocated` these account for every word the frontier has
+    /// moved past: while all mutators are parked,
+    /// `free - from_start == live-prefix words + allocated + waste`.
+    pub tlab_waste_words: AtomicU64,
     /// Collections completed.
     pub collections: AtomicU64,
     /// Torture hook: allocations report "needs gc" once `allocations`
@@ -239,6 +275,9 @@ impl ParMachine {
             gc_request: AtomicBool::new(false),
             allocations: AtomicU64::new(0),
             words_allocated: AtomicU64::new(0),
+            tlab_refills: AtomicU64::new(0),
+            tlab_allocs: AtomicU64::new(0),
+            tlab_waste_words: AtomicU64::new(0),
             collections: AtomicU64::new(0),
             force_gc_at: AtomicU64::new(u64::MAX),
             shadow: None,
@@ -399,6 +438,11 @@ impl ParMachine {
             output: String::new(),
             steps: 0,
             reg_tags: [Tag::NonPtr; NUM_REGS],
+            tlab_ptr: 0,
+            tlab_limit: 0,
+            pending_allocations: 0,
+            pending_alloc_words: 0,
+            pending_tlab_allocs: 0,
         }
     }
 
@@ -433,13 +477,70 @@ impl ParMachine {
         }
     }
 
-    /// CAS-bump allocation; `Ok(None)` means "needs gc". Mirrors
-    /// `Machine::try_alloc` minus the generational paths.
-    fn try_alloc(&self, ty: u16, len: i64) -> Result<Option<i64>, VmTrap> {
+    /// Claims `words` from the shared frontier with a CAS bump loop.
+    /// `None` means the space is exhausted and a collection is required.
+    fn cas_claim(&self, words: i64) -> Option<i64> {
+        let mut addr = self.free.load(R);
+        loop {
+            if addr + words > self.alloc_limit.load(R) {
+                return None;
+            }
+            match self.free.compare_exchange_weak(addr, addr + words, R, R) {
+                Ok(_) => return Some(addr),
+                Err(cur) => addr = cur,
+            }
+        }
+    }
+
+    /// Flushes `mu`'s locally-buffered allocation counters into the
+    /// shared totals. The shared counters are only exact at points where
+    /// every mutator has flushed (park, retirement, thread exit) — which
+    /// is exactly when the runtime reads them.
+    pub fn flush_alloc_stats(&self, mu: &mut Mutator) {
+        if mu.pending_allocations > 0 {
+            self.allocations.fetch_add(mu.pending_allocations, R);
+            self.words_allocated.fetch_add(mu.pending_alloc_words, R);
+            mu.pending_allocations = 0;
+            mu.pending_alloc_words = 0;
+        }
+        if mu.pending_tlab_allocs > 0 {
+            self.tlab_allocs.fetch_add(mu.pending_tlab_allocs, R);
+            mu.pending_tlab_allocs = 0;
+        }
+    }
+
+    /// Retires `mu`'s TLAB (if any) and flushes its allocation stats.
+    /// The unused tail is zeroed and accounted as waste so the shared
+    /// frontier is exact again: gc workers and the collection leader see
+    /// no words in limbo. Must be called before the mutator parks at a
+    /// safepoint or exits; after a collection the old buffer would lie
+    /// in dead space, so parking without retiring would be unsound.
+    pub fn retire_tlab(&self, mu: &mut Mutator) {
+        let waste = mu.tlab_limit - mu.tlab_ptr;
+        if waste > 0 {
+            for w in mu.tlab_ptr..mu.tlab_limit {
+                self.mem[w as usize].store(0, R);
+            }
+            if let Some(sh) = &self.shadow {
+                sh.clear_range(mu.tlab_ptr, waste);
+            }
+            self.tlab_waste_words.fetch_add(waste as u64, R);
+        }
+        mu.tlab_ptr = 0;
+        mu.tlab_limit = 0;
+        self.flush_alloc_stats(mu);
+    }
+
+    /// Allocation: TLAB bump fast path, one-CAS refill slow path,
+    /// direct shared CAS for oversized objects; `Ok(None)` means "needs
+    /// gc". Mirrors `Machine::try_alloc` minus the generational paths.
+    pub fn try_alloc(&self, mu: &mut Mutator, ty: u16, len: i64) -> Result<Option<i64>, VmTrap> {
         if len < 0 {
             return Err(VmTrap::RangeError);
         }
-        if self.allocations.load(R) >= self.force_gc_at.load(R) {
+        let force_at = self.force_gc_at.load(R);
+        let torture = force_at != u64::MAX;
+        if torture && self.allocations.load(R) + mu.pending_allocations >= force_at {
             return Ok(None);
         }
         let desc = self.module.types.get(TypeId(u32::from(ty)));
@@ -447,19 +548,46 @@ impl ParMachine {
         if words > self.config.semi_words as i64 {
             return Err(VmTrap::OutOfMemory);
         }
-        let mut addr = self.free.load(R);
-        loop {
-            if addr + words > self.alloc_limit.load(R) {
-                return Ok(None);
+        let addr = if mu.tlab_ptr + words <= mu.tlab_limit {
+            // Fast path: private bump inside the TLAB, no shared traffic.
+            let a = mu.tlab_ptr;
+            mu.tlab_ptr = a + words;
+            mu.pending_tlab_allocs += 1;
+            a
+        } else {
+            let tlab_words = self.config.tlab_words as i64;
+            if tlab_words == 0 || words > tlab_words {
+                // TLABs disabled, or the object would not fit even in a
+                // fresh buffer: claim it from the shared frontier
+                // directly, leaving the current TLAB intact.
+                match self.cas_claim(words) {
+                    Some(a) => a,
+                    None => return Ok(None),
+                }
+            } else {
+                // Refill: retire what is left of the old buffer, then
+                // claim a whole new one with a single CAS. If the space
+                // cannot fit a full buffer, fall back to claiming just
+                // this object so the last words of the space are still
+                // usable before a collection is forced.
+                self.retire_tlab(mu);
+                match self.cas_claim(tlab_words) {
+                    Some(base) => {
+                        mu.tlab_ptr = base + words;
+                        mu.tlab_limit = base + tlab_words;
+                        self.tlab_refills.fetch_add(1, R);
+                        base
+                    }
+                    None => match self.cas_claim(words) {
+                        Some(a) => a,
+                        None => return Ok(None),
+                    },
+                }
             }
-            match self.free.compare_exchange_weak(addr, addr + words, R, R) {
-                Ok(_) => break,
-                Err(cur) => addr = cur,
-            }
-        }
+        };
         // Zero the object (the space may hold stale data from before a
-        // previous flip). The words are exclusively ours: the bump CAS
-        // reserved them.
+        // previous flip). The words are exclusively ours: either the
+        // bump CAS reserved them or they lie inside our TLAB.
         for w in addr..addr + words {
             self.mem[w as usize].store(0, R);
         }
@@ -470,8 +598,13 @@ impl ParMachine {
         if matches!(desc, HeapType::Array { .. }) {
             self.mem[addr as usize + 1].store(len, R);
         }
-        self.allocations.fetch_add(1, R);
-        self.words_allocated.fetch_add(words as u64, R);
+        mu.pending_allocations += 1;
+        mu.pending_alloc_words += words as u64;
+        if torture {
+            // Torture counts individual allocations to schedule forced
+            // collections; keep the shared counter exact per-allocation.
+            self.flush_alloc_stats(mu);
+        }
         Ok(Some(addr))
     }
 
@@ -697,7 +830,7 @@ impl ParMachine {
                     new_pc = target;
                 }
             }
-            Instr::Alloc { dst, ty } => match trap!(self.try_alloc(ty, 0)) {
+            Instr::Alloc { dst, ty } => match trap!(self.try_alloc(mu, ty, 0)) {
                 Some(addr) => {
                     mu.regs[dst as usize] = addr;
                     if self.shadow.is_some() {
@@ -708,7 +841,7 @@ impl ParMachine {
             },
             Instr::AllocA { dst, ty, len } => {
                 let l = mu.regs[len as usize];
-                match trap!(self.try_alloc(ty, l)) {
+                match trap!(self.try_alloc(mu, ty, l)) {
                     Some(addr) => {
                         mu.regs[dst as usize] = addr;
                         if self.shadow.is_some() {

@@ -59,7 +59,12 @@ fn main() {
     let module = compile(PROGRAM, &Options::o2()).expect("compiles");
     let vm = ParMachine::new(
         module,
-        ParMachineConfig { semi_words: 2048, stack_words: 1 << 14, mutators: 3 },
+        ParMachineConfig {
+            semi_words: 2048,
+            stack_words: 1 << 14,
+            mutators: 3,
+            ..ParMachineConfig::default()
+        },
     );
     let mut ex = ParExecutor::new(vm, ParConfig { gc_workers: 2, ..ParConfig::default() });
 

@@ -17,6 +17,8 @@
 //!                        default: a quarter semispace)
 //!   --threads N          mutator threads with --gc par (run; default 1)
 //!   --gc-workers M       gc worker threads with --gc par (run; default 4)
+//!   --tlab-words N       thread-local allocation buffer size in words
+//!                        with --gc par; 0 disables TLABs (run; default 1024)
 //!   --torture            collect at every allocation (run)
 //!   --stats              print gc statistics after the output (run)
 //!
@@ -34,7 +36,7 @@ fn usage() -> ! {
         "usage: m3c <check|run|ir|disasm|tables|stats> <file.m3> \
          [--o0|--o2] [--no-gc] [--split-paths] [--scheme S] [--heap N] \
          [--gc semispace|gen|par] [--nursery N] [--threads N] \
-         [--gc-workers M] [--torture] [--stats]\n\
+         [--gc-workers M] [--tlab-words N] [--torture] [--stats]\n\
          \x20      m3c fuzz [--seed N] [--iters N] [--no-shrink]"
     );
     std::process::exit(2);

@@ -105,7 +105,12 @@ fn poll_sites_are_gc_points_with_table_entries() {
     let code_len = module.code.len() as u32;
     let vm = ParMachine::new(
         module,
-        ParMachineConfig { semi_words: 1 << 12, stack_words: 1 << 12, mutators: 1 },
+        ParMachineConfig {
+            semi_words: 1 << 12,
+            stack_words: 1 << 12,
+            mutators: 1,
+            ..ParMachineConfig::default()
+        },
     );
     let polls: Vec<u32> = (0..code_len).filter(|&pc| vm.is_poll_pc(pc)).collect();
     assert!(!polls.is_empty(), "loopy program must have explicit poll sites");
