@@ -22,7 +22,7 @@ use m3gc_bench::{compile_benchmark, program};
 use m3gc_core::decode::{DecodeCache, DecoderIndex, TableDecoder};
 use m3gc_core::encode::{encode_module, Scheme};
 use m3gc_runtime::collector;
-use m3gc_vm::machine::{Machine, MachineConfig, RunOutcome, ThreadStatus};
+use m3gc_vm::machine::{Machine, MachineLayout, RunOutcome, ThreadStatus};
 
 /// Times `f` over `iters` iterations (after one warmup call) and prints a
 /// per-iteration figure.
@@ -71,11 +71,11 @@ fn paused_destroy() -> Machine {
     let module = compile_benchmark(program("destroy"), true);
     let mut machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 8 * 1024,
             stack_words: 1 << 15,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
     let main = machine.module.main;

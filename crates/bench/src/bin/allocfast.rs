@@ -21,11 +21,11 @@
 
 use std::time::Instant;
 
-use m3gc_compiler::{compile, run_module, run_module_par_with, Options};
-use m3gc_runtime::parallel::{ParConfig, ParOutcome};
-use m3gc_runtime::scheduler::{ExecConfig, Executor};
-use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
-use m3gc_vm::{ParMachineConfig, DEFAULT_TLAB_WORDS};
+use m3gc_compiler::{compile, run_module, run_module_par_opts, Options};
+use m3gc_runtime::parallel::ParOutcome;
+use m3gc_runtime::{Executor, GcStrategy, RuntimeOptions, StatsReport};
+use m3gc_vm::machine::HeapStrategy;
+use m3gc_vm::DEFAULT_TLAB_WORDS;
 
 /// Procedure-local allocation churn: every `NEW` is garbage by the next
 /// iteration, so collections stay cheap and the run time is dominated by
@@ -96,11 +96,15 @@ fn run_par(
     mutators: usize,
     tlab_words: usize,
 ) -> (ParOutcome, f64) {
-    let machine_config =
-        ParMachineConfig { semi_words, stack_words: 1 << 15, mutators, tlab_words };
-    let config = ParConfig { gc_workers: 2, ..ParConfig::default() };
+    let opts = RuntimeOptions::new()
+        .strategy(GcStrategy::Parallel)
+        .semi_words(semi_words)
+        .stack_words(1 << 15)
+        .threads(mutators)
+        .tlab_words(tlab_words)
+        .gc_workers(2);
     let t0 = Instant::now();
-    let out = run_module_par_with(module, machine_config, false, config)
+    let out = run_module_par_opts(module, opts)
         .unwrap_or_else(|e| panic!("allocfast run (tlab_words={tlab_words}) failed: {e}"));
     let secs = t0.elapsed().as_secs_f64();
     (out, secs)
@@ -171,12 +175,19 @@ fn main() {
         }
         HeapStrategy::Semispace => unreachable!("generational_for is generational"),
     };
-    let mut machine = Machine::new(
-        deep_module,
-        MachineConfig { semi_words: deep_semi, stack_words: 1 << 15, max_threads: 4, heap },
-    );
-    machine.enable_shadow();
-    let mut ex = Executor::new(machine, ExecConfig { oracle: true, ..ExecConfig::default() });
+    let mut deep_opts = RuntimeOptions::new()
+        .semi_words(deep_semi)
+        .stack_words(1 << 15)
+        .max_threads(4)
+        .oracle(true);
+    if let HeapStrategy::Generational { nursery_words, promote_age } = heap {
+        deep_opts = deep_opts
+            .strategy(GcStrategy::Generational)
+            .nursery_words(nursery_words)
+            .promote_age(promote_age);
+    }
+    let machine = deep_opts.build_machine(deep_module);
+    let mut ex = Executor::new(machine, deep_opts);
     let deep = ex.run_main().expect("generational deep-recursion run");
     assert_eq!(deep.output, reference.output, "watermarks must not perturb program semantics");
     assert!(deep.minor_collections >= 5, "workload must drive repeated minors");
@@ -191,20 +202,26 @@ fn main() {
         100.0 * splice_ratio
     );
 
-    let json = format!(
-        "{{\"bench\":\"allocfast\",\"quick\":{quick},\"cores\":{cores},\
-         \"threads\":{threads},\"iters\":{iters},\
-         \"tlab_words\":{DEFAULT_TLAB_WORDS},\
-         \"base_allocs_per_s\":{base_tp:.0},\"tlab_allocs_per_s\":{tlab_tp:.0},\
-         \"speedup\":{speedup:.3},\
-         \"tlab_refills\":{},\"tlab_fast_allocs\":{},\"tlab_waste_words\":{},\
-         \"wm_depth\":{depth},\"wm_minors\":{},\
-         \"frames_traced\":{traced},\"frames_spliced\":{spliced},\
-         \"splice_ratio\":{splice_ratio:.3},\
-         \"asserted\":{asserted},\"skip_reason\":\"{skip_reason}\",\
-         \"outputs_match\":true}}",
-        tlab.tlab_refills, tlab.tlab_allocs, tlab.tlab_waste_words, deep.minor_collections,
-    );
+    let mut rep = StatsReport::new("allocfast");
+    rep.put("quick", quick);
+    rep.host(cores, asserted);
+    rep.put("threads", threads);
+    rep.put("iters", iters);
+    rep.put("tlab_words", DEFAULT_TLAB_WORDS);
+    rep.put("base_allocs_per_s", base_tp);
+    rep.put("tlab_allocs_per_s", tlab_tp);
+    rep.put("speedup", speedup);
+    rep.put("tlab_refills", tlab.tlab_refills);
+    rep.put("tlab_fast_allocs", tlab.tlab_allocs);
+    rep.put("tlab_waste_words", tlab.tlab_waste_words);
+    rep.put("wm_depth", depth);
+    rep.put("wm_minors", deep.minor_collections);
+    rep.put("frames_traced", traced);
+    rep.put("frames_spliced", spliced);
+    rep.put("splice_ratio", splice_ratio);
+    rep.put("skip_reason", skip_reason.as_str());
+    rep.put("outputs_match", true);
+    let json = rep.to_json();
     println!("{json}");
     m3gc_bench::write_bench_json("allocfast", &json);
 

@@ -23,8 +23,8 @@ use std::time::Instant;
 use m3gc_bench::{compile_benchmark, program};
 use m3gc_core::decode::DecodeCache;
 use m3gc_runtime::collector;
-use m3gc_runtime::scheduler::{ExecConfig, Executor};
-use m3gc_vm::machine::{Machine, MachineConfig, RunOutcome};
+use m3gc_runtime::{Executor, RuntimeOptions, StatsReport};
+use m3gc_vm::machine::{Machine, MachineLayout, RunOutcome};
 
 /// Allocation-per-iteration loop: the motivating workload, where every
 /// collection stops in the same handful of gc-points.
@@ -51,17 +51,13 @@ struct TortureResult {
 }
 
 fn torture(name: &'static str, module: m3gc_vm::VmModule, semi_words: usize) -> TortureResult {
-    let machine = Machine::new(
-        module,
-        MachineConfig {
-            semi_words,
-            stack_words: 1 << 15,
-            max_threads: 2,
-            ..MachineConfig::default()
-        },
-    );
-    let mut ex =
-        Executor::new(machine, ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() });
+    let opts = RuntimeOptions::new()
+        .semi_words(semi_words)
+        .stack_words(1 << 15)
+        .max_threads(2)
+        .torture(true);
+    let machine = opts.build_machine(module);
+    let mut ex = Executor::new(machine, opts);
     ex.machine.spawn(ex.machine.module.main, &[]);
     let out = ex.run().expect("benchmark completes");
     assert!(out.collections >= 2, "{name}: need repeated collections");
@@ -114,11 +110,11 @@ fn trace_timing() -> (f64, f64) {
     let module = compile_benchmark(program("destroy"), true);
     let mut machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 8 * 1024,
             stack_words: 1 << 15,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
     let main = machine.module.main;
@@ -165,13 +161,15 @@ fn main() {
             )
         })
         .collect();
-    let json = format!(
-        "{{\"bench\":\"decodecache\",\"programs\":[{}],\
-         \"trace_cold_us\":{trace_cold_us:.3},\"trace_warm_us\":{trace_warm_us:.3},\
-         \"trace_speedup\":{:.3}}}",
-        programs.join(","),
-        trace_cold_us / trace_warm_us.max(f64::MIN_POSITIVE),
-    );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut rep = StatsReport::new("decodecache");
+    // The 2x cold/warm decode-op assertion is host-independent — always armed.
+    rep.host(cores, true);
+    rep.put_raw("programs", format!("[{}]", programs.join(",")));
+    rep.put("trace_cold_us", trace_cold_us);
+    rep.put("trace_warm_us", trace_warm_us);
+    rep.put("trace_speedup", trace_cold_us / trace_warm_us.max(f64::MIN_POSITIVE));
+    let json = rep.to_json();
     println!("{json}");
     m3gc_bench::write_bench_json("decodecache", &json);
 }

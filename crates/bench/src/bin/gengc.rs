@@ -25,8 +25,9 @@
 use std::time::Instant;
 
 use m3gc_compiler::{compile, Options};
-use m3gc_runtime::scheduler::{ExecConfig, ExecOutcome, Executor};
-use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
+use m3gc_runtime::scheduler::{ExecOutcome, Executor};
+use m3gc_runtime::{GcStrategy, RuntimeOptions, StatsReport};
+use m3gc_vm::machine::HeapStrategy;
 
 const SEMI_WORDS: usize = 1 << 15;
 const NURSERY_WORDS: usize = 512;
@@ -65,11 +66,15 @@ END GenChurn.",
 }
 
 fn run_on(module: m3gc_vm::VmModule, heap: HeapStrategy) -> (ExecOutcome, f64) {
-    let machine = Machine::new(
-        module,
-        MachineConfig { semi_words: SEMI_WORDS, stack_words: 1 << 14, max_threads: 2, heap },
-    );
-    let mut ex = Executor::new(machine, ExecConfig::default());
+    let mut opts = RuntimeOptions::new().semi_words(SEMI_WORDS).stack_words(1 << 14).max_threads(2);
+    if let HeapStrategy::Generational { nursery_words, promote_age } = heap {
+        opts = opts
+            .strategy(GcStrategy::Generational)
+            .nursery_words(nursery_words)
+            .promote_age(promote_age);
+    }
+    let machine = opts.build_machine(module);
+    let mut ex = Executor::new(machine, opts);
     let t0 = Instant::now();
     let out = ex.run_main().unwrap_or_else(|e| panic!("benchmark run failed: {e}"));
     (out, t0.elapsed().as_secs_f64())
@@ -174,26 +179,32 @@ fn main() {
          ({wall_barrier:.3}s vs {wall_plain:.3}s)"
     );
 
-    let json = format!(
-        "{{\"bench\":\"gengc\",\"quick\":{quick},\"iters\":{iters},\
-         \"minor_mean_us\":{minor_mean:.3},\"minor_max_us\":{minor_max:.3},\
-         \"major_mean_us\":{major_mean:.3},\"major_max_us\":{major_max:.3},\
-         \"full_mean_us\":{full_mean:.3},\"full_max_us\":{full_max:.3},\
-         \"pause_ratio\":{ratio:.3},\
-         \"minors\":{},\"majors\":{},\"full_collections\":{},\
-         \"promoted_objects\":{},\"promotion_rate\":{promotion_rate:.4},\
-         \"barrier_executed\":{},\"barrier_recorded\":{},\
-         \"barrier_deduped\":{},\"barrier_filtered\":{},\
-         \"barrier_overhead_pct\":{overhead_pct:.2},\"outputs_match\":true}}",
-        gen_out.minor_collections,
-        gen_out.major_collections,
-        semi_out.collections,
-        gen_out.gc_total.promoted_objects,
-        b.executed,
-        b.recorded,
-        b.deduped,
-        b.filtered(),
-    );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut rep = StatsReport::new("gengc");
+    rep.put("quick", quick);
+    // The pause-ratio bar scales with --quick, not with host cores — the
+    // workload is single-threaded, so the assertion is always armed.
+    rep.host(cores, true);
+    rep.put("iters", iters);
+    rep.put("minor_mean_us", minor_mean);
+    rep.put("minor_max_us", minor_max);
+    rep.put("major_mean_us", major_mean);
+    rep.put("major_max_us", major_max);
+    rep.put("full_mean_us", full_mean);
+    rep.put("full_max_us", full_max);
+    rep.put("pause_ratio", ratio);
+    rep.put("minors", gen_out.minor_collections);
+    rep.put("majors", gen_out.major_collections);
+    rep.put("full_collections", semi_out.collections);
+    rep.put("promoted_objects", gen_out.gc_total.promoted_objects);
+    rep.put("promotion_rate", promotion_rate);
+    rep.put("barrier_executed", b.executed);
+    rep.put("barrier_recorded", b.recorded);
+    rep.put("barrier_deduped", b.deduped);
+    rep.put("barrier_filtered", b.filtered());
+    rep.put("barrier_overhead_pct", overhead_pct);
+    rep.put("outputs_match", true);
+    let json = rep.to_json();
     println!("{json}");
     m3gc_bench::write_bench_json("gengc", &json);
 

@@ -11,8 +11,8 @@
 
 use m3gc_compiler::{compile, CallPolicy, GcConfig, Options};
 use m3gc_core::stats::table_stats;
-use m3gc_runtime::scheduler::{ExecConfig, ExecError, Executor};
-use m3gc_vm::machine::{Machine, MachineConfig};
+use m3gc_runtime::scheduler::{ExecError, Executor};
+use m3gc_runtime::RuntimeOptions;
 
 /// Thread 1 spins in a non-allocating loop; thread 0 allocates until a
 /// collection is needed.
@@ -48,17 +48,10 @@ fn build(loop_gc_points: bool) -> m3gc_vm::VmModule {
 
 fn run_two_threads(loop_gc_points: bool) -> Result<(u64, u64), ExecError> {
     let module = build(loop_gc_points);
-    let machine = Machine::new(
-        module,
-        MachineConfig {
-            semi_words: 256,
-            stack_words: 4096,
-            max_threads: 3,
-            ..MachineConfig::default()
-        },
-    );
-    let mut ex =
-        Executor::new(machine, ExecConfig { max_advance: 200_000, ..ExecConfig::default() });
+    let opts =
+        RuntimeOptions::new().semi_words(256).stack_words(4096).max_threads(3).max_advance(200_000);
+    let machine = opts.build_machine(module);
+    let mut ex = Executor::new(machine, opts);
     ex.machine.spawn(ex.machine.module.main, &[]);
     let spin =
         ex.machine.module.procs.iter().position(|p| p.name == "Spin").expect("spin proc") as u16;

@@ -16,8 +16,9 @@
 
 use std::time::Duration;
 
-use m3gc_compiler::{compile, run_module, run_module_par, Options};
-use m3gc_runtime::parallel::{ParConfig, ParGcStats, ParOutcome};
+use m3gc_compiler::{compile, run_module, run_module_par_opts, Options};
+use m3gc_runtime::parallel::{ParGcStats, ParOutcome};
+use m3gc_runtime::{GcStrategy, RuntimeOptions, StatsReport};
 
 /// Live ternary tree of `depth` levels plus a garbage churn loop. All
 /// mutable state is procedure-local except the tree root, which must
@@ -88,12 +89,13 @@ fn run_with_workers(
     workers: usize,
     force_every: u64,
 ) -> ParOutcome {
-    let config = ParConfig {
-        gc_workers: workers,
-        force_every_allocs: Some(force_every),
-        ..ParConfig::default()
-    };
-    run_module_par(module, semi_words, 1, false, config)
+    let opts = RuntimeOptions::new()
+        .strategy(GcStrategy::Parallel)
+        .semi_words(semi_words)
+        .threads(1)
+        .gc_workers(workers)
+        .force_every_allocs(Some(force_every));
+    run_module_par_opts(module, opts)
         .unwrap_or_else(|e| panic!("parcopy run ({workers} workers) failed: {e}"))
 }
 
@@ -147,16 +149,20 @@ fn main() {
     println!("  {workers} workers: copy phase mean {mean_n:>10.2} us over {full_n} full collection(s), {steals_n} steal(s)");
     println!("  speedup {speedup:.2}x; handshake max {handshake_max_us:.2} us");
 
-    let json = format!(
-        "{{\"bench\":\"parcopy\",\"quick\":{quick},\"cores\":{cores},\
-         \"depth\":{depth},\"live_objects\":{live_objects},\
-         \"workers\":{workers},\
-         \"copy_mean_us_1\":{mean_1:.3},\"copy_mean_us_n\":{mean_n:.3},\
-         \"speedup\":{speedup:.3},\"steals\":{steals_n},\
-         \"handshake_max_us\":{handshake_max_us:.3},\
-         \"asserted\":{asserted},\"skip_reason\":\"{skip_reason}\",\
-         \"outputs_match\":true}}",
-    );
+    let mut rep = StatsReport::new("parcopy");
+    rep.put("quick", quick);
+    rep.host(cores, asserted);
+    rep.put("depth", depth);
+    rep.put("live_objects", live_objects);
+    rep.put("workers", workers);
+    rep.put("copy_mean_us_1", mean_1);
+    rep.put("copy_mean_us_n", mean_n);
+    rep.put("speedup", speedup);
+    rep.put("steals", steals_n);
+    rep.put("handshake_max_us", handshake_max_us);
+    rep.put("skip_reason", skip_reason.as_str());
+    rep.put("outputs_match", true);
+    let json = rep.to_json();
     println!("{json}");
     m3gc_bench::write_bench_json("parcopy", &json);
 

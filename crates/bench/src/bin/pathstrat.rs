@@ -13,7 +13,6 @@ use m3gc_codegen::{compile_program, CodegenOptions};
 use m3gc_ir::builder::FuncBuilder;
 use m3gc_ir::{BinOp, Instr, Program, RuntimeFn, TempKind};
 use m3gc_opt::split::split_paths;
-use m3gc_vm::machine::{Machine, MachineConfig};
 
 /// Builds the Figure 2 program: main allocates P and Q, then calls a
 /// function that selects t := P+1 or t := Q+1 under an "invariant"
@@ -113,16 +112,9 @@ fn measure(mut prog: Program) -> Measured {
     let stats = m3gc_core::stats::table_stats(&module.logical_maps);
     let table_bytes = module.gc_maps.bytes.len();
     let code_bytes = module.code_size();
-    let machine = Machine::new(
-        module,
-        MachineConfig {
-            semi_words: 512,
-            stack_words: 4096,
-            max_threads: 2,
-            ..MachineConfig::default()
-        },
-    );
-    let mut ex = m3gc_runtime::Executor::new(machine, m3gc_runtime::ExecConfig::default());
+    let opts = m3gc_runtime::RuntimeOptions::new().semi_words(512).stack_words(4096).max_threads(2);
+    let machine = opts.build_machine(module);
+    let mut ex = m3gc_runtime::Executor::new(machine, opts);
     let out = match ex.run_main() {
         Ok(o) => o,
         Err(e) => panic!("figure2 run failed: {e}"),

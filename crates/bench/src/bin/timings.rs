@@ -15,25 +15,20 @@
 
 use m3gc_bench::{expected_output, program};
 use m3gc_compiler::{compile, Options};
-use m3gc_runtime::scheduler::{ExecConfig, Executor, GcMode};
-use m3gc_vm::machine::{Machine, MachineConfig};
+use m3gc_runtime::scheduler::{Executor, GcMode};
+use m3gc_runtime::RuntimeOptions;
 use std::time::Duration;
 
 fn run(semi: usize, mode: GcMode, force: Option<u64>) -> m3gc_runtime::scheduler::ExecOutcome {
     let module = compile(program("destroy"), &Options::o2()).expect("compiles");
-    let machine = Machine::new(
-        module,
-        MachineConfig {
-            semi_words: semi,
-            stack_words: 1 << 15,
-            max_threads: 2,
-            ..MachineConfig::default()
-        },
-    );
-    let mut ex = Executor::new(
-        machine,
-        ExecConfig { gc_mode: mode, force_every_allocs: force, ..ExecConfig::default() },
-    );
+    let opts = RuntimeOptions::new()
+        .semi_words(semi)
+        .stack_words(1 << 15)
+        .max_threads(2)
+        .gc_mode(mode)
+        .force_every_allocs(force);
+    let machine = opts.build_machine(module);
+    let mut ex = Executor::new(machine, opts);
     let out = ex.run_main().expect("destroy runs");
     assert_eq!(out.output, expected_output("destroy"), "wrong output under {mode:?}");
     out

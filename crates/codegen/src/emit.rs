@@ -739,18 +739,18 @@ mod tests {
     use super::*;
     use m3gc_ir::builder::FuncBuilder;
     use m3gc_ir::{BinOp, Program, RuntimeFn, TempKind};
-    use m3gc_vm::machine::{Machine, MachineConfig, RunOutcome};
+    use m3gc_vm::machine::{Machine, MachineLayout, RunOutcome};
 
     fn run_no_gc(mut prog: Program) -> String {
         let opts = CodegenOptions::default();
         let module = compile(&mut prog, &opts);
         let mut vm = Machine::new(
             module,
-            MachineConfig {
+            MachineLayout {
                 semi_words: 1 << 16,
                 stack_words: 4096,
                 max_threads: 2,
-                ..MachineConfig::default()
+                ..MachineLayout::default()
             },
         );
         let main = vm.module.main;

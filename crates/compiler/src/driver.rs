@@ -8,13 +8,18 @@ use m3gc_core::encode::Scheme;
 use m3gc_core::stats::{size_report, table_stats};
 use m3gc_frontend::error::{Diagnostic, Phase};
 use m3gc_ir::verify::VerifyError;
-use m3gc_runtime::parallel::ParConfig;
-use m3gc_runtime::scheduler::{ExecConfig, ExecError};
+use m3gc_runtime::scheduler::ExecError;
+use m3gc_runtime::{GcStrategy, RuntimeOptions, ServeLoad, StatsReport};
 
-use m3gc_vm::machine::HeapStrategy;
-use m3gc_vm::{ParMachineConfig, DEFAULT_TLAB_WORDS};
+use m3gc_vm::DEFAULT_TLAB_WORDS;
 
-use crate::{compile, compile_to_ir, run_module_on, run_module_par_with, Options};
+use crate::{
+    compile, compile_to_ir, run_module_opts, run_module_par_opts, run_module_serve, Options,
+};
+
+/// Default per-request region size (words) when `m3c serve` is invoked
+/// without `--region-words`.
+pub const DEFAULT_REGION_WORDS: usize = 1 << 12;
 
 /// Errors surfaced to the CLI user, structured by pipeline stage.
 ///
@@ -99,7 +104,9 @@ impl std::error::Error for DriverError {
     }
 }
 
-/// Run configuration for [`run`].
+/// Run configuration for [`run`] — the pre-[`RuntimeOptions`] surface,
+/// kept one release as a lossless shim.
+#[deprecated(note = "build an m3gc_runtime::RuntimeOptions instead")]
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// Semispace size in words.
@@ -128,6 +135,7 @@ pub struct RunConfig {
     pub tlab_words: usize,
 }
 
+#[allow(deprecated)]
 impl Default for RunConfig {
     fn default() -> Self {
         RunConfig {
@@ -141,6 +149,29 @@ impl Default for RunConfig {
             gc_workers: 4,
             tlab_words: DEFAULT_TLAB_WORDS,
         }
+    }
+}
+
+#[allow(deprecated)]
+impl From<RunConfig> for RuntimeOptions {
+    fn from(c: RunConfig) -> RuntimeOptions {
+        let strategy = if c.parallel {
+            GcStrategy::Parallel
+        } else if c.generational {
+            GcStrategy::Generational
+        } else {
+            GcStrategy::Semispace
+        };
+        let mut o = RuntimeOptions::new()
+            .strategy(strategy)
+            .semi_words(c.semi_words)
+            .threads(c.threads)
+            .gc_workers(c.gc_workers)
+            .tlab_words(c.tlab_words)
+            .torture(c.torture)
+            .stats(c.stats);
+        o.nursery_words = c.nursery_words;
+        o
     }
 }
 
@@ -167,160 +198,115 @@ pub fn check(source: &str) -> Result<String, DriverError> {
 /// # Errors
 ///
 /// Returns compile diagnostics or execution errors.
-pub fn run(source: &str, options: &Options, config: RunConfig) -> Result<String, DriverError> {
+pub fn run(
+    source: &str,
+    options: &Options,
+    config: impl Into<RuntimeOptions>,
+) -> Result<String, DriverError> {
+    let opts = config.into();
     let module = compile(source, options)?;
     // Surface malformed gc tables as a Decode error up front instead of a
     // panic inside the executor.
     let cache = DecodeCache::build(&module.gc_maps)?;
-    if config.parallel {
-        return run_parallel(module, config);
+    if opts.strategy == GcStrategy::Parallel {
+        return run_parallel(module, opts);
     }
-    let exec =
-        ExecConfig { force_every_allocs: config.torture.then_some(1), ..ExecConfig::default() };
     let total_points = cache.index().gc_point_pcs().count();
-    let heap = if config.generational {
-        match HeapStrategy::generational_for(config.semi_words) {
-            HeapStrategy::Generational { nursery_words, promote_age } => {
-                HeapStrategy::Generational {
-                    nursery_words: config.nursery_words.unwrap_or(nursery_words),
-                    promote_age,
-                }
-            }
-            HeapStrategy::Semispace => unreachable!("generational_for is generational"),
-        }
-    } else {
-        HeapStrategy::Semispace
-    };
-    let out = run_module_on(module, config.semi_words, heap, exec)?;
+    let out = run_module_opts(module, opts)?;
     let mut s = out.output.clone();
-    if config.stats {
-        let _ = writeln!(
-            s,
-            "--- {} collection(s), {} object(s) moved, {} frame(s) traced, {} step(s)",
-            out.collections, out.gc_total.objects_copied, out.gc_total.frames_traced, out.steps
-        );
-        let _ = writeln!(
-            s,
-            "--- decode cache: {} hit(s), {} miss(es), {} point(s) decoded of {}",
+    if opts.stats {
+        let mut rep = StatsReport::new("run");
+        rep.add_collector_summary(out.collections, &out.gc_total, out.steps);
+        rep.add_decode_cache(
             out.gc_total.decode_hits,
             out.gc_total.decode_misses,
             out.gc_total.decode_ops,
-            total_points
+            Some(total_points),
         );
-        if config.generational {
-            let _ = writeln!(
-                s,
-                "--- generational: {} minor, {} major, {} object(s) promoted, {} remembered slot(s) live",
+        if opts.strategy == GcStrategy::Generational {
+            rep.add_generational(
                 out.minor_collections,
                 out.major_collections,
                 out.gc_total.promoted_objects,
-                out.remembered_len
+                out.remembered_len,
+                (
+                    out.barrier.executed,
+                    out.barrier.recorded,
+                    out.barrier.deduped,
+                    out.barrier.filtered(),
+                ),
             );
-            let _ = writeln!(
-                s,
-                "--- barriers: {} executed, {} recorded, {} deduped, {} filtered",
-                out.barrier.executed,
-                out.barrier.recorded,
-                out.barrier.deduped,
-                out.barrier.filtered()
-            );
-            let _ = writeln!(s, "--- watermark: {}", watermark_summary(&out.gc_total));
+            rep.add_watermark(out.gc_total.frames_spliced, out.gc_total.frames_traced);
         }
+        s.push_str(&rep.to_text());
     }
     Ok(s)
-}
-
-/// Renders the stack-watermark splice counters: `S frame(s) spliced of T
-/// traced (P% hit rate)`.
-fn watermark_summary(total: &m3gc_runtime::collector::GcStats) -> String {
-    let pct = if total.frames_traced == 0 {
-        0.0
-    } else {
-        100.0 * total.frames_spliced as f64 / total.frames_traced as f64
-    };
-    format!(
-        "{} frame(s) spliced of {} traced ({pct:.1}% hit rate)",
-        total.frames_spliced, total.frames_traced
-    )
 }
 
 /// The `--gc=par` path of [`run`]: `threads` OS-thread mutators, each
 /// running the module body, with stop-the-world parallel collection.
-fn run_parallel(module: m3gc_vm::VmModule, config: RunConfig) -> Result<String, DriverError> {
-    let par = ParConfig {
-        gc_workers: config.gc_workers.max(1),
-        force_every_allocs: config.torture.then_some(1),
-        ..ParConfig::default()
-    };
-    let machine_config = ParMachineConfig {
-        semi_words: config.semi_words,
-        stack_words: 1 << 15,
-        mutators: config.threads.max(1),
-        tlab_words: config.tlab_words,
-    };
-    let out = run_module_par_with(module, machine_config, false, par)?;
+fn run_parallel(module: m3gc_vm::VmModule, opts: RuntimeOptions) -> Result<String, DriverError> {
+    let out = run_module_par_opts(module, opts)?;
     let mut s = out.output.clone();
-    if config.stats {
-        let _ = writeln!(
-            s,
-            "--- parallel: {} mutator(s), {} gc worker(s), {} collection(s), {} object(s) moved, {} step(s)",
-            config.threads.max(1),
-            config.gc_workers.max(1),
+    if opts.stats {
+        let mut rep = StatsReport::new("run-par");
+        rep.add_parallel(
+            opts.threads.max(1),
+            opts.gc_workers.max(1),
             out.collections,
-            out.gc_each.iter().map(|g| g.objects_copied).sum::<u64>(),
-            out.steps
+            out.steps,
+            &out.gc_each,
         );
-        let n = out.gc_each.len().max(1) as u32;
-        let mean_us = |total: std::time::Duration| (total / n).as_micros();
-        let handshake_total: std::time::Duration =
-            out.gc_each.iter().map(|g| g.handshake_time).sum();
-        let handshake_max = out.gc_each.iter().map(|g| g.handshake_time).max().unwrap_or_default();
-        let copy_total: std::time::Duration = out.gc_each.iter().map(|g| g.copy_time).sum();
-        let _ = writeln!(
-            s,
-            "--- handshake: mean {} µs, max {} µs; copy phase mean {} µs",
-            mean_us(handshake_total),
-            handshake_max.as_micros(),
-            mean_us(copy_total)
+        rep.add_tlab(opts.tlab_words, out.tlab_refills, out.tlab_allocs, out.tlab_waste_words);
+        rep.add_watermark(
+            out.gc_each.iter().map(|g| g.frames_spliced).sum(),
+            out.gc_each.iter().map(|g| g.frames_traced).sum(),
         );
-        let workers = config.gc_workers.max(1);
-        let mut per_words = vec![0u64; workers];
-        let mut per_steals = vec![0u64; workers];
-        for g in &out.gc_each {
-            for (w, v) in g.per_worker_words.iter().enumerate() {
-                per_words[w] += v;
-            }
-            for (w, v) in g.steals.iter().enumerate() {
-                per_steals[w] += v;
-            }
-        }
-        let _ = writeln!(s, "--- workers: copied words {per_words:?}, steals {per_steals:?}");
-        let _ = writeln!(
-            s,
-            "--- parks: {} at loop poll(s), {} at allocation(s)",
-            out.gc_each.iter().map(|g| g.parked_at_polls).sum::<u64>(),
-            out.gc_each.iter().map(|g| g.parked_at_allocs).sum::<u64>()
-        );
-        let _ = writeln!(
-            s,
-            "--- decode cache: {} hit(s), {} miss(es), {} point(s) decoded",
-            out.gc_each.iter().map(|g| g.decode_hits).sum::<u64>(),
-            out.gc_each.iter().map(|g| g.decode_misses).sum::<u64>(),
-            out.gc_each.iter().map(|g| g.decode_ops).sum::<u64>()
-        );
-        let _ = writeln!(
-            s,
-            "--- tlab: {} word(s) per buffer, {} refill(s), {} fast alloc(s), {} waste word(s)",
-            config.tlab_words, out.tlab_refills, out.tlab_allocs, out.tlab_waste_words
-        );
-        let mut wm = m3gc_runtime::collector::GcStats::default();
-        for g in &out.gc_each {
-            wm.frames_traced += g.frames_traced;
-            wm.frames_spliced += g.frames_spliced;
-        }
-        let _ = writeln!(s, "--- watermark: {}", watermark_summary(&wm));
+        s.push_str(&rep.to_text());
     }
     Ok(s)
+}
+
+/// `m3c serve`: compile and run the allocation-service workload —
+/// `load.requests` green-thread requests multiplexed over `threads` OS
+/// threads, each allocating into a per-request region.
+///
+/// Serve defaults are applied here: a missing `--region-words` becomes
+/// [`DEFAULT_REGION_WORDS`] and a missing `--green` becomes four slots
+/// per OS thread. The report is always printed (the whole point of the
+/// subcommand); `--stats` adds nothing.
+///
+/// # Errors
+///
+/// Returns compile diagnostics or the first failing request's error.
+pub fn serve(
+    source: &str,
+    options: &Options,
+    config: impl Into<RuntimeOptions>,
+    mut load: ServeLoad,
+) -> Result<String, DriverError> {
+    let mut opts = config.into();
+    if opts.region_words == 0 {
+        opts.region_words = DEFAULT_REGION_WORDS;
+    }
+    if opts.green_slots == 0 {
+        opts.green_slots = opts.threads.max(1) * 4;
+    }
+    if load.requests == 0 {
+        load.requests = 100;
+    }
+    let module = compile(source, options)?;
+    DecodeCache::build(&module.gc_maps)?;
+    let view = m3gc_runtime::ServeConfigView {
+        threads: opts.threads.max(1),
+        green_slots: opts.green_slots,
+        region_words: opts.region_words,
+        quantum: opts.quantum.max(1),
+    };
+    let out = run_module_serve(module, opts, load)?;
+    let mut rep = StatsReport::new("serve");
+    rep.add_serve(view, &out.stats);
+    Ok(rep.to_text())
 }
 
 /// `m3c ir`: dump the (optimized) IR.
@@ -404,10 +390,37 @@ pub fn stats(source: &str, options: &Options) -> Result<String, DriverError> {
 /// # Errors
 ///
 /// Returns a usage error for unknown flags or malformed values.
-pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverError> {
+pub fn parse_options(args: &[String]) -> Result<(Options, RuntimeOptions), DriverError> {
+    let (options, config, _) = parse_all(args)?;
+    if config.threads > 1 && config.strategy != GcStrategy::Parallel && config.region_words == 0 {
+        return Err(DriverError::usage("--threads requires --gc par"));
+    }
+    Ok((options, config))
+}
+
+/// Parses flags for `m3c serve`: everything [`parse_options`] accepts
+/// plus the load shape (`--requests`, `--burst`, `--entry`). Multiple
+/// OS threads are always legal here — serve is the parallel runtime.
+///
+/// # Errors
+///
+/// Returns a usage error for unknown flags or malformed values.
+pub fn parse_serve_options(
+    args: &[String],
+) -> Result<(Options, RuntimeOptions, ServeLoad), DriverError> {
+    parse_all(args)
+}
+
+fn parse_all(args: &[String]) -> Result<(Options, RuntimeOptions, ServeLoad), DriverError> {
     let mut options = Options::o2();
-    let mut config = RunConfig::default();
+    let mut config = RuntimeOptions::new();
+    let mut load = ServeLoad::default();
     let mut it = args.iter();
+    // A required numeric flag value, parsed or a usage error.
+    fn value<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, DriverError> {
+        let v = v.ok_or_else(|| DriverError::usage(format!("{flag} needs a value")))?;
+        v.parse().map_err(|_| DriverError::usage(format!("bad {flag} value `{v}`")))
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--o0" => options = Options::o0().with_scheme(options.codegen.scheme),
@@ -416,13 +429,10 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
             "--split-paths" => {
                 options = options.with_path_strategy(m3gc_opt::PathStrategy::Splitting);
             }
-            "--torture" => config.torture = true,
-            "--stats" => config.stats = true,
-            "--heap" => {
-                let v = it.next().ok_or_else(|| DriverError::usage("--heap needs a value"))?;
-                config.semi_words =
-                    v.parse().map_err(|_| DriverError::usage(format!("bad --heap value `{v}`")))?;
-            }
+            "--torture" => config = config.torture(true),
+            "--stats" => config = config.stats(true),
+            "--oracle" => config = config.oracle(true),
+            "--heap" => config.semi_words = value("--heap", it.next())?,
             "--gc" | "--gc=semispace" | "--gc=gen" | "--gc=par" => {
                 let owned;
                 let v = if let Some(eq) = a.strip_prefix("--gc=") {
@@ -431,10 +441,10 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
                 } else {
                     it.next().ok_or_else(|| DriverError::usage("--gc needs a value"))?
                 };
-                (config.generational, config.parallel) = match v.as_str() {
-                    "gen" => (true, false),
-                    "semispace" => (false, false),
-                    "par" => (false, true),
+                config.strategy = match v.as_str() {
+                    "gen" => GcStrategy::Generational,
+                    "semispace" => GcStrategy::Semispace,
+                    "par" => GcStrategy::Parallel,
                     other => {
                         return Err(DriverError::usage(format!(
                             "unknown collector `{other}` (expected `semispace`, `gen` or `par`)"
@@ -443,34 +453,37 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
                 };
             }
             "--threads" => {
-                let v = it.next().ok_or_else(|| DriverError::usage("--threads needs a value"))?;
-                config.threads = v
-                    .parse()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| DriverError::usage(format!("bad --threads value `{v}`")))?;
+                config.threads = value::<usize>("--threads", it.next())?;
+                if config.threads < 1 {
+                    return Err(DriverError::usage("bad --threads value `0`"));
+                }
             }
             "--gc-workers" => {
-                let v =
-                    it.next().ok_or_else(|| DriverError::usage("--gc-workers needs a value"))?;
-                config.gc_workers =
-                    v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
-                        DriverError::usage(format!("bad --gc-workers value `{v}`"))
-                    })?;
+                config.gc_workers = value::<usize>("--gc-workers", it.next())?;
+                if config.gc_workers < 1 {
+                    return Err(DriverError::usage("bad --gc-workers value `0`"));
+                }
             }
-            "--tlab-words" => {
-                let v =
-                    it.next().ok_or_else(|| DriverError::usage("--tlab-words needs a value"))?;
-                config.tlab_words = v
-                    .parse()
-                    .map_err(|_| DriverError::usage(format!("bad --tlab-words value `{v}`")))?;
+            "--tlab-words" => config.tlab_words = value("--tlab-words", it.next())?,
+            "--nursery" => config.nursery_words = Some(value("--nursery", it.next())?),
+            "--region-words" => {
+                config.region_words = value::<usize>("--region-words", it.next())?;
+                if config.region_words < 1 {
+                    return Err(DriverError::usage("bad --region-words value `0`"));
+                }
             }
-            "--nursery" => {
-                let v = it.next().ok_or_else(|| DriverError::usage("--nursery needs a value"))?;
-                config.nursery_words = Some(
-                    v.parse()
-                        .map_err(|_| DriverError::usage(format!("bad --nursery value `{v}`")))?,
-                );
+            "--green" => {
+                config.green_slots = value::<usize>("--green", it.next())?;
+                if config.green_slots < 1 {
+                    return Err(DriverError::usage("bad --green value `0`"));
+                }
+            }
+            "--quantum" => config.quantum = value("--quantum", it.next())?,
+            "--requests" => load.requests = value("--requests", it.next())?,
+            "--burst" => load.burst = value("--burst", it.next())?,
+            "--entry" => {
+                let v = it.next().ok_or_else(|| DriverError::usage("--entry needs a value"))?;
+                load.entry = Some(v.clone());
             }
             "--scheme" => {
                 let v = it.next().ok_or_else(|| DriverError::usage("--scheme needs a value"))?;
@@ -488,10 +501,7 @@ pub fn parse_options(args: &[String]) -> Result<(Options, RunConfig), DriverErro
             other => return Err(DriverError::usage(format!("unknown option `{other}`"))),
         }
     }
-    if config.threads > 1 && !config.parallel {
-        return Err(DriverError::usage("--threads requires --gc par"));
-    }
-    Ok((options, config))
+    Ok((options, config, load))
 }
 
 #[cfg(test)]
@@ -624,7 +634,7 @@ mod tests {
     #[test]
     fn run_generational_matches_semispace_output() {
         let (o, mut c) = parse_options(&["--gc".into(), "gen".into()]).unwrap();
-        assert!(c.generational);
+        assert_eq!(c.strategy, GcStrategy::Generational);
         c.semi_words = 4096;
         c.nursery_words = Some(128);
         let gen_out = run(ALLOCATING, &o, c).unwrap();
@@ -640,7 +650,7 @@ mod tests {
         let (o, mut c) =
             parse_options(&["--gc=gen".into(), "--nursery".into(), "64".into(), "--stats".into()])
                 .unwrap();
-        assert!(c.generational);
+        assert_eq!(c.strategy, GcStrategy::Generational);
         assert_eq!(c.nursery_words, Some(64));
         c.semi_words = 4096;
         let out = run(ALLOCATING, &o, c).unwrap();
@@ -674,7 +684,7 @@ mod tests {
     fn run_parallel_matches_sequential_output() {
         let (o, mut c) =
             parse_options(&["--gc=par".into(), "--gc-workers".into(), "2".into()]).unwrap();
-        assert!(c.parallel);
+        assert_eq!(c.strategy, GcStrategy::Parallel);
         assert_eq!(c.gc_workers, 2);
         c.semi_words = 4096;
         let par_out = run(ALLOCATING, &o, c).unwrap();
@@ -734,14 +744,14 @@ mod tests {
         assert!(parse_options(&["--scheme".into(), "nope".into()]).is_err());
         assert!(parse_options(&["--heap".into()]).is_err());
         let (_, c) = parse_options(&["--gc".into(), "semispace".into()]).unwrap();
-        assert!(!c.generational);
+        assert_eq!(c.strategy, GcStrategy::Semispace);
         let (_, c) = parse_options(&["--gc=gen".into()]).unwrap();
-        assert!(c.generational);
+        assert_eq!(c.strategy, GcStrategy::Generational);
         assert!(parse_options(&["--gc".into(), "mark-sweep".into()]).is_err());
         assert!(parse_options(&["--gc".into()]).is_err());
         assert!(parse_options(&["--nursery".into(), "x".into()]).is_err());
         let (_, c) = parse_options(&["--gc".into(), "par".into()]).unwrap();
-        assert!(c.parallel && !c.generational);
+        assert_eq!(c.strategy, GcStrategy::Parallel);
         assert_eq!((c.threads, c.gc_workers), (1, 4));
         let (_, c) = parse_options(&["--gc=par".into(), "--threads".into(), "4".into()]).unwrap();
         assert_eq!(c.threads, 4);
@@ -799,5 +809,72 @@ mod tests {
         c2.semi_words = 4096;
         let semi = run(ALLOCATING, &o2, c2).unwrap();
         assert!(!semi.contains("watermark:"), "{semi}");
+    }
+
+    #[test]
+    fn serve_options_parse_load_and_regions() {
+        let (_, c, l) = parse_serve_options(&[
+            "--requests".into(),
+            "12".into(),
+            "--green".into(),
+            "4".into(),
+            "--region-words".into(),
+            "256".into(),
+            "--burst".into(),
+            "3".into(),
+            "--threads".into(),
+            "2".into(),
+            "--oracle".into(),
+        ])
+        .unwrap();
+        assert_eq!(l.requests, 12);
+        assert_eq!(l.burst, 3);
+        assert_eq!(c.green_slots, 4);
+        assert_eq!(c.region_words, 256);
+        assert!(c.oracle && c.shadow);
+        assert_eq!(c.threads, 2);
+        assert!(parse_serve_options(&["--region-words".into(), "0".into()]).is_err());
+        assert!(parse_serve_options(&["--requests".into(), "many".into()]).is_err());
+        // The run subcommand still rejects multi-thread without `--gc par`.
+        assert!(parse_options(&["--threads".into(), "2".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_reports_region_ledger() {
+        let (o, c, l) = parse_serve_options(&[
+            "--requests".into(),
+            "8".into(),
+            "--green".into(),
+            "2".into(),
+            "--region-words".into(),
+            "512".into(),
+        ])
+        .unwrap();
+        let out = serve(LOCAL_ALLOCATING, &o, c, l).unwrap();
+        assert!(out.contains("serve: 8 request(s)"), "{out}");
+        assert!(out.contains("regions:"), "{out}");
+        assert!(out.contains("latency:"), "{out}");
+        assert!(out.contains("pauses:"), "{out}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_run_config_converts_losslessly() {
+        let c = RunConfig {
+            generational: true,
+            nursery_words: Some(64),
+            torture: true,
+            semi_words: 8192,
+            ..RunConfig::default()
+        };
+        let o: RuntimeOptions = c.into();
+        assert_eq!(o.strategy, GcStrategy::Generational);
+        assert_eq!(o.nursery_words, Some(64));
+        assert_eq!(o.force_every_allocs, Some(1));
+        assert_eq!(o.semi_words, 8192);
+        let p = RunConfig { parallel: true, threads: 3, ..RunConfig::default() };
+        let o: RuntimeOptions = p.into();
+        assert_eq!(o.strategy, GcStrategy::Parallel);
+        assert_eq!(o.threads, 3);
     }
 }

@@ -31,10 +31,12 @@ use m3gc_core::encode::Scheme;
 use m3gc_frontend::lower::LowerOptions;
 use m3gc_frontend::Diagnostic;
 use m3gc_opt::{OptLevel, OptOptions, PathStrategy};
-use m3gc_runtime::parallel::{ParConfig, ParExecutor, ParOutcome};
-use m3gc_runtime::scheduler::{ExecConfig, ExecError, ExecOutcome, Executor};
-use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
-use m3gc_vm::{ParMachine, ParMachineConfig, VmModule};
+use m3gc_runtime::parallel::{ParExecutor, ParOutcome};
+use m3gc_runtime::scheduler::{ExecError, ExecOutcome, Executor};
+use m3gc_runtime::serve::{ServeExecutor, ServeLoad, ServeOutcome};
+use m3gc_runtime::{GcStrategy, RuntimeOptions};
+use m3gc_vm::machine::HeapStrategy;
+use m3gc_vm::VmModule;
 
 pub use m3gc_codegen::{CallPolicy, GcConfig};
 pub use m3gc_runtime::parallel::{ParGcStats, ParOutcome as ParExecOutcome};
@@ -152,7 +154,22 @@ pub fn compile(source: &str, options: &Options) -> Result<VmModule, Diagnostic> 
 ///
 /// Propagates [`ExecError`] (traps, heap exhaustion, fuel).
 pub fn run_module(module: VmModule, semi_words: usize) -> Result<ExecOutcome, ExecError> {
-    run_module_with(module, semi_words, ExecConfig::default())
+    run_module_opts(module, RuntimeOptions::new().semi_words(semi_words))
+}
+
+/// Runs a compiled module under the single-threaded scheduler with the
+/// full [`RuntimeOptions`] surface — the canonical entry point.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`].
+pub fn run_module_opts(
+    module: VmModule,
+    options: RuntimeOptions,
+) -> Result<ExecOutcome, ExecError> {
+    let machine = options.build_machine(module);
+    let mut ex = Executor::new(machine, options);
+    ex.run_main()
 }
 
 /// Runs a compiled module with an explicit executor configuration.
@@ -163,9 +180,9 @@ pub fn run_module(module: VmModule, semi_words: usize) -> Result<ExecOutcome, Ex
 pub fn run_module_with(
     module: VmModule,
     semi_words: usize,
-    config: ExecConfig,
+    config: impl Into<RuntimeOptions>,
 ) -> Result<ExecOutcome, ExecError> {
-    run_module_on(module, semi_words, HeapStrategy::default(), config)
+    run_module_opts(module, config.into().semi_words(semi_words))
 }
 
 /// Runs a compiled module with an explicit heap strategy (semispace or
@@ -178,14 +195,55 @@ pub fn run_module_on(
     module: VmModule,
     semi_words: usize,
     heap: HeapStrategy,
-    config: ExecConfig,
+    config: impl Into<RuntimeOptions>,
 ) -> Result<ExecOutcome, ExecError> {
-    let machine = Machine::new(
-        module,
-        MachineConfig { semi_words, stack_words: 1 << 15, max_threads: 8, heap },
-    );
-    let mut ex = Executor::new(machine, config);
+    let mut options = config.into().semi_words(semi_words);
+    match heap {
+        HeapStrategy::Semispace => options = options.strategy(GcStrategy::Semispace),
+        HeapStrategy::Generational { nursery_words, promote_age } => {
+            options = options
+                .strategy(GcStrategy::Generational)
+                .nursery_words(nursery_words)
+                .promote_age(promote_age);
+        }
+    }
+    run_module_opts(module, options)
+}
+
+/// Runs a compiled module under the parallel runtime with the full
+/// [`RuntimeOptions`] surface — the canonical parallel entry point.
+/// `options.threads` copies of the entry procedure run on real OS
+/// threads; stop-the-world parallel collection uses
+/// `options.gc_workers` workers.
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from the first failing thread.
+pub fn run_module_par_opts(
+    module: VmModule,
+    options: RuntimeOptions,
+) -> Result<ParOutcome, ExecError> {
+    let vm = options.build_par_machine(module);
+    let mut ex = ParExecutor::new(vm, options);
     ex.run_main()
+}
+
+/// Runs a compiled module under the allocation-service workload:
+/// `options.green_slots` green-thread requests multiplexed over
+/// `options.threads` OS threads, each request allocating into a
+/// per-request region (see [`RuntimeOptions::serve`]).
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] from the first failing scheduler thread.
+pub fn run_module_serve(
+    module: VmModule,
+    options: RuntimeOptions,
+    load: ServeLoad,
+) -> Result<ServeOutcome, ExecError> {
+    let vm = options.build_par_machine(module);
+    let mut ex = ServeExecutor::new(vm, options, load);
+    ex.run()
 }
 
 /// Runs a compiled module under the parallel runtime: `mutators` copies
@@ -202,15 +260,12 @@ pub fn run_module_par(
     semi_words: usize,
     mutators: usize,
     shadow: bool,
-    config: ParConfig,
+    config: impl Into<RuntimeOptions>,
 ) -> Result<ParOutcome, ExecError> {
-    let machine_config = ParMachineConfig {
-        semi_words,
-        stack_words: 1 << 15,
-        mutators,
-        ..ParMachineConfig::default()
-    };
-    run_module_par_with(module, machine_config, shadow, config)
+    let mut options =
+        config.into().strategy(GcStrategy::Parallel).semi_words(semi_words).threads(mutators);
+    options.shadow = options.shadow || shadow;
+    run_module_par_opts(module, options)
 }
 
 /// Like [`run_module_par`], but with full control over the parallel
@@ -219,18 +274,23 @@ pub fn run_module_par(
 /// # Errors
 ///
 /// Propagates [`ExecError`] from the first failing thread.
+#[deprecated(note = "use run_module_par_opts with RuntimeOptions")]
+#[allow(deprecated)]
 pub fn run_module_par_with(
     module: VmModule,
-    machine_config: ParMachineConfig,
+    machine_config: m3gc_vm::ParMachineConfig,
     shadow: bool,
-    config: ParConfig,
+    config: impl Into<RuntimeOptions>,
 ) -> Result<ParOutcome, ExecError> {
-    let mut vm = ParMachine::new(module, machine_config);
-    if shadow {
-        vm.enable_shadow();
-    }
-    let mut ex = ParExecutor::new(vm, config);
-    ex.run_main()
+    let mut options = config
+        .into()
+        .strategy(GcStrategy::Parallel)
+        .semi_words(machine_config.semi_words)
+        .stack_words(machine_config.stack_words)
+        .threads(machine_config.mutators)
+        .tlab_words(machine_config.tlab_words);
+    options.shadow = options.shadow || shadow;
+    run_module_par_opts(module, options)
 }
 
 /// Compiles and runs in one step (convenience for tests and examples).

@@ -7,7 +7,7 @@
 
 use crate::{compile, compile_and_run, reference_output, run_module_with, Options};
 use m3gc_opt::PathStrategy;
-use m3gc_runtime::scheduler::ExecConfig;
+use m3gc_runtime::RuntimeOptions;
 
 fn check_all_configs(src: &str, semi_words: usize) {
     let expected = reference_output(src).unwrap_or_else(|e| panic!("reference: {e}"));
@@ -21,12 +21,8 @@ fn check_all_configs(src: &str, semi_words: usize) {
     }
     // GC torture on the optimized build.
     let module = compile(src, &Options::o2()).unwrap();
-    let out = run_module_with(
-        module,
-        semi_words.max(1 << 14),
-        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
-    )
-    .unwrap_or_else(|e| panic!("torture: {e}"));
+    let out = run_module_with(module, semi_words.max(1 << 14), RuntimeOptions::new().torture(true))
+        .unwrap_or_else(|e| panic!("torture: {e}"));
     assert_eq!(out.output, expected, "torture output mismatch");
 }
 

@@ -13,12 +13,12 @@
 //! *inconclusive*, not a failure: the reference heap never fills while
 //! the VM's does, so those runs are simply skipped.
 
-use m3gc_compiler::{compile, run_module_par_with, Options};
+use m3gc_compiler::{compile, run_module_par_opts, run_module_serve, Options};
 use m3gc_core::encode::Scheme;
-use m3gc_runtime::parallel::ParConfig;
-use m3gc_runtime::scheduler::{ExecConfig, ExecError, Executor};
-use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig, VmTrap};
-use m3gc_vm::{ParMachineConfig, DEFAULT_TLAB_WORDS};
+use m3gc_runtime::scheduler::ExecError;
+use m3gc_runtime::{GcStrategy, RuntimeOptions, ServeLoad};
+use m3gc_vm::machine::{HeapStrategy, VmTrap};
+use m3gc_vm::DEFAULT_TLAB_WORDS;
 
 /// Trap kinds shared by the reference interpreter and the VM, for
 /// cross-implementation comparison (the Display strings differ).
@@ -86,13 +86,20 @@ pub fn run_vm(source: &str, options: &Options, heap: HeapStrategy) -> RunStatus 
         Ok(m) => m,
         Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
     };
-    let mut machine = Machine::new(
-        module,
-        MachineConfig { semi_words: FUZZ_SEMI_WORDS, stack_words: 1 << 14, max_threads: 4, heap },
-    );
-    machine.enable_shadow();
-    let config = ExecConfig { force_every_allocs: Some(1), oracle: true, ..ExecConfig::default() };
-    let mut ex = match Executor::try_new(machine, config) {
+    let mut ropts = RuntimeOptions::new()
+        .semi_words(FUZZ_SEMI_WORDS)
+        .stack_words(1 << 14)
+        .max_threads(4)
+        .torture(true)
+        .oracle(true);
+    if let HeapStrategy::Generational { nursery_words, promote_age } = heap {
+        ropts = ropts
+            .strategy(GcStrategy::Generational)
+            .nursery_words(nursery_words)
+            .promote_age(promote_age);
+    }
+    let machine = ropts.build_machine(module);
+    let mut ex = match m3gc_runtime::Executor::try_new(machine, ropts) {
         Ok(ex) => ex,
         Err(e) => return RunStatus::Hard(format!("gc-map decode failed: {e}")),
     };
@@ -135,20 +142,46 @@ pub fn run_par_vm(source: &str, options: &Options, workers: usize, tlab_words: u
         Ok(m) => m,
         Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
     };
-    let config = ParConfig {
-        gc_workers: workers,
-        force_every_allocs: Some(1),
-        oracle: true,
-        ..ParConfig::default()
-    };
-    let machine_config = ParMachineConfig {
-        semi_words: FUZZ_SEMI_WORDS,
-        stack_words: 1 << 15,
-        mutators: 1,
-        tlab_words,
-    };
-    match run_module_par_with(module, machine_config, true, config) {
+    let ropts = RuntimeOptions::new()
+        .strategy(GcStrategy::Parallel)
+        .semi_words(FUZZ_SEMI_WORDS)
+        .stack_words(1 << 15)
+        .threads(1)
+        .gc_workers(workers)
+        .tlab_words(tlab_words)
+        .torture(true)
+        .oracle(true);
+    match run_module_par_opts(module, ropts) {
         Ok(out) => RunStatus::Ok(out.output),
+        Err(e) => status_of_error(e),
+    }
+}
+
+/// Runs one configuration under the *allocation-service* executor: 2 OS
+/// scheduler threads multiplexing 8 green-thread requests, each request
+/// allocating into a tiny per-request region, under torture with the
+/// precision oracle armed. Interleaved requests share module globals, so
+/// outputs are nondeterministic — callers compare nothing and treat only
+/// hard failures (stale pointers, oracle violations, stuck threads) as
+/// bugs. This is the differential check that region reclamation and the
+/// generalized evacuation set never drop an escaping object.
+#[must_use]
+pub fn run_serve_vm(source: &str, options: &Options) -> RunStatus {
+    let module = match compile(source, options) {
+        Ok(m) => m,
+        Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
+    };
+    let ropts = RuntimeOptions::new()
+        .semi_words(FUZZ_SEMI_WORDS)
+        .stack_words(1 << 15)
+        .serve(64, 8)
+        .threads(2)
+        .gc_workers(2)
+        .torture(true)
+        .oracle(true);
+    let load = ServeLoad { requests: 16, burst: 4, entry: None };
+    match run_module_serve(module, ropts, load) {
+        Ok(out) => RunStatus::Ok(out.outputs.concat()),
         Err(e) => status_of_error(e),
     }
 }
@@ -223,6 +256,11 @@ pub fn check_program(source: &str) -> Result<bool, String> {
                 }
             }
         }
+    }
+    // Serve mode: interleaved requests race on module globals, so output
+    // and trap kind are nondeterministic — only hard failures count.
+    if let RunStatus::Hard(msg) = run_serve_vm(source, &Options::o2()) {
+        return Err(format!("[o2/serve-t2g8] {msg}"));
     }
     Ok(true)
 }

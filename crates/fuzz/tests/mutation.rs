@@ -13,8 +13,7 @@ use m3gc_core::derive::DerivationRecord;
 use m3gc_core::encode::encode_module;
 use m3gc_core::layout::RegSet;
 use m3gc_core::tables::ModuleTables;
-use m3gc_runtime::scheduler::{ExecConfig, Executor};
-use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
+use m3gc_runtime::{Executor, RuntimeOptions};
 
 /// §4 "Indirect References": `Bump(o.inner.v)` pushes an interior
 /// pointer into the `Inner` record, derived from a register base, and
@@ -52,18 +51,14 @@ fn run_mutated(mutate: impl Fn(&mut ModuleTables) -> usize) -> Result<String, St
     let hits = mutate(&mut module.logical_maps);
     assert!(hits > 0, "mutation found no site to corrupt — not a real test");
     module.gc_maps = encode_module(&module.logical_maps, opts.codegen.scheme);
-    let mut machine = Machine::new(
-        module,
-        MachineConfig {
-            semi_words: 1 << 12,
-            stack_words: 1 << 14,
-            max_threads: 4,
-            heap: HeapStrategy::Semispace,
-        },
-    );
-    machine.enable_shadow();
-    let config = ExecConfig { force_every_allocs: Some(1), oracle: true, ..ExecConfig::default() };
-    let mut ex = Executor::try_new(machine, config).map_err(|e| e.to_string())?;
+    let ropts = RuntimeOptions::new()
+        .semi_words(1 << 12)
+        .stack_words(1 << 14)
+        .max_threads(4)
+        .torture(true)
+        .oracle(true);
+    let machine = ropts.build_machine(module);
+    let mut ex = Executor::try_new(machine, ropts).map_err(|e| e.to_string())?;
     ex.run_main().map(|out| out.output).map_err(|e| e.to_string())
 }
 

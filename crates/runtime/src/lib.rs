@@ -20,15 +20,26 @@
 //!   work-stealing Cheney copy (CAS-claimed forwarding pointers).
 
 pub mod collector;
+mod evac;
 pub mod gengc;
+pub mod options;
 pub mod oracle;
 pub mod parallel;
+pub mod report;
 pub mod scheduler;
+pub mod serve;
 pub mod trace;
 
 pub use collector::{collect, GcStats};
-pub use parallel::{ParConfig, ParExecutor, ParGcStats, ParOutcome};
-pub use scheduler::{ExecConfig, ExecOutcome, Executor, GcMode};
+pub use options::{GcStrategy, RuntimeOptions};
+#[allow(deprecated)]
+pub use parallel::ParConfig;
+pub use parallel::{ParExecutor, ParGcStats, ParOutcome};
+pub use report::StatsReport;
+#[allow(deprecated)]
+pub use scheduler::ExecConfig;
+pub use scheduler::{ExecOutcome, Executor, GcMode};
+pub use serve::{ServeConfigView, ServeExecutor, ServeLoad, ServeOutcome, ServeStats};
 
 #[cfg(test)]
 mod tests;

@@ -60,7 +60,7 @@ fn root_tag(m: &Machine, r: RootRef) -> Tag {
 }
 
 /// Checks that `v` is the address of a live, plausible object.
-fn check_object(src: &impl RootSource, ranges: &[(i64, i64); 2], v: i64) -> Result<(), String> {
+fn check_object(src: &impl RootSource, ranges: &[(i64, i64)], v: i64) -> Result<(), String> {
     if !ranges.iter().any(|&(s, e)| (s..e).contains(&v)) {
         return Err(format!("value {v} is outside the live heap"));
     }
@@ -81,7 +81,7 @@ fn check_object(src: &impl RootSource, ranges: &[(i64, i64); 2], v: i64) -> Resu
 pub(crate) fn check_entries(
     src: &impl RootSource,
     tag_of: impl Fn(RootRef) -> Tag,
-    ranges: &[(i64, i64); 2],
+    ranges: &[(i64, i64)],
     stack: &StackRoots,
     globals: &[RootRef],
 ) -> Result<(), String> {

@@ -47,19 +47,19 @@
 //! against the shadow ground truth exactly as in the single-threaded
 //! scheduler.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use m3gc_core::decode::{DecodeCache, DecodeCounters, DecoderIndex};
-use m3gc_core::heap::{header_type_id, HeapType};
 use m3gc_vm::isa::NUM_REGS;
-use m3gc_vm::machine::{VmTrap, GLOBAL_BASE};
+use m3gc_vm::machine::VmTrap;
 use m3gc_vm::module::VmModule;
 use m3gc_vm::shadow::Tag;
 use m3gc_vm::{Mutator, ParMachine, ParStep};
 
+use crate::evac::{forward_root_par, next_work, scan_object, scan_region, GcCtx, WorkerLocal};
+use crate::options::RuntimeOptions;
 use crate::oracle::check_entries;
 use crate::scheduler::ExecError;
 use crate::trace::{
@@ -71,14 +71,8 @@ use crate::trace::{
 /// handshake mutex/condvar and the forwarding CAS protocol.
 const R: Ordering = Ordering::Relaxed;
 
-/// Header claim sentinel: a worker that wins the forwarding CAS holds
-/// the object under this value until the forwarding pointer is
-/// published. Distinguishable from both real headers (`>= 0`) and
-/// forwarding pointers (`-(new+1)`, which is negative but far from
-/// `i64::MIN` for any real address).
-const BUSY: i64 = i64::MIN;
-
-/// Configuration for a [`ParExecutor`].
+/// Configuration for a [`ParExecutor`] (pre-`RuntimeOptions` API).
+#[deprecated(note = "build a crate::RuntimeOptions instead")]
 #[derive(Debug, Clone, Copy)]
 pub struct ParConfig {
     /// Gc worker threads per collection (the leader counts as one).
@@ -95,6 +89,7 @@ pub struct ParConfig {
     pub oracle: bool,
 }
 
+#[allow(deprecated)]
 impl Default for ParConfig {
     fn default() -> Self {
         ParConfig {
@@ -126,7 +121,7 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    fn of(mu: &Mutator) -> Snapshot {
+    pub(crate) fn of(mu: &Mutator) -> Snapshot {
         Snapshot {
             regs: mu.regs,
             reg_tags: mu.reg_tags,
@@ -137,7 +132,7 @@ impl Snapshot {
         }
     }
 
-    fn restore(&self, mu: &mut Mutator) {
+    pub(crate) fn restore(&self, mu: &mut Mutator) {
         mu.regs = self.regs;
         mu.reg_tags = self.reg_tags;
         mu.fp = self.fp;
@@ -185,6 +180,20 @@ pub struct ParGcStats {
     pub parked_at_polls: u64,
     /// Mutators that parked at an allocation gc-point for this cycle.
     pub parked_at_allocs: u64,
+    /// Deposited snapshots traced (in serve mode: requests parked at
+    /// safepoints, queued greens included).
+    pub stacks_traced: u64,
+    /// Escaped regions evacuated (promoted into the shared heap) and
+    /// reset by this collection.
+    pub regions_evacuated: u64,
+    /// Live non-escaped regions linearly scanned in place.
+    pub regions_scanned: u64,
+    /// Objects promoted out of escaped regions.
+    pub region_objects_promoted: u64,
+    /// Words promoted out of escaped regions.
+    pub region_words_promoted: u64,
+    /// Words reclaimed by resetting escaped regions after the trace.
+    pub region_words_reset: u64,
 }
 
 /// Result of a completed parallel run.
@@ -274,186 +283,107 @@ fn re_derive_snap(vm: &ParMachine, snap: &mut Snapshot, roots: &StackRoots) {
 }
 
 /// Handshake coordination state, guarded by [`Coord::state`].
-struct CoordState {
-    /// Mutators still running (decremented on finish/death).
-    active: usize,
-    /// Mutators currently parked for the pending request.
-    parked: usize,
+pub(crate) struct CoordState {
+    /// OS threads still running (decremented on finish/death). In serve
+    /// mode this counts scheduler threads, not green requests.
+    pub(crate) active: usize,
+    /// Threads currently parked for the pending request.
+    pub(crate) parked: usize,
     /// Bumped by the leader to release parked threads.
-    generation: u64,
+    pub(crate) generation: u64,
     /// Mirrors [`Coord::halt`] for checks already under the lock.
-    halt: bool,
+    pub(crate) halt: bool,
 }
 
-struct Coord {
-    state: Mutex<CoordState>,
-    cv: Condvar,
+pub(crate) struct Coord {
+    pub(crate) state: Mutex<CoordState>,
+    pub(crate) cv: Condvar,
     /// Cheap fast-path halt check for mutator loops.
-    halt: AtomicBool,
+    pub(crate) halt: AtomicBool,
     /// First error wins; everyone else shuts down quietly.
-    error: Mutex<Option<ExecError>>,
+    pub(crate) error: Mutex<Option<ExecError>>,
 }
 
 /// Everything the mutator threads and gc workers share for one run.
-struct RunCtx<'vm> {
-    vm: &'vm ParMachine,
-    config: ParConfig,
-    coord: Coord,
-    /// One snapshot slot per mutator, filled while parked.
-    slots: Vec<Mutex<Option<Snapshot>>>,
+pub(crate) struct RunCtx<'vm> {
+    pub(crate) vm: &'vm ParMachine,
+    pub(crate) options: RuntimeOptions,
+    pub(crate) coord: Coord,
+    /// One snapshot slot per mutator, filled while parked. In serve mode
+    /// there is one slot per *green* request — a descheduled green's
+    /// snapshot stays deposited here, so collections trace queued
+    /// requests exactly like parked OS threads.
+    pub(crate) slots: Vec<Mutex<Option<Snapshot>>>,
     /// One watermark cache per mutator, persistent across collections.
     /// Keyed by tid (not worker) because the round-robin deal can hand a
     /// thread to a different worker each cycle.
-    watermarks: Vec<Mutex<StackCache>>,
+    pub(crate) watermarks: Vec<Mutex<StackCache>>,
     /// Persistent per-worker decode caches (shared `DecoderIndex`).
-    caches: Vec<Mutex<DecodeCache>>,
+    pub(crate) caches: Vec<Mutex<DecodeCache>>,
     /// Allocation count at the previous (unforced) collection — the
     /// no-progress out-of-memory detector, shared by whichever thread
     /// happens to lead.
-    last_gc_allocations: Mutex<Option<u64>>,
-    gc_log: Mutex<Vec<ParGcStats>>,
+    pub(crate) last_gc_allocations: Mutex<Option<u64>>,
+    pub(crate) gc_log: Mutex<Vec<ParGcStats>>,
     /// Per-cycle park-site counters, read+reset by the leader.
-    poll_parks: AtomicU64,
-    alloc_parks: AtomicU64,
+    pub(crate) poll_parks: AtomicU64,
+    pub(crate) alloc_parks: AtomicU64,
 }
 
-/// Shared state of one collection's copy phase.
-struct GcCtx<'vm> {
-    vm: &'vm ParMachine,
-    /// To-space copy frontier (fetch-add bump).
-    free: AtomicI64,
-    to_end: i64,
-    from_start: i64,
-    from_end: i64,
-    /// Per-worker deques of to-space objects still to scan.
-    queues: Vec<Mutex<VecDeque<i64>>>,
-    /// Objects pushed but not yet fully scanned (termination detector).
-    pending: AtomicUsize,
-    steals: Vec<AtomicU64>,
-    barrier: Barrier,
+impl<'vm> RunCtx<'vm> {
+    /// Builds the shared run state: `slots` snapshot slots (one per
+    /// mutator — greens in serve mode), `active` OS threads in the
+    /// handshake, one decode cache per gc worker.
+    pub(crate) fn new(
+        vm: &'vm ParMachine,
+        options: RuntimeOptions,
+        slots: usize,
+        active: usize,
+    ) -> RunCtx<'vm> {
+        let workers = options.gc_workers.max(1);
+        let index = Arc::new(DecoderIndex::build(&vm.module.gc_maps).expect("valid gc maps"));
+        let caches = (0..workers)
+            .map(|_| {
+                let mut c = DecodeCache::with_shared_index(Arc::clone(&index));
+                c.bind_module(vm.module_token());
+                Mutex::new(c)
+            })
+            .collect();
+        RunCtx {
+            vm,
+            options,
+            coord: Coord {
+                state: Mutex::new(CoordState { active, parked: 0, generation: 0, halt: false }),
+                cv: Condvar::new(),
+                halt: AtomicBool::new(false),
+                error: Mutex::new(None),
+            },
+            slots: (0..slots).map(|_| Mutex::new(None)).collect(),
+            watermarks: (0..slots).map(|_| Mutex::new(StackCache::default())).collect(),
+            caches,
+            last_gc_allocations: Mutex::new(None),
+            gc_log: Mutex::new(Vec::new()),
+            poll_parks: AtomicU64::new(0),
+            alloc_parks: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A worker's thread partition: (tid, snapshot, gathered roots).
 type Part = Vec<(usize, Snapshot, StackRoots)>;
 
-#[derive(Default)]
-struct WorkerLocal {
-    objects: u64,
-    words: u64,
-}
-
 struct WorkerReport {
     threads: Vec<(usize, Snapshot)>,
     objects: u64,
     words: u64,
+    region_objects: u64,
+    region_words: u64,
     roots: u64,
     derived: u64,
     frames: u64,
     spliced: u64,
     decode: DecodeCounters,
     copy_time: Duration,
-}
-
-/// Forwards one object pointer, copying the object on first claim.
-/// `addr` must point at an object header in from-space. Loser workers
-/// spin (yielding) on the BUSY sentinel until the winner publishes the
-/// forwarding pointer with release ordering.
-fn forward_par(gc: &GcCtx<'_>, w: usize, local: &mut WorkerLocal, addr: i64) -> i64 {
-    let vm = gc.vm;
-    loop {
-        let header = vm.mem[addr as usize].load(Ordering::Acquire);
-        if header == BUSY {
-            std::thread::yield_now();
-            continue;
-        }
-        if header < 0 {
-            // Already forwarded: header holds -(new+1).
-            return -(header + 1);
-        }
-        if vm.mem[addr as usize]
-            .compare_exchange(header, BUSY, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
-            continue;
-        }
-        // Claimed: the words are exclusively ours until we publish.
-        let ty = vm.module.types.get(header_type_id(header));
-        let len = match ty {
-            HeapType::Array { .. } => vm.word(addr + 1),
-            HeapType::Record { .. } => 0,
-        };
-        let words = i64::from(ty.object_words(len as u32));
-        let new = gc.free.fetch_add(words, R);
-        assert!(new + words <= gc.to_end, "to-space overflow during parallel copy");
-        vm.set_word(new, header);
-        for off in 1..words {
-            vm.set_word(new + off, vm.word(addr + off));
-        }
-        if let Some(sh) = &vm.shadow {
-            sh.copy_words(addr, new, words);
-        }
-        local.objects += 1;
-        local.words += words as u64;
-        if ty.pointer_offset_iter(len as u32).next().is_some() {
-            gc.pending.fetch_add(1, Ordering::SeqCst);
-            gc.queues[w].lock().unwrap().push_back(new);
-        }
-        vm.mem[addr as usize].store(-(new + 1), Ordering::Release);
-        return new;
-    }
-}
-
-/// Forwards a root slot if it still holds a from-space pointer.
-/// Duplicate roots (a pointer listed both in a register and its save
-/// slot) make forwarding idempotent, exactly as in the single-threaded
-/// collector.
-fn forward_root_par(gc: &GcCtx<'_>, w: usize, local: &mut WorkerLocal, v: i64) -> Option<i64> {
-    if v == 0 {
-        return None; // NIL
-    }
-    if !(gc.from_start..gc.from_end).contains(&v) {
-        debug_assert!(
-            (GLOBAL_BASE as i64..gc.from_end).contains(&v),
-            "tidy root {v} outside every space"
-        );
-        return None;
-    }
-    Some(forward_par(gc, w, local, v))
-}
-
-/// Scans one to-space object, forwarding its from-space pointer slots.
-fn scan_object(gc: &GcCtx<'_>, w: usize, local: &mut WorkerLocal, addr: i64) {
-    let vm = gc.vm;
-    let header = vm.word(addr);
-    debug_assert!(header >= 0, "forwarded header in to-space at {addr}");
-    let ty = vm.module.types.get(header_type_id(header));
-    let len = match ty {
-        HeapType::Array { .. } => vm.word(addr + 1),
-        HeapType::Record { .. } => 0,
-    };
-    for off in ty.pointer_offset_iter(len as u32) {
-        let slot = addr + i64::from(off);
-        let v = vm.word(slot);
-        if v != 0 && (gc.from_start..gc.from_end).contains(&v) {
-            vm.set_word(slot, forward_par(gc, w, local, v));
-        }
-    }
-}
-
-/// Pops local work LIFO, steals FIFO when dry.
-fn next_work(gc: &GcCtx<'_>, w: usize) -> Option<i64> {
-    if let Some(a) = gc.queues[w].lock().unwrap().pop_back() {
-        return Some(a);
-    }
-    let n = gc.queues.len();
-    for i in 1..n {
-        let q = (w + i) % n;
-        if let Some(a) = gc.queues[q].lock().unwrap().pop_front() {
-            gc.steals[w].fetch_add(1, R);
-            return Some(a);
-        }
-    }
-    None
 }
 
 /// One gc worker's whole collection: scan+un-derive its threads,
@@ -514,6 +444,16 @@ fn gc_worker(
             }
         }
     }
+    // Live non-escaped regions are extra root sets: their objects stay
+    // put, but pointer slots into the evacuation set must be forwarded.
+    // Workers pull regions from the shared queue until it is dry.
+    loop {
+        let slot = gc.region_scan.lock().unwrap().pop();
+        match slot {
+            Some(s) => roots_n += scan_region(gc, w, &mut local, s),
+            None => break,
+        }
+    }
     gc.barrier.wait();
 
     // Phase 3: work-stealing trace to transitive closure.
@@ -543,6 +483,8 @@ fn gc_worker(
         threads: my.into_iter().map(|(tid, snap, _)| (tid, snap)).collect(),
         objects: local.objects,
         words: local.words,
+        region_objects: local.region_objects,
+        region_words: local.region_words,
         roots: roots_n,
         derived: derived_n,
         frames: frames_n,
@@ -555,7 +497,11 @@ fn gc_worker(
 /// The leader's collection proper: deal parked threads to workers, run
 /// the copy in a scoped thread pool (leader = worker 0), write the
 /// updated snapshots back and flip the spaces.
-fn collect_parallel(ctx: &RunCtx<'_>, handshake_time: Duration, t0: Instant) -> ParGcStats {
+pub(crate) fn collect_parallel(
+    ctx: &RunCtx<'_>,
+    handshake_time: Duration,
+    t0: Instant,
+) -> ParGcStats {
     let vm = ctx.vm;
     let workers = ctx.caches.len();
     let mut parts: Vec<Part> = (0..workers).map(|_| Vec::new()).collect();
@@ -567,25 +513,14 @@ fn collect_parallel(ctx: &RunCtx<'_>, handshake_time: Duration, t0: Instant) -> 
         }
     }
 
-    let (from_start, from_end) = vm.from_space();
-    let (to_start, to_end) = vm.to_space();
-    let gc = GcCtx {
-        vm,
-        free: AtomicI64::new(to_start),
-        to_end,
-        from_start,
-        from_end,
-        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-        pending: AtomicUsize::new(0),
-        steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-        barrier: Barrier::new(workers),
-    };
+    let gc = GcCtx::new(vm, workers);
+    let regions_scanned = gc.region_scan.lock().unwrap().len() as u64;
 
     let mut reports: Vec<WorkerReport> = Vec::with_capacity(workers);
     {
         let mut parts = parts.into_iter();
         let part0 = parts.next().expect("worker 0 partition");
-        let verify = ctx.config.oracle;
+        let verify = ctx.options.oracle;
         std::thread::scope(|s| {
             let gc = &gc;
             let handles: Vec<_> = parts
@@ -611,6 +546,16 @@ fn collect_parallel(ctx: &RunCtx<'_>, handshake_time: Duration, t0: Instant) -> 
     }
     vm.finish_collection(gc.free.load(R));
 
+    // Every escaped region has been fully evacuated: its reachable
+    // objects live in the shared heap and every surviving reference was
+    // rewritten by the trace. Reset them — zombies become free slots,
+    // escaped-but-live regions continue as empty regions for their
+    // still-running request.
+    let mut region_words_reset = 0u64;
+    for &(slot, _, _) in &gc.evac_regions {
+        region_words_reset += vm.reset_region(slot) as u64;
+    }
+
     let mut stats = ParGcStats {
         handshake_time,
         per_worker_objects: reports.iter().map(|r| r.objects).collect(),
@@ -618,11 +563,17 @@ fn collect_parallel(ctx: &RunCtx<'_>, handshake_time: Duration, t0: Instant) -> 
         steals: gc.steals.iter().map(|s| s.load(R)).collect(),
         parked_at_polls: ctx.poll_parks.swap(0, R),
         parked_at_allocs: ctx.alloc_parks.swap(0, R),
+        stacks_traced: n_threads as u64,
+        regions_evacuated: gc.evac_regions.len() as u64,
+        regions_scanned,
+        region_words_reset,
         ..ParGcStats::default()
     };
     for r in &reports {
         stats.objects_copied += r.objects;
         stats.words_copied += r.words;
+        stats.region_objects_promoted += r.region_objects;
+        stats.region_words_promoted += r.region_words;
         stats.roots += r.roots;
         stats.derived_updated += r.derived;
         stats.frames_traced += r.frames;
@@ -638,11 +589,23 @@ fn collect_parallel(ctx: &RunCtx<'_>, handshake_time: Duration, t0: Instant) -> 
 
 /// The leader's oracle pass: validate every parked thread's decoded
 /// tables against the shadow ground truth, before anything moves.
-fn par_oracle_check(ctx: &RunCtx<'_>) -> Result<(), String> {
+pub(crate) fn par_oracle_check(ctx: &RunCtx<'_>) -> Result<(), String> {
     let vm = ctx.vm;
     let sh = vm.shadow.as_ref().expect("oracle requires shadow mode");
     let (from_start, _) = vm.from_space();
-    let ranges = [(from_start, vm.free.load(R)), (0, 0)];
+    // Legal pointer targets: the allocated from-space prefix plus the
+    // used prefix of every live or escaped (zombie) region. Anything
+    // else — free region slots included — is dead space, and a root
+    // pointing there is a precision violation.
+    let mut ranges: Vec<(i64, i64)> = vec![(from_start, vm.free.load(R))];
+    if vm.region_words() > 0 {
+        for slot in 0..vm.mutators() {
+            if vm.is_region_live(slot) || vm.is_region_escaped(slot) {
+                let (base, _) = vm.region_bounds(slot);
+                ranges.push((base, vm.region_top(slot)));
+            }
+        }
+    }
     let globals = gather_global_roots_in(&vm.module, vm.globals_start() as i64);
     let mut cache = ctx.caches[0].lock().unwrap();
     let mut first = true;
@@ -673,7 +636,7 @@ fn par_oracle_check(ctx: &RunCtx<'_>) -> Result<(), String> {
 /// `true` if execution should resume, `false` on halt. A request that
 /// was already serviced (or abandoned) by the time the lock is taken
 /// resumes immediately without parking.
-fn park(ctx: &RunCtx<'_>, mu: &mut Mutator) -> bool {
+pub(crate) fn park(ctx: &RunCtx<'_>, mu: &mut Mutator) -> bool {
     let mut st = ctx.coord.state.lock().unwrap();
     if st.halt {
         return false;
@@ -707,7 +670,19 @@ fn park(ctx: &RunCtx<'_>, mu: &mut Mutator) -> bool {
 /// The winning requester's path: park self, wait for the handshake to
 /// complete, run the oracle and the parallel collection, release
 /// everyone. Returns `Ok(true)` to resume, `Ok(false)` on halt.
-fn lead_collection(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError> {
+pub(crate) fn lead_collection(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError> {
+    lead_collection_with(ctx, Some(mu))
+}
+
+/// Leads a collection from a thread with no mutator state — a serve
+/// scheduler thread forcing a cycle to reclaim zombie regions. The
+/// no-progress out-of-memory check is skipped (the heap is not
+/// necessarily full; the collection was forced for slot reclaim).
+pub(crate) fn lead_collection_idle(ctx: &RunCtx<'_>) -> Result<bool, ExecError> {
+    lead_collection_with(ctx, None)
+}
+
+fn lead_collection_with(ctx: &RunCtx<'_>, mut mu: Option<&mut Mutator>) -> Result<bool, ExecError> {
     let t0 = Instant::now();
     let mut st = ctx.coord.state.lock().unwrap();
     if st.halt {
@@ -715,14 +690,16 @@ fn lead_collection(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError
         ctx.vm.gc_request.store(false, Ordering::Release);
         return Ok(false);
     }
-    if ctx.vm.is_poll_pc(mu.pc) {
-        ctx.poll_parks.fetch_add(1, R);
-    } else {
-        ctx.alloc_parks.fetch_add(1, R);
+    if let Some(mu) = mu.as_deref_mut() {
+        if ctx.vm.is_poll_pc(mu.pc) {
+            ctx.poll_parks.fetch_add(1, R);
+        } else {
+            ctx.alloc_parks.fetch_add(1, R);
+        }
+        // As in `park`: exact frontier and flushed counters before leading.
+        ctx.vm.retire_tlab(mu);
+        *ctx.slots[mu.tid].lock().unwrap() = Some(Snapshot::of(mu));
     }
-    // As in `park`: exact frontier and flushed counters before leading.
-    ctx.vm.retire_tlab(mu);
-    *ctx.slots[mu.tid].lock().unwrap() = Some(Snapshot::of(mu));
     st.parked += 1;
     ctx.coord.cv.notify_all();
     while st.parked < st.active && !st.halt {
@@ -738,9 +715,9 @@ fn lead_collection(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError
     if !halted {
         let vm = ctx.vm;
         let allocs_now = vm.allocations.load(R);
-        let forced = allocs_now >= vm.force_gc_at.load(R);
+        let forced = mu.is_none() || allocs_now >= vm.force_gc_at.load(R);
         if forced {
-            if let Some(every) = ctx.config.force_every_allocs {
+            if let Some(every) = ctx.options.force_every_allocs {
                 vm.force_gc_at.store(allocs_now + every.max(1), R);
             }
         } else {
@@ -753,7 +730,7 @@ fn lead_collection(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError
                 *last = Some(allocs_now);
             }
         }
-        if result.is_ok() && ctx.config.oracle && vm.shadow.is_some() {
+        if result.is_ok() && ctx.options.oracle && vm.shadow.is_some() {
             if let Err(msg) = par_oracle_check(ctx) {
                 result = Err(ExecError::Oracle(msg));
             }
@@ -778,15 +755,17 @@ fn lead_collection(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError
     ctx.coord.cv.notify_all();
     drop(st);
 
-    if let Some(snap) = ctx.slots[mu.tid].lock().unwrap().take() {
-        snap.restore(mu);
+    if let Some(mu) = mu {
+        if let Some(snap) = ctx.slots[mu.tid].lock().unwrap().take() {
+            snap.restore(mu);
+        }
     }
     result.map(|()| !halted)
 }
 
 /// A failed allocation: win the request CAS and lead, or join the
 /// handshake another thread is already running.
-fn request_gc(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError> {
+pub(crate) fn request_gc(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError> {
     if ctx.vm.gc_request.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok()
     {
         lead_collection(ctx, mu)
@@ -795,11 +774,32 @@ fn request_gc(ctx: &RunCtx<'_>, mu: &mut Mutator) -> Result<bool, ExecError> {
     }
 }
 
+/// Parks a scheduler thread that has no mutator state to deposit (a
+/// serve-mode OS thread between green requests). Joins the handshake —
+/// the leader must not wait on it — but contributes no snapshot.
+/// Returns `true` to resume, `false` on halt.
+pub(crate) fn park_idle(ctx: &RunCtx<'_>) -> bool {
+    let mut st = ctx.coord.state.lock().unwrap();
+    if st.halt {
+        return false;
+    }
+    if !ctx.vm.gc_request.load(R) {
+        return true;
+    }
+    st.parked += 1;
+    ctx.coord.cv.notify_all();
+    let gen = st.generation;
+    while st.generation == gen {
+        st = ctx.coord.cv.wait(st).unwrap();
+    }
+    !st.halt
+}
+
 /// How often a mutator checks the halt flag (in instructions).
-const HALT_CHECK_MASK: u64 = 0xff;
+pub(crate) const HALT_CHECK_MASK: u64 = 0xff;
 
 fn mutator_loop(ctx: &RunCtx<'_>, mut mu: Mutator) -> (Mutator, Result<(), ExecError>) {
-    let mut fuel = ctx.config.fuel;
+    let mut fuel = ctx.options.fuel;
     // Instructions executed since first observing the current request
     // without reaching a gc-point (§5.3: bounded by construction).
     let mut advance: u64 = 0;
@@ -815,7 +815,7 @@ fn mutator_loop(ctx: &RunCtx<'_>, mut mu: Mutator) -> (Mutator, Result<(), ExecE
                 }
                 if ctx.vm.gc_request.load(R) {
                     advance += 1;
-                    if advance > ctx.config.max_advance {
+                    if advance > ctx.options.max_advance {
                         let thread = mu.tid;
                         return (mu, Err(ExecError::StuckThread { thread }));
                     }
@@ -875,14 +875,14 @@ pub struct ParExecutor {
     /// The shared machine.
     pub vm: ParMachine,
     /// Configuration.
-    pub config: ParConfig,
+    pub options: RuntimeOptions,
 }
 
 impl ParExecutor {
     /// Wraps a machine.
     #[must_use]
-    pub fn new(vm: ParMachine, config: ParConfig) -> ParExecutor {
-        ParExecutor { vm, config }
+    pub fn new(vm: ParMachine, options: impl Into<RuntimeOptions>) -> ParExecutor {
+        ParExecutor { vm, options: options.into() }
     }
 
     /// Runs the module's entry procedure on every mutator stack region
@@ -898,37 +898,12 @@ impl ParExecutor {
     /// Panics on malformed gc maps or poisoned internal locks (either
     /// is a bug, not a program error).
     pub fn run_main(&mut self) -> Result<ParOutcome, ExecError> {
-        if let Some(n) = self.config.force_every_allocs {
+        if let Some(n) = self.options.force_every_allocs {
             self.vm.force_gc_at.store(n.max(1), R);
         }
         let vm = &self.vm;
         let n = vm.mutators();
-        let workers = self.config.gc_workers.max(1);
-        let index = Arc::new(DecoderIndex::build(&vm.module.gc_maps).expect("valid gc maps"));
-        let caches = (0..workers)
-            .map(|_| {
-                let mut c = DecodeCache::with_shared_index(Arc::clone(&index));
-                c.bind_module(vm.module_token());
-                Mutex::new(c)
-            })
-            .collect();
-        let ctx = RunCtx {
-            vm,
-            config: self.config,
-            coord: Coord {
-                state: Mutex::new(CoordState { active: n, parked: 0, generation: 0, halt: false }),
-                cv: Condvar::new(),
-                halt: AtomicBool::new(false),
-                error: Mutex::new(None),
-            },
-            slots: (0..n).map(|_| Mutex::new(None)).collect(),
-            watermarks: (0..n).map(|_| Mutex::new(StackCache::default())).collect(),
-            caches,
-            last_gc_allocations: Mutex::new(None),
-            gc_log: Mutex::new(Vec::new()),
-            poll_parks: AtomicU64::new(0),
-            alloc_parks: AtomicU64::new(0),
-        };
+        let ctx = RunCtx::new(vm, self.options, n, n);
 
         let main = vm.module.main;
         let mut done: Vec<Mutator> = Vec::with_capacity(n);

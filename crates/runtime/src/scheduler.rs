@@ -11,6 +11,7 @@ use m3gc_vm::machine::{Machine, RunOutcome, ThreadStatus, VmTrap};
 
 use crate::collector::{self, GcStats};
 use crate::gengc;
+use crate::options::RuntimeOptions;
 use crate::trace::StackWatermarks;
 
 /// What happens when a collection is due.
@@ -27,7 +28,8 @@ pub enum GcMode {
     Null,
 }
 
-/// Executor configuration.
+/// Executor configuration (pre-`RuntimeOptions` API).
+#[deprecated(note = "build a crate::RuntimeOptions instead")]
 #[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
     /// Instructions per scheduling quantum.
@@ -47,6 +49,7 @@ pub struct ExecConfig {
     pub oracle: bool,
 }
 
+#[allow(deprecated)]
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
@@ -121,7 +124,7 @@ pub struct Executor {
     /// The machine.
     pub machine: Machine,
     /// Configuration.
-    pub config: ExecConfig,
+    pub options: RuntimeOptions,
     /// Per-collection statistics.
     pub gc_each: Vec<GcStats>,
     /// Memoizing decode cache over the module's gc maps, built once at
@@ -145,8 +148,8 @@ impl Executor {
     /// compiler, so this is a bug). Use [`Executor::try_new`] to handle
     /// the error instead.
     #[must_use]
-    pub fn new(machine: Machine, config: ExecConfig) -> Executor {
-        Self::try_new(machine, config).expect("valid gc maps")
+    pub fn new(machine: Machine, options: impl Into<RuntimeOptions>) -> Executor {
+        Self::try_new(machine, options).expect("valid gc maps")
     }
 
     /// Wraps a machine, surfacing gc-map decode failures.
@@ -155,13 +158,17 @@ impl Executor {
     ///
     /// Returns [`DecodeError`] if the module's encoded gc tables are
     /// malformed.
-    pub fn try_new(mut machine: Machine, config: ExecConfig) -> Result<Executor, DecodeError> {
-        let next_forced = config.force_every_allocs.map(|n| n.max(1));
+    pub fn try_new(
+        mut machine: Machine,
+        options: impl Into<RuntimeOptions>,
+    ) -> Result<Executor, DecodeError> {
+        let options = options.into();
+        let next_forced = options.force_every_allocs.map(|n| n.max(1));
         machine.set_force_gc_after(next_forced);
         let mut cache = DecodeCache::build(&machine.module.gc_maps)?;
         cache.bind_module(machine.module_token());
-        let watermarks = StackWatermarks::new(config.oracle);
-        Ok(Executor { machine, config, gc_each: Vec::new(), cache, watermarks, next_forced })
+        let watermarks = StackWatermarks::new(options.oracle);
+        Ok(Executor { machine, options, gc_each: Vec::new(), cache, watermarks, next_forced })
     }
 
     /// The decode cache (for inspecting hit/miss counters and memo size).
@@ -190,7 +197,7 @@ impl Executor {
             if self.machine.threads[tid].status != ThreadStatus::Runnable {
                 continue;
             }
-            match self.machine.run_thread(tid, self.config.max_advance) {
+            match self.machine.run_thread(tid, self.options.max_advance) {
                 RunOutcome::AtGcPoint | RunOutcome::Finished | RunOutcome::NeedGc => {}
                 RunOutcome::OutOfFuel => return Err(ExecError::StuckThread { thread: tid }),
                 RunOutcome::Trap(t) => return Err(ExecError::Trap(t)),
@@ -200,10 +207,10 @@ impl Executor {
     }
 
     fn do_collection(&mut self) -> Result<(), ExecError> {
-        if self.config.oracle && self.machine.shadow.is_some() {
+        if self.options.oracle && self.machine.shadow.is_some() {
             crate::oracle::check(&self.machine, &mut self.cache).map_err(ExecError::Oracle)?;
         }
-        let stats = match self.config.gc_mode {
+        let stats = match self.options.gc_mode {
             GcMode::Full if self.machine.is_generational() => {
                 gengc::collect_with(&mut self.machine, &mut self.cache, Some(&mut self.watermarks))
                     .map_err(ExecError::Trap)?
@@ -254,7 +261,7 @@ impl Executor {
     ///
     /// See [`Executor::run_main`].
     pub fn run(&mut self) -> Result<ExecOutcome, ExecError> {
-        let mut fuel = self.config.fuel;
+        let mut fuel = self.options.fuel;
         let mut last_gc_allocations: Option<u64> = None;
         'sched: loop {
             let mut any = false;
@@ -264,7 +271,7 @@ impl Executor {
                 }
                 any = true;
                 let _ = any;
-                let quantum = self.config.quantum.min(fuel);
+                let quantum = self.options.quantum.min(fuel);
                 if quantum == 0 {
                     return Err(ExecError::OutOfFuel);
                 }
@@ -279,7 +286,7 @@ impl Executor {
                             self.next_forced.is_some_and(|n| self.machine.allocations >= n);
                         if forced {
                             let every =
-                                self.config.force_every_allocs.expect("forced implies configured");
+                                self.options.force_every_allocs.expect("forced implies configured");
                             self.next_forced = Some(self.machine.allocations + every.max(1));
                             self.machine.set_force_gc_after(self.next_forced);
                         } else if last_gc_allocations == Some(self.machine.allocations) {

@@ -4,9 +4,10 @@
 //! IR interpreter (which never collects).
 
 use m3gc_codegen::{compile_program, CodegenOptions};
-use m3gc_vm::machine::{HeapStrategy, Machine, MachineConfig};
+use m3gc_vm::machine::{HeapStrategy, Machine, MachineLayout};
 
-use crate::scheduler::{ExecConfig, ExecOutcome, Executor, GcMode};
+use crate::options::RuntimeOptions;
+use crate::scheduler::{ExecOutcome, Executor, GcMode};
 
 fn compile(src: &str) -> m3gc_vm::VmModule {
     let mut prog = m3gc_frontend::compile_to_ir(src).unwrap_or_else(|e| panic!("{e}"));
@@ -24,14 +25,14 @@ fn run_with_heap(src: &str, semi_words: usize) -> (String, u64) {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words,
             stack_words: 1 << 14,
             max_threads: 4,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
-    let mut ex = Executor::new(machine, ExecConfig::default());
+    let mut ex = Executor::new(machine, RuntimeOptions::new());
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}\noutput: {}", ex.machine.output));
     (out.output, out.collections)
 }
@@ -248,15 +249,14 @@ fn gc_torture_collects_at_every_gc_point() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 4096,
             stack_words: 4096,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
-    let mut ex =
-        Executor::new(machine, ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() });
+    let mut ex = Executor::new(machine, RuntimeOptions::new().torture(true));
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(out.output, expected);
     assert!(out.collections >= 20, "got {}", out.collections);
@@ -276,20 +276,16 @@ fn trace_only_mode_preserves_semantics() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 1 << 16,
             stack_words: 4096,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
     let mut ex = Executor::new(
         machine,
-        ExecConfig {
-            gc_mode: GcMode::TraceOnly,
-            force_every_allocs: Some(5),
-            ..ExecConfig::default()
-        },
+        RuntimeOptions::new().gc_mode(GcMode::TraceOnly).force_every_allocs(Some(5)),
     );
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(out.output, expected);
@@ -316,14 +312,14 @@ fn out_of_memory_is_detected() {
     let module = compile(&src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 512,
             stack_words: 4096,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
-    let mut ex = Executor::new(machine, ExecConfig::default());
+    let mut ex = Executor::new(machine, RuntimeOptions::new());
     let r = ex.run_main();
     assert_eq!(
         r.err().map(|e| matches!(
@@ -357,14 +353,14 @@ fn two_threads_advance_to_gc_points() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 128,
             stack_words: 4096,
             max_threads: 4,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
-    let mut ex = Executor::new(machine, ExecConfig::default());
+    let mut ex = Executor::new(machine, RuntimeOptions::new());
     // Thread 0: main. Threads 1, 2: Work(50) directly.
     ex.machine.spawn(ex.machine.module.main, &[]);
     let work =
@@ -398,15 +394,14 @@ fn decode_cache_amortizes_repeated_collections() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 1 << 14,
             stack_words: 4096,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
-    let mut ex =
-        Executor::new(machine, ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() });
+    let mut ex = Executor::new(machine, RuntimeOptions::new().torture(true));
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
     assert!(out.collections >= 20, "got {}", out.collections);
     let cold = &out.gc_each[0];
@@ -448,14 +443,14 @@ fn collection_stats_are_plausible() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 256,
             stack_words: 4096,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
-    let mut ex = Executor::new(machine, ExecConfig::default());
+    let mut ex = Executor::new(machine, RuntimeOptions::new());
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
     assert!(out.collections > 0);
     // Dropping the list every 10 elements keeps survivors tiny.
@@ -471,14 +466,14 @@ fn run_gen(src: &str, semi_words: usize, nursery_words: usize) -> ExecOutcome {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words,
             stack_words: 1 << 14,
             max_threads: 4,
             heap: HeapStrategy::Generational { nursery_words, promote_age: 2 },
         },
     );
-    let mut ex = Executor::new(machine, ExecConfig::default());
+    let mut ex = Executor::new(machine, RuntimeOptions::new());
     ex.run_main().unwrap_or_else(|e| panic!("{e}\noutput: {}", ex.machine.output))
 }
 
@@ -651,14 +646,14 @@ fn generational_out_of_memory_is_detected() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 512,
             stack_words: 4096,
             max_threads: 2,
             heap: HeapStrategy::Generational { nursery_words: 64, promote_age: 2 },
         },
     );
-    let mut ex = Executor::new(machine, ExecConfig::default());
+    let mut ex = Executor::new(machine, RuntimeOptions::new());
     let r = ex.run_main();
     assert_eq!(
         r.err().map(|e| matches!(
@@ -754,15 +749,14 @@ fn generational_gc_torture_matches_reference() {
     let module = compile(src);
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 4096,
             stack_words: 4096,
             max_threads: 2,
             heap: HeapStrategy::Generational { nursery_words: 128, promote_age: 2 },
         },
     );
-    let mut ex =
-        Executor::new(machine, ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() });
+    let mut ex = Executor::new(machine, RuntimeOptions::new().torture(true));
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(out.output, expected);
     assert!(out.collections >= 20, "got {}", out.collections);

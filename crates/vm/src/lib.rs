@@ -30,6 +30,8 @@ pub mod par;
 pub mod shadow;
 
 pub use isa::{AluOp, Instr, UnAluOp};
-pub use machine::{Machine, StepOutcome, Thread, ThreadStatus, VmTrap};
+pub use machine::{Machine, MachineLayout, StepOutcome, Thread, ThreadStatus, VmTrap};
 pub use module::{ProcMeta, VmModule};
-pub use par::{Mutator, ParMachine, ParMachineConfig, ParStep, DEFAULT_TLAB_WORDS};
+#[allow(deprecated)]
+pub use par::ParMachineConfig;
+pub use par::{Mutator, ParLayout, ParMachine, ParStep, DEFAULT_TLAB_WORDS};

@@ -72,9 +72,12 @@ impl HeapStrategy {
     }
 }
 
-/// Machine sizing.
+/// Machine sizing and memory layout.
+///
+/// This is the low-level sizing struct; most callers build a
+/// `m3gc_runtime::RuntimeOptions` and let the runtime derive the layout.
 #[derive(Debug, Clone, Copy)]
-pub struct MachineConfig {
+pub struct MachineLayout {
     /// Words per heap semispace (the tenured generation under
     /// [`HeapStrategy::Generational`]).
     pub semi_words: usize,
@@ -86,6 +89,32 @@ pub struct MachineConfig {
     pub heap: HeapStrategy,
 }
 
+impl Default for MachineLayout {
+    fn default() -> Self {
+        MachineLayout {
+            semi_words: 1 << 20,
+            stack_words: 1 << 16,
+            max_threads: 8,
+            heap: HeapStrategy::Semispace,
+        }
+    }
+}
+
+/// Machine sizing (pre-`RuntimeOptions` API).
+#[deprecated(note = "build a m3gc_runtime::RuntimeOptions (or a MachineLayout) instead")]
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// Words per heap semispace.
+    pub semi_words: usize,
+    /// Words per thread stack.
+    pub stack_words: usize,
+    /// Maximum number of threads.
+    pub max_threads: usize,
+    /// Heap organisation.
+    pub heap: HeapStrategy,
+}
+
+#[allow(deprecated)]
 impl Default for MachineConfig {
     fn default() -> Self {
         MachineConfig {
@@ -93,6 +122,18 @@ impl Default for MachineConfig {
             stack_words: 1 << 16,
             max_threads: 8,
             heap: HeapStrategy::Semispace,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<MachineConfig> for MachineLayout {
+    fn from(c: MachineConfig) -> MachineLayout {
+        MachineLayout {
+            semi_words: c.semi_words,
+            stack_words: c.stack_words,
+            max_threads: c.max_threads,
+            heap: c.heap,
         }
     }
 }
@@ -245,7 +286,7 @@ pub struct Machine {
     /// `m3gc_core::decode::DecodeCache` — can bind to this token and be
     /// safely reused across every collection of this machine.
     module_token: u64,
-    config: MachineConfig,
+    layout: MachineLayout,
     stacks_base: usize,
     heap_base: usize,
     /// True when semispace A (lower) is the from-space (allocation space).
@@ -303,20 +344,21 @@ impl Machine {
     /// Panics if the module's code or gc maps are malformed (they come
     /// from the compiler, so this is a bug).
     #[must_use]
-    pub fn new(module: VmModule, config: MachineConfig) -> Machine {
+    pub fn new(module: VmModule, layout: impl Into<MachineLayout>) -> Machine {
+        let layout = layout.into();
         let decoded = DecodedCode::new(&module.code);
         let stacks_base = GLOBAL_BASE + module.globals_words as usize;
-        let heap_base = stacks_base + config.stack_words * config.max_threads;
+        let heap_base = stacks_base + layout.stack_words * layout.max_threads;
         // Memory layout:
         //   semispace:    reserved | globals | stacks | semi A | semi B
         //   generational: reserved | globals | stacks | nursery A | nursery B
         //                 | tenured A | tenured B
-        let nursery_words = match config.heap {
+        let nursery_words = match layout.heap {
             HeapStrategy::Semispace => 0,
             HeapStrategy::Generational { nursery_words, .. } => {
                 assert!(nursery_words >= 8, "nursery too small to hold any object");
                 assert!(
-                    nursery_words <= config.semi_words,
+                    nursery_words <= layout.semi_words,
                     "nursery larger than a tenured semispace breaks the \
                      promotion headroom bound"
                 );
@@ -324,21 +366,21 @@ impl Machine {
             }
         };
         let tenured_base = heap_base + 2 * nursery_words;
-        let total = tenured_base + 2 * config.semi_words;
+        let total = tenured_base + 2 * layout.semi_words;
         let mut is_gc_point = vec![false; module.code.len() + 1];
         let index = DecoderIndex::build(&module.gc_maps).expect("valid gc maps");
         for pc in index.gc_point_pcs() {
             is_gc_point[pc as usize] = true;
         }
-        let (alloc_ptr, alloc_limit) = match config.heap {
-            HeapStrategy::Semispace => (heap_base as i64, (heap_base + config.semi_words) as i64),
+        let (alloc_ptr, alloc_limit) = match layout.heap {
+            HeapStrategy::Semispace => (heap_base as i64, (heap_base + layout.semi_words) as i64),
             HeapStrategy::Generational { .. } => {
                 (heap_base as i64, (heap_base + nursery_words) as i64)
             }
         };
-        let cards = match config.heap {
+        let cards = match layout.heap {
             HeapStrategy::Semispace => 0,
-            HeapStrategy::Generational { .. } => ((2 * config.semi_words) >> CARD_WORDS_SHIFT) + 1,
+            HeapStrategy::Generational { .. } => ((2 * layout.semi_words) >> CARD_WORDS_SHIFT) + 1,
         };
         Machine {
             module,
@@ -354,7 +396,7 @@ impl Machine {
             force_gc_after: None,
             alloc_fast_limit: alloc_limit,
             module_token: next_module_token(),
-            config,
+            layout,
             stacks_base,
             heap_base,
             from_is_lower: true,
@@ -427,20 +469,20 @@ impl Machine {
         let start = if self.from_is_lower {
             self.heap_base
         } else {
-            self.heap_base + self.config.semi_words
+            self.heap_base + self.layout.semi_words
         };
-        (start as i64, (start + self.config.semi_words) as i64)
+        (start as i64, (start + self.layout.semi_words) as i64)
     }
 
     /// The to-space bounds `[start, end)`.
     #[must_use]
     pub fn to_space(&self) -> (i64, i64) {
         let start = if self.from_is_lower {
-            self.heap_base + self.config.semi_words
+            self.heap_base + self.layout.semi_words
         } else {
             self.heap_base
         };
-        (start as i64, (start + self.config.semi_words) as i64)
+        (start as i64, (start + self.layout.semi_words) as i64)
     }
 
     /// True if `addr` points into the from-space.
@@ -453,13 +495,13 @@ impl Machine {
     /// True under [`HeapStrategy::Generational`].
     #[must_use]
     pub fn is_generational(&self) -> bool {
-        matches!(self.config.heap, HeapStrategy::Generational { .. })
+        matches!(self.layout.heap, HeapStrategy::Generational { .. })
     }
 
     /// Words per nursery half (0 under the semispace strategy).
     #[must_use]
     pub fn nursery_words(&self) -> usize {
-        match self.config.heap {
+        match self.layout.heap {
             HeapStrategy::Semispace => 0,
             HeapStrategy::Generational { nursery_words, .. } => nursery_words,
         }
@@ -468,7 +510,7 @@ impl Machine {
     /// Survival count at which minor collections promote (0 if semispace).
     #[must_use]
     pub fn promote_age(&self) -> u32 {
-        match self.config.heap {
+        match self.layout.heap {
             HeapStrategy::Semispace => 0,
             HeapStrategy::Generational { promote_age, .. } => promote_age.max(1),
         }
@@ -503,20 +545,20 @@ impl Machine {
         let start = if self.tenured_from_lower {
             self.tenured_base
         } else {
-            self.tenured_base + self.config.semi_words
+            self.tenured_base + self.layout.semi_words
         };
-        (start as i64, (start + self.config.semi_words) as i64)
+        (start as i64, (start + self.layout.semi_words) as i64)
     }
 
     /// The tenured to-space `[start, end)` (major-GC target).
     #[must_use]
     pub fn tenured_to_space(&self) -> (i64, i64) {
         let start = if self.tenured_from_lower {
-            self.tenured_base + self.config.semi_words
+            self.tenured_base + self.layout.semi_words
         } else {
             self.tenured_base
         };
-        (start as i64, (start + self.config.semi_words) as i64)
+        (start as i64, (start + self.layout.semi_words) as i64)
     }
 
     /// True if `addr` points into the tenured from-space.
@@ -715,11 +757,11 @@ impl Machine {
     /// Panics if the thread limit is exceeded or `proc` is invalid.
     pub fn spawn(&mut self, proc: u16, args: &[i64]) -> usize {
         let tid = self.threads.len();
-        assert!(tid < self.config.max_threads, "too many threads");
+        assert!(tid < self.layout.max_threads, "too many threads");
         let meta = &self.module.procs[proc as usize];
         assert_eq!(meta.n_args as usize, args.len(), "argument count mismatch");
-        let stack_base = (self.stacks_base + tid * self.config.stack_words) as i64;
-        let stack_limit = stack_base + self.config.stack_words as i64;
+        let stack_base = (self.stacks_base + tid * self.layout.stack_words) as i64;
+        let stack_limit = stack_base + self.layout.stack_words as i64;
         let mut sp = stack_base;
         for &a in args {
             self.mem[sp as usize] = a;
@@ -927,9 +969,9 @@ impl Machine {
             let a = self.alloc_ptr;
             self.alloc_ptr += words;
             a
-        } else if words > self.config.semi_words as i64 {
+        } else if words > self.layout.semi_words as i64 {
             return Err(VmTrap::OutOfMemory);
-        } else if let HeapStrategy::Generational { nursery_words, .. } = self.config.heap {
+        } else if let HeapStrategy::Generational { nursery_words, .. } = self.layout.heap {
             if words <= nursery_words as i64 {
                 // Fits an empty nursery half: a minor collection makes room.
                 return Ok(None);
@@ -1222,17 +1264,17 @@ mod tests {
         }
     }
 
-    fn small_config() -> MachineConfig {
-        MachineConfig {
+    fn small_config() -> MachineLayout {
+        MachineLayout {
             semi_words: 256,
             stack_words: 256,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         }
     }
 
-    fn small_gen_config() -> MachineConfig {
-        MachineConfig {
+    fn small_gen_config() -> MachineLayout {
+        MachineLayout {
             heap: HeapStrategy::Generational { nursery_words: 64, promote_age: 2 },
             ..small_config()
         }

@@ -47,7 +47,51 @@ use crate::shadow::{Shadow, Tag};
 /// ordering is sufficient for interpreter data.
 const R: Ordering = Ordering::Relaxed;
 
-/// Sizing for a [`ParMachine`].
+/// Sizing and memory layout for a [`ParMachine`].
+///
+/// This is the low-level sizing struct; most callers build a
+/// `m3gc_runtime::RuntimeOptions` and let the runtime derive the layout.
+#[derive(Debug, Clone, Copy)]
+pub struct ParLayout {
+    /// Words per heap semispace.
+    pub semi_words: usize,
+    /// Words per mutator stack.
+    pub stack_words: usize,
+    /// Number of mutator slots (stack and region areas are pre-carved).
+    pub mutators: usize,
+    /// Words per thread-local allocation buffer. Each mutator claims a
+    /// buffer of this size from the shared frontier with one CAS, then
+    /// bump-allocates privately inside it. `0` disables TLABs: every
+    /// allocation CASes the shared frontier directly (the contended
+    /// baseline the `allocfast` bench measures against).
+    pub tlab_words: usize,
+    /// Words per per-request region. `0` (the default) disables regions.
+    /// Nonzero puts the machine in allocation-service mode: each mutator
+    /// slot owns a region, request-local allocation bumps privately
+    /// inside it, and the interpreter watches every `St`/`StB`/`StG` for
+    /// stores that leak a region pointer outside its region (see
+    /// [`ParMachine::is_region_escaped`]). Regions are reclaimed in O(1)
+    /// at request exit unless they escaped.
+    pub region_words: usize,
+}
+
+/// Default TLAB size (~1 KiW, per the sizing discussion in DESIGN.md).
+pub const DEFAULT_TLAB_WORDS: usize = 1024;
+
+impl Default for ParLayout {
+    fn default() -> Self {
+        ParLayout {
+            semi_words: 1 << 20,
+            stack_words: 1 << 16,
+            mutators: 1,
+            tlab_words: DEFAULT_TLAB_WORDS,
+            region_words: 0,
+        }
+    }
+}
+
+/// Sizing for a [`ParMachine`] (pre-`RuntimeOptions` API).
+#[deprecated(note = "build a m3gc_runtime::RuntimeOptions (or a ParLayout) instead")]
 #[derive(Debug, Clone, Copy)]
 pub struct ParMachineConfig {
     /// Words per heap semispace.
@@ -56,17 +100,11 @@ pub struct ParMachineConfig {
     pub stack_words: usize,
     /// Number of mutator threads (stack regions are pre-carved).
     pub mutators: usize,
-    /// Words per thread-local allocation buffer. Each mutator claims a
-    /// buffer of this size from the shared frontier with one CAS, then
-    /// bump-allocates privately inside it. `0` disables TLABs: every
-    /// allocation CASes the shared frontier directly (the contended
-    /// baseline the `allocfast` bench measures against).
+    /// Words per thread-local allocation buffer (`0` disables TLABs).
     pub tlab_words: usize,
 }
 
-/// Default TLAB size (~1 KiW, per the sizing discussion in DESIGN.md).
-pub const DEFAULT_TLAB_WORDS: usize = 1024;
-
+#[allow(deprecated)]
 impl Default for ParMachineConfig {
     fn default() -> Self {
         ParMachineConfig {
@@ -74,6 +112,19 @@ impl Default for ParMachineConfig {
             stack_words: 1 << 16,
             mutators: 1,
             tlab_words: DEFAULT_TLAB_WORDS,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<ParMachineConfig> for ParLayout {
+    fn from(c: ParMachineConfig) -> ParLayout {
+        ParLayout {
+            semi_words: c.semi_words,
+            stack_words: c.stack_words,
+            mutators: c.mutators,
+            tlab_words: c.tlab_words,
+            region_words: 0,
         }
     }
 }
@@ -185,6 +236,11 @@ pub struct Mutator {
     pub pending_alloc_words: u64,
     /// TLAB fast-path (no CAS) allocations since the last stat flush.
     pub pending_tlab_allocs: u64,
+    /// Region bump-path allocations since the last stat flush
+    /// (allocation-service mode only).
+    pub pending_region_allocs: u64,
+    /// Words allocated on the region bump path since the last stat flush.
+    pub pending_region_words: u64,
 }
 
 /// The shared half of a parallel machine. See the module docs.
@@ -192,10 +248,12 @@ pub struct ParMachine {
     /// The loaded module.
     pub module: VmModule,
     decoded: DecodedCode,
-    /// Flat memory: reserved | globals | stacks | semi A | semi B.
+    /// Flat memory: reserved | globals | stacks | regions | semi A | semi B
+    /// (the region area is empty unless `layout.region_words > 0`).
     pub mem: Vec<AtomicI64>,
-    config: ParMachineConfig,
+    layout: ParLayout,
     stacks_base: usize,
+    regions_base: usize,
     heap_base: usize,
     module_token: u64,
     is_gc_point: Vec<bool>,
@@ -231,6 +289,22 @@ pub struct ParMachine {
     /// reaches this count (`u64::MAX` = disabled, the default).
     pub force_gc_at: AtomicU64,
 
+    /// Region bump-path allocations (allocation-service mode).
+    pub region_allocs: AtomicU64,
+    /// Words allocated on the region bump path.
+    pub region_alloc_words: AtomicU64,
+    /// Regions marked escaped (first escaping store per region).
+    pub region_escapes: AtomicU64,
+    /// Per-slot region bump pointers. Single writer — the owning
+    /// mutator — while running; the collection leader reads them with
+    /// the world stopped (the handshake provides the ordering).
+    region_ptrs: Vec<AtomicI64>,
+    /// Per-slot "a request currently owns this region" flags.
+    region_live: Vec<AtomicBool>,
+    /// Per-slot "a pointer into this region was stored outside it"
+    /// flags. Sticky until the region is reset.
+    region_escaped: Vec<AtomicBool>,
+
     /// Shadow tags, when instrumented ([`ParMachine::enable_shadow`]).
     pub shadow: Option<ParShadow>,
 }
@@ -243,12 +317,14 @@ impl ParMachine {
     /// Panics if the module's code or gc maps are malformed (they come
     /// from the compiler, so this is a bug).
     #[must_use]
-    pub fn new(module: VmModule, config: ParMachineConfig) -> ParMachine {
-        assert!(config.mutators >= 1, "at least one mutator");
+    pub fn new(module: VmModule, layout: impl Into<ParLayout>) -> ParMachine {
+        let layout = layout.into();
+        assert!(layout.mutators >= 1, "at least one mutator");
         let decoded = DecodedCode::new(&module.code);
         let stacks_base = GLOBAL_BASE + module.globals_words as usize;
-        let heap_base = stacks_base + config.stack_words * config.mutators;
-        let total = heap_base + 2 * config.semi_words;
+        let regions_base = stacks_base + layout.stack_words * layout.mutators;
+        let heap_base = regions_base + layout.region_words * layout.mutators;
+        let total = heap_base + 2 * layout.semi_words;
         let mut is_gc_point = vec![false; module.code.len() + 1];
         let index = DecoderIndex::build(&module.gc_maps).expect("valid gc maps");
         for pc in index.gc_point_pcs() {
@@ -259,19 +335,23 @@ impl ParMachine {
             is_poll[pc as usize] = true;
         }
         let module_token = crate::machine::next_module_token();
+        let region_ptrs = (0..layout.mutators)
+            .map(|slot| AtomicI64::new((regions_base + slot * layout.region_words) as i64))
+            .collect();
         ParMachine {
             module,
             decoded,
             mem: (0..total).map(|_| AtomicI64::new(0)).collect(),
-            config,
+            layout,
             stacks_base,
+            regions_base,
             heap_base,
             module_token,
             is_gc_point,
             is_poll,
             from_is_lower: AtomicBool::new(true),
             free: AtomicI64::new(heap_base as i64),
-            alloc_limit: AtomicI64::new((heap_base + config.semi_words) as i64),
+            alloc_limit: AtomicI64::new((heap_base + layout.semi_words) as i64),
             gc_request: AtomicBool::new(false),
             allocations: AtomicU64::new(0),
             words_allocated: AtomicU64::new(0),
@@ -280,6 +360,12 @@ impl ParMachine {
             tlab_waste_words: AtomicU64::new(0),
             collections: AtomicU64::new(0),
             force_gc_at: AtomicU64::new(u64::MAX),
+            region_allocs: AtomicU64::new(0),
+            region_alloc_words: AtomicU64::new(0),
+            region_escapes: AtomicU64::new(0),
+            region_ptrs,
+            region_live: (0..layout.mutators).map(|_| AtomicBool::new(false)).collect(),
+            region_escaped: (0..layout.mutators).map(|_| AtomicBool::new(false)).collect(),
             shadow: None,
         }
     }
@@ -293,13 +379,20 @@ impl ParMachine {
     /// The number of mutator stack regions.
     #[must_use]
     pub fn mutators(&self) -> usize {
-        self.config.mutators
+        self.layout.mutators
     }
 
     /// Words per semispace.
     #[must_use]
     pub fn semi_words(&self) -> usize {
-        self.config.semi_words
+        self.layout.semi_words
+    }
+
+    /// Words per per-request region (0 when allocation-service mode is
+    /// off).
+    #[must_use]
+    pub fn region_words(&self) -> usize {
+        self.layout.region_words
     }
 
     /// Total memory words.
@@ -345,27 +438,153 @@ impl ParMachine {
         let start = if self.from_is_lower.load(R) {
             self.heap_base
         } else {
-            self.heap_base + self.config.semi_words
+            self.heap_base + self.layout.semi_words
         };
-        (start as i64, (start + self.config.semi_words) as i64)
+        (start as i64, (start + self.layout.semi_words) as i64)
     }
 
     /// The to-space bounds `[start, end)`.
     #[must_use]
     pub fn to_space(&self) -> (i64, i64) {
         let start = if self.from_is_lower.load(R) {
-            self.heap_base + self.config.semi_words
+            self.heap_base + self.layout.semi_words
         } else {
             self.heap_base
         };
-        (start as i64, (start + self.config.semi_words) as i64)
+        (start as i64, (start + self.layout.semi_words) as i64)
     }
 
-    /// True if `addr` lies in the dead (just-collected) semispace.
+    /// True if `addr` lies in dead space: the just-collected semispace,
+    /// or a reclaimed (free) per-request region. A pointer into a free
+    /// region is exactly an "escaping object reclaimed with its region"
+    /// failure, so shadow mode turns any access through one into a
+    /// [`VmTrap::StalePointer`].
     #[must_use]
     pub fn in_dead_space(&self, addr: i64) -> bool {
         let (s, e) = self.to_space();
-        (s..e).contains(&addr)
+        if (s..e).contains(&addr) {
+            return true;
+        }
+        match self.region_slot_of(addr) {
+            Some(slot) => !self.region_live[slot].load(R) && !self.region_escaped[slot].load(R),
+            None => false,
+        }
+    }
+
+    /// Bounds `[start, end)` of `slot`'s per-request region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if regions are disabled or `slot` is out of range.
+    #[must_use]
+    pub fn region_bounds(&self, slot: usize) -> (i64, i64) {
+        assert!(self.layout.region_words > 0, "regions disabled");
+        assert!(slot < self.layout.mutators, "region slot out of range");
+        let start = self.regions_base + slot * self.layout.region_words;
+        (start as i64, (start + self.layout.region_words) as i64)
+    }
+
+    /// The region slot whose area contains `addr`, if any.
+    #[must_use]
+    pub fn region_slot_of(&self, addr: i64) -> Option<usize> {
+        if self.layout.region_words == 0 || addr < self.regions_base as i64 {
+            return None;
+        }
+        let a = addr as usize;
+        if a >= self.heap_base {
+            return None;
+        }
+        Some((a - self.regions_base) / self.layout.region_words)
+    }
+
+    /// Words currently allocated in `slot`'s region.
+    #[must_use]
+    pub fn region_used(&self, slot: usize) -> i64 {
+        self.region_ptrs[slot].load(R) - self.region_bounds(slot).0
+    }
+
+    /// One past the last allocated word of `slot`'s region (collector
+    /// use: the linear-scan upper bound).
+    #[must_use]
+    pub fn region_top(&self, slot: usize) -> i64 {
+        self.region_ptrs[slot].load(R)
+    }
+
+    /// True while a request owns `slot`'s region.
+    #[must_use]
+    pub fn is_region_live(&self, slot: usize) -> bool {
+        self.region_live[slot].load(R)
+    }
+
+    /// True once a pointer into `slot`'s region has been stored outside
+    /// it (sticky until the region resets).
+    #[must_use]
+    pub fn is_region_escaped(&self, slot: usize) -> bool {
+        self.region_escaped[slot].load(R)
+    }
+
+    /// True if `slot` holds a zombie region: its request exited but a
+    /// pointer escaped, so the data must stay intact until the next
+    /// stop-the-world collection evacuates the reachable objects.
+    #[must_use]
+    pub fn is_region_zombie(&self, slot: usize) -> bool {
+        !self.region_live[slot].load(R) && self.region_escaped[slot].load(R)
+    }
+
+    /// Opens `slot`'s region for a new request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot still holds a zombie region (a collection must
+    /// reset it first) or is already live.
+    pub fn begin_region(&self, slot: usize) {
+        assert!(!self.is_region_zombie(slot), "slot holds an uncollected zombie region");
+        assert!(!self.region_live[slot].load(R), "region already live");
+        self.region_ptrs[slot].store(self.region_bounds(slot).0, R);
+        self.region_escaped[slot].store(false, R);
+        self.region_live[slot].store(true, R);
+    }
+
+    /// Closes `slot`'s region at request exit. If no pointer escaped,
+    /// the region is reclaimed in O(1) — bump pointer reset, slot
+    /// immediately reusable — and `Some(words reclaimed)` is returned.
+    /// If it escaped the region becomes a zombie and `None` is returned;
+    /// [`ParMachine::reset_region`] reclaims it after the next
+    /// collection rewrites every surviving reference.
+    ///
+    /// The owner can read its own escape flag without synchronisation:
+    /// the *first* escaping store of a region is always executed by the
+    /// owning mutator itself (any other thread can only obtain the
+    /// pointer by loading it from shared memory, i.e. after such a
+    /// store), and it happens-before the owner's exit in program order.
+    pub fn end_region(&self, slot: usize) -> Option<i64> {
+        self.region_live[slot].store(false, R);
+        if self.region_escaped[slot].load(R) {
+            return None;
+        }
+        Some(self.reset_region(slot))
+    }
+
+    /// Resets `slot`'s region to empty, zeroing the used prefix and its
+    /// shadow tags, and clearing the escaped flag. Returns the words
+    /// reclaimed. The live flag is *not* touched: `end_region` clears it
+    /// before calling here, while a collector resetting an escaped
+    /// still-live region (its objects were just evacuated to the shared
+    /// heap) must leave the owner's region open for further allocation.
+    /// Clearing `escaped` is sound in both cases because every surviving
+    /// reference into the region has been rewritten by then.
+    pub fn reset_region(&self, slot: usize) -> i64 {
+        let (base, _) = self.region_bounds(slot);
+        let used = self.region_ptrs[slot].load(R) - base;
+        for w in base..base + used {
+            self.mem[w as usize].store(0, R);
+        }
+        if let Some(sh) = &self.shadow {
+            sh.clear_range(base, used);
+        }
+        self.region_ptrs[slot].store(base, R);
+        self.region_escaped[slot].store(false, R);
+        used
     }
 
     /// Unchecked word read (collector use; `addr` must be in range).
@@ -405,11 +624,11 @@ impl ParMachine {
     /// Panics if `tid` is out of range or `proc` is invalid.
     #[must_use]
     pub fn spawn_mutator(&self, tid: usize, proc: u16, args: &[i64]) -> Mutator {
-        assert!(tid < self.config.mutators, "mutator id out of range");
+        assert!(tid < self.layout.mutators, "mutator id out of range");
         let meta = &self.module.procs[proc as usize];
         assert_eq!(meta.n_args as usize, args.len(), "argument count mismatch");
-        let stack_base = (self.stacks_base + tid * self.config.stack_words) as i64;
-        let stack_limit = stack_base + self.config.stack_words as i64;
+        let stack_base = (self.stacks_base + tid * self.layout.stack_words) as i64;
+        let stack_limit = stack_base + self.layout.stack_words as i64;
         let mut sp = stack_base;
         for &a in args {
             self.mem[sp as usize].store(a, R);
@@ -443,6 +662,8 @@ impl ParMachine {
             pending_allocations: 0,
             pending_alloc_words: 0,
             pending_tlab_allocs: 0,
+            pending_region_allocs: 0,
+            pending_region_words: 0,
         }
     }
 
@@ -507,6 +728,12 @@ impl ParMachine {
             self.tlab_allocs.fetch_add(mu.pending_tlab_allocs, R);
             mu.pending_tlab_allocs = 0;
         }
+        if mu.pending_region_allocs > 0 {
+            self.region_allocs.fetch_add(mu.pending_region_allocs, R);
+            self.region_alloc_words.fetch_add(mu.pending_region_words, R);
+            mu.pending_region_allocs = 0;
+            mu.pending_region_words = 0;
+        }
     }
 
     /// Retires `mu`'s TLAB (if any) and flushes its allocation stats.
@@ -545,17 +772,35 @@ impl ParMachine {
         }
         let desc = self.module.types.get(TypeId(u32::from(ty)));
         let words = i64::from(desc.object_words(len as u32));
-        if words > self.config.semi_words as i64 {
+        if words > self.layout.semi_words as i64 {
             return Err(VmTrap::OutOfMemory);
         }
-        let addr = if mu.tlab_ptr + words <= mu.tlab_limit {
+        let addr = if self.layout.region_words > 0 && self.region_live[mu.tid].load(R) {
+            // Allocation-service mode: request-local bump into the
+            // slot's region, no shared traffic. Objects that would
+            // overflow the region fall back to the shared frontier and
+            // are traced like any shared allocation.
+            let (_, limit) = self.region_bounds(mu.tid);
+            let ptr = self.region_ptrs[mu.tid].load(R);
+            if ptr + words <= limit {
+                self.region_ptrs[mu.tid].store(ptr + words, R);
+                mu.pending_region_allocs += 1;
+                mu.pending_region_words += words as u64;
+                ptr
+            } else {
+                match self.cas_claim(words) {
+                    Some(a) => a,
+                    None => return Ok(None),
+                }
+            }
+        } else if mu.tlab_ptr + words <= mu.tlab_limit {
             // Fast path: private bump inside the TLAB, no shared traffic.
             let a = mu.tlab_ptr;
             mu.tlab_ptr = a + words;
             mu.pending_tlab_allocs += 1;
             a
         } else {
-            let tlab_words = self.config.tlab_words as i64;
+            let tlab_words = self.layout.tlab_words as i64;
             if tlab_words == 0 || words > tlab_words {
                 // TLABs disabled, or the object would not fit even in a
                 // fresh buffer: claim it from the shared frontier
@@ -606,6 +851,37 @@ impl ParMachine {
             self.flush_alloc_stats(mu);
         }
         Ok(Some(addr))
+    }
+
+    /// Escape detection (allocation-service mode): a store whose value
+    /// is a pointer into a live region and whose target lies outside
+    /// both that region and its owner's stack marks the region escaped.
+    ///
+    /// This must run at the machine level on every `St`/`StB`/`StG` —
+    /// codegen's write barriers cannot carry it, because barriers are
+    /// elided by *target* (statically non-pointer value, nursery-fresh
+    /// object, frame-slot or global address) and direct global
+    /// assignment emits `StG` with no barrier at all. `StF`/`Push` are
+    /// exempt: a mutator's stack is request-private and dies with the
+    /// request. A non-pointer word whose value happens to alias a
+    /// region address only costs a spurious escape (the region is kept
+    /// as a zombie and traced), never an unsound reclaim.
+    fn note_escape(&self, addr: i64, value: i64) {
+        let Some(vs) = self.region_slot_of(value) else { return };
+        if !self.region_live[vs].load(R) {
+            return;
+        }
+        let (rb, re) = self.region_bounds(vs);
+        if (rb..re).contains(&addr) {
+            return; // intra-region store
+        }
+        let sb = (self.stacks_base + vs * self.layout.stack_words) as i64;
+        if (sb..sb + self.layout.stack_words as i64).contains(&addr) {
+            return; // the owner's private stack dies with the request
+        }
+        if !self.region_escaped[vs].swap(true, R) {
+            self.region_escapes.fetch_add(1, R);
+        }
     }
 
     fn sys(&self, mu: &mut Mutator, code: u8, arg: i64) -> Result<(), VmTrap> {
@@ -756,7 +1032,11 @@ impl ParMachine {
             Instr::St { base, off, src } | Instr::StB { base, off, src } => {
                 // Semispace heap: the barrier store is a plain store.
                 let addr = mu.regs[base as usize] + i64::from(off);
-                trap!(self.store(addr, mu.regs[src as usize]));
+                let value = mu.regs[src as usize];
+                trap!(self.store(addr, value));
+                if self.layout.region_words > 0 {
+                    self.note_escape(addr, value);
+                }
             }
             Instr::LdF { dst, breg, off } => {
                 let addr = Self::base_value(mu, breg) + i64::from(off);
@@ -773,7 +1053,11 @@ impl ParMachine {
                 mu.regs[dst as usize] = self.mem[GLOBAL_BASE + goff as usize].load(R);
             }
             Instr::StG { goff, src } => {
-                self.mem[GLOBAL_BASE + goff as usize].store(mu.regs[src as usize], R);
+                let value = mu.regs[src as usize];
+                self.mem[GLOBAL_BASE + goff as usize].store(value, R);
+                if self.layout.region_words > 0 {
+                    self.note_escape((GLOBAL_BASE + goff as usize) as i64, value);
+                }
             }
             Instr::LeaG { dst, goff } => {
                 mu.regs[dst as usize] = (GLOBAL_BASE + goff as usize) as i64;

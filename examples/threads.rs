@@ -10,8 +10,8 @@
 //! ```
 
 use m3gc::compiler::{compile, Options};
-use m3gc::runtime::{ParConfig, ParExecutor};
-use m3gc::vm::{ParMachine, ParMachineConfig};
+use m3gc::runtime::{GcStrategy, ParExecutor, RuntimeOptions};
+use m3gc::vm::{ParLayout, ParMachine};
 
 /// Every mutator runs the module body. All mutable state is
 /// procedure-local: module globals are *shared* between OS-thread
@@ -59,14 +59,10 @@ fn main() {
     let module = compile(PROGRAM, &Options::o2()).expect("compiles");
     let vm = ParMachine::new(
         module,
-        ParMachineConfig {
-            semi_words: 2048,
-            stack_words: 1 << 14,
-            mutators: 3,
-            ..ParMachineConfig::default()
-        },
+        ParLayout { semi_words: 2048, stack_words: 1 << 14, mutators: 3, ..ParLayout::default() },
     );
-    let mut ex = ParExecutor::new(vm, ParConfig { gc_workers: 2, ..ParConfig::default() });
+    let mut ex =
+        ParExecutor::new(vm, RuntimeOptions::new().strategy(GcStrategy::Parallel).gc_workers(2));
 
     let out = ex.run_main().expect("all mutators finish");
     println!("program output (3 mutators, tid order):");

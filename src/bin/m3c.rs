@@ -1,7 +1,7 @@
 //! `m3c` — the Mini-M3 compiler driver.
 //!
 //! ```text
-//! m3c <check|run|ir|disasm|tables|stats> <file.m3> [options]
+//! m3c <check|run|serve|ir|disasm|tables|stats> <file.m3> [options]
 //! m3c fuzz [--seed N] [--iters N] [--no-shrink]
 //!
 //! compile options:
@@ -15,12 +15,24 @@
 //!                        (OS-thread mutators + parallel collection) (run)
 //!   --nursery N          nursery size in words with --gc gen (run;
 //!                        default: a quarter semispace)
-//!   --threads N          mutator threads with --gc par (run; default 1)
+//!   --threads N          mutator threads with --gc par (run; default 1);
+//!                        scheduler threads (serve)
 //!   --gc-workers M       gc worker threads with --gc par (run; default 4)
 //!   --tlab-words N       thread-local allocation buffer size in words
 //!                        with --gc par; 0 disables TLABs (run; default 1024)
-//!   --torture            collect at every allocation (run)
+//!   --torture            collect at every allocation (run, serve)
 //!   --stats              print gc statistics after the output (run)
+//!
+//! serve options (allocation-service workload: green-thread requests
+//! over OS threads, each allocating into a per-request region):
+//!   --requests N         requests to serve (default 100)
+//!   --green N            green-request slots (default 4 per thread)
+//!   --region-words N     words per per-request region (default 4096)
+//!   --burst N            requests admitted per scheduling gap (default 1)
+//!   --quantum N          instructions per green-thread quantum
+//!   --entry P            handler procedure (default: the module body;
+//!                        may take the request id as its one argument)
+//!   --oracle             shadow-verify gc maps before every collection
 //!
 //! fuzz options:
 //!   --seed N             base seed (default 1); iteration i uses seed+i
@@ -33,10 +45,12 @@ use m3gc_fuzz::FuzzOptions;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: m3c <check|run|ir|disasm|tables|stats> <file.m3> \
+        "usage: m3c <check|run|serve|ir|disasm|tables|stats> <file.m3> \
          [--o0|--o2] [--no-gc] [--split-paths] [--scheme S] [--heap N] \
          [--gc semispace|gen|par] [--nursery N] [--threads N] \
          [--gc-workers M] [--tlab-words N] [--torture] [--stats]\n\
+         \x20      m3c serve <file.m3> [--requests N] [--green N] \
+         [--region-words N] [--burst N] [--quantum N] [--entry P] [--oracle]\n\
          \x20      m3c fuzz [--seed N] [--iters N] [--no-shrink]"
     );
     std::process::exit(2);
@@ -112,21 +126,31 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let (options, config) = match driver::parse_options(&args[2..]) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("m3c: {e}");
-            usage();
+    let result = if cmd == "serve" {
+        match driver::parse_serve_options(&args[2..]) {
+            Ok((options, config, load)) => driver::serve(&source, &options, config, load),
+            Err(e) => {
+                eprintln!("m3c: {e}");
+                usage();
+            }
         }
-    };
-    let result = match cmd.as_str() {
-        "check" => driver::check(&source),
-        "run" => driver::run(&source, &options, config),
-        "ir" => driver::ir(&source, &options),
-        "disasm" => driver::disasm(&source, &options),
-        "tables" => driver::tables(&source, &options),
-        "stats" => driver::stats(&source, &options),
-        _ => usage(),
+    } else {
+        let (options, config) = match driver::parse_options(&args[2..]) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("m3c: {e}");
+                usage();
+            }
+        };
+        match cmd.as_str() {
+            "check" => driver::check(&source),
+            "run" => driver::run(&source, &options, config),
+            "ir" => driver::ir(&source, &options),
+            "disasm" => driver::disasm(&source, &options),
+            "tables" => driver::tables(&source, &options),
+            "stats" => driver::stats(&source, &options),
+            _ => usage(),
+        }
     };
     match result {
         Ok(out) => print!("{out}"),

@@ -11,12 +11,12 @@
 //!   output with splice verification armed; a parallel torture run must
 //!   splice across handshakes with the precision oracle on.
 
-use m3gc::compiler::{compile, run_module, run_module_par_with, Options};
+use m3gc::compiler::{compile, run_module, run_module_par_opts, Options};
 use m3gc::core::heap::{HeapType, TypeId};
-use m3gc::runtime::parallel::ParConfig;
-use m3gc::runtime::scheduler::{ExecConfig, Executor};
-use m3gc::vm::machine::{HeapStrategy, Machine, MachineConfig};
-use m3gc::vm::{ParMachine, ParMachineConfig};
+use m3gc::runtime::{Executor, GcStrategy, RuntimeOptions};
+use m3gc::vm::machine::{HeapStrategy, Machine, MachineLayout};
+use m3gc::vm::par::ParLayout;
+use m3gc::vm::ParMachine;
 
 /// A module whose type table holds a 4-word record (header + 3 fields)
 /// and an open integer array, for driving `try_alloc` directly.
@@ -51,7 +51,7 @@ fn tiny_par_machine(semi_words: usize, tlab_words: usize) -> ParMachine {
     let module = compile(TYPES_SRC, &Options::o2()).expect("compiles");
     ParMachine::new(
         module,
-        ParMachineConfig { semi_words, stack_words: 1 << 12, mutators: 1, tlab_words },
+        ParLayout { semi_words, stack_words: 1 << 12, mutators: 1, tlab_words, region_words: 0 },
     )
 }
 
@@ -216,12 +216,12 @@ fn watermarks_survive_minor_major_escalation() {
     };
     let mut machine = Machine::new(
         module,
-        MachineConfig { semi_words: semi, stack_words: 1 << 14, max_threads: 4, heap },
+        MachineLayout { semi_words: semi, stack_words: 1 << 14, max_threads: 4, heap },
     );
     // Shadow + oracle arm splice verification: every cached walk is
     // shadowed by a full rescan and must agree bit-for-bit.
     machine.enable_shadow();
-    let mut ex = Executor::new(machine, ExecConfig { oracle: true, ..ExecConfig::default() });
+    let mut ex = Executor::new(machine, RuntimeOptions::new().oracle(true));
     let out = ex.run_main().expect("generational run");
 
     assert_eq!(out.output, reference.output, "watermarks must not perturb semantics");
@@ -267,15 +267,16 @@ fn watermarks_splice_across_parallel_handshakes() {
     // 2 OS-thread mutators under torture with shadow + oracle: every
     // collection verifies each spliced walk against a full rescan and
     // every root against the shadow ground truth.
-    let config = ParConfig {
-        gc_workers: 2,
-        force_every_allocs: Some(1),
-        oracle: true,
-        ..ParConfig::default()
-    };
-    let machine_config =
-        ParMachineConfig { semi_words: 1 << 14, stack_words: 1 << 13, mutators: 2, tlab_words: 8 };
-    let out = run_module_par_with(module, machine_config, true, config).expect("parallel run");
+    let opts = RuntimeOptions::new()
+        .strategy(GcStrategy::Parallel)
+        .semi_words(1 << 14)
+        .stack_words(1 << 13)
+        .threads(2)
+        .tlab_words(8)
+        .gc_workers(2)
+        .torture(true)
+        .oracle(true);
+    let out = run_module_par_opts(module, opts).expect("parallel run");
     for (tid, o) in out.outputs.iter().enumerate() {
         assert_eq!(o, &reference.output, "mutator {tid} diverged");
     }

@@ -4,7 +4,7 @@
 //! compactions — any dropped or corrupted edge changes the checksum.
 
 use m3gc::compiler::{compile, reference_output, run_module_with, Options};
-use m3gc::runtime::ExecConfig;
+use m3gc::runtime::RuntimeOptions;
 
 /// A program that builds a web of records with an LCG, mutates edges, and
 /// checksums by traversal. `seed` specializes the source text.
@@ -79,7 +79,7 @@ fn stress(seed: u64, nodes: u32, rounds: u32, semi: usize) {
     let expected = reference_output(&src).unwrap_or_else(|e| panic!("reference: {e}"));
     for (name, opts) in [("O0", Options::o0()), ("O2", Options::o2())] {
         let module = compile(&src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let out = run_module_with(module, semi, ExecConfig::default())
+        let out = run_module_with(module, semi, RuntimeOptions::new())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(out.output, expected, "seed {seed} {name}");
         assert!(out.collections > 0, "seed {seed} {name}: expected collections");
@@ -107,12 +107,7 @@ fn graph_stress_torture() {
     let src = graph_program(555, 10, 80);
     let expected = reference_output(&src).unwrap();
     let module = compile(&src, &Options::o2()).unwrap();
-    let out = run_module_with(
-        module,
-        1 << 14,
-        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
-    )
-    .unwrap();
+    let out = run_module_with(module, 1 << 14, RuntimeOptions::new().torture(true)).unwrap();
     assert_eq!(out.output, expected);
     assert!(out.collections >= 80, "got {}", out.collections);
 }
@@ -140,7 +135,7 @@ fn survivor_heavy_heap_compacts() {
         END Live.";
     let expected = reference_output(src).unwrap();
     let module = compile(src, &Options::o2()).unwrap();
-    let out = run_module_with(module, 256, ExecConfig::default()).unwrap();
+    let out = run_module_with(module, 256, RuntimeOptions::new()).unwrap();
     assert_eq!(out.output, expected);
     assert!(out.collections >= 2);
     // The 60-node list (3 words each) survives every collection.

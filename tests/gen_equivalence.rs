@@ -21,9 +21,10 @@ use std::collections::HashMap;
 use m3gc::compiler::{compile, Options};
 use m3gc::core::encode::Scheme;
 use m3gc::core::heap::{header_type_id, HeapType};
-use m3gc::runtime::scheduler::{ExecConfig, Executor};
+use m3gc::runtime::scheduler::Executor;
 use m3gc::runtime::trace::{gather_global_roots, read_root};
-use m3gc::vm::machine::{HeapStrategy, Machine, MachineConfig};
+use m3gc::runtime::RuntimeOptions;
+use m3gc::vm::machine::{HeapStrategy, Machine, MachineLayout};
 use m3gc_testkit::run_cases;
 
 /// One canonicalised heap object: type, array length, and fields with
@@ -101,9 +102,9 @@ fn run_and_sign(src: &str, scheme: Scheme, heap: HeapStrategy) -> (String, u64, 
     let module = compile(src, &Options::o2().with_scheme(scheme)).expect("compiles");
     let machine = Machine::new(
         module,
-        MachineConfig { semi_words: 4096, stack_words: 1 << 14, max_threads: 2, heap },
+        MachineLayout { semi_words: 4096, stack_words: 1 << 14, max_threads: 2, heap },
     );
-    let mut ex = Executor::new(machine, ExecConfig::default());
+    let mut ex = Executor::new(machine, RuntimeOptions::new());
     let out = ex.run_main().unwrap_or_else(|e| panic!("{e}\noutput so far: {}", ex.machine.output));
     let sig = heap_signature(&ex.machine);
     (out.output, out.collections, sig)
@@ -221,14 +222,14 @@ fn gen_heaps_survive_collection_pressure() {
         let module = compile(&src, &Options::o2()).expect("compiles");
         let machine = Machine::new(
             module,
-            MachineConfig {
+            MachineLayout {
                 semi_words: 512,
                 stack_words: 1 << 14,
                 max_threads: 2,
                 heap: HeapStrategy::Generational { nursery_words: 32, promote_age: 1 },
             },
         );
-        let mut ex = Executor::new(machine, ExecConfig::default());
+        let mut ex = Executor::new(machine, RuntimeOptions::new());
         let out = ex
             .run_main()
             .unwrap_or_else(|e| panic!("seed {seed}: {e}\noutput: {}", ex.machine.output));

@@ -6,7 +6,7 @@ use m3gc::compiler::{compile, run_module, Options};
 use m3gc::core::layout::BaseReg;
 use m3gc::vm::decode::DecodedCode;
 use m3gc::vm::isa::{Instr, FIRST_CALLEE_SAVE};
-use m3gc::vm::machine::{Machine, MachineConfig, RunOutcome};
+use m3gc::vm::machine::{Machine, MachineLayout, RunOutcome};
 
 const CALLS: &str = "MODULE C;
 TYPE R = REF RECORD v: INTEGER END;
@@ -111,11 +111,11 @@ fn threads_block_exactly_at_gc_points() {
     let module = compile(CALLS, &Options::o2()).unwrap();
     let mut machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 1 << 14,
             stack_words: 4096,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
     let main = machine.module.main;

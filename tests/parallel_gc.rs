@@ -14,10 +14,10 @@
 //!   scheduler and the OS-thread parallel runtime.
 
 use m3gc::compiler::{compile, run_module_par, run_module_with, Options};
-use m3gc::runtime::parallel::ParConfig;
-use m3gc::runtime::scheduler::{ExecConfig, ExecError, Executor};
-use m3gc::vm::machine::{Machine, MachineConfig};
-use m3gc::vm::{ParMachine, ParMachineConfig};
+use m3gc::runtime::scheduler::{ExecError, Executor};
+use m3gc::runtime::RuntimeOptions;
+use m3gc::vm::machine::{Machine, MachineLayout};
+use m3gc::vm::{ParLayout, ParMachine};
 
 /// Allocation-heavy program whose mutable state is all procedure-local:
 /// module globals are shared between parallel mutators, so a
@@ -52,22 +52,13 @@ fn four_mutator_torture_matches_single_thread_baseline() {
     let module = compile(LOCAL_CHURN, &opts).expect("compiles");
 
     // Single-threaded semispace baseline, also under torture.
-    let baseline = run_module_with(
-        module.clone(),
-        1 << 14,
-        ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
-    )
-    .expect("baseline run");
+    let baseline = run_module_with(module.clone(), 1 << 14, RuntimeOptions::new().torture(true))
+        .expect("baseline run");
     assert!(baseline.collections >= 100, "torture must collect constantly");
 
     // 4 OS-thread mutators, 4 gc workers, shadow mode + oracle: every
     // collection validates each thread's gc-map roots first.
-    let config = ParConfig {
-        gc_workers: 4,
-        force_every_allocs: Some(1),
-        oracle: true,
-        ..ParConfig::default()
-    };
+    let config = RuntimeOptions::new().gc_workers(4).torture(true).oracle(true);
     let out = run_module_par(module, 1 << 15, 4, true, config).expect("parallel run");
     assert_eq!(out.outputs.len(), 4);
     for (tid, thread_out) in out.outputs.iter().enumerate() {
@@ -105,11 +96,11 @@ fn poll_sites_are_gc_points_with_table_entries() {
     let code_len = module.code.len() as u32;
     let vm = ParMachine::new(
         module,
-        ParMachineConfig {
+        ParLayout {
             semi_words: 1 << 12,
             stack_words: 1 << 12,
             mutators: 1,
-            ..ParMachineConfig::default()
+            ..ParLayout::default()
         },
     );
     let polls: Vec<u32> = (0..code_len).filter(|&pc| vm.is_poll_pc(pc)).collect();
@@ -166,17 +157,14 @@ fn scheduler_max_advance_exhaustion_is_a_structured_error() {
     let module = compile(SPIN_SRC, &no_loop_points()).expect("compiles");
     let machine = Machine::new(
         module,
-        MachineConfig {
+        MachineLayout {
             semi_words: 1 << 12,
             stack_words: 1 << 13,
             max_threads: 2,
-            ..MachineConfig::default()
+            ..MachineLayout::default()
         },
     );
-    let mut ex = Executor::new(
-        machine,
-        ExecConfig { force_every_allocs: Some(1), max_advance: 10_000, ..ExecConfig::default() },
-    );
+    let mut ex = Executor::new(machine, RuntimeOptions::new().torture(true).max_advance(10_000));
     ex.machine.spawn(ex.machine.module.main, &[]);
     let crunch =
         ex.machine.module.procs.iter().position(|p| p.name == "Crunch").expect("Crunch exists")
@@ -196,12 +184,7 @@ fn parallel_max_advance_exhaustion_is_a_structured_error() {
     // the leader must observe the structured failure and release
     // everyone rather than waiting forever.
     let module = compile(SPIN_SRC, &no_loop_points()).expect("compiles");
-    let config = ParConfig {
-        gc_workers: 2,
-        force_every_allocs: Some(1),
-        max_advance: 10_000,
-        ..ParConfig::default()
-    };
+    let config = RuntimeOptions::new().gc_workers(2).torture(true).max_advance(10_000);
     match run_module_par(module, 1 << 14, 2, false, config) {
         Err(ExecError::StuckThread { .. }) => {}
         other => panic!("expected StuckThread, got {other:?}"),

@@ -6,24 +6,20 @@
 //! caught immediately as corrupted data.
 
 use m3gc::compiler::{compile, reference_output, run_module_with, Options};
-use m3gc::runtime::ExecConfig;
+use m3gc::runtime::RuntimeOptions;
 
 fn torture(src: &str) {
     let expected = reference_output(src).unwrap_or_else(|e| panic!("reference: {e}"));
     for (name, opts) in [("O0", Options::o0()), ("O2", Options::o2())] {
         // Plain small heap first.
         let module = compile(src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let out = run_module_with(module, 2048, ExecConfig::default())
+        let out = run_module_with(module, 2048, RuntimeOptions::new())
             .unwrap_or_else(|e| panic!("{name} small heap: {e}"));
         assert_eq!(out.output, expected, "{name} small heap");
         // Then a collection at every allocation.
         let module = compile(src, &opts).unwrap();
-        let out = run_module_with(
-            module,
-            1 << 15,
-            ExecConfig { force_every_allocs: Some(1), ..ExecConfig::default() },
-        )
-        .unwrap_or_else(|e| panic!("{name} torture: {e}"));
+        let out = run_module_with(module, 1 << 15, RuntimeOptions::new().torture(true))
+            .unwrap_or_else(|e| panic!("{name} torture: {e}"));
         assert_eq!(out.output, expected, "{name} torture");
         assert!(out.collections > 0, "{name}: torture must collect");
     }

@@ -1,0 +1,136 @@
+//! Region-lifetime edge cases for the allocation-service runtime.
+//!
+//! Every test runs under gc torture (a collection forced at every
+//! allocation) with the precision oracle armed, so any region reset
+//! that dropped a reachable object — or any gc-map imprecision in the
+//! request snapshots — traps instead of silently corrupting.
+
+use m3gc::compiler::{compile, run_module_serve, Options};
+use m3gc::runtime::serve::ServeOutcome;
+use m3gc::runtime::{RuntimeOptions, ServeLoad};
+
+fn serve(src: &str, opts: RuntimeOptions, requests: u64, burst: usize) -> ServeOutcome {
+    let module = compile(src, &Options::o2()).expect("test program compiles");
+    let load = ServeLoad { requests, burst, entry: Some("Handle".to_string()) };
+    run_module_serve(module, opts, load).expect("serve run completes")
+}
+
+/// An object escapes its request's region into a module global, the
+/// region is torn down, and the *next* request reads the escapee back:
+/// the write-barrier escape check must force promotion instead of the
+/// O(1) reset, and the promoted object must survive with its value.
+#[test]
+fn escape_promote_then_reclaim() {
+    // One thread, one green slot: requests run strictly in sequence, so
+    // the global handoff and the printed values are deterministic.
+    let src = "MODULE Esc;
+        TYPE R = REF RECORD id, v: INTEGER END;
+        VAR keep: R;
+        PROCEDURE Handle(id: INTEGER) =
+        VAR junk: R; i: INTEGER;
+        BEGIN
+          IF keep # NIL THEN PutInt(keep.v); END;
+          FOR i := 1 TO 20 DO junk := NEW(R); junk.v := i; END;
+          WITH r = NEW(R) DO r.id := id; r.v := id * 3; keep := r; END;
+        END Handle;
+        BEGIN keep := NIL; END Esc.";
+    let opts = RuntimeOptions::new()
+        .semi_words(1 << 14)
+        .serve(256, 1)
+        .threads(1)
+        .gc_workers(2)
+        .torture(true)
+        .oracle(true);
+    let out = serve(src, opts, 8, 1);
+    // Request k reads request k-1's escapee: 0, 3, 6, … 18.
+    assert_eq!(out.outputs.concat(), "0369121518", "wrong escapee values");
+    let s = &out.stats;
+    assert_eq!(s.requests, 8);
+    assert!(s.region_escapes >= 8, "every request escapes, got {}", s.region_escapes);
+    assert!(s.regions_zombied > 0, "escaped regions must exit as zombies");
+    assert!(s.region_words_promoted > 0, "escapees must be promoted, not reset");
+    assert!(s.region_words_reset > 0, "the garbage part of escaped regions must be reclaimed");
+}
+
+/// A slow request keeps a live region-local list across the dozens of
+/// stop-the-world collections its torture-mode neighbours force: the
+/// pinned region must be traced precisely (the list survives, sum
+/// intact) while the fast requests' regions come and go around it.
+#[test]
+fn slow_request_pins_region_across_collections() {
+    let src = "MODULE Pin;
+        TYPE Node = REF RECORD v: INTEGER; next: Node END;
+        PROCEDURE Handle(id: INTEGER) =
+        VAR l, t: Node; i, s: INTEGER;
+        BEGIN
+          IF id = 0 THEN
+            l := NIL;
+            FOR i := 1 TO 40 DO
+              WITH c = NEW(Node) DO c.v := i; c.next := l; l := c; END;
+            END;
+            s := 0;
+            WHILE l # NIL DO s := s + l.v; l := l.next; END;
+            PutInt(s);
+          ELSE
+            FOR i := 1 TO 10 DO t := NEW(Node); t.v := i; END;
+          END;
+        END Handle;
+        BEGIN PutInt(0); END Pin.";
+    let opts = RuntimeOptions::new()
+        .semi_words(1 << 14)
+        .serve(512, 4)
+        .threads(2)
+        .gc_workers(2)
+        .torture(true)
+        .oracle(true);
+    let out = serve(src, opts, 12, 4);
+    let s = &out.stats;
+    assert_eq!(s.requests, 12);
+    assert!(s.collections > 10, "torture must force many collections, got {}", s.collections);
+    // 1 + 2 + … + 40 = 820, printed by the pinned request after its
+    // region survived the neighbours' collections.
+    assert!(
+        out.outputs.iter().any(|o| o.contains("820")),
+        "slow request's region-local list was corrupted: outputs {:?}",
+        out.outputs
+    );
+    assert!(
+        s.regions_reclaimed_fast == s.regions_created,
+        "nothing escapes here — every region must exit via the O(1) reset, got {}/{}",
+        s.regions_reclaimed_fast,
+        s.regions_created
+    );
+}
+
+/// Request exits race the stop-the-world handshake: with a collection
+/// forced at every allocation, two OS threads and eight green slots,
+/// requests constantly finish (tearing their region down) while a
+/// handshake is being gathered. The run must complete with every
+/// request served and the oracle silent.
+#[test]
+fn request_exit_races_stw_handshake() {
+    let src = "MODULE Race;
+        TYPE R = REF RECORD v: INTEGER END;
+        PROCEDURE Handle(id: INTEGER) =
+        VAR r: R; i: INTEGER;
+        BEGIN
+          FOR i := 1 TO 3 DO r := NEW(R); r.v := id + i; END;
+        END Handle;
+        BEGIN PutInt(0); END Race.";
+    let opts = RuntimeOptions::new()
+        .semi_words(1 << 14)
+        .serve(64, 8)
+        .threads(2)
+        .gc_workers(2)
+        .torture(true)
+        .oracle(true);
+    let out = serve(src, opts, 64, 8);
+    let s = &out.stats;
+    assert_eq!(s.requests, 64, "every admitted request must complete");
+    assert_eq!(s.regions_created, 64);
+    assert_eq!(
+        s.regions_reclaimed_fast, 64,
+        "purely request-local allocation must always take the O(1) reset"
+    );
+    assert!(s.collections > 0);
+}
