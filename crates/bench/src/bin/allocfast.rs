@@ -133,6 +133,11 @@ fn main() {
         tlab.allocations
     );
 
+    // Waste: words handed to TLABs but discarded at retirement, as a
+    // share of every word the mutators consumed (useful + discarded).
+    let consumed = (tlab.words_allocated + tlab.tlab_waste_words) as f64;
+    let waste_pct = 100.0 * tlab.tlab_waste_words as f64 / consumed.max(f64::MIN_POSITIVE);
+
     let base_tp = base.allocations as f64 / base_secs.max(f64::MIN_POSITIVE);
     let tlab_tp = tlab.allocations as f64 / tlab_secs.max(f64::MIN_POSITIVE);
     let speedup = tlab_tp / base_tp.max(f64::MIN_POSITIVE);
@@ -158,7 +163,7 @@ fn main() {
     println!("  shared CAS: {base_tp:>12.0} allocs/s ({base_secs:.3} s)");
     println!(
         "  tlab {DEFAULT_TLAB_WORDS}w: {tlab_tp:>12.0} allocs/s ({tlab_secs:.3} s), \
-         {} refill(s), {} waste word(s)",
+         {} refill(s), {} waste word(s) ({waste_pct:.2}% of consumed)",
         tlab.tlab_refills, tlab.tlab_waste_words
     );
     println!("  speedup {speedup:.2}x");
@@ -214,6 +219,7 @@ fn main() {
     rep.put("tlab_refills", tlab.tlab_refills);
     rep.put("tlab_fast_allocs", tlab.tlab_allocs);
     rep.put("tlab_waste_words", tlab.tlab_waste_words);
+    rep.put("tlab_waste_pct", waste_pct);
     rep.put("wm_depth", depth);
     rep.put("wm_minors", deep.minor_collections);
     rep.put("frames_traced", traced);

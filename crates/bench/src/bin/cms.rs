@@ -1,0 +1,225 @@
+//! Concurrent-marking experiment: what fraction of the stop-the-world
+//! pause does tracing account for?
+//!
+//! The workload is the worst case for pause-time tracing: a long live
+//! *linked chain* every collection must evacuate, plus a garbage churn
+//! loop. A chain has no trace parallelism — the parallel collector's
+//! work-stealing trace degenerates to one worker chasing pointers for
+//! the whole pause — but the marked *bitmap* partitions into chunks
+//! regardless of pointer structure, so cms moves the serial chase off
+//! the pause (concurrent markers walk the chain while the mutator
+//! churns) and keeps only the chunk-parallel evacuation stopped. Both
+//! runs use the same compiled module and heap size, so the live set at
+//! each collection is equal, and both are validated against the
+//! single-threaded semispace baseline.
+//!
+//! The headline assertions — cms final pause ≤ 0.5× the parallel
+//! collector's full pause, and end-to-end throughput within 10% — only
+//! arm on a full (non-`--quick`) run with ≥4 hardware threads: on a
+//! smaller host the markers time-slice the mutator's core and the bench
+//! degenerates to a report-only smoke test. Either way the run writes
+//! `BENCH_cms.json` with the measured pauses and a `skip_reason` when
+//! the assertions stay off.
+
+use std::time::Duration;
+
+use m3gc_compiler::{compile, run_module, run_module_par_opts, Options};
+use m3gc_runtime::parallel::{ParGcStats, ParOutcome};
+use m3gc_runtime::{GcStrategy, RuntimeOptions, StatsReport};
+
+/// A live chain of `length` nodes plus a garbage churn loop (single
+/// mutator, so the shared chain head is safe). The churn does a little
+/// arithmetic per allocation so the heap fills at a realistic mutator
+/// rate rather than an allocation-only sprint — that slack is what lets
+/// the concurrent markers finish the chain walk before the occupancy
+/// trigger's final pause.
+fn cms_src(length: usize, churn: usize) -> String {
+    format!(
+        "MODULE CmsBench;
+TYPE Node = REF RECORD v: INTEGER; next: Node END;
+VAR head: Node;
+
+PROCEDURE Build(n: INTEGER) =
+VAR t: Node; i: INTEGER;
+BEGIN
+  FOR i := 1 TO n DO
+    t := NEW(Node);
+    t.v := i;
+    t.next := head;
+    head := t;
+  END;
+END Build;
+
+PROCEDURE Sum(): INTEGER =
+VAR p: Node; s: INTEGER;
+BEGIN
+  s := 0;
+  p := head;
+  WHILE p # NIL DO
+    s := (s + p.v) MOD 1000003;
+    p := p.next;
+  END;
+  RETURN s;
+END Sum;
+
+PROCEDURE Churn(rounds: INTEGER): INTEGER =
+VAR t: Node; i, j, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO rounds DO
+    t := NEW(Node);
+    t.v := i;
+    FOR j := 1 TO 8 DO
+      s := (s + t.v * j) MOD 1000003;
+    END;
+  END;
+  RETURN s;
+END Churn;
+
+BEGIN
+  Build({length});
+  PutInt(Churn({churn}));
+  PutInt(Sum());
+END CmsBench.",
+    )
+}
+
+/// Mean stop-the-world pause (`total_time`: the whole pause for the
+/// parallel collector, the *final* pause for cms) over the collections
+/// that evacuated the bulk of the live set — at least half the maximum
+/// observed — skipping the partial collections during tree construction.
+fn pause_mean_us(gc_each: &[ParGcStats]) -> (f64, u64) {
+    let max_words = gc_each.iter().map(|s| s.words_copied).max().unwrap_or(0);
+    let full: Vec<&ParGcStats> =
+        gc_each.iter().filter(|s| s.words_copied * 2 >= max_words).collect();
+    assert!(!full.is_empty(), "no full-live-set collections observed");
+    let mean =
+        full.iter().map(|s| s.total_time).sum::<Duration>().as_secs_f64() * 1e6 / full.len() as f64;
+    (mean, full.len() as u64)
+}
+
+fn timed_run(module: m3gc_vm::VmModule, opts: RuntimeOptions, label: &str) -> (ParOutcome, f64) {
+    let t0 = std::time::Instant::now();
+    let out = run_module_par_opts(module, opts)
+        .unwrap_or_else(|e| panic!("cms bench {label} run failed: {e}"));
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // A 3-word node: 150K live nodes fill ~450K of the 1M-word space.
+    // Churn is sized so the occupancy trigger fires several full cycles.
+    let (length, churn, semi_words) =
+        if quick { (6_000, 100_000, 1 << 16) } else { (150_000, 600_000, 1 << 20) };
+    let workers = 4;
+    let conc_workers = 2;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let src = cms_src(length, churn);
+    let module = compile(&src, &Options::o2()).expect("benchmark compiles");
+
+    // Correctness baseline: the single-threaded semispace collector.
+    let baseline = run_module(module.clone(), semi_words).expect("baseline run");
+
+    let par_opts = RuntimeOptions::new()
+        .strategy(GcStrategy::Parallel)
+        .semi_words(semi_words)
+        .threads(1)
+        .gc_workers(workers);
+    let cms_opts = RuntimeOptions::new()
+        .strategy(GcStrategy::Cms)
+        .semi_words(semi_words)
+        .threads(1)
+        .gc_workers(workers)
+        .conc_workers(conc_workers);
+    let (par, par_secs) = timed_run(module.clone(), par_opts, "parallel");
+    let (cms, cms_secs) = timed_run(module.clone(), cms_opts, "cms");
+    assert_eq!(par.output, baseline.output, "parallel run must match semispace");
+    assert_eq!(cms.output, baseline.output, "cms run must match semispace");
+    assert!(par.collections >= 3, "workload must trigger repeated parallel collections");
+    assert!(cms.collections >= 3, "workload must trigger repeated cms cycles");
+    assert!(cms.gc_each.iter().all(|s| s.cms_cycle), "every cms collection is a cms cycle");
+
+    let live_objects = par.gc_each.iter().map(|s| s.objects_copied).max().unwrap_or(0);
+    let (par_pause_us, par_full) = pause_mean_us(&par.gc_each);
+    let (cms_final_us, cms_full) = pause_mean_us(&cms.gc_each);
+    let snap_us = cms.gc_each.iter().map(|s| s.snapshot_pause.as_secs_f64() * 1e6);
+    let snap_mean_us = snap_us.clone().sum::<f64>() / cms.gc_each.len() as f64;
+    let snap_max_us = snap_us.fold(0.0, f64::max);
+    let mark_mean_us =
+        cms.gc_each.iter().map(|s| s.mark_concurrent.as_secs_f64() * 1e6).sum::<f64>()
+            / cms.gc_each.len() as f64;
+    let pause_ratio = cms_final_us / par_pause_us.max(f64::MIN_POSITIVE);
+    let slowdown = cms_secs / par_secs.max(f64::MIN_POSITIVE);
+
+    // The mutator, the markers and the evacuation workers all need real
+    // hardware threads for the pause split to mean anything; record
+    // exactly why whenever the assertions stay off.
+    let asserted = !quick && cores >= workers;
+    let skip_reason = if asserted {
+        String::new()
+    } else if quick {
+        "quick mode is a report-only smoke run".to_string()
+    } else {
+        format!("host has {cores} hardware thread(s), the assertion needs >= {workers}")
+    };
+
+    println!(
+        "Cms: live chain of {length} nodes (~{live_objects} objects evacuated), {churn} churn allocations"
+    );
+    println!(
+        "  host: {cores} hardware thread(s); pause/throughput assertions {}",
+        if asserted { "armed" } else { "off (report only)" }
+    );
+    if !asserted {
+        eprintln!("cms: warning: pause/throughput assertions not armed: {skip_reason}");
+    }
+    println!(
+        "  par: full pause mean {par_pause_us:>10.2} us over {par_full} full collection(s), {par_secs:.3} s total"
+    );
+    println!(
+        "  cms: final pause mean {cms_final_us:>10.2} us over {cms_full} full cycle(s), {cms_secs:.3} s total"
+    );
+    println!(
+        "  cms: snapshot pause mean {snap_mean_us:.2} us / max {snap_max_us:.2} us, concurrent mark mean {mark_mean_us:.2} us"
+    );
+    println!(
+        "  final/full pause ratio {pause_ratio:.2}; satb {} enqueue(s), {} drained",
+        cms.satb_enqueued, cms.satb_drained
+    );
+
+    let mut rep = StatsReport::new("cms");
+    rep.put("quick", quick);
+    rep.host(cores, asserted);
+    rep.put("chain_length", length);
+    rep.put("live_objects", live_objects);
+    rep.put("workers", workers);
+    rep.put("conc_workers", conc_workers);
+    rep.put("par_pause_mean_us", par_pause_us);
+    rep.put("cms_final_pause_mean_us", cms_final_us);
+    rep.put("cms_snapshot_pause_mean_us", snap_mean_us);
+    rep.put("cms_snapshot_pause_max_us", snap_max_us);
+    rep.put("cms_mark_concurrent_mean_us", mark_mean_us);
+    rep.put("pause_ratio", pause_ratio);
+    rep.put("par_secs", par_secs);
+    rep.put("cms_secs", cms_secs);
+    rep.put("slowdown", slowdown);
+    rep.put("satb_enqueued", cms.satb_enqueued);
+    rep.put("satb_drained", cms.satb_drained);
+    rep.put("skip_reason", skip_reason.as_str());
+    rep.put("outputs_match", true);
+    let json = rep.to_json();
+    println!("{json}");
+    m3gc_bench::write_bench_json("cms", &json);
+
+    if asserted {
+        assert!(
+            pause_ratio <= 0.5,
+            "cms final pause must be <= 0.5x the parallel full pause at equal live set, got {pause_ratio:.2}x"
+        );
+        assert!(
+            slowdown <= 1.10,
+            "cms throughput must stay within 10% of the parallel collector, got {slowdown:.2}x slower"
+        );
+    }
+}

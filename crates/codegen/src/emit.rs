@@ -430,6 +430,29 @@ fn emit_function(
                     // booleans, stack addresses, path variables and
                     // derived values) or the target is nursery-fresh or
                     // outside the heap.
+                    //
+                    // The same `StB` serves two barrier modes, and every
+                    // elision below must be sound for both. Generational
+                    // mode records the *target* (old-to-young remembered
+                    // set); SATB deletion mode enqueues the *old value*
+                    // while concurrent marking runs. For SATB:
+                    //
+                    // * Non-pointer source: the overwritten slot of a
+                    //   same-typed object is equally non-pointer — no
+                    //   reference is deleted, nothing to preserve.
+                    // * Fresh target: the object was allocated after the
+                    //   snapshot with no gc-point (hence no pause, and
+                    //   `marking` only toggles inside pauses) between
+                    //   the allocation and this store, so its fields
+                    //   are still NIL — the overwritten value is never
+                    //   a snapshot-reachable pointer. If marking was on
+                    //   at the allocation the object is also born black.
+                    // * Frame/global targets (`StF`/`StG` sites): the
+                    //   snapshot pause marks root *values* directly —
+                    //   globals and every frame's tidy roots — so the
+                    //   overwritten pointer was already marked at the
+                    //   snapshot; only heap-to-heap edges can delete
+                    //   the last unmarked path to an object.
                     let needs_barrier = options.gc.write_barriers
                         && f.kind(*src) == TempKind::Ptr
                         && !fresh.contains(addr.index())

@@ -11,8 +11,6 @@ use m3gc_ir::verify::VerifyError;
 use m3gc_runtime::scheduler::ExecError;
 use m3gc_runtime::{GcStrategy, RuntimeOptions, ServeLoad, StatsReport};
 
-use m3gc_vm::DEFAULT_TLAB_WORDS;
-
 use crate::{
     compile, compile_to_ir, run_module_opts, run_module_par_opts, run_module_serve, Options,
 };
@@ -104,77 +102,6 @@ impl std::error::Error for DriverError {
     }
 }
 
-/// Run configuration for [`run`] — the pre-[`RuntimeOptions`] surface,
-/// kept one release as a lossless shim.
-#[deprecated(note = "build an m3gc_runtime::RuntimeOptions instead")]
-#[derive(Debug, Clone, Copy)]
-pub struct RunConfig {
-    /// Semispace size in words.
-    pub semi_words: usize,
-    /// Force a collection at every allocation.
-    pub torture: bool,
-    /// Print collection statistics after the program output.
-    pub stats: bool,
-    /// Run under the generational collector (`--gc=gen`) instead of the
-    /// plain semispace collector.
-    pub generational: bool,
-    /// Nursery size in words (`--nursery N`); defaults to a quarter
-    /// semispace when generational.
-    pub nursery_words: Option<usize>,
-    /// Run under the parallel runtime (`--gc=par`): OS-thread mutators
-    /// with stop-the-world parallel collection.
-    pub parallel: bool,
-    /// Mutator threads for the parallel runtime (`--threads N`); each
-    /// runs its own copy of the module body.
-    pub threads: usize,
-    /// Gc worker threads per parallel collection (`--gc-workers M`).
-    pub gc_workers: usize,
-    /// Thread-local allocation buffer size in words for the parallel
-    /// runtime (`--tlab-words N`); `0` disables TLABs so every allocation
-    /// claims from the shared frontier directly.
-    pub tlab_words: usize,
-}
-
-#[allow(deprecated)]
-impl Default for RunConfig {
-    fn default() -> Self {
-        RunConfig {
-            semi_words: 1 << 16,
-            torture: false,
-            stats: false,
-            generational: false,
-            nursery_words: None,
-            parallel: false,
-            threads: 1,
-            gc_workers: 4,
-            tlab_words: DEFAULT_TLAB_WORDS,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<RunConfig> for RuntimeOptions {
-    fn from(c: RunConfig) -> RuntimeOptions {
-        let strategy = if c.parallel {
-            GcStrategy::Parallel
-        } else if c.generational {
-            GcStrategy::Generational
-        } else {
-            GcStrategy::Semispace
-        };
-        let mut o = RuntimeOptions::new()
-            .strategy(strategy)
-            .semi_words(c.semi_words)
-            .threads(c.threads)
-            .gc_workers(c.gc_workers)
-            .tlab_words(c.tlab_words)
-            .torture(c.torture)
-            .stats(c.stats);
-        o.nursery_words = c.nursery_words;
-        o
-    }
-}
-
 /// `m3c check`: parse and type-check only.
 ///
 /// # Errors
@@ -208,7 +135,7 @@ pub fn run(
     // Surface malformed gc tables as a Decode error up front instead of a
     // panic inside the executor.
     let cache = DecodeCache::build(&module.gc_maps)?;
-    if opts.strategy == GcStrategy::Parallel {
+    if matches!(opts.strategy, GcStrategy::Parallel | GcStrategy::Cms) {
         return run_parallel(module, opts);
     }
     let total_points = cache.index().gc_point_pcs().count();
@@ -243,13 +170,16 @@ pub fn run(
     Ok(s)
 }
 
-/// The `--gc=par` path of [`run`]: `threads` OS-thread mutators, each
-/// running the module body, with stop-the-world parallel collection.
+/// The `--gc=par` / `--gc=cms` path of [`run`]: `threads` OS-thread
+/// mutators, each running the module body, with stop-the-world parallel
+/// collection (or, for cms, concurrent SATB marking and a parallel
+/// bitmap evacuation in the final pause).
 fn run_parallel(module: m3gc_vm::VmModule, opts: RuntimeOptions) -> Result<String, DriverError> {
     let out = run_module_par_opts(module, opts)?;
     let mut s = out.output.clone();
     if opts.stats {
-        let mut rep = StatsReport::new("run-par");
+        let name = if opts.strategy == GcStrategy::Cms { "run-cms" } else { "run-par" };
+        let mut rep = StatsReport::new(name);
         rep.add_parallel(
             opts.threads.max(1),
             opts.gc_workers.max(1),
@@ -257,6 +187,14 @@ fn run_parallel(module: m3gc_vm::VmModule, opts: RuntimeOptions) -> Result<Strin
             out.steps,
             &out.gc_each,
         );
+        if opts.strategy == GcStrategy::Cms {
+            rep.add_cms(
+                opts.conc_workers.max(1),
+                out.satb_enqueued,
+                out.satb_drained,
+                &out.gc_each,
+            );
+        }
         rep.add_tlab(opts.tlab_words, out.tlab_refills, out.tlab_allocs, out.tlab_waste_words);
         rep.add_watermark(
             out.gc_each.iter().map(|g| g.frames_spliced).sum(),
@@ -392,8 +330,11 @@ pub fn stats(source: &str, options: &Options) -> Result<String, DriverError> {
 /// Returns a usage error for unknown flags or malformed values.
 pub fn parse_options(args: &[String]) -> Result<(Options, RuntimeOptions), DriverError> {
     let (options, config, _) = parse_all(args)?;
-    if config.threads > 1 && config.strategy != GcStrategy::Parallel && config.region_words == 0 {
-        return Err(DriverError::usage("--threads requires --gc par"));
+    if config.threads > 1
+        && !matches!(config.strategy, GcStrategy::Parallel | GcStrategy::Cms)
+        && config.region_words == 0
+    {
+        return Err(DriverError::usage("--threads requires --gc par or --gc cms"));
     }
     Ok((options, config))
 }
@@ -433,7 +374,7 @@ fn parse_all(args: &[String]) -> Result<(Options, RuntimeOptions, ServeLoad), Dr
             "--stats" => config = config.stats(true),
             "--oracle" => config = config.oracle(true),
             "--heap" => config.semi_words = value("--heap", it.next())?,
-            "--gc" | "--gc=semispace" | "--gc=gen" | "--gc=par" => {
+            "--gc" | "--gc=semispace" | "--gc=gen" | "--gc=par" | "--gc=cms" => {
                 let owned;
                 let v = if let Some(eq) = a.strip_prefix("--gc=") {
                     owned = eq.to_string();
@@ -445,9 +386,11 @@ fn parse_all(args: &[String]) -> Result<(Options, RuntimeOptions, ServeLoad), Dr
                     "gen" => GcStrategy::Generational,
                     "semispace" => GcStrategy::Semispace,
                     "par" => GcStrategy::Parallel,
+                    "cms" => GcStrategy::Cms,
                     other => {
                         return Err(DriverError::usage(format!(
-                            "unknown collector `{other}` (expected `semispace`, `gen` or `par`)"
+                            "unknown collector `{other}` (expected `semispace`, `gen`, `par` or \
+                             `cms`)"
                         )))
                     }
                 };
@@ -462,6 +405,12 @@ fn parse_all(args: &[String]) -> Result<(Options, RuntimeOptions, ServeLoad), Dr
                 config.gc_workers = value::<usize>("--gc-workers", it.next())?;
                 if config.gc_workers < 1 {
                     return Err(DriverError::usage("bad --gc-workers value `0`"));
+                }
+            }
+            "--conc-workers" => {
+                config.conc_workers = value::<usize>("--conc-workers", it.next())?;
+                if config.conc_workers < 1 {
+                    return Err(DriverError::usage("bad --conc-workers value `0`"));
                 }
             }
             "--tlab-words" => config.tlab_words = value("--tlab-words", it.next())?,
@@ -506,6 +455,8 @@ fn parse_all(args: &[String]) -> Result<(Options, RuntimeOptions, ServeLoad), Dr
 
 #[cfg(test)]
 mod tests {
+    use m3gc_vm::DEFAULT_TLAB_WORDS;
+
     use super::*;
 
     const HELLO: &str = "MODULE H; VAR x: INTEGER; BEGIN x := 41 + 1; PutInt(x); END H.";
@@ -767,6 +718,44 @@ mod tests {
         assert_eq!(c.tlab_words, 0);
         assert!(parse_options(&["--tlab-words".into(), "lots".into()]).is_err());
         assert!(parse_options(&["--tlab-words".into()]).is_err());
+        // Concurrent marking: `--gc cms` with its own marker count.
+        let (_, c) = parse_options(&["--gc".into(), "cms".into()]).unwrap();
+        assert_eq!(c.strategy, GcStrategy::Cms);
+        let (_, c) =
+            parse_options(&["--gc=cms".into(), "--conc-workers".into(), "3".into()]).unwrap();
+        assert_eq!((c.strategy, c.conc_workers), (GcStrategy::Cms, 3));
+        // Multiple mutators are legal under cms, as under par.
+        let (_, c) = parse_options(&["--gc=cms".into(), "--threads".into(), "4".into()]).unwrap();
+        assert_eq!(c.threads, 4);
+        assert!(parse_options(&["--conc-workers".into(), "0".into()]).is_err());
+        assert!(parse_options(&["--conc-workers".into()]).is_err());
+    }
+
+    #[test]
+    fn run_cms_matches_sequential_output_and_reports_cycles() {
+        let (o, mut c) = parse_options(&[
+            "--gc=cms".into(),
+            "--threads".into(),
+            "2".into(),
+            "--conc-workers".into(),
+            "2".into(),
+            "--torture".into(),
+            "--stats".into(),
+        ])
+        .unwrap();
+        c.semi_words = 1 << 14;
+        let out = run(LOCAL_ALLOCATING, &o, c).unwrap();
+        // Two mutators each print 1275, then the stats sections: the
+        // parallel lines plus the cms pause split and SATB ledger.
+        assert!(out.starts_with("12751275"), "{out}");
+        assert!(out.contains("parallel: 2 mutator(s)"), "{out}");
+        let cms_line = out
+            .lines()
+            .find(|l| l.contains("cms:") && l.contains("cycle(s)"))
+            .unwrap_or_else(|| panic!("no cms line in {out}"));
+        assert!(cms_line.contains("snapshot pause"), "{cms_line}");
+        assert!(cms_line.contains("final pause"), "{cms_line}");
+        assert!(out.contains("satb:"), "{out}");
     }
 
     #[test]
@@ -855,26 +844,5 @@ mod tests {
         assert!(out.contains("regions:"), "{out}");
         assert!(out.contains("latency:"), "{out}");
         assert!(out.contains("pauses:"), "{out}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_run_config_converts_losslessly() {
-        let c = RunConfig {
-            generational: true,
-            nursery_words: Some(64),
-            torture: true,
-            semi_words: 8192,
-            ..RunConfig::default()
-        };
-        let o: RuntimeOptions = c.into();
-        assert_eq!(o.strategy, GcStrategy::Generational);
-        assert_eq!(o.nursery_words, Some(64));
-        assert_eq!(o.force_every_allocs, Some(1));
-        assert_eq!(o.semi_words, 8192);
-        let p = RunConfig { parallel: true, threads: 3, ..RunConfig::default() };
-        let o: RuntimeOptions = p.into();
-        assert_eq!(o.strategy, GcStrategy::Parallel);
-        assert_eq!(o.threads, 3);
     }
 }

@@ -268,31 +268,6 @@ pub fn run_module_par(
     run_module_par_opts(module, options)
 }
 
-/// Like [`run_module_par`], but with full control over the parallel
-/// machine configuration (TLAB size, stack words, ...).
-///
-/// # Errors
-///
-/// Propagates [`ExecError`] from the first failing thread.
-#[deprecated(note = "use run_module_par_opts with RuntimeOptions")]
-#[allow(deprecated)]
-pub fn run_module_par_with(
-    module: VmModule,
-    machine_config: m3gc_vm::ParMachineConfig,
-    shadow: bool,
-    config: impl Into<RuntimeOptions>,
-) -> Result<ParOutcome, ExecError> {
-    let mut options = config
-        .into()
-        .strategy(GcStrategy::Parallel)
-        .semi_words(machine_config.semi_words)
-        .stack_words(machine_config.stack_words)
-        .threads(machine_config.mutators)
-        .tlab_words(machine_config.tlab_words);
-    options.shadow = options.shadow || shadow;
-    run_module_par_opts(module, options)
-}
-
 /// Compiles and runs in one step (convenience for tests and examples).
 ///
 /// # Errors

@@ -157,6 +157,41 @@ pub fn run_par_vm(source: &str, options: &Options, workers: usize, tlab_words: u
     }
 }
 
+/// Runs one configuration under the *concurrent-marking* collector: a
+/// single mutator with `workers` evacuation workers and `conc_workers`
+/// background markers, under torture with shadow mode and the precision
+/// oracle. Torture forces a full snapshot/final pause pair around nearly
+/// every allocation, so the SATB write barrier, the black-allocation
+/// window and the final-pause drain are all exercised on every program,
+/// and every cycle is differentially checked against full STW
+/// reachability by the shadow verifier.
+#[must_use]
+pub fn run_cms_vm(
+    source: &str,
+    options: &Options,
+    workers: usize,
+    conc_workers: usize,
+) -> RunStatus {
+    let module = match compile(source, options) {
+        Ok(m) => m,
+        Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
+    };
+    let ropts = RuntimeOptions::new()
+        .strategy(GcStrategy::Cms)
+        .semi_words(FUZZ_SEMI_WORDS)
+        .stack_words(1 << 15)
+        .threads(1)
+        .gc_workers(workers)
+        .conc_workers(conc_workers)
+        .torture(true)
+        .shadow(true)
+        .oracle(true);
+    match run_module_par_opts(module, ropts) {
+        Ok(out) => RunStatus::Ok(out.output),
+        Err(e) => status_of_error(e),
+    }
+}
+
 /// Runs one configuration under the *allocation-service* executor: 2 OS
 /// scheduler threads multiplexing 8 green-thread requests, each request
 /// allocating into a tiny per-request region, under torture with the
@@ -196,6 +231,17 @@ pub fn par_config_matrix() -> Vec<(String, Options, usize, usize)> {
         ("o2/par-w2".to_string(), Options::o2(), 2, DEFAULT_TLAB_WORDS),
         ("o0/par-w4".to_string(), Options::o0(), 4, DEFAULT_TLAB_WORDS),
         ("o2/par-w2/tlab8".to_string(), Options::o2(), 2, 8),
+    ]
+}
+
+/// The concurrent-marking side of the matrix: {o0, o2} with 2
+/// evacuation workers and 2 background markers, differentially checked
+/// against the reference interpreter under torture.
+#[must_use]
+pub fn cms_config_matrix() -> Vec<(String, Options, usize, usize)> {
+    vec![
+        ("o2/cms-w2m2".to_string(), Options::o2(), 2, 2),
+        ("o0/cms-w2m2".to_string(), Options::o0(), 2, 2),
     ]
 }
 
@@ -246,6 +292,19 @@ pub fn check_program(source: &str) -> Result<bool, String> {
     }
     for (label, opts, workers, tlab_words) in par_config_matrix() {
         match run_par_vm(source, &opts, workers, tlab_words) {
+            RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
+            RunStatus::Inconclusive(_) => continue,
+            got => {
+                if got != reference {
+                    return Err(format!(
+                        "[{label}] diverged from reference: got {got:?}, expected {reference:?}"
+                    ));
+                }
+            }
+        }
+    }
+    for (label, opts, workers, conc_workers) in cms_config_matrix() {
+        match run_cms_vm(source, &opts, workers, conc_workers) {
             RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
             RunStatus::Inconclusive(_) => continue,
             got => {

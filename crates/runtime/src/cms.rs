@@ -1,0 +1,902 @@
+//! Concurrent snapshot-at-the-beginning (SATB) marking on the parallel
+//! runtime.
+//!
+//! A `--gc cms` collection cycle replaces the single monolithic
+//! stop-the-world pause with two short ones and a concurrent phase in
+//! between:
+//!
+//! 1. **Snapshot pause.** The requesting mutator leads the usual
+//!    safepoint handshake, but instead of copying anything it seeds the
+//!    mark state: the bitmap is cleared, every root *value* — globals
+//!    plus each parked thread's tidy roots, gathered with the
+//!    watermark-spliced stack walk — is marked and pushed on the shared
+//!    gray stack, `snap_free` records the allocation frontier, and the
+//!    `marking` flag arms the `StB` deletion barrier. The world
+//!    resumes.
+//! 2. **Concurrent mark.** `conc_workers` markers (owned by a
+//!    coordinator thread that sleeps between cycles) trace the gray
+//!    stack to closure while the mutators keep running. The SATB
+//!    invariant keeps this sound: any pointer a mutator overwrites
+//!    while marking is enqueued (old value first) into a per-mutator
+//!    buffer the markers drain, and every object allocated during
+//!    marking is born black — so no object reachable at the snapshot
+//!    can be lost, only floating garbage can be retained. When the
+//!    markers go quiescent (no gray work, empty SATB sink, nothing in
+//!    flight) the coordinator requests the final pause itself rather
+//!    than waiting for the heap to fill.
+//! 3. **Final pause.** A second handshake stops the world; the leader
+//!    waits for the markers to stand down, sequentially drains the
+//!    residual gray stack and SATB buffers to closure, and then runs a
+//!    *bitmap evacuation*: workers claim fixed-size from-space chunks
+//!    with one fetch-add each and copy that chunk's marked objects —
+//!    no per-object claim CAS, no work-stealing trace, because the
+//!    mark bitmap already is the transitive closure. Root slots and
+//!    copied objects' fields are rewritten through plain forwarding
+//!    loads after a barrier. The only stop-the-world work left is the
+//!    copy itself.
+//!
+//! With the oracle armed, every cycle is shadow-verified in the final
+//! pause before anything moves: a sequential trace from the *current*
+//! roots (the exact reachable set a full stop-the-world collection of
+//! this pause would copy) asserts that every reachable object carries a
+//! mark bit. A deletion barrier that dropped or reordered even one
+//! enqueue surfaces as an [`ExecError::Oracle`] here — see the SATB
+//! mutation tests.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use m3gc_core::decode::DecodeCache;
+use m3gc_core::heap::{header_type_id, HeapType};
+use m3gc_vm::machine::VmTrap;
+use m3gc_vm::par::CmsHeap;
+use m3gc_vm::{Mutator, ParMachine};
+
+use crate::parallel::{
+    par_oracle_check, re_derive_snap, read_root_snap, un_derive_snap, write_root_snap, ParGcStats,
+    Part, RunCtx, Snapshot, ThreadWorld,
+};
+use crate::scheduler::ExecError;
+use crate::trace::{
+    gather_global_roots_in, gather_thread_roots, gather_thread_roots_cached, verify_spliced_roots,
+    RootRef, StackCache, StackRoots,
+};
+
+/// Relaxed shorthand; cross-thread ordering comes from the handshake
+/// locks, the marking flag's acquire/release pair and the evacuation
+/// barriers.
+const R: Ordering = Ordering::Relaxed;
+
+/// Gray-stack objects a marker takes (and keeps locally) per refill.
+const MARK_BATCH: usize = 64;
+
+/// From-space words per evacuation chunk (fetch-add claim granularity).
+/// A multiple of 64 so bitmap words never straddle chunks.
+const CHUNK_WORDS: i64 = 1 << 12;
+
+/// Coordinator/marker state, guarded by [`CmsRun::mx`].
+struct CmsState {
+    /// Bumped by every snapshot pause; the coordinator runs one marker
+    /// generation per increment.
+    cycles_started: u64,
+    /// True once the current cycle's markers have exited (set by the
+    /// coordinator after joining them). The final-pause leader waits on
+    /// this before touching the gray stack.
+    markers_idle: bool,
+    /// Set at end of run; the coordinator exits once no cycle is open.
+    stop: bool,
+}
+
+/// Per-run concurrent-marking state (lives in `RunCtx`).
+pub(crate) struct CmsRun {
+    /// Concurrent marking workers per cycle.
+    workers: usize,
+    mx: Mutex<CmsState>,
+    cv: Condvar,
+    /// Set by the final-pause leader; markers poll it and stand down.
+    finish_requested: AtomicBool,
+    /// Shared gray stack of marked-but-unscanned objects.
+    gray: Mutex<Vec<i64>>,
+    /// Objects pushed gray but not yet fully scanned — the markers'
+    /// quiescence detector (0 + empty gray + empty sink = cycle traced).
+    in_flight: AtomicUsize,
+    /// Stats carried from the snapshot pause to the final pause.
+    pending: Mutex<Option<CyclePending>>,
+}
+
+struct CyclePending {
+    /// Full duration of the cycle-opening pause.
+    snapshot_pause: Duration,
+    /// When the world resumed and concurrent marking began.
+    mark_started: Instant,
+    /// `satb_drained` at cycle start (for the per-cycle delta).
+    satb_drained_start: u64,
+}
+
+impl CmsRun {
+    pub(crate) fn new(workers: usize) -> CmsRun {
+        CmsRun {
+            workers,
+            mx: Mutex::new(CmsState { cycles_started: 0, markers_idle: true, stop: false }),
+            cv: Condvar::new(),
+            finish_requested: AtomicBool::new(false),
+            gray: Mutex::new(Vec::new()),
+            in_flight: AtomicUsize::new(0),
+            pending: Mutex::new(None),
+        }
+    }
+
+    /// End-of-run signal: the coordinator finishes any open cycle and
+    /// exits.
+    pub(crate) fn stop(&self) {
+        let mut cs = self.mx.lock().unwrap();
+        cs.stop = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Marks `v` if it is an object address in `[from_start, limit)` and
+/// was not marked yet; returns `true` if this call marked it (the
+/// caller owns pushing it gray).
+fn mark_value(heap: &CmsHeap, from_start: i64, limit: i64, v: i64) -> bool {
+    v >= from_start && v < limit && heap.mark_if_unmarked(v)
+}
+
+/// Scans one marked object's pointer fields, marking and collecting the
+/// unmarked children. Returns how many were pushed.
+fn scan_mark(
+    vm: &ParMachine,
+    heap: &CmsHeap,
+    from_start: i64,
+    from_end: i64,
+    addr: i64,
+    out: &mut Vec<i64>,
+) -> usize {
+    let header = vm.word(addr);
+    debug_assert!(header >= 0, "forwarding pointer during marking at {addr}");
+    let ty = vm.module.types.get(header_type_id(header));
+    let len = match ty {
+        HeapType::Array { .. } => vm.word(addr + 1),
+        HeapType::Record { .. } => 0,
+    };
+    let mut pushed = 0;
+    for off in ty.pointer_offset_iter(len as u32) {
+        let v = vm.word(addr + i64::from(off));
+        if mark_value(heap, from_start, from_end, v) {
+            out.push(v);
+            pushed += 1;
+        }
+    }
+    pushed
+}
+
+/// One concurrent marking worker. Runs while the mutators run: pops
+/// gray batches, drains the SATB sink when the gray stack is dry, and
+/// exits on quiescence, on a final-pause request, or under the
+/// `hold_marking` test knob. Field reads race mutator stores by design;
+/// every word is an atomic, and a stale read is always safe — the
+/// overwritten value the marker missed is exactly what the deletion
+/// barrier enqueued.
+fn marker_loop(ctx: &RunCtx<'_>) {
+    let vm = ctx.vm;
+    let heap = vm.cms.as_ref().expect("marker without cms heap");
+    let run = ctx.cms.as_ref().expect("marker without cms run");
+    let (from_start, from_end) = vm.from_space();
+    let mut local: Vec<i64> = Vec::new();
+    loop {
+        if run.finish_requested.load(Ordering::Acquire) || heap.hold_marking.load(R) {
+            break;
+        }
+        if local.is_empty() {
+            let mut gray = run.gray.lock().unwrap();
+            let n = gray.len().min(MARK_BATCH);
+            if n > 0 {
+                let at = gray.len() - n;
+                local.extend(gray.drain(at..));
+            }
+        }
+        if local.is_empty() {
+            let taken = std::mem::take(&mut *heap.satb_sink.lock().unwrap());
+            if !taken.is_empty() {
+                heap.satb_drained.fetch_add(taken.len() as u64, R);
+                let before = local.len();
+                local.extend(
+                    taken.into_iter().filter(|&v| mark_value(heap, from_start, from_end, v)),
+                );
+                run.in_flight.fetch_add(local.len() - before, Ordering::SeqCst);
+            }
+        }
+        let Some(addr) = local.pop() else {
+            if run.in_flight.load(Ordering::SeqCst) == 0 {
+                // Nothing gray anywhere, the sink was just dry and no
+                // marker holds unscanned work: the cycle is quiescent.
+                // (SATB entries flushed after our sink check are the
+                // final pause's residue — draining them there is the
+                // same work, just not concurrent.)
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        let pushed = scan_mark(vm, heap, from_start, from_end, addr, &mut local);
+        // Count the children in flight before retiring their parent, so
+        // `in_flight == 0` still means "fully traced".
+        if pushed > 0 {
+            run.in_flight.fetch_add(pushed, Ordering::SeqCst);
+        }
+        run.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if local.len() >= 2 * MARK_BATCH {
+            // Share the surplus so idle markers can help.
+            let at = local.len() - MARK_BATCH;
+            run.gray.lock().unwrap().extend(local.drain(at..));
+        }
+    }
+    // Hand any unscanned work back for the final pause (or the other
+    // markers); it is already counted in `in_flight`.
+    if !local.is_empty() {
+        run.gray.lock().unwrap().append(&mut local);
+    }
+}
+
+/// The coordinator thread: one per cms run, spawned by `run_main`. It
+/// sleeps until a snapshot pause opens a cycle, drives that cycle's
+/// markers, and — when they quiesce with no pause pending — leads the
+/// final pause itself so a traced cycle doesn't float until the heap
+/// fills.
+pub(crate) fn cms_coordinator(ctx: &RunCtx<'_>) {
+    let vm = ctx.vm;
+    let heap = vm.cms.as_ref().expect("coordinator without cms heap");
+    let run = ctx.cms.as_ref().expect("coordinator without cms run");
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut cs = run.mx.lock().unwrap();
+            while cs.cycles_started == seen && !cs.stop {
+                cs = run.cv.wait(cs).unwrap();
+            }
+            if cs.cycles_started == seen {
+                return; // stopped with no open cycle
+            }
+            seen = cs.cycles_started;
+        }
+        std::thread::scope(|s| {
+            for _ in 0..run.workers {
+                s.spawn(|| marker_loop(ctx));
+            }
+        });
+        {
+            let mut cs = run.mx.lock().unwrap();
+            cs.markers_idle = true;
+            run.cv.notify_all();
+        }
+        // Quiescent with no final pause pending: finish the cycle now.
+        // The CAS makes us the leader exactly like a mutator would be;
+        // losing it means a mutator-led pause is already under way.
+        if heap.marking.load(Ordering::Acquire)
+            && !run.finish_requested.load(Ordering::Acquire)
+            && !ctx.coord.halt.load(Ordering::Acquire)
+            && !heap.hold_marking.load(R)
+            && vm
+                .gc_request
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            if let Err(e) = cms_lead_collection_counted(ctx, None, false) {
+                // Mutator threads record their own errors on exit; a
+                // coordinator-led pause must record here or an oracle
+                // violation would vanish with this thread.
+                let mut st = ctx.coord.state.lock().unwrap();
+                let mut err = ctx.coord.error.lock().unwrap();
+                if err.is_none() {
+                    *err = Some(e);
+                }
+                st.halt = true;
+                ctx.coord.halt.store(true, Ordering::Release);
+                ctx.coord.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The cms leader path, replacing `lead_collection_with` for cms runs:
+/// the same handshake, but the stopped-world work depends on the phase
+/// — a snapshot pause if no cycle is open, the final pause otherwise.
+pub(crate) fn cms_lead_collection(
+    ctx: &RunCtx<'_>,
+    mu: Option<&mut Mutator>,
+) -> Result<bool, ExecError> {
+    // External callers (mutators, serve scheduler threads) are counted
+    // in `active` and so stand in for themselves in the handshake.
+    cms_lead_collection_counted(ctx, mu, true)
+}
+
+/// The handshake + phase dispatch behind [`cms_lead_collection`].
+///
+/// `counted` says whether the calling thread is itself part of
+/// `CoordState::active`: a mutator (or serve scheduler thread) leader
+/// contributes `parked += 1` for itself and waits for the *others*; the
+/// cms coordinator is not an `active` thread, must not self-count —
+/// doing so would let the handshake "complete" with one mutator still
+/// running, and the world would not actually be stopped — and instead
+/// waits until every active thread has parked.
+fn cms_lead_collection_counted(
+    ctx: &RunCtx<'_>,
+    mut mu: Option<&mut Mutator>,
+    counted: bool,
+) -> Result<bool, ExecError> {
+    let t0 = Instant::now();
+    let mut st = ctx.coord.state.lock().unwrap();
+    if st.halt {
+        ctx.vm.gc_request.store(false, Ordering::Release);
+        return Ok(false);
+    }
+    if let Some(mu) = mu.as_deref_mut() {
+        if ctx.vm.is_poll_pc(mu.pc) {
+            ctx.poll_parks.fetch_add(1, R);
+        } else {
+            ctx.alloc_parks.fetch_add(1, R);
+        }
+        // Exact frontier, flushed counters *and* a flushed SATB buffer
+        // before leading (retire_tlab flushes all three).
+        ctx.vm.retire_tlab(mu);
+        *ctx.slots[mu.tid].lock().unwrap() = Some(Snapshot::of(mu));
+    }
+    if counted {
+        st.parked += 1;
+    }
+    ctx.coord.cv.notify_all();
+    while st.parked < st.active && !st.halt {
+        st = ctx.coord.cv.wait(st).unwrap();
+    }
+    let halted = st.halt;
+    let handshake_time = t0.elapsed();
+    drop(st);
+
+    let mut result: Result<(), ExecError> = Ok(());
+    if !halted {
+        let vm = ctx.vm;
+        let heap = vm.cms.as_ref().expect("cms lead without cms heap");
+        let run = ctx.cms.as_ref().expect("cms lead without cms run");
+        let allocs_now = vm.allocations.load(R);
+        let torture_due = allocs_now >= vm.force_gc_at.load(R);
+        if torture_due {
+            if let Some(every) = ctx.options.force_every_allocs {
+                vm.force_gc_at.store(allocs_now + every.max(1), R);
+            }
+        }
+        if heap.marking.load(Ordering::Acquire) {
+            let forced = mu.is_none() || torture_due;
+            result =
+                cms_final_pause(ctx, heap, run, forced, counted, allocs_now, handshake_time, t0);
+        } else if mu.is_some() {
+            result = cms_snapshot_pause(ctx, heap, run, t0);
+        }
+        // mu.is_none() with no cycle open: the coordinator's idle
+        // request raced a mutator-led final pause that already closed
+        // the cycle — release without starting a spurious one.
+    }
+
+    // Release protocol, identical to the stop-the-world leader: clear
+    // the request before bumping the generation, both under the lock.
+    let mut st = ctx.coord.state.lock().unwrap();
+    if result.is_err() {
+        st.halt = true;
+        ctx.coord.halt.store(true, Ordering::Release);
+    }
+    ctx.vm.gc_request.store(false, Ordering::Release);
+    st.parked = 0;
+    st.generation += 1;
+    ctx.coord.cv.notify_all();
+    drop(st);
+
+    if let Some(mu) = mu {
+        if let Some(snap) = ctx.slots[mu.tid].lock().unwrap().take() {
+            snap.restore(mu);
+        }
+    }
+    result.map(|()| !halted)
+}
+
+/// The snapshot pause proper (world stopped, leader only): validate the
+/// tables if the oracle is armed, then seed marking from root values
+/// and arm the deletion barrier.
+fn cms_snapshot_pause(
+    ctx: &RunCtx<'_>,
+    heap: &CmsHeap,
+    run: &CmsRun,
+    t0: Instant,
+) -> Result<(), ExecError> {
+    let vm = ctx.vm;
+    if ctx.options.oracle && vm.shadow.is_some() {
+        if let Err(msg) = par_oracle_check(ctx) {
+            let (fs, fe) = vm.from_space();
+            let free = vm.free.load(R);
+            return Err(ExecError::Oracle(format!(
+                "at snapshot pause (from=[{fs},{fe}) free={free}): {msg}"
+            )));
+        }
+    }
+    let (from_start, _) = vm.from_space();
+    let free_now = vm.free.load(R);
+    heap.clear_marks();
+    let mut gray = run.gray.lock().unwrap();
+    debug_assert!(gray.is_empty(), "gray residue across cycles");
+    debug_assert!(heap.satb_sink.lock().unwrap().is_empty(), "satb residue across cycles");
+    gray.clear();
+    let mut cache = ctx.caches[0].lock().unwrap();
+    for g in gather_global_roots_in(&vm.module, vm.globals_start() as i64) {
+        let RootRef::Mem(a) = g else { unreachable!("global root in a register") };
+        let v = vm.word(a);
+        if mark_value(heap, from_start, free_now, v) {
+            gray.push(v);
+        }
+    }
+    for (tid, slot) in ctx.slots.iter().enumerate() {
+        let slot = slot.lock().unwrap();
+        let Some(snap) = slot.as_ref() else { continue };
+        let world = ThreadWorld { vm, tid: tid as u32, snap };
+        let mut roots = StackRoots::default();
+        let mut wm = ctx.watermarks[tid].lock().unwrap();
+        // The value snapshot: tidy roots only. Derived values point
+        // *into* objects whose base pointers are tidy roots of the same
+        // frame, and marking works on whole objects, so bases cover
+        // them. Nothing moves until the final pause re-walks the stack.
+        gather_thread_roots_cached(
+            &world,
+            &mut cache,
+            tid as u32,
+            (snap.pc, snap.fp, snap.ap, snap.sp),
+            &mut wm,
+            &mut roots,
+        );
+        for &r in &roots.tidy {
+            let v = read_root_snap(vm, snap, r);
+            if mark_value(heap, from_start, free_now, v) {
+                gray.push(v);
+            }
+        }
+    }
+    run.in_flight.store(gray.len(), Ordering::SeqCst);
+    drop(gray);
+    heap.snap_free.store(free_now, R);
+    run.finish_requested.store(false, Ordering::Release);
+    // Arm the deletion barrier before the world resumes (the release
+    // handshake publishes this to every mutator).
+    heap.marking.store(true, Ordering::Release);
+    *run.pending.lock().unwrap() = Some(CyclePending {
+        snapshot_pause: t0.elapsed(),
+        mark_started: Instant::now(),
+        satb_drained_start: heap.satb_drained.load(R),
+    });
+    let mut cs = run.mx.lock().unwrap();
+    cs.cycles_started += 1;
+    cs.markers_idle = false;
+    run.cv.notify_all();
+    Ok(())
+}
+
+/// The final pause proper (world stopped, leader only): stand the
+/// markers down, drain the residue to closure, verify, evacuate.
+#[allow(clippy::too_many_arguments)]
+fn cms_final_pause(
+    ctx: &RunCtx<'_>,
+    heap: &CmsHeap,
+    run: &CmsRun,
+    forced: bool,
+    counted: bool,
+    allocs_now: u64,
+    handshake_time: Duration,
+    t0: Instant,
+) -> Result<(), ExecError> {
+    let vm = ctx.vm;
+    run.finish_requested.store(true, Ordering::Release);
+    if counted {
+        // A mutator-led pause must wait for the marker threads to stand
+        // down before touching the gray stack; the coordinator joins
+        // them and flips `markers_idle` (spawning them first if it has
+        // not yet caught up with this cycle — they exit immediately on
+        // the request above).
+        let mut cs = run.mx.lock().unwrap();
+        run.cv.notify_all(); // wake the coordinator if it hasn't started this cycle yet
+        while !cs.markers_idle {
+            cs = run.cv.wait(cs).unwrap();
+        }
+    }
+    // A coordinator-led pause never waits: marker threads exist only
+    // inside the coordinator's own spawn/join section, so none can be
+    // running here — but `markers_idle` may legitimately read false if
+    // a snapshot pause opened a *newer* cycle between the coordinator
+    // joining its markers and winning the request CAS. Waiting would
+    // deadlock on itself; draining sequentially below is sound either
+    // way.
+    let pending = run.pending.lock().unwrap().take().expect("final pause without an open cycle");
+    let mark_concurrent = t0.saturating_duration_since(pending.mark_started);
+
+    if !forced {
+        let mut last = ctx.last_gc_allocations.lock().unwrap();
+        if *last == Some(allocs_now) {
+            // No allocation progress since the previous completed
+            // cycle: the heap is genuinely full. (Snapshot pauses never
+            // run this check — they free nothing by design.)
+            return Err(ExecError::Trap(VmTrap::OutOfMemory));
+        }
+        *last = Some(allocs_now);
+    }
+
+    cms_finish_mark(ctx, heap, run);
+
+    if ctx.options.oracle && vm.shadow.is_some() {
+        if let Err(msg) = par_oracle_check(ctx) {
+            let (fs, fe) = vm.from_space();
+            let free = vm.free.load(R);
+            return Err(ExecError::Oracle(format!(
+                "at final pause (from=[{fs},{fe}) free={free}): {msg}"
+            )));
+        }
+        if let Err(msg) = cms_shadow_verify(ctx, heap) {
+            return Err(ExecError::Oracle(msg));
+        }
+    }
+
+    let mut stats = cms_evacuate(ctx, heap);
+    if ctx.options.oracle && vm.shadow.is_some() {
+        if let Err(msg) = par_oracle_check(ctx) {
+            let (fs, fe) = vm.from_space();
+            let free = vm.free.load(R);
+            return Err(ExecError::Oracle(format!(
+                "after evacuation (from=[{fs},{fe}) free={free}): {msg}"
+            )));
+        }
+    }
+    heap.marking.store(false, Ordering::Release);
+    stats.handshake_time = handshake_time;
+    stats.cms_cycle = true;
+    stats.snapshot_pause = pending.snapshot_pause;
+    stats.mark_concurrent = mark_concurrent;
+    stats.satb_drained = heap.satb_drained.load(R) - pending.satb_drained_start;
+    stats.parked_at_polls = ctx.poll_parks.swap(0, R);
+    stats.parked_at_allocs = ctx.alloc_parks.swap(0, R);
+    stats.total_time = t0.elapsed();
+    ctx.gc_log.lock().unwrap().push(stats);
+    Ok(())
+}
+
+/// Sequentially drains the leftover gray stack and every flushed SATB
+/// buffer to transitive closure (world stopped). After this, the mark
+/// bitmap covers everything reachable at the snapshot plus everything
+/// allocated since — a superset of everything any live root can reach.
+fn cms_finish_mark(ctx: &RunCtx<'_>, heap: &CmsHeap, run: &CmsRun) {
+    let vm = ctx.vm;
+    let (from_start, from_end) = vm.from_space();
+    let mut gray = std::mem::take(&mut *run.gray.lock().unwrap());
+    loop {
+        while let Some(addr) = gray.pop() {
+            scan_mark(vm, heap, from_start, from_end, addr, &mut gray);
+        }
+        let taken = std::mem::take(&mut *heap.satb_sink.lock().unwrap());
+        if taken.is_empty() {
+            break;
+        }
+        heap.satb_drained.fetch_add(taken.len() as u64, R);
+        gray.extend(taken.into_iter().filter(|&v| mark_value(heap, from_start, from_end, v)));
+    }
+    run.in_flight.store(0, Ordering::SeqCst);
+}
+
+/// The cycle's shadow verification: a sequential trace from the
+/// *current* roots — the bit-identical reachable set a full
+/// stop-the-world collection at this pause would copy — asserting that
+/// every reachable object is marked. This is the oracle that catches a
+/// broken deletion barrier: a dropped or reordered SATB enqueue leaves
+/// some snapshot-reachable object unmarked, and if any live path to it
+/// remains, this walk finds it.
+pub(crate) fn cms_shadow_verify(ctx: &RunCtx<'_>, heap: &CmsHeap) -> Result<(), String> {
+    let vm = ctx.vm;
+    let (from_start, _) = vm.from_space();
+    let free_now = vm.free.load(R);
+    let mut visited: HashSet<i64> = HashSet::new();
+    let mut stack: Vec<i64> = Vec::new();
+    let reach = |stack: &mut Vec<i64>, visited: &mut HashSet<i64>, v: i64| {
+        if v < from_start || v >= free_now || !visited.insert(v) {
+            return Ok(());
+        }
+        if !heap.is_marked(v) {
+            return Err(format!(
+                "concurrent marking lost a reachable object: {v} is live at the final \
+                 pause but unmarked (SATB invariant violated)"
+            ));
+        }
+        stack.push(v);
+        Ok(())
+    };
+    for g in gather_global_roots_in(&vm.module, vm.globals_start() as i64) {
+        let RootRef::Mem(a) = g else { unreachable!("global root in a register") };
+        reach(&mut stack, &mut visited, vm.word(a))?;
+    }
+    let mut cache = ctx.caches[0].lock().unwrap();
+    for (tid, slot) in ctx.slots.iter().enumerate() {
+        let slot = slot.lock().unwrap();
+        let Some(snap) = slot.as_ref() else { continue };
+        let world = ThreadWorld { vm, tid: tid as u32, snap };
+        let mut roots = StackRoots::default();
+        // A fresh, cache-free walk: the verifier must not trust the
+        // watermark splices it is part of the net for.
+        gather_thread_roots(
+            &world,
+            &mut cache,
+            tid as u32,
+            (snap.pc, snap.fp, snap.ap, snap.sp),
+            &mut roots,
+        );
+        for &r in &roots.tidy {
+            reach(&mut stack, &mut visited, read_root_snap(vm, snap, r))?;
+        }
+    }
+    while let Some(addr) = stack.pop() {
+        let header = vm.word(addr);
+        let ty = vm.module.types.get(header_type_id(header));
+        let len = match ty {
+            HeapType::Array { .. } => vm.word(addr + 1),
+            HeapType::Record { .. } => 0,
+        };
+        for off in ty.pointer_offset_iter(len as u32) {
+            reach(&mut stack, &mut visited, vm.word(addr + i64::from(off)))?;
+        }
+    }
+    Ok(())
+}
+
+/// Shared state of one bitmap evacuation.
+struct CmsGc<'vm> {
+    vm: &'vm ParMachine,
+    heap: &'vm CmsHeap,
+    /// To-space copy frontier.
+    free: AtomicI64,
+    to_end: i64,
+    from_start: i64,
+    /// The allocated from-space prefix (`vm.free` at the pause).
+    from_used: i64,
+    /// Next unclaimed chunk index.
+    chunk_next: AtomicUsize,
+    barrier: Barrier,
+}
+
+struct CmsWorkerReport {
+    threads: Vec<(usize, Snapshot)>,
+    objects: u64,
+    words: u64,
+    roots: u64,
+    derived: u64,
+    frames: u64,
+    spliced: u64,
+    decode: m3gc_core::decode::DecodeCounters,
+    copy_time: Duration,
+}
+
+/// Follows a forwarding pointer installed by the copy phase. An
+/// unforwarded header here means an unmarked object survived to the
+/// rewrite — a marking bug the shadow verification reports first
+/// whenever the oracle is armed.
+fn forwarded(vm: &ParMachine, v: i64) -> i64 {
+    let f = vm.word(v);
+    assert!(f < 0, "unmarked object reached the cms rewrite at {v}");
+    -(f + 1)
+}
+
+/// One evacuation worker: stack walk + un-derive, chunked bitmap copy,
+/// forwarding rewrite, re-derive. Unlike the stop-the-world trace there
+/// is no claim CAS and no work stealing — the mark bitmap already
+/// holds the transitive closure, so the copy set is a static partition.
+fn cms_evac_worker(
+    gc: &CmsGc<'_>,
+    cache_mx: &Mutex<DecodeCache>,
+    watermarks: &[Mutex<StackCache>],
+    verify: bool,
+    w: usize,
+    mut my: Part,
+) -> CmsWorkerReport {
+    let vm = gc.vm;
+    let mut cache = cache_mx.lock().unwrap();
+    let decode_before = cache.counters();
+    let (mut roots_n, mut derived_n, mut frames_n, mut spliced_n) = (0u64, 0u64, 0u64, 0u64);
+
+    // Phase 1: walk my threads' stacks — only frames above each
+    // thread's watermark are re-decoded; everything below was cached at
+    // the snapshot pause — and un-derive.
+    for (tid, snap, roots) in &mut my {
+        {
+            let world = ThreadWorld { vm, tid: *tid as u32, snap };
+            let regs = (snap.pc, snap.fp, snap.ap, snap.sp);
+            let mut wm = watermarks[*tid].lock().unwrap();
+            gather_thread_roots_cached(&world, &mut cache, *tid as u32, regs, &mut wm, roots);
+            if verify {
+                verify_spliced_roots(&world, &mut cache, *tid as u32, regs, roots);
+            }
+        }
+        un_derive_snap(vm, snap, roots);
+        roots_n += roots.tidy.len() as u64;
+        derived_n += roots.derivations.len() as u64;
+        frames_n += roots.frames as u64;
+        spliced_n += roots.frames_spliced as u64;
+    }
+    gc.barrier.wait();
+    let t_copy = Instant::now();
+
+    // Phase 2: chunked bitmap copy. Each chunk's marked headers belong
+    // to exactly one worker, so plain stores suffice; the next barrier
+    // publishes every forwarding pointer. TLAB holes are zeroed words —
+    // never marked, never visited.
+    let mut copied: Vec<i64> = Vec::new();
+    let (mut objects, mut words_copied) = (0u64, 0u64);
+    let span = gc.from_used - gc.from_start;
+    let n_chunks = ((span + CHUNK_WORDS - 1) / CHUNK_WORDS) as usize;
+    loop {
+        let c = gc.chunk_next.fetch_add(1, R);
+        if c >= n_chunks {
+            break;
+        }
+        let lo = gc.from_start + c as i64 * CHUNK_WORDS;
+        let hi = (lo + CHUNK_WORDS).min(gc.from_used);
+        gc.heap.for_each_marked(lo, hi, |addr| {
+            let header = vm.word(addr);
+            assert!(header >= 0, "mark bit on a non-header word at {addr}");
+            let ty = vm.module.types.get(header_type_id(header));
+            let len = match ty {
+                HeapType::Array { .. } => vm.word(addr + 1),
+                HeapType::Record { .. } => 0,
+            };
+            let obj_words = i64::from(ty.object_words(len as u32));
+            let new = gc.free.fetch_add(obj_words, R);
+            assert!(new + obj_words <= gc.to_end, "to-space overflow during cms evacuation");
+            for off in 0..obj_words {
+                vm.set_word(new + off, vm.word(addr + off));
+            }
+            if let Some(sh) = &vm.shadow {
+                sh.copy_words(addr, new, obj_words);
+            }
+            vm.set_word(addr, -(new + 1));
+            copied.push(new);
+            objects += 1;
+            words_copied += obj_words as u64;
+        });
+    }
+    gc.barrier.wait();
+
+    // Phase 3: rewrite my copied objects' pointer fields, my threads'
+    // tidy roots, and (worker 0) the globals through plain forwarding
+    // loads.
+    for &new in &copied {
+        let header = vm.word(new);
+        let ty = vm.module.types.get(header_type_id(header));
+        let len = match ty {
+            HeapType::Array { .. } => vm.word(new + 1),
+            HeapType::Record { .. } => 0,
+        };
+        for off in ty.pointer_offset_iter(len as u32) {
+            let slot = new + i64::from(off);
+            let v = vm.word(slot);
+            if v >= gc.from_start && v < gc.from_used {
+                vm.set_word(slot, forwarded(vm, v));
+            }
+        }
+    }
+    if w == 0 {
+        for g in gather_global_roots_in(&vm.module, vm.globals_start() as i64) {
+            let RootRef::Mem(a) = g else { unreachable!("global root in a register") };
+            let v = vm.word(a);
+            if v >= gc.from_start && v < gc.from_used {
+                vm.set_word(a, forwarded(vm, v));
+            }
+        }
+        roots_n += vm.module.global_ptr_roots.len() as u64;
+    }
+    for (_, snap, roots) in &mut my {
+        for i in 0..roots.tidy.len() {
+            let r = roots.tidy[i];
+            let v = read_root_snap(vm, snap, r);
+            if v >= gc.from_start && v < gc.from_used {
+                write_root_snap(vm, snap, r, forwarded(vm, v));
+            }
+        }
+    }
+    gc.barrier.wait();
+    let copy_time = t_copy.elapsed();
+
+    // Phase 4: re-derive, reverse of the un-derive order.
+    for (_, snap, roots) in my.iter_mut().rev() {
+        re_derive_snap(vm, snap, roots);
+    }
+
+    CmsWorkerReport {
+        threads: my.into_iter().map(|(tid, snap, _)| (tid, snap)).collect(),
+        objects,
+        words: words_copied,
+        roots: roots_n,
+        derived: derived_n,
+        frames: frames_n,
+        spliced: spliced_n,
+        decode: cache.counters().since(decode_before),
+        copy_time,
+    }
+}
+
+/// The final pause's parallel evacuation of the marked set (leader
+/// only, world stopped). Mirrors `collect_parallel`'s thread-dealing
+/// and snapshot publication, but the copy itself is bitmap-driven.
+fn cms_evacuate(ctx: &RunCtx<'_>, heap: &CmsHeap) -> ParGcStats {
+    let vm = ctx.vm;
+    let workers = ctx.caches.len();
+    let mut parts: Vec<Part> = (0..workers).map(|_| Vec::new()).collect();
+    let mut n_threads = 0usize;
+    for (tid, slot) in ctx.slots.iter().enumerate() {
+        if let Some(snap) = slot.lock().unwrap().take() {
+            parts[n_threads % workers].push((tid, snap, StackRoots::default()));
+            n_threads += 1;
+        }
+    }
+
+    let (from_start, _) = vm.from_space();
+    let (to_start, to_end) = vm.to_space();
+    let gc = CmsGc {
+        vm,
+        heap,
+        free: AtomicI64::new(to_start),
+        to_end,
+        from_start,
+        from_used: vm.free.load(R),
+        chunk_next: AtomicUsize::new(0),
+        barrier: Barrier::new(workers),
+    };
+
+    let mut reports: Vec<CmsWorkerReport> = Vec::with_capacity(workers);
+    {
+        let mut parts = parts.into_iter();
+        let part0 = parts.next().expect("worker 0 partition");
+        let verify = ctx.options.oracle;
+        std::thread::scope(|s| {
+            let gc = &gc;
+            let handles: Vec<_> = parts
+                .enumerate()
+                .map(|(i, part)| {
+                    let cache = &ctx.caches[i + 1];
+                    let wms = &ctx.watermarks;
+                    s.spawn(move || cms_evac_worker(gc, cache, wms, verify, i + 1, part))
+                })
+                .collect();
+            reports.push(cms_evac_worker(gc, &ctx.caches[0], &ctx.watermarks, verify, 0, part0));
+            for h in handles {
+                reports.push(h.join().expect("cms evacuation worker panicked"));
+            }
+        });
+    }
+
+    for report in &reports {
+        for (tid, snap) in &report.threads {
+            *ctx.slots[*tid].lock().unwrap() = Some(snap.clone());
+        }
+    }
+    vm.finish_collection(gc.free.load(R));
+
+    let mut stats = ParGcStats {
+        per_worker_objects: reports.iter().map(|r| r.objects).collect(),
+        per_worker_words: reports.iter().map(|r| r.words).collect(),
+        steals: vec![0; workers], // no stealing: the bitmap partitions the copy
+        stacks_traced: n_threads as u64,
+        ..ParGcStats::default()
+    };
+    for r in &reports {
+        stats.objects_copied += r.objects;
+        stats.words_copied += r.words;
+        stats.roots += r.roots;
+        stats.derived_updated += r.derived;
+        stats.frames_traced += r.frames;
+        stats.frames_spliced += r.spliced;
+        stats.decode_hits += r.decode.hits;
+        stats.decode_misses += r.decode.misses;
+        stats.decode_ops += r.decode.points_decoded;
+    }
+    stats.copy_time = reports[0].copy_time;
+    stats
+}

@@ -18,7 +18,14 @@
 //!   poll the request flag at gc-points, park in a stop-the-world
 //!   handshake, and `gc_workers` workers evacuate concurrently with a
 //!   work-stealing Cheney copy (CAS-claimed forwarding pointers).
+//! * [`cms`] — concurrent SATB marking on the parallel runtime: a short
+//!   snapshot pause seeds marking from root *values*, `conc_workers`
+//!   markers trace while mutators run (the `StB` deletion barrier
+//!   preserves the snapshot), and a final pause drains residual SATB
+//!   buffers and evacuates the marked set — copy is the only remaining
+//!   stop-the-world work.
 
+pub mod cms;
 pub mod collector;
 mod evac;
 pub mod gengc;
@@ -32,12 +39,8 @@ pub mod trace;
 
 pub use collector::{collect, GcStats};
 pub use options::{GcStrategy, RuntimeOptions};
-#[allow(deprecated)]
-pub use parallel::ParConfig;
 pub use parallel::{ParExecutor, ParGcStats, ParOutcome};
 pub use report::StatsReport;
-#[allow(deprecated)]
-pub use scheduler::ExecConfig;
 pub use scheduler::{ExecOutcome, Executor, GcMode};
 pub use serve::{ServeConfigView, ServeExecutor, ServeLoad, ServeOutcome, ServeStats};
 

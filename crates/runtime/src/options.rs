@@ -1,14 +1,11 @@
 //! The unified runtime configuration: one builder-style options struct
 //! for every execution mode.
 //!
-//! Historically each layer grew its own knob struct — `ExecConfig` for
-//! the round-robin scheduler, `ParConfig`/`ParMachineConfig` for the
-//! OS-thread runtime, `MachineConfig` for the sequential machine and a
-//! driver-private `RunConfig` threading CLI flags through all of them.
-//! Wiring a third execution mode (the allocation service) through that
-//! surface would have meant a sixth struct; instead [`RuntimeOptions`]
-//! subsumes all of them. The old structs survive one release as
-//! `#[deprecated]` shims with lossless `From` conversions.
+//! Historically each layer grew its own knob struct (`ExecConfig`,
+//! `ParConfig`, `MachineConfig`, `ParMachineConfig`, a driver-private
+//! `RunConfig`); [`RuntimeOptions`] subsumed all of them and the
+//! deprecated shims have since been removed. CI guards against new
+//! per-layer `*Config` structs growing back.
 //!
 //! ```
 //! use m3gc_runtime::{GcStrategy, RuntimeOptions};
@@ -39,6 +36,10 @@ pub enum GcStrategy {
     Generational,
     /// OS-thread mutators with stop-the-world parallel collection.
     Parallel,
+    /// OS-thread mutators with concurrent SATB marking: tracing runs on
+    /// dedicated workers while mutators execute, and only evacuation
+    /// remains stop-the-world (see `--gc cms`).
+    Cms,
 }
 
 /// Unified, builder-style runtime configuration.
@@ -63,6 +64,8 @@ pub struct RuntimeOptions {
     pub threads: usize,
     /// Gc worker threads per stop-the-world collection.
     pub gc_workers: usize,
+    /// Concurrent marking workers ([`GcStrategy::Cms`] only).
+    pub conc_workers: usize,
     /// Words per thread-local allocation buffer (0 disables TLABs).
     pub tlab_words: usize,
     /// Words per nursery half (`None` = a quarter semispace), used by
@@ -106,6 +109,7 @@ impl Default for RuntimeOptions {
             max_threads: 8,
             threads: 1,
             gc_workers: 4,
+            conc_workers: 2,
             tlab_words: DEFAULT_TLAB_WORDS,
             nursery_words: None,
             promote_age: 2,
@@ -169,6 +173,13 @@ impl RuntimeOptions {
     #[must_use]
     pub fn gc_workers(mut self, n: usize) -> Self {
         self.gc_workers = n;
+        self
+    }
+
+    /// Concurrent marking workers (cms strategy only).
+    #[must_use]
+    pub fn conc_workers(mut self, n: usize) -> Self {
+        self.conc_workers = n;
         self
     }
 
@@ -280,7 +291,9 @@ impl RuntimeOptions {
                 }
                 None => HeapStrategy::generational_for(self.semi_words),
             },
-            GcStrategy::Semispace | GcStrategy::Parallel => HeapStrategy::Semispace,
+            GcStrategy::Semispace | GcStrategy::Parallel | GcStrategy::Cms => {
+                HeapStrategy::Semispace
+            }
         }
     }
 
@@ -322,47 +335,18 @@ impl RuntimeOptions {
         m
     }
 
-    /// Builds a shared [`ParMachine`], shadow-instrumented when these
-    /// options ask for it.
+    /// Builds a shared [`ParMachine`], shadow-instrumented and
+    /// cms-enabled when these options ask for it.
     #[must_use]
     pub fn build_par_machine(&self, module: VmModule) -> ParMachine {
         let mut m = ParMachine::new(module, self.par_layout());
         if self.shadow || self.oracle {
             m.enable_shadow();
         }
+        if self.strategy == GcStrategy::Cms {
+            m.enable_cms();
+        }
         m
-    }
-}
-
-#[allow(deprecated)]
-impl From<crate::scheduler::ExecConfig> for RuntimeOptions {
-    fn from(c: crate::scheduler::ExecConfig) -> RuntimeOptions {
-        RuntimeOptions {
-            quantum: c.quantum,
-            fuel: c.fuel,
-            max_advance: c.max_advance,
-            gc_mode: c.gc_mode,
-            force_every_allocs: c.force_every_allocs,
-            oracle: c.oracle,
-            shadow: c.oracle,
-            ..RuntimeOptions::default()
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<crate::parallel::ParConfig> for RuntimeOptions {
-    fn from(c: crate::parallel::ParConfig) -> RuntimeOptions {
-        RuntimeOptions {
-            strategy: GcStrategy::Parallel,
-            gc_workers: c.gc_workers,
-            fuel: c.fuel,
-            max_advance: c.max_advance,
-            force_every_allocs: c.force_every_allocs,
-            oracle: c.oracle,
-            shadow: c.oracle,
-            ..RuntimeOptions::default()
-        }
     }
 }
 
@@ -409,11 +393,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn exec_config_shim_converts() {
-        let c = crate::scheduler::ExecConfig { oracle: true, ..Default::default() };
-        let o = RuntimeOptions::from(c);
-        assert!(o.oracle && o.shadow);
-        assert_eq!(o.strategy, GcStrategy::Semispace);
+    fn cms_strategy_enables_cms_heap() {
+        let o = RuntimeOptions::new().strategy(GcStrategy::Cms).conc_workers(3);
+        assert_eq!(o.conc_workers, 3);
+        assert_eq!(o.heap_strategy(), HeapStrategy::Semispace);
     }
 }

@@ -71,37 +71,6 @@ use crate::trace::{
 /// handshake mutex/condvar and the forwarding CAS protocol.
 const R: Ordering = Ordering::Relaxed;
 
-/// Configuration for a [`ParExecutor`] (pre-`RuntimeOptions` API).
-#[deprecated(note = "build a crate::RuntimeOptions instead")]
-#[derive(Debug, Clone, Copy)]
-pub struct ParConfig {
-    /// Gc worker threads per collection (the leader counts as one).
-    pub gc_workers: usize,
-    /// Per-mutator instruction budget.
-    pub fuel: u64,
-    /// Max instructions a mutator may run after observing a collection
-    /// request without reaching a gc-point (the §5.3 bound).
-    pub max_advance: u64,
-    /// Torture: force a collection every N allocations.
-    pub force_every_allocs: Option<u64>,
-    /// Run the gc-map precision oracle before every collection
-    /// (requires shadow mode on the machine).
-    pub oracle: bool,
-}
-
-#[allow(deprecated)]
-impl Default for ParConfig {
-    fn default() -> Self {
-        ParConfig {
-            gc_workers: 4,
-            fuel: 2_000_000_000,
-            max_advance: 1_000_000,
-            force_every_allocs: None,
-            oracle: false,
-        }
-    }
-}
-
 /// A mutator's machine state as deposited at a safepoint, and as
 /// reloaded (post-collection) when it resumes.
 #[derive(Debug, Clone)]
@@ -194,6 +163,19 @@ pub struct ParGcStats {
     pub region_words_promoted: u64,
     /// Words reclaimed by resetting escaped regions after the trace.
     pub region_words_reset: u64,
+    /// True if this entry describes a concurrent-marking cycle: the
+    /// pause fields below are populated and `total_time` is the *final*
+    /// pause only (the cycle's whole stop-the-world cost).
+    pub cms_cycle: bool,
+    /// Duration of the cycle-opening snapshot pause (cms only).
+    pub snapshot_pause: Duration,
+    /// Wall-clock time marking ran concurrently with the mutators,
+    /// from snapshot-pause end to final-pause start (cms only).
+    pub mark_concurrent: Duration,
+    /// SATB deletion-barrier entries drained during this cycle,
+    /// concurrent draining and the final-pause residue together (cms
+    /// only).
+    pub satb_drained: u64,
 }
 
 /// Result of a completed parallel run.
@@ -215,6 +197,10 @@ pub struct ParOutcome {
     pub tlab_allocs: u64,
     /// Words discarded from partial TLABs at retirement.
     pub tlab_waste_words: u64,
+    /// SATB deletion-barrier enqueues (cms runs only).
+    pub satb_enqueued: u64,
+    /// SATB entries drained by marking (cms runs only).
+    pub satb_drained: u64,
     /// Instructions executed (all mutators).
     pub steps: u64,
     /// Per-collection statistics.
@@ -223,10 +209,10 @@ pub struct ParOutcome {
 
 /// A stack-walk view of one parked mutator: shared memory plus its
 /// deposited register snapshot.
-struct ThreadWorld<'a> {
-    vm: &'a ParMachine,
-    tid: u32,
-    snap: &'a Snapshot,
+pub(crate) struct ThreadWorld<'a> {
+    pub(crate) vm: &'a ParMachine,
+    pub(crate) tid: u32,
+    pub(crate) snap: &'a Snapshot,
 }
 
 impl RootSource for ThreadWorld<'_> {
@@ -244,14 +230,14 @@ impl RootSource for ThreadWorld<'_> {
     }
 }
 
-fn read_root_snap(vm: &ParMachine, snap: &Snapshot, r: RootRef) -> i64 {
+pub(crate) fn read_root_snap(vm: &ParMachine, snap: &Snapshot, r: RootRef) -> i64 {
     match r {
         RootRef::Mem(a) => vm.word(a),
         RootRef::Reg { reg, .. } => snap.regs[reg as usize],
     }
 }
 
-fn write_root_snap(vm: &ParMachine, snap: &mut Snapshot, r: RootRef, v: i64) {
+pub(crate) fn write_root_snap(vm: &ParMachine, snap: &mut Snapshot, r: RootRef, v: i64) {
     match r {
         RootRef::Mem(a) => vm.set_word(a, v),
         RootRef::Reg { reg, .. } => snap.regs[reg as usize] = v,
@@ -260,7 +246,7 @@ fn write_root_snap(vm: &ParMachine, snap: &mut Snapshot, r: RootRef, v: i64) {
 
 /// Step 1 of the derived-value update (§3) against a snapshot, in
 /// un-derive order (callee frames first, derived before base).
-fn un_derive_snap(vm: &ParMachine, snap: &mut Snapshot, roots: &StackRoots) {
+pub(crate) fn un_derive_snap(vm: &ParMachine, snap: &mut Snapshot, roots: &StackRoots) {
     for d in &roots.derivations {
         let mut v = read_root_snap(vm, snap, d.target);
         for &(b, sign) in &d.bases {
@@ -272,7 +258,7 @@ fn un_derive_snap(vm: &ParMachine, snap: &mut Snapshot, roots: &StackRoots) {
 
 /// Step 2: `derived := E + Σ ±base` from the relocated bases, in
 /// exactly the reverse of the un-derive order.
-fn re_derive_snap(vm: &ParMachine, snap: &mut Snapshot, roots: &StackRoots) {
+pub(crate) fn re_derive_snap(vm: &ParMachine, snap: &mut Snapshot, roots: &StackRoots) {
     for d in roots.derivations.iter().rev() {
         let mut v = read_root_snap(vm, snap, d.target);
         for &(b, sign) in &d.bases {
@@ -328,6 +314,8 @@ pub(crate) struct RunCtx<'vm> {
     /// Per-cycle park-site counters, read+reset by the leader.
     pub(crate) poll_parks: AtomicU64,
     pub(crate) alloc_parks: AtomicU64,
+    /// Concurrent-marking cycle state (cms strategy only).
+    pub(crate) cms: Option<crate::cms::CmsRun>,
 }
 
 impl<'vm> RunCtx<'vm> {
@@ -365,12 +353,13 @@ impl<'vm> RunCtx<'vm> {
             gc_log: Mutex::new(Vec::new()),
             poll_parks: AtomicU64::new(0),
             alloc_parks: AtomicU64::new(0),
+            cms: vm.cms.as_ref().map(|_| crate::cms::CmsRun::new(options.conc_workers.max(1))),
         }
     }
 }
 
 /// A worker's thread partition: (tid, snapshot, gathered roots).
-type Part = Vec<(usize, Snapshot, StackRoots)>;
+pub(crate) type Part = Vec<(usize, Snapshot, StackRoots)>;
 
 struct WorkerReport {
     threads: Vec<(usize, Snapshot)>,
@@ -683,6 +672,11 @@ pub(crate) fn lead_collection_idle(ctx: &RunCtx<'_>) -> Result<bool, ExecError> 
 }
 
 fn lead_collection_with(ctx: &RunCtx<'_>, mut mu: Option<&mut Mutator>) -> Result<bool, ExecError> {
+    if ctx.cms.is_some() {
+        // Concurrent-marking runs have a two-pause cycle (snapshot,
+        // then final) instead of one monolithic stop-the-world.
+        return crate::cms::cms_lead_collection(ctx, mu);
+    }
     let t0 = Instant::now();
     let mut st = ctx.coord.state.lock().unwrap();
     if st.halt {
@@ -909,6 +903,11 @@ impl ParExecutor {
         let mut done: Vec<Mutator> = Vec::with_capacity(n);
         std::thread::scope(|s| {
             let ctx = &ctx;
+            // The cms coordinator owns the concurrent marking workers;
+            // it sleeps until a snapshot pause opens a cycle.
+            if ctx.cms.is_some() {
+                s.spawn(move || crate::cms::cms_coordinator(ctx));
+            }
             let handles: Vec<_> = (0..n)
                 .map(|tid| {
                     s.spawn(move || {
@@ -919,6 +918,9 @@ impl ParExecutor {
                 .collect();
             for h in handles {
                 done.push(h.join().expect("mutator thread panicked"));
+            }
+            if let Some(run) = &ctx.cms {
+                run.stop();
             }
         });
 
@@ -936,6 +938,8 @@ impl ParExecutor {
             tlab_refills: vm.tlab_refills.load(R),
             tlab_allocs: vm.tlab_allocs.load(R),
             tlab_waste_words: vm.tlab_waste_words.load(R),
+            satb_enqueued: vm.cms.as_ref().map_or(0, |c| c.satb_enqueued.load(R)),
+            satb_drained: vm.cms.as_ref().map_or(0, |c| c.satb_drained.load(R)),
             steps: done.iter().map(|mu| mu.steps).sum(),
             gc_each: ctx.gc_log.into_inner().unwrap(),
         })

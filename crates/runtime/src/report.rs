@@ -378,6 +378,53 @@ impl StatsReport {
         ))
     }
 
+    /// The concurrent-marking section (`--gc cms` runs): per-cycle pause
+    /// split, concurrent mark time and the SATB barrier ledger. Entries
+    /// in `gc_each` that are not cms cycles (there should be none) are
+    /// skipped.
+    pub fn add_cms(
+        &mut self,
+        conc_workers: usize,
+        satb_enqueued: u64,
+        satb_drained: u64,
+        gc_each: &[ParGcStats],
+    ) -> &mut Self {
+        let cycles: Vec<&ParGcStats> = gc_each.iter().filter(|g| g.cms_cycle).collect();
+        let n = cycles.len().max(1) as u32;
+        let mean_us = |total: Duration| (total / n).as_micros() as u64;
+        let max_us =
+            |f: fn(&ParGcStats) -> Duration| cycles.iter().map(|g| f(g)).max().unwrap_or_default();
+        let snap_total: Duration = cycles.iter().map(|g| g.snapshot_pause).sum();
+        let final_total: Duration = cycles.iter().map(|g| g.total_time).sum();
+        let mark_total: Duration = cycles.iter().map(|g| g.mark_concurrent).sum();
+        let snap_max = max_us(|g| g.snapshot_pause);
+        let final_max = max_us(|g| g.total_time);
+        self.put("cms_cycles", cycles.len());
+        self.put("conc_workers", conc_workers);
+        self.put("cms_snapshot_pause_mean_us", mean_us(snap_total));
+        self.put("cms_snapshot_pause_max_us", snap_max.as_micros() as u64);
+        self.put("cms_final_pause_mean_us", mean_us(final_total));
+        self.put("cms_final_pause_max_us", final_max.as_micros() as u64);
+        self.put("cms_mark_concurrent_mean_us", mean_us(mark_total));
+        self.put("satb_enqueued", satb_enqueued);
+        self.put("satb_drained", satb_drained);
+        self.line(format!(
+            "cms: {} cycle(s) with {} marker(s), snapshot pause mean {} µs / max {} µs, \
+             final pause mean {} µs / max {} µs",
+            cycles.len(),
+            conc_workers,
+            mean_us(snap_total),
+            snap_max.as_micros(),
+            mean_us(final_total),
+            final_max.as_micros()
+        ));
+        self.line(format!(
+            "cms: mark ran {} µs concurrent (mean), satb: {satb_enqueued} enqueue(s), \
+             {satb_drained} drained",
+            mean_us(mark_total)
+        ))
+    }
+
     /// The allocation-service section: throughput, pauses, latency and
     /// the region ledger.
     pub fn add_serve(&mut self, view: ServeConfigView, s: &ServeStats) -> &mut Self {

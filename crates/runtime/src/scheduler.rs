@@ -28,41 +28,6 @@ pub enum GcMode {
     Null,
 }
 
-/// Executor configuration (pre-`RuntimeOptions` API).
-#[deprecated(note = "build a crate::RuntimeOptions instead")]
-#[derive(Debug, Clone, Copy)]
-pub struct ExecConfig {
-    /// Instructions per scheduling quantum.
-    pub quantum: u64,
-    /// Total instruction budget.
-    pub fuel: u64,
-    /// Max instructions a thread may run while advancing to a gc-point.
-    pub max_advance: u64,
-    /// Collection behaviour.
-    pub gc_mode: GcMode,
-    /// Additionally force a collection event every N allocations
-    /// (for gc-torture tests and the §6.3 measurements).
-    pub force_every_allocs: Option<u64>,
-    /// Run the gc-map precision oracle before every collection. Requires
-    /// shadow mode on the machine ([`Machine::enable_shadow`]); violations
-    /// surface as [`ExecError::Oracle`].
-    pub oracle: bool,
-}
-
-#[allow(deprecated)]
-impl Default for ExecConfig {
-    fn default() -> Self {
-        ExecConfig {
-            quantum: 10_000,
-            fuel: 2_000_000_000,
-            max_advance: 1_000_000,
-            gc_mode: GcMode::Full,
-            force_every_allocs: None,
-            oracle: false,
-        }
-    }
-}
-
 /// Result of running a program to completion.
 #[derive(Debug, Clone)]
 pub struct ExecOutcome {

@@ -32,6 +32,4 @@ pub mod shadow;
 pub use isa::{AluOp, Instr, UnAluOp};
 pub use machine::{Machine, MachineLayout, StepOutcome, Thread, ThreadStatus, VmTrap};
 pub use module::{ProcMeta, VmModule};
-#[allow(deprecated)]
-pub use par::ParMachineConfig;
-pub use par::{Mutator, ParLayout, ParMachine, ParStep, DEFAULT_TLAB_WORDS};
+pub use par::{CmsHeap, Mutator, ParLayout, ParMachine, ParStep, SatbFault, DEFAULT_TLAB_WORDS};

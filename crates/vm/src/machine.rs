@@ -100,44 +100,6 @@ impl Default for MachineLayout {
     }
 }
 
-/// Machine sizing (pre-`RuntimeOptions` API).
-#[deprecated(note = "build a m3gc_runtime::RuntimeOptions (or a MachineLayout) instead")]
-#[derive(Debug, Clone, Copy)]
-pub struct MachineConfig {
-    /// Words per heap semispace.
-    pub semi_words: usize,
-    /// Words per thread stack.
-    pub stack_words: usize,
-    /// Maximum number of threads.
-    pub max_threads: usize,
-    /// Heap organisation.
-    pub heap: HeapStrategy,
-}
-
-#[allow(deprecated)]
-impl Default for MachineConfig {
-    fn default() -> Self {
-        MachineConfig {
-            semi_words: 1 << 20,
-            stack_words: 1 << 16,
-            max_threads: 8,
-            heap: HeapStrategy::Semispace,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<MachineConfig> for MachineLayout {
-    fn from(c: MachineConfig) -> MachineLayout {
-        MachineLayout {
-            semi_words: c.semi_words,
-            stack_words: c.stack_words,
-            max_threads: c.max_threads,
-            heap: c.heap,
-        }
-    }
-}
-
 /// Words per remembered-set card (dedup granularity of the SSB cache).
 pub const CARD_WORDS_SHIFT: u32 = 5;
 

@@ -26,8 +26,14 @@
 //! control to the runtime, which parks the thread and deposits its
 //! state for the gc workers.
 //!
-//! Only the semispace heap is supported: `StB` degenerates to a plain
-//! store exactly as it does on a semispace [`Machine`].
+//! Only the semispace heap is supported. `StB` degenerates to a plain
+//! store exactly as it does on a semispace [`Machine`] — unless the
+//! machine runs under the concurrent-marking collector
+//! ([`ParMachine::enable_cms`]), in which case `StB` becomes a
+//! snapshot-at-the-beginning *deletion barrier* while a marking cycle
+//! is live: it records the pointer value it overwrites into the
+//! mutator's [`Mutator::satb_buf`] so concurrent tracing cannot lose an
+//! object that was reachable at the snapshot.
 //!
 //! [`Machine`]: crate::machine::Machine
 
@@ -90,41 +96,137 @@ impl Default for ParLayout {
     }
 }
 
-/// Sizing for a [`ParMachine`] (pre-`RuntimeOptions` API).
-#[deprecated(note = "build a m3gc_runtime::RuntimeOptions (or a ParLayout) instead")]
-#[derive(Debug, Clone, Copy)]
-pub struct ParMachineConfig {
-    /// Words per heap semispace.
-    pub semi_words: usize,
-    /// Words per mutator stack.
-    pub stack_words: usize,
-    /// Number of mutator threads (stack regions are pre-carved).
-    pub mutators: usize,
-    /// Words per thread-local allocation buffer (`0` disables TLABs).
-    pub tlab_words: usize,
+/// Injected SATB-barrier faults, for mutation testing the oracle's
+/// ability to notice a broken deletion barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatbFault {
+    /// The barrier works as designed (default).
+    None,
+    /// The old value is never enqueued — a classic lost-object bug.
+    Drop,
+    /// The store is performed *before* the old value is read, so the
+    /// barrier enqueues the freshly written value instead of the one it
+    /// overwrote — the exact ordering bug SATB exists to forbid.
+    Reorder,
 }
 
-#[allow(deprecated)]
-impl Default for ParMachineConfig {
-    fn default() -> Self {
-        ParMachineConfig {
-            semi_words: 1 << 20,
-            stack_words: 1 << 16,
-            mutators: 1,
-            tlab_words: DEFAULT_TLAB_WORDS,
+/// Shared concurrent-marking state ([`ParMachine::enable_cms`]).
+///
+/// The snapshot-at-the-beginning invariant this state maintains: every
+/// object reachable when the marking cycle's snapshot was taken is
+/// marked by the time the cycle's final pause finishes. Roots are
+/// captured *by value* at the snapshot handshake; every heap pointer
+/// overwritten while `marking` is set is enqueued (old value first) by
+/// the `StB` deletion barrier; and objects allocated during marking are
+/// born black. Nothing moves until the final pause, so marking works on
+/// stable addresses.
+#[derive(Debug)]
+pub struct CmsHeap {
+    /// True from the snapshot handshake until the final pause completes.
+    /// Mutators read it on every `StB` to decide whether the deletion
+    /// barrier is live; acquire/release pairs with the handshake locks.
+    pub marking: AtomicBool,
+    /// Value of `free` at the snapshot: only objects below it existed at
+    /// snapshot time, so only those can be SATB-protected old values.
+    /// Allocations at or above it are born black instead.
+    pub snap_free: AtomicI64,
+    /// Occupancy trigger: once `free` crosses this while no cycle is
+    /// running, the next allocation reports "needs gc" to start a
+    /// snapshot handshake well before the space is exhausted.
+    pub trigger_at: AtomicI64,
+    /// Mark bitmap, one bit per memory word; bits are only ever set on
+    /// object header addresses. Cleared by the snapshot leader, written
+    /// by marking workers and born-black allocation.
+    bits: Vec<AtomicU64>,
+    /// Overflow sink for retired per-mutator SATB buffers; marking
+    /// workers drain it between gray-stack batches.
+    pub satb_sink: std::sync::Mutex<Vec<i64>>,
+    /// Old values enqueued by the deletion barrier (stat).
+    pub satb_enqueued: AtomicU64,
+    /// SATB entries drained by marking/final-pause tracing (stat).
+    pub satb_drained: AtomicU64,
+    /// Injected barrier fault (mutation tests only).
+    pub satb_fault: AtomicU8,
+    /// Test knob: marking workers stand down, so every object that the
+    /// barrier (not the tracing race) must save is provably saved by the
+    /// barrier alone. Used by the deterministic lost-object reproducer.
+    pub hold_marking: AtomicBool,
+}
+
+impl CmsHeap {
+    fn new(words: usize) -> CmsHeap {
+        CmsHeap {
+            marking: AtomicBool::new(false),
+            snap_free: AtomicI64::new(0),
+            trigger_at: AtomicI64::new(i64::MAX),
+            bits: (0..words.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            satb_sink: std::sync::Mutex::new(Vec::new()),
+            satb_enqueued: AtomicU64::new(0),
+            satb_drained: AtomicU64::new(0),
+            satb_fault: AtomicU8::new(0),
+            hold_marking: AtomicBool::new(false),
         }
     }
-}
 
-#[allow(deprecated)]
-impl From<ParMachineConfig> for ParLayout {
-    fn from(c: ParMachineConfig) -> ParLayout {
-        ParLayout {
-            semi_words: c.semi_words,
-            stack_words: c.stack_words,
-            mutators: c.mutators,
-            tlab_words: c.tlab_words,
-            region_words: 0,
+    /// The injected barrier fault.
+    #[must_use]
+    pub fn fault(&self) -> SatbFault {
+        match self.satb_fault.load(R) {
+            1 => SatbFault::Drop,
+            2 => SatbFault::Reorder,
+            _ => SatbFault::None,
+        }
+    }
+
+    /// Injects a barrier fault (mutation tests).
+    pub fn set_fault(&self, f: SatbFault) {
+        let b = match f {
+            SatbFault::None => 0,
+            SatbFault::Drop => 1,
+            SatbFault::Reorder => 2,
+        };
+        self.satb_fault.store(b, R);
+    }
+
+    /// Atomically marks the word at `addr`, returning `true` if this
+    /// call set the bit (the caller owns tracing the object).
+    pub fn mark_if_unmarked(&self, addr: i64) -> bool {
+        let a = addr as usize;
+        let old = self.bits[a / 64].fetch_or(1 << (a % 64), R);
+        old & (1 << (a % 64)) == 0
+    }
+
+    /// True if the word at `addr` is marked.
+    #[must_use]
+    pub fn is_marked(&self, addr: i64) -> bool {
+        let a = addr as usize;
+        self.bits[a / 64].load(R) & (1 << (a % 64)) != 0
+    }
+
+    /// Clears the whole bitmap (snapshot leader, world stopped).
+    pub fn clear_marks(&self) {
+        for w in &self.bits {
+            w.store(0, R);
+        }
+    }
+
+    /// Iterates the marked header addresses in `[start, end)` in
+    /// address order, calling `f` on each. Used by the final pause's
+    /// bitmap evacuation.
+    pub fn for_each_marked(&self, start: i64, end: i64, mut f: impl FnMut(i64)) {
+        let mut a = start;
+        while a < end {
+            let word = self.bits[a as usize / 64].load(R);
+            let bit = a as usize % 64;
+            if word >> bit == 0 {
+                // No marked word left in this bitmap word: skip ahead.
+                a = (a / 64 + 1) * 64;
+                continue;
+            }
+            if word & (1 << bit) != 0 {
+                f(a);
+            }
+            a += 1;
         }
     }
 }
@@ -241,7 +343,14 @@ pub struct Mutator {
     pub pending_region_allocs: u64,
     /// Words allocated on the region bump path since the last stat flush.
     pub pending_region_words: u64,
+    /// SATB deletion-barrier buffer: old pointer values overwritten
+    /// while concurrent marking runs, awaiting a flush to the shared
+    /// sink. Private to this thread between flushes.
+    pub satb_buf: Vec<i64>,
 }
+
+/// Flush threshold for a mutator's private SATB buffer.
+const SATB_FLUSH: usize = 64;
 
 /// The shared half of a parallel machine. See the module docs.
 pub struct ParMachine {
@@ -307,6 +416,9 @@ pub struct ParMachine {
 
     /// Shadow tags, when instrumented ([`ParMachine::enable_shadow`]).
     pub shadow: Option<ParShadow>,
+    /// Concurrent-marking state, when the machine runs under the `cms`
+    /// collector ([`ParMachine::enable_cms`]).
+    pub cms: Option<CmsHeap>,
 }
 
 impl ParMachine {
@@ -367,6 +479,7 @@ impl ParMachine {
             region_live: (0..layout.mutators).map(|_| AtomicBool::new(false)).collect(),
             region_escaped: (0..layout.mutators).map(|_| AtomicBool::new(false)).collect(),
             shadow: None,
+            cms: None,
         }
     }
 
@@ -374,6 +487,21 @@ impl ParMachine {
     /// is shared (hence `&mut`).
     pub fn enable_shadow(&mut self) {
         self.shadow = Some(ParShadow::new(self.mem.len()));
+    }
+
+    /// Turns on concurrent-marking (SATB) support. Must be called before
+    /// the machine is shared (hence `&mut`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if allocation-service regions are enabled: region
+    /// reclamation moves objects outside the collection handshake, which
+    /// would invalidate snapshot marking.
+    pub fn enable_cms(&mut self) {
+        assert!(self.layout.region_words == 0, "cms is incompatible with regions");
+        let cms = CmsHeap::new(self.mem.len());
+        cms.trigger_at.store(self.heap_base as i64 + (3 * self.layout.semi_words as i64) / 4, R);
+        self.cms = Some(cms);
     }
 
     /// The number of mutator stack regions.
@@ -613,6 +741,12 @@ impl ParMachine {
         self.free.store(new_free, R);
         self.alloc_limit.store(to_end, R);
         self.collections.fetch_add(1, R);
+        if let Some(cms) = &self.cms {
+            // Re-arm the occupancy trigger at 3/4 of the new space so
+            // the next marking cycle starts with headroom for the
+            // mutators to keep allocating while it traces.
+            cms.trigger_at.store(to_start + (3 * self.layout.semi_words as i64) / 4, R);
+        }
     }
 
     /// Spawns a mutator running procedure `proc` with the given argument
@@ -664,6 +798,7 @@ impl ParMachine {
             pending_tlab_allocs: 0,
             pending_region_allocs: 0,
             pending_region_words: 0,
+            satb_buf: Vec::new(),
         }
     }
 
@@ -756,6 +891,40 @@ impl ParMachine {
         mu.tlab_ptr = 0;
         mu.tlab_limit = 0;
         self.flush_alloc_stats(mu);
+        self.flush_satb(mu);
+    }
+
+    /// Publishes `mu`'s private SATB buffer to the shared sink where
+    /// marking workers drain it. Called when the buffer fills and,
+    /// unconditionally, from [`ParMachine::retire_tlab`] — which runs on
+    /// every park, lead and thread-exit path, so no entry is ever left
+    /// behind when the final pause drains residual buffers.
+    pub fn flush_satb(&self, mu: &mut Mutator) {
+        if mu.satb_buf.is_empty() {
+            return;
+        }
+        let Some(cms) = &self.cms else {
+            mu.satb_buf.clear();
+            return;
+        };
+        cms.satb_sink.lock().expect("satb sink poisoned").append(&mut mu.satb_buf);
+    }
+
+    /// The SATB deletion barrier behind `StB`: while marking, record the
+    /// pointer value the store is about to overwrite, so the object it
+    /// references cannot be lost even if every other path to it is cut.
+    /// Old values outside the snapshot prefix (born black) or already
+    /// marked need no protection.
+    fn satb_record_old(&self, cms: &CmsHeap, mu: &mut Mutator, old: i64) {
+        let (from_start, _) = self.from_space();
+        if old == 0 || old < from_start || old >= cms.snap_free.load(R) || cms.is_marked(old) {
+            return;
+        }
+        cms.satb_enqueued.fetch_add(1, R);
+        mu.satb_buf.push(old);
+        if mu.satb_buf.len() >= SATB_FLUSH {
+            self.flush_satb(mu);
+        }
     }
 
     /// Allocation: TLAB bump fast path, one-CAS refill slow path,
@@ -769,6 +938,14 @@ impl ParMachine {
         let torture = force_at != u64::MAX;
         if torture && self.allocations.load(R) + mu.pending_allocations >= force_at {
             return Ok(None);
+        }
+        if let Some(cms) = &self.cms {
+            // Occupancy trigger: start a marking cycle while allocation
+            // headroom remains, so tracing genuinely overlaps mutation
+            // instead of always being driven by a full heap.
+            if !cms.marking.load(R) && self.free.load(R) >= cms.trigger_at.load(R) {
+                return Ok(None);
+            }
         }
         let desc = self.module.types.get(TypeId(u32::from(ty)));
         let words = i64::from(desc.object_words(len as u32));
@@ -842,6 +1019,14 @@ impl ParMachine {
         self.mem[addr as usize].store(i64::from(ty), R);
         if matches!(desc, HeapType::Array { .. }) {
             self.mem[addr as usize + 1].store(len, R);
+        }
+        if let Some(cms) = &self.cms {
+            // Born black: objects allocated during marking are marked at
+            // birth, so concurrent tracing never needs to visit them and
+            // the final pause's bitmap evacuation keeps them alive.
+            if cms.marking.load(R) {
+                cms.mark_if_unmarked(addr);
+            }
         }
         mu.pending_allocations += 1;
         mu.pending_alloc_words += words as u64;
@@ -1029,11 +1214,49 @@ impl ParMachine {
                 let addr = mu.regs[base as usize] + i64::from(off);
                 mu.regs[dst as usize] = trap!(self.load(addr));
             }
-            Instr::St { base, off, src } | Instr::StB { base, off, src } => {
-                // Semispace heap: the barrier store is a plain store.
+            Instr::St { base, off, src } => {
+                // Unbarriered store: codegen proved the old value needs
+                // no protection (non-pointer value or nursery-fresh
+                // target — see the SATB soundness notes in
+                // `codegen::emit`).
                 let addr = mu.regs[base as usize] + i64::from(off);
                 let value = mu.regs[src as usize];
                 trap!(self.store(addr, value));
+                if self.layout.region_words > 0 {
+                    self.note_escape(addr, value);
+                }
+            }
+            Instr::StB { base, off, src } => {
+                let addr = mu.regs[base as usize] + i64::from(off);
+                let value = mu.regs[src as usize];
+                match self.cms.as_ref().filter(|c| c.marking.load(Ordering::Acquire)) {
+                    None => {
+                        // Outside a marking cycle (or a non-cms run) the
+                        // barrier store is a plain store, exactly as on
+                        // a semispace `Machine`.
+                        trap!(self.store(addr, value));
+                    }
+                    Some(cms) => match cms.fault() {
+                        SatbFault::None => {
+                            // Deletion barrier: read the old value
+                            // *before* overwriting it.
+                            let old = trap!(self.load(addr));
+                            trap!(self.store(addr, value));
+                            self.satb_record_old(cms, mu, old);
+                        }
+                        SatbFault::Drop => {
+                            trap!(self.store(addr, value));
+                        }
+                        SatbFault::Reorder => {
+                            // Buggy ordering: store first, then "record
+                            // the old value" — which now reads the new
+                            // one, so the overwritten pointer is lost.
+                            trap!(self.store(addr, value));
+                            let old = trap!(self.load(addr));
+                            self.satb_record_old(cms, mu, old);
+                        }
+                    },
+                }
                 if self.layout.region_words > 0 {
                     self.note_escape(addr, value);
                 }
@@ -1163,5 +1386,34 @@ mod tests {
     fn par_machine_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<ParMachine>();
+    }
+
+    #[test]
+    fn cms_bitmap_marks_and_iterates() {
+        let cms = CmsHeap::new(1 << 10);
+        for addr in [3_i64, 64, 65, 700] {
+            assert!(!cms.is_marked(addr));
+            assert!(cms.mark_if_unmarked(addr), "first mark wins");
+            assert!(!cms.mark_if_unmarked(addr), "second mark loses");
+            assert!(cms.is_marked(addr));
+        }
+        let mut seen = Vec::new();
+        cms.for_each_marked(0, 1 << 10, |a| seen.push(a));
+        assert_eq!(seen, vec![3, 64, 65, 700]);
+        let mut window = Vec::new();
+        cms.for_each_marked(64, 700, |a| window.push(a));
+        assert_eq!(window, vec![64, 65]);
+        cms.clear_marks();
+        assert!(!cms.is_marked(3));
+    }
+
+    #[test]
+    fn satb_fault_roundtrip() {
+        let cms = CmsHeap::new(64);
+        assert_eq!(cms.fault(), SatbFault::None);
+        for f in [SatbFault::Drop, SatbFault::Reorder, SatbFault::None] {
+            cms.set_fault(f);
+            assert_eq!(cms.fault(), f);
+        }
     }
 }

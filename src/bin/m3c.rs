@@ -11,13 +11,17 @@
 //!   --scheme S           table scheme: full, full-packed, delta,
 //!                        delta-previous, delta-packed, pp (default pp)
 //!   --heap N             semispace size in words (run; default 65536)
-//!   --gc C               collector: semispace (default), gen, or par
-//!                        (OS-thread mutators + parallel collection) (run)
+//!   --gc C               collector: semispace (default), gen, par
+//!                        (OS-thread mutators + parallel collection) or cms
+//!                        (par plus concurrent SATB marking: only the final
+//!                        evacuation pause stops the world) (run)
 //!   --nursery N          nursery size in words with --gc gen (run;
 //!                        default: a quarter semispace)
 //!   --threads N          mutator threads with --gc par (run; default 1);
 //!                        scheduler threads (serve)
-//!   --gc-workers M       gc worker threads with --gc par (run; default 4)
+//!   --gc-workers M       gc worker threads with --gc par/cms (run; default 4)
+//!   --conc-workers M     concurrent marker threads with --gc cms (run;
+//!                        default 2)
 //!   --tlab-words N       thread-local allocation buffer size in words
 //!                        with --gc par; 0 disables TLABs (run; default 1024)
 //!   --torture            collect at every allocation (run, serve)
@@ -47,8 +51,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: m3c <check|run|serve|ir|disasm|tables|stats> <file.m3> \
          [--o0|--o2] [--no-gc] [--split-paths] [--scheme S] [--heap N] \
-         [--gc semispace|gen|par] [--nursery N] [--threads N] \
-         [--gc-workers M] [--tlab-words N] [--torture] [--stats]\n\
+         [--gc semispace|gen|par|cms] [--nursery N] [--threads N] \
+         [--gc-workers M] [--conc-workers M] [--tlab-words N] [--torture] \
+         [--stats]\n\
          \x20      m3c serve <file.m3> [--requests N] [--green N] \
          [--region-words N] [--burst N] [--quantum N] [--entry P] [--oracle]\n\
          \x20      m3c fuzz [--seed N] [--iters N] [--no-shrink]"
