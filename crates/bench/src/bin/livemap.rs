@@ -1,0 +1,192 @@
+//! Liveness-driven gc-map experiment: float retained by dead stack
+//! slots, with and without map pruning.
+//!
+//! The workload (`LiveMap`) is the float hypothesis on purpose: each
+//! round builds a sizable list into a frame slot (the slot is real —
+//! the list head is passed VAR), checksums it, and then churns
+//! short-lived allocations while the dead list still sits in the frame.
+//! Full maps keep the slot in every gc-point's root set until the frame
+//! pops, so every minor collection inside the churn window copies — and
+//! eventually promotes — a list the program can never touch again.
+//! Liveness-pruned maps kill the slot at the first churn gc-point, so
+//! the list dies in the nursery.
+//!
+//! The same source compiles twice ({pruned, full} maps) and runs on the
+//! same generational heap, so the comparison isolates the maps:
+//! reported are the words-copied and promotion deltas (retained-heap
+//! float), the minor-pause split, and the kill counters
+//! (`roots_killed`, `float_words_avoided`). The acceptance bar is
+//! `roots_killed > 0` and a words-copied ratio (full / pruned) of at
+//! least 1.3 (1.15 in `--quick` mode, sized for CI smoke runs).
+
+use m3gc_compiler::{compile, Options};
+use m3gc_runtime::scheduler::{ExecOutcome, Executor};
+use m3gc_runtime::{GcStrategy, RuntimeOptions, StatsReport};
+
+const SEMI_WORDS: usize = 1 << 15;
+const NURSERY_WORDS: usize = 512;
+const LIST_NODES: usize = 120;
+const CHURN_ALLOCS: usize = 600;
+
+fn livemap_src(rounds: usize) -> String {
+    format!(
+        "MODULE LiveMap;
+TYPE Node = REF RECORD v: INTEGER; next: Node END;
+
+PROCEDURE Build(VAR l: Node; n: INTEGER) =
+VAR i: INTEGER;
+BEGIN
+  l := NIL;
+  FOR i := 1 TO n DO
+    WITH c = NEW(Node) DO c.v := i; c.next := l; l := c; END;
+  END;
+END Build;
+
+PROCEDURE Round(r: INTEGER): INTEGER =
+VAR big, t: Node; s, i: INTEGER;
+BEGIN
+  Build(big, {nodes});
+  s := 0;
+  t := big;
+  WHILE t # NIL DO s := (s * 31 + t.v + r) MOD 1000003; t := t.next; END;
+  (* big is dead from here on: the churn below floats it under full
+     maps, while pruned maps kill the slot at the first gc-point. *)
+  FOR i := 1 TO {churn} DO
+    WITH j = NEW(Node) DO j.v := i; END;
+  END;
+  RETURN s;
+END Round;
+
+PROCEDURE Work(): INTEGER =
+VAR s, r: INTEGER;
+BEGIN
+  s := 0;
+  FOR r := 1 TO {rounds} DO
+    s := (s + Round(r)) MOD 1000003;
+  END;
+  RETURN s;
+END Work;
+
+BEGIN
+  PutInt(Work());
+END LiveMap.",
+        nodes = LIST_NODES,
+        churn = CHURN_ALLOCS,
+        rounds = rounds,
+    )
+}
+
+fn run_gen(module: m3gc_vm::VmModule) -> ExecOutcome {
+    let opts = RuntimeOptions::new()
+        .semi_words(SEMI_WORDS)
+        .stack_words(1 << 14)
+        .max_threads(2)
+        .strategy(GcStrategy::Generational)
+        .nursery_words(NURSERY_WORDS)
+        .promote_age(2);
+    let machine = opts.build_machine(module);
+    let mut ex = Executor::new(machine, opts);
+    ex.run_main().unwrap_or_else(|e| panic!("benchmark run failed: {e}"))
+}
+
+fn minor_mean_max_us(out: &ExecOutcome) -> (f64, f64) {
+    let pauses: Vec<f64> = out
+        .gc_each
+        .iter()
+        .filter(|s| s.kind == m3gc_core::stats::GcKind::Minor)
+        .map(|s| s.total_time.as_secs_f64() * 1e6)
+        .collect();
+    if pauses.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = pauses.iter().sum::<f64>() / pauses.len() as f64;
+    let max = pauses.iter().cloned().fold(0.0, f64::max);
+    (mean, max)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 40 } else { 200 };
+    let min_ratio = if quick { 1.15 } else { 1.3 };
+    let src = livemap_src(rounds);
+
+    let pruned_mod = compile(&src, &Options::o2()).expect("benchmark compiles");
+    let full_mod = compile(&src, &Options::o2().with_live_maps(false)).expect("benchmark compiles");
+
+    let pruned = run_gen(pruned_mod);
+    let full = run_gen(full_mod);
+    assert_eq!(pruned.output, full.output, "map pruning must be invisible to the program");
+
+    let (pruned_minor_mean, pruned_minor_max) = minor_mean_max_us(&pruned);
+    let (full_minor_mean, full_minor_max) = minor_mean_max_us(&full);
+    let copied_ratio =
+        full.gc_total.words_copied as f64 / (pruned.gc_total.words_copied as f64).max(1.0);
+
+    println!(
+        "LiveMap: {rounds} round(s), {LIST_NODES}-node list dead across {CHURN_ALLOCS} \
+         churn alloc(s) per round"
+    );
+    println!(
+        "  pruned maps: {} minor / {} major, {} word(s) copied, {} promoted",
+        pruned.minor_collections,
+        pruned.major_collections,
+        pruned.gc_total.words_copied,
+        pruned.gc_total.promoted_words
+    );
+    println!(
+        "    kills: {} root(s) killed, {} float word(s) avoided",
+        pruned.gc_total.roots_killed, pruned.gc_total.float_words_avoided
+    );
+    println!("    minor pause  mean {pruned_minor_mean:>9.2} us   max {pruned_minor_max:>9.2} us");
+    println!(
+        "  full maps:   {} minor / {} major, {} word(s) copied, {} promoted",
+        full.minor_collections,
+        full.major_collections,
+        full.gc_total.words_copied,
+        full.gc_total.promoted_words
+    );
+    println!("    minor pause  mean {full_minor_mean:>9.2} us   max {full_minor_max:>9.2} us");
+    println!("  retained-heap float: full/pruned words-copied ratio {copied_ratio:.2}x");
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut rep = StatsReport::new("livemap");
+    rep.put("quick", quick);
+    // The words-copied ratio scales with --quick, not with host cores —
+    // the workload is single-threaded, so the assertion is always armed.
+    rep.host(cores, true);
+    rep.put("rounds", rounds);
+    rep.put("list_nodes", LIST_NODES);
+    rep.put("churn_allocs", CHURN_ALLOCS);
+    rep.put("roots_killed", pruned.gc_total.roots_killed);
+    rep.put("float_words_avoided", pruned.gc_total.float_words_avoided);
+    rep.put("pruned_words_copied", pruned.gc_total.words_copied);
+    rep.put("full_words_copied", full.gc_total.words_copied);
+    rep.put("pruned_promoted_words", pruned.gc_total.promoted_words);
+    rep.put("full_promoted_words", full.gc_total.promoted_words);
+    rep.put("copied_ratio", copied_ratio);
+    rep.put("pruned_minors", pruned.minor_collections);
+    rep.put("full_minors", full.minor_collections);
+    rep.put("pruned_minor_mean_us", pruned_minor_mean);
+    rep.put("pruned_minor_max_us", pruned_minor_max);
+    rep.put("full_minor_mean_us", full_minor_mean);
+    rep.put("full_minor_max_us", full_minor_max);
+    rep.put("outputs_match", true);
+    let json = rep.to_json();
+    println!("{json}");
+    m3gc_bench::write_bench_json("livemap", &json);
+
+    assert!(
+        pruned.gc_total.roots_killed > 0,
+        "the dead list slot must be killed at the churn gc-points"
+    );
+    assert!(
+        pruned.gc_total.float_words_avoided > 0,
+        "at least one kill must null a still-live referent"
+    );
+    assert_eq!(full.gc_total.roots_killed, 0, "full maps must not kill anything");
+    assert!(
+        copied_ratio >= min_ratio,
+        "full maps must retain at least {min_ratio}x the copied words of pruned maps, \
+         got {copied_ratio:.2}x"
+    );
+}

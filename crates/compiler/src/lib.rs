@@ -105,6 +105,16 @@ impl Options {
         self
     }
 
+    /// Enables or disables liveness-driven gc-map pruning (on by
+    /// default): with it off, every pointer slot stays in every
+    /// gc-point's map for its whole frame lifetime and nothing is
+    /// killed.
+    #[must_use]
+    pub fn with_live_maps(mut self, live_maps: bool) -> Options {
+        self.codegen.gc.live_maps = live_maps;
+        self
+    }
+
     /// Selects the gc configuration.
     #[must_use]
     pub fn with_gc(mut self, gc: GcConfig) -> Options {

@@ -37,6 +37,9 @@ pub struct DecodedPoint {
     pub regs: RegSet,
     /// Derivations of live derived values, derived-before-base order.
     pub derivations: Vec<DerivationRecord>,
+    /// Frame slots whose pointer contents are dead here: the collector
+    /// nulls these instead of tracing them.
+    pub killed: Vec<GroundEntry>,
 }
 
 /// Error produced when the encoded stream is malformed.
@@ -352,7 +355,43 @@ impl DecoderIndex {
         } else {
             read_derivations(r)?
         };
-        Ok(DecodedPoint { pc: 0, stack_slots, regs, derivations })
+        let killed = if desc & descriptor::KILLED_EMPTY != 0 {
+            Vec::new()
+        } else if desc & descriptor::KILLED_SAME != 0 {
+            prev.killed.clone()
+        } else {
+            match scheme.layout {
+                TableLayout::DeltaMain => {
+                    let n_words = ground.len().div_ceil(32);
+                    let mut slots = Vec::new();
+                    for w in 0..n_words {
+                        let bits = r.uword()?;
+                        for b in 0..32 {
+                            if bits & (1 << b) != 0 {
+                                let gi = w * 32 + b;
+                                let entry = ground
+                                    .get(gi)
+                                    .ok_or_else(|| r.err("killed bit out of range"))?;
+                                slots.push(*entry);
+                            }
+                        }
+                    }
+                    slots
+                }
+                TableLayout::FullInfo => {
+                    let n = r.uword()? as usize;
+                    let mut slots = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let w = r.word()?;
+                        slots.push(
+                            GroundEntry::from_word(w).ok_or_else(|| r.err("bad killed word"))?,
+                        );
+                    }
+                    slots
+                }
+            }
+        };
+        Ok(DecodedPoint { pc: 0, stack_slots, regs, derivations, killed })
     }
 }
 
@@ -664,14 +703,21 @@ mod tests {
                                     (Location::Slot(BaseReg::Fp, 1), Sign::Minus),
                                 ],
                             }],
+                            killed: vec![],
                         },
                         GcPointTables {
                             pc: 14,
                             live_stack: vec![0, 1],
                             regs: RegSet::single(2),
                             derivations: vec![],
+                            killed: vec![2],
                         },
-                        GcPointTables { pc: 30, live_stack: vec![2], ..Default::default() },
+                        GcPointTables {
+                            pc: 30,
+                            live_stack: vec![2],
+                            killed: vec![0, 1],
+                            ..Default::default()
+                        },
                     ],
                 },
                 ProcTables {
@@ -690,6 +736,7 @@ mod tests {
                                 vec![(Location::Reg(2), Sign::Plus)],
                             ],
                         }],
+                        killed: vec![],
                     }],
                 },
             ],
@@ -707,6 +754,7 @@ mod tests {
                 assert_eq!(d.stack_slots, proc.live_slots(i), "{scheme} stack at pc {}", pt.pc);
                 assert_eq!(d.regs, pt.regs, "{scheme} regs at pc {}", pt.pc);
                 assert_eq!(d.derivations, pt.derivations, "{scheme} derivs at pc {}", pt.pc);
+                assert_eq!(d.killed, proc.killed_slots(i), "{scheme} killed at pc {}", pt.pc);
             }
         }
     }

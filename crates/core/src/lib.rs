@@ -47,6 +47,7 @@
 //!         live_stack: vec![0],
 //!         regs: RegSet::EMPTY,
 //!         derivations: vec![],
+//!         killed: vec![],
 //!     }],
 //! };
 //! let module = ModuleTables { procs: vec![proc_tables] };

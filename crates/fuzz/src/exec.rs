@@ -222,31 +222,44 @@ pub fn run_serve_vm(source: &str, options: &Options) -> RunStatus {
 }
 
 /// The parallel side of the matrix: {o0, o2} at the default encoding
-/// with 2 and 4 gc workers, plus a tiny-TLAB configuration (refill and
+/// with 2 and 4 gc workers, a tiny-TLAB configuration (refill and
 /// retire on nearly every allocation) to stress buffer boundaries under
-/// torture.
+/// torture, and a full-map (`nolive`) configuration so liveness-pruned
+/// and unpruned runs are differentially compared on every program.
 #[must_use]
 pub fn par_config_matrix() -> Vec<(String, Options, usize, usize)> {
     vec![
         ("o2/par-w2".to_string(), Options::o2(), 2, DEFAULT_TLAB_WORDS),
         ("o0/par-w4".to_string(), Options::o0(), 4, DEFAULT_TLAB_WORDS),
         ("o2/par-w2/tlab8".to_string(), Options::o2(), 2, 8),
+        (
+            "o2/par-w2/nolive".to_string(),
+            Options::o2().with_live_maps(false),
+            2,
+            DEFAULT_TLAB_WORDS,
+        ),
     ]
 }
 
 /// The concurrent-marking side of the matrix: {o0, o2} with 2
 /// evacuation workers and 2 background markers, differentially checked
-/// against the reference interpreter under torture.
+/// against the reference interpreter under torture, plus a full-map
+/// (`nolive`) configuration — the snapshot-pause kill path and the
+/// unpruned tables must produce identical output on every program.
 #[must_use]
 pub fn cms_config_matrix() -> Vec<(String, Options, usize, usize)> {
     vec![
         ("o2/cms-w2m2".to_string(), Options::o2(), 2, 2),
         ("o0/cms-w2m2".to_string(), Options::o0(), 2, 2),
+        ("o2/cms-w2m2/nolive".to_string(), Options::o2().with_live_maps(false), 2, 2),
     ]
 }
 
 /// The full VM configuration matrix: {o0, o2} × all six encodings ×
-/// {semispace, generational}, with human-readable labels.
+/// {semispace, generational} with liveness-pruned maps (the default),
+/// plus {o0, o2} × {semi, gen} at the default encoding with pruning
+/// off — every program runs with and without kills and the outputs are
+/// compared through the shared reference.
 #[must_use]
 pub fn config_matrix() -> Vec<(String, Options, HeapStrategy)> {
     let mut out = Vec::new();
@@ -258,6 +271,12 @@ pub fn config_matrix() -> Vec<(String, Options, HeapStrategy)> {
             ] {
                 out.push((format!("{olabel}/{scheme}/{hlabel}"), opts.with_scheme(scheme), heap));
             }
+        }
+        for (hlabel, heap) in [
+            ("semi", HeapStrategy::Semispace),
+            ("gen", HeapStrategy::generational_for(FUZZ_SEMI_WORDS)),
+        ] {
+            out.push((format!("{olabel}/nolive/{hlabel}"), opts.with_live_maps(false), heap));
         }
     }
     out

@@ -55,8 +55,8 @@ use m3gc_vm::par::CmsHeap;
 use m3gc_vm::{Mutator, ParMachine};
 
 use crate::parallel::{
-    par_oracle_check, re_derive_snap, read_root_snap, un_derive_snap, write_root_snap, ParGcStats,
-    Part, RunCtx, Snapshot, ThreadWorld,
+    apply_kills_par, par_oracle_check, re_derive_snap, read_root_snap, un_derive_snap,
+    write_root_snap, ParGcStats, Part, RunCtx, Snapshot, ThreadWorld,
 };
 use crate::scheduler::ExecError;
 use crate::trace::{
@@ -113,6 +113,11 @@ struct CyclePending {
     mark_started: Instant,
     /// `satb_drained` at cycle start (for the per-cycle delta).
     satb_drained_start: u64,
+    /// Killed slots nulled at the snapshot pause (liveness-pruned maps).
+    roots_killed: u64,
+    /// Words those slots referenced directly (dropped at the *next*
+    /// cycle — the snapshot keeps its start-of-cycle heap).
+    float_words_avoided: u64,
 }
 
 impl CmsRun {
@@ -420,6 +425,7 @@ fn cms_snapshot_pause(
     }
     let (from_start, _) = vm.from_space();
     let free_now = vm.free.load(R);
+    let (mut killed_n, mut float_n) = (0u64, 0u64);
     heap.clear_marks();
     let mut gray = run.gray.lock().unwrap();
     debug_assert!(gray.is_empty(), "gray residue across cycles");
@@ -457,6 +463,37 @@ fn cms_snapshot_pause(
                 gray.push(v);
             }
         }
+        // Killed slots: nulling a reference while a cycle runs is a
+        // deletion, and SATB snapshots the start-of-cycle heap — so the
+        // old value is enqueued (kept marked for *this* cycle, exactly
+        // as the deletion barrier would have) and the slot is nulled;
+        // the referent becomes unreachable at the next cycle's snapshot.
+        for &r in &roots.killed {
+            let RootRef::Mem(a) = r else { continue };
+            let v = vm.word(a);
+            if v == 0 {
+                continue;
+            }
+            killed_n += 1;
+            if v >= from_start && v < free_now {
+                let header = vm.word(v);
+                if header >= 0 {
+                    let ty = vm.module.types.get(header_type_id(header));
+                    let len = match ty {
+                        HeapType::Array { .. } => vm.word(v + 1),
+                        HeapType::Record { .. } => 0,
+                    };
+                    float_n += u64::from(ty.object_words(len as u32));
+                }
+            }
+            if mark_value(heap, from_start, free_now, v) {
+                gray.push(v);
+            }
+            vm.set_word(a, 0);
+            if let Some(sh) = &vm.shadow {
+                sh.set_mem(a, m3gc_vm::shadow::Tag::NonPtr);
+            }
+        }
     }
     run.in_flight.store(gray.len(), Ordering::SeqCst);
     drop(gray);
@@ -469,6 +506,8 @@ fn cms_snapshot_pause(
         snapshot_pause: t0.elapsed(),
         mark_started: Instant::now(),
         satb_drained_start: heap.satb_drained.load(R),
+        roots_killed: killed_n,
+        float_words_avoided: float_n,
     });
     let mut cs = run.mx.lock().unwrap();
     cs.cycles_started += 1;
@@ -556,6 +595,8 @@ fn cms_final_pause(
     stats.snapshot_pause = pending.snapshot_pause;
     stats.mark_concurrent = mark_concurrent;
     stats.satb_drained = heap.satb_drained.load(R) - pending.satb_drained_start;
+    stats.roots_killed += pending.roots_killed;
+    stats.float_words_avoided += pending.float_words_avoided;
     stats.parked_at_polls = ctx.poll_parks.swap(0, R);
     stats.parked_at_allocs = ctx.alloc_parks.swap(0, R);
     stats.total_time = t0.elapsed();
@@ -668,6 +709,8 @@ struct CmsWorkerReport {
     objects: u64,
     words: u64,
     roots: u64,
+    roots_killed: u64,
+    float_words_avoided: u64,
     derived: u64,
     frames: u64,
     spliced: u64,
@@ -701,10 +744,14 @@ fn cms_evac_worker(
     let mut cache = cache_mx.lock().unwrap();
     let decode_before = cache.counters();
     let (mut roots_n, mut derived_n, mut frames_n, mut spliced_n) = (0u64, 0u64, 0u64, 0u64);
+    let (mut killed_n, mut float_n) = (0u64, 0u64);
+    let heap_used = (gc.from_start, gc.from_used);
 
     // Phase 1: walk my threads' stacks — only frames above each
     // thread's watermark are re-decoded; everything below was cached at
-    // the snapshot pause — and un-derive.
+    // the snapshot pause — and un-derive. Killed slots are nulled here
+    // (marking is over, so no SATB enqueue: a marked referent is still
+    // copied this cycle and dies at the next one).
     for (tid, snap, roots) in &mut my {
         {
             let world = ThreadWorld { vm, tid: *tid as u32, snap };
@@ -716,6 +763,9 @@ fn cms_evac_worker(
             }
         }
         un_derive_snap(vm, snap, roots);
+        let (rk, fw) = apply_kills_par(vm, roots, heap_used);
+        killed_n += rk;
+        float_n += fw;
         roots_n += roots.tidy.len() as u64;
         derived_n += roots.derivations.len() as u64;
         frames_n += roots.frames as u64;
@@ -814,6 +864,8 @@ fn cms_evac_worker(
         objects,
         words: words_copied,
         roots: roots_n,
+        roots_killed: killed_n,
+        float_words_avoided: float_n,
         derived: derived_n,
         frames: frames_n,
         spliced: spliced_n,
@@ -890,6 +942,8 @@ fn cms_evacuate(ctx: &RunCtx<'_>, heap: &CmsHeap) -> ParGcStats {
         stats.objects_copied += r.objects;
         stats.words_copied += r.words;
         stats.roots += r.roots;
+        stats.roots_killed += r.roots_killed;
+        stats.float_words_avoided += r.float_words_avoided;
         stats.derived_updated += r.derived;
         stats.frames_traced += r.frames;
         stats.frames_spliced += r.spliced;

@@ -40,6 +40,12 @@ pub struct GcStats {
     pub remembered_added: u64,
     /// Tidy root references processed.
     pub roots: u64,
+    /// Killed slots nulled before tracing: frame words the liveness-pruned
+    /// maps list as dead references.
+    pub roots_killed: u64,
+    /// Words of heap the nulled slots referenced directly (an estimate of
+    /// float avoided — transitively retained words are not counted).
+    pub float_words_avoided: u64,
     /// Derived values un-derived and re-derived.
     pub derived_updated: u64,
     /// Stack frames traced (spliced frames included).
@@ -86,6 +92,50 @@ pub(crate) fn re_derive(m: &mut Machine, stack: &StackRoots) {
         }
         write_root(m, d.target, v);
     }
+}
+
+/// Nulls the killed slots of a gathered root set: each is a frame word
+/// whose gc-point tables prove the reference dead, so zeroing it is
+/// invisible to the program and lets this collection (and every later
+/// one) drop the referent. Shadow tags follow (a nulled slot is no longer
+/// a pointer). Returns `(roots_killed, float_words_avoided)` where the
+/// float estimate counts the directly referenced object's words when the
+/// referent lies in one of the live `ranges` (transitively retained words
+/// are not chased — this is a statistic, not a semantics).
+pub(crate) fn apply_kills(
+    m: &mut Machine,
+    killed: &[RootRef],
+    ranges: &[(i64, i64)],
+) -> (u64, u64) {
+    let types = m.module.types.clone();
+    let mut roots_killed = 0u64;
+    let mut float_words = 0u64;
+    for &r in killed {
+        // Killed entries are always frame words (slots are never
+        // register-allocated), but stay total just in case.
+        let RootRef::Mem(a) = r else { continue };
+        let v = m.mem[a as usize];
+        if v == 0 {
+            continue; // already NIL (or killed by an earlier collection)
+        }
+        roots_killed += 1;
+        if ranges.iter().any(|&(s, e)| (s..e).contains(&v)) {
+            let header = m.mem[v as usize];
+            if header >= 0 {
+                let ty = types.get(TypeId(header as u32));
+                let len = match ty {
+                    HeapType::Array { .. } => m.mem[v as usize + 1],
+                    HeapType::Record { .. } => 0,
+                };
+                float_words += u64::from(ty.object_words(len as u32));
+            }
+        }
+        m.mem[a as usize] = 0;
+        if let Some(sh) = m.shadow.as_deref_mut() {
+            sh.set_mem(a, m3gc_vm::shadow::Tag::NonPtr);
+        }
+    }
+    (roots_killed, float_words)
 }
 
 /// Forwards one object pointer, copying the object on first visit.
@@ -150,8 +200,14 @@ pub fn collect(m: &mut Machine, cache: &mut DecodeCache) -> GcStats {
     un_derive(m, &stack);
     let trace_end = t0.elapsed();
 
-    // --- Evacuate. ---
+    // Null the killed slots before evacuating, so their referents are
+    // not retained by this collection.
     let (from_start, from_end) = m.from_space();
+    let (rk, fw) = apply_kills(m, &stack.killed, &[(from_start, m.alloc_ptr)]);
+    stats.roots_killed = rk;
+    stats.float_words_avoided = fw;
+
+    // --- Evacuate. ---
     let (to_start, _) = m.to_space();
     let mut free = to_start;
     let types = m.module.types.clone();

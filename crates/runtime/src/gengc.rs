@@ -39,7 +39,7 @@ use m3gc_core::heap::{header_age, header_type_id, header_with_age, HeapType, Typ
 use m3gc_core::stats::GcKind;
 use m3gc_vm::machine::{Machine, Thread, VmTrap};
 
-use crate::collector::{re_derive, record_decode_work, un_derive, GcStats};
+use crate::collector::{apply_kills, re_derive, record_decode_work, un_derive, GcStats};
 use crate::trace::{
     gather_global_roots, gather_stack_roots, gather_stack_roots_cached, RootRef, StackWatermarks,
 };
@@ -217,6 +217,18 @@ pub fn minor_collect_with(
     stats.derived_updated = stack.derivations.len() as u64;
     un_derive(m, &stack);
     let trace_end = t0.elapsed();
+
+    // Null the killed slots before evacuating: a dead nursery referent is
+    // neither copied nor promoted, and a dead tenured referent becomes
+    // unreachable for the next major collection.
+    {
+        let (ns, _) = m.nursery_from_space();
+        let (ts, _) = m.tenured_space();
+        let ranges = [(ns, m.alloc_ptr), (ts, m.tenured_alloc_ptr)];
+        let (rk, fw) = apply_kills(m, &stack.killed, &ranges);
+        stats.roots_killed = rk;
+        stats.float_words_avoided = fw;
+    }
 
     // --- Evacuate the live nursery. ---
     let (young_from_start, _) = m.nursery_from_space();
@@ -426,6 +438,15 @@ pub fn major_collect(m: &mut Machine, cache: &mut DecodeCache) -> Result<GcStats
     stats.derived_updated = stack.derivations.len() as u64;
     un_derive(m, &stack);
     let trace_end = t0.elapsed();
+
+    {
+        let (ns, _) = m.nursery_from_space();
+        let (ts, _) = m.tenured_space();
+        let ranges = [(ns, m.alloc_ptr), (ts, m.tenured_alloc_ptr)];
+        let (rk, fw) = apply_kills(m, &stack.killed, &ranges);
+        stats.roots_killed = rk;
+        stats.float_words_avoided = fw;
+    }
 
     let (young_start, _) = m.nursery_from_space();
     let young_end = m.alloc_ptr;

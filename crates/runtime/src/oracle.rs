@@ -97,6 +97,24 @@ pub(crate) fn check_entries(
         }
     }
 
+    // Liveness-pruned maps: a killed slot is a claim that the reference is
+    // dead, and the collector will null it. A location listed both live
+    // and killed at the same collection is a self-contradictory table —
+    // the collector would null a root it is also told to trace (this is
+    // how an under-aggressive kill, one the liveness analysis should not
+    // have produced, is caught deterministically).
+    for &k in &stack.killed {
+        if stack.tidy.contains(&k) {
+            return Err(format!("killed slot {k:?} is also listed as a live tidy root"));
+        }
+        if let Some(d) = stack.derivations.iter().find(|d| d.bases.iter().any(|&(b, _)| b == k)) {
+            return Err(format!(
+                "killed slot {k:?} is also a derivation base (target {:?})",
+                d.target
+            ));
+        }
+    }
+
     for d in &stack.derivations {
         for &(b, _sign) in &d.bases {
             let v = read_root_in(src, b);

@@ -132,6 +132,10 @@ pub struct ParGcStats {
     pub steals: Vec<u64>,
     /// Tidy root references processed.
     pub roots: u64,
+    /// Killed slots nulled before tracing (liveness-pruned maps).
+    pub roots_killed: u64,
+    /// Words of heap the nulled slots referenced directly.
+    pub float_words_avoided: u64,
     /// Derived values un-derived and re-derived.
     pub derived_updated: u64,
     /// Stack frames traced (spliced frames included).
@@ -361,6 +365,44 @@ impl<'vm> RunCtx<'vm> {
 /// A worker's thread partition: (tid, snapshot, gathered roots).
 pub(crate) type Part = Vec<(usize, Snapshot, StackRoots)>;
 
+/// Nulls a parked thread's killed slots (the parallel analogue of
+/// `crate::collector::apply_kills`): each is a frame word of this
+/// thread's own stack region whose tables prove the reference dead, so
+/// no other worker touches it and nothing has moved yet when this runs
+/// (phase 1). Returns `(roots_killed, float_words_avoided)` — the float
+/// estimate counts the directly referenced object's words when the
+/// referent lies in the allocated from-space prefix `heap`.
+pub(crate) fn apply_kills_par(vm: &ParMachine, roots: &StackRoots, heap: (i64, i64)) -> (u64, u64) {
+    use m3gc_core::heap::{header_type_id, HeapType};
+    let (hs, he) = heap;
+    let mut roots_killed = 0u64;
+    let mut float_words = 0u64;
+    for &r in &roots.killed {
+        let RootRef::Mem(a) = r else { continue };
+        let v = vm.word(a);
+        if v == 0 {
+            continue;
+        }
+        roots_killed += 1;
+        if (hs..he).contains(&v) {
+            let header = vm.word(v);
+            if header >= 0 {
+                let ty = vm.module.types.get(header_type_id(header));
+                let len = match ty {
+                    HeapType::Array { .. } => vm.word(v + 1),
+                    HeapType::Record { .. } => 0,
+                };
+                float_words += u64::from(ty.object_words(len as u32));
+            }
+        }
+        vm.set_word(a, 0);
+        if let Some(sh) = &vm.shadow {
+            sh.set_mem(a, Tag::NonPtr);
+        }
+    }
+    (roots_killed, float_words)
+}
+
 struct WorkerReport {
     threads: Vec<(usize, Snapshot)>,
     objects: u64,
@@ -368,6 +410,8 @@ struct WorkerReport {
     region_objects: u64,
     region_words: u64,
     roots: u64,
+    roots_killed: u64,
+    float_words_avoided: u64,
     derived: u64,
     frames: u64,
     spliced: u64,
@@ -392,9 +436,15 @@ fn gc_worker(
     let decode_before = cache.counters();
     let mut local = WorkerLocal::default();
     let (mut roots_n, mut derived_n, mut frames_n, mut spliced_n) = (0u64, 0u64, 0u64, 0u64);
+    let (mut killed_n, mut float_n) = (0u64, 0u64);
+    let heap = {
+        let (s, _) = vm.from_space();
+        (s, vm.free.load(R))
+    };
 
     // Phase 1: walk my threads' stacks (splicing unchanged cold frames
-    // from the per-thread watermark caches) and un-derive.
+    // from the per-thread watermark caches), un-derive, and null the
+    // killed slots before anything is forwarded.
     for (tid, snap, roots) in &mut my {
         {
             let world = ThreadWorld { vm, tid: *tid as u32, snap };
@@ -406,6 +456,9 @@ fn gc_worker(
             }
         }
         un_derive_snap(vm, snap, roots);
+        let (rk, fw) = apply_kills_par(vm, roots, heap);
+        killed_n += rk;
+        float_n += fw;
         roots_n += roots.tidy.len() as u64;
         derived_n += roots.derivations.len() as u64;
         frames_n += roots.frames as u64;
@@ -475,6 +528,8 @@ fn gc_worker(
         region_objects: local.region_objects,
         region_words: local.region_words,
         roots: roots_n,
+        roots_killed: killed_n,
+        float_words_avoided: float_n,
         derived: derived_n,
         frames: frames_n,
         spliced: spliced_n,
@@ -564,6 +619,8 @@ pub(crate) fn collect_parallel(
         stats.region_objects_promoted += r.region_objects;
         stats.region_words_promoted += r.region_words;
         stats.roots += r.roots;
+        stats.roots_killed += r.roots_killed;
+        stats.float_words_avoided += r.float_words_avoided;
         stats.derived_updated += r.derived;
         stats.frames_traced += r.frames;
         stats.frames_spliced += r.spliced;
