@@ -1,0 +1,239 @@
+//! Baseline-JIT experiment: interpreter vs native wall clock.
+//!
+//! Two kernels run under the sequential executor twice — once
+//! interpreted, once with `--jit` — and the wall-clock times are
+//! compared:
+//!
+//! * **loop**: a tight arithmetic loop with no allocation, the best
+//!   case for a template compiler (interpreter dispatch is the whole
+//!   cost). The ≥3× speedup assertion arms on this kernel.
+//! * **call**: recursion plus list allocation under a small semispace,
+//!   so collections fire mid-run and the JIT's code-map stack walks are
+//!   on the hot path too.
+//!
+//! Both engines must produce identical output, identical step counts,
+//! and — because collection points are deterministic — an identical
+//! collection schedule (same count, same words evacuated): the "pause
+//! parity" check. Pause *times* are reported side by side but not
+//! asserted (native mutator time shrinks, pause time should not grow).
+//!
+//! The speedup assertion only arms when the host actually compiled the
+//! kernels to native code (x86-64 with executable mappings) and the run
+//! is not `--quick`; otherwise the bench degenerates to a report-only
+//! smoke test and records `skip_reason`. Either way it writes
+//! `BENCH_jit.json`.
+
+use std::time::{Duration, Instant};
+
+use m3gc_compiler::{compile, Options};
+use m3gc_runtime::scheduler::ExecOutcome;
+use m3gc_runtime::{Executor, GcStrategy, RuntimeOptions, StatsReport};
+use m3gc_vm::VmModule;
+
+/// Tight arithmetic loop: no allocation, no calls inside the loop.
+fn loop_src(n: u64) -> String {
+    format!(
+        "MODULE JitLoop;
+
+PROCEDURE Mix(n: INTEGER): INTEGER =
+VAR i, a, b: INTEGER;
+BEGIN
+  a := 1;
+  b := 0;
+  FOR i := 1 TO n DO
+    a := (a * 31 + i) MOD 1000003;
+    IF a MOD 2 = 0 THEN
+      b := (b + a) MOD 1000003;
+    ELSE
+      b := (b + 7 * a) MOD 1000003;
+    END;
+  END;
+  RETURN b;
+END Mix;
+
+BEGIN
+  PutInt(Mix({n}));
+  PutLn();
+END JitLoop."
+    )
+}
+
+/// Call- and allocation-heavy kernel: every round pushes a node through
+/// a call, and every 16th round walks the list recursively. The list is
+/// clipped so the heap churns and the semispace collects repeatedly.
+fn call_src(rounds: u64) -> String {
+    format!(
+        "MODULE JitCall;
+TYPE Node = REF RECORD val: INTEGER; next: Node; END;
+VAR head: Node;
+
+PROCEDURE Push(v: INTEGER): Node =
+VAR p: Node;
+BEGIN
+  p := NEW(Node);
+  p.val := v;
+  p.next := head;
+  RETURN p;
+END Push;
+
+PROCEDURE Len(p: Node): INTEGER =
+BEGIN
+  IF p = NIL THEN RETURN 0; END;
+  RETURN 1 + Len(p.next);
+END Len;
+
+PROCEDURE Churn(rounds: INTEGER): INTEGER =
+VAR i, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO rounds DO
+    head := Push(i);
+    IF i MOD 16 = 0 THEN
+      s := (s + Len(head)) MOD 1000003;
+      head := NIL;
+    END;
+  END;
+  RETURN s;
+END Churn;
+
+BEGIN
+  PutInt(Churn({rounds}));
+  PutLn();
+END JitCall."
+    )
+}
+
+struct Timed {
+    outcome: ExecOutcome,
+    wall: Duration,
+    compiled: usize,
+    enabled: bool,
+}
+
+/// Best-of-`reps` wall clock for one module under one engine. Each rep
+/// rebuilds the executor so JIT compilation time is inside the measured
+/// window — the bench compares end-to-end load-and-run cost.
+fn run_timed(module: &VmModule, semi_words: usize, jit: bool, reps: u32) -> Timed {
+    let mut best: Option<Timed> = None;
+    for _ in 0..reps {
+        let opts =
+            RuntimeOptions::new().strategy(GcStrategy::Semispace).semi_words(semi_words).jit(jit);
+        let start = Instant::now();
+        let mut ex = Executor::try_new(opts.build_machine(module.clone()), opts)
+            .expect("benchmark module has valid maps");
+        let outcome = ex.run_main().expect("benchmark run");
+        let wall = start.elapsed();
+        let summary = ex.jit_summary();
+        let t = Timed {
+            outcome,
+            wall,
+            compiled: summary.as_ref().map_or(0, |s| s.procs_compiled),
+            enabled: summary.as_ref().is_some_and(|s| s.enabled),
+        };
+        if best.as_ref().is_none_or(|b| t.wall < b.wall) {
+            best = Some(t);
+        }
+    }
+    best.unwrap()
+}
+
+fn pause_max_us(o: &ExecOutcome) -> f64 {
+    o.gc_each.iter().map(|s| s.total_time.as_secs_f64() * 1e6).fold(0.0, f64::max)
+}
+
+/// Interp-vs-jit pair for one kernel: identical output, identical step
+/// count, identical collection schedule. Returns the speedup.
+fn compare(name: &str, interp: &Timed, jit: &Timed) -> f64 {
+    assert_eq!(jit.outcome.output, interp.outcome.output, "{name}: outputs diverge");
+    assert_eq!(jit.outcome.steps, interp.outcome.steps, "{name}: step counts diverge");
+    // Pause parity: the JIT must not change *what* the collector does.
+    assert_eq!(
+        jit.outcome.collections, interp.outcome.collections,
+        "{name}: collection counts diverge"
+    );
+    assert_eq!(
+        jit.outcome.gc_total.words_copied, interp.outcome.gc_total.words_copied,
+        "{name}: evacuated words diverge"
+    );
+    let speedup = interp.wall.as_secs_f64() / jit.wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    println!(
+        "  {name}: interp {:>8.2} ms, jit {:>8.2} ms ({} proc(s) native) — {speedup:.2}x; \
+         {} gc(s), pause max {:.1} us interp / {:.1} us jit",
+        interp.wall.as_secs_f64() * 1e3,
+        jit.wall.as_secs_f64() * 1e3,
+        jit.compiled,
+        jit.outcome.collections,
+        pause_max_us(&interp.outcome),
+        pause_max_us(&jit.outcome),
+    );
+    speedup
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (loop_n, call_rounds, reps) =
+        if quick { (200_000, 50_000, 1) } else { (8_000_000, 600_000, 3) };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let loop_mod = compile(&loop_src(loop_n), &Options::o2()).expect("loop kernel compiles");
+    let call_mod = compile(&call_src(call_rounds), &Options::o2()).expect("call kernel compiles");
+
+    println!("Jit: loop kernel {loop_n} iteration(s), call kernel {call_rounds} round(s)");
+
+    let loop_interp = run_timed(&loop_mod, 1 << 16, false, reps);
+    let loop_jit = run_timed(&loop_mod, 1 << 16, true, reps);
+    // A small semispace so the call kernel collects repeatedly.
+    let call_interp = run_timed(&call_mod, 1 << 12, false, reps);
+    let call_jit = run_timed(&call_mod, 1 << 12, true, reps);
+    assert!(call_jit.outcome.collections >= 3, "call kernel must force repeated collections");
+
+    let loop_speedup = compare("loop", &loop_interp, &loop_jit);
+    let call_speedup = compare("call", &call_interp, &call_jit);
+
+    // Only assert the speedup where native code actually ran: on an
+    // unsupported host every procedure falls back to the interpreter
+    // and the two runs measure the same engine.
+    let native = loop_jit.enabled && loop_jit.compiled > 0;
+    let asserted = !quick && native;
+    let skip_reason = if asserted {
+        String::new()
+    } else if !native {
+        "host did not compile the kernels to native code".to_string()
+    } else {
+        "quick mode is a report-only smoke run".to_string()
+    };
+    println!(
+        "  speedup assertion {}",
+        if asserted { "armed (>=3x on the loop kernel)" } else { "off (report only)" }
+    );
+    if !asserted {
+        eprintln!("jit: warning: speedup assertion not armed: {skip_reason}");
+    }
+
+    let mut rep = StatsReport::new("jit");
+    rep.put("quick", quick);
+    rep.host(cores, asserted);
+    rep.put("loop_iters", loop_n);
+    rep.put("call_rounds", call_rounds);
+    rep.put("loop_interp_ms", loop_interp.wall.as_secs_f64() * 1e3);
+    rep.put("loop_jit_ms", loop_jit.wall.as_secs_f64() * 1e3);
+    rep.put("loop_speedup", loop_speedup);
+    rep.put("call_interp_ms", call_interp.wall.as_secs_f64() * 1e3);
+    rep.put("call_jit_ms", call_jit.wall.as_secs_f64() * 1e3);
+    rep.put("call_speedup", call_speedup);
+    rep.put("call_collections", call_jit.outcome.collections);
+    rep.put("call_pause_max_us_interp", pause_max_us(&call_interp.outcome));
+    rep.put("call_pause_max_us_jit", pause_max_us(&call_jit.outcome));
+    rep.put("skip_reason", skip_reason.as_str());
+    rep.put("outputs_match", true);
+    let json = rep.to_json();
+    println!("{json}");
+    m3gc_bench::write_bench_json("jit", &json);
+
+    if asserted {
+        assert!(
+            loop_speedup >= 3.0,
+            "native code must beat the interpreter by >=3x on the loop kernel, got {loop_speedup:.2}x"
+        );
+    }
+}

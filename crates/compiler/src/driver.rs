@@ -8,12 +8,10 @@ use m3gc_core::encode::Scheme;
 use m3gc_core::stats::{size_report, table_stats};
 use m3gc_frontend::error::{Diagnostic, Phase};
 use m3gc_ir::verify::VerifyError;
-use m3gc_runtime::scheduler::ExecError;
-use m3gc_runtime::{GcStrategy, RuntimeOptions, ServeLoad, StatsReport};
+use m3gc_runtime::scheduler::{ExecError, Executor};
+use m3gc_runtime::{GcStrategy, ParExecutor, RuntimeOptions, ServeLoad, StatsReport};
 
-use crate::{
-    compile, compile_to_ir, run_module_opts, run_module_par_opts, run_module_serve, Options,
-};
+use crate::{compile, compile_to_ir, run_module_serve, Options};
 
 /// Default per-request region size (words) when `m3c serve` is invoked
 /// without `--region-words`.
@@ -139,7 +137,9 @@ pub fn run(
         return run_parallel(module, opts);
     }
     let total_points = cache.index().gc_point_pcs().count();
-    let out = run_module_opts(module, opts)?;
+    let machine = opts.build_machine(module);
+    let mut ex = Executor::try_new(machine, opts)?;
+    let out = ex.run_main()?;
     let mut s = out.output.clone();
     if opts.stats {
         let mut rep = StatsReport::new("run");
@@ -166,6 +166,9 @@ pub fn run(
             rep.add_watermark(out.gc_total.frames_spliced, out.gc_total.frames_traced);
         }
         rep.add_livemap(out.gc_total.roots_killed, out.gc_total.float_words_avoided);
+        if let Some(jit) = ex.jit_summary() {
+            rep.add_jit(&jit);
+        }
         s.push_str(&rep.to_text());
     }
     Ok(s)
@@ -176,7 +179,9 @@ pub fn run(
 /// collection (or, for cms, concurrent SATB marking and a parallel
 /// bitmap evacuation in the final pause).
 fn run_parallel(module: m3gc_vm::VmModule, opts: RuntimeOptions) -> Result<String, DriverError> {
-    let out = run_module_par_opts(module, opts)?;
+    let vm = opts.build_par_machine(module);
+    let mut ex = ParExecutor::new(vm, opts);
+    let out = ex.run_main()?;
     let mut s = out.output.clone();
     if opts.stats {
         let name = if opts.strategy == GcStrategy::Cms { "run-cms" } else { "run-par" };
@@ -205,6 +210,9 @@ fn run_parallel(module: m3gc_vm::VmModule, opts: RuntimeOptions) -> Result<Strin
             out.gc_each.iter().map(|g| g.roots_killed).sum(),
             out.gc_each.iter().map(|g| g.float_words_avoided).sum(),
         );
+        if let Some(jit) = ex.jit_summary() {
+            rep.add_jit(&jit);
+        }
         s.push_str(&rep.to_text());
     }
     Ok(s)
@@ -391,6 +399,7 @@ fn parse_all(args: &[String]) -> Result<(Options, RuntimeOptions, ServeLoad), Dr
             "--torture" => config = config.torture(true),
             "--stats" => config = config.stats(true),
             "--oracle" => config = config.oracle(true),
+            "--jit" => config = config.jit(true),
             "--heap" => config.semi_words = value("--heap", it.next())?,
             "--gc" | "--gc=semispace" | "--gc=gen" | "--gc=par" | "--gc=cms" => {
                 let owned;
@@ -513,6 +522,25 @@ mod tests {
         let out = run(ALLOCATING, &o, c).unwrap();
         assert!(out.starts_with("1275"), "{out}");
         assert!(out.contains("collection(s)"), "{out}");
+    }
+
+    #[test]
+    fn run_with_jit_matches_and_reports() {
+        let (o, mut c) = parse_options(&["--torture".into(), "--stats".into()]).unwrap();
+        c.semi_words = 4096;
+        let baseline = run(ALLOCATING, &o, c).unwrap();
+        let (oj, mut cj) =
+            parse_options(&["--jit".into(), "--torture".into(), "--stats".into()]).unwrap();
+        assert!(cj.jit);
+        cj.semi_words = 4096;
+        let out = run(ALLOCATING, &oj, cj).unwrap();
+        assert_eq!(
+            out.lines().next(),
+            baseline.lines().next(),
+            "jit output must match the interpreter"
+        );
+        assert!(out.contains("--- jit:"), "{out}");
+        assert!(out.contains("proc(s) compiled"), "{out}");
     }
 
     #[test]

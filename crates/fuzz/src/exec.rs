@@ -81,7 +81,7 @@ pub fn run_reference(source: &str) -> RunStatus {
 /// Runs one VM configuration under torture with shadow mode and the
 /// precision oracle.
 #[must_use]
-pub fn run_vm(source: &str, options: &Options, heap: HeapStrategy) -> RunStatus {
+pub fn run_vm(source: &str, options: &Options, heap: HeapStrategy, jit: bool) -> RunStatus {
     let module = match compile(source, options) {
         Ok(m) => m,
         Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
@@ -91,7 +91,8 @@ pub fn run_vm(source: &str, options: &Options, heap: HeapStrategy) -> RunStatus 
         .stack_words(1 << 14)
         .max_threads(4)
         .torture(true)
-        .oracle(true);
+        .oracle(true)
+        .jit(jit);
     if let HeapStrategy::Generational { nursery_words, promote_age } = heap {
         ropts = ropts
             .strategy(GcStrategy::Generational)
@@ -137,7 +138,13 @@ fn status_of_error(e: ExecError) -> RunStatus {
 /// precision oracle — the parallel handshake, snapshot stack walk and
 /// work-stealing copy all differentially checked against the reference.
 #[must_use]
-pub fn run_par_vm(source: &str, options: &Options, workers: usize, tlab_words: usize) -> RunStatus {
+pub fn run_par_vm(
+    source: &str,
+    options: &Options,
+    workers: usize,
+    tlab_words: usize,
+    jit: bool,
+) -> RunStatus {
     let module = match compile(source, options) {
         Ok(m) => m,
         Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
@@ -150,7 +157,8 @@ pub fn run_par_vm(source: &str, options: &Options, workers: usize, tlab_words: u
         .gc_workers(workers)
         .tlab_words(tlab_words)
         .torture(true)
-        .oracle(true);
+        .oracle(true)
+        .jit(jit);
     match run_module_par_opts(module, ropts) {
         Ok(out) => RunStatus::Ok(out.output),
         Err(e) => status_of_error(e),
@@ -171,6 +179,7 @@ pub fn run_cms_vm(
     options: &Options,
     workers: usize,
     conc_workers: usize,
+    jit: bool,
 ) -> RunStatus {
     let module = match compile(source, options) {
         Ok(m) => m,
@@ -185,7 +194,8 @@ pub fn run_cms_vm(
         .conc_workers(conc_workers)
         .torture(true)
         .shadow(true)
-        .oracle(true);
+        .oracle(true)
+        .jit(jit);
     match run_module_par_opts(module, ropts) {
         Ok(out) => RunStatus::Ok(out.output),
         Err(e) => status_of_error(e),
@@ -227,17 +237,21 @@ pub fn run_serve_vm(source: &str, options: &Options) -> RunStatus {
 /// torture, and a full-map (`nolive`) configuration so liveness-pruned
 /// and unpruned runs are differentially compared on every program.
 #[must_use]
-pub fn par_config_matrix() -> Vec<(String, Options, usize, usize)> {
+pub fn par_config_matrix() -> Vec<(String, Options, usize, usize, bool)> {
     vec![
-        ("o2/par-w2".to_string(), Options::o2(), 2, DEFAULT_TLAB_WORDS),
-        ("o0/par-w4".to_string(), Options::o0(), 4, DEFAULT_TLAB_WORDS),
-        ("o2/par-w2/tlab8".to_string(), Options::o2(), 2, 8),
+        ("o2/par-w2".to_string(), Options::o2(), 2, DEFAULT_TLAB_WORDS, false),
+        ("o0/par-w4".to_string(), Options::o0(), 4, DEFAULT_TLAB_WORDS, false),
+        ("o2/par-w2/tlab8".to_string(), Options::o2(), 2, 8, false),
         (
             "o2/par-w2/nolive".to_string(),
             Options::o2().with_live_maps(false),
             2,
             DEFAULT_TLAB_WORDS,
+            false,
         ),
+        // JIT twin: same config as `o2/par-w2`, native bursts instead of
+        // the interpreter — outputs and traps must be identical.
+        ("o2/par-w2/jit".to_string(), Options::o2(), 2, DEFAULT_TLAB_WORDS, true),
     ]
 }
 
@@ -247,11 +261,15 @@ pub fn par_config_matrix() -> Vec<(String, Options, usize, usize)> {
 /// (`nolive`) configuration — the snapshot-pause kill path and the
 /// unpruned tables must produce identical output on every program.
 #[must_use]
-pub fn cms_config_matrix() -> Vec<(String, Options, usize, usize)> {
+pub fn cms_config_matrix() -> Vec<(String, Options, usize, usize, bool)> {
     vec![
-        ("o2/cms-w2m2".to_string(), Options::o2(), 2, 2),
-        ("o0/cms-w2m2".to_string(), Options::o0(), 2, 2),
-        ("o2/cms-w2m2/nolive".to_string(), Options::o2().with_live_maps(false), 2, 2),
+        ("o2/cms-w2m2".to_string(), Options::o2(), 2, 2, false),
+        ("o0/cms-w2m2".to_string(), Options::o0(), 2, 2, false),
+        ("o2/cms-w2m2/nolive".to_string(), Options::o2().with_live_maps(false), 2, 2, false),
+        // JIT twins at both opt levels: concurrent SATB marking with
+        // the full-helper store barrier in native code.
+        ("o2/cms-w2m2/jit".to_string(), Options::o2(), 2, 2, true),
+        ("o0/cms-w2m2/jit".to_string(), Options::o0(), 2, 2, true),
     ]
 }
 
@@ -261,7 +279,7 @@ pub fn cms_config_matrix() -> Vec<(String, Options, usize, usize)> {
 /// off — every program runs with and without kills and the outputs are
 /// compared through the shared reference.
 #[must_use]
-pub fn config_matrix() -> Vec<(String, Options, HeapStrategy)> {
+pub fn config_matrix() -> Vec<(String, Options, HeapStrategy, bool)> {
     let mut out = Vec::new();
     for (olabel, opts) in [("o0", Options::o0()), ("o2", Options::o2())] {
         for scheme in Scheme::TABLE2 {
@@ -269,14 +287,35 @@ pub fn config_matrix() -> Vec<(String, Options, HeapStrategy)> {
                 ("semi", HeapStrategy::Semispace),
                 ("gen", HeapStrategy::generational_for(FUZZ_SEMI_WORDS)),
             ] {
-                out.push((format!("{olabel}/{scheme}/{hlabel}"), opts.with_scheme(scheme), heap));
+                out.push((
+                    format!("{olabel}/{scheme}/{hlabel}"),
+                    opts.with_scheme(scheme),
+                    heap,
+                    false,
+                ));
             }
         }
         for (hlabel, heap) in [
             ("semi", HeapStrategy::Semispace),
             ("gen", HeapStrategy::generational_for(FUZZ_SEMI_WORDS)),
         ] {
-            out.push((format!("{olabel}/nolive/{hlabel}"), opts.with_live_maps(false), heap));
+            out.push((
+                format!("{olabel}/nolive/{hlabel}"),
+                opts.with_live_maps(false),
+                heap,
+                false,
+            ));
+        }
+        // JIT twins at the default encoding: every program also runs
+        // natively on both heap shapes, and the twin pair must agree on
+        // output and trap kind exactly. (The encoding schemes only vary
+        // table bytes, which the JIT never reads, so twinning the whole
+        // scheme sweep would re-test identical native code.)
+        for (hlabel, heap) in [
+            ("semi", HeapStrategy::Semispace),
+            ("gen", HeapStrategy::generational_for(FUZZ_SEMI_WORDS)),
+        ] {
+            out.push((format!("{olabel}/{hlabel}/jit"), opts, heap, true));
         }
     }
     out
@@ -296,8 +335,8 @@ pub fn check_program(source: &str) -> Result<bool, String> {
         RunStatus::Inconclusive(_) => return Ok(false), // nothing to compare against
         _ => {}
     }
-    for (label, opts, heap) in config_matrix() {
-        match run_vm(source, &opts, heap) {
+    for (label, opts, heap, jit) in config_matrix() {
+        match run_vm(source, &opts, heap, jit) {
             RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
             RunStatus::Inconclusive(_) => continue,
             got => {
@@ -309,8 +348,8 @@ pub fn check_program(source: &str) -> Result<bool, String> {
             }
         }
     }
-    for (label, opts, workers, tlab_words) in par_config_matrix() {
-        match run_par_vm(source, &opts, workers, tlab_words) {
+    for (label, opts, workers, tlab_words, jit) in par_config_matrix() {
+        match run_par_vm(source, &opts, workers, tlab_words, jit) {
             RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
             RunStatus::Inconclusive(_) => continue,
             got => {
@@ -322,8 +361,8 @@ pub fn check_program(source: &str) -> Result<bool, String> {
             }
         }
     }
-    for (label, opts, workers, conc_workers) in cms_config_matrix() {
-        match run_cms_vm(source, &opts, workers, conc_workers) {
+    for (label, opts, workers, conc_workers, jit) in cms_config_matrix() {
+        match run_cms_vm(source, &opts, workers, conc_workers, jit) {
             RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
             RunStatus::Inconclusive(_) => continue,
             got => {

@@ -1,0 +1,941 @@
+//! The JIT engine: compiled-code ownership, the native↔interpreter
+//! boundary, and the run loops.
+//!
+//! One [`JitEngine`] serves one machine. At load time it template-
+//! compiles every eligible procedure into a single executable region
+//! (an enter/exit thunk followed by the procedure blobs) and builds the
+//! [`CodeMap`] keying every native call-return address to its bytecode
+//! gc-point. At run time [`JitEngine::run_thread`] (sequential) and
+//! [`JitEngine::run_burst`] (parallel mutator) interleave native bursts
+//! with single-step interpretation: any pc with a registered native
+//! entry runs natively; everything else — procedures that fell back,
+//! gc handshakes, traps — is the interpreter's, unchanged.
+//!
+//! The collectors never change: a JIT frame differs from an interpreted
+//! frame only in its linkage word (a [`JIT_RETPC_BIAS`]ed native return
+//! token instead of a bytecode pc), and the stack walker resolves that
+//! token through the shared `CodeMap` before consulting the ordinary
+//! pc-keyed gc tables.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use m3gc_vm::codemap::{CodeMap, JIT_RETPC_BIAS};
+use m3gc_vm::isa::Instr;
+use m3gc_vm::machine::{Machine, RunOutcome, StepOutcome, ThreadStatus};
+use m3gc_vm::par::{Mutator, ParMachine, ParStep};
+use m3gc_vm::VmTrap;
+
+use crate::compile::Fallback;
+#[cfg(all(target_arch = "x86_64", unix))]
+use crate::compile::{Flavor, Helpers};
+#[cfg(all(target_arch = "x86_64", unix))]
+use crate::exec::ExecMem;
+
+/// Gate for everything that emits or executes native code.
+macro_rules! native_target {
+    () => {
+        cfg!(all(target_arch = "x86_64", unix))
+    };
+}
+
+// ---------------------------------------------------------------------
+// The native execution context.
+// ---------------------------------------------------------------------
+
+/// Mutable state shared between the engine and a native activation.
+///
+/// Compiled code addresses fields at the `OFF_*` byte offsets below
+/// (`rbx` holds the context pointer for the whole activation), so the
+/// layout is frozen: `#[repr(C)]`, all fields 8 bytes, order matching
+/// the offset constants. `layout_matches_offsets` in the tests pins
+/// every offset with `mem::offset_of!`.
+#[repr(C)]
+pub struct JitContext {
+    /// `&thread.regs[0]` / `&mutator.regs[0]` — the live register file
+    /// (`r13` in compiled code; writes land directly in the VM state).
+    pub regs: *mut i64,
+    /// `&mem[0]` — VM memory base (`r14`).
+    pub mem: *mut i64,
+    /// Frame pointer (word index). Copied from the thread at entry and
+    /// written back at exit.
+    pub fp: i64,
+    /// Stack pointer.
+    pub sp: i64,
+    /// Argument pointer.
+    pub ap: i64,
+    /// Instruction budget; decremented once per retired instruction,
+    /// checked (`<= 0` exits) at safepoint polls and loop back-edges.
+    pub fuel: i64,
+    /// The shared gc-request flag (`Machine::gc_pending` /
+    /// `ParMachine::gc_request`) — the *same* byte the interpreter
+    /// polls, read at every native gc-point.
+    pub gc_flag: *const u8,
+    /// Exit trampoline: restores callee-save registers and returns to
+    /// [`JitEngine`]'s enter call. Compiled code leaves via an indirect
+    /// jump through this field with an exit reason in `rax`.
+    pub exit_thunk: *const u8,
+    /// Bytecode pc the exit concerns (next pc, gc-point pc, trap pc, or
+    /// a raw linkage word for returns — see the `EXIT_*` docs).
+    pub exit_pc: i64,
+    /// Trap code for [`EXIT_TRAP`].
+    pub exit_aux: i64,
+    /// This thread's stack limit (overflow checks).
+    pub stack_limit: i64,
+    /// Native safepoint polls executed (stats).
+    pub polls: i64,
+    /// `&machine.alloc_ptr` — sequential bump-allocation cursor (null
+    /// for parallel machines; they allocate through the helper only).
+    pub alloc_ptr_p: *mut i64,
+    /// `&machine.alloc_fast_limit` — the one compare of the fast path;
+    /// pinned to `i64::MIN` under gc-torture, which diverts every
+    /// allocation to the helper and keeps forced-gc counting exact.
+    pub alloc_fast_limit_p: *const i64,
+    /// `&machine.allocations`.
+    pub alloc_count_p: *mut u64,
+    /// `&machine.words_allocated`.
+    pub words_p: *mut u64,
+    /// The owning `Machine` (sequential) or `ParMachine` (parallel),
+    /// type-erased for the helper call-outs.
+    pub machine: *mut (),
+    /// The thread id as a pointer-sized integer (sequential) or the
+    /// `&mut Mutator` (parallel).
+    pub mutator: *mut (),
+    /// Shadow side table: the decoded instruction each instrumentation
+    /// call-out reports (`instrs[instr_id]`).
+    pub instrs: *const Instr,
+}
+
+/// Byte offsets of [`JitContext`] fields, used by the template
+/// compiler. Each is pinned by a unit test.
+pub const OFF_REGS: i32 = 0x00;
+#[allow(missing_docs)]
+pub const OFF_MEM: i32 = 0x08;
+#[allow(missing_docs)]
+pub const OFF_FP: i32 = 0x10;
+#[allow(missing_docs)]
+pub const OFF_SP: i32 = 0x18;
+#[allow(missing_docs)]
+pub const OFF_AP: i32 = 0x20;
+#[allow(missing_docs)]
+pub const OFF_FUEL: i32 = 0x28;
+#[allow(missing_docs)]
+pub const OFF_GC_FLAG: i32 = 0x30;
+#[allow(missing_docs)]
+pub const OFF_EXIT_THUNK: i32 = 0x38;
+#[allow(missing_docs)]
+pub const OFF_EXIT_PC: i32 = 0x40;
+#[allow(missing_docs)]
+pub const OFF_EXIT_AUX: i32 = 0x48;
+#[allow(missing_docs)]
+pub const OFF_STACK_LIMIT: i32 = 0x50;
+#[allow(missing_docs)]
+pub const OFF_POLLS: i32 = 0x58;
+#[allow(missing_docs)]
+pub const OFF_ALLOC_PTR_P: i32 = 0x60;
+#[allow(missing_docs)]
+pub const OFF_ALLOC_FAST_LIMIT_P: i32 = 0x68;
+#[allow(missing_docs)]
+pub const OFF_ALLOC_COUNT_P: i32 = 0x70;
+#[allow(missing_docs)]
+pub const OFF_WORDS_P: i32 = 0x78;
+
+/// Native code ran out of fuel at a check; `exit_pc` is the next pc to
+/// execute.
+pub const EXIT_FUEL: i64 = 0;
+/// A safepoint poll observed the gc flag; `exit_pc` is the gc-point pc
+/// (no state of that instruction has executed).
+pub const EXIT_GC: i64 = 1;
+/// An allocation found the heap full; `exit_pc` is the `ALLOC` pc (to
+/// be retried after the collection).
+pub const EXIT_NEEDGC: i64 = 2;
+/// Control transfer: a call (`exit_pc` = callee entry pc) or a return
+/// (`exit_pc` = the raw linkage word — a bytecode pc or a biased native
+/// token).
+pub const EXIT_TRANSFER: i64 = 3;
+/// The thread finished (`HALT`, or `RET` through the bottom-frame
+/// sentinel).
+pub const EXIT_FINISHED: i64 = 4;
+/// Abnormal termination; `exit_aux` holds the `VmTrap` code and
+/// `exit_pc` the trapping pc (the interpreter, too, leaves the pc at
+/// the trapping instruction).
+pub const EXIT_TRAP: i64 = 5;
+
+#[cfg(all(target_arch = "x86_64", unix))]
+type EnterFn = unsafe extern "sysv64" fn(*mut JitContext, *const u8) -> i64;
+
+/// The executable region plus the entry points into it.
+#[cfg(all(target_arch = "x86_64", unix))]
+struct NativeState {
+    /// Keeps the mapping alive; dropped last.
+    _mem: ExecMem,
+    enter: EnterFn,
+    exit_thunk: *const u8,
+    /// Base of the procedure blobs (thunk excluded); all `CodeMap`
+    /// offsets are relative to this.
+    code_base: *const u8,
+}
+
+// ---------------------------------------------------------------------
+// Stats.
+// ---------------------------------------------------------------------
+
+/// Compile- and run-time counters for the `--stats` report.
+#[derive(Debug)]
+pub struct JitStats {
+    /// Procedures in the module.
+    pub procs_total: usize,
+    /// Procedures compiled to native code.
+    pub procs_compiled: usize,
+    /// Bytes of generated code (thunk + blobs).
+    pub code_bytes: usize,
+    /// Wall-clock compile time.
+    pub compile_micros: u64,
+    /// Per-reason interpreter fallbacks, in [`Fallback::all`] order.
+    pub fallbacks: Vec<(&'static str, u64)>,
+    /// Safepoint polls executed in native code.
+    pub native_polls: AtomicU64,
+}
+
+/// A plain-data snapshot of [`JitStats`] for reporting.
+#[derive(Debug, Clone)]
+pub struct JitSummary {
+    /// True when native code is installed (at least one procedure
+    /// compiled and mapped executable).
+    pub enabled: bool,
+    /// Procedures in the module.
+    pub procs_total: usize,
+    /// Procedures compiled to native code.
+    pub procs_compiled: usize,
+    /// Bytes of generated code.
+    pub code_bytes: usize,
+    /// Wall-clock compile time.
+    pub compile_micros: u64,
+    /// Safepoint polls executed in native code so far.
+    pub native_polls: u64,
+    /// `(reason, count)` for every fallback reason with a nonzero
+    /// count.
+    pub fallbacks: Vec<(&'static str, u64)>,
+}
+
+// ---------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------
+
+/// Owns the compiled code, its [`CodeMap`], and the run loops. Built
+/// once per execution from the already-configured machine; shared
+/// read-only between mutator threads in parallel mode.
+pub struct JitEngine {
+    #[cfg(all(target_arch = "x86_64", unix))]
+    native: Option<NativeState>,
+    map: Arc<CodeMap>,
+    /// Shadow side table; `JitContext::instrs` points into it.
+    instrs: Vec<Instr>,
+    stats: JitStats,
+}
+
+// SAFETY: the code region is immutable (RX) after construction and the
+// raw pointers only reference it; `instrs` and `map` are read-only.
+unsafe impl Send for JitEngine {}
+unsafe impl Sync for JitEngine {}
+
+impl JitEngine {
+    /// Builds an engine for a sequential machine. Never fails: anything
+    /// that cannot be compiled is recorded as a counted fallback and
+    /// runs interpreted.
+    #[must_use]
+    pub fn for_machine(m: &Machine) -> JitEngine {
+        let shadow = m.shadow.is_some();
+        let is_gc = gc_point_table(&m.module.code, |pc| m.is_gc_point_pc(pc));
+        build_engine(
+            &m.module,
+            &is_gc,
+            BuildFlavor { par: false, shadow, cms: false },
+            m.mem.len(),
+            None,
+        )
+    }
+
+    /// Builds an engine for a parallel machine. Allocation-service
+    /// region mode excludes the JIT structurally (escape tracking is
+    /// interpreter-only).
+    #[must_use]
+    pub fn for_par(vm: &ParMachine) -> JitEngine {
+        let structural = (vm.region_words() > 0).then_some(Fallback::RegionMode);
+        let flavor = BuildFlavor { par: true, shadow: vm.shadow.is_some(), cms: vm.cms.is_some() };
+        let is_gc = gc_point_table(&vm.module.code, |pc| vm.is_gc_point_pc(pc));
+        build_engine(&vm.module, &is_gc, flavor, vm.mem.len(), structural)
+    }
+
+    /// The gc-map for compiled code, to be installed on the machine
+    /// ([`Machine::set_code_map`] / [`ParMachine::set_code_map`]) so the
+    /// interpreter's `RET` and the stack walker resolve native return
+    /// tokens.
+    #[must_use]
+    pub fn code_map(&self) -> Arc<CodeMap> {
+        Arc::clone(&self.map)
+    }
+
+    /// True when at least one procedure runs natively.
+    #[must_use]
+    pub fn is_native(&self) -> bool {
+        #[cfg(all(target_arch = "x86_64", unix))]
+        {
+            self.native.is_some()
+        }
+        #[cfg(not(all(target_arch = "x86_64", unix)))]
+        {
+            false
+        }
+    }
+
+    /// Snapshot of the engine's counters.
+    #[must_use]
+    pub fn summary(&self) -> JitSummary {
+        JitSummary {
+            enabled: self.is_native(),
+            procs_total: self.stats.procs_total,
+            procs_compiled: self.stats.procs_compiled,
+            code_bytes: self.stats.code_bytes,
+            compile_micros: self.stats.compile_micros,
+            native_polls: self.stats.native_polls.load(Ordering::Relaxed),
+            fallbacks: self.stats.fallbacks.iter().filter(|&&(_, n)| n > 0).copied().collect(),
+        }
+    }
+
+    /// Test hook for the gc-map mutation test: clones the map, nudges
+    /// the native-offset key of gc-point `idx` by `delta`, installs the
+    /// corrupted clone as this engine's map and returns it (the caller
+    /// must install the same `Arc` on the machine — both the engine's
+    /// transfer resolution and the interpreter/walker resolution go
+    /// through the map, and the test corrupts *the* map, not one copy).
+    #[doc(hidden)]
+    pub fn corrupt_gc_point_key(&mut self, idx: usize, delta: i32) -> (Arc<CodeMap>, (u32, u32)) {
+        let mut map = CodeMap::clone(&self.map);
+        let (old, new) = map.corrupt_gc_point_key(idx, delta);
+        let arc = Arc::new(map);
+        self.map = Arc::clone(&arc);
+        (arc, (old, new))
+    }
+
+    // -----------------------------------------------------------------
+    // Sequential run loop.
+    // -----------------------------------------------------------------
+
+    /// Drop-in replacement for [`Machine::run_thread`]: runs thread
+    /// `tid` until it finishes, needs a collection, blocks at a
+    /// gc-point, traps, or exhausts `fuel` instructions — with every pc
+    /// that has compiled code executing natively.
+    pub fn run_thread(&self, m: &mut Machine, tid: usize, fuel: u64) -> RunOutcome {
+        let mut remaining = fuel;
+        loop {
+            if remaining == 0 {
+                return RunOutcome::OutOfFuel;
+            }
+            let pc = m.threads[tid].pc;
+            if m.gc_pending && m.is_gc_point_pc(pc) {
+                m.threads[tid].status = ThreadStatus::BlockedAtGcPoint;
+                return RunOutcome::AtGcPoint;
+            }
+            #[cfg(all(target_arch = "x86_64", unix))]
+            if let Some(native) = self.native.as_ref() {
+                if let Some(off) = self.map.entry_native_off(pc) {
+                    let fuel_in = i64::try_from(remaining).unwrap_or(i64::MAX);
+                    let mut ctx = seq_context(m, tid, fuel_in, native.exit_thunk, &self.instrs);
+                    // SAFETY: the context points at live machine state;
+                    // the target is an instruction-start offset inside
+                    // the mapped region; compiled code upholds the VM's
+                    // bounds invariants (it performs the same checks as
+                    // the interpreter).
+                    let reason =
+                        unsafe { (native.enter)(&mut ctx, native.code_base.add(off as usize)) };
+                    let executed = u64::try_from(fuel_in - ctx.fuel).unwrap_or(0);
+                    m.steps += executed;
+                    remaining = remaining.saturating_sub(executed);
+                    self.stats.native_polls.fetch_add(ctx.polls as u64, Ordering::Relaxed);
+                    let t = &mut m.threads[tid];
+                    t.fp = ctx.fp;
+                    t.sp = ctx.sp;
+                    t.ap = ctx.ap;
+                    match reason {
+                        EXIT_FUEL => {
+                            t.pc = ctx.exit_pc as u32;
+                        }
+                        EXIT_GC => {
+                            t.pc = ctx.exit_pc as u32;
+                            t.status = ThreadStatus::BlockedAtGcPoint;
+                            return RunOutcome::AtGcPoint;
+                        }
+                        EXIT_NEEDGC => {
+                            t.pc = ctx.exit_pc as u32;
+                            t.status = ThreadStatus::BlockedAtGcPoint;
+                            m.gc_pending = true;
+                            return RunOutcome::NeedGc;
+                        }
+                        EXIT_TRANSFER => {
+                            t.pc = resolve_transfer(&self.map, ctx.exit_pc);
+                        }
+                        EXIT_FINISHED => {
+                            t.pc = ctx.exit_pc as u32;
+                            t.status = ThreadStatus::Finished;
+                            return RunOutcome::Finished;
+                        }
+                        EXIT_TRAP => {
+                            t.pc = ctx.exit_pc as u32;
+                            return RunOutcome::Trap(VmTrap::from_code(ctx.exit_aux));
+                        }
+                        other => unreachable!("unknown jit exit reason {other}"),
+                    }
+                    continue;
+                }
+            }
+            // Interpreter fallback, one instruction at a time (the next
+            // pc may well be back in native code).
+            remaining -= 1;
+            match m.step(tid) {
+                StepOutcome::Normal => {}
+                StepOutcome::NeedGc => return RunOutcome::NeedGc,
+                StepOutcome::AtGcPoint => return RunOutcome::AtGcPoint,
+                StepOutcome::Finished => return RunOutcome::Finished,
+                StepOutcome::Trap(t) => return RunOutcome::Trap(t),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Parallel run loop.
+    // -----------------------------------------------------------------
+
+    /// Runs up to `max` instructions of `mu`, mixing native bursts and
+    /// interpreted steps. Returns the stopping condition and the number
+    /// of instructions executed ([`ParStep::Normal`] means the budget
+    /// was exhausted). Mirrors a `ParMachine::step` loop exactly,
+    /// including the park-before-execute safepoint protocol.
+    pub fn run_burst(&self, vm: &ParMachine, mu: &mut Mutator, max: u64) -> (ParStep, u64) {
+        let mut executed: u64 = 0;
+        while executed < max {
+            let pc = mu.pc;
+            if vm.is_gc_point_pc(pc) && vm.gc_request.load(Ordering::Relaxed) {
+                return (ParStep::AtSafepoint, executed);
+            }
+            #[cfg(all(target_arch = "x86_64", unix))]
+            if let Some(native) = self.native.as_ref() {
+                if let Some(off) = self.map.entry_native_off(pc) {
+                    let budget = i64::try_from(max - executed).unwrap_or(i64::MAX);
+                    let mut ctx = par_context(vm, mu, budget, native.exit_thunk, &self.instrs);
+                    // SAFETY: as in `run_thread`; the parallel memory is
+                    // `AtomicI64` (same layout as `i64`), and native
+                    // plain loads/stores are relaxed atomic accesses on
+                    // x86-64.
+                    let reason =
+                        unsafe { (native.enter)(&mut ctx, native.code_base.add(off as usize)) };
+                    let ran = u64::try_from(budget - ctx.fuel).unwrap_or(0);
+                    executed += ran;
+                    mu.steps += ran;
+                    self.stats.native_polls.fetch_add(ctx.polls as u64, Ordering::Relaxed);
+                    mu.fp = ctx.fp;
+                    mu.sp = ctx.sp;
+                    mu.ap = ctx.ap;
+                    match reason {
+                        EXIT_FUEL => {
+                            mu.pc = ctx.exit_pc as u32;
+                        }
+                        EXIT_GC => {
+                            mu.pc = ctx.exit_pc as u32;
+                            return (ParStep::AtSafepoint, executed);
+                        }
+                        EXIT_NEEDGC => {
+                            mu.pc = ctx.exit_pc as u32;
+                            return (ParStep::NeedGc, executed);
+                        }
+                        EXIT_TRANSFER => {
+                            mu.pc = resolve_transfer(&self.map, ctx.exit_pc);
+                        }
+                        EXIT_FINISHED => {
+                            mu.pc = ctx.exit_pc as u32;
+                            return (ParStep::Finished, executed);
+                        }
+                        EXIT_TRAP => {
+                            mu.pc = ctx.exit_pc as u32;
+                            return (ParStep::Trap(VmTrap::from_code(ctx.exit_aux)), executed);
+                        }
+                        other => unreachable!("unknown jit exit reason {other}"),
+                    }
+                    continue;
+                }
+            }
+            match vm.step(mu) {
+                ParStep::Normal => executed += 1,
+                ParStep::AtSafepoint => return (ParStep::AtSafepoint, executed),
+                // These outcomes executed (or attempted) an instruction
+                // — `mu.steps` was bumped by `step` — so they count
+                // against the budget like their native counterparts.
+                other => return (other, executed + 1),
+            }
+        }
+        (ParStep::Normal, executed)
+    }
+}
+
+/// `exit_pc` of an [`EXIT_TRANSFER`]: either a callee entry / plain
+/// return pc, or a biased token from returning into a JIT frame.
+fn resolve_transfer(map: &CodeMap, raw: i64) -> u32 {
+    if raw >= JIT_RETPC_BIAS {
+        map.resolve_ret(raw).expect("jit return token resolves to no registered gc-point")
+    } else {
+        raw as u32
+    }
+}
+
+/// `is_gc_point` as a dense table over `0..=code.len()`.
+fn gc_point_table(code: &[u8], is_gc: impl Fn(u32) -> bool) -> Vec<bool> {
+    (0..=code.len() as u32).map(is_gc).collect()
+}
+
+// ---------------------------------------------------------------------
+// Context construction.
+// ---------------------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", unix))]
+fn seq_context(
+    m: &mut Machine,
+    tid: usize,
+    fuel: i64,
+    exit_thunk: *const u8,
+    instrs: &[Instr],
+) -> JitContext {
+    let (regs, fp, sp, ap, stack_limit) = {
+        let t = &mut m.threads[tid];
+        (t.regs.as_mut_ptr(), t.fp, t.sp, t.ap, t.stack_limit)
+    };
+    JitContext {
+        regs,
+        mem: m.mem.as_mut_ptr(),
+        fp,
+        sp,
+        ap,
+        fuel,
+        gc_flag: (&raw const m.gc_pending).cast(),
+        exit_thunk,
+        exit_pc: 0,
+        exit_aux: 0,
+        stack_limit,
+        polls: 0,
+        alloc_ptr_p: &raw mut m.alloc_ptr,
+        alloc_fast_limit_p: m.jit_alloc_fast_limit_ptr(),
+        alloc_count_p: &raw mut m.allocations,
+        words_p: &raw mut m.words_allocated,
+        machine: std::ptr::from_mut(m).cast(),
+        mutator: tid as *mut (),
+        instrs: instrs.as_ptr(),
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", unix))]
+fn par_context(
+    vm: &ParMachine,
+    mu: &mut Mutator,
+    fuel: i64,
+    exit_thunk: *const u8,
+    instrs: &[Instr],
+) -> JitContext {
+    JitContext {
+        regs: mu.regs.as_mut_ptr(),
+        // AtomicI64 has the same in-memory representation as i64; the
+        // generated plain 64-bit loads/stores are relaxed atomic
+        // accesses on x86-64, exactly like the interpreter's
+        // `load(R)`/`store(R)`.
+        mem: vm.mem.as_ptr().cast::<i64>().cast_mut(),
+        fp: mu.fp,
+        sp: mu.sp,
+        ap: mu.ap,
+        fuel,
+        gc_flag: std::ptr::from_ref(&vm.gc_request).cast(),
+        exit_thunk,
+        exit_pc: 0,
+        exit_aux: 0,
+        stack_limit: mu.stack_limit,
+        polls: 0,
+        alloc_ptr_p: std::ptr::null_mut(),
+        alloc_fast_limit_p: std::ptr::null(),
+        alloc_count_p: std::ptr::null_mut(),
+        words_p: std::ptr::null_mut(),
+        machine: std::ptr::from_ref(vm).cast_mut().cast(),
+        mutator: std::ptr::from_mut(mu).cast(),
+        instrs: instrs.as_ptr(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime helpers (native code calls out to these).
+// ---------------------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", unix))]
+mod helpers {
+    use super::JitContext;
+    use m3gc_vm::machine::Machine;
+    use m3gc_vm::par::{Mutator, ParMachine};
+    use m3gc_vm::shadow::Tag;
+    use m3gc_vm::VmTrap;
+
+    /// Helper return protocol: 0 = ok, 1 = needs-gc, `2 + code` = trap.
+    fn trap_code(t: VmTrap) -> i64 {
+        2 + t.to_code()
+    }
+
+    // -- sequential ---------------------------------------------------
+
+    pub unsafe extern "sysv64" fn seq_alloc(
+        ctx: *mut JitContext,
+        packed: i64,
+        len: i64,
+        _pc: i64,
+    ) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let m = unsafe { &mut *ctx.machine.cast::<Machine>() };
+        let ty = (packed >> 16) as u16;
+        let dst = (packed & 0xffff) as usize;
+        match m.jit_try_alloc(ty, len) {
+            Ok(Some(addr)) => {
+                unsafe { ctx.regs.add(dst).write(addr) };
+                let tid = ctx.mutator as usize;
+                if let Some(sh) = m.shadow.as_deref_mut() {
+                    sh.regs[tid][dst] = Tag::Ptr;
+                }
+                0
+            }
+            Ok(None) => 1,
+            Err(t) => trap_code(t),
+        }
+    }
+
+    pub unsafe extern "sysv64" fn seq_stb(ctx: *mut JitContext, addr: i64, value: i64) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let m = unsafe { &mut *ctx.machine.cast::<Machine>() };
+        m.jit_note_barrier(addr, value);
+        0
+    }
+
+    pub unsafe extern "sysv64" fn seq_sys(ctx: *mut JitContext, code: i64, arg: i64) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let m = unsafe { &mut *ctx.machine.cast::<Machine>() };
+        match m.jit_sys(code as u8, arg) {
+            Ok(()) => 0,
+            Err(t) => trap_code(t),
+        }
+    }
+
+    pub unsafe extern "sysv64" fn seq_shadow(ctx: *mut JitContext, instr_id: i64) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let m = unsafe { &mut *ctx.machine.cast::<Machine>() };
+        let tid = ctx.mutator as usize;
+        // The shadow tracker reads the thread's frame cursors; registers
+        // are already live (the context's `regs` aliases them).
+        {
+            let t = &mut m.threads[tid];
+            t.fp = ctx.fp;
+            t.sp = ctx.sp;
+            t.ap = ctx.ap;
+        }
+        let ins = unsafe { &*ctx.instrs.add(instr_id as usize) };
+        match m.jit_shadow_step(tid, ins) {
+            None => 0,
+            Some(t) => trap_code(t),
+        }
+    }
+
+    // -- parallel -----------------------------------------------------
+
+    pub unsafe extern "sysv64" fn par_alloc(
+        ctx: *mut JitContext,
+        packed: i64,
+        len: i64,
+        _pc: i64,
+    ) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let vm = unsafe { &*ctx.machine.cast::<ParMachine>() };
+        let mu = unsafe { &mut *ctx.mutator.cast::<Mutator>() };
+        let ty = (packed >> 16) as u16;
+        let dst = (packed & 0xffff) as usize;
+        match vm.try_alloc(mu, ty, len) {
+            Ok(Some(addr)) => {
+                mu.regs[dst] = addr;
+                if vm.shadow.is_some() {
+                    mu.reg_tags[dst] = Tag::Ptr;
+                }
+                0
+            }
+            Ok(None) => 1,
+            Err(t) => trap_code(t),
+        }
+    }
+
+    pub unsafe extern "sysv64" fn par_stb(ctx: *mut JitContext, addr: i64, value: i64) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let vm = unsafe { &*ctx.machine.cast::<ParMachine>() };
+        let mu = unsafe { &mut *ctx.mutator.cast::<Mutator>() };
+        match vm.jit_store_barrier(mu, addr, value) {
+            Ok(()) => 0,
+            Err(t) => trap_code(t),
+        }
+    }
+
+    pub unsafe extern "sysv64" fn par_sys(ctx: *mut JitContext, code: i64, arg: i64) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let vm = unsafe { &*ctx.machine.cast::<ParMachine>() };
+        let mu = unsafe { &mut *ctx.mutator.cast::<Mutator>() };
+        match vm.jit_sys(mu, code as u8, arg) {
+            Ok(()) => 0,
+            Err(t) => trap_code(t),
+        }
+    }
+
+    pub unsafe extern "sysv64" fn par_shadow(ctx: *mut JitContext, instr_id: i64) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let vm = unsafe { &*ctx.machine.cast::<ParMachine>() };
+        let mu = unsafe { &mut *ctx.mutator.cast::<Mutator>() };
+        mu.fp = ctx.fp;
+        mu.sp = ctx.sp;
+        mu.ap = ctx.ap;
+        let ins = unsafe { &*ctx.instrs.add(instr_id as usize) };
+        match vm.jit_shadow_step(mu, ins) {
+            None => 0,
+            Some(t) => trap_code(t),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine construction.
+// ---------------------------------------------------------------------
+
+/// `Flavor` plus nothing — alias so the non-native build doesn't pull
+/// the compiler types into its signature.
+#[derive(Clone, Copy)]
+struct BuildFlavor {
+    par: bool,
+    shadow: bool,
+    cms: bool,
+}
+
+fn build_engine(
+    module: &m3gc_vm::VmModule,
+    is_gc_point: &[bool],
+    flavor: BuildFlavor,
+    mem_words: usize,
+    structural: Option<Fallback>,
+) -> JitEngine {
+    let started = std::time::Instant::now();
+    let nprocs = module.procs.len();
+    let mut counts: Vec<(&'static str, u64)> =
+        Fallback::all().iter().map(|f| (f.key(), 0)).collect();
+    let bump = |counts: &mut Vec<(&'static str, u64)>, f: Fallback, n: u64| {
+        let key = f.key();
+        for c in counts.iter_mut() {
+            if c.0 == key {
+                c.1 += n;
+            }
+        }
+    };
+
+    let mut structural = structural;
+    if structural.is_none() && std::env::var("M3GC_JIT_DISABLE").is_ok_and(|v| v == "1") {
+        structural = Some(Fallback::ForcedByEnv);
+    }
+    if structural.is_none() && (mem_words == 0 || mem_words > i32::MAX as usize) {
+        // Word addresses must fit the imm32 bounds-check compares.
+        structural = Some(Fallback::UnsupportedOpcode);
+    }
+    if structural.is_none() && !native_target!() {
+        structural = Some(Fallback::UnsupportedArch);
+    }
+
+    if let Some(reason) = structural {
+        bump(&mut counts, reason, nprocs as u64);
+        return JitEngine {
+            #[cfg(all(target_arch = "x86_64", unix))]
+            native: None,
+            map: Arc::new(CodeMap::default()),
+            instrs: Vec::new(),
+            stats: JitStats {
+                procs_total: nprocs,
+                procs_compiled: 0,
+                code_bytes: 0,
+                compile_micros: started.elapsed().as_micros() as u64,
+                fallbacks: counts,
+                native_polls: AtomicU64::new(0),
+            },
+        };
+    }
+
+    #[cfg(all(target_arch = "x86_64", unix))]
+    {
+        compile_native(module, is_gc_point, flavor, mem_words, started, counts, bump)
+    }
+    #[cfg(not(all(target_arch = "x86_64", unix)))]
+    {
+        let _ = (is_gc_point, flavor, mem_words);
+        unreachable!("structural UnsupportedArch fallback handles non-native targets")
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", unix))]
+fn compile_native(
+    module: &m3gc_vm::VmModule,
+    is_gc_point: &[bool],
+    flavor: BuildFlavor,
+    mem_words: usize,
+    started: std::time::Instant,
+    mut counts: Vec<(&'static str, u64)>,
+    mut bump: impl FnMut(&mut Vec<(&'static str, u64)>, Fallback, u64),
+) -> JitEngine {
+    use crate::emit::{EmitState, Reg};
+
+    let flavor = Flavor { par: flavor.par, shadow: flavor.shadow, cms: flavor.cms };
+    let helpers = if flavor.par {
+        Helpers {
+            alloc: helpers::par_alloc as *const () as usize as i64,
+            stb: helpers::par_stb as *const () as usize as i64,
+            sys: helpers::par_sys as *const () as usize as i64,
+            shadow: helpers::par_shadow as *const () as usize as i64,
+        }
+    } else {
+        Helpers {
+            alloc: helpers::seq_alloc as *const () as usize as i64,
+            stb: helpers::seq_stb as *const () as usize as i64,
+            sys: helpers::seq_sys as *const () as usize as i64,
+            shadow: helpers::seq_shadow as *const () as usize as i64,
+        }
+    };
+
+    let excluded: std::collections::HashSet<String> = std::env::var("M3GC_JIT_EXCLUDE")
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect())
+        .unwrap_or_default();
+
+    // The enter/exit thunk: the one ABI boundary. `enter(ctx, target)`
+    // saves the SysV callee-save registers, pins rbx/r13/r14, and jumps
+    // into the blob; blobs leave via an indirect jump to the exit half,
+    // which unwinds the same frame. The `sub rsp, 8` keeps rsp ≡ 0
+    // (mod 16) inside blobs so helper `call`s land SysV-aligned.
+    let mut e = EmitState::new();
+    for r in [Reg::Rbp, Reg::Rbx, Reg::R12, Reg::R13, Reg::R14, Reg::R15] {
+        e.push(r);
+    }
+    e.sub_rsp_imm8(8);
+    e.mov_rr(Reg::Rbx, Reg::Rdi);
+    e.load(Reg::R13, Reg::Rbx, OFF_REGS);
+    e.load(Reg::R14, Reg::Rbx, OFF_MEM);
+    e.jmp_r(Reg::Rsi);
+    let exit_off = e.here() as usize;
+    e.add_rsp_imm8(8);
+    for r in [Reg::R15, Reg::R14, Reg::R13, Reg::R12, Reg::Rbx, Reg::Rbp] {
+        e.pop(r);
+    }
+    e.ret();
+    let thunk = e.finish();
+    let thunk_len = thunk.len();
+
+    let decoded = m3gc_vm::decode::DecodedCode::new(&module.code);
+    let mut builder = CodeMap::builder();
+    let mut blob: Vec<u8> = Vec::new();
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut compiled = 0usize;
+    for (i, meta) in module.procs.iter().enumerate() {
+        if excluded.contains(&meta.name) {
+            bump(&mut counts, Fallback::ExcludedProc, 1);
+            continue;
+        }
+        match crate::compile::compile_proc(
+            module,
+            &decoded,
+            i,
+            blob.len() as u32,
+            flavor,
+            helpers,
+            is_gc_point,
+            mem_words as i64,
+            &mut instrs,
+        ) {
+            Ok(art) => {
+                let start = blob.len() as u32;
+                blob.extend_from_slice(&art.code);
+                builder.add_proc(i, start, blob.len() as u32);
+                for (off, pc) in art.gc_points {
+                    builder.add_gc_point(off, pc);
+                }
+                for (pc, off) in art.entries {
+                    builder.add_entry(pc, off);
+                }
+                compiled += 1;
+            }
+            Err(f) => bump(&mut counts, f, 1),
+        }
+    }
+
+    let mut native = None;
+    let mut code_bytes = 0usize;
+    if compiled > 0 {
+        let mut full = thunk;
+        full.extend_from_slice(&blob);
+        code_bytes = full.len();
+        match ExecMem::new(&full) {
+            Some(mem) => {
+                let base = mem.base();
+                // SAFETY: offset 0 of the region is the enter thunk,
+                // whose signature is exactly `EnterFn`.
+                let enter: EnterFn = unsafe { std::mem::transmute(base) };
+                // SAFETY: both offsets are inside the mapped region.
+                let (exit_thunk, code_base) = unsafe { (base.add(exit_off), base.add(thunk_len)) };
+                native = Some(NativeState { _mem: mem, enter, exit_thunk, code_base });
+            }
+            None => {
+                // Executable mappings refused (hardened kernel): the
+                // compiled procedures all fall back.
+                bump(&mut counts, Fallback::UnsupportedArch, compiled as u64);
+                compiled = 0;
+                code_bytes = 0;
+            }
+        }
+    }
+    let map = if native.is_some() { builder.finish() } else { CodeMap::default() };
+
+    JitEngine {
+        native,
+        map: Arc::new(map),
+        instrs,
+        stats: JitStats {
+            procs_total: module.procs.len(),
+            procs_compiled: compiled,
+            code_bytes,
+            compile_micros: started.elapsed().as_micros() as u64,
+            fallbacks: counts,
+            native_polls: AtomicU64::new(0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem::offset_of;
+
+    #[test]
+    fn layout_matches_offsets() {
+        assert_eq!(offset_of!(JitContext, regs), OFF_REGS as usize);
+        assert_eq!(offset_of!(JitContext, mem), OFF_MEM as usize);
+        assert_eq!(offset_of!(JitContext, fp), OFF_FP as usize);
+        assert_eq!(offset_of!(JitContext, sp), OFF_SP as usize);
+        assert_eq!(offset_of!(JitContext, ap), OFF_AP as usize);
+        assert_eq!(offset_of!(JitContext, fuel), OFF_FUEL as usize);
+        assert_eq!(offset_of!(JitContext, gc_flag), OFF_GC_FLAG as usize);
+        assert_eq!(offset_of!(JitContext, exit_thunk), OFF_EXIT_THUNK as usize);
+        assert_eq!(offset_of!(JitContext, exit_pc), OFF_EXIT_PC as usize);
+        assert_eq!(offset_of!(JitContext, exit_aux), OFF_EXIT_AUX as usize);
+        assert_eq!(offset_of!(JitContext, stack_limit), OFF_STACK_LIMIT as usize);
+        assert_eq!(offset_of!(JitContext, polls), OFF_POLLS as usize);
+        assert_eq!(offset_of!(JitContext, alloc_ptr_p), OFF_ALLOC_PTR_P as usize);
+        assert_eq!(offset_of!(JitContext, alloc_fast_limit_p), OFF_ALLOC_FAST_LIMIT_P as usize);
+        assert_eq!(offset_of!(JitContext, alloc_count_p), OFF_ALLOC_COUNT_P as usize);
+        assert_eq!(offset_of!(JitContext, words_p), OFF_WORDS_P as usize);
+    }
+}

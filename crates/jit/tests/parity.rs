@@ -1,0 +1,374 @@
+//! Interpreter-vs-JIT parity on hand-assembled modules.
+//!
+//! These tests drive [`JitEngine::run_thread`] against the plain
+//! interpreter on the same module and assert byte-identical output,
+//! identical step counts at completion, and identical traps (code *and*
+//! trapping pc). On hosts without executable mappings the engine falls
+//! back to the interpreter and the assertions hold trivially.
+
+use std::sync::Mutex;
+
+use m3gc_core::heap::{HeapType, TypeTable};
+use m3gc_core::layout::BaseReg;
+use m3gc_jit::JitEngine;
+use m3gc_vm::asm::Assembler;
+use m3gc_vm::machine::{Machine, MachineLayout, RunOutcome};
+use m3gc_vm::module::{ProcMeta, VmModule};
+use m3gc_vm::{AluOp, Instr, UnAluOp, VmTrap};
+
+/// Serializes tests that mutate process-global environment variables.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn module_with(code: Vec<u8>, procs: Vec<ProcMeta>, types: TypeTable) -> VmModule {
+    use m3gc_core::encode::{encode_module, Scheme};
+    use m3gc_core::tables::ModuleTables;
+    VmModule {
+        code,
+        procs,
+        types,
+        globals_words: 8,
+        global_ptr_roots: vec![],
+        main: 0,
+        poll_pcs: vec![],
+        gc_maps: encode_module(&ModuleTables::default(), Scheme::DELTA_MAIN_PP),
+        logical_maps: ModuleTables::default(),
+    }
+}
+
+fn layout() -> MachineLayout {
+    MachineLayout { semi_words: 4096, stack_words: 512, max_threads: 2, ..MachineLayout::default() }
+}
+
+/// One engine's result: `(outcome, output, steps, pc)`.
+type EngineRun = (RunOutcome, String, u64, u32);
+
+/// Runs `module` to completion (or trap) under the interpreter and
+/// under the JIT, returning `(outcome, output, steps, pc)` of each.
+fn run_both(module: &VmModule) -> (EngineRun, EngineRun) {
+    let interp = {
+        let mut m = Machine::new(module.clone(), layout());
+        let tid = m.spawn(0, &[]);
+        let out = m.run_thread(tid, 1_000_000);
+        (out, m.output.clone(), m.steps, m.threads[tid].pc)
+    };
+    let jit = {
+        let mut m = Machine::new(module.clone(), layout());
+        let engine = JitEngine::for_machine(&m);
+        m.set_code_map(engine.code_map());
+        let tid = m.spawn(0, &[]);
+        let out = engine.run_thread(&mut m, tid, 1_000_000);
+        (out, m.output.clone(), m.steps, m.threads[tid].pc)
+    };
+    (interp, jit)
+}
+
+fn assert_parity(module: &VmModule) {
+    let (interp, jit) = run_both(module);
+    assert_eq!(interp.0, jit.0, "outcome diverged");
+    assert_eq!(interp.1, jit.1, "output diverged");
+    assert_eq!(interp.2, jit.2, "steps diverged");
+    assert_eq!(interp.3, jit.3, "final pc diverged");
+}
+
+#[test]
+fn arithmetic_branches_and_loops() {
+    let mut a = Assembler::new();
+    // Sum 1..=100 with a backward branch, then exercise every ALU op on
+    // awkward operands, printing as it goes.
+    a.emit(&Instr::MovI { dst: 1, imm: 0 }); // acc
+    a.emit(&Instr::MovI { dst: 2, imm: 1 }); // i
+    a.emit(&Instr::MovI { dst: 3, imm: 100 });
+    let top = a.here();
+    a.emit(&Instr::Alu { op: AluOp::Add, dst: 1, a: 1, b: 2 });
+    a.emit(&Instr::AluI { op: AluOp::Add, dst: 2, a: 2, imm: 1 });
+    a.emit(&Instr::Alu { op: AluOp::Le, dst: 4, a: 2, b: 3 });
+    a.emit(&Instr::Brt { cond: 4, target: top });
+    a.emit(&Instr::Sys { code: 0, arg: 1 });
+    a.emit(&Instr::Sys { code: 2, arg: 0 });
+    // Division / modulo edge cases: by zero, by -1 at i64::MIN.
+    a.emit(&Instr::MovI { dst: 5, imm: i64::MIN });
+    a.emit(&Instr::MovI { dst: 6, imm: -1 });
+    a.emit(&Instr::Alu { op: AluOp::Div, dst: 7, a: 5, b: 6 });
+    a.emit(&Instr::Sys { code: 0, arg: 7 });
+    a.emit(&Instr::Sys { code: 2, arg: 0 });
+    a.emit(&Instr::Alu { op: AluOp::Mod, dst: 7, a: 5, b: 6 });
+    a.emit(&Instr::Sys { code: 0, arg: 7 });
+    a.emit(&Instr::MovI { dst: 6, imm: 0 });
+    a.emit(&Instr::Alu { op: AluOp::Div, dst: 7, a: 5, b: 6 });
+    a.emit(&Instr::Sys { code: 0, arg: 7 });
+    a.emit(&Instr::AluI { op: AluOp::Mod, dst: 7, a: 5, imm: 0 });
+    a.emit(&Instr::Sys { code: 0, arg: 7 });
+    a.emit(&Instr::Sys { code: 2, arg: 0 });
+    // Comparisons and unary ops.
+    a.emit(&Instr::Alu { op: AluOp::Lt, dst: 7, a: 6, b: 5 });
+    a.emit(&Instr::Sys { code: 0, arg: 7 });
+    a.emit(&Instr::UnAlu { op: UnAluOp::Not, dst: 7, a: 7 });
+    a.emit(&Instr::Sys { code: 0, arg: 7 });
+    a.emit(&Instr::UnAlu { op: UnAluOp::Neg, dst: 7, a: 5 });
+    a.emit(&Instr::Sys { code: 0, arg: 7 });
+    a.emit(&Instr::Ret);
+    let code = a.finish();
+    let end = code.len() as u32;
+    let m = module_with(
+        code,
+        vec![ProcMeta {
+            name: "main".into(),
+            entry_pc: 0,
+            end_pc: end,
+            frame_words: 4,
+            save_regs: vec![],
+            n_args: 0,
+        }],
+        TypeTable::default(),
+    );
+    assert_parity(&m);
+}
+
+/// Builds a two-procedure module: `main` loops calling `work(i, i*3)`
+/// and prints the running sum; `work` touches frame slots, allocates,
+/// and returns a combination of its arguments.
+fn call_heavy_module() -> VmModule {
+    let mut types = TypeTable::default();
+    types.add(HeapType::Record { name: "Pair".into(), words: 2, ptr_offsets: vec![] });
+    let mut a = Assembler::new();
+    // main:
+    a.emit(&Instr::MovI { dst: 6, imm: 0 }); // sum (callee-save)
+    a.emit(&Instr::MovI { dst: 7, imm: 1 }); // i
+    let top = a.here();
+    a.emit(&Instr::Push { src: 7 });
+    a.emit(&Instr::AluI { op: AluOp::Mul, dst: 1, a: 7, imm: 3 });
+    a.emit(&Instr::Push { src: 1 });
+    a.emit(&Instr::Call { proc: 1, nargs: 2 });
+    a.emit(&Instr::Alu { op: AluOp::Add, dst: 6, a: 6, b: 0 });
+    a.emit(&Instr::AluI { op: AluOp::Add, dst: 7, a: 7, imm: 1 });
+    a.emit(&Instr::AluI { op: AluOp::Le, dst: 2, a: 7, imm: 40 });
+    a.emit(&Instr::Brt { cond: 2, target: top });
+    a.emit(&Instr::Sys { code: 0, arg: 6 });
+    a.emit(&Instr::Ret);
+    let work = a.here();
+    // work(x, y): allocate a pair, store both args through it, reload,
+    // spill to a frame slot, return x*y + x - y.
+    a.emit(&Instr::LdF { dst: 1, breg: BaseReg::Ap, off: 0 });
+    a.emit(&Instr::LdF { dst: 2, breg: BaseReg::Ap, off: 1 });
+    a.emit(&Instr::Alloc { dst: 3, ty: 0 });
+    a.emit(&Instr::St { base: 3, off: 1, src: 1 });
+    a.emit(&Instr::StB { base: 3, off: 2, src: 2 });
+    a.emit(&Instr::Ld { dst: 4, base: 3, off: 1 });
+    a.emit(&Instr::Ld { dst: 5, base: 3, off: 2 });
+    a.emit(&Instr::StF { breg: BaseReg::Fp, off: 0, src: 4 });
+    a.emit(&Instr::Lea { dst: 1, breg: BaseReg::Fp, off: 0 });
+    a.emit(&Instr::Ld { dst: 4, base: 1, off: 0 });
+    a.emit(&Instr::Alu { op: AluOp::Mul, dst: 0, a: 4, b: 5 });
+    a.emit(&Instr::Alu { op: AluOp::Add, dst: 0, a: 0, b: 4 });
+    a.emit(&Instr::Alu { op: AluOp::Sub, dst: 0, a: 0, b: 5 });
+    a.emit(&Instr::Ret);
+    let code = a.finish();
+    let end = code.len() as u32;
+    module_with(
+        code,
+        vec![
+            ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: work,
+                frame_words: 2,
+                save_regs: vec![],
+                n_args: 0,
+            },
+            ProcMeta {
+                name: "work".into(),
+                entry_pc: work,
+                end_pc: end,
+                frame_words: 2,
+                save_regs: vec![],
+                n_args: 2,
+            },
+        ],
+        types,
+    )
+}
+
+#[test]
+fn calls_allocation_and_frame_traffic() {
+    assert_parity(&call_heavy_module());
+}
+
+#[test]
+fn mixed_jit_and_interpreter_stacks() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let module = call_heavy_module();
+    let baseline = {
+        let mut m = Machine::new(module.clone(), layout());
+        let tid = m.spawn(0, &[]);
+        let out = m.run_thread(tid, 1_000_000);
+        assert_eq!(out, RunOutcome::Finished);
+        (m.output.clone(), m.steps)
+    };
+    // Exclude each procedure in turn: calls then cross the JIT/interp
+    // boundary in both directions (JIT main → interpreted callee, and
+    // interpreted main → JIT callee), linking through biased native
+    // tokens on one side and bytecode pcs on the other.
+    for excluded in ["main", "work"] {
+        std::env::set_var("M3GC_JIT_EXCLUDE", excluded);
+        let mut m = Machine::new(module.clone(), layout());
+        let engine = JitEngine::for_machine(&m);
+        std::env::remove_var("M3GC_JIT_EXCLUDE");
+        m.set_code_map(engine.code_map());
+        let tid = m.spawn(0, &[]);
+        let out = engine.run_thread(&mut m, tid, 1_000_000);
+        assert_eq!(out, RunOutcome::Finished, "excluded={excluded}");
+        assert_eq!(m.output, baseline.0, "excluded={excluded}");
+        assert_eq!(m.steps, baseline.1, "excluded={excluded}");
+        let summary = engine.summary();
+        if summary.enabled {
+            assert_eq!(summary.procs_compiled, 1);
+            assert_eq!(summary.fallbacks, vec![("excluded-proc", 1)]);
+        }
+    }
+}
+
+#[test]
+fn traps_match_interpreter_exactly() {
+    // Each case: (build, expected trap).
+    type TrapCase = (Box<dyn Fn(&mut Assembler)>, VmTrap);
+    let cases: Vec<TrapCase> = vec![
+        (
+            Box::new(|a| {
+                // NIL deref: address 3 is inside the reserved zone.
+                a.emit(&Instr::MovI { dst: 1, imm: 3 });
+                a.emit(&Instr::Ld { dst: 2, base: 1, off: 0 });
+            }),
+            VmTrap::NilError,
+        ),
+        (
+            Box::new(|a| {
+                // Negative address is wild, not NIL.
+                a.emit(&Instr::MovI { dst: 1, imm: -5 });
+                a.emit(&Instr::St { base: 1, off: 0, src: 1 });
+            }),
+            VmTrap::WildAddress,
+        ),
+        (
+            Box::new(|a| {
+                // Way past the end of memory.
+                a.emit(&Instr::MovI { dst: 1, imm: 1 << 40 });
+                a.emit(&Instr::StB { base: 1, off: 0, src: 1 });
+            }),
+            VmTrap::WildAddress,
+        ),
+        (
+            Box::new(|a| {
+                a.emit(&Instr::MovI { dst: 1, imm: 7 });
+                a.emit(&Instr::Sys { code: 5, arg: 1 });
+            }),
+            VmTrap::AssertError,
+        ),
+        (
+            Box::new(|a| {
+                a.emit(&Instr::Call { proc: 99, nargs: 0 });
+            }),
+            VmTrap::BadProc,
+        ),
+    ];
+    for (i, (build, expect)) in cases.iter().enumerate() {
+        let mut a = Assembler::new();
+        build(&mut a);
+        a.emit(&Instr::Ret);
+        let code = a.finish();
+        let end = code.len() as u32;
+        let m = module_with(
+            code,
+            vec![ProcMeta {
+                name: "main".into(),
+                entry_pc: 0,
+                end_pc: end,
+                frame_words: 0,
+                save_regs: vec![],
+                n_args: 0,
+            }],
+            TypeTable::default(),
+        );
+        let (interp, jit) = run_both(&m);
+        assert_eq!(interp.0, RunOutcome::Trap(*expect), "case {i}: interpreter trap");
+        assert_eq!(interp.0, jit.0, "case {i}: trap diverged");
+        assert_eq!(interp.3, jit.3, "case {i}: trapping pc diverged");
+        assert_eq!(interp.2, jit.2, "case {i}: steps diverged");
+    }
+}
+
+#[test]
+fn globals_and_push_overflow() {
+    let mut a = Assembler::new();
+    a.emit(&Instr::MovI { dst: 1, imm: 1234 });
+    a.emit(&Instr::StG { goff: 2, src: 1 });
+    a.emit(&Instr::LdG { dst: 2, goff: 2 });
+    a.emit(&Instr::Sys { code: 0, arg: 2 });
+    a.emit(&Instr::LeaG { dst: 3, goff: 2 });
+    a.emit(&Instr::Ld { dst: 4, base: 3, off: 0 });
+    a.emit(&Instr::Sys { code: 0, arg: 4 });
+    // Now push until the stack overflows; both engines must trap at the
+    // same step with the same pc.
+    let top = a.here();
+    a.emit(&Instr::Push { src: 4 });
+    a.emit(&Instr::Jmp { target: top });
+    let code = a.finish();
+    let end = code.len() as u32;
+    let m = module_with(
+        code,
+        vec![ProcMeta {
+            name: "main".into(),
+            entry_pc: 0,
+            end_pc: end,
+            frame_words: 0,
+            save_regs: vec![],
+            n_args: 0,
+        }],
+        TypeTable::default(),
+    );
+    let (interp, jit) = run_both(&m);
+    assert_eq!(interp.0, RunOutcome::Trap(VmTrap::StackOverflow));
+    assert_eq!(interp, jit);
+}
+
+#[test]
+fn fuel_exhaustion_stops_cleanly() {
+    // An infinite loop: with a bounded budget both engines report
+    // out-of-fuel; the JIT's backward-edge fuel checks bound the
+    // overshoot to the loop body length.
+    let mut a = Assembler::new();
+    a.emit(&Instr::MovI { dst: 1, imm: 0 });
+    let top = a.here();
+    a.emit(&Instr::AluI { op: AluOp::Add, dst: 1, a: 1, imm: 1 });
+    a.emit(&Instr::Jmp { target: top });
+    let code = a.finish();
+    let end = code.len() as u32;
+    let m = module_with(
+        code,
+        vec![ProcMeta {
+            name: "main".into(),
+            entry_pc: 0,
+            end_pc: end,
+            frame_words: 0,
+            save_regs: vec![],
+            n_args: 0,
+        }],
+        TypeTable::default(),
+    );
+    let mut mi = Machine::new(m.clone(), layout());
+    let ti = mi.spawn(0, &[]);
+    assert_eq!(mi.run_thread(ti, 10_000), m3gc_vm::machine::RunOutcome::OutOfFuel);
+    let mut mj = Machine::new(m, layout());
+    let engine = JitEngine::for_machine(&mj);
+    mj.set_code_map(engine.code_map());
+    let tj = mj.spawn(0, &[]);
+    assert_eq!(engine.run_thread(&mut mj, tj, 10_000), RunOutcome::OutOfFuel);
+    // Native code checks fuel only at polls and backward edges, so it
+    // may overshoot the budget by up to one loop body (2 instructions
+    // here) before the backedge check fires.
+    assert!(
+        mj.steps >= mi.steps && mj.steps - mi.steps <= 2,
+        "fuel overshoot out of bounds: interp {} vs jit {}",
+        mi.steps,
+        mj.steps
+    );
+}

@@ -96,6 +96,10 @@ pub struct RuntimeOptions {
     pub shadow: bool,
     /// Run the gc-map precision oracle before every collection.
     pub oracle: bool,
+    /// Baseline-compile procedures to native code at load time
+    /// (`--jit`); unsupported hosts or procedures fall back to the
+    /// interpreter per-procedure.
+    pub jit: bool,
     /// Print gc statistics after the program output.
     pub stats: bool,
 }
@@ -122,6 +126,7 @@ impl Default for RuntimeOptions {
             force_every_allocs: None,
             shadow: false,
             oracle: false,
+            jit: false,
             stats: false,
         }
     }
@@ -271,6 +276,13 @@ impl RuntimeOptions {
         if on {
             self.shadow = true;
         }
+        self
+    }
+
+    /// Baseline-compile procedures to native code at load time.
+    #[must_use]
+    pub fn jit(mut self, on: bool) -> Self {
+        self.jit = on;
         self
     }
 

@@ -52,6 +52,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use m3gc_core::decode::{DecodeCache, DecodeCounters, DecoderIndex};
+use m3gc_jit::{JitEngine, JitSummary};
 use m3gc_vm::isa::NUM_REGS;
 use m3gc_vm::machine::VmTrap;
 use m3gc_vm::module::VmModule;
@@ -232,6 +233,10 @@ impl RootSource for ThreadWorld<'_> {
     fn module(&self) -> &VmModule {
         &self.vm.module
     }
+
+    fn resolve_retpc(&self, retpc: i64) -> u32 {
+        self.vm.resolve_retpc(retpc)
+    }
 }
 
 pub(crate) fn read_root_snap(vm: &ParMachine, snap: &Snapshot, r: RootRef) -> i64 {
@@ -320,6 +325,9 @@ pub(crate) struct RunCtx<'vm> {
     pub(crate) alloc_parks: AtomicU64,
     /// Concurrent-marking cycle state (cms strategy only).
     pub(crate) cms: Option<crate::cms::CmsRun>,
+    /// Native baseline engine (`--jit`); mutators run
+    /// [`JitEngine::run_burst`] instead of stepping the interpreter.
+    pub(crate) jit: Option<Arc<JitEngine>>,
 }
 
 impl<'vm> RunCtx<'vm> {
@@ -358,6 +366,7 @@ impl<'vm> RunCtx<'vm> {
             poll_parks: AtomicU64::new(0),
             alloc_parks: AtomicU64::new(0),
             cms: vm.cms.as_ref().map(|_| crate::cms::CmsRun::new(options.conc_workers.max(1))),
+            jit: None,
         }
     }
 }
@@ -849,7 +858,68 @@ pub(crate) fn park_idle(ctx: &RunCtx<'_>) -> bool {
 /// How often a mutator checks the halt flag (in instructions).
 pub(crate) const HALT_CHECK_MASK: u64 = 0xff;
 
-fn mutator_loop(ctx: &RunCtx<'_>, mut mu: Mutator) -> (Mutator, Result<(), ExecError>) {
+fn mutator_loop(ctx: &RunCtx<'_>, mu: Mutator) -> (Mutator, Result<(), ExecError>) {
+    match ctx.jit.as_deref() {
+        Some(engine) => mutator_loop_jit(ctx, engine, mu),
+        None => mutator_loop_interp(ctx, mu),
+    }
+}
+
+/// Instructions per JIT burst between halt/advance bookkeeping checks.
+/// Coarser than the interpreter's per-step accounting but still far
+/// finer than `max_advance`, so stuck-thread detection keeps working.
+const JIT_BURST: u64 = 4096;
+
+fn mutator_loop_jit(
+    ctx: &RunCtx<'_>,
+    engine: &JitEngine,
+    mut mu: Mutator,
+) -> (Mutator, Result<(), ExecError>) {
+    let mut fuel = ctx.options.fuel;
+    let mut advance: u64 = 0;
+    loop {
+        if ctx.coord.halt.load(Ordering::Acquire) {
+            return (mu, Ok(()));
+        }
+        let (step, executed) = engine.run_burst(ctx.vm, &mut mu, JIT_BURST.min(fuel).max(1));
+        let exhausted = executed >= fuel;
+        fuel -= executed.min(fuel);
+        if ctx.vm.gc_request.load(R) {
+            advance += executed;
+            if advance > ctx.options.max_advance {
+                let thread = mu.tid;
+                return (mu, Err(ExecError::StuckThread { thread }));
+            }
+        } else {
+            advance = 0;
+        }
+        match step {
+            ParStep::Normal => {
+                if exhausted {
+                    return (mu, Err(ExecError::OutOfFuel));
+                }
+            }
+            ParStep::AtSafepoint => {
+                advance = 0;
+                if !park(ctx, &mut mu) {
+                    return (mu, Ok(()));
+                }
+            }
+            ParStep::NeedGc => {
+                advance = 0;
+                match request_gc(ctx, &mut mu) {
+                    Ok(true) => {} // retry the allocation
+                    Ok(false) => return (mu, Ok(())),
+                    Err(e) => return (mu, Err(e)),
+                }
+            }
+            ParStep::Finished => return (mu, Ok(())),
+            ParStep::Trap(t) => return (mu, Err(ExecError::Trap(t))),
+        }
+    }
+}
+
+fn mutator_loop_interp(ctx: &RunCtx<'_>, mut mu: Mutator) -> (Mutator, Result<(), ExecError>) {
     let mut fuel = ctx.options.fuel;
     // Instructions executed since first observing the current request
     // without reaching a gc-point (§5.3: bounded by construction).
@@ -927,13 +997,22 @@ pub struct ParExecutor {
     pub vm: ParMachine,
     /// Configuration.
     pub options: RuntimeOptions,
+    /// Native baseline engine, built lazily on the first `--jit` run.
+    jit: Option<Arc<JitEngine>>,
 }
 
 impl ParExecutor {
     /// Wraps a machine.
     #[must_use]
     pub fn new(vm: ParMachine, options: impl Into<RuntimeOptions>) -> ParExecutor {
-        ParExecutor { vm, options: options.into() }
+        ParExecutor { vm, options: options.into(), jit: None }
+    }
+
+    /// A snapshot of the JIT engine's statistics, if `--jit` was set
+    /// and [`ParExecutor::run_main`] has run.
+    #[must_use]
+    pub fn jit_summary(&self) -> Option<JitSummary> {
+        self.jit.as_deref().map(JitEngine::summary)
     }
 
     /// Runs the module's entry procedure on every mutator stack region
@@ -952,9 +1031,15 @@ impl ParExecutor {
         if let Some(n) = self.options.force_every_allocs {
             self.vm.force_gc_at.store(n.max(1), R);
         }
+        if self.options.jit && self.jit.is_none() {
+            let engine = Arc::new(JitEngine::for_par(&self.vm));
+            self.vm.set_code_map(engine.code_map());
+            self.jit = Some(engine);
+        }
         let vm = &self.vm;
         let n = vm.mutators();
-        let ctx = RunCtx::new(vm, self.options, n, n);
+        let mut ctx = RunCtx::new(vm, self.options, n, n);
+        ctx.jit = self.jit.clone();
 
         let main = vm.module.main;
         let mut done: Vec<Mutator> = Vec::with_capacity(n);

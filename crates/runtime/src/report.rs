@@ -508,6 +508,41 @@ impl StatsReport {
             s.parked_at_safepoints
         ))
     }
+
+    /// The `--jit` section: compilation summary, per-reason fallback
+    /// counts and native safepoint polls.
+    pub fn add_jit(&mut self, s: &m3gc_jit::JitSummary) -> &mut Self {
+        self.put("jit_enabled", s.enabled);
+        self.put("jit_procs_total", s.procs_total as u64);
+        self.put("jit_procs_compiled", s.procs_compiled as u64);
+        self.put("jit_code_bytes", s.code_bytes as u64);
+        self.put("jit_compile_ms", s.compile_micros as f64 / 1000.0);
+        self.put("jit_native_polls", s.native_polls);
+        let mut fb = String::from("{");
+        for (i, (reason, n)) in s.fallbacks.iter().enumerate() {
+            if i > 0 {
+                fb.push(',');
+            }
+            let _ = write!(fb, "\"{reason}\":{n}");
+        }
+        fb.push('}');
+        self.put_raw("jit_fallbacks", fb);
+        self.line(format!(
+            "jit: {} of {} proc(s) compiled, {} code byte(s), {:.1} ms compile, \
+             {} native poll(s)",
+            s.procs_compiled,
+            s.procs_total,
+            s.code_bytes,
+            s.compile_micros as f64 / 1000.0,
+            s.native_polls
+        ));
+        if !s.fallbacks.is_empty() {
+            let parts: Vec<String> =
+                s.fallbacks.iter().map(|(reason, n)| format!("{reason} {n}")).collect();
+            self.line(format!("jit fallbacks: {}", parts.join(", ")));
+        }
+        self
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use m3gc_core::decode::{DecodeCache, DecodeError};
 use m3gc_core::stats::{BarrierCounters, GcKind};
+use m3gc_jit::{JitEngine, JitSummary};
 use m3gc_vm::machine::{Machine, RunOutcome, ThreadStatus, VmTrap};
 
 use crate::collector::{self, GcStats};
@@ -102,6 +103,10 @@ pub struct Executor {
     /// oracle is.
     watermarks: StackWatermarks,
     next_forced: Option<u64>,
+    /// Native baseline engine (`--jit`); `None` runs the interpreter.
+    /// The collectors never see this — JIT frames resolve to bytecode
+    /// pcs through the machine's installed code map.
+    jit: Option<Box<JitEngine>>,
 }
 
 impl Executor {
@@ -133,7 +138,43 @@ impl Executor {
         let mut cache = DecodeCache::build(&machine.module.gc_maps)?;
         cache.bind_module(machine.module_token());
         let watermarks = StackWatermarks::new(options.oracle);
-        Ok(Executor { machine, options, gc_each: Vec::new(), cache, watermarks, next_forced })
+        let jit = options.jit.then(|| {
+            let engine = Box::new(JitEngine::for_machine(&machine));
+            machine.set_code_map(engine.code_map());
+            engine
+        });
+        Ok(Executor { machine, options, gc_each: Vec::new(), cache, watermarks, next_forced, jit })
+    }
+
+    /// A snapshot of the JIT engine's statistics, if `--jit` was set.
+    #[must_use]
+    pub fn jit_summary(&self) -> Option<JitSummary> {
+        self.jit.as_deref().map(JitEngine::summary)
+    }
+
+    /// Test hook: corrupts one native return-address key in the code
+    /// map (see `JitEngine::corrupt_gc_point_key`) and installs the
+    /// corrupted map on the machine, returning the key's (old, new)
+    /// native offsets. Returns `None` without `--jit` or when `idx` is
+    /// out of range.
+    #[doc(hidden)]
+    pub fn corrupt_jit_gc_point(&mut self, idx: usize, delta: i32) -> Option<(u32, u32)> {
+        let engine = self.jit.as_deref_mut()?;
+        if idx >= engine.code_map().gc_points().len() {
+            return None;
+        }
+        let (map, swapped) = engine.corrupt_gc_point_key(idx, delta);
+        self.machine.set_code_map(map);
+        Some(swapped)
+    }
+
+    /// Runs `tid` for up to `fuel` instructions through the JIT when
+    /// enabled, the interpreter otherwise.
+    fn run_thread(&mut self, tid: usize, fuel: u64) -> RunOutcome {
+        match self.jit.as_deref() {
+            Some(engine) => engine.run_thread(&mut self.machine, tid, fuel),
+            None => self.machine.run_thread(tid, fuel),
+        }
     }
 
     /// The decode cache (for inspecting hit/miss counters and memo size).
@@ -162,7 +203,7 @@ impl Executor {
             if self.machine.threads[tid].status != ThreadStatus::Runnable {
                 continue;
             }
-            match self.machine.run_thread(tid, self.options.max_advance) {
+            match self.run_thread(tid, self.options.max_advance) {
                 RunOutcome::AtGcPoint | RunOutcome::Finished | RunOutcome::NeedGc => {}
                 RunOutcome::OutOfFuel => return Err(ExecError::StuckThread { thread: tid }),
                 RunOutcome::Trap(t) => return Err(ExecError::Trap(t)),
@@ -241,7 +282,7 @@ impl Executor {
                     return Err(ExecError::OutOfFuel);
                 }
                 let before = self.machine.steps;
-                let r = self.machine.run_thread(tid, quantum);
+                let r = self.run_thread(tid, quantum);
                 fuel = fuel.saturating_sub(self.machine.steps - before);
                 match r {
                     RunOutcome::Finished | RunOutcome::OutOfFuel | RunOutcome::AtGcPoint => {}

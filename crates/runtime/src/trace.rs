@@ -79,6 +79,15 @@ pub trait RootSource {
     fn reg_word(&self, thread: u32, reg: u8) -> i64;
     /// The loaded module.
     fn module(&self) -> &VmModule;
+    /// Resolves a frame's return linkage word to a bytecode pc. Plain
+    /// interpreter frames store the pc directly; JIT frames store a
+    /// biased native return address that the machine's installed
+    /// [`CodeMap`](m3gc_vm::CodeMap) maps back to the gc-point pc of
+    /// the call. This is the *only* JIT awareness in the collectors:
+    /// once resolved, the pc-keyed tables apply unchanged.
+    fn resolve_retpc(&self, retpc: i64) -> u32 {
+        retpc as u32
+    }
 }
 
 impl RootSource for Machine {
@@ -92,6 +101,10 @@ impl RootSource for Machine {
 
     fn module(&self) -> &VmModule {
         &self.module
+    }
+
+    fn resolve_retpc(&self, retpc: i64) -> u32 {
+        Machine::resolve_retpc(self, retpc)
     }
 }
 
@@ -228,7 +241,7 @@ pub fn gather_thread_roots(
         sp = ap;
         let old_fp = src.mem_word(fp - 2);
         let old_ap = src.mem_word(fp - 1);
-        pc = retpc as u32;
+        pc = src.resolve_retpc(retpc);
         fp = old_fp;
         ap = old_ap;
     }
@@ -398,7 +411,7 @@ pub fn gather_thread_roots_cached(
             break;
         }
         sp = ap;
-        pc = retpc as u32;
+        pc = src.resolve_retpc(retpc);
         fp = old_fp;
         ap = old_ap;
     }

@@ -1,0 +1,249 @@
+//! Native-code address maps for the baseline JIT.
+//!
+//! The paper's central claim is that gc tables can describe *arbitrary
+//! code addresses*; the JIT exercises that literally by keying gc-points
+//! by **native return addresses**. A [`CodeMap`] records, per compiled
+//! procedure, the native code range and two sorted tables:
+//!
+//! * *gc-points*: `(native offset, bytecode pc)` pairs for every call
+//!   return site, safepoint poll and allocation in native code. A JIT
+//!   frame's linkage word holds a *biased token*
+//!   ([`JIT_RETPC_BIAS`]` + native offset`); the stack walker and the
+//!   interpreter's `Ret` resolve it here and then consult the ordinary
+//!   pc-delta tables — the collectors never see a native address.
+//! * *entries*: `(bytecode pc, native offset)` for every instruction
+//!   start, so the engine can re-enter native code at any interpreter
+//!   pc (mixed interpreter/JIT stacks switch engines at call/return
+//!   boundaries).
+//!
+//! Resolution is a **floor search** (greatest registered offset `<=`
+//! the token's offset), mirroring how a return address inside a native
+//! call sequence maps to the call's gc-point. The mutation test leans
+//! on this: nudging one key off by one deterministically resolves the
+//! true token to the *neighboring* gc-point instead of failing the
+//! lookup, and the precision oracle or torture divergence must catch
+//! the mis-walked frame.
+
+/// Bias distinguishing JIT return tokens from bytecode pcs in frame
+/// linkage words. Bytecode pcs fit in `u32`; anything `>= 1 << 32` in a
+/// return-pc slot is `JIT_RETPC_BIAS + native_offset`. The sentinel
+/// (`-1`) and plain pcs are unaffected.
+pub const JIT_RETPC_BIAS: i64 = 1 << 32;
+
+/// Native code range of one compiled procedure. Offsets are global
+/// (into the engine's single executable region), so ranges of distinct
+/// procedures never overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcRange {
+    /// Procedure index in `VmModule::procs`.
+    pub proc: usize,
+    /// First native offset of the procedure's code (inclusive).
+    pub start: u32,
+    /// One past the last native offset (exclusive).
+    pub end: u32,
+}
+
+/// Sorted code-range → gc-point / re-entry tables for JIT-compiled
+/// code. Built once per engine, then shared (`Arc`) by the machine,
+/// the stack walker and the engine itself.
+#[derive(Debug, Clone, Default)]
+pub struct CodeMap {
+    ranges: Vec<ProcRange>,
+    /// `(native offset, bytecode pc)`, sorted by offset.
+    gc_points: Vec<(u32, u32)>,
+    /// `(bytecode pc, native offset)`, sorted by pc. Bytecode pcs are
+    /// globally unique (procedures occupy disjoint slices of the one
+    /// code array), so one flat table serves every procedure.
+    entries: Vec<(u32, u32)>,
+}
+
+impl CodeMap {
+    /// Starts building a map.
+    #[must_use]
+    pub fn builder() -> CodeMapBuilder {
+        CodeMapBuilder { map: CodeMap::default() }
+    }
+
+    /// Resolves a biased return token to its gc-point's bytecode pc:
+    /// floor search over the registered native offsets. `None` when the
+    /// token is not biased, underflows the first registered point, or
+    /// no code was compiled.
+    #[must_use]
+    pub fn resolve_ret(&self, token: i64) -> Option<u32> {
+        let off = token.checked_sub(JIT_RETPC_BIAS)?;
+        let off = u32::try_from(off).ok()?;
+        let i = self.gc_points.partition_point(|&(o, _)| o <= off);
+        if i == 0 {
+            return None;
+        }
+        Some(self.gc_points[i - 1].1)
+    }
+
+    /// The native offset at which execution of bytecode pc `pc` may
+    /// (re-)enter native code, if `pc` belongs to a compiled procedure.
+    #[must_use]
+    pub fn entry_native_off(&self, pc: u32) -> Option<u32> {
+        let i = self.entries.binary_search_by_key(&pc, |&(p, _)| p).ok()?;
+        Some(self.entries[i].1)
+    }
+
+    /// The compiled procedure whose code range contains native offset
+    /// `off`, if any (a pc between procedures resolves to `None`).
+    #[must_use]
+    pub fn proc_at_native(&self, off: u32) -> Option<ProcRange> {
+        let i = self.ranges.partition_point(|r| r.start <= off);
+        if i == 0 {
+            return None;
+        }
+        let r = self.ranges[i - 1];
+        (off < r.end).then_some(r)
+    }
+
+    /// The code range compiled for procedure `proc`, if any.
+    #[must_use]
+    pub fn range_of_proc(&self, proc: usize) -> Option<ProcRange> {
+        self.ranges.iter().copied().find(|r| r.proc == proc)
+    }
+
+    /// All registered gc-points, sorted by native offset.
+    #[must_use]
+    pub fn gc_points(&self) -> &[(u32, u32)] {
+        &self.gc_points
+    }
+
+    /// Number of compiled procedures.
+    #[must_use]
+    pub fn proc_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True when nothing was compiled (interpreter-only run).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Test hook: nudges the native-offset *key* of gc-point `idx` by
+    /// `delta` bytes, simulating a mis-registered return address. With
+    /// `delta == 1` a token minted for the true offset floor-resolves
+    /// to the *previous* gc-point — the neighboring-point corruption
+    /// the mutation test must catch. Returns the (old, new) key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nudged key would reorder the table (keys are
+    /// several bytes apart in real code, so ±1 never reorders).
+    #[doc(hidden)]
+    pub fn corrupt_gc_point_key(&mut self, idx: usize, delta: i32) -> (u32, u32) {
+        let old = self.gc_points[idx].0;
+        let new = old.checked_add_signed(delta).expect("corrupted key overflows");
+        self.gc_points[idx].0 = new;
+        assert!(
+            self.gc_points.windows(2).all(|w| w[0].0 < w[1].0),
+            "corruption reordered the gc-point table — pick a smaller delta"
+        );
+        (old, new)
+    }
+}
+
+/// Incremental [`CodeMap`] construction, one procedure at a time in
+/// ascending native-offset order (the engine compiles procedures
+/// back-to-back into one region).
+#[derive(Debug)]
+pub struct CodeMapBuilder {
+    map: CodeMap,
+}
+
+impl CodeMapBuilder {
+    /// Registers the code range of `proc` as `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or overlaps the previous one.
+    pub fn add_proc(&mut self, proc: usize, start: u32, end: u32) {
+        assert!(start < end, "empty native range for proc {proc}");
+        if let Some(prev) = self.map.ranges.last() {
+            assert!(prev.end <= start, "native ranges out of order");
+        }
+        self.map.ranges.push(ProcRange { proc, start, end });
+    }
+
+    /// Registers a gc-point at global native offset `off` standing for
+    /// bytecode pc `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is not strictly greater than the previous key.
+    pub fn add_gc_point(&mut self, off: u32, pc: u32) {
+        if let Some(&(prev, _)) = self.map.gc_points.last() {
+            assert!(prev < off, "gc-point keys out of order: {prev} then {off}");
+        }
+        self.map.gc_points.push((off, pc));
+    }
+
+    /// Registers bytecode pc `pc` as re-enterable at native offset
+    /// `off`.
+    pub fn add_entry(&mut self, pc: u32, off: u32) {
+        self.map.entries.push((pc, off));
+    }
+
+    /// Finishes the map, sorting the entry table.
+    #[must_use]
+    pub fn finish(mut self) -> CodeMap {
+        self.map.entries.sort_unstable();
+        self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CodeMap {
+        let mut b = CodeMap::builder();
+        b.add_proc(0, 0, 100);
+        b.add_gc_point(10, 4);
+        b.add_gc_point(40, 12);
+        b.add_entry(0, 0);
+        b.add_entry(4, 10);
+        b.add_entry(12, 40);
+        b.add_proc(1, 100, 150);
+        b.add_gc_point(120, 30);
+        b.add_entry(28, 100);
+        b.add_entry(30, 120);
+        b.finish()
+    }
+
+    #[test]
+    fn resolves_exact_and_floor() {
+        let m = sample();
+        assert_eq!(m.resolve_ret(JIT_RETPC_BIAS + 10), Some(4));
+        assert_eq!(m.resolve_ret(JIT_RETPC_BIAS + 41), Some(12), "floor");
+        assert_eq!(m.resolve_ret(JIT_RETPC_BIAS + 5), None, "below first key");
+        assert_eq!(m.resolve_ret(17), None, "unbiased pc is not a token");
+        assert_eq!(m.resolve_ret(-1), None, "sentinel is not a token");
+    }
+
+    #[test]
+    fn range_boundaries() {
+        let m = sample();
+        assert_eq!(m.proc_at_native(0).unwrap().proc, 0, "first byte");
+        assert_eq!(m.proc_at_native(99).unwrap().proc, 0, "last byte");
+        assert_eq!(m.proc_at_native(100).unwrap().proc, 1, "next proc's first byte");
+        assert_eq!(m.proc_at_native(149).unwrap().proc, 1);
+        assert_eq!(m.proc_at_native(150), None, "past the last range");
+        assert_eq!(m.entry_native_off(12), Some(40));
+        assert_eq!(m.entry_native_off(13), None);
+    }
+
+    #[test]
+    fn corruption_resolves_to_neighbor() {
+        let mut m = sample();
+        m.corrupt_gc_point_key(1, 1); // key 40 -> 41
+        assert_eq!(
+            m.resolve_ret(JIT_RETPC_BIAS + 40),
+            Some(4),
+            "true token now floor-resolves to the neighboring gc-point"
+        );
+    }
+}

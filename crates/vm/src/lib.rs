@@ -20,6 +20,7 @@
 //!   stack walk decodes.
 
 pub mod asm;
+pub mod codemap;
 pub mod decode;
 pub mod disasm;
 pub mod encode;
@@ -29,6 +30,7 @@ pub mod module;
 pub mod par;
 pub mod shadow;
 
+pub use codemap::{CodeMap, CodeMapBuilder, ProcRange, JIT_RETPC_BIAS};
 pub use isa::{AluOp, Instr, UnAluOp};
 pub use machine::{Machine, MachineLayout, StepOutcome, Thread, ThreadStatus, VmTrap};
 pub use module::{ProcMeta, VmModule};

@@ -15,12 +15,14 @@
 //! `ALLOC`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use m3gc_core::decode::DecoderIndex;
 use m3gc_core::heap::{HeapType, TypeId};
 use m3gc_core::layout::BaseReg;
 use m3gc_core::stats::BarrierCounters;
 
+use crate::codemap::{CodeMap, JIT_RETPC_BIAS};
 use crate::decode::DecodedCode;
 use crate::isa::{Instr, NUM_REGS};
 use crate::module::VmModule;
@@ -34,6 +36,22 @@ pub const RETURN_SENTINEL: i64 = -1;
 
 /// Source of unique module-lifetime tokens (see [`Machine::module_token`]).
 static NEXT_MODULE_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// Shared `Ret`-side linkage-word resolution (used by both interpreter
+/// cores): plain bytecode pcs pass through, biased JIT return tokens
+/// resolve through the code map.
+///
+/// # Panics
+///
+/// Panics on a biased token without a resolvable code-map entry.
+pub(crate) fn resolve_retpc_via(map: Option<&CodeMap>, retpc: i64) -> u32 {
+    if retpc < JIT_RETPC_BIAS {
+        return retpc as u32;
+    }
+    map.expect("jit return token on a machine with no code map")
+        .resolve_ret(retpc)
+        .expect("jit return token resolves to no registered gc-point")
+}
 
 /// Allocates a fresh module-lifetime token (shared with [`crate::par`]).
 pub(crate) fn next_module_token() -> u64 {
@@ -126,6 +144,43 @@ pub enum VmTrap {
     /// live pointer or derived value, so it was not updated when its
     /// object moved.
     StalePointer,
+}
+
+impl VmTrap {
+    /// Dense integer code for the JIT boundary (native code and the
+    /// `extern` helpers pass traps as integers). Round-trips through
+    /// [`VmTrap::from_code`].
+    #[doc(hidden)]
+    #[must_use]
+    pub fn to_code(self) -> i64 {
+        match self {
+            VmTrap::NilError => 0,
+            VmTrap::WildAddress => 1,
+            VmTrap::StackOverflow => 2,
+            VmTrap::RangeError => 3,
+            VmTrap::AssertError => 4,
+            VmTrap::BadProc => 5,
+            VmTrap::OutOfMemory => 6,
+            VmTrap::StalePointer => 7,
+        }
+    }
+
+    /// Inverse of [`VmTrap::to_code`]; unknown codes map to
+    /// [`VmTrap::WildAddress`] (they cannot come from this crate).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn from_code(code: i64) -> VmTrap {
+        match code {
+            0 => VmTrap::NilError,
+            2 => VmTrap::StackOverflow,
+            3 => VmTrap::RangeError,
+            4 => VmTrap::AssertError,
+            5 => VmTrap::BadProc,
+            6 => VmTrap::OutOfMemory,
+            7 => VmTrap::StalePointer,
+            _ => VmTrap::WildAddress,
+        }
+    }
 }
 
 impl std::fmt::Display for VmTrap {
@@ -296,6 +351,11 @@ pub struct Machine {
     /// [`crate::shadow`]); `None` unless [`Machine::enable_shadow`] was
     /// called.
     pub shadow: Option<Box<Shadow>>,
+    /// Native-code address map installed by the JIT engine. When set,
+    /// frame linkage words may hold biased return tokens
+    /// ([`crate::codemap::JIT_RETPC_BIAS`]` + native offset`) that `Ret`
+    /// and the stack walker resolve back to bytecode gc-point pcs.
+    code_map: Option<Arc<CodeMap>>,
 }
 
 impl Machine {
@@ -376,7 +436,33 @@ impl Machine {
             major_collections: 0,
             wants_major_gc: false,
             shadow: None,
+            code_map: None,
         }
+    }
+
+    /// Installs the JIT engine's native-code address map. From here on,
+    /// frame linkage words may hold biased native return tokens; `Ret`
+    /// and the stack walker resolve them through this map.
+    pub fn set_code_map(&mut self, map: Arc<CodeMap>) {
+        self.code_map = Some(map);
+    }
+
+    /// The installed native-code address map, if a JIT is attached.
+    #[must_use]
+    pub fn code_map(&self) -> Option<&Arc<CodeMap>> {
+        self.code_map.as_ref()
+    }
+
+    /// Resolves a frame linkage return word to a bytecode pc: plain pcs
+    /// pass through, biased JIT tokens resolve through the code map.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a biased token with no (or an unmapped) code map — a
+    /// JIT frame exists but no engine registered its gc-points.
+    #[must_use]
+    pub fn resolve_retpc(&self, retpc: i64) -> u32 {
+        resolve_retpc_via(self.code_map.as_deref(), retpc)
     }
 
     /// Turns on shadow root tracking (instrumented execution for the
@@ -975,6 +1061,43 @@ impl Machine {
         Ok(Some(addr))
     }
 
+    /// JIT runtime-call surface: the native baseline compiler's call-outs
+    /// land on these thin wrappers so the JIT crate (a layer above) can
+    /// reach the interpreter's private slow paths without duplicating
+    /// their semantics. Not part of the public machine API.
+    #[doc(hidden)]
+    pub fn jit_try_alloc(&mut self, ty: u16, len: i64) -> Result<Option<i64>, VmTrap> {
+        self.try_alloc(ty, len)
+    }
+
+    #[doc(hidden)]
+    pub fn jit_note_barrier(&mut self, addr: i64, value: i64) {
+        self.note_barrier(addr, value);
+    }
+
+    #[doc(hidden)]
+    pub fn jit_sys(&mut self, code: u8, arg: i64) -> Result<(), VmTrap> {
+        self.sys(code, arg)
+    }
+
+    #[doc(hidden)]
+    pub fn jit_shadow_step(&mut self, tid: usize, ins: &Instr) -> Option<VmTrap> {
+        if self.shadow.is_some() {
+            self.shadow_step(tid, ins)
+        } else {
+            None
+        }
+    }
+
+    /// Address of the cached fast-path allocation limit, for the JIT's
+    /// inline bump sequence (the cell moves with every collection, the
+    /// field does not).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn jit_alloc_fast_limit_ptr(&self) -> *const i64 {
+        &raw const self.alloc_fast_limit
+    }
+
     fn sys(&mut self, code: u8, arg: i64) -> Result<(), VmTrap> {
         match code {
             0 => {
@@ -1126,7 +1249,7 @@ impl Machine {
                 t.sp = t.ap;
                 t.fp = old_fp;
                 t.ap = old_ap;
-                new_pc = retpc as u32;
+                new_pc = resolve_retpc_via(self.code_map.as_deref(), retpc);
             }
             Instr::Jmp { target } => new_pc = target,
             Instr::Brt { cond, target } => {

@@ -38,14 +38,16 @@
 //! [`Machine`]: crate::machine::Machine
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 use m3gc_core::decode::DecoderIndex;
 use m3gc_core::heap::{HeapType, TypeId};
 use m3gc_core::layout::BaseReg;
 
+use crate::codemap::CodeMap;
 use crate::decode::DecodedCode;
 use crate::isa::{Instr, NUM_REGS};
-use crate::machine::{GLOBAL_BASE, RETURN_SENTINEL};
+use crate::machine::{resolve_retpc_via, GLOBAL_BASE, RETURN_SENTINEL};
 use crate::module::VmModule;
 use crate::shadow::{Shadow, Tag};
 
@@ -419,6 +421,10 @@ pub struct ParMachine {
     /// Concurrent-marking state, when the machine runs under the `cms`
     /// collector ([`ParMachine::enable_cms`]).
     pub cms: Option<CmsHeap>,
+    /// Native-code address map installed by the JIT engine (see
+    /// [`crate::codemap`]): resolves biased native return tokens in
+    /// frame linkage words back to bytecode gc-point pcs.
+    code_map: Option<Arc<CodeMap>>,
 }
 
 impl ParMachine {
@@ -480,6 +486,7 @@ impl ParMachine {
             region_escaped: (0..layout.mutators).map(|_| AtomicBool::new(false)).collect(),
             shadow: None,
             cms: None,
+            code_map: None,
         }
     }
 
@@ -487,6 +494,29 @@ impl ParMachine {
     /// is shared (hence `&mut`).
     pub fn enable_shadow(&mut self) {
         self.shadow = Some(ParShadow::new(self.mem.len()));
+    }
+
+    /// Installs the JIT engine's native-code address map. Must be called
+    /// before the machine is shared (hence `&mut`).
+    pub fn set_code_map(&mut self, map: Arc<CodeMap>) {
+        self.code_map = Some(map);
+    }
+
+    /// The installed native-code address map, if a JIT is attached.
+    #[must_use]
+    pub fn code_map(&self) -> Option<&Arc<CodeMap>> {
+        self.code_map.as_ref()
+    }
+
+    /// Resolves a frame linkage return word to a bytecode pc (see
+    /// `Machine::resolve_retpc`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a biased token with no resolvable code-map entry.
+    #[must_use]
+    pub fn resolve_retpc(&self, retpc: i64) -> u32 {
+        resolve_retpc_via(self.code_map.as_deref(), retpc)
     }
 
     /// Turns on concurrent-marking (SATB) support. Must be called before
@@ -1091,6 +1121,61 @@ impl ParMachine {
         }
     }
 
+    /// The barrier store of [`Instr::StB`], shared between the
+    /// interpreter arm and the JIT's call-out so both execute the exact
+    /// same SATB (and fault-injection) semantics.
+    fn store_barrier(&self, mu: &mut Mutator, addr: i64, value: i64) -> Result<(), VmTrap> {
+        match self.cms.as_ref().filter(|c| c.marking.load(Ordering::Acquire)) {
+            None => {
+                // Outside a marking cycle (or a non-cms run) the
+                // barrier store is a plain store, exactly as on a
+                // semispace `Machine`.
+                self.store(addr, value)
+            }
+            Some(cms) => match cms.fault() {
+                SatbFault::None => {
+                    // Deletion barrier: read the old value *before*
+                    // overwriting it.
+                    let old = self.load(addr)?;
+                    self.store(addr, value)?;
+                    self.satb_record_old(cms, mu, old);
+                    Ok(())
+                }
+                SatbFault::Drop => self.store(addr, value),
+                SatbFault::Reorder => {
+                    // Buggy ordering: store first, then "record the old
+                    // value" — which now reads the new one, so the
+                    // overwritten pointer is lost.
+                    self.store(addr, value)?;
+                    let old = self.load(addr)?;
+                    self.satb_record_old(cms, mu, old);
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// JIT runtime-call surface (see `Machine::jit_try_alloc` for the
+    /// rationale); `try_alloc` itself is already public.
+    #[doc(hidden)]
+    pub fn jit_store_barrier(&self, mu: &mut Mutator, addr: i64, value: i64) -> Result<(), VmTrap> {
+        self.store_barrier(mu, addr, value)
+    }
+
+    #[doc(hidden)]
+    pub fn jit_sys(&self, mu: &mut Mutator, code: u8, arg: i64) -> Result<(), VmTrap> {
+        self.sys(mu, code, arg)
+    }
+
+    #[doc(hidden)]
+    pub fn jit_shadow_step(&self, mu: &mut Mutator, ins: &Instr) -> Option<VmTrap> {
+        if self.shadow.is_some() {
+            self.shadow_step(mu, ins)
+        } else {
+            None
+        }
+    }
+
     /// Shadow-mode instrumentation, mirroring `Machine::shadow_step`:
     /// stale-pointer detection against the dead semispace plus tag
     /// propagation through the instruction's data flow.
@@ -1229,34 +1314,7 @@ impl ParMachine {
             Instr::StB { base, off, src } => {
                 let addr = mu.regs[base as usize] + i64::from(off);
                 let value = mu.regs[src as usize];
-                match self.cms.as_ref().filter(|c| c.marking.load(Ordering::Acquire)) {
-                    None => {
-                        // Outside a marking cycle (or a non-cms run) the
-                        // barrier store is a plain store, exactly as on
-                        // a semispace `Machine`.
-                        trap!(self.store(addr, value));
-                    }
-                    Some(cms) => match cms.fault() {
-                        SatbFault::None => {
-                            // Deletion barrier: read the old value
-                            // *before* overwriting it.
-                            let old = trap!(self.load(addr));
-                            trap!(self.store(addr, value));
-                            self.satb_record_old(cms, mu, old);
-                        }
-                        SatbFault::Drop => {
-                            trap!(self.store(addr, value));
-                        }
-                        SatbFault::Reorder => {
-                            // Buggy ordering: store first, then "record
-                            // the old value" — which now reads the new
-                            // one, so the overwritten pointer is lost.
-                            trap!(self.store(addr, value));
-                            let old = trap!(self.load(addr));
-                            self.satb_record_old(cms, mu, old);
-                        }
-                    },
-                }
+                trap!(self.store_barrier(mu, addr, value));
                 if self.layout.region_words > 0 {
                     self.note_escape(addr, value);
                 }
@@ -1324,7 +1382,7 @@ impl ParMachine {
                 mu.sp = mu.ap;
                 mu.fp = old_fp;
                 mu.ap = old_ap;
-                new_pc = retpc as u32;
+                new_pc = resolve_retpc_via(self.code_map.as_deref(), retpc);
             }
             Instr::Jmp { target } => new_pc = target,
             Instr::Brt { cond, target } => {

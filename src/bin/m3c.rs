@@ -25,6 +25,9 @@
 //!   --tlab-words N       thread-local allocation buffer size in words
 //!                        with --gc par; 0 disables TLABs (run; default 1024)
 //!   --torture            collect at every allocation (run, serve)
+//!   --jit                baseline-compile procedures to native x86-64 at
+//!                        load time (run; unsupported hosts or procedures
+//!                        fall back to the interpreter, see --stats)
 //!   --stats              print gc statistics after the output (run)
 //!
 //! serve options (allocation-service workload: green-thread requests
@@ -53,7 +56,7 @@ fn usage() -> ! {
          [--o0|--o2] [--no-gc] [--split-paths] [--scheme S] [--heap N] \
          [--gc semispace|gen|par|cms] [--nursery N] [--threads N] \
          [--gc-workers M] [--conc-workers M] [--tlab-words N] [--torture] \
-         [--stats]\n\
+         [--jit] [--stats]\n\
          \x20      m3c serve <file.m3> [--requests N] [--green N] \
          [--region-words N] [--burst N] [--quantum N] [--entry P] [--oracle]\n\
          \x20      m3c fuzz [--seed N] [--iters N] [--no-shrink]"

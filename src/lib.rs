@@ -19,6 +19,7 @@ pub use m3gc_compiler as compiler;
 pub use m3gc_core as core;
 pub use m3gc_frontend as frontend;
 pub use m3gc_ir as ir;
+pub use m3gc_jit as jit;
 pub use m3gc_opt as opt;
 pub use m3gc_runtime as runtime;
 pub use m3gc_vm as vm;
