@@ -108,6 +108,9 @@ struct Timed {
     wall: Duration,
     compiled: usize,
     enabled: bool,
+    /// `(reason, count)` for every nonzero fallback reason, so a
+    /// `skip_reason` of "did not compile" is explained in the artifact.
+    fallbacks: Vec<(&'static str, u64)>,
 }
 
 /// Best-of-`reps` wall clock for one module under one engine. Each rep
@@ -129,6 +132,7 @@ fn run_timed(module: &VmModule, semi_words: usize, jit: bool, reps: u32) -> Time
             wall,
             compiled: summary.as_ref().map_or(0, |s| s.procs_compiled),
             enabled: summary.as_ref().is_some_and(|s| s.enabled),
+            fallbacks: summary.as_ref().map_or_else(Vec::new, |s| s.fallbacks.clone()),
         };
         if best.as_ref().is_none_or(|b| t.wall < b.wall) {
             best = Some(t);
@@ -224,6 +228,19 @@ fn main() {
     rep.put("call_collections", call_jit.outcome.collections);
     rep.put("call_pause_max_us_interp", pause_max_us(&call_interp.outcome));
     rep.put("call_pause_max_us_jit", pause_max_us(&call_jit.outcome));
+    // Per-reason fallback counts (same shape as `--stats`'s
+    // `jit_fallbacks`), so the artifact explains *why* a host fell
+    // back, not just that it did.
+    let mut fb = String::from("{");
+    for (i, (reason, n)) in loop_jit.fallbacks.iter().enumerate() {
+        if i > 0 {
+            fb.push(',');
+        }
+        use std::fmt::Write as _;
+        let _ = write!(fb, "\"{reason}\":{n}");
+    }
+    fb.push('}');
+    rep.put_raw("jit_fallbacks", fb);
     rep.put("skip_reason", skip_reason.as_str());
     rep.put("outputs_match", true);
     let json = rep.to_json();

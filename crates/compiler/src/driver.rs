@@ -200,6 +200,15 @@ fn run_parallel(module: m3gc_vm::VmModule, opts: RuntimeOptions) -> Result<Strin
                 out.satb_drained,
                 &out.gc_each,
             );
+            if opts.conc_evac {
+                rep.add_evac(
+                    out.evac_objects,
+                    out.evac_words,
+                    out.evac_healed_loads,
+                    out.evac_healed_stores,
+                    &out.gc_each,
+                );
+            }
         }
         rep.add_tlab(opts.tlab_words, out.tlab_refills, out.tlab_allocs, out.tlab_waste_words);
         rep.add_watermark(
@@ -439,6 +448,14 @@ fn parse_all(args: &[String]) -> Result<(Options, RuntimeOptions, ServeLoad), Dr
                 if config.conc_workers < 1 {
                     return Err(DriverError::usage("bad --conc-workers value `0`"));
                 }
+            }
+            "--conc-evac" => config = config.conc_evac(true),
+            "--evac-region-words" => {
+                let words = value::<usize>("--evac-region-words", it.next())?;
+                if words < 1 {
+                    return Err(DriverError::usage("bad --evac-region-words value `0`"));
+                }
+                config = config.evac_region_words(words);
             }
             "--tlab-words" => config.tlab_words = value("--tlab-words", it.next())?,
             "--nursery" => config.nursery_words = Some(value("--nursery", it.next())?),
@@ -775,6 +792,22 @@ mod tests {
         assert_eq!(c.threads, 4);
         assert!(parse_options(&["--conc-workers".into(), "0".into()]).is_err());
         assert!(parse_options(&["--conc-workers".into()]).is_err());
+        // Concurrent evacuation rides on cms.
+        let (_, c) = parse_options(&["--gc=cms".into(), "--conc-evac".into()]).unwrap();
+        assert!(c.conc_evac);
+        let (_, c) = parse_options(&[
+            "--gc=cms".into(),
+            "--conc-evac".into(),
+            "--evac-region-words".into(),
+            "256".into(),
+        ])
+        .unwrap();
+        assert_eq!(c.evac_region_words, Some(256));
+        assert!(parse_options(&["--evac-region-words".into(), "0".into()]).is_err());
+        assert!(parse_options(&["--evac-region-words".into()]).is_err());
+        let (_, c) = parse_options(&[]).unwrap();
+        assert!(!c.conc_evac);
+        assert_eq!(c.evac_region_words, None);
     }
 
     #[test]
@@ -802,6 +835,32 @@ mod tests {
         assert!(cms_line.contains("snapshot pause"), "{cms_line}");
         assert!(cms_line.contains("final pause"), "{cms_line}");
         assert!(out.contains("satb:"), "{out}");
+    }
+
+    #[test]
+    fn run_cms_conc_evac_matches_output_and_reports_evac_lines() {
+        let (o, mut c) = parse_options(&[
+            "--gc=cms".into(),
+            "--threads".into(),
+            "2".into(),
+            "--conc-workers".into(),
+            "2".into(),
+            "--conc-evac".into(),
+            "--torture".into(),
+            "--stats".into(),
+            "--oracle".into(),
+        ])
+        .unwrap();
+        c.semi_words = 1 << 14;
+        let out = run(LOCAL_ALLOCATING, &o, c).unwrap();
+        assert!(out.starts_with("12751275"), "{out}");
+        let evac_line = out
+            .lines()
+            .find(|l| l.contains("evac:") && l.contains("region(s)"))
+            .unwrap_or_else(|| panic!("no evac line in {out}"));
+        assert!(evac_line.contains("cycle(s)"), "{evac_line}");
+        assert!(out.contains("select pause"), "{out}");
+        assert!(out.contains("healed"), "{out}");
     }
 
     #[test]

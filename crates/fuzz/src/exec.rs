@@ -180,12 +180,13 @@ pub fn run_cms_vm(
     workers: usize,
     conc_workers: usize,
     jit: bool,
+    conc_evac: bool,
 ) -> RunStatus {
     let module = match compile(source, options) {
         Ok(m) => m,
         Err(d) => return RunStatus::Hard(format!("compiler rejected generated program: {d}")),
     };
-    let ropts = RuntimeOptions::new()
+    let mut ropts = RuntimeOptions::new()
         .strategy(GcStrategy::Cms)
         .semi_words(FUZZ_SEMI_WORDS)
         .stack_words(1 << 15)
@@ -196,6 +197,12 @@ pub fn run_cms_vm(
         .shadow(true)
         .oracle(true)
         .jit(jit);
+    if conc_evac {
+        // Tiny regions: every cycle moves objects out of nearly every
+        // region, so forwarding reads, redirected stores and the exit
+        // audit all fire on arbitrary generated programs.
+        ropts = ropts.conc_evac(true).evac_region_words(16);
+    }
     match run_module_par_opts(module, ropts) {
         Ok(out) => RunStatus::Ok(out.output),
         Err(e) => status_of_error(e),
@@ -261,15 +268,20 @@ pub fn par_config_matrix() -> Vec<(String, Options, usize, usize, bool)> {
 /// (`nolive`) configuration — the snapshot-pause kill path and the
 /// unpruned tables must produce identical output on every program.
 #[must_use]
-pub fn cms_config_matrix() -> Vec<(String, Options, usize, usize, bool)> {
+pub fn cms_config_matrix() -> Vec<(String, Options, usize, usize, bool, bool)> {
     vec![
-        ("o2/cms-w2m2".to_string(), Options::o2(), 2, 2, false),
-        ("o0/cms-w2m2".to_string(), Options::o0(), 2, 2, false),
-        ("o2/cms-w2m2/nolive".to_string(), Options::o2().with_live_maps(false), 2, 2, false),
+        ("o2/cms-w2m2".to_string(), Options::o2(), 2, 2, false, false),
+        ("o0/cms-w2m2".to_string(), Options::o0(), 2, 2, false, false),
+        ("o2/cms-w2m2/nolive".to_string(), Options::o2().with_live_maps(false), 2, 2, false, false),
         // JIT twins at both opt levels: concurrent SATB marking with
         // the full-helper store barrier in native code.
-        ("o2/cms-w2m2/jit".to_string(), Options::o2(), 2, 2, true),
-        ("o0/cms-w2m2/jit".to_string(), Options::o0(), 2, 2, true),
+        ("o2/cms-w2m2/jit".to_string(), Options::o2(), 2, 2, true, false),
+        ("o0/cms-w2m2/jit".to_string(), Options::o0(), 2, 2, true, false),
+        // Conc-evac twins at both opt levels: incremental evacuation
+        // with tiny regions, the self-healing load/store paths on the
+        // hot path of every generated program.
+        ("o2/cms-w2m2/evac".to_string(), Options::o2(), 2, 2, false, true),
+        ("o0/cms-w2m2/evac".to_string(), Options::o0(), 2, 2, false, true),
     ]
 }
 
@@ -361,8 +373,8 @@ pub fn check_program(source: &str) -> Result<bool, String> {
             }
         }
     }
-    for (label, opts, workers, conc_workers, jit) in cms_config_matrix() {
-        match run_cms_vm(source, &opts, workers, conc_workers, jit) {
+    for (label, opts, workers, conc_workers, jit, conc_evac) in cms_config_matrix() {
+        match run_cms_vm(source, &opts, workers, conc_workers, jit, conc_evac) {
             RunStatus::Hard(msg) => return Err(format!("[{label}] {msg}")),
             RunStatus::Inconclusive(_) => continue,
             got => {

@@ -250,7 +250,7 @@ impl JitEngine {
         build_engine(
             &m.module,
             &is_gc,
-            BuildFlavor { par: false, shadow, cms: false },
+            BuildFlavor { par: false, shadow, cms: false, conc_evac: false },
             m.mem.len(),
             None,
         )
@@ -262,7 +262,12 @@ impl JitEngine {
     #[must_use]
     pub fn for_par(vm: &ParMachine) -> JitEngine {
         let structural = (vm.region_words() > 0).then_some(Fallback::RegionMode);
-        let flavor = BuildFlavor { par: true, shadow: vm.shadow.is_some(), cms: vm.cms.is_some() };
+        let flavor = BuildFlavor {
+            par: true,
+            shadow: vm.shadow.is_some(),
+            cms: vm.cms.is_some(),
+            conc_evac: vm.cms.as_ref().is_some_and(|h| h.conc_evac.load(Ordering::Relaxed)),
+        };
         let is_gc = gc_point_table(&vm.module.code, |pc| vm.is_gc_point_pc(pc));
         build_engine(&vm.module, &is_gc, flavor, vm.mem.len(), structural)
     }
@@ -680,6 +685,29 @@ mod helpers {
         }
     }
 
+    pub unsafe extern "sysv64" fn par_heap_load(ctx: *mut JitContext, addr: i64, dst: i64) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let vm = unsafe { &*ctx.machine.cast::<ParMachine>() };
+        let mu = unsafe { &mut *ctx.mutator.cast::<Mutator>() };
+        match vm.jit_heap_load(mu, dst as u8, addr) {
+            Ok(()) => 0,
+            Err(t) => trap_code(t),
+        }
+    }
+
+    pub unsafe extern "sysv64" fn par_heap_store(
+        ctx: *mut JitContext,
+        addr: i64,
+        value: i64,
+    ) -> i64 {
+        let ctx = unsafe { &mut *ctx };
+        let vm = unsafe { &*ctx.machine.cast::<ParMachine>() };
+        match vm.jit_heap_store(addr, value) {
+            Ok(()) => 0,
+            Err(t) => trap_code(t),
+        }
+    }
+
     pub unsafe extern "sysv64" fn par_sys(ctx: *mut JitContext, code: i64, arg: i64) -> i64 {
         let ctx = unsafe { &mut *ctx };
         let vm = unsafe { &*ctx.machine.cast::<ParMachine>() };
@@ -716,6 +744,7 @@ struct BuildFlavor {
     par: bool,
     shadow: bool,
     cms: bool,
+    conc_evac: bool,
 }
 
 fn build_engine(
@@ -791,13 +820,20 @@ fn compile_native(
 ) -> JitEngine {
     use crate::emit::{EmitState, Reg};
 
-    let flavor = Flavor { par: flavor.par, shadow: flavor.shadow, cms: flavor.cms };
+    let flavor = Flavor {
+        par: flavor.par,
+        shadow: flavor.shadow,
+        cms: flavor.cms,
+        conc_evac: flavor.conc_evac,
+    };
     let helpers = if flavor.par {
         Helpers {
             alloc: helpers::par_alloc as *const () as usize as i64,
             stb: helpers::par_stb as *const () as usize as i64,
             sys: helpers::par_sys as *const () as usize as i64,
             shadow: helpers::par_shadow as *const () as usize as i64,
+            heap_load: helpers::par_heap_load as *const () as usize as i64,
+            heap_store: helpers::par_heap_store as *const () as usize as i64,
         }
     } else {
         Helpers {
@@ -805,6 +841,10 @@ fn compile_native(
             stb: helpers::seq_stb as *const () as usize as i64,
             sys: helpers::seq_sys as *const () as usize as i64,
             shadow: helpers::seq_shadow as *const () as usize as i64,
+            // Sequential machines never set the conc-evac flavor, so
+            // these templates are never emitted.
+            heap_load: 0,
+            heap_store: 0,
         }
     };
 

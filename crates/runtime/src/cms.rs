@@ -51,7 +51,7 @@ use std::time::{Duration, Instant};
 use m3gc_core::decode::DecodeCache;
 use m3gc_core::heap::{header_type_id, HeapType};
 use m3gc_vm::machine::VmTrap;
-use m3gc_vm::par::CmsHeap;
+use m3gc_vm::par::{CmsHeap, EvacFault, EVAC_BUSY};
 use m3gc_vm::{Mutator, ParMachine};
 
 use crate::parallel::{
@@ -85,6 +85,10 @@ struct CmsState {
     /// coordinator after joining them). The final-pause leader waits on
     /// this before touching the gray stack.
     markers_idle: bool,
+    /// True once the current cycle's concurrent copiers have exited
+    /// (conc-evac only; trivially true otherwise). The final-pause
+    /// leader waits on this before moving anything itself.
+    copiers_idle: bool,
     /// Set at end of run; the coordinator exits once no cycle is open.
     stop: bool,
 }
@@ -104,6 +108,19 @@ pub(crate) struct CmsRun {
     in_flight: AtomicUsize,
     /// Stats carried from the snapshot pause to the final pause.
     pending: Mutex<Option<CyclePending>>,
+    /// This cycle's evacuation set: region start addresses, sparsest
+    /// first, fixed by the select handshake (conc-evac only).
+    evac_list: Mutex<Vec<i64>>,
+    /// Next unclaimed index into `evac_list` (copier work cursor).
+    evac_next: AtomicUsize,
+    /// To-space addresses of every copy the concurrent copiers
+    /// published this cycle — the updater's and the final pause's
+    /// rewrite worklist (to-space has no mark bitmap to iterate).
+    evac_copies: Mutex<Vec<i64>>,
+    /// Set once the concurrent reference updater has rewritten every
+    /// to-space copy's cset references. A final pause that interrupts
+    /// the cycle before this point must do that rewrite itself.
+    updater_done: AtomicBool,
 }
 
 struct CyclePending {
@@ -118,18 +135,41 @@ struct CyclePending {
     /// Words those slots referenced directly (dropped at the *next*
     /// cycle — the snapshot keeps its start-of-cycle heap).
     float_words_avoided: u64,
+    /// Duration of the evacuation-select handshake (conc-evac only).
+    evac_select_pause: Duration,
+    /// When the select handshake released and concurrent copying began.
+    evac_started: Option<Instant>,
+    /// Regions pinned out of this cycle's cset by frame derivations.
+    evac_pinned: u64,
+    /// Regions selected into this cycle's cset.
+    evac_regions: u64,
+    /// `CmsHeap` evacuation counters at the select handshake, for
+    /// per-cycle deltas (the heap counters accumulate across cycles).
+    evac_objects_start: u64,
+    evac_words_start: u64,
+    evac_healed_loads_start: u64,
+    evac_healed_stores_start: u64,
 }
 
 impl CmsRun {
     pub(crate) fn new(workers: usize) -> CmsRun {
         CmsRun {
             workers,
-            mx: Mutex::new(CmsState { cycles_started: 0, markers_idle: true, stop: false }),
+            mx: Mutex::new(CmsState {
+                cycles_started: 0,
+                markers_idle: true,
+                copiers_idle: true,
+                stop: false,
+            }),
             cv: Condvar::new(),
             finish_requested: AtomicBool::new(false),
             gray: Mutex::new(Vec::new()),
             in_flight: AtomicUsize::new(0),
             pending: Mutex::new(None),
+            evac_list: Mutex::new(Vec::new()),
+            evac_next: AtomicUsize::new(0),
+            evac_copies: Mutex::new(Vec::new()),
+            updater_done: AtomicBool::new(false),
         }
     }
 
@@ -279,29 +319,121 @@ pub(crate) fn cms_coordinator(ctx: &RunCtx<'_>) {
         // Quiescent with no final pause pending: finish the cycle now.
         // The CAS makes us the leader exactly like a mutator would be;
         // losing it means a mutator-led pause is already under way.
+        //
+        // With conc-evac the coordinator leads *two* more handshakes:
+        // first the evacuation-select pause (pick the cset, verify the
+        // mark closure, pin derivation targets), then — after its
+        // copiers have published every cset forwarding and the updater
+        // has rewritten the copies' references concurrently — the final
+        // pause, which only flushes the in-flight allocation window and
+        // re-fixes roots and derivations.
         if heap.marking.load(Ordering::Acquire)
             && !run.finish_requested.load(Ordering::Acquire)
             && !ctx.coord.halt.load(Ordering::Acquire)
             && !heap.hold_marking.load(R)
-            && vm
+        {
+            if heap.conc_evac.load(R) {
+                // The request CAS can transiently fail against the
+                // snapshot-pause leader's own release protocol (markers
+                // quiesce in microseconds on a small live set, before
+                // that leader clears the request), so keep trying until
+                // the cycle state itself says stand down — a mutator-led
+                // forced pause closing the cycle turns `marking` off.
+                loop {
+                    if !heap.marking.load(Ordering::Acquire)
+                        || heap.evacuating.load(Ordering::Acquire)
+                        || run.finish_requested.load(Ordering::Acquire)
+                        || ctx.coord.halt.load(Ordering::Acquire)
+                        || heap.hold_marking.load(R)
+                        || run.mx.lock().unwrap().stop
+                    {
+                        break;
+                    }
+                    if vm
+                        .gc_request
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        coord_record(ctx, cms_lead_collection_counted(ctx, None, false));
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                if heap.evacuating.load(Ordering::Acquire)
+                    && !ctx.coord.halt.load(Ordering::Acquire)
+                {
+                    std::thread::scope(|s| {
+                        for _ in 0..run.workers {
+                            s.spawn(|| cms_conc_copier(ctx));
+                        }
+                    });
+                    if !run.finish_requested.load(Ordering::Acquire) {
+                        cms_conc_update(ctx);
+                    }
+                    // Only now may a final-pause leader proceed: the
+                    // updater polls `finish_requested` and has stood
+                    // down, so nothing races the pause's rewrites.
+                    {
+                        let mut cs = run.mx.lock().unwrap();
+                        cs.copiers_idle = true;
+                        run.cv.notify_all();
+                    }
+                    // Test knob: stand down with every forwarding word
+                    // published, so mutators provably run against them.
+                    while heap.hold_evac.load(R) && !ctx.coord.halt.load(Ordering::Acquire) {
+                        let cs = run.mx.lock().unwrap();
+                        if cs.stop {
+                            break;
+                        }
+                        drop(run.cv.wait_timeout(cs, Duration::from_millis(1)).unwrap().0);
+                    }
+                    // Same transient-failure shape as the select CAS;
+                    // `evacuating` turning off means a mutator-led
+                    // forced pause already finished the cycle.
+                    loop {
+                        if heap.hold_evac.load(R)
+                            || !heap.evacuating.load(Ordering::Acquire)
+                            || run.finish_requested.load(Ordering::Acquire)
+                            || ctx.coord.halt.load(Ordering::Acquire)
+                            || run.mx.lock().unwrap().stop
+                        {
+                            break;
+                        }
+                        if vm
+                            .gc_request
+                            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            coord_record(ctx, cms_lead_collection_counted(ctx, None, false));
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            } else if vm
                 .gc_request
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
-        {
-            if let Err(e) = cms_lead_collection_counted(ctx, None, false) {
-                // Mutator threads record their own errors on exit; a
-                // coordinator-led pause must record here or an oracle
-                // violation would vanish with this thread.
-                let mut st = ctx.coord.state.lock().unwrap();
-                let mut err = ctx.coord.error.lock().unwrap();
-                if err.is_none() {
-                    *err = Some(e);
-                }
-                st.halt = true;
-                ctx.coord.halt.store(true, Ordering::Release);
-                ctx.coord.cv.notify_all();
+            {
+                coord_record(ctx, cms_lead_collection_counted(ctx, None, false));
             }
         }
+    }
+}
+
+/// Records a coordinator-led pause error. Mutator threads record their
+/// own errors on exit; a coordinator-led pause must record here or an
+/// oracle violation would vanish with this thread.
+fn coord_record(ctx: &RunCtx<'_>, result: Result<bool, ExecError>) {
+    if let Err(e) = result {
+        let mut st = ctx.coord.state.lock().unwrap();
+        let mut err = ctx.coord.error.lock().unwrap();
+        if err.is_none() {
+            *err = Some(e);
+        }
+        st.halt = true;
+        ctx.coord.halt.store(true, Ordering::Release);
+        ctx.coord.cv.notify_all();
     }
 }
 
@@ -372,9 +504,30 @@ fn cms_lead_collection_counted(
             }
         }
         if heap.marking.load(Ordering::Acquire) {
-            let forced = mu.is_none() || torture_due;
-            result =
-                cms_final_pause(ctx, heap, run, forced, counted, allocs_now, handshake_time, t0);
+            if heap.conc_evac.load(R)
+                && !heap.evacuating.load(Ordering::Acquire)
+                && mu.is_none()
+                && !run.finish_requested.load(Ordering::Acquire)
+            {
+                // Coordinator-led handshake at mark quiescence with
+                // conc-evac on: pick the evacuation set instead of
+                // finishing the cycle. (A *mutator*-led pause here means
+                // the heap is full and cannot wait for a concurrent
+                // copy; it falls through to the one-pause evacuation.)
+                result = cms_evac_select_pause(ctx, heap, run, t0);
+            } else {
+                let forced = mu.is_none() || torture_due;
+                result = cms_final_pause(
+                    ctx,
+                    heap,
+                    run,
+                    forced,
+                    counted,
+                    allocs_now,
+                    handshake_time,
+                    t0,
+                );
+            }
         } else if mu.is_some() {
             result = cms_snapshot_pause(ctx, heap, run, t0);
         }
@@ -508,11 +661,370 @@ fn cms_snapshot_pause(
         satb_drained_start: heap.satb_drained.load(R),
         roots_killed: killed_n,
         float_words_avoided: float_n,
+        evac_select_pause: Duration::ZERO,
+        evac_started: None,
+        evac_pinned: 0,
+        evac_regions: 0,
+        evac_objects_start: 0,
+        evac_words_start: 0,
+        evac_healed_loads_start: 0,
+        evac_healed_stores_start: 0,
     });
     let mut cs = run.mx.lock().unwrap();
     cs.cycles_started += 1;
     cs.markers_idle = false;
     run.cv.notify_all();
+    Ok(())
+}
+
+/// The evacuation-select handshake (world stopped, coordinator-led,
+/// conc-evac only). Runs at mark quiescence, *before* anything moves:
+/// drains the mark residue to closure, verifies the cycle pre-motion
+/// (the final pause cannot re-trace once objects relocate), pins every
+/// region holding a frame derivation's target out of the candidate set,
+/// computes per-region occupancy from the mark bitmap, and fixes the
+/// evacuation set sparsest-first. `evacuating` is published before the
+/// release handshake resumes the world, so every mutator arms its
+/// self-healing forwarding paths.
+fn cms_evac_select_pause(
+    ctx: &RunCtx<'_>,
+    heap: &CmsHeap,
+    run: &CmsRun,
+    t0: Instant,
+) -> Result<(), ExecError> {
+    let vm = ctx.vm;
+    cms_finish_mark(ctx, heap, run);
+    if ctx.options.oracle && vm.shadow.is_some() {
+        if let Err(msg) = par_oracle_check(ctx) {
+            let (fs, fe) = vm.from_space();
+            let free = vm.free.load(R);
+            return Err(ExecError::Oracle(format!(
+                "at evacuation select (from=[{fs},{fe}) free={free}): {msg}"
+            )));
+        }
+        if let Err(msg) = cms_shadow_verify(ctx, heap) {
+            return Err(ExecError::Oracle(msg));
+        }
+    }
+
+    let (from_start, _) = vm.from_space();
+    let free_now = vm.free.load(R);
+
+    // Pin the region of every object a parked frame derives into. A
+    // pinned object never moves concurrently, so mid-phase derivation
+    // arithmetic on its interior stays valid; the object relocates at
+    // the final pause, bracketed by the usual un-derive/re-derive. This
+    // pins *all* derivation targets — a conservative superset of the
+    // ambiguous frames the rule exists for.
+    let mut pinned_n = 0u64;
+    {
+        let mut cache = ctx.caches[0].lock().unwrap();
+        for (tid, slot) in ctx.slots.iter().enumerate() {
+            let slot = slot.lock().unwrap();
+            let Some(snap) = slot.as_ref() else { continue };
+            let world = ThreadWorld { vm, tid: tid as u32, snap };
+            let mut roots = StackRoots::default();
+            gather_thread_roots(
+                &world,
+                &mut cache,
+                tid as u32,
+                (snap.pc, snap.fp, snap.ap, snap.sp),
+                &mut roots,
+            );
+            for d in &roots.derivations {
+                for &(b, _) in &d.bases {
+                    let v = read_root_snap(vm, snap, b);
+                    if v >= from_start && v < free_now && heap.pin_region(heap.evac_region_of(v)) {
+                        pinned_n += 1;
+                    }
+                }
+                // Belt and suspenders: also pin through the derived
+                // value itself (back-scan to its containing header), in
+                // case a base was not decodable as a tidy root.
+                let dv = read_root_snap(vm, snap, d.target);
+                if dv >= from_start && dv < free_now {
+                    let mut h = dv;
+                    while h >= from_start && !heap.is_marked(h) {
+                        h -= 1;
+                    }
+                    if h >= from_start && heap.pin_region(heap.evac_region_of(h)) {
+                        pinned_n += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-region occupancy from the mark bitmap (an object straddling a
+    // region boundary counts — and is evacuated — with its header's
+    // region).
+    let mut occ: Vec<u64> = vec![0; heap.evac_region_count()];
+    heap.for_each_marked(from_start, free_now, |addr| {
+        let header = vm.word(addr);
+        let ty = vm.module.types.get(header_type_id(header));
+        let len = match ty {
+            HeapType::Array { .. } => vm.word(addr + 1),
+            HeapType::Record { .. } => 0,
+        };
+        occ[heap.evac_region_of(addr)] += u64::from(ty.object_words(len as u32));
+    });
+    let mut cand: Vec<(u64, usize)> = occ
+        .iter()
+        .enumerate()
+        .filter(|&(r, &w)| w > 0 && !heap.is_pinned(r))
+        .map(|(r, &w)| (w, r))
+        .collect();
+    cand.sort_unstable();
+
+    {
+        let mut list = run.evac_list.lock().unwrap();
+        list.clear();
+        for &(_, r) in &cand {
+            heap.set_cset(r, true);
+            list.push(r as i64);
+        }
+    }
+    run.evac_next.store(0, R);
+    run.evac_copies.lock().unwrap().clear();
+    run.updater_done.store(false, Ordering::Release);
+    heap.clear_dirty();
+    heap.evac_snap.store(free_now, R);
+    let (to_start, _) = vm.to_space();
+    heap.evac_to.store(to_start, R);
+    heap.evac_pinned.fetch_add(pinned_n, R);
+    if let Some(p) = run.pending.lock().unwrap().as_mut() {
+        p.evac_select_pause = t0.elapsed();
+        p.evac_started = Some(Instant::now());
+        p.evac_pinned = pinned_n;
+        p.evac_regions = cand.len() as u64;
+        p.evac_objects_start = heap.evac_objects.load(R);
+        p.evac_words_start = heap.evac_words.load(R);
+        p.evac_healed_loads_start = heap.evac_healed_loads.load(R);
+        p.evac_healed_stores_start = heap.evac_healed_stores.load(R);
+    }
+    {
+        let mut cs = run.mx.lock().unwrap();
+        cs.copiers_idle = false;
+    }
+    // The release handshake that resumes the world publishes this to
+    // every mutator's load/store fast path.
+    heap.evacuating.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// One concurrent copier (coordinator-spawned, mutators running).
+/// Claims cset regions off the shared cursor and evacuates their marked
+/// objects: CAS the header to the `EVAC_BUSY` claim, bump the shared
+/// to-space frontier, copy body and shadow tags, publish the forwarding
+/// word `-(new+1)` with release ordering. A mutator store to a claimed
+/// object spins on the BUSY word and lands in the copy; a store that
+/// committed into the original before the claim is visible to the
+/// post-claim body read (SeqCst claim + fences on both sides). Aborts
+/// between objects when a final pause is requested — whatever is left
+/// unforwarded is flushed by that pause's residual copy.
+fn cms_conc_copier(ctx: &RunCtx<'_>) {
+    let vm = ctx.vm;
+    let heap = vm.cms.as_ref().expect("copier without cms heap");
+    let run = ctx.cms.as_ref().expect("copier without cms run");
+    let (from_start, _) = vm.from_space();
+    let (_, to_end) = vm.to_space();
+    let free_snap = heap.evac_snap.load(R);
+    let rw = heap.evac_region_words.load(R);
+    let double = heap.fault_evac() == EvacFault::DoubleCopy;
+    let regions: Vec<i64> = run.evac_list.lock().unwrap().clone();
+    let mut my_copies: Vec<i64> = Vec::new();
+    let mut addrs: Vec<i64> = Vec::new();
+    let (mut objs, mut words_copied, mut regions_done) = (0u64, 0u64, 0u64);
+    'regions: loop {
+        let i = run.evac_next.fetch_add(1, R);
+        if i >= regions.len() {
+            break;
+        }
+        let region = regions[i];
+        let lo = (region * rw).max(from_start);
+        let hi = ((region + 1) * rw).min(free_snap);
+        addrs.clear();
+        heap.for_each_marked(lo, hi, |a| addrs.push(a));
+        for &addr in &addrs {
+            if run.finish_requested.load(Ordering::Acquire) {
+                break 'regions;
+            }
+            let header = vm.word(addr);
+            debug_assert!(header >= 0, "cset region claimed twice at {addr}");
+            // Under the DoubleCopy fault the claim is skipped and the
+            // object copied (and published) twice — the orphaned first
+            // copy is what the audit's accounting check must catch.
+            if !double && vm.cas_word(addr, header, EVAC_BUSY).is_err() {
+                continue;
+            }
+            // Pairs with the mutator store path's fence: every store
+            // that committed before this claim is visible to the body
+            // reads below.
+            std::sync::atomic::fence(Ordering::SeqCst);
+            let ty = vm.module.types.get(header_type_id(header));
+            let len = match ty {
+                HeapType::Array { .. } => vm.word(addr + 1),
+                HeapType::Record { .. } => 0,
+            };
+            let obj_words = i64::from(ty.object_words(len as u32));
+            for _ in 0..if double { 2 } else { 1 } {
+                let new = heap.evac_to.fetch_add(obj_words, R);
+                assert!(
+                    new + obj_words <= to_end,
+                    "to-space overflow during concurrent evacuation"
+                );
+                vm.set_word(new, header);
+                for off in 1..obj_words {
+                    vm.set_word(new + off, vm.word(addr + off));
+                }
+                if let Some(sh) = &vm.shadow {
+                    sh.copy_words(addr, new, obj_words);
+                }
+                vm.set_word_release(addr, -(new + 1));
+                my_copies.push(new);
+                objs += 1;
+                words_copied += obj_words as u64;
+            }
+        }
+        regions_done += 1;
+    }
+    heap.evac_objects.fetch_add(objs, R);
+    heap.evac_words.fetch_add(words_copied, R);
+    heap.evac_regions.fetch_add(regions_done, R);
+    run.evac_copies.lock().unwrap().append(&mut my_copies);
+}
+
+/// The concurrent reference updater (coordinator thread, mutators
+/// running): one type-directed pass over the published copies,
+/// rewriting each stale cset reference through its — by now fully
+/// published — forwarding word. A CAS per slot keeps racing mutator
+/// stores safe: if the CAS loses, the racing store's value was healed
+/// on its own path. The pass is convergence work, not a correctness
+/// requirement — self-healing loads and the final-pause rewrite would
+/// get there without it — but it takes the bulk of the rewrite off
+/// both. Aborts (leaving `updater_done` unset) when a pause interrupts.
+fn cms_conc_update(ctx: &RunCtx<'_>) {
+    let vm = ctx.vm;
+    let heap = vm.cms.as_ref().expect("updater without cms heap");
+    let run = ctx.cms.as_ref().expect("updater without cms run");
+    let (from_start, _) = vm.from_space();
+    let free_snap = heap.evac_snap.load(R);
+    let copies: Vec<i64> = run.evac_copies.lock().unwrap().clone();
+    for &new in &copies {
+        if run.finish_requested.load(Ordering::Acquire) {
+            return; // the final pause finishes the rewrite itself
+        }
+        let header = vm.word(new);
+        let ty = vm.module.types.get(header_type_id(header));
+        let len = match ty {
+            HeapType::Array { .. } => vm.word(new + 1),
+            HeapType::Record { .. } => 0,
+        };
+        for off in ty.pointer_offset_iter(len as u32) {
+            let slot = new + i64::from(off);
+            let v = vm.word(slot);
+            if v < from_start
+                || v >= free_snap
+                || !heap.in_cset(heap.evac_region_of(v))
+                || !heap.is_marked(v)
+            {
+                continue;
+            }
+            let hval = vm.word_acquire(v);
+            if hval >= 0 || hval == EVAC_BUSY {
+                continue; // unclaimed (pause will move it) / defensive
+            }
+            if vm.cas_word(slot, v, -(hval + 1)).is_ok() {
+                heap.set_dirty(slot);
+            }
+        }
+    }
+    run.updater_done.store(true, Ordering::Release);
+}
+
+/// The forwarding audit (oracle runs only; world stopped, or the
+/// coordinator stood down under `hold_evac`): proves the concurrent
+/// copy phase lost nothing. Walks every cset region's marked objects
+/// and checks that (a) each one is forwarded to a structurally
+/// identical copy — a body word that diverges with no recorded
+/// to-space write is a store torn across the forwarding publish — and
+/// (b) the forwarding targets account for every to-space word the
+/// copiers allocated, so a double copy (orphaned twin) or a lost
+/// publish cannot hide. Vacuously passes on a cycle the final pause
+/// interrupted (`updater_done` unset): partial forwarding is legal
+/// there and the pause's residual copy flushes it.
+pub(crate) fn cms_evac_audit(ctx: &RunCtx<'_>) -> Result<(), String> {
+    let vm = ctx.vm;
+    let heap = vm.cms.as_ref().expect("evac audit without cms heap");
+    let run = ctx.cms.as_ref().expect("evac audit without cms run");
+    if !run.updater_done.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let (from_start, _) = vm.from_space();
+    let (to_start, _) = vm.to_space();
+    let free_snap = heap.evac_snap.load(R);
+    let evac_to = heap.evac_to.load(R);
+    let rw = heap.evac_region_words.load(R);
+    let regions: Vec<i64> = run.evac_list.lock().unwrap().clone();
+    let mut covered = 0i64;
+    let mut addrs: Vec<i64> = Vec::new();
+    for &region in &regions {
+        let lo = (region * rw).max(from_start);
+        let hi = ((region + 1) * rw).min(free_snap);
+        addrs.clear();
+        heap.for_each_marked(lo, hi, |a| addrs.push(a));
+        for &addr in &addrs {
+            let h = vm.word_acquire(addr);
+            if h == m3gc_vm::par::EVAC_BUSY {
+                return Err(format!("evac audit: claim at {addr} was never published"));
+            }
+            if h >= 0 {
+                return Err(format!(
+                    "evac audit: marked cset object at {addr} was never copied \
+                     (lost claim or forwarding publish)"
+                ));
+            }
+            let new = -(h + 1);
+            if new < to_start || new >= evac_to {
+                return Err(format!(
+                    "evac audit: forwarding at {addr} points to {new}, outside the \
+                     copied to-space window [{to_start},{evac_to})"
+                ));
+            }
+            let copy_header = vm.word(new);
+            if copy_header < 0 {
+                return Err(format!(
+                    "evac audit: copy at {new} carries a forwarding word, not a header"
+                ));
+            }
+            let ty = vm.module.types.get(header_type_id(copy_header));
+            let len = match ty {
+                HeapType::Array { .. } => vm.word(new + 1),
+                HeapType::Record { .. } => 0,
+            };
+            let obj_words = i64::from(ty.object_words(len as u32));
+            covered += obj_words;
+            for off in 1..obj_words {
+                let ov = vm.word(addr + off);
+                let cv = vm.word(new + off);
+                if ov != cv && !heap.is_dirty(new + off) {
+                    return Err(format!(
+                        "evac audit: object at {addr} (copy {new}) diverges at word \
+                         {off} ({ov} vs {cv}) with no recorded to-space write — a \
+                         store was torn across the forwarding publish and lost"
+                    ));
+                }
+            }
+        }
+    }
+    let span = evac_to - to_start;
+    if covered != span {
+        return Err(format!(
+            "evac audit: forwarding words account for {covered} to-space words but \
+             the copiers allocated {span} — an object was copied more than once or \
+             a publish was lost"
+        ));
+    }
     Ok(())
 }
 
@@ -539,7 +1051,11 @@ fn cms_final_pause(
         // the request above).
         let mut cs = run.mx.lock().unwrap();
         run.cv.notify_all(); // wake the coordinator if it hasn't started this cycle yet
-        while !cs.markers_idle {
+        while !cs.markers_idle || !cs.copiers_idle {
+            // Concurrent copiers and the updater poll `finish_requested`
+            // per object and stand down; the coordinator flips
+            // `copiers_idle` once they have, so nothing races the
+            // rewrites below.
             cs = run.cv.wait(cs).unwrap();
         }
     }
@@ -566,6 +1082,7 @@ fn cms_final_pause(
 
     cms_finish_mark(ctx, heap, run);
 
+    let evacuating = heap.evacuating.load(Ordering::Acquire);
     if ctx.options.oracle && vm.shadow.is_some() {
         if let Err(msg) = par_oracle_check(ctx) {
             let (fs, fe) = vm.from_space();
@@ -574,12 +1091,33 @@ fn cms_final_pause(
                 "at final pause (from=[{fs},{fe}) free={free}): {msg}"
             )));
         }
-        if let Err(msg) = cms_shadow_verify(ctx, heap) {
+        if evacuating {
+            // The sequential re-trace cannot run once objects have
+            // moved (forwarded headers are not walkable); it ran
+            // pre-motion at the select handshake instead. What *can* be
+            // proven here is the forwarding protocol itself.
+            if let Err(msg) = cms_evac_audit(ctx) {
+                return Err(ExecError::Oracle(msg));
+            }
+        } else if let Err(msg) = cms_shadow_verify(ctx, heap) {
             return Err(ExecError::Oracle(msg));
         }
     }
 
-    let mut stats = cms_evacuate(ctx, heap);
+    let mut stats = cms_evacuate(ctx, heap, run);
+    if evacuating {
+        // The cycle's relocation state dies with the flip: the copies
+        // now live inside the ordinary from-space prefix.
+        heap.evacuating.store(false, Ordering::Release);
+        heap.clear_evac_sets();
+        heap.clear_dirty();
+        heap.evac_snap.store(0, R);
+        heap.evac_to.store(0, R);
+        run.evac_list.lock().unwrap().clear();
+        run.evac_copies.lock().unwrap().clear();
+        run.evac_next.store(0, R);
+        run.updater_done.store(false, Ordering::Release);
+    }
     if ctx.options.oracle && vm.shadow.is_some() {
         if let Err(msg) = par_oracle_check(ctx) {
             let (fs, fe) = vm.from_space();
@@ -595,6 +1133,16 @@ fn cms_final_pause(
     stats.snapshot_pause = pending.snapshot_pause;
     stats.mark_concurrent = mark_concurrent;
     stats.satb_drained = heap.satb_drained.load(R) - pending.satb_drained_start;
+    stats.evac_cycle = evacuating;
+    stats.evac_select_pause = pending.evac_select_pause;
+    stats.evac_conc_time =
+        pending.evac_started.map_or(Duration::ZERO, |s| t0.saturating_duration_since(s));
+    stats.evac_regions = pending.evac_regions;
+    stats.evac_pinned = pending.evac_pinned;
+    stats.evac_objects = heap.evac_objects.load(R) - pending.evac_objects_start;
+    stats.evac_words = heap.evac_words.load(R) - pending.evac_words_start;
+    stats.evac_healed_loads = heap.evac_healed_loads.load(R) - pending.evac_healed_loads_start;
+    stats.evac_healed_stores = heap.evac_healed_stores.load(R) - pending.evac_healed_stores_start;
     stats.roots_killed += pending.roots_killed;
     stats.float_words_avoided += pending.float_words_avoided;
     stats.parked_at_polls = ctx.poll_parks.swap(0, R);
@@ -702,6 +1250,13 @@ struct CmsGc<'vm> {
     /// Next unclaimed chunk index.
     chunk_next: AtomicUsize,
     barrier: Barrier,
+    /// True when this pause closes a concurrent-evacuation cycle: the
+    /// copy phase skips already-forwarded objects, and the rewrite
+    /// phase also walks the concurrently published copies.
+    evacuating: bool,
+    /// The concurrent copies (to-space has no mark bitmap to iterate).
+    conc_copies: Vec<i64>,
+    workers: usize,
 }
 
 struct CmsWorkerReport {
@@ -791,6 +1346,11 @@ fn cms_evac_worker(
         let hi = (lo + CHUNK_WORDS).min(gc.from_used);
         gc.heap.for_each_marked(lo, hi, |addr| {
             let header = vm.word(addr);
+            if gc.evacuating && header < 0 {
+                // Evacuated concurrently; its forwarding word is
+                // already published and its copy already in to-space.
+                return;
+            }
             assert!(header >= 0, "mark bit on a non-header word at {addr}");
             let ty = vm.module.types.get(header_type_id(header));
             let len = match ty {
@@ -818,6 +1378,30 @@ fn cms_evac_worker(
     // tidy roots, and (worker 0) the globals through plain forwarding
     // loads.
     for &new in &copied {
+        let header = vm.word(new);
+        let ty = vm.module.types.get(header_type_id(header));
+        let len = match ty {
+            HeapType::Array { .. } => vm.word(new + 1),
+            HeapType::Record { .. } => 0,
+        };
+        for off in ty.pointer_offset_iter(len as u32) {
+            let slot = new + i64::from(off);
+            let v = vm.word(slot);
+            if v >= gc.from_start && v < gc.from_used {
+                vm.set_word(slot, forwarded(vm, v));
+            }
+        }
+    }
+    // Concurrent copies: their fields may still reference objects this
+    // *pause* moved (pinned regions, the in-flight allocation window,
+    // cset stragglers of an interrupted cycle) — and stale cset
+    // references too, if the cycle was interrupted before the updater
+    // finished. One type-directed pass over a strided share fixes both;
+    // every forwarding word is published by the phase-2 barrier.
+    let mut i = w;
+    while i < gc.conc_copies.len() {
+        let new = gc.conc_copies[i];
+        i += gc.workers;
         let header = vm.word(new);
         let ty = vm.module.types.get(header_type_id(header));
         let len = match ty {
@@ -877,7 +1461,7 @@ fn cms_evac_worker(
 /// The final pause's parallel evacuation of the marked set (leader
 /// only, world stopped). Mirrors `collect_parallel`'s thread-dealing
 /// and snapshot publication, but the copy itself is bitmap-driven.
-fn cms_evacuate(ctx: &RunCtx<'_>, heap: &CmsHeap) -> ParGcStats {
+fn cms_evacuate(ctx: &RunCtx<'_>, heap: &CmsHeap, run: &CmsRun) -> ParGcStats {
     let vm = ctx.vm;
     let workers = ctx.caches.len();
     let mut parts: Vec<Part> = (0..workers).map(|_| Vec::new()).collect();
@@ -891,15 +1475,21 @@ fn cms_evacuate(ctx: &RunCtx<'_>, heap: &CmsHeap) -> ParGcStats {
 
     let (from_start, _) = vm.from_space();
     let (to_start, to_end) = vm.to_space();
+    let evacuating = heap.evacuating.load(Ordering::Acquire);
     let gc = CmsGc {
         vm,
         heap,
-        free: AtomicI64::new(to_start),
+        // A conc-evac pause continues the copiers' frontier: to-space
+        // already holds `[to_start, evac_to)` of published copies.
+        free: AtomicI64::new(if evacuating { heap.evac_to.load(R) } else { to_start }),
         to_end,
         from_start,
         from_used: vm.free.load(R),
         chunk_next: AtomicUsize::new(0),
         barrier: Barrier::new(workers),
+        evacuating,
+        conc_copies: if evacuating { run.evac_copies.lock().unwrap().clone() } else { Vec::new() },
+        workers,
     };
 
     let mut reports: Vec<CmsWorkerReport> = Vec::with_capacity(workers);

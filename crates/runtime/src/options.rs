@@ -66,6 +66,14 @@ pub struct RuntimeOptions {
     pub gc_workers: usize,
     /// Concurrent marking workers ([`GcStrategy::Cms`] only).
     pub conc_workers: usize,
+    /// Concurrent region evacuation (`--conc-evac`; [`GcStrategy::Cms`]
+    /// only): the cset copy overlaps the mutators, leaving only
+    /// root/derivation fixup and the in-flight window stop-the-world.
+    pub conc_evac: bool,
+    /// Words per evacuation region (`None` = the vm default; conc-evac
+    /// only). Tiny regions are a torture knob: every region becomes a
+    /// cset candidate every cycle.
+    pub evac_region_words: Option<usize>,
     /// Words per thread-local allocation buffer (0 disables TLABs).
     pub tlab_words: usize,
     /// Words per nursery half (`None` = a quarter semispace), used by
@@ -114,6 +122,8 @@ impl Default for RuntimeOptions {
             threads: 1,
             gc_workers: 4,
             conc_workers: 2,
+            conc_evac: false,
+            evac_region_words: None,
             tlab_words: DEFAULT_TLAB_WORDS,
             nursery_words: None,
             promote_age: 2,
@@ -185,6 +195,21 @@ impl RuntimeOptions {
     #[must_use]
     pub fn conc_workers(mut self, n: usize) -> Self {
         self.conc_workers = n;
+        self
+    }
+
+    /// Concurrent region evacuation (cms strategy only).
+    #[must_use]
+    pub fn conc_evac(mut self, on: bool) -> Self {
+        self.conc_evac = on;
+        self
+    }
+
+    /// Words per evacuation region (conc-evac only; tiny values are a
+    /// torture knob).
+    #[must_use]
+    pub fn evac_region_words(mut self, words: usize) -> Self {
+        self.evac_region_words = Some(words);
         self
     }
 
@@ -357,6 +382,11 @@ impl RuntimeOptions {
         }
         if self.strategy == GcStrategy::Cms {
             m.enable_cms();
+            if self.conc_evac {
+                m.enable_conc_evac(
+                    self.evac_region_words.unwrap_or(m3gc_vm::par::DEFAULT_EVAC_REGION_WORDS),
+                );
+            }
         }
         m
     }

@@ -34,4 +34,6 @@ pub use codemap::{CodeMap, CodeMapBuilder, ProcRange, JIT_RETPC_BIAS};
 pub use isa::{AluOp, Instr, UnAluOp};
 pub use machine::{Machine, MachineLayout, StepOutcome, Thread, ThreadStatus, VmTrap};
 pub use module::{ProcMeta, VmModule};
-pub use par::{CmsHeap, Mutator, ParLayout, ParMachine, ParStep, SatbFault, DEFAULT_TLAB_WORDS};
+pub use par::{
+    CmsHeap, EvacFault, Mutator, ParLayout, ParMachine, ParStep, SatbFault, DEFAULT_TLAB_WORDS,
+};
